@@ -1,0 +1,222 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every module in this directory regenerates one figure of the paper's
+evaluation (Sec. 7).  This harness provides:
+
+* **scaling** — ``REPRO_BENCH_SCALE`` (float) multiplies the dataset size;
+  ``REPRO_BENCH_QUICK=1`` shrinks everything for smoke runs;
+* **caching** — datasets, splits, and trained models are memoized so that
+  e.g. the ``TF(4,0), K=20`` model trained for Fig. 6(a) is reused by
+  Figs. 6(b,c,d), 7(c) and 8(c,d);
+* **reporting** — ``report(...)`` collects the paper-shape tables, which
+  the benchmarks' conftest prints in the terminal summary (visible even
+  under pytest's output capture) and writes to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
+
+import numpy as np
+
+from repro import (
+    MFModel,
+    SyntheticConfig,
+    TaxonomyFactorModel,
+    TrainConfig,
+    generate_dataset,
+    train_test_split,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+#: Quick mode under-trains on purpose (smoke runs), so the paper-shape
+#: assertions are only enforced on full-scale runs.
+STRICT = not QUICK
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Factor sizes swept by the accuracy figures (paper: 10..50).
+FACTOR_SIZES: Tuple[int, ...] = (8, 16) if QUICK else (10, 20, 30, 40, 50)
+#: The fixed factor size used by single-K experiments.
+DEFAULT_FACTORS: int = 8 if QUICK else 20
+#: Full-scale runs train to convergence: MF needs ~40 epochs before it
+#: learns item similarity beyond popularity on dense splits, and the
+#: paper's sparsity shape (Fig. 7b) only holds for converged baselines.
+EPOCHS: int = 3 if QUICK else 40
+#: The paper's regime is data-sparse per item (1.5M items, ~1.5 samples
+#: per item per epoch) — far from convergence.  Sibling-based training is
+#: the paper's convergence *accelerator* (Sec. 1), so Fig. 7(d) is
+#: reproduced at a limited epoch budget.
+EARLY_EPOCHS: int = 2 if QUICK else 5
+DATA_SEED = 1234
+TRAIN_SEED = 77
+SPLIT_SEED = 99
+
+_REPORTS: List[str] = []
+
+
+# ----------------------------------------------------------------------
+# Data
+# ----------------------------------------------------------------------
+def bench_synthetic_config(n_users: Optional[int] = None) -> SyntheticConfig:
+    """The benchmark dataset configuration (paper-shaped, laptop-scaled)."""
+    if n_users is None:
+        base = 800 if QUICK else 4000
+        n_users = max(200, int(base * SCALE))
+    return SyntheticConfig(
+        branching=(8, 4, 4),
+        items_per_leaf=6,
+        n_users=n_users,
+        mean_transactions=3.5,
+        mean_basket_size=1.5,
+        seed=DATA_SEED,
+    )
+
+
+@lru_cache(maxsize=4)
+def bench_dataset(n_users: Optional[int] = None):
+    """The shared synthetic dataset (memoized)."""
+    return generate_dataset(bench_synthetic_config(n_users))
+
+
+@lru_cache(maxsize=8)
+def bench_split(mu: float = 0.5):
+    """The shared train/test split at sparsity *mu* (memoized)."""
+    return train_test_split(bench_dataset().log, mu=mu, seed=SPLIT_SEED)
+
+
+# ----------------------------------------------------------------------
+# Models
+# ----------------------------------------------------------------------
+def _train_config(
+    factors: int,
+    levels: int,
+    markov: int,
+    sibling: float,
+    use_bias: bool = True,
+    negative_pool: str = "all",
+    alpha: float = 1.0,
+    epochs: Optional[int] = None,
+) -> TrainConfig:
+    return TrainConfig(
+        factors=factors,
+        epochs=EPOCHS if epochs is None else epochs,
+        learning_rate=0.05,
+        reg=0.01,
+        taxonomy_levels=levels,
+        markov_order=markov,
+        sibling_ratio=sibling,
+        use_bias=use_bias,
+        negative_pool=negative_pool,
+        alpha=alpha,
+        seed=TRAIN_SEED,
+    )
+
+
+@lru_cache(maxsize=160)
+def trained_model(
+    levels: int,
+    markov: int,
+    factors: int = DEFAULT_FACTORS,
+    sibling: float = 0.5,
+    mu: float = 0.5,
+    use_bias: bool = True,
+    negative_pool: str = "all",
+    alpha: float = 1.0,
+    epochs: Optional[int] = None,
+):
+    """``TF(levels, markov)`` / ``MF(markov)`` trained on the shared split.
+
+    ``levels = 1`` builds the MF baseline (sibling training is meaningless
+    there and is forced off).  ``epochs`` overrides the default budget
+    (used by the limited-iteration experiments, Fig. 7d).
+    """
+    data = bench_dataset()
+    split = bench_split(mu)
+    if levels == 1:
+        model = MFModel(
+            data.taxonomy,
+            _train_config(
+                factors, 1, markov, 0.0, use_bias, negative_pool, alpha, epochs
+            ),
+        )
+    else:
+        model = TaxonomyFactorModel(
+            data.taxonomy,
+            _train_config(
+                factors, levels, markov, sibling, use_bias, negative_pool,
+                alpha, epochs,
+            ),
+        )
+    return model.fit(split.train)
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    note: str = "",
+) -> str:
+    """Fixed-width table matching the series the paper's figure plots."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[c])), *(len(r[c]) for r in str_rows)) if str_rows else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.append(f"   note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def report(name: str, table: str, payload: Dict) -> None:
+    """Queue *table* for the terminal summary and persist *payload*."""
+    _REPORTS.append(table)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    with open(RESULTS_DIR / f"{name}.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=_jsonify)
+
+
+def _jsonify(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot serialize {type(value)!r}")
+
+
+def drain_reports() -> List[str]:
+    """Hand queued report tables to the conftest summary hook."""
+    queued = list(_REPORTS)
+    _REPORTS.clear()
+    return queued
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    Accuracy sweeps are too expensive to repeat; one round still records
+    the wall time in the benchmark table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,209 @@
+"""Ablations of this reproduction's design choices (extensions beyond the
+paper's figures; see DESIGN.md Sec. 5's extension rows).
+
+* **bias terms** — the paper elides popularity biases "for simplicity of
+  exposition"; we keep them.  How much do they matter, for MF and for TF?
+* **negative pool** — the paper samples negatives from the whole item
+  universe.  On a small universe this systematically buries cold items
+  (they are *only* ever sampled as negatives); restricting negatives to
+  purchased items restores the paper's "new items rank by their category"
+  behaviour.  This quantifies the EXPERIMENTS.md note on Fig. 7(c).
+* **sibling ratio** — Sec. 4.2 mixes sibling examples with random ones but
+  does not say in what proportion; sweep it.
+* **decay scale α** — Eq. 3's exponential decay weight.
+"""
+
+from _harness import (
+    DEFAULT_FACTORS,
+    STRICT,
+    bench_split,
+    format_table,
+    report,
+    run_once,
+    trained_model,
+)
+
+from repro.eval.protocol import evaluate_cold_start, evaluate_model
+
+
+def test_ablation_bias_terms(benchmark):
+    split = bench_split()
+
+    def experiment():
+        out = {}
+        for levels in (1, 4):
+            for use_bias in (True, False):
+                model = trained_model(levels, 0, use_bias=use_bias)
+                out[(levels, use_bias)] = evaluate_model(model, split).auc
+        return out
+
+    aucs = run_once(benchmark, experiment)
+    rows = [
+        ("MF(0)", aucs[(1, False)], aucs[(1, True)]),
+        ("TF(4,0)", aucs[(4, False)], aucs[(4, True)]),
+    ]
+    table = format_table(
+        "Ablation: hierarchical popularity bias terms (AUC)",
+        ["model", "no bias", "bias"],
+        rows,
+        note="bias carries the popularity signal BPR otherwise learns slowly",
+    )
+    report(
+        "ablation_bias",
+        table,
+        {f"{levels}_{use_bias}": auc for (levels, use_bias), auc in aucs.items()},
+    )
+    if STRICT:
+        assert aucs[(1, True)] > aucs[(1, False)] - 0.02
+        # TF's taxonomy already encodes category popularity, so its bias
+        # dependence must be weaker than MF's.
+        mf_gain = aucs[(1, True)] - aucs[(1, False)]
+        tf_gain = aucs[(4, True)] - aucs[(4, False)]
+        assert tf_gain < mf_gain + 0.02
+
+
+def test_ablation_negative_pool_cold_start(benchmark):
+    split = bench_split()
+
+    def experiment():
+        out = {}
+        for levels in (1, 4):
+            for pool in ("all", "purchased"):
+                model = trained_model(levels, 0, negative_pool=pool)
+                out[(levels, pool)] = (
+                    evaluate_model(model, split).auc,
+                    evaluate_cold_start(model, split).score,
+                )
+        return out
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        (
+            "MF(0)" if levels == 1 else "TF(4,0)",
+            pool,
+            auc,
+            cold,
+        )
+        for (levels, pool), (auc, cold) in sorted(results.items())
+    ]
+    table = format_table(
+        "Ablation: negative-sampling pool (AUC / cold-start score)",
+        ["model", "pool", "AUC", "cold-start"],
+        rows,
+        note=(
+            "pool='all' buries never-purchased items on small universes; "
+            "pool='purchased' leaves them at their category prior"
+        ),
+    )
+    report(
+        "ablation_negative_pool",
+        table,
+        {
+            f"{levels}_{pool}": {"auc": auc, "cold": cold}
+            for (levels, pool), (auc, cold) in results.items()
+        },
+    )
+    if STRICT:
+        # The purchased-only pool must rescue MF's cold-start behaviour.
+        assert results[(1, "purchased")][1] > results[(1, "all")][1]
+        # TF beats MF on cold start under either pool.
+        for pool in ("all", "purchased"):
+            assert results[(4, pool)][1] > results[(1, pool)][1]
+
+
+def test_ablation_sibling_ratio(benchmark):
+    from _harness import EARLY_EPOCHS
+
+    split = bench_split()
+    ratios = (0.0, 0.25, 0.5, 1.0)
+
+    def experiment():
+        return {
+            ratio: evaluate_model(
+                trained_model(4, 0, sibling=ratio, epochs=EARLY_EPOCHS), split
+            ).auc
+            for ratio in ratios
+        }
+
+    aucs = run_once(benchmark, experiment)
+    rows = [(ratio, aucs[ratio]) for ratio in ratios]
+    table = format_table(
+        f"Ablation: sibling-training mixing ratio (TF(4,0) AUC, "
+        f"{EARLY_EPOCHS} epochs)",
+        ["sibling_ratio", "AUC"],
+        rows,
+        note="Sec. 4.2 mixes sibling and random sampling; the paper does "
+        "not publish the ratio",
+    )
+    report("ablation_sibling_ratio", table, {str(r): a for r, a in aucs.items()})
+    if STRICT:
+        assert max(aucs.values()) >= aucs[0.0]
+
+
+def test_ablation_sibling_min_level(benchmark):
+    """Item-level sibling negatives (the paper's Fig. 3 includes them) vs
+    category-level only.  On a small item universe, an item's siblings are
+    frequently the user's *future* purchases, so item-level sibling
+    examples backfire — the reason this library defaults to
+    ``sibling_min_level = 1``."""
+    from _harness import EARLY_EPOCHS
+
+    import dataclasses
+
+    from repro import TaxonomyFactorModel
+    from _harness import bench_dataset, _train_config
+
+    split = bench_split()
+    data = bench_dataset()
+
+    def experiment():
+        out = {}
+        for min_level in (0, 1):
+            config = dataclasses.replace(
+                _train_config(DEFAULT_FACTORS, 4, 0, 0.5, epochs=EARLY_EPOCHS),
+                sibling_min_level=min_level,
+            )
+            model = TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+            out[min_level] = evaluate_model(model, split).auc
+        return out
+
+    aucs = run_once(benchmark, experiment)
+    rows = [
+        ("items and categories (paper Fig. 3)", aucs[0]),
+        ("categories only (library default)", aucs[1]),
+    ]
+    table = format_table(
+        "Ablation: lowest sibling-example level (TF(4,0) AUC)",
+        ["sibling examples from", "AUC"],
+        rows,
+        note="item-level sibling negatives collide with future purchases "
+        "on small leaf categories",
+    )
+    report("ablation_sibling_min_level", table, {str(k): v for k, v in aucs.items()})
+
+
+def test_ablation_decay_alpha(benchmark):
+    split = bench_split()
+    alphas = (0.25, 1.0, 2.0)
+
+    def experiment():
+        return {
+            alpha: evaluate_model(
+                trained_model(4, 2, alpha=alpha), split
+            ).auc
+            for alpha in alphas
+        }
+
+    aucs = run_once(benchmark, experiment)
+    rows = [(alpha, aucs[alpha]) for alpha in alphas]
+    table = format_table(
+        "Ablation: Eq. 3 decay scale alpha (TF(4,2) AUC)",
+        ["alpha", "AUC"],
+        rows,
+        note="alpha scales the short-term term against the long-term term",
+    )
+    report("ablation_decay_alpha", table, {str(a): v for a, v in aucs.items()})
+    baseline = evaluate_model(trained_model(4, 0), split).auc
+    if STRICT:
+        # With a sensible alpha the Markov term must not hurt.
+        assert max(aucs.values()) > baseline - 0.01

@@ -1,0 +1,116 @@
+"""Figure 8(c,d) — cascaded-inference accuracy/efficiency trade-off.
+
+Paper (Sec. 7.5): sweeping the per-level keep-percentage K, (c) varying all
+of k1,k2,k3 together reaches ~80% of the full accuracy at ~50% of the
+computation, with a non-monotone accuracy curve; (d) holding k1=k2=100% and
+varying only k3 gives a monotonically increasing accuracy curve.
+"""
+
+import numpy as np
+from _harness import (
+    QUICK,
+    STRICT,
+    bench_split,
+    format_table,
+    report,
+    run_once,
+    trained_model,
+)
+
+from repro.eval.protocol import evaluate_cascade
+from repro.utils.config import CascadeConfig
+
+PERCENTS = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+
+def _sweep(make_config, users):
+    split = bench_split()
+    model = trained_model(4, 0)
+    out = {}
+    for pct in PERCENTS:
+        fraction = pct / 100.0
+        result = evaluate_cascade(
+            model, split, make_config(fraction), users=users
+        )
+        out[pct] = result
+    return out
+
+
+def _users():
+    split = bench_split()
+    count = 80 if QUICK else 250
+    return split.test_users()[:count]
+
+
+def test_fig8c_uniform_cascade_tradeoff(benchmark):
+    def experiment():
+        return _sweep(
+            lambda f: CascadeConfig(keep_fractions=(f, f, f)), _users()
+        )
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        (pct, r.accuracy_ratio, r.work_ratio, r.time_ratio)
+        for pct, r in sorted(results.items())
+    ]
+    table = format_table(
+        "Fig 8(c): cascaded inference — vary k1=k2=k3 together",
+        ["K%", "accuracy ratio", "work ratio", "time ratio"],
+        rows,
+        note="paper shape: ~80% accuracy at ~50% of the computation",
+    )
+    report(
+        "fig8c",
+        table,
+        {
+            str(pct): {
+                "accuracy_ratio": r.accuracy_ratio,
+                "work_ratio": r.work_ratio,
+                "time_ratio": r.time_ratio,
+            }
+            for pct, r in results.items()
+        },
+    )
+    if STRICT:
+        # Paper's headline: high accuracy share at roughly half the work.
+        half_work = [r for r in results.values() if r.work_ratio <= 0.55]
+        assert max(r.accuracy_ratio for r in half_work) > 0.8
+    assert results[100].accuracy_ratio > 0.999
+
+
+def test_fig8d_leaf_only_cascade_tradeoff(benchmark):
+    def experiment():
+        return _sweep(
+            lambda f: CascadeConfig(keep_fractions=(1.0, 1.0, f)), _users()
+        )
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        (pct, r.accuracy_ratio, r.work_ratio, r.time_ratio)
+        for pct, r in sorted(results.items())
+    ]
+    table = format_table(
+        "Fig 8(d): cascaded inference — k1=k2=100%, vary k3",
+        ["K%", "accuracy ratio", "work ratio", "time ratio"],
+        rows,
+        note="paper shape: accuracy increases monotonically with k3",
+    )
+    report(
+        "fig8d",
+        table,
+        {
+            str(pct): {
+                "accuracy_ratio": r.accuracy_ratio,
+                "work_ratio": r.work_ratio,
+                "time_ratio": r.time_ratio,
+            }
+            for pct, r in results.items()
+        },
+    )
+    ratios = [results[pct].accuracy_ratio for pct in PERCENTS]
+    if STRICT:
+        # Monotone within a small noise tolerance.
+        for earlier, later in zip(ratios, ratios[1:]):
+            assert later >= earlier - 0.03
+        assert ratios[0] < ratios[-1]
+    assert ratios[-1] > 0.999

@@ -1,0 +1,120 @@
+"""Core-operation throughput (proper multi-round pytest benchmarks).
+
+Unlike the figure benches (one-shot accuracy sweeps), these measure the
+library's hot paths repeatedly: SGD epochs, exact vs. cascaded scoring,
+context construction, and fold-in.  Regressions here are performance bugs
+even when every figure still reproduces.
+"""
+
+import numpy as np
+import pytest
+from _harness import QUICK, bench_dataset, bench_split
+
+from repro.core.cascade import uniform_cascade
+from repro.core.factors import FactorSet
+from repro.core.folding import fold_in_user
+from repro.core.sgd import SGDTrainer
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.utils.config import TrainConfig
+
+ROUNDS = 3 if QUICK else 5
+
+
+@pytest.fixture(scope="module")
+def data():
+    return bench_dataset()
+
+
+@pytest.fixture(scope="module")
+def split():
+    return bench_split()
+
+
+@pytest.fixture(scope="module")
+def tf_model(data, split):
+    config = TrainConfig(factors=16, epochs=4, taxonomy_levels=4, seed=0)
+    return TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+
+
+def _trainer(data, split, levels, markov, sibling=0.0):
+    config = TrainConfig(
+        factors=16,
+        epochs=1,
+        taxonomy_levels=levels,
+        markov_order=markov,
+        sibling_ratio=sibling,
+        seed=0,
+    )
+    fs = FactorSet(
+        split.train.n_users,
+        data.taxonomy,
+        16,
+        levels,
+        with_next=markov > 0,
+        seed=0,
+    )
+    return SGDTrainer(fs, split.train, config)
+
+
+class TestTrainingThroughput:
+    def test_epoch_mf(self, benchmark, data, split):
+        trainer = _trainer(data, split, levels=1, markov=0)
+        stats = benchmark.pedantic(
+            trainer._run_epoch, args=(0,), rounds=ROUNDS, iterations=1
+        )
+        assert stats.n_examples == split.train.n_purchases
+
+    def test_epoch_tf(self, benchmark, data, split):
+        trainer = _trainer(data, split, levels=4, markov=0)
+        stats = benchmark.pedantic(
+            trainer._run_epoch, args=(0,), rounds=ROUNDS, iterations=1
+        )
+        assert stats.n_examples == split.train.n_purchases
+
+    def test_epoch_tf_sibling(self, benchmark, data, split):
+        trainer = _trainer(data, split, levels=4, markov=0, sibling=0.5)
+        stats = benchmark.pedantic(
+            trainer._run_epoch, args=(0,), rounds=ROUNDS, iterations=1
+        )
+        assert stats.n_sibling_examples > 0
+
+    def test_epoch_tf_markov(self, benchmark, data, split):
+        trainer = _trainer(data, split, levels=4, markov=1)
+        stats = benchmark.pedantic(
+            trainer._run_epoch, args=(0,), rounds=ROUNDS, iterations=1
+        )
+        assert stats.n_examples == split.train.n_purchases
+
+
+class TestInferenceThroughput:
+    def test_exact_score_matrix_100_users(self, benchmark, tf_model):
+        users = np.arange(100)
+        scores = benchmark.pedantic(
+            tf_model.score_matrix, args=(users,), rounds=ROUNDS, iterations=1
+        )
+        assert scores.shape == (100, tf_model.n_items)
+
+    def test_cascade_rank_one_user(self, benchmark, tf_model):
+        cascade = uniform_cascade(tf_model, 0.3)
+        result = benchmark.pedantic(
+            cascade.rank, args=(0,), rounds=ROUNDS, iterations=3
+        )
+        assert result.nodes_scored < tf_model.n_items
+
+    def test_recommend_top10(self, benchmark, tf_model):
+        top = benchmark.pedantic(
+            tf_model.recommend, args=(0,), kwargs={"k": 10},
+            rounds=ROUNDS, iterations=3,
+        )
+        assert top.size == 10
+
+    def test_fold_in_new_user(self, benchmark, tf_model, data):
+        history = [data.log.basket(0, 0)]
+        vector = benchmark.pedantic(
+            fold_in_user,
+            args=(tf_model, history),
+            kwargs={"steps": 100, "seed": 0},
+            rounds=ROUNDS,
+            iterations=1,
+        )
+        assert vector.shape == (16,)

@@ -1,0 +1,25 @@
+"""Benchmark-suite conftest: prints the queued paper-shape tables.
+
+pytest captures stdout during tests, so the figure tables produced by the
+benches are queued in the harness and emitted here, in the terminal
+summary, where they are always visible (and therefore land in
+``bench_output.txt`` when the suite is run under ``tee``).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import drain_reports  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter):
+    reports = drain_reports()
+    if not reports:
+        return
+    terminalreporter.write_sep("=", "paper-shape results (also in benchmarks/results/)")
+    for table in reports:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)

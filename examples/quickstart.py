@@ -1,0 +1,77 @@
+"""Quickstart: train a taxonomy-aware recommender and make recommendations.
+
+This walks the whole public API in ~60 lines:
+
+1. generate a synthetic purchase log over a product taxonomy,
+2. split it temporally per user (the paper's protocol),
+3. train the TF model and the MF baseline,
+4. compare AUC / mean rank,
+5. produce top-k recommendations for one user.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    MFModel,
+    SyntheticConfig,
+    TaxonomyFactorModel,
+    TrainConfig,
+    evaluate_model,
+    generate_dataset,
+    train_test_split,
+)
+
+
+def main() -> None:
+    # 1. A laptop-scale dataset with the paper's statistical shape:
+    #    sparse users, heavy-tailed item popularity, taxonomy-correlated
+    #    co-purchases.
+    data = generate_dataset(
+        SyntheticConfig(n_users=2000, mean_transactions=3.0, seed=7)
+    )
+    print(f"dataset:  {data.log}")
+    print(f"taxonomy: {data.taxonomy}")
+
+    # 2. Per-user temporal split: ~50% of each user's transactions train
+    #    the model; later transactions are held out for evaluation.
+    split = train_test_split(data.log, mu=0.5, seed=0)
+    print(
+        f"split:    {split.train.n_purchases} train purchases / "
+        f"{split.test.n_purchases} test purchases"
+    )
+
+    # 3. Train TF(4,0) — full taxonomy, no Markov term — and MF(0).
+    config = TrainConfig(factors=20, epochs=10, sibling_ratio=0.5, seed=0)
+    tf = TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+    mf = MFModel(data.taxonomy, config).fit(split.train)
+
+    # 4. Evaluate with the paper's protocol (predict the first test
+    #    transaction of every user, AUC over all items).
+    for name, model in [("MF(0)", mf), ("TF(4,0)", tf)]:
+        result = evaluate_model(model, split)
+        print(
+            f"{name:8s} AUC={result.auc:.4f}  "
+            f"meanRank={result.mean_rank:.1f}  ({result.n_users} users)"
+        )
+
+    # 5. Recommend: top-5 new items for user 0, with category names.
+    user = 0
+    top = tf.recommend(user, k=5)
+    print(f"\ntop-5 recommendations for user {user}:")
+    taxonomy = data.taxonomy
+    for item in top:
+        node = taxonomy.node_of_item(int(item))
+        category = taxonomy.name_of(int(taxonomy.parent[node]))
+        print(f"  item {int(item):5d}  (category {category})")
+
+    # Bonus: recommend at the category level — structured ranking the flat
+    # MF model cannot produce.
+    scores = tf.category_scores(user, level=1)
+    best = scores.argsort()[::-1][:3]
+    names = [taxonomy.name_of(int(n)) for n in taxonomy.nodes_at_level(1)[best]]
+    print(f"top-3 categories for user {user}: {names}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Short-term dynamics: "bought a camera → recommend a flash card".
+
+Sec. 1/3.2 of the paper: purchases are driven by long-term interests *and*
+short-term context.  TF(U,B) with B > 0 adds a k-order Markov term — the
+next-item factors of the last B transactions shift the ranking.
+
+This example:
+1. trains TF(4,0) (long-term only) and TF(4,2) (2nd-order Markov),
+2. shows how TF(4,2)'s recommendations change with the recent basket while
+   TF(4,0)'s do not,
+3. verifies the planted transition structure is picked up: after buying in
+   a category, the model promotes items from the categories the generator
+   wired as "related".
+
+Run:
+    python examples/temporal_recommendations.py
+"""
+
+import numpy as np
+
+from repro import (
+    SyntheticConfig,
+    TaxonomyFactorModel,
+    TrainConfig,
+    evaluate_model,
+    generate_dataset,
+    train_test_split,
+)
+
+
+def category_share(data, items, related):
+    """Fraction of *items* that fall in the *related* category set."""
+    if len(items) == 0:
+        return 0.0
+    hits = sum(1 for i in items if int(data.leaf_of_item[i]) in related)
+    return hits / len(items)
+
+
+def main() -> None:
+    # Strong transition structure so the effect is visible.
+    data = generate_dataset(
+        SyntheticConfig(
+            n_users=2500,
+            mean_transactions=4.0,
+            transition_strength=0.7,
+            seed=21,
+        )
+    )
+    split = train_test_split(data.log, mu=0.5, seed=5)
+
+    base = TrainConfig(factors=20, epochs=10, sibling_ratio=0.5, seed=0)
+    long_term = TaxonomyFactorModel(data.taxonomy, base).fit(split.train)
+    markov = TaxonomyFactorModel(data.taxonomy, base, markov_order=2).fit(
+        split.train
+    )
+
+    for name, model in [("TF(4,0)", long_term), ("TF(4,2)", markov)]:
+        result = evaluate_model(model, split)
+        print(f"{name:8s} AUC={result.auc:.4f} meanRank={result.mean_rank:.1f}")
+
+    # Pick a category and its planted "related" categories.
+    source = next(iter(data.transition_kernel))
+    related = {int(x) for x in data.transition_kernel[source]}
+    source_items = np.flatnonzero(data.leaf_of_item == source)
+    print(
+        f"\nafter a purchase in {data.taxonomy.name_of(source)}, the "
+        f"generator wires transitions into "
+        f"{[data.taxonomy.name_of(r) for r in sorted(related)]}"
+    )
+
+    # Recommendations for the same user with and without that context.
+    user = 0
+    history = [source_items[:2]]  # "just bought two items there"
+    k = 20
+    for name, model in [("TF(4,0)", long_term), ("TF(4,2)", markov)]:
+        no_ctx = model.recommend(user, k=k, history=[], exclude_purchased=False)
+        with_ctx = model.recommend(
+            user, k=k, history=history, exclude_purchased=False
+        )
+        moved = np.setdiff1d(with_ctx, no_ctx).size
+        share_before = category_share(data, no_ctx, related | {source})
+        share_after = category_share(data, with_ctx, related | {source})
+        print(
+            f"{name:8s} top-{k} changed by {moved:2d} items with context; "
+            f"share in source+related categories: "
+            f"{share_before:.2f} -> {share_after:.2f}"
+        )
+    print(
+        "\nexpected: TF(4,0) is context-blind (0 changes); TF(4,2) shifts "
+        "its list toward the related categories."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""repro — taxonomy-aware latent factor models for purchase prediction.
+
+A faithful, laptop-scale reproduction of *"Supercharging Recommender
+Systems using Taxonomies for Learning User Purchase Behavior"*
+(Kanagal et al., PVLDB 5(10), 2012).
+
+Quickstart
+----------
+>>> from repro import (
+...     SyntheticConfig, generate_dataset, train_test_split,
+...     TaxonomyFactorModel, evaluate_model,
+... )
+>>> data = generate_dataset(SyntheticConfig(n_users=500, seed=0))
+>>> split = train_test_split(data.log, mu=0.5, seed=0)
+>>> model = TaxonomyFactorModel(data.taxonomy, epochs=5, seed=0)
+>>> model.fit(split.train)                            # doctest: +ELLIPSIS
+TaxonomyFactorModel(...)
+>>> result = evaluate_model(model, split)
+>>> 0.0 <= result.auc <= 1.0
+True
+
+Package layout
+--------------
+``repro.core``
+    The TF model (``TaxonomyFactorModel``), baselines (``MFModel``, FPMC,
+    popularity/random), BPR/SGD training, sibling-based training, and
+    cascaded inference.
+``repro.taxonomy``
+    The category tree: construction, generation, serialization.
+``repro.data``
+    Transaction logs, the synthetic purchase-log generator, train/test
+    splitting, dataset statistics, Amazon-format loaders.
+``repro.eval``
+    Ranking metrics and the paper's evaluation protocol.
+``repro.parallel``
+    Lock-based threaded SGD, thread-local factor caches, and the
+    multi-core scaling model.
+``repro.viz``
+    t-SNE / PCA projections of the learned factors.
+"""
+
+from repro.core.cascade import CascadedRecommender, CascadeResult
+from repro.core.explain import ScoreExplanation, explain_recommendations, explain_score
+from repro.core.folding import fold_in_user, recommend_for_history, score_for_vector
+from repro.core.mf_model import MFModel, bpr_mf_model, flat_taxonomy, fpmc_model
+from repro.core.popularity import PopularityModel, RandomModel
+from repro.core.targeting import audience_for_category, diversified_recommend
+from repro.core.tf_model import NotFittedError, TaxonomyFactorModel
+from repro.eval.model_selection import GridSearchResult, grid_search
+from repro.eval.significance import compare_models, paired_bootstrap, sign_test
+from repro.taxonomy.extend import add_items
+from repro.data.split import TrainTestSplit, train_test_split
+from repro.data.synthetic import SyntheticDataset, generate_dataset
+from repro.data.transactions import TransactionLog
+from repro.eval.protocol import (
+    CascadeEvalResult,
+    ColdStartResult,
+    EvalResult,
+    evaluate_cascade,
+    evaluate_category_level,
+    evaluate_cold_start,
+    evaluate_model,
+    evaluate_parallel,
+)
+from repro.taxonomy.tree import Taxonomy, TaxonomyError
+from repro.utils.config import CascadeConfig, SyntheticConfig, TrainConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Models
+    "TaxonomyFactorModel",
+    "MFModel",
+    "fpmc_model",
+    "bpr_mf_model",
+    "PopularityModel",
+    "RandomModel",
+    "NotFittedError",
+    # Inference
+    "CascadedRecommender",
+    "CascadeResult",
+    "ScoreExplanation",
+    "explain_score",
+    "explain_recommendations",
+    "fold_in_user",
+    "score_for_vector",
+    "recommend_for_history",
+    "audience_for_category",
+    "diversified_recommend",
+    # Taxonomy
+    "Taxonomy",
+    "TaxonomyError",
+    "flat_taxonomy",
+    "add_items",
+    # Data
+    "TransactionLog",
+    "SyntheticDataset",
+    "generate_dataset",
+    "TrainTestSplit",
+    "train_test_split",
+    # Evaluation
+    "EvalResult",
+    "ColdStartResult",
+    "CascadeEvalResult",
+    "evaluate_model",
+    "evaluate_category_level",
+    "evaluate_cold_start",
+    "evaluate_cascade",
+    "evaluate_parallel",
+    "grid_search",
+    "GridSearchResult",
+    "paired_bootstrap",
+    "sign_test",
+    "compare_models",
+    # Configuration
+    "TrainConfig",
+    "CascadeConfig",
+    "SyntheticConfig",
+]

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the end-to-end workflow on files:
+
+* ``generate`` — write a synthetic taxonomy + purchase log,
+* ``train`` — fit a TF/MF model on a log and save the factors,
+* ``evaluate`` — score a trained model with the paper's protocol,
+* ``recommend`` — print top-k items for a user,
+* ``stats`` — dataset characteristics (the Fig. 5 quantities).
+
+Example session::
+
+    python -m repro generate --users 2000 --out-dir /tmp/shop
+    python -m repro train    --data-dir /tmp/shop --model /tmp/shop/tf.npz
+    python -m repro evaluate --data-dir /tmp/shop --model /tmp/shop/tf.npz
+    python -m repro recommend --data-dir /tmp/shop --model /tmp/shop/tf.npz --user 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.factors import FactorSet
+from repro.core.mf_model import MFModel
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.data.split import train_test_split
+from repro.data.stats import summarize
+from repro.data.synthetic import generate_dataset
+from repro.data.transactions import TransactionLog
+from repro.eval.protocol import evaluate_cold_start, evaluate_model
+from repro.taxonomy.io import load_taxonomy, save_taxonomy
+from repro.utils.config import SyntheticConfig, TrainConfig
+
+TAXONOMY_FILE = "taxonomy.json"
+LOG_FILE = "transactions.jsonl"
+
+
+def _data_paths(data_dir: str) -> tuple:
+    directory = Path(data_dir)
+    return directory / TAXONOMY_FILE, directory / LOG_FILE
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = SyntheticConfig(
+        n_users=args.users,
+        mean_transactions=args.transactions,
+        seed=args.seed,
+    )
+    data = generate_dataset(config)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    taxonomy_path, log_path = _data_paths(args.out_dir)
+    save_taxonomy(data.taxonomy, taxonomy_path)
+    data.log.save(log_path)
+    print(f"wrote {taxonomy_path} ({data.taxonomy})")
+    print(f"wrote {log_path} ({data.log})")
+    return 0
+
+
+def _load_data(data_dir: str):
+    taxonomy_path, log_path = _data_paths(data_dir)
+    if not taxonomy_path.exists() or not log_path.exists():
+        raise SystemExit(
+            f"missing {TAXONOMY_FILE} / {LOG_FILE} in {data_dir} "
+            f"(run `python -m repro generate` first)"
+        )
+    return load_taxonomy(taxonomy_path), TransactionLog.load(log_path)
+
+
+def _build_model(taxonomy, args) -> TaxonomyFactorModel:
+    config = TrainConfig(
+        factors=args.factors,
+        epochs=args.epochs,
+        learning_rate=args.learning_rate,
+        reg=args.reg,
+        taxonomy_levels=args.levels,
+        markov_order=args.markov,
+        sibling_ratio=args.sibling,
+        seed=args.seed,
+    )
+    if args.levels == 1:
+        return MFModel(taxonomy, config)
+    return TaxonomyFactorModel(taxonomy, config)
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    taxonomy, log = _load_data(args.data_dir)
+    split = train_test_split(log, mu=args.mu, seed=args.seed)
+    model = _build_model(taxonomy, args)
+    model.fit(split.train, callback=lambda s, _t: print(f"  {s}"))
+    model.factor_set.save(args.model)
+    meta = {
+        "levels": args.levels,
+        "markov": args.markov,
+        "mu": args.mu,
+        "seed": args.seed,
+    }
+    Path(str(args.model) + ".meta.json").write_text(json.dumps(meta))
+    print(f"wrote {args.model}")
+    return 0
+
+
+def _load_model(args) -> tuple:
+    taxonomy, log = _load_data(args.data_dir)
+    meta_path = Path(str(args.model) + ".meta.json")
+    meta = json.loads(meta_path.read_text()) if meta_path.exists() else {}
+    split = train_test_split(
+        log, mu=meta.get("mu", 0.5), seed=meta.get("seed", 0)
+    )
+    config = TrainConfig(
+        taxonomy_levels=meta.get("levels", 4),
+        markov_order=meta.get("markov", 0),
+        seed=meta.get("seed", 0),
+    )
+    model = TaxonomyFactorModel(taxonomy, config)
+    model._factors = FactorSet.load(args.model, taxonomy)
+    model._train_log = split.train
+    return model, split
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    model, split = _load_model(args)
+    result = evaluate_model(model, split)
+    print(
+        f"AUC={result.auc:.4f} meanRank={result.mean_rank:.1f} "
+        f"({result.n_users} users)"
+    )
+    cold = evaluate_cold_start(model, split)
+    if cold.n_events:
+        print(
+            f"cold-start score={cold.score:.4f} over {cold.n_events} "
+            f"purchases of {cold.n_new_items} unseen items"
+        )
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    model, _split = _load_model(args)
+    if not 0 <= args.user < model.n_users:
+        raise SystemExit(f"user {args.user} out of range (0..{model.n_users - 1})")
+    taxonomy = model.taxonomy
+    for item in model.recommend(args.user, k=args.k):
+        node = taxonomy.node_of_item(int(item))
+        category = taxonomy.name_of(int(taxonomy.parent[node]))
+        print(f"item {int(item):6d}  category={category}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    _taxonomy, log = _load_data(args.data_dir)
+    for key, value in summarize(log).as_dict().items():
+        if isinstance(value, float):
+            print(f"{key:25s} {value:.3f}")
+        else:
+            print(f"{key:25s} {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Taxonomy-aware recommender (VLDB 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset")
+    gen.add_argument("--out-dir", required=True)
+    gen.add_argument("--users", type=int, default=2000)
+    gen.add_argument("--transactions", type=float, default=3.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=cmd_generate)
+
+    train = sub.add_parser("train", help="fit a model and save its factors")
+    train.add_argument("--data-dir", required=True)
+    train.add_argument("--model", required=True)
+    train.add_argument("--factors", type=int, default=20)
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--learning-rate", type=float, default=0.05)
+    train.add_argument("--reg", type=float, default=0.01)
+    train.add_argument("--levels", type=int, default=4,
+                       help="taxonomyUpdateLevels; 1 = MF baseline")
+    train.add_argument("--markov", type=int, default=0,
+                       help="maxPrevtransactions (Markov order)")
+    train.add_argument("--sibling", type=float, default=0.5)
+    train.add_argument("--mu", type=float, default=0.5)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(func=cmd_train)
+
+    ev = sub.add_parser("evaluate", help="paper-protocol evaluation")
+    ev.add_argument("--data-dir", required=True)
+    ev.add_argument("--model", required=True)
+    ev.set_defaults(func=cmd_evaluate)
+
+    rec = sub.add_parser("recommend", help="top-k items for one user")
+    rec.add_argument("--data-dir", required=True)
+    rec.add_argument("--model", required=True)
+    rec.add_argument("--user", type=int, required=True)
+    rec.add_argument("-k", type=int, default=10)
+    rec.set_defaults(func=cmd_recommend)
+
+    stats = sub.add_parser("stats", help="dataset characteristics (Fig. 5)")
+    stats.add_argument("--data-dir", required=True)
+    stats.set_defaults(func=cmd_stats)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Core models: the TF model, baselines, training, and cascaded inference."""
+
+from repro.core.affinity import (
+    ContextTable,
+    context_items_weights,
+    decay_weights,
+    score_items,
+    user_query_vector,
+)
+from repro.core.bpr import bpr_coefficient, bpr_pair_loss, log_sigmoid, sigmoid
+from repro.core.cascade import (
+    CascadedRecommender,
+    CascadeResult,
+    leaf_only_cascade,
+    uniform_cascade,
+)
+from repro.core.explain import (
+    ScoreExplanation,
+    explain_recommendations,
+    explain_score,
+)
+from repro.core.factors import KIND_LONG, KIND_NEXT, FactorSet
+from repro.core.folding import (
+    fold_in_user,
+    recommend_for_history,
+    score_for_vector,
+)
+from repro.core.mf_model import MFModel, bpr_mf_model, flat_taxonomy, fpmc_model
+from repro.core.popularity import PopularityModel, RandomModel
+from repro.core.sampling import TripleStore
+from repro.core.sgd import EpochStats, SGDTrainer
+from repro.core.sibling import SiblingSampler
+from repro.core.targeting import (
+    audience_for_category,
+    category_affinities,
+    category_share,
+    diversified_recommend,
+)
+from repro.core.tf_model import NotFittedError, TaxonomyFactorModel
+
+__all__ = [
+    "TaxonomyFactorModel",
+    "MFModel",
+    "fpmc_model",
+    "bpr_mf_model",
+    "flat_taxonomy",
+    "PopularityModel",
+    "RandomModel",
+    "NotFittedError",
+    "FactorSet",
+    "KIND_LONG",
+    "KIND_NEXT",
+    "SGDTrainer",
+    "EpochStats",
+    "TripleStore",
+    "SiblingSampler",
+    "ContextTable",
+    "context_items_weights",
+    "decay_weights",
+    "score_items",
+    "user_query_vector",
+    "sigmoid",
+    "log_sigmoid",
+    "bpr_coefficient",
+    "bpr_pair_loss",
+    "CascadedRecommender",
+    "CascadeResult",
+    "uniform_cascade",
+    "leaf_only_cascade",
+    "ScoreExplanation",
+    "explain_score",
+    "explain_recommendations",
+    "fold_in_user",
+    "score_for_vector",
+    "recommend_for_history",
+    "audience_for_category",
+    "category_affinities",
+    "category_share",
+    "diversified_recommend",
+]

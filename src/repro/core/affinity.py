@@ -1,0 +1,195 @@
+"""The taxonomy-aware temporal affinity model (paper Sec. 3.2, Eq. 2-3).
+
+The score of item ``j`` for user ``u`` at time ``t`` is
+
+    s_t(j) = ⟨v^U_u, v^I_j⟩ + Σ_{n=1..N} α_n/|B_{t−n}| Σ_{ℓ∈B_{t−n}} ⟨v^{I→•}_ℓ, v^I_j⟩
+
+with exponential decay ``α_n = α·e^{−n/N}``.  Because the second term is a
+linear function of ``v^I_j``, it collapses into a single *context vector*
+per ``(u, t)``:
+
+    ctx_{u,t} = Σ_n α_n/|B_{t−n}| Σ_ℓ v^{I→•}_ℓ        so        s_t(j) = ⟨v^U_u + ctx_{u,t}, v^I_j⟩
+
+:class:`ContextTable` precomputes, for every training transaction, which
+previous items contribute and with what weight; the actual context vectors
+are re-gathered from the live factor matrices each time (the factors move
+during SGD).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.factors import KIND_NEXT, FactorSet
+from repro.data.transactions import TransactionLog
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Cap on how many previous items feed one context (most recent win).
+DEFAULT_MAX_CONTEXT_ITEMS = 32
+
+
+def decay_weights(order: int, alpha: float = 1.0) -> np.ndarray:
+    """The paper's transaction-age weights ``α_n = α·e^{−n/N}``, n = 1..N."""
+    check_non_negative("order", order)
+    check_non_negative("alpha", alpha)
+    if order == 0:
+        return np.empty(0, dtype=np.float64)
+    n = np.arange(1, order + 1, dtype=np.float64)
+    return alpha * np.exp(-n / order)
+
+
+def context_items_weights(
+    history: Sequence[np.ndarray],
+    order: int,
+    alpha: float = 1.0,
+    max_items: int = DEFAULT_MAX_CONTEXT_ITEMS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Previous items and their weights for a prediction after *history*.
+
+    ``history`` is the user's ordered past baskets; the last ``order`` of
+    them contribute.  Each item of basket ``B_{t−n}`` gets weight
+    ``α_n / |B_{t−n}|``.  Returns ``(items, weights)`` 1-d arrays, truncated
+    to the *most recent* ``max_items`` entries.
+    """
+    alphas = decay_weights(order, alpha)
+    items: List[int] = []
+    weights: List[float] = []
+    used = min(order, len(history))
+    for n in range(1, used + 1):
+        basket = np.asarray(history[len(history) - n], dtype=np.int64)
+        if basket.size == 0:
+            continue
+        share = alphas[n - 1] / basket.size
+        items.extend(int(x) for x in basket)
+        weights.extend(share for _ in range(basket.size))
+        if len(items) >= max_items:
+            break
+    items_arr = np.asarray(items[:max_items], dtype=np.int64)
+    weights_arr = np.asarray(weights[:max_items], dtype=np.float64)
+    return items_arr, weights_arr
+
+
+class ContextTable:
+    """Per-(user, t) short-term context of a transaction log.
+
+    Row ``r = offsets[u] + t`` describes the context active when user ``u``
+    makes transaction ``t``: ``items[r]`` / ``weights[r]`` are the padded
+    previous items and their Eq. 3 weights (pad entries have weight 0 and
+    point at item 0, whose contribution the zero weight cancels).
+    """
+
+    def __init__(
+        self,
+        items: np.ndarray,
+        weights: np.ndarray,
+        offsets: np.ndarray,
+        order: int,
+        alpha: float,
+    ):
+        self.items = items
+        self.weights = weights
+        self.offsets = offsets
+        self.order = order
+        self.alpha = alpha
+
+    @classmethod
+    def build(
+        cls,
+        log: TransactionLog,
+        order: int,
+        alpha: float = 1.0,
+        max_items: int = DEFAULT_MAX_CONTEXT_ITEMS,
+    ) -> "ContextTable":
+        """Precompute contexts for every transaction of *log*."""
+        check_positive("order", order)
+        check_positive("max_items", max_items)
+        rows_items: List[np.ndarray] = []
+        rows_weights: List[np.ndarray] = []
+        offsets = np.zeros(log.n_users + 1, dtype=np.int64)
+        width = 0
+        for user in range(log.n_users):
+            baskets = log.user_transactions(user)
+            offsets[user + 1] = offsets[user] + len(baskets)
+            for t in range(len(baskets)):
+                items, weights = context_items_weights(
+                    baskets[:t], order, alpha, max_items
+                )
+                rows_items.append(items)
+                rows_weights.append(weights)
+                width = max(width, items.size)
+        width = max(width, 1)
+        n_rows = len(rows_items)
+        items = np.zeros((n_rows, width), dtype=np.int64)
+        weights = np.zeros((n_rows, width), dtype=np.float64)
+        for r, (row_i, row_w) in enumerate(zip(rows_items, rows_weights)):
+            items[r, : row_i.size] = row_i
+            weights[r, : row_w.size] = row_w
+        return cls(items, weights, offsets, order, alpha)
+
+    @property
+    def n_rows(self) -> int:
+        return self.items.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.items.shape[1]
+
+    def row(self, user: int, t: int) -> int:
+        """Row index of user *user*'s transaction *t*."""
+        return int(self.offsets[user] + t)
+
+    def rows(self, users: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`row`."""
+        return self.offsets[np.asarray(users, dtype=np.int64)] + np.asarray(
+            ts, dtype=np.int64
+        )
+
+    def context_vectors(
+        self, factor_set: FactorSet, rows: np.ndarray
+    ) -> np.ndarray:
+        """Context vectors ``ctx_{u,t}`` for the given table rows.
+
+        Shape ``(len(rows), K)``.  Gathers the *current* next-item factors,
+        so calling this during training reflects in-flight updates.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        prev_items = self.items[rows]  # (R, L)
+        prev_weights = self.weights[rows]  # (R, L)
+        eff = factor_set.effective_items(prev_items, kind=KIND_NEXT)  # (R, L, K)
+        return np.einsum("rl,rlk->rk", prev_weights, eff)
+
+
+def score_items(
+    factor_set: FactorSet,
+    user: int,
+    history: Optional[Sequence[np.ndarray]] = None,
+    order: int = 0,
+    alpha: float = 1.0,
+    items: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Affinity scores (Eq. 3) of one user for *items* (default: all).
+
+    ``history`` is the user's past baskets; only the last ``order`` matter.
+    """
+    query = user_query_vector(factor_set, user, history, order, alpha)
+    effective = factor_set.effective_items(items)
+    return effective @ query + factor_set.bias_of_items(items)
+
+
+def user_query_vector(
+    factor_set: FactorSet,
+    user: int,
+    history: Optional[Sequence[np.ndarray]] = None,
+    order: int = 0,
+    alpha: float = 1.0,
+) -> np.ndarray:
+    """``v^U_u + ctx`` — the vector every candidate is scored against."""
+    query = factor_set.user[user].copy()
+    if order > 0 and history:
+        items, weights = context_items_weights(history, order, alpha)
+        if items.size:
+            eff = factor_set.effective_items(items, kind=KIND_NEXT)
+            query += weights @ eff
+    return query

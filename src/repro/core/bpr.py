@@ -1,0 +1,44 @@
+"""Numerically stable pieces of the BPR objective (Sec. 2 / Sec. 4.1).
+
+BPR maximizes ``Σ ln σ(s(i) − s(j)) − λ‖Θ‖²`` over (positive, negative)
+pairs.  These helpers are shared by the serial trainer, the threaded
+trainer, and the tests that verify gradients by finite differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Logistic function ``1 / (1 + e^{-z})``, stable for large ``|z|``."""
+    z = np.asarray(z, dtype=np.float64)
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    ez = np.exp(z[~positive])
+    out[~positive] = ez / (1.0 + ez)
+    return out
+
+
+def log_sigmoid(z: np.ndarray) -> np.ndarray:
+    """``ln σ(z)`` computed without overflow: ``-log1p(exp(-z))`` piecewise."""
+    z = np.asarray(z, dtype=np.float64)
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = -np.log1p(np.exp(-z[positive]))
+    out[~positive] = z[~positive] - np.log1p(np.exp(z[~positive]))
+    return out
+
+
+def bpr_coefficient(score_diff: np.ndarray) -> np.ndarray:
+    """The paper's ``c = 1 − σ(s(i) − s(j))`` multiplier of every gradient."""
+    return 1.0 - sigmoid(score_diff)
+
+
+def bpr_pair_loss(score_diff: np.ndarray) -> float:
+    """Mean negative log-likelihood ``−ln σ(s(i) − s(j))`` of a pair batch."""
+    diffs = np.asarray(score_diff, dtype=np.float64)
+    if diffs.size == 0:
+        return 0.0
+    return float(-log_sigmoid(diffs).mean())

@@ -1,0 +1,182 @@
+"""Cascaded inference (paper Sec. 5.1, Fig. 4).
+
+Naive top-k inference scores every item — millions of dot products per
+user.  Cascaded inference walks the taxonomy top-down instead: score the
+top-level categories, keep the best ``k_1`` fraction, descend into their
+children, keep ``k_2``, and so on; only the items under the surviving
+lowest-level categories are ever scored.  This trades accuracy (a pruned
+subtree can hide a relevant item) for computation, which Fig. 8(c,d)
+quantifies.
+
+Work is measured in *scored nodes* — the count of affinity dot products —
+which is hardware-independent; wall-clock time is also reported.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.taxonomy.tree import ROOT, Taxonomy
+from repro.utils.config import CascadeConfig
+
+
+@dataclass
+class CascadeResult:
+    """Outcome of one cascaded ranking pass for one user."""
+
+    items: np.ndarray  # surviving items, best first
+    scores: np.ndarray  # their affinity scores (same order)
+    nodes_scored: int  # dot products spent (work measure)
+    frontier_sizes: List[int] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def top_k(self, k: int) -> np.ndarray:
+        """The best *k* surviving items."""
+        return self.items[:k]
+
+    def full_scores(self, n_items: int) -> np.ndarray:
+        """Scores over the whole item universe; pruned items get ``-inf``.
+
+        Feeding this into the AUC metric treats pruned items as tied at the
+        bottom of the ranking, which is how the accuracy-ratio curves of
+        Fig. 8(c,d) penalize over-aggressive pruning.
+        """
+        scores = np.full(n_items, -np.inf)
+        scores[self.items] = self.scores
+        return scores
+
+
+class CascadedRecommender:
+    """Taxonomy-pruned inference wrapper around a trained TF model.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.tf_model.TaxonomyFactorModel`.
+    config:
+        ``keep_fractions[d]`` is the paper's ``k_{d+1}``: the fraction of
+        *internal* nodes kept at depth ``d + 1``.  Items under surviving
+        lowest-level categories are always all scored (the paper prunes
+        categories, then ranks the remaining items).
+    """
+
+    def __init__(self, model: TaxonomyFactorModel, config: Optional[CascadeConfig] = None):
+        if config is None:
+            config = CascadeConfig()
+        self.model = model
+        self.config = config
+        self.taxonomy: Taxonomy = model.taxonomy
+
+    # ------------------------------------------------------------------
+    def rank(
+        self,
+        user: int,
+        history: Optional[Sequence[np.ndarray]] = None,
+    ) -> CascadeResult:
+        """Run the cascade for one user and rank the surviving items."""
+        started = time.perf_counter()
+        taxonomy = self.taxonomy
+        factor_set = self.model.factor_set
+        query = self.model.query_vector(user, history)
+
+        frontier = taxonomy.children(ROOT)
+        nodes_scored = 0
+        frontier_sizes: List[int] = []
+        survivors: List[np.ndarray] = []
+        survivor_scores: List[np.ndarray] = []
+        depth = 0
+        while frontier.size:
+            frontier_sizes.append(int(frontier.size))
+            scores = (
+                factor_set.effective_nodes(frontier) @ query
+                + factor_set.bias_of_nodes(frontier)
+            )
+            nodes_scored += int(frontier.size)
+
+            leaf_mask = taxonomy.items_of_nodes(frontier) >= 0
+            if leaf_mask.any():
+                survivors.append(taxonomy.items_of_nodes(frontier[leaf_mask]))
+                survivor_scores.append(scores[leaf_mask])
+            internal = frontier[~leaf_mask]
+            if internal.size == 0:
+                break
+            internal_scores = scores[~leaf_mask]
+
+            fraction = self._fraction_at(depth)
+            keep = max(
+                self.config.min_keep,
+                int(np.ceil(fraction * internal.size)),
+            )
+            keep = min(keep, internal.size)
+            top = np.argpartition(-internal_scores, keep - 1)[:keep]
+            kept = internal[top]
+            frontier = (
+                np.concatenate([taxonomy.children(int(v)) for v in kept])
+                if kept.size
+                else np.empty(0, dtype=np.int64)
+            )
+            depth += 1
+
+        if survivors:
+            items = np.concatenate(survivors)
+            scores = np.concatenate(survivor_scores)
+            order = np.argsort(-scores, kind="stable")
+            items = items[order]
+            scores = scores[order]
+        else:
+            items = np.empty(0, dtype=np.int64)
+            scores = np.empty(0, dtype=np.float64)
+        return CascadeResult(
+            items=items,
+            scores=scores,
+            nodes_scored=nodes_scored,
+            frontier_sizes=frontier_sizes,
+            seconds=time.perf_counter() - started,
+        )
+
+    def recommend(
+        self,
+        user: int,
+        k: int = 10,
+        history: Optional[Sequence[np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Top-*k* items through the cascade (cheap, possibly approximate)."""
+        return self.rank(user, history).top_k(k)
+
+    def naive_cost(self) -> int:
+        """Nodes a full (non-cascaded) ranking pass would score.
+
+        The exact method scores every item; expressing it in the same
+        unit makes ``nodes_scored / naive_cost()`` the paper's
+        "time ratio" x-axis analogue.
+        """
+        return self.taxonomy.n_items
+
+    # ------------------------------------------------------------------
+    def _fraction_at(self, depth: int) -> float:
+        fractions = self.config.keep_fractions
+        return fractions[min(depth, len(fractions) - 1)]
+
+
+def uniform_cascade(
+    model: TaxonomyFactorModel, fraction: float, levels: int = 3
+) -> CascadedRecommender:
+    """Cascade with the same keep-fraction at every internal level —
+    the sweep of Fig. 8(c)."""
+    return CascadedRecommender(
+        model, CascadeConfig(keep_fractions=(fraction,) * levels)
+    )
+
+
+def leaf_only_cascade(
+    model: TaxonomyFactorModel, fraction: float, levels: int = 3
+) -> CascadedRecommender:
+    """Cascade that keeps everything except at the lowest internal level —
+    the sweep of Fig. 8(d) (``k_1 = k_2 = 100%``, vary ``k_3``)."""
+    fractions = (1.0,) * (levels - 1) + (fraction,)
+    return CascadedRecommender(model, CascadeConfig(keep_fractions=fractions))

@@ -1,0 +1,290 @@
+"""Latent factor storage for the TF model (paper Sec. 3).
+
+A :class:`FactorSet` holds the three parameter families of Eq. 1-3:
+
+* ``user`` — ``v^U_u``, one row per user;
+* ``w`` — long-term offsets ``w^I_v``, one row per taxonomy node;
+* ``w_next`` — next-item offsets ``w^{I→•}_v``, one row per node
+  (allocated only when the Markov term is enabled);
+* ``bias`` — scalar popularity offsets per node.  The paper notes bias
+  terms exist in most latent factor models and elides them only "for
+  simplicity of exposition"; we keep them (hierarchically: an item's bias
+  is the sum along its chain, mirroring Eq. 1) because they carry the
+  popularity signal BPR otherwise learns very slowly.
+
+The *effective* factor of a node is the sum of ``w`` along its ancestor
+chain, truncated to the bottom ``levels`` entries (the paper's
+``taxonomyUpdateLevels``).  Chains are stored as padded index matrices; the
+pad row (index ``n_nodes``) is pinned to zero so vectorized gathers need no
+masking when *reading*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.taxonomy.tree import Taxonomy
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_in, check_positive
+
+#: Selector for the long-term (`w`) vs. next-item (`w_next`) family.
+KIND_LONG = "long"
+KIND_NEXT = "next"
+
+
+class FactorSet:
+    """Factor matrices plus the padded ancestor-index machinery.
+
+    Parameters
+    ----------
+    n_users:
+        Number of users (rows of ``user``).
+    taxonomy:
+        The item taxonomy; factors are allocated for every node plus one
+        zero pad row.
+    factors:
+        Latent dimensionality ``K``.
+    levels:
+        ``taxonomyUpdateLevels`` (``U``) — how many chain entries, counted
+        from the node itself upward, contribute to effective factors.
+        ``levels = 1`` reduces the model to a flat latent factor model.
+    with_next:
+        Allocate the ``w_next`` family (needed when ``markov_order > 0``).
+    init_scale:
+        Std-dev of the Gaussian initialization (the model's prior).
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        taxonomy: Taxonomy,
+        factors: int,
+        levels: int,
+        with_next: bool = True,
+        init_scale: float = 0.1,
+        seed: RngLike = None,
+    ):
+        check_positive("n_users", n_users)
+        check_positive("factors", factors)
+        check_positive("levels", levels)
+        check_positive("init_scale", init_scale)
+        rng = ensure_rng(seed)
+
+        self.taxonomy = taxonomy
+        self.n_users = int(n_users)
+        self.factors = int(factors)
+        self.levels = int(levels)
+        self.init_scale = float(init_scale)
+
+        n_rows = taxonomy.n_nodes + 1  # last row is the zero pad row
+        self.user = rng.normal(0.0, init_scale, size=(n_users, factors))
+        self.w = rng.normal(0.0, init_scale, size=(n_rows, factors))
+        self.w[-1] = 0.0
+        if with_next:
+            self.w_next: Optional[np.ndarray] = rng.normal(
+                0.0, init_scale, size=(n_rows, factors)
+            )
+            self.w_next[-1] = 0.0
+        else:
+            self.w_next = None
+        self.bias = np.zeros(n_rows, dtype=np.float64)
+
+        # Padded ancestor chains, truncated to `levels` columns.  Node rows
+        # are extended with one extra row (for the pad id) that chains to
+        # itself, so gathers through pad indices stay inside bounds.
+        chains = taxonomy.ancestor_matrix(levels)
+        pad_row = np.full((1, levels), taxonomy.pad_id, dtype=np.int64)
+        self.node_chains = np.concatenate([chains, pad_row], axis=0)
+        self.node_chains.flags.writeable = False
+        self.item_chains = self.node_chains[taxonomy.items]
+
+    # ------------------------------------------------------------------
+    # Effective factors (Eq. 1)
+    # ------------------------------------------------------------------
+    def _family(self, kind: str) -> np.ndarray:
+        check_in("kind", kind, (KIND_LONG, KIND_NEXT))
+        if kind == KIND_LONG:
+            return self.w
+        if self.w_next is None:
+            raise ValueError("this FactorSet was built without next-item factors")
+        return self.w_next
+
+    def effective_nodes(self, nodes: np.ndarray, kind: str = KIND_LONG) -> np.ndarray:
+        """Effective factors of arbitrary node ids (any array shape).
+
+        Output shape is ``nodes.shape + (factors,)``.
+        """
+        family = self._family(kind)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return family[self.node_chains[nodes]].sum(axis=-2)
+
+    def effective_items(
+        self, items: Optional[np.ndarray] = None, kind: str = KIND_LONG
+    ) -> np.ndarray:
+        """Effective factors of dense item indices (all items if ``None``)."""
+        family = self._family(kind)
+        if items is None:
+            return family[self.item_chains].sum(axis=-2)
+        items = np.asarray(items, dtype=np.int64)
+        return family[self.item_chains[items]].sum(axis=-2)
+
+    def bias_of_nodes(self, nodes: np.ndarray) -> np.ndarray:
+        """Summed chain bias of arbitrary node ids (any array shape)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self.bias[self.node_chains[nodes]].sum(axis=-1)
+
+    def bias_of_items(self, items: Optional[np.ndarray] = None) -> np.ndarray:
+        """Summed chain bias of dense item indices (all items if ``None``)."""
+        if items is None:
+            return self.bias[self.item_chains].sum(axis=-1)
+        items = np.asarray(items, dtype=np.int64)
+        return self.bias[self.item_chains[items]].sum(axis=-1)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def zero_pad_rows(self) -> None:
+        """Re-pin the pad rows to zero after scatter updates."""
+        self.w[-1] = 0.0
+        self.bias[-1] = 0.0
+        if self.w_next is not None:
+            self.w_next[-1] = 0.0
+
+    def squared_norm(self) -> float:
+        """``‖Θ‖²`` — the regularization term of Eq. 5."""
+        total = float(np.sum(self.user**2)) + float(np.sum(self.w**2))
+        total += float(np.sum(self.bias**2))
+        if self.w_next is not None:
+            total += float(np.sum(self.w_next**2))
+        return total
+
+    def ensure_users(self, n_users: int, seed: RngLike = 0) -> None:
+        """Grow the user matrix to at least *n_users* rows.
+
+        New users get fresh Gaussian factors; existing rows are untouched.
+        Supports incremental training when new users appear in a later log.
+        """
+        if n_users <= self.n_users:
+            return
+        rng = ensure_rng(seed)
+        extra = rng.normal(
+            0.0, self.init_scale, size=(n_users - self.n_users, self.factors)
+        )
+        self.user = np.concatenate([self.user, extra], axis=0)
+        self.n_users = int(n_users)
+
+    def expand(self, grown: Taxonomy, new_offset_scale: float = 0.0, seed: RngLike = 0) -> "FactorSet":
+        """Carry trained factors over to a grown taxonomy.
+
+        *grown* must extend this factor set's taxonomy without renumbering
+        (see :func:`repro.taxonomy.extend.add_items`).  New nodes start
+        with zero offsets and zero bias, so Eq. 1 scores a new item purely
+        by its ancestors — the paper's cold-start prescription.  Pass a
+        positive *new_offset_scale* to add Gaussian jitter instead.
+        """
+        old_n = self.taxonomy.n_nodes
+        if grown.n_nodes < old_n or not np.array_equal(
+            grown.parent[:old_n], self.taxonomy.parent
+        ):
+            raise ValueError(
+                "grown taxonomy must extend the current one without "
+                "renumbering existing nodes"
+            )
+        clone = FactorSet(
+            n_users=self.n_users,
+            taxonomy=grown,
+            factors=self.factors,
+            levels=self.levels,
+            with_next=self.w_next is not None,
+            init_scale=self.init_scale,
+            seed=seed,
+        )
+        clone.user = self.user.copy()
+        rng = ensure_rng(seed)
+
+        def carry(old: np.ndarray, new: np.ndarray) -> None:
+            new[:] = 0.0
+            new[:old_n] = old[:old_n]
+            if new_offset_scale > 0:
+                new[old_n:-1] = rng.normal(
+                    0.0, new_offset_scale, size=new[old_n:-1].shape
+                )
+
+        carry(self.w, clone.w)
+        carry(self.bias, clone.bias)
+        if self.w_next is not None:
+            carry(self.w_next, clone.w_next)
+        return clone
+
+    def copy(self) -> "FactorSet":
+        """Deep copy (used by tests and the threaded trainer)."""
+        clone = FactorSet.__new__(FactorSet)
+        clone.taxonomy = self.taxonomy
+        clone.n_users = self.n_users
+        clone.factors = self.factors
+        clone.levels = self.levels
+        clone.init_scale = self.init_scale
+        clone.user = self.user.copy()
+        clone.w = self.w.copy()
+        clone.bias = self.bias.copy()
+        clone.w_next = None if self.w_next is None else self.w_next.copy()
+        clone.node_chains = self.node_chains
+        clone.item_chains = self.item_chains
+        return clone
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the factor matrices (taxonomy is stored separately)."""
+        arrays = {
+            "user": self.user,
+            "w": self.w,
+            "bias": self.bias,
+            "levels": np.asarray([self.levels]),
+            "init_scale": np.asarray([self.init_scale]),
+        }
+        if self.w_next is not None:
+            arrays["w_next"] = self.w_next
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path, taxonomy: Taxonomy) -> "FactorSet":
+        """Restore a factor set saved with :meth:`save`.
+
+        The file must have been saved for a taxonomy of the same size;
+        loading against a mismatched tree is rejected rather than silently
+        mis-indexing factors.
+        """
+        data = np.load(path)
+        expected_rows = taxonomy.n_nodes + 1
+        if data["w"].shape[0] != expected_rows:
+            raise ValueError(
+                f"factor file has {data['w'].shape[0]} node rows but the "
+                f"taxonomy needs {expected_rows}; wrong taxonomy?"
+            )
+        levels = int(data["levels"][0])
+        loaded = cls(
+            n_users=data["user"].shape[0],
+            taxonomy=taxonomy,
+            factors=data["user"].shape[1],
+            levels=levels,
+            with_next="w_next" in data,
+            init_scale=float(data["init_scale"][0]),
+            seed=0,
+        )
+        loaded.user = data["user"]
+        loaded.w = data["w"]
+        loaded.bias = data["bias"]
+        if "w_next" in data:
+            loaded.w_next = data["w_next"]
+        return loaded
+
+    def __repr__(self) -> str:
+        next_shape = None if self.w_next is None else self.w_next.shape
+        return (
+            f"FactorSet(users={self.user.shape}, w={self.w.shape}, "
+            f"w_next={next_shape}, levels={self.levels})"
+        )

@@ -1,0 +1,90 @@
+"""Baseline models from Sec. 7.2, expressed as TF configurations.
+
+The paper's implementation "is generic, i.e., we can simulate a wide
+variety of previously proposed models":
+
+* ``MF(0)`` — BPR-trained latent factor model (``TF(1, 0)``),
+* ``MF(1)`` — FPMC, factorized personalized Markov chains of Rendle et al.
+  (``TF(1, 1)``), the state of the art the paper compares against,
+* ``MF(B)`` — higher-order variants.
+
+:class:`MFModel` pins ``taxonomy_levels = 1`` so only the item-level offset
+is ever used: with a single chain entry, the effective item factor *is* the
+item's own factor and the taxonomy plays no role, exactly like classic
+matrix factorization.  A flat single-level taxonomy built by
+:func:`flat_taxonomy` gives the same results without any tree at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.taxonomy.tree import Taxonomy
+from repro.utils.config import TrainConfig
+from repro.utils.validation import check_positive
+
+
+def flat_taxonomy(n_items: int) -> Taxonomy:
+    """A trivial root-plus-items taxonomy for taxonomy-free baselines."""
+    check_positive("n_items", n_items)
+    parent = np.zeros(n_items + 1, dtype=np.int64)
+    parent[0] = -1
+    names = ["<root>"] + [f"item-{i}" for i in range(n_items)]
+    return Taxonomy(parent, names=names)
+
+
+class MFModel(TaxonomyFactorModel):
+    """The paper's ``MF(B)`` baseline: BPR matrix factorization with an
+    optional order-``B`` Markov term and no taxonomy.
+
+    Parameters
+    ----------
+    taxonomy:
+        Only used to define the item universe; pass the same taxonomy as
+        the TF model for apples-to-apples comparisons, or a
+        :func:`flat_taxonomy`.
+    markov_order:
+        ``B``; ``0`` → classic BPR-MF, ``1`` → FPMC.
+    """
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        config: Optional[TrainConfig] = None,
+        **overrides,
+    ):
+        overrides["taxonomy_levels"] = 1
+        super().__init__(taxonomy, config, **overrides)
+
+    @classmethod
+    def from_n_items(
+        cls, n_items: int, config: Optional[TrainConfig] = None, **overrides
+    ) -> "MFModel":
+        """Build an MF model without any real taxonomy."""
+        return cls(flat_taxonomy(n_items), config, **overrides)
+
+    def __repr__(self) -> str:
+        fitted = self._factors is not None
+        return (
+            f"MFModel(B={self.config.markov_order}, "
+            f"K={self.config.factors}, fitted={fitted})"
+        )
+
+
+def fpmc_model(
+    taxonomy: Taxonomy, config: Optional[TrainConfig] = None, **overrides
+) -> MFModel:
+    """FPMC (Rendle et al., WWW 2010) ≡ ``MF(1)`` ≡ ``TF(1, 1)``."""
+    overrides.setdefault("markov_order", 1)
+    return MFModel(taxonomy, config, **overrides)
+
+
+def bpr_mf_model(
+    taxonomy: Taxonomy, config: Optional[TrainConfig] = None, **overrides
+) -> MFModel:
+    """Classic BPR matrix factorization ≡ ``MF(0)`` ≡ ``TF(1, 0)``."""
+    overrides["markov_order"] = 0
+    return MFModel(taxonomy, config, **overrides)

@@ -1,0 +1,87 @@
+"""Non-personalized baselines: popularity and random ranking.
+
+These are sanity anchors for the experiments: any trained model must beat
+random by a wide margin and popularity by a meaningful one before the
+taxonomy comparisons are interesting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.transactions import TransactionLog
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class PopularityModel:
+    """Rank items by global purchase count (ties broken by item id)."""
+
+    def __init__(self):
+        self._scores: Optional[np.ndarray] = None
+
+    def fit(self, log: TransactionLog) -> "PopularityModel":
+        counts = log.item_counts().astype(np.float64)
+        # An id-based epsilon makes the ranking total and deterministic.
+        jitter = np.arange(counts.size, dtype=np.float64) * 1e-9
+        self._scores = counts + jitter
+        return self
+
+    def score_items(
+        self,
+        user: int,
+        history: Optional[Sequence[np.ndarray]] = None,
+        items: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if self._scores is None:
+            raise RuntimeError("call fit() before scoring")
+        if items is None:
+            return self._scores.copy()
+        return self._scores[np.asarray(items, dtype=np.int64)]
+
+    def score_matrix(
+        self, users: np.ndarray, histories=None
+    ) -> np.ndarray:
+        if self._scores is None:
+            raise RuntimeError("call fit() before scoring")
+        return np.tile(self._scores, (len(users), 1))
+
+    def recommend(self, user: int, k: int = 10, **_ignored) -> np.ndarray:
+        scores = self.score_items(user)
+        k = min(k, scores.size)
+        top = np.argpartition(-scores, k - 1)[:k]
+        return top[np.argsort(-scores[top], kind="stable")]
+
+
+class RandomModel:
+    """Uniform random ranking — the floor every model must clear."""
+
+    def __init__(self, seed: RngLike = 0):
+        self._rng = ensure_rng(seed)
+        self._n_items: Optional[int] = None
+
+    def fit(self, log: TransactionLog) -> "RandomModel":
+        self._n_items = log.n_items
+        return self
+
+    def score_items(
+        self,
+        user: int,
+        history: Optional[Sequence[np.ndarray]] = None,
+        items: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if self._n_items is None:
+            raise RuntimeError("call fit() before scoring")
+        size = self._n_items if items is None else len(items)
+        return self._rng.random(size)
+
+    def score_matrix(self, users: np.ndarray, histories=None) -> np.ndarray:
+        if self._n_items is None:
+            raise RuntimeError("call fit() before scoring")
+        return self._rng.random((len(users), self._n_items))
+
+    def recommend(self, user: int, k: int = 10, **_ignored) -> np.ndarray:
+        scores = self.score_items(user)
+        k = min(k, scores.size)
+        return np.argsort(-scores)[:k]

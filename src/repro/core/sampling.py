@@ -1,0 +1,111 @@
+"""Sampling machinery for BPR training (paper Sec. 4.1).
+
+Each SGD step consumes a 4-tuple ``(u, t, i, j)``: user ``u``'s transaction
+``t`` contains positive item ``i``; negative item ``j`` is sampled uniformly
+from the items *not* in that transaction.  An epoch is one shuffled pass
+over all purchase events.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.transactions import TransactionLog
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class TripleStore:
+    """All ``(u, t, i)`` purchase events of a log plus basket membership.
+
+    ``row_of(u, t)`` maps a transaction to a dense transaction index shared
+    with :class:`~repro.core.affinity.ContextTable`.
+
+    Parameters
+    ----------
+    log:
+        The training transactions.
+    negative_pool:
+        Items negatives are drawn from.  ``None`` (default) means the whole
+        universe; pass ``log.purchased_items()`` to restrict sampling to
+        items with at least one purchase.
+    """
+
+    def __init__(self, log: TransactionLog, negative_pool=None):
+        self.log = log
+        self.triples = log.purchase_triples()  # (P, 3) rows (u, t, i)
+        self.offsets = np.zeros(log.n_users + 1, dtype=np.int64)
+        baskets: List[frozenset] = []
+        for user in range(log.n_users):
+            txns = log.user_transactions(user)
+            self.offsets[user + 1] = self.offsets[user] + len(txns)
+            baskets.extend(frozenset(int(x) for x in b) for b in txns)
+        self.baskets = baskets
+        self.transaction_rows = self.offsets[self.triples[:, 0]] + self.triples[:, 1]
+        if negative_pool is not None:
+            negative_pool = np.asarray(negative_pool, dtype=np.int64)
+            if negative_pool.size == 0:
+                raise ValueError("negative_pool must not be empty")
+        self.negative_pool = negative_pool
+
+    @property
+    def n_triples(self) -> int:
+        return self.triples.shape[0]
+
+    def row_of(self, user: int, t: int) -> int:
+        """Dense transaction index of user *user*'s transaction *t*."""
+        return int(self.offsets[user] + t)
+
+    def epoch_order(self, rng: RngLike = None, shuffle: bool = True) -> np.ndarray:
+        """Indices of one epoch's visitation order."""
+        order = np.arange(self.n_triples)
+        if shuffle:
+            ensure_rng(rng).shuffle(order)
+        return order
+
+    def sample_negatives(
+        self,
+        indices: np.ndarray,
+        rng: RngLike = None,
+        attempts: int = 8,
+    ) -> np.ndarray:
+        """Negative items ``j ∉ B_t`` for the triples at *indices*.
+
+        Uniform proposals with up to *attempts* rejection rounds; a proposal
+        still colliding after that is replaced by scanning from a random
+        offset (guaranteed to terminate since baskets never cover the whole
+        item universe in practice; if one does, the collision is kept).
+        """
+        rng = ensure_rng(rng)
+        pool = self.negative_pool
+        pool_size = self.log.n_items if pool is None else pool.size
+
+        def draw(count: int) -> np.ndarray:
+            raw = rng.integers(0, pool_size, size=count)
+            return raw if pool is None else pool[raw]
+
+        rows = self.transaction_rows[indices]
+        negatives = draw(indices.size)
+        for _ in range(attempts):
+            bad = [
+                k
+                for k in range(indices.size)
+                if int(negatives[k]) in self.baskets[rows[k]]
+            ]
+            if not bad:
+                return negatives
+            bad = np.asarray(bad, dtype=np.int64)
+            negatives[bad] = draw(bad.size)
+        for k in range(indices.size):
+            basket = self.baskets[rows[k]]
+            if int(negatives[k]) not in basket:
+                continue
+            start = int(rng.integers(0, pool_size))
+            for step in range(pool_size):
+                position = (start + step) % pool_size
+                candidate = position if pool is None else int(pool[position])
+                if candidate not in basket:
+                    negatives[k] = candidate
+                    break
+        return negatives

@@ -1,0 +1,39 @@
+"""Data substrate: transaction logs, synthetic generation, splits, stats."""
+
+from repro.data.amazon import load_amazon_dataset, parse_interaction_records
+from repro.data.split import (
+    TrainTestSplit,
+    first_transactions,
+    holdout_last,
+    train_test_split,
+)
+from repro.data.stats import (
+    DatasetSummary,
+    distinct_items_per_user,
+    gini,
+    histogram,
+    item_popularity,
+    new_items_per_user,
+    summarize,
+)
+from repro.data.synthetic import SyntheticDataset, generate_dataset
+from repro.data.transactions import TransactionLog
+
+__all__ = [
+    "TransactionLog",
+    "SyntheticDataset",
+    "generate_dataset",
+    "TrainTestSplit",
+    "train_test_split",
+    "holdout_last",
+    "first_transactions",
+    "DatasetSummary",
+    "summarize",
+    "distinct_items_per_user",
+    "new_items_per_user",
+    "item_popularity",
+    "histogram",
+    "gini",
+    "load_amazon_dataset",
+    "parse_interaction_records",
+]

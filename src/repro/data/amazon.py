@@ -1,0 +1,125 @@
+"""Loading public Amazon-style datasets into the library's structures.
+
+The paper's log is proprietary, but public Amazon category datasets carry
+the same two ingredients: per-item category paths (metadata files) and
+per-user timestamped interactions (review files).  This module turns those
+into a :class:`~repro.taxonomy.tree.Taxonomy` plus a
+:class:`~repro.data.transactions.TransactionLog`:
+
+* interactions of one user on the same day form one transaction (basket),
+* transactions are ordered by timestamp and timestamps are then dropped,
+  exactly like the paper's anonymization step (Sec. 7.1).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.data.transactions import TransactionLog
+from repro.taxonomy.io import parse_category_records
+from repro.taxonomy.tree import Taxonomy
+
+PathLike = Union[str, Path]
+
+#: Seconds per day — interactions closer than this form one basket.
+DAY = 86400
+
+
+def parse_interaction_records(
+    records: Iterable[Union[str, dict]],
+    item_ids: Dict[str, int],
+    n_items: int,
+    user_field: str = "reviewerID",
+    item_field: str = "asin",
+    time_field: str = "unixReviewTime",
+    basket_window: int = DAY,
+) -> Tuple[TransactionLog, Dict[str, int]]:
+    """Group per-user interactions into ordered baskets.
+
+    Parameters
+    ----------
+    records:
+        JSON strings or decoded dicts with user, item, and unix-time fields.
+    item_ids:
+        Mapping from the catalog item identifier to the dense item index
+        (from :func:`repro.taxonomy.io.parse_category_records`).  Records
+        whose item is not in the mapping are skipped.
+    n_items:
+        Item-universe size (``taxonomy.n_items``).
+    basket_window:
+        Interactions within this many seconds of the basket's first event
+        join the same transaction.
+
+    Returns
+    -------
+    (log, user_ids):
+        The transaction log and the mapping from the original user
+        identifier to the dense user index.
+    """
+    events: Dict[str, List[Tuple[int, int]]] = defaultdict(list)
+    for record in records:
+        if isinstance(record, str):
+            record = record.strip()
+            if not record:
+                continue
+            record = json.loads(record)
+        user = record.get(user_field)
+        item_key = record.get(item_field)
+        when = record.get(time_field)
+        if user is None or item_key is None or when is None:
+            continue
+        item = item_ids.get(str(item_key))
+        if item is None:
+            continue
+        events[str(user)].append((int(when), int(item)))
+
+    user_ids: Dict[str, int] = {}
+    transactions: List[List[List[int]]] = []
+    for user in sorted(events):
+        timeline = sorted(events[user])
+        baskets: List[List[int]] = []
+        basket_start: Optional[int] = None
+        current: List[int] = []
+        for when, item in timeline:
+            if basket_start is None or when - basket_start > basket_window:
+                if current:
+                    baskets.append(sorted(set(current)))
+                current = [item]
+                basket_start = when
+            else:
+                current.append(item)
+        if current:
+            baskets.append(sorted(set(current)))
+        if baskets:
+            user_ids[user] = len(transactions)
+            transactions.append(baskets)
+
+    return TransactionLog(transactions, n_items=n_items), user_ids
+
+
+def load_amazon_dataset(
+    metadata_path: PathLike,
+    reviews_path: PathLike,
+    user_field: str = "reviewerID",
+    item_field: str = "asin",
+    time_field: str = "unixReviewTime",
+) -> Tuple[Taxonomy, TransactionLog, Dict[str, int], Dict[str, int]]:
+    """Load an Amazon metadata + reviews file pair.
+
+    Returns ``(taxonomy, log, item_ids, user_ids)``.
+    """
+    with open(metadata_path, "r", encoding="utf-8") as handle:
+        taxonomy, item_ids = parse_category_records(handle, id_field=item_field)
+    with open(reviews_path, "r", encoding="utf-8") as handle:
+        log, user_ids = parse_interaction_records(
+            handle,
+            item_ids,
+            n_items=taxonomy.n_items,
+            user_field=user_field,
+            item_field=item_field,
+            time_field=time_field,
+        )
+    return taxonomy, log, item_ids, user_ids

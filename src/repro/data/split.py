@@ -1,0 +1,151 @@
+"""Train/test splitting per the paper's evaluation protocol (Sec. 7.1).
+
+For each user, a random fraction of transactions — drawn from a Gaussian
+with mean ``mu`` and a small standard deviation — goes to training; all
+*subsequent* transactions go to test, so the split is temporal per user.
+``mu`` simulates sparsity: 0.25 (sparse) / 0.50 / 0.75 (dense).
+
+Repeat purchases (test items the user already bought in training) are
+removed from the test transactions, because the system's goal is to help
+users *discover* items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.data.transactions import TransactionLog
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_fraction, check_non_negative
+
+
+@dataclass
+class TrainTestSplit:
+    """A per-user temporal split of a :class:`TransactionLog`.
+
+    ``train`` and ``test`` keep the same user numbering as the source log;
+    users whose whole history landed in training simply have an empty test
+    list.
+    """
+
+    train: TransactionLog
+    test: TransactionLog
+
+    @property
+    def n_users(self) -> int:
+        return self.train.n_users
+
+    def test_users(self) -> np.ndarray:
+        """Users that have at least one (non-empty) test transaction."""
+        users = [
+            u
+            for u in range(self.test.n_users)
+            if len(self.test.user_transactions(u)) > 0
+        ]
+        return np.asarray(users, dtype=np.int64)
+
+    def new_items(self) -> np.ndarray:
+        """Items that appear in test but never in train (cold-start set)."""
+        train_items = set(self.train.purchased_items().tolist())
+        test_items = set(self.test.purchased_items().tolist())
+        return np.asarray(sorted(test_items - train_items), dtype=np.int64)
+
+
+def train_test_split(
+    log: TransactionLog,
+    mu: float = 0.5,
+    sigma: float = 0.05,
+    remove_repeats: bool = True,
+    seed: RngLike = 0,
+) -> TrainTestSplit:
+    """Split *log* per user at a Gaussian-random temporal cut.
+
+    Parameters
+    ----------
+    log:
+        Full purchase log.
+    mu, sigma:
+        Mean and standard deviation of the per-user training fraction.  The
+        paper uses ``mu`` in {0.25, 0.5, 0.75} and ``sigma = 0.05``.
+    remove_repeats:
+        Drop test items the user already bought in training (the paper's
+        discovery-oriented filtering).  Empty test transactions are removed.
+    seed:
+        Seed for the per-user cut fractions.
+    """
+    check_fraction("mu", mu)
+    check_non_negative("sigma", sigma)
+    rng = ensure_rng(seed)
+
+    train_rows: List[List[List[int]]] = []
+    test_rows: List[List[List[int]]] = []
+    for user in range(log.n_users):
+        txns = log.user_transactions(user)
+        fraction = float(np.clip(rng.normal(mu, sigma), 0.0, 1.0))
+        n_train = int(round(fraction * len(txns)))
+        n_train = min(max(n_train, 1), len(txns))
+        train_part = [basket.tolist() for basket in txns[:n_train]]
+        test_part = [basket.tolist() for basket in txns[n_train:]]
+        if remove_repeats and test_part:
+            bought: Set[int] = set()
+            for basket in train_part:
+                bought.update(basket)
+            filtered: List[List[int]] = []
+            for basket in test_part:
+                kept = [item for item in basket if item not in bought]
+                if kept:
+                    filtered.append(kept)
+                # Items seen in earlier *test* transactions are also repeats
+                # from the perspective of later test transactions.
+                bought.update(basket)
+            test_part = filtered
+        train_rows.append(train_part)
+        test_rows.append(test_part)
+
+    return TrainTestSplit(
+        train=TransactionLog(train_rows, n_items=log.n_items),
+        test=TransactionLog(test_rows, n_items=log.n_items),
+    )
+
+
+def holdout_last(
+    log: TransactionLog, count: int = 1
+) -> Tuple[TransactionLog, TransactionLog]:
+    """Split off each user's last *count* transactions (cross-validation).
+
+    The paper uses the last ``T = 1`` training transactions for validation.
+    Users with fewer than ``count + 1`` transactions keep everything in the
+    first part and get an empty holdout.
+    """
+    check_non_negative("count", count)
+    head_rows: List[List[List[int]]] = []
+    tail_rows: List[List[List[int]]] = []
+    for user in range(log.n_users):
+        txns = [basket.tolist() for basket in log.user_transactions(user)]
+        if count == 0 or len(txns) <= count:
+            head_rows.append(txns)
+            tail_rows.append([])
+        else:
+            head_rows.append(txns[:-count])
+            tail_rows.append(txns[-count:])
+    return (
+        TransactionLog(head_rows, n_items=log.n_items),
+        TransactionLog(tail_rows, n_items=log.n_items),
+    )
+
+
+def first_transactions(log: TransactionLog, count: int = 1) -> TransactionLog:
+    """Keep only each user's first *count* transactions.
+
+    The paper reports test error on the first ``T = 1`` test transaction of
+    each user.
+    """
+    check_non_negative("count", count)
+    rows = [
+        [basket.tolist() for basket in log.user_transactions(u)[:count]]
+        for u in range(log.n_users)
+    ]
+    return TransactionLog(rows, n_items=log.n_items)

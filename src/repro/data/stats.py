@@ -1,0 +1,113 @@
+"""Dataset characteristics — the quantities plotted in Fig. 5.
+
+* Fig. 5(a): histogram of distinct items bought per user (train),
+* Fig. 5(b): histogram of *new* items bought per user (test),
+* Fig. 5(c): item-popularity histogram (number of purchases per item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.data.transactions import TransactionLog
+
+
+def distinct_items_per_user(log: TransactionLog) -> np.ndarray:
+    """Number of distinct items each user bought (length ``n_users``)."""
+    return np.asarray(
+        [log.user_items(u).size for u in range(log.n_users)], dtype=np.int64
+    )
+
+
+def new_items_per_user(
+    train: TransactionLog, test: TransactionLog
+) -> np.ndarray:
+    """Distinct test items per user that the user did not buy in training."""
+    if train.n_users != test.n_users:
+        raise ValueError("train and test must cover the same users")
+    counts = np.zeros(train.n_users, dtype=np.int64)
+    for user in range(train.n_users):
+        seen = set(train.user_items(user).tolist())
+        fresh = {
+            int(item)
+            for basket in test.user_transactions(user)
+            for item in basket
+            if int(item) not in seen
+        }
+        counts[user] = len(fresh)
+    return counts
+
+
+def item_popularity(log: TransactionLog) -> np.ndarray:
+    """Number of purchase events per item (length ``n_items``)."""
+    return log.item_counts()
+
+
+def histogram(
+    values: np.ndarray, max_value: int = 50
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Integer histogram over ``0 .. max_value`` (clipping larger values).
+
+    Returns ``(bin_values, counts)``, matching the paper's truncated x-axes.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    clipped = np.clip(values, 0, max_value)
+    counts = np.bincount(clipped, minlength=max_value + 1)
+    return np.arange(max_value + 1), counts
+
+
+@dataclass
+class DatasetSummary:
+    """Headline statistics matching the prose of Sec. 7.1."""
+
+    n_users: int
+    n_items: int
+    n_transactions: int
+    n_purchases: int
+    purchases_per_user: float
+    distinct_items_per_user: float
+    gini_popularity: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n_users": self.n_users,
+            "n_items": self.n_items,
+            "n_transactions": self.n_transactions,
+            "n_purchases": self.n_purchases,
+            "purchases_per_user": self.purchases_per_user,
+            "distinct_items_per_user": self.distinct_items_per_user,
+            "gini_popularity": self.gini_popularity,
+        }
+
+
+def summarize(log: TransactionLog) -> DatasetSummary:
+    """Compute a :class:`DatasetSummary` for *log*."""
+    popularity = item_popularity(log)
+    distinct = distinct_items_per_user(log)
+    return DatasetSummary(
+        n_users=log.n_users,
+        n_items=log.n_items,
+        n_transactions=log.n_transactions,
+        n_purchases=log.n_purchases,
+        purchases_per_user=log.n_purchases / max(log.n_users, 1),
+        distinct_items_per_user=float(distinct.mean()) if distinct.size else 0.0,
+        gini_popularity=gini(popularity),
+    )
+
+
+def gini(counts: np.ndarray) -> float:
+    """Gini coefficient of a non-negative count vector.
+
+    Quantifies the heavy tail of Fig. 5(c): 0 = uniform popularity,
+    → 1 = all purchases on one item.
+    """
+    counts = np.sort(np.asarray(counts, dtype=np.float64))
+    total = counts.sum()
+    if total <= 0 or counts.size == 0:
+        return 0.0
+    n = counts.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * counts).sum() / (n * total)) - (n + 1.0) / n)

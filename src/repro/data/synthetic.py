@@ -1,0 +1,278 @@
+"""Synthetic purchase-log generator.
+
+The paper evaluates on a proprietary Yahoo! shopping log (Sec. 7.1).  This
+module is the documented substitute (DESIGN.md): a generative simulator that
+produces the statistical phenomena the TF model exploits, at any scale:
+
+* **hierarchical long-term interests** — each user's purchases concentrate
+  in a few leaf categories reached by descending the taxonomy from a
+  user-specific distribution over top-level categories;
+* **heavy-tailed popularity** — Zipf item popularity inside each leaf
+  category (Fig. 5c's shape);
+* **sparsity** — transaction and basket counts are Poisson with small means
+  (the paper's users average 2.3 purchases);
+* **short-term dynamics** — a leaf-category transition kernel (camera →
+  flash-memory style) drives a configurable share of transactions from the
+  *previous* transactions' categories;
+* **cold start** — a fraction of items is "late": they can only appear in
+  the later part of each user's sequence, so most of their purchases land in
+  the test period after a temporal split;
+* **repeat purchases** — occasionally a user re-buys an earlier item, which
+  the evaluation protocol must filter (Sec. 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.transactions import TransactionLog
+from repro.taxonomy.generator import random_taxonomy
+from repro.taxonomy.tree import ROOT, Taxonomy
+from repro.utils.config import SyntheticConfig
+from repro.utils.rng import ensure_rng
+
+#: Fraction of a user's sequence after which "late" items become available.
+LATE_PHASE_START = 0.6
+
+
+class _WeightedSampler:
+    """Cheap repeated weighted sampling over a fixed small population."""
+
+    __slots__ = ("values", "cdf")
+
+    def __init__(self, values: np.ndarray, weights: np.ndarray):
+        self.values = values
+        total = float(weights.sum())
+        if total <= 0:
+            raise ValueError("weights must have positive mass")
+        self.cdf = np.cumsum(weights) / total
+
+    def draw(self, rng: np.random.Generator) -> int:
+        return int(self.values[np.searchsorted(self.cdf, rng.random())])
+
+    def draw_distinct(self, rng: np.random.Generator, k: int) -> List[int]:
+        """Up to *k* distinct draws (rejection sampling, bounded attempts)."""
+        picked: List[int] = []
+        seen = set()
+        attempts = 0
+        while len(picked) < k and attempts < 12 * k:
+            value = self.draw(rng)
+            attempts += 1
+            if value not in seen:
+                seen.add(value)
+                picked.append(value)
+        return picked
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated dataset plus the ground truth that produced it.
+
+    The ground-truth fields (focus categories, transition kernel, late
+    items) let tests assert that models recover planted structure.
+    """
+
+    taxonomy: Taxonomy
+    log: TransactionLog
+    config: SyntheticConfig
+    leaf_of_item: np.ndarray
+    late_items: np.ndarray
+    transition_kernel: Dict[int, np.ndarray]
+    user_focus: List[List[int]] = field(repr=False, default_factory=list)
+
+    @property
+    def n_users(self) -> int:
+        return self.log.n_users
+
+    @property
+    def n_items(self) -> int:
+        return self.taxonomy.n_items
+
+
+def generate_dataset(config: Optional[SyntheticConfig] = None) -> SyntheticDataset:
+    """Generate a taxonomy and a purchase log according to *config*."""
+    if config is None:
+        config = SyntheticConfig()
+    rng = ensure_rng(config.seed)
+
+    taxonomy = random_taxonomy(
+        config.branching,
+        items_per_leaf=config.items_per_leaf,
+        jitter=0.2,
+        seed=rng,
+    )
+    item_nodes = taxonomy.items
+    leaf_of_item = taxonomy.parent[item_nodes]
+    leaf_nodes = np.unique(leaf_of_item)
+    top_nodes = taxonomy.children(ROOT)
+
+    late_items = _pick_late_items(taxonomy, config, rng)
+    early_samplers, all_samplers = _build_item_samplers(
+        taxonomy, leaf_nodes, leaf_of_item, late_items, config
+    )
+    kernel = _build_transition_kernel(taxonomy, leaf_nodes, config, rng)
+    leaf_list = {int(n): i for i, n in enumerate(leaf_nodes)}
+
+    transactions: List[List[List[int]]] = []
+    user_focus: List[List[int]] = []
+    for _ in range(config.n_users):
+        focus, focus_sampler = _sample_user_focus(
+            taxonomy, top_nodes, config, rng
+        )
+        user_focus.append(focus)
+        n_txns = 1 + int(rng.poisson(max(config.mean_transactions - 1.0, 0.0)))
+        late_from = int(np.ceil(LATE_PHASE_START * n_txns))
+        history: List[int] = []
+        prev_leaf: Optional[int] = None
+        user_txns: List[List[int]] = []
+        for t in range(n_txns):
+            if prev_leaf is not None and rng.random() < config.transition_strength:
+                leaf = int(rng.choice(kernel[prev_leaf]))
+            else:
+                leaf = focus_sampler.draw(rng)
+            samplers = all_samplers if t >= late_from else early_samplers
+            sampler = samplers.get(leaf)
+            if sampler is None:
+                continue
+            size = 1 + int(rng.poisson(max(config.mean_basket_size - 1.0, 0.0)))
+            basket = sampler.draw_distinct(rng, size)
+            if history and rng.random() < config.repeat_probability:
+                basket.append(int(rng.choice(history)))
+            basket = sorted(set(basket))
+            if not basket:
+                continue
+            user_txns.append(basket)
+            history.extend(basket)
+            prev_leaf = leaf
+        if not user_txns:
+            # Guarantee every user has at least one transaction.
+            leaf = focus_sampler.draw(rng)
+            sampler = all_samplers.get(leaf) or next(iter(all_samplers.values()))
+            user_txns.append(sampler.draw_distinct(rng, 1))
+        transactions.append(user_txns)
+
+    log = TransactionLog(transactions, n_items=taxonomy.n_items)
+    return SyntheticDataset(
+        taxonomy=taxonomy,
+        log=log,
+        config=config,
+        leaf_of_item=leaf_of_item,
+        late_items=late_items,
+        transition_kernel=kernel,
+        user_focus=user_focus,
+    )
+
+
+# ----------------------------------------------------------------------
+# Generator internals
+# ----------------------------------------------------------------------
+def _pick_late_items(
+    taxonomy: Taxonomy, config: SyntheticConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Choose the cold-start ("late release") item subset."""
+    n_items = taxonomy.n_items
+    n_late = int(round(config.new_item_fraction * n_items))
+    if n_late == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(rng.choice(n_items, size=n_late, replace=False))
+
+
+def _build_item_samplers(
+    taxonomy: Taxonomy,
+    leaf_nodes: np.ndarray,
+    leaf_of_item: np.ndarray,
+    late_items: np.ndarray,
+    config: SyntheticConfig,
+) -> Tuple[Dict[int, _WeightedSampler], Dict[int, _WeightedSampler]]:
+    """Per-leaf Zipf samplers; the "early" variant excludes late items."""
+    late_mask = np.zeros(taxonomy.n_items, dtype=bool)
+    late_mask[late_items] = True
+    early: Dict[int, _WeightedSampler] = {}
+    full: Dict[int, _WeightedSampler] = {}
+    for leaf in leaf_nodes:
+        items = np.flatnonzero(leaf_of_item == leaf)
+        ranks = np.arange(1, items.size + 1, dtype=np.float64)
+        weights = ranks ** (-config.popularity_exponent)
+        full[int(leaf)] = _WeightedSampler(items, weights)
+        early_weights = np.where(late_mask[items], 0.0, weights)
+        if early_weights.sum() > 0:
+            early[int(leaf)] = _WeightedSampler(items, early_weights)
+        else:
+            early[int(leaf)] = full[int(leaf)]
+    return early, full
+
+
+def _build_transition_kernel(
+    taxonomy: Taxonomy,
+    leaf_nodes: np.ndarray,
+    config: SyntheticConfig,
+    rng: np.random.Generator,
+) -> Dict[int, np.ndarray]:
+    """Related-category kernel: prefers siblings, then cousins, then random.
+
+    This plants the "camera → flash memory" structure of Sec. 1: related
+    categories are *near each other in the taxonomy*, which is exactly the
+    statistical tie the TF Markov term can exploit and a flat model cannot.
+    """
+    kernel: Dict[int, np.ndarray] = {}
+    leaf_set = set(int(n) for n in leaf_nodes)
+    for leaf in leaf_nodes:
+        leaf = int(leaf)
+        sibs = [int(s) for s in taxonomy.siblings(leaf) if int(s) in leaf_set]
+        grand = taxonomy.ancestor_at_height(leaf, 2)
+        cousins = [
+            int(c)
+            for uncle in taxonomy.children(grand)
+            for c in taxonomy.children(int(uncle))
+            if int(c) in leaf_set and int(c) != leaf
+        ]
+        related: List[int] = []
+        for _ in range(config.transitions_per_leaf):
+            roll = rng.random()
+            if roll < 0.5 and sibs:
+                related.append(int(rng.choice(sibs)))
+            elif roll < 0.8 and cousins:
+                related.append(int(rng.choice(cousins)))
+            else:
+                related.append(int(rng.choice(leaf_nodes)))
+        kernel[leaf] = np.asarray(related, dtype=np.int64)
+    return kernel
+
+
+def _sample_user_focus(
+    taxonomy: Taxonomy,
+    top_nodes: np.ndarray,
+    config: SyntheticConfig,
+    rng: np.random.Generator,
+) -> Tuple[List[int], _WeightedSampler]:
+    """A user's focus leaf categories and the sampler over them.
+
+    Interests concentrate: a Dirichlet over top-level categories selects
+    where the user shops, then each focus leaf is found by a uniform random
+    descent.  Focus weights decay geometrically so one or two categories
+    dominate, as in real shopping logs.
+    """
+    alpha = np.full(top_nodes.size, config.interest_concentration)
+    top_weights = rng.dirichlet(alpha)
+    top_sampler = _WeightedSampler(top_nodes, top_weights)
+    n_focus = 2 + int(rng.poisson(1.5))
+    focus: List[int] = []
+    seen = set()
+    attempts = 0
+    while len(focus) < n_focus and attempts < 8 * n_focus:
+        attempts += 1
+        node = top_sampler.draw(rng)
+        while taxonomy.children(node).size and not taxonomy.is_leaf(
+            int(taxonomy.children(node)[0])
+        ):
+            node = int(rng.choice(taxonomy.children(node)))
+        if node not in seen:
+            seen.add(node)
+            focus.append(node)
+    if not focus:
+        focus = [int(taxonomy.parent[taxonomy.items[0]])]
+    weights = 0.55 ** np.arange(len(focus), dtype=np.float64)
+    return focus, _WeightedSampler(np.asarray(focus, dtype=np.int64), weights)

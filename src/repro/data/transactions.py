@@ -1,0 +1,217 @@
+"""Purchase logs as per-user sequences of transactions.
+
+The paper's input (Sec. 7.1) is a fully anonymized log: users are dense
+integers, timestamps are dropped, and only the *order* of each user's
+transactions is kept.  :class:`TransactionLog` mirrors that: for every user
+it stores an ordered list of transactions, each transaction being the set of
+items bought at that time step (the ``B_t`` of the model).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+Basket = np.ndarray  # 1-d int64 array of dense item indices
+
+
+class TransactionLog:
+    """An ordered purchase history for a population of users.
+
+    Parameters
+    ----------
+    transactions:
+        ``transactions[u]`` is user ``u``'s ordered list of baskets; each
+        basket is a non-empty sequence of dense item indices.
+    n_items:
+        Size of the item universe.  Defaults to one more than the largest
+        item index present, but should normally be passed explicitly (from
+        ``taxonomy.n_items``) so that never-purchased items stay in the
+        candidate set.
+    """
+
+    def __init__(
+        self,
+        transactions: Sequence[Sequence[Sequence[int]]],
+        n_items: int = None,
+    ):
+        cleaned: List[List[Basket]] = []
+        max_item = -1
+        for u, user_txns in enumerate(transactions):
+            user_list: List[Basket] = []
+            for t, basket in enumerate(user_txns):
+                arr = np.unique(np.asarray(list(basket), dtype=np.int64))
+                if arr.size == 0:
+                    raise ValueError(f"user {u} transaction {t} is empty")
+                if arr.min() < 0:
+                    raise ValueError(
+                        f"user {u} transaction {t} has a negative item index"
+                    )
+                max_item = max(max_item, int(arr.max()))
+                arr.flags.writeable = False
+                user_list.append(arr)
+            cleaned.append(user_list)
+        if n_items is None:
+            n_items = max_item + 1
+        elif max_item >= n_items:
+            raise ValueError(
+                f"item index {max_item} out of range for n_items={n_items}"
+            )
+        self._transactions = cleaned
+        self._n_items = int(n_items)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Number of users (including users with no transactions)."""
+        return len(self._transactions)
+
+    @property
+    def n_items(self) -> int:
+        """Size of the item universe."""
+        return self._n_items
+
+    @property
+    def n_transactions(self) -> int:
+        """Total number of baskets across all users."""
+        return sum(len(txns) for txns in self._transactions)
+
+    @property
+    def n_purchases(self) -> int:
+        """Total number of (user, time, item) purchase events."""
+        return sum(
+            basket.size for txns in self._transactions for basket in txns
+        )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def user_transactions(self, user: int) -> List[Basket]:
+        """The ordered baskets of *user* (do not mutate)."""
+        return self._transactions[user]
+
+    def basket(self, user: int, t: int) -> Basket:
+        """The basket ``B_t`` of *user* (read-only array)."""
+        return self._transactions[user][t]
+
+    def user_items(self, user: int) -> np.ndarray:
+        """Sorted distinct items ever bought by *user*."""
+        txns = self._transactions[user]
+        if not txns:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(txns))
+
+    def iter_baskets(self) -> Iterator[Tuple[int, int, Basket]]:
+        """Yield ``(user, t, basket)`` over the whole log."""
+        for u, txns in enumerate(self._transactions):
+            for t, basket in enumerate(txns):
+                yield u, t, basket
+
+    def purchase_triples(self) -> np.ndarray:
+        """All purchase events as an ``(n_purchases, 3)`` array of
+        ``(user, t, item)`` rows — the sampling units of BPR training."""
+        rows: List[np.ndarray] = []
+        for u, t, basket in self.iter_baskets():
+            block = np.empty((basket.size, 3), dtype=np.int64)
+            block[:, 0] = u
+            block[:, 1] = t
+            block[:, 2] = basket
+            rows.append(block)
+        if not rows:
+            return np.empty((0, 3), dtype=np.int64)
+        return np.concatenate(rows, axis=0)
+
+    def item_counts(self) -> np.ndarray:
+        """Number of purchase events per item (length ``n_items``)."""
+        counts = np.zeros(self._n_items, dtype=np.int64)
+        for _, _, basket in self.iter_baskets():
+            counts[basket] += 1
+        return counts
+
+    def purchased_items(self) -> np.ndarray:
+        """Sorted distinct items appearing anywhere in the log."""
+        counts = self.item_counts()
+        return np.flatnonzero(counts > 0)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def subset_users(self, users: Sequence[int]) -> "TransactionLog":
+        """A log containing only the given users (renumbered densely)."""
+        picked = [[b.tolist() for b in self._transactions[u]] for u in users]
+        return TransactionLog(picked, n_items=self._n_items)
+
+    def map_items(self, mapping: np.ndarray, n_items: int) -> "TransactionLog":
+        """Apply an item renumbering; entries mapped to ``-1`` are dropped.
+
+        Transactions left empty after the mapping are removed.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        out: List[List[List[int]]] = []
+        for txns in self._transactions:
+            user_out: List[List[int]] = []
+            for basket in txns:
+                mapped = mapping[basket]
+                mapped = mapped[mapped >= 0]
+                if mapped.size:
+                    user_out.append(mapped.tolist())
+            out.append(user_out)
+        return TransactionLog(out, n_items=n_items)
+
+    def to_lists(self) -> List[List[List[int]]]:
+        """Plain nested-list copy (for serialization and tests)."""
+        return [
+            [basket.tolist() for basket in txns] for txns in self._transactions
+        ]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        """Write the log as one JSON object per user (JSON lines)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"n_items": self._n_items}) + "\n")
+            for txns in self._transactions:
+                handle.write(
+                    json.dumps([basket.tolist() for basket in txns]) + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "TransactionLog":
+        """Read a log written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+            users = [json.loads(line) for line in handle if line.strip()]
+        return cls(users, n_items=header["n_items"])
+
+    # ------------------------------------------------------------------
+    # Dunders
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_users
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionLog(n_users={self.n_users}, n_items={self.n_items}, "
+            f"n_transactions={self.n_transactions}, "
+            f"n_purchases={self.n_purchases})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransactionLog):
+            return NotImplemented
+        if self._n_items != other._n_items or self.n_users != other.n_users:
+            return False
+        for mine, theirs in zip(self._transactions, other._transactions):
+            if len(mine) != len(theirs):
+                return False
+            for a, b in zip(mine, theirs):
+                if not np.array_equal(a, b):
+                    return False
+        return True

@@ -1,0 +1,58 @@
+"""Evaluation substrate: metrics and the paper's evaluation protocol."""
+
+from repro.eval.metrics import (
+    auc,
+    hit_at_k,
+    mean_rank,
+    nanmean,
+    ndcg_at_k,
+    precision_at_k,
+    ranks_from_scores,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.eval.model_selection import (
+    CandidateResult,
+    GridSearchResult,
+    expand_grid,
+    grid_search,
+)
+from repro.eval.protocol import (
+    CascadeEvalResult,
+    ColdStartResult,
+    EvalResult,
+    evaluate_cascade,
+    evaluate_category_level,
+    evaluate_cold_start,
+    evaluate_model,
+    evaluate_parallel,
+)
+from repro.eval.ranking import batched, rank_of, ranks_of, top_k
+
+__all__ = [
+    "auc",
+    "mean_rank",
+    "ranks_from_scores",
+    "hit_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+    "ndcg_at_k",
+    "nanmean",
+    "EvalResult",
+    "ColdStartResult",
+    "CascadeEvalResult",
+    "evaluate_model",
+    "evaluate_category_level",
+    "evaluate_cold_start",
+    "evaluate_cascade",
+    "evaluate_parallel",
+    "grid_search",
+    "expand_grid",
+    "GridSearchResult",
+    "CandidateResult",
+    "top_k",
+    "rank_of",
+    "ranks_of",
+    "batched",
+]

@@ -1,0 +1,127 @@
+"""Ranking metrics (paper Sec. 7.3) plus standard IR extras.
+
+The paper reports two metrics:
+
+* **AUC** — ``1/(|T||X\\T|) Σ_{x∈T, y∉T} δ(r(x) < r(y))``: the probability
+  that a random bought item outranks a random non-bought item;
+* **average mean rank** — the mean (1-based, best = 1) rank of the bought
+  items, averaged per user then across users; more sensitive than AUC when
+  the candidate set is huge.
+
+Ties are handled by mid-rank averaging (Mann-Whitney convention), which is
+what makes cascaded inference's ``-inf`` scores for pruned items behave as
+"random order among the pruned".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy.stats import rankdata
+
+
+def _as_positive_indices(positives: Iterable[int], size: int) -> np.ndarray:
+    idx = np.unique(np.asarray(list(positives), dtype=np.int64))
+    if idx.size and (idx.min() < 0 or idx.max() >= size):
+        raise ValueError("positive index out of range")
+    return idx
+
+
+def ranks_from_scores(scores: np.ndarray) -> np.ndarray:
+    """1-based descending ranks with tie averaging (best score → rank 1)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    ascending = rankdata(scores, method="average")
+    return scores.size + 1.0 - ascending
+
+
+def auc(scores: np.ndarray, positives: Iterable[int]) -> float:
+    """The paper's AUC over one candidate list.
+
+    Equivalent to the Mann-Whitney statistic: ties count one half.
+    Returns ``nan`` when there are no positives or no negatives.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = _as_positive_indices(positives, scores.size)
+    n_pos = pos.size
+    n_neg = scores.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    ascending = rankdata(scores, method="average")
+    pos_rank_sum = float(ascending[pos].sum())
+    u_statistic = pos_rank_sum - n_pos * (n_pos + 1) / 2.0
+    return u_statistic / (n_pos * n_neg)
+
+
+def mean_rank(scores: np.ndarray, positives: Iterable[int]) -> float:
+    """Mean 1-based rank of the positives (ties averaged; 1 = best)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = _as_positive_indices(positives, scores.size)
+    if pos.size == 0:
+        return float("nan")
+    return float(ranks_from_scores(scores)[pos].mean())
+
+
+def hit_at_k(scores: np.ndarray, positives: Iterable[int], k: int) -> float:
+    """1.0 if any positive appears in the top *k*, else 0.0."""
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = set(int(p) for p in _as_positive_indices(positives, scores.size))
+    if not pos:
+        return float("nan")
+    k = min(k, scores.size)
+    top = np.argpartition(-scores, k - 1)[:k]
+    return 1.0 if any(int(t) in pos for t in top) else 0.0
+
+
+def precision_at_k(scores: np.ndarray, positives: Iterable[int], k: int) -> float:
+    """Fraction of the top *k* that are positives."""
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = set(int(p) for p in _as_positive_indices(positives, scores.size))
+    if not pos:
+        return float("nan")
+    k = min(k, scores.size)
+    top = np.argpartition(-scores, k - 1)[:k]
+    return sum(1 for t in top if int(t) in pos) / k
+
+
+def recall_at_k(scores: np.ndarray, positives: Iterable[int], k: int) -> float:
+    """Fraction of the positives that appear in the top *k*."""
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = set(int(p) for p in _as_positive_indices(positives, scores.size))
+    if not pos:
+        return float("nan")
+    k = min(k, scores.size)
+    top = np.argpartition(-scores, k - 1)[:k]
+    return sum(1 for t in top if int(t) in pos) / len(pos)
+
+
+def reciprocal_rank(scores: np.ndarray, positives: Iterable[int]) -> float:
+    """1 / rank of the best-ranked positive (ties averaged)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = _as_positive_indices(positives, scores.size)
+    if pos.size == 0:
+        return float("nan")
+    return float(1.0 / ranks_from_scores(scores)[pos].min())
+
+
+def ndcg_at_k(scores: np.ndarray, positives: Iterable[int], k: int) -> float:
+    """Binary-relevance NDCG@k."""
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = set(int(p) for p in _as_positive_indices(positives, scores.size))
+    if not pos:
+        return float("nan")
+    k = min(k, scores.size)
+    order = np.argsort(-scores, kind="stable")[:k]
+    gains = np.array([1.0 if int(i) in pos else 0.0 for i in order])
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    dcg = float((gains * discounts).sum())
+    ideal_hits = min(len(pos), k)
+    ideal = float(discounts[:ideal_hits].sum())
+    return dcg / ideal if ideal > 0 else float("nan")
+
+
+def nanmean(values: Sequence[float]) -> float:
+    """Mean ignoring NaNs; NaN when every value is NaN (no warning)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    good = arr[~np.isnan(arr)]
+    return float(good.mean()) if good.size else float("nan")

@@ -1,0 +1,40 @@
+"""Ranking helpers shared by the evaluation protocol and the benches."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.metrics import ranks_from_scores
+
+
+def top_k(scores: np.ndarray, k: int, exclude: Optional[np.ndarray] = None) -> np.ndarray:
+    """Indices of the *k* best scores (descending), excluding ``exclude``."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if exclude is not None and len(exclude):
+        scores = scores.copy()
+        scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
+    k = min(k, scores.size)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    part = np.argpartition(-scores, k - 1)[:k]
+    return part[np.argsort(-scores[part], kind="stable")]
+
+
+def rank_of(scores: np.ndarray, index: int) -> float:
+    """1-based, tie-averaged rank of one candidate."""
+    return float(ranks_from_scores(scores)[index])
+
+
+def ranks_of(scores: np.ndarray, indices: Sequence[int]) -> np.ndarray:
+    """1-based, tie-averaged ranks of several candidates."""
+    ranks = ranks_from_scores(scores)
+    return ranks[np.asarray(list(indices), dtype=np.int64)]
+
+
+def batched(items: Sequence, batch_size: int) -> List[Sequence]:
+    """Split a sequence into consecutive chunks of at most *batch_size*."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return [items[i : i + batch_size] for i in range(0, len(items), batch_size)]

@@ -1,0 +1,133 @@
+"""Row-level locking for shared factor matrices (paper Sec. 6.1).
+
+The paper's C++ implementation takes a read lock on every factor row it
+reads and a write lock on every row it updates.  We provide:
+
+* :class:`RWLock` — a classic readers-writer lock;
+* :class:`StripedLockManager` — maps matrix rows onto a bounded pool of
+  locks (striping) and hands out *deadlock-free* multi-row acquisitions by
+  always locking stripes in ascending order.
+
+Lock statistics (acquisitions, contended acquisitions) are counted so the
+experiments can report contention, which is the quantity the paper's
+caching heuristic attacks.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterable, List, Sequence
+
+from repro.utils.validation import check_positive
+
+
+class RWLock:
+    """A readers-writer lock: many readers or one writer."""
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            while self._writer or self._readers > 0:
+                self._condition.wait()
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def reading(self):
+        """Context manager for a read-locked section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def writing(self):
+        """Context manager for a write-locked section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class StripedLockManager:
+    """A fixed pool of mutexes guarding the rows of a factor matrix.
+
+    Row ``r`` maps to stripe ``r % n_stripes``.  Multi-row acquisition
+    deduplicates and sorts stripes, which makes the locking order global
+    and therefore deadlock-free across threads.
+    """
+
+    def __init__(self, n_stripes: int = 1024):
+        check_positive("n_stripes", n_stripes)
+        self.n_stripes = int(n_stripes)
+        self._locks: List[threading.Lock] = [
+            threading.Lock() for _ in range(self.n_stripes)
+        ]
+        self._stats_lock = threading.Lock()
+        self.acquisitions = 0
+        self.contended = 0
+
+    def stripe_of(self, row: int) -> int:
+        """Stripe index guarding *row*."""
+        return row % self.n_stripes
+
+    def _stripes_for(self, rows: Iterable[int]) -> List[int]:
+        return sorted({r % self.n_stripes for r in rows})
+
+    @contextmanager
+    def locking(self, rows: Sequence[int]):
+        """Hold the (deduplicated, ordered) stripe locks for *rows*."""
+        stripes = self._stripes_for(rows)
+        acquired: List[threading.Lock] = []
+        contended = 0
+        try:
+            for stripe in stripes:
+                lock = self._locks[stripe]
+                if not lock.acquire(blocking=False):
+                    contended += 1
+                    lock.acquire()
+                acquired.append(lock)
+            with self._stats_lock:
+                self.acquisitions += len(stripes)
+                self.contended += contended
+            yield
+        finally:
+            for lock in reversed(acquired):
+                lock.release()
+
+    def reset_stats(self) -> None:
+        """Zero the acquisition counters."""
+        with self._stats_lock:
+            self.acquisitions = 0
+            self.contended = 0
+
+    @property
+    def contention_rate(self) -> float:
+        """Fraction of acquisitions that found the lock already held."""
+        with self._stats_lock:
+            if self.acquisitions == 0:
+                return 0.0
+            return self.contended / self.acquisitions

@@ -1,0 +1,40 @@
+"""Taxonomy substrate: the tree of categories and items.
+
+The taxonomy is the structural prior of the whole library (paper Sec. 1/3):
+items are leaves, interior nodes are categories, and the TF model sums a
+learned offset along each item's ancestor chain.
+"""
+
+from repro.taxonomy.builder import from_edges, from_parent_array, from_paths
+from repro.taxonomy.extend import add_items
+from repro.taxonomy.generator import (
+    PAPER_LIKE_BRANCHING,
+    complete_taxonomy,
+    paper_scale_taxonomy,
+    random_taxonomy,
+)
+from repro.taxonomy.io import (
+    load_category_file,
+    load_taxonomy,
+    parse_category_records,
+    save_taxonomy,
+)
+from repro.taxonomy.tree import ROOT, Taxonomy, TaxonomyError
+
+__all__ = [
+    "ROOT",
+    "Taxonomy",
+    "TaxonomyError",
+    "from_edges",
+    "from_parent_array",
+    "from_paths",
+    "add_items",
+    "complete_taxonomy",
+    "random_taxonomy",
+    "paper_scale_taxonomy",
+    "PAPER_LIKE_BRANCHING",
+    "save_taxonomy",
+    "load_taxonomy",
+    "parse_category_records",
+    "load_category_file",
+]

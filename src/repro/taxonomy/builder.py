@@ -1,0 +1,130 @@
+"""Constructing :class:`~repro.taxonomy.tree.Taxonomy` objects.
+
+Three entry points:
+
+* :func:`from_parent_array` — thin validated wrapper,
+* :func:`from_edges` — ``(parent_name, child_name)`` pairs,
+* :func:`from_paths` — root-to-item category paths such as
+  ``["Electronics", "Cameras", "DSLR", "item-42"]``, the natural format of
+  public catalog dumps.
+
+All builders renumber nodes in breadth-first level order (root first), so a
+taxonomy's node ids are stable regardless of input ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.taxonomy.tree import Taxonomy, TaxonomyError
+
+
+def from_parent_array(
+    parent: Sequence[int], names: Optional[Sequence[str]] = None
+) -> Taxonomy:
+    """Build a taxonomy directly from a parent-pointer array."""
+    return Taxonomy(parent, names=names)
+
+
+def from_edges(
+    edges: Iterable[Tuple[str, str]], root: Optional[str] = None
+) -> Taxonomy:
+    """Build a taxonomy from ``(parent_name, child_name)`` string pairs.
+
+    Parameters
+    ----------
+    edges:
+        Directed edges pointing away from the root.
+    root:
+        Name of the root node.  If omitted, the unique node that never
+        appears as a child is used.
+    """
+    edges = list(edges)
+    if not edges:
+        raise TaxonomyError("edge list is empty")
+    parents_of: Dict[str, str] = {}
+    children_of: Dict[str, List[str]] = {}
+    nodes: Dict[str, None] = {}
+    for parent_name, child_name in edges:
+        if child_name in parents_of and parents_of[child_name] != parent_name:
+            raise TaxonomyError(
+                f"node {child_name!r} has two parents: "
+                f"{parents_of[child_name]!r} and {parent_name!r}"
+            )
+        parents_of[child_name] = parent_name
+        children_of.setdefault(parent_name, []).append(child_name)
+        nodes.setdefault(parent_name)
+        nodes.setdefault(child_name)
+
+    if root is None:
+        candidates = [n for n in nodes if n not in parents_of]
+        if len(candidates) != 1:
+            raise TaxonomyError(
+                f"cannot infer a unique root; candidates: {sorted(candidates)}"
+            )
+        root = candidates[0]
+    elif root not in nodes:
+        raise TaxonomyError(f"declared root {root!r} does not appear in edges")
+
+    return _bfs_renumber(root, children_of, expected_nodes=len(nodes))
+
+
+def from_paths(paths: Iterable[Sequence[str]], root_name: str = "<root>") -> Taxonomy:
+    """Build a taxonomy from root-to-leaf name paths.
+
+    Each path is a sequence of category names ending in an item name, e.g.
+    ``["Electronics", "Cameras", "item-42"]``.  Identical prefixes are
+    merged; the same full path may appear multiple times.  A synthetic root
+    named *root_name* is added above the first path components.
+
+    Paths are interpreted namespaced: two categories named ``"Accessories"``
+    under different parents are distinct nodes.
+    """
+    children_of: Dict[Tuple[str, ...], List[Tuple[str, ...]]] = {}
+    seen: Dict[Tuple[str, ...], None] = {(): None}
+    count = 0
+    for path in paths:
+        path = tuple(path)
+        if not path:
+            raise TaxonomyError("empty path encountered")
+        count += 1
+        for depth in range(len(path)):
+            prefix = path[: depth + 1]
+            if prefix in seen:
+                continue
+            seen.setdefault(prefix)
+            children_of.setdefault(path[:depth], []).append(prefix)
+    if count == 0:
+        raise TaxonomyError("no paths given")
+
+    def display(key: Tuple[str, ...]) -> str:
+        return root_name if not key else key[-1]
+
+    return _bfs_renumber((), children_of, expected_nodes=len(seen), display=display)
+
+
+def _bfs_renumber(root, children_of, expected_nodes: int, display=None) -> Taxonomy:
+    """Renumber an adjacency dict into level-order ids and build the tree."""
+    order = [root]
+    idx = 0
+    while idx < len(order):
+        node = order[idx]
+        idx += 1
+        order.extend(sorted(children_of.get(node, [])))
+    if len(order) != expected_nodes:
+        raise TaxonomyError(
+            f"taxonomy is not a connected tree: reached {len(order)} of "
+            f"{expected_nodes} nodes from the root"
+        )
+    ids = {name: i for i, name in enumerate(order)}
+    parent = np.full(len(order), -1, dtype=np.int64)
+    for parent_name, kids in children_of.items():
+        for kid in kids:
+            parent[ids[kid]] = ids[parent_name]
+    if display is None:
+        names = [str(name) for name in order]
+    else:
+        names = [display(name) for name in order]
+    return Taxonomy(parent, names=names)

@@ -1,0 +1,88 @@
+"""Growing a taxonomy as new items are released (paper Sec. 1, cold start).
+
+"The set of individual products/items is highly dynamic, [but] the
+taxonomy is relatively stable.  The ancestors of a newly arrived item can
+be initially used to guide recommendations for the new item."
+
+:func:`add_items` appends new leaves under existing categories *without
+renumbering anything*: existing node ids and dense item indices are
+preserved, and the new items take the next dense indices.  A trained
+:class:`~repro.core.factors.FactorSet` can then be carried over with
+:func:`repro.core.factors.FactorSet.expand` — the new items' offsets start
+at zero, so Eq. 1 scores them exactly by their category until purchase
+data arrives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.taxonomy.tree import Taxonomy, TaxonomyError
+
+
+def add_items(
+    taxonomy: Taxonomy,
+    parents: Sequence[int],
+    names: Optional[Sequence[str]] = None,
+) -> Tuple[Taxonomy, np.ndarray]:
+    """Append one new item under each node of *parents*.
+
+    Parameters
+    ----------
+    taxonomy:
+        The existing taxonomy (unchanged; a new one is returned).
+    parents:
+        Interior node ids the new items attach to.  Attaching under a
+        *leaf* is rejected — it would turn an existing item into a
+        category and shift every dense item index after it.
+    names:
+        Optional names for the new items.
+
+    Returns
+    -------
+    (new_taxonomy, new_item_indices):
+        ``new_item_indices[k]`` is the dense item index of the item added
+        under ``parents[k]``.  All pre-existing node ids and item indices
+        are identical in the new taxonomy.
+    """
+    parents = [int(p) for p in parents]
+    if not parents:
+        raise TaxonomyError("parents must contain at least one node")
+    for parent in parents:
+        if not 0 <= parent < taxonomy.n_nodes:
+            raise TaxonomyError(f"parent {parent} does not exist")
+        if taxonomy.is_leaf(parent):
+            raise TaxonomyError(
+                f"cannot attach an item under leaf node {parent}: existing "
+                f"items must stay leaves"
+            )
+    if names is not None:
+        names = list(names)
+        if len(names) != len(parents):
+            raise TaxonomyError(
+                f"{len(names)} names given for {len(parents)} new items"
+            )
+
+    old_n = taxonomy.n_nodes
+    parent_array = np.concatenate(
+        [taxonomy.parent, np.asarray(parents, dtype=np.int64)]
+    )
+    all_names: Optional[List[str]] = None
+    if names is not None or taxonomy.name_of(0) != "node:0":
+        all_names = [taxonomy.name_of(v) for v in range(old_n)]
+        if names is None:
+            names = [f"new-item-{k}" for k in range(len(parents))]
+        all_names.extend(names)
+    grown = Taxonomy(parent_array, names=all_names)
+
+    # New nodes have the highest ids, hence the highest dense indices;
+    # every pre-existing item keeps its index.  Verify the invariant.
+    new_nodes = np.arange(old_n, old_n + len(parents))
+    new_items = grown.items_of_nodes(new_nodes)
+    if not np.array_equal(
+        grown.items[: taxonomy.n_items], taxonomy.items
+    ):  # pragma: no cover - guarded by the leaf-parent check above
+        raise TaxonomyError("item renumbering detected; refusing to proceed")
+    return grown, new_items

@@ -1,0 +1,111 @@
+"""Synthetic taxonomy generation.
+
+The paper's Yahoo! Shopping taxonomy is proprietary; these generators build
+trees with the same *shape statistics* (depth, per-level fan-out) at any
+scale.  See DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.taxonomy.tree import Taxonomy
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+#: Per-level fan-out that preserves the Yahoo! Shopping ratios
+#: (23 top / 270 mid / 1500 low) at roughly 1/10 scale per level.
+PAPER_LIKE_BRANCHING: Tuple[int, ...] = (23, 12, 6)
+
+
+def complete_taxonomy(
+    branching: Sequence[int],
+    items_per_leaf: int,
+    name_prefix: str = "cat",
+) -> Taxonomy:
+    """Build a complete tree: ``branching[d]`` children at internal depth *d*,
+    then ``items_per_leaf`` items under every lowest-level category.
+
+    Nodes are numbered in level order (root = 0, then the top categories,
+    ...), so the items form a contiguous block of the highest ids.
+    """
+    for i, width in enumerate(branching):
+        check_positive(f"branching[{i}]", width)
+    check_positive("items_per_leaf", items_per_leaf)
+
+    widths = list(branching) + [items_per_leaf]
+    parent: List[int] = [-1]
+    names: List[str] = ["<root>"]
+    previous_level = [0]
+    for depth, width in enumerate(widths):
+        current_level: List[int] = []
+        is_item_level = depth == len(widths) - 1
+        for parent_node in previous_level:
+            for k in range(width):
+                node = len(parent)
+                parent.append(parent_node)
+                if is_item_level:
+                    names.append(f"item-{parent_node}-{k}")
+                else:
+                    names.append(f"{name_prefix}-{depth}-{node}")
+                current_level.append(node)
+        previous_level = current_level
+    return Taxonomy(parent, names=names)
+
+
+def random_taxonomy(
+    branching: Sequence[int],
+    items_per_leaf: int,
+    jitter: float = 0.3,
+    seed: RngLike = None,
+    name_prefix: str = "cat",
+) -> Taxonomy:
+    """Like :func:`complete_taxonomy` but with jittered fan-outs.
+
+    Each node's child count is drawn uniformly from
+    ``[width * (1 - jitter), width * (1 + jitter)]`` (at least 1), which
+    produces the uneven category sizes real catalogs have.
+    """
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    rng = ensure_rng(seed)
+    widths = list(branching) + [items_per_leaf]
+    parent: List[int] = [-1]
+    names: List[str] = ["<root>"]
+    previous_level = [0]
+    for depth, width in enumerate(widths):
+        lo = max(1, int(round(width * (1.0 - jitter))))
+        hi = max(lo, int(round(width * (1.0 + jitter))))
+        current_level: List[int] = []
+        is_item_level = depth == len(widths) - 1
+        for parent_node in previous_level:
+            count = int(rng.integers(lo, hi + 1))
+            for k in range(count):
+                node = len(parent)
+                parent.append(parent_node)
+                if is_item_level:
+                    names.append(f"item-{parent_node}-{k}")
+                else:
+                    names.append(f"{name_prefix}-{depth}-{node}")
+                current_level.append(node)
+        previous_level = current_level
+    return Taxonomy(parent, names=names)
+
+
+def paper_scale_taxonomy(scale: float = 0.01, seed: RngLike = 0) -> Taxonomy:
+    """A taxonomy with the paper's level-size *ratios* at a chosen scale.
+
+    ``scale = 1.0`` approximates the evaluation taxonomy of Sec. 7.1
+    (23 top-level categories, ~270 mid, ~1500 low, ~1.5M items); smaller
+    scales shrink only the item level and the lower fan-outs.
+    """
+    check_positive("scale", scale)
+    top = 23
+    mid = max(2, int(round(12 * min(1.0, scale * 10))))
+    low = max(2, int(round(6 * min(1.0, scale * 10))))
+    items = max(2, int(round(1000 * scale)))
+    return random_taxonomy(
+        (top, mid, low), items_per_leaf=items, jitter=0.25, seed=seed
+    )

@@ -1,0 +1,113 @@
+"""Serialization of taxonomies and parsing of public catalog formats.
+
+Two on-disk formats:
+
+* a native JSON format (``save_taxonomy`` / ``load_taxonomy``) that
+  round-trips :class:`~repro.taxonomy.tree.Taxonomy` exactly, and
+* the Amazon product-metadata convention — JSON lines, each with an item id
+  and one or more root-to-leaf ``categories`` paths — which is the public
+  substitute for the paper's proprietary Yahoo! Shopping mapping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.taxonomy.builder import from_paths
+from repro.taxonomy.tree import Taxonomy, TaxonomyError
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_taxonomy(taxonomy: Taxonomy, path: PathLike) -> None:
+    """Write *taxonomy* to *path* in the native JSON format."""
+    payload = {
+        "format": "repro-taxonomy",
+        "version": _FORMAT_VERSION,
+        "parent": [int(p) for p in taxonomy.parent],
+        "names": [taxonomy.name_of(v) for v in range(taxonomy.n_nodes)],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_taxonomy(path: PathLike) -> Taxonomy:
+    """Read a taxonomy written by :func:`save_taxonomy`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro-taxonomy":
+        raise TaxonomyError(f"{path} is not a repro taxonomy file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise TaxonomyError(
+            f"unsupported taxonomy format version {payload.get('version')!r}"
+        )
+    return Taxonomy(payload["parent"], names=payload.get("names"))
+
+
+def parse_category_records(
+    records: Iterable[Union[str, dict]],
+    id_field: str = "asin",
+    category_field: str = "categories",
+) -> Tuple[Taxonomy, Dict[str, int]]:
+    """Build a taxonomy from Amazon-style metadata records.
+
+    Parameters
+    ----------
+    records:
+        JSON strings or already-decoded dicts.  Each record must contain an
+        item identifier (*id_field*) and *category_field*: either one path
+        (list of names) or a list of paths; only the first path of each item
+        is used, matching the paper's single-categorization assumption.
+    Returns
+    -------
+    (taxonomy, item_ids):
+        The taxonomy, and a mapping from the catalog's item identifier to
+        the dense item index in the taxonomy.
+    """
+    paths: List[List[str]] = []
+    identifiers: List[str] = []
+    seen: Dict[str, None] = {}
+    for record in records:
+        if isinstance(record, str):
+            record = record.strip()
+            if not record:
+                continue
+            record = json.loads(record)
+        item_id = record.get(id_field)
+        categories = record.get(category_field)
+        if item_id is None or not categories:
+            continue
+        if item_id in seen:
+            continue
+        seen.setdefault(item_id)
+        path = categories[0] if isinstance(categories[0], (list, tuple)) else categories
+        if not path:
+            continue
+        paths.append([str(c) for c in path] + [f"item::{item_id}"])
+        identifiers.append(str(item_id))
+    if not paths:
+        raise TaxonomyError("no usable category records found")
+
+    taxonomy = from_paths(paths)
+    item_ids: Dict[str, int] = {}
+    name_to_item = {
+        taxonomy.name_of(taxonomy.node_of_item(i)): i
+        for i in range(taxonomy.n_items)
+    }
+    for identifier in identifiers:
+        item_ids[identifier] = name_to_item[f"item::{identifier}"]
+    return taxonomy, item_ids
+
+
+def load_category_file(
+    path: PathLike, id_field: str = "asin", category_field: str = "categories"
+) -> Tuple[Taxonomy, Dict[str, int]]:
+    """Parse a JSON-lines category metadata file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_category_records(
+            handle, id_field=id_field, category_field=category_field
+        )

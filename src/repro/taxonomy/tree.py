@@ -1,0 +1,331 @@
+"""The :class:`Taxonomy` tree over items and categories.
+
+A taxonomy is a rooted tree.  Interior nodes are categories; leaves are the
+items that can be purchased.  The TF model of the paper attaches an *offset*
+factor to every node and defines an item's effective factor as the sum of the
+offsets along its ancestor chain (Eq. 1), so the operations this class is
+optimized for are:
+
+* ancestor chains as padded integer matrices (for vectorized gathers),
+* children / sibling lookups (for sibling-based training, Sec. 4.2),
+* level slices (for cascaded inference, Sec. 5.1).
+
+Nodes are integers ``0 .. n_nodes - 1`` with node ``0`` as the root.  The
+virtual id ``n_nodes`` (:attr:`Taxonomy.pad_id`) pads ragged ancestor chains;
+factor stores allocate one extra zero row for it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+ROOT = 0
+
+
+class TaxonomyError(ValueError):
+    """Raised when a structure does not form a valid taxonomy."""
+
+
+class Taxonomy:
+    """An immutable rooted tree whose leaves are items.
+
+    Parameters
+    ----------
+    parent:
+        ``parent[v]`` is the parent node of ``v``; ``parent[0]`` must be
+        ``-1`` (node 0 is the root).
+    names:
+        Optional human-readable node names (same length as ``parent``).
+
+    Notes
+    -----
+    Items are *defined* as the leaves of the tree.  ``item_of_node`` /
+    ``node_of_item`` translate between the dense item index space
+    ``0 .. n_items - 1`` (used by transaction logs and factor matrices) and
+    node ids.
+    """
+
+    def __init__(self, parent: Sequence[int], names: Optional[Sequence[str]] = None):
+        self._parent = np.asarray(parent, dtype=np.int64)
+        if self._parent.ndim != 1 or self._parent.size == 0:
+            raise TaxonomyError("parent must be a non-empty 1-d array")
+        if self._parent[ROOT] != -1:
+            raise TaxonomyError("node 0 must be the root (parent[0] == -1)")
+        n = self._parent.size
+        if np.count_nonzero(self._parent == -1) != 1:
+            raise TaxonomyError("exactly one root (parent == -1) is allowed")
+        others = np.delete(self._parent, ROOT)
+        if others.size and (others.min() < 0 or others.max() >= n):
+            raise TaxonomyError("parent ids must reference existing nodes")
+
+        self._level = self._compute_levels()
+        self._children = self._compute_children()
+        leaf_mask = np.array([len(self._children[v]) == 0 for v in range(n)])
+        if leaf_mask[ROOT] and n > 1:
+            raise TaxonomyError("root cannot be a leaf in a multi-node taxonomy")
+        self._items = np.flatnonzero(leaf_mask)
+        self._item_index = np.full(n, -1, dtype=np.int64)
+        self._item_index[self._items] = np.arange(self._items.size)
+
+        if names is not None:
+            names = list(names)
+            if len(names) != n:
+                raise TaxonomyError(
+                    f"names has {len(names)} entries for {n} nodes"
+                )
+        self._names = names
+        self._ancestor_cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes, including the root and all items."""
+        return self._parent.size
+
+    @property
+    def n_items(self) -> int:
+        """Number of items (leaves)."""
+        return self._items.size
+
+    @property
+    def pad_id(self) -> int:
+        """Virtual node id used to pad ragged ancestor chains."""
+        return self.n_nodes
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest node (root has depth 0)."""
+        return int(self._level.max())
+
+    @property
+    def parent(self) -> np.ndarray:
+        """Read-only parent array (root's entry is ``-1``)."""
+        view = self._parent.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def level(self) -> np.ndarray:
+        """Read-only depth of every node (root = 0)."""
+        view = self._level.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def items(self) -> np.ndarray:
+        """Node ids of all items, ordered by node id."""
+        view = self._items.view()
+        view.flags.writeable = False
+        return view
+
+    def name_of(self, node: int) -> str:
+        """Human-readable name of *node* (falls back to ``node:<id>``)."""
+        if self._names is not None:
+            return self._names[node]
+        return f"node:{node}"
+
+    # ------------------------------------------------------------------
+    # Item <-> node translation
+    # ------------------------------------------------------------------
+    def node_of_item(self, item: int) -> int:
+        """Node id of dense item index *item*."""
+        return int(self._items[item])
+
+    def nodes_of_items(self, items: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`node_of_item`."""
+        return self._items[np.asarray(items, dtype=np.int64)]
+
+    def item_of_node(self, node: int) -> int:
+        """Dense item index of leaf *node* (``-1`` for interior nodes)."""
+        return int(self._item_index[node])
+
+    def items_of_nodes(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`item_of_node`."""
+        return self._item_index[np.asarray(nodes, dtype=np.int64)]
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether *node* is an item."""
+        return self._item_index[node] >= 0
+
+    # ------------------------------------------------------------------
+    # Tree navigation
+    # ------------------------------------------------------------------
+    def children(self, node: int) -> np.ndarray:
+        """Children of *node* (empty array for items)."""
+        return self._children[node]
+
+    def siblings(self, node: int) -> np.ndarray:
+        """Other children of *node*'s parent (empty for the root)."""
+        if node == ROOT:
+            return np.empty(0, dtype=np.int64)
+        kids = self._children[self._parent[node]]
+        return kids[kids != node]
+
+    def random_sibling(self, node: int, rng: RngLike = None) -> int:
+        """A uniformly random sibling of *node*, or ``-1`` if it has none."""
+        sibs = self.siblings(node)
+        if sibs.size == 0:
+            return -1
+        return int(ensure_rng(rng).choice(sibs))
+
+    def path_to_root(self, node: int) -> List[int]:
+        """Node ids from *node* (inclusive) up to the root (inclusive)."""
+        path = [node]
+        while self._parent[path[-1]] != -1:
+            path.append(int(self._parent[path[-1]]))
+        return path
+
+    def ancestor_at_height(self, node: int, height: int) -> int:
+        """The paper's ``p^m(node)``: walk *height* steps toward the root.
+
+        Walking past the root returns the root.
+        """
+        for _ in range(height):
+            nxt = self._parent[node]
+            if nxt == -1:
+                break
+            node = int(nxt)
+        return int(node)
+
+    def nodes_at_level(self, level: int) -> np.ndarray:
+        """All node ids whose depth equals *level*."""
+        return np.flatnonzero(self._level == level)
+
+    def level_sizes(self) -> List[int]:
+        """Number of nodes at each depth, from the root down."""
+        return [int(np.count_nonzero(self._level == d)) for d in range(self.max_depth + 1)]
+
+    def subtree_items(self, node: int) -> np.ndarray:
+        """Dense item indices of all leaves under *node* (inclusive)."""
+        stack = [node]
+        found: List[int] = []
+        while stack:
+            v = stack.pop()
+            idx = self._item_index[v]
+            if idx >= 0:
+                found.append(int(idx))
+            else:
+                stack.extend(int(c) for c in self._children[v])
+        return np.asarray(sorted(found), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Ancestor matrices (the hot path of the TF model)
+    # ------------------------------------------------------------------
+    def ancestor_matrix(self, levels: Optional[int] = None) -> np.ndarray:
+        """Padded ancestor chains for *all* nodes.
+
+        Returns an ``(n_nodes, levels)`` int64 matrix ``A`` where row ``v``
+        is ``[v, parent(v), grandparent(v), ...]`` padded with
+        :attr:`pad_id` once the root has been passed.  ``levels`` defaults
+        to ``max_depth + 1`` (full chains).
+
+        The chain *includes* the root when ``levels`` is large enough, which
+        matches Eq. 1 / Fig. 3 of the paper (``v_A = w_R + w_S + w_M + w_A``).
+        """
+        if levels is None:
+            levels = self.max_depth + 1
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        cached = self._ancestor_cache.get(levels)
+        if cached is not None:
+            return cached
+
+        n = self.n_nodes
+        out = np.full((n, levels), self.pad_id, dtype=np.int64)
+        current = np.arange(n, dtype=np.int64)
+        alive = np.ones(n, dtype=bool)
+        for col in range(levels):
+            out[alive, col] = current[alive]
+            parents = self._parent[current]
+            alive = alive & (parents != -1)
+            current = np.where(alive, parents, current)
+        out.flags.writeable = False
+        self._ancestor_cache[levels] = out
+        return out
+
+    def item_ancestor_matrix(self, levels: Optional[int] = None) -> np.ndarray:
+        """Rows of :meth:`ancestor_matrix` restricted to items.
+
+        Shape ``(n_items, levels)``; row ``k`` is the chain of the item with
+        dense index ``k``.
+        """
+        return self.ancestor_matrix(levels)[self._items]
+
+    def item_category(self, items: np.ndarray, level: int) -> np.ndarray:
+        """Map dense item indices to their ancestor node at depth *level*.
+
+        Items shallower than *level* map to themselves.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        nodes = self._items[items]
+        full = self.ancestor_matrix()
+        # Column m holds p^m(node); the ancestor at depth `level` of a node
+        # at depth d is p^(d - level)(node).
+        heights = self._level[nodes] - level
+        heights = np.clip(heights, 0, full.shape[1] - 1)
+        return full[nodes, heights]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _compute_levels(self) -> np.ndarray:
+        n = self._parent.size
+        level = np.full(n, -1, dtype=np.int64)
+        level[ROOT] = 0
+        for v in range(n):
+            if level[v] >= 0:
+                continue
+            chain = [v]
+            while level[chain[-1]] < 0:
+                p = self._parent[chain[-1]]
+                if p == -1:
+                    break
+                if len(chain) > n:
+                    raise TaxonomyError("parent pointers contain a cycle")
+                chain.append(int(p))
+            base = level[chain[-1]]
+            if base < 0:
+                raise TaxonomyError("node is disconnected from the root")
+            for offset, node in enumerate(reversed(chain[:-1]), start=1):
+                level[node] = base + offset
+        if (level < 0).any():
+            raise TaxonomyError("taxonomy contains disconnected nodes")
+        return level
+
+    def _compute_children(self) -> List[np.ndarray]:
+        n = self._parent.size
+        order = np.argsort(self._parent, kind="stable")
+        sorted_parents = self._parent[order]
+        children: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+        start = np.searchsorted(sorted_parents, np.arange(n), side="left")
+        stop = np.searchsorted(sorted_parents, np.arange(n), side="right")
+        for v in range(n):
+            children[v] = np.sort(order[start[v] : stop[v]])
+        return children
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_nodes
+
+    def __repr__(self) -> str:
+        sizes = "/".join(str(s) for s in self.level_sizes())
+        return (
+            f"Taxonomy(n_nodes={self.n_nodes}, n_items={self.n_items}, "
+            f"levels={sizes})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Taxonomy):
+            return NotImplemented
+        return np.array_equal(self._parent, other._parent)
+
+    def __hash__(self) -> int:
+        return hash(self._parent.tobytes())

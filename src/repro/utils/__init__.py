@@ -1,0 +1,24 @@
+"""Shared utilities: seeded randomness, configuration, validation, logging."""
+
+from repro.utils.config import CascadeConfig, SyntheticConfig, TrainConfig
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "CascadeConfig",
+    "SyntheticConfig",
+    "TrainConfig",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_in",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+]

@@ -1,0 +1,201 @@
+"""Configuration dataclasses for models, training, data generation, inference.
+
+The parameter names follow the paper where one exists:
+
+* ``taxonomy_levels`` is the paper's ``taxonomyUpdateLevels`` (``U``): how
+  many levels of the taxonomy, counted up from the item level, contribute
+  offset factors to an item's effective factor.  ``U = 1`` disables the
+  taxonomy (plain latent factor model).
+* ``markov_order`` is the paper's ``maxPrevtransactions`` (``B``/``N``): how
+  many previous transactions feed the short-term affinity term.  ``B = 0``
+  disables the Markov term.
+* ``alpha`` scales the exponential decay ``α_n = α·exp(-n/N)`` of Eq. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for BPR/SGD training of MF and TF models.
+
+    Attributes
+    ----------
+    factors:
+        Dimensionality ``K`` of every latent factor.
+    epochs:
+        Number of full passes over the training purchases.
+    learning_rate:
+        SGD step size ``ε``.
+    reg:
+        L2 regularization strength ``λ`` (the Gaussian-prior precision).
+    taxonomy_levels:
+        ``U`` — taxonomy levels used, counted from the items upward.
+    markov_order:
+        ``B`` — previous transactions used by the short-term term.
+    alpha:
+        Scale of the exponential transaction-decay weights.
+    sibling_ratio:
+        Fraction of SGD updates drawn from the sibling-based sampler
+        (Sec. 4.2); ``0`` reproduces plain random-negative training.
+    sibling_min_level:
+        Lowest taxonomy level sibling examples are generated for.  The
+        paper's Fig. 3 includes the item level (``0``); on small leaf
+        categories item-level sibling negatives frequently coincide with
+        the user's future purchases, so ``1`` (categories and above) is a
+        safer default at laptop scale — see the abl-sibling ablation.
+    batch_size:
+        Minibatch size of the vectorized SGD implementation.
+    init_scale:
+        Standard deviation of the Gaussian factor initialization.
+    use_bias:
+        Learn per-node popularity bias terms (an item's bias is the sum
+        along its chain).  The paper elides biases "for simplicity of
+        exposition"; they are standard in BPR implementations.
+    negative_attempts:
+        Resampling attempts when a negative item collides with the positive
+        transaction.
+    negative_pool:
+        Where negatives are drawn from: ``"all"`` items (the paper's
+        ``j ∉ B_t`` over the whole universe) or ``"purchased"`` items only.
+        The latter leaves never-purchased items at their prior (their
+        category factors), which matters for cold-start behaviour on small
+        item universes — see EXPERIMENTS.md (Fig. 7c).
+    seed:
+        Master seed for sampling and initialization.
+    shuffle:
+        Whether to reshuffle the training tuples every epoch.
+    """
+
+    factors: int = 16
+    epochs: int = 10
+    learning_rate: float = 0.05
+    reg: float = 0.01
+    taxonomy_levels: int = 4
+    markov_order: int = 0
+    alpha: float = 1.0
+    sibling_ratio: float = 0.0
+    sibling_min_level: int = 1
+    batch_size: int = 512
+    init_scale: float = 0.1
+    use_bias: bool = True
+    negative_attempts: int = 8
+    negative_pool: str = "all"
+    seed: Optional[int] = 0
+    shuffle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.negative_pool not in ("all", "purchased"):
+            raise ValueError(
+                f"negative_pool must be 'all' or 'purchased', "
+                f"got {self.negative_pool!r}"
+            )
+        check_positive("factors", self.factors)
+        check_non_negative("epochs", self.epochs)
+        check_positive("learning_rate", self.learning_rate)
+        check_non_negative("reg", self.reg)
+        check_positive("taxonomy_levels", self.taxonomy_levels)
+        check_non_negative("markov_order", self.markov_order)
+        check_non_negative("alpha", self.alpha)
+        check_fraction("sibling_ratio", self.sibling_ratio)
+        check_non_negative("sibling_min_level", self.sibling_min_level)
+        check_positive("batch_size", self.batch_size)
+        check_positive("init_scale", self.init_scale)
+        check_positive("negative_attempts", self.negative_attempts)
+
+
+@dataclass
+class CascadeConfig:
+    """Parameters of cascaded inference (Sec. 5.1).
+
+    ``keep_fractions[i]`` is the paper's ``k_i``: the fraction of nodes kept
+    at taxonomy level ``i + 1`` (level 1 = children of the root) before the
+    search descends into their children.  A fraction of ``1.0`` keeps the
+    whole level, which makes the cascade exact.
+    """
+
+    keep_fractions: Tuple[float, ...] = (1.0, 1.0, 1.0)
+    min_keep: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.keep_fractions:
+            raise ValueError("keep_fractions must contain at least one level")
+        for i, frac in enumerate(self.keep_fractions):
+            check_fraction(f"keep_fractions[{i}]", frac)
+        check_positive("min_keep", self.min_keep)
+
+
+@dataclass
+class SyntheticConfig:
+    """Parameters of the synthetic purchase-log generator.
+
+    The defaults produce a laptop-scale analogue of the paper's dataset: a
+    3-internal-level taxonomy whose per-level sizes keep the Yahoo! Shopping
+    ratios (23 : 270 : 1500), heavy-tailed item popularity, ~2-3 purchases
+    per user, and leaf-category transition structure for the Markov term.
+    """
+
+    # Taxonomy shape: children per node at each internal level, then items
+    # per leaf category.  Default: 8 top categories x 4 x 4 = 128 leaf
+    # categories, 6 items each = 768 items.
+    branching: Tuple[int, ...] = (8, 4, 4)
+    items_per_leaf: int = 6
+    n_users: int = 2000
+    # Transactions per user ~ 1 + Poisson(mean_transactions - 1).
+    mean_transactions: float = 3.0
+    # Items per transaction ~ 1 + Poisson(mean_basket_size - 1).
+    mean_basket_size: float = 1.5
+    # Zipf exponent of within-leaf item popularity.
+    popularity_exponent: float = 1.1
+    # Dirichlet concentration of user interest over top-level categories;
+    # smaller = more focused users = stronger hierarchical signal.
+    interest_concentration: float = 0.25
+    # Probability that a transaction is driven by the short-term transition
+    # kernel (vs. the user's long-term interests).
+    transition_strength: float = 0.5
+    # Number of "related" leaf categories each leaf category points to.
+    transitions_per_leaf: int = 3
+    # Fraction of items withheld from the training period so they first
+    # appear in test transactions (cold start, Fig. 7c).
+    new_item_fraction: float = 0.05
+    # Probability that a user's transaction repeats a previously bought item.
+    repeat_probability: float = 0.1
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if not self.branching:
+            raise ValueError("branching must contain at least one level")
+        for i, width in enumerate(self.branching):
+            check_positive(f"branching[{i}]", width)
+        check_positive("items_per_leaf", self.items_per_leaf)
+        check_positive("n_users", self.n_users)
+        check_positive("mean_transactions", self.mean_transactions)
+        check_positive("mean_basket_size", self.mean_basket_size)
+        check_positive("popularity_exponent", self.popularity_exponent)
+        check_positive("interest_concentration", self.interest_concentration)
+        check_fraction("transition_strength", self.transition_strength)
+        check_positive("transitions_per_leaf", self.transitions_per_leaf)
+        check_fraction("new_item_fraction", self.new_item_fraction)
+        check_fraction("repeat_probability", self.repeat_probability)
+
+    @property
+    def n_leaf_categories(self) -> int:
+        """Number of lowest-level internal nodes."""
+        total = 1
+        for width in self.branching:
+            total *= width
+        return total
+
+    @property
+    def n_items(self) -> int:
+        """Total number of items (taxonomy leaves)."""
+        return self.n_leaf_categories * self.items_per_leaf

@@ -1,0 +1,30 @@
+"""Library logging setup.
+
+The library logs under the ``repro`` namespace and never configures the root
+logger; applications opt in via :func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger scoped under the ``repro`` namespace."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger (idempotent)."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,46 @@
+"""Seeded random-number utilities.
+
+Every stochastic component in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` and funnels it through
+:func:`ensure_rng` so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, or an existing generator
+        (returned unchanged so that callers can thread one generator through
+        a whole experiment).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int, or numpy Generator, got {type(seed)!r}")
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list:
+    """Derive *count* independent generators from one seed.
+
+    Used by parallel components so each worker gets its own stream while the
+    overall run stays deterministic for a fixed master seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    master = ensure_rng(seed)
+    seeds = master.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,46 @@
+"""Small argument-validation helpers used across the library.
+
+These raise early with actionable messages instead of letting bad values
+propagate into numpy broadcasting errors deep inside the trainers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_fraction(name: str, value: float, inclusive: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]`` (or ``(0, 1)``)."""
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> None:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+
+
+def check_type(name: str, value: Any, expected: type) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )

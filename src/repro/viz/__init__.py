@@ -1,0 +1,18 @@
+"""Visualization substrate: t-SNE, PCA, and factor-clustering diagnostics."""
+
+from repro.viz.projection import (
+    ClusteringReport,
+    pca,
+    project_taxonomy_factors,
+    taxonomy_clustering_report,
+)
+from repro.viz.tsne import kl_divergence, tsne
+
+__all__ = [
+    "tsne",
+    "kl_divergence",
+    "pca",
+    "project_taxonomy_factors",
+    "taxonomy_clustering_report",
+    "ClusteringReport",
+]

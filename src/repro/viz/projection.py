@@ -1,0 +1,146 @@
+"""Linear projections and taxonomy-clustering diagnostics (Fig. 7e).
+
+Fig. 7(e) is qualitative — "item factors occur close to their ancestors".
+To make it testable, :func:`taxonomy_clustering_report` quantifies the
+claim: the mean factor-space distance between a node and its parent should
+be clearly smaller than between random node pairs, and should shrink as we
+move down the tree (the paper notes offset magnitudes decrease with depth,
+which is also what justifies cascaded pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.factors import FactorSet
+from repro.taxonomy.tree import ROOT, Taxonomy
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def pca(x: np.ndarray, n_components: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    """Principal component projection of the rows of *x*.
+
+    Returns ``(projected, explained_variance_ratio)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("x must be 2-d (points × features)")
+    centered = x - x.mean(axis=0)
+    _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+    projected = centered @ vt[:n_components].T
+    variance = singular_values**2
+    ratio = variance[:n_components] / max(variance.sum(), 1e-12)
+    return projected, ratio
+
+
+@dataclass
+class ClusteringReport:
+    """Quantified version of Fig. 7(e)'s visual claim."""
+
+    parent_child_distance: float
+    random_pair_distance: float
+    offset_norm_by_level: Dict[int, float]
+    n_nodes: int
+
+    @property
+    def clustering_ratio(self) -> float:
+        """parent-child / random-pair distance; < 1 means taxonomy
+        structure is visible in factor space."""
+        if self.random_pair_distance <= 0:
+            return float("nan")
+        return self.parent_child_distance / self.random_pair_distance
+
+
+def taxonomy_clustering_report(
+    factor_set: FactorSet,
+    max_level: Optional[int] = None,
+    n_random_pairs: int = 2000,
+    seed: RngLike = 0,
+) -> ClusteringReport:
+    """Measure how tightly effective factors cluster around ancestors.
+
+    Parameters
+    ----------
+    factor_set:
+        Trained factors.
+    max_level:
+        Deepest taxonomy level to include (the paper plots the upper three
+        levels).  Defaults to the whole tree.
+    """
+    taxonomy: Taxonomy = factor_set.taxonomy
+    rng = ensure_rng(seed)
+    if max_level is None:
+        max_level = taxonomy.max_depth
+    nodes = np.flatnonzero(
+        (taxonomy.level >= 1) & (taxonomy.level <= max_level)
+    )
+    if nodes.size < 2:
+        raise ValueError("need at least two non-root nodes to compare")
+    effective = factor_set.effective_nodes(nodes)
+
+    # Parent-child distances (children whose parent is not the root and
+    # both endpoints are inside the level window).
+    position = {int(v): k for k, v in enumerate(nodes)}
+    child_rows = []
+    parent_rows = []
+    for k, node in enumerate(nodes):
+        parent = int(taxonomy.parent[node])
+        if parent != -1 and parent != ROOT and parent in position:
+            child_rows.append(k)
+            parent_rows.append(position[parent])
+    if child_rows:
+        diffs = effective[child_rows] - effective[parent_rows]
+        parent_child = float(np.linalg.norm(diffs, axis=1).mean())
+    else:
+        parent_child = float("nan")
+
+    left = rng.integers(0, nodes.size, size=n_random_pairs)
+    right = rng.integers(0, nodes.size, size=n_random_pairs)
+    keep = left != right
+    random_pairs = float(
+        np.linalg.norm(effective[left[keep]] - effective[right[keep]], axis=1).mean()
+    )
+
+    offset_norms: Dict[int, float] = {}
+    for level in range(1, max_level + 1):
+        level_nodes = taxonomy.nodes_at_level(level)
+        level_nodes = level_nodes[level_nodes != taxonomy.pad_id]
+        if level_nodes.size:
+            offset_norms[level] = float(
+                np.linalg.norm(factor_set.w[level_nodes], axis=1).mean()
+            )
+    return ClusteringReport(
+        parent_child_distance=parent_child,
+        random_pair_distance=random_pairs,
+        offset_norm_by_level=offset_norms,
+        n_nodes=int(nodes.size),
+    )
+
+
+def project_taxonomy_factors(
+    factor_set: FactorSet,
+    max_level: int = 3,
+    method: str = "pca",
+    seed: RngLike = 0,
+    **tsne_kwargs,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """2-d projection of the upper taxonomy levels' effective factors.
+
+    Returns ``(coordinates, node_ids, levels)`` — the data behind
+    Fig. 7(e)'s colored scatter (red = level 1, green = 2, blue = 3).
+    """
+    taxonomy: Taxonomy = factor_set.taxonomy
+    nodes = np.flatnonzero((taxonomy.level >= 1) & (taxonomy.level <= max_level))
+    effective = factor_set.effective_nodes(nodes)
+    if method == "pca":
+        coords, _ = pca(effective, n_components=2)
+    elif method == "tsne":
+        from repro.viz.tsne import tsne
+
+        coords = tsne(effective, n_components=2, seed=seed, **tsne_kwargs)
+    else:
+        raise ValueError(f"method must be 'pca' or 'tsne', got {method!r}")
+    return coords, nodes, taxonomy.level[nodes]

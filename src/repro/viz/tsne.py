@@ -1,0 +1,143 @@
+"""Exact t-SNE in numpy (for Fig. 7e's factor visualization).
+
+The paper projects the learned factors of the top three taxonomy levels to
+2-d with t-SNE [28] and observes that items cluster around their ancestors.
+This is a compact implementation of exact (O(n²)) t-SNE — the same
+algorithm van der Maaten's tool runs — sufficient for the ≤2k node factors
+the figure uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+_EPS = 1e-12
+
+
+def _pairwise_squared_distances(x: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance matrix of the rows of *x*."""
+    sq = np.sum(x**2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return d2
+
+
+def _conditional_probabilities(
+    distances: np.ndarray, perplexity: float, tol: float = 1e-5, max_iter: int = 64
+) -> np.ndarray:
+    """Row-wise Gaussian affinities whose entropy matches *perplexity*.
+
+    For every point, the bandwidth (precision ``beta``) is found by binary
+    search so that the conditional distribution's perplexity equals the
+    target — the standard t-SNE calibration.
+    """
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta_low, beta_high = 0.0, np.inf
+        beta = 1.0
+        row = np.delete(distances[i], i)
+        for _ in range(max_iter):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= _EPS:
+                entropy = 0.0
+                probs = np.zeros_like(row)
+            else:
+                probs = weights / total
+                entropy = -np.sum(probs * np.log(probs + _EPS))
+            error = entropy - target_entropy
+            if abs(error) < tol:
+                break
+            if error > 0:  # entropy too high → sharpen
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low == 0.0 else (beta + beta_low) / 2.0
+        p[i, np.arange(n) != i] = probs
+    return p
+
+
+def tsne(
+    x: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 30.0,
+    n_iter: int = 400,
+    learning_rate="auto",
+    early_exaggeration: float = 4.0,
+    exaggeration_iter: int = 100,
+    momentum: float = 0.8,
+    seed: RngLike = 0,
+) -> np.ndarray:
+    """Embed the rows of *x* into ``n_components`` dimensions.
+
+    Standard exact t-SNE: symmetrized Gaussian input affinities, Student-t
+    output kernel, gradient descent with momentum and early exaggeration.
+    ``learning_rate="auto"`` scales the step with the input size
+    (``max(n / early_exaggeration / 4, 20)``), which keeps the descent
+    stable from tens to thousands of points.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("x must be 2-d (points × features)")
+    n = x.shape[0]
+    check_positive("n_iter", n_iter)
+    check_positive("perplexity", perplexity)
+    if learning_rate == "auto":
+        learning_rate = max(n / early_exaggeration / 4.0, 20.0)
+    check_positive("learning_rate", learning_rate)
+    if n <= 3 * perplexity:
+        perplexity = max((n - 1) / 3.0, 1.0)
+
+    rng = ensure_rng(seed)
+    distances = _pairwise_squared_distances(x)
+    p_conditional = _conditional_probabilities(distances, perplexity)
+    p = (p_conditional + p_conditional.T) / (2.0 * n)
+    np.maximum(p, _EPS, out=p)
+
+    y = rng.normal(0.0, 1e-4, size=(n, n_components))
+    velocity = np.zeros_like(y)
+    exaggerated = p * early_exaggeration
+    for iteration in range(n_iter):
+        p_now = exaggerated if iteration < exaggeration_iter else p
+        d2 = _pairwise_squared_distances(y)
+        q_kernel = 1.0 / (1.0 + d2)
+        np.fill_diagonal(q_kernel, 0.0)
+        q = q_kernel / max(q_kernel.sum(), _EPS)
+        np.maximum(q, _EPS, out=q)
+
+        coeff = (p_now - q) * q_kernel
+        grad = 4.0 * (np.diag(coeff.sum(axis=1)) - coeff) @ y
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y
+
+
+def kl_divergence(x: np.ndarray, y: np.ndarray, perplexity: float = 30.0) -> float:
+    """KL(P‖Q) of an embedding — the objective t-SNE minimizes."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n = x.shape[0]
+    if n <= 3 * perplexity:
+        perplexity = max((n - 1) / 3.0, 1.0)
+    p_conditional = _conditional_probabilities(
+        _pairwise_squared_distances(x), perplexity
+    )
+    p = (p_conditional + p_conditional.T) / (2.0 * n)
+    np.maximum(p, _EPS, out=p)
+    d2 = _pairwise_squared_distances(y)
+    q_kernel = 1.0 / (1.0 + d2)
+    np.fill_diagonal(q_kernel, 0.0)
+    q = q_kernel / max(q_kernel.sum(), _EPS)
+    np.maximum(q, _EPS, out=q)
+    mask = ~np.eye(n, dtype=bool)
+    return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))

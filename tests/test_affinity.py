@@ -1,0 +1,154 @@
+"""Tests for the temporal affinity model (Eq. 2/3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import (
+    ContextTable,
+    context_items_weights,
+    decay_weights,
+    score_items,
+    user_query_vector,
+)
+from repro.core.factors import KIND_NEXT, FactorSet
+from repro.data.transactions import TransactionLog
+from repro.taxonomy.generator import complete_taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return complete_taxonomy((2, 2), items_per_leaf=2)
+
+
+@pytest.fixture()
+def fs(taxonomy):
+    return FactorSet(n_users=4, taxonomy=taxonomy, factors=3, levels=2, seed=1)
+
+
+@pytest.fixture()
+def log():
+    return TransactionLog(
+        [
+            [[0, 1], [2], [3, 4]],
+            [[5]],
+        ],
+        n_items=8,
+    )
+
+
+class TestDecayWeights:
+    def test_formula(self):
+        w = decay_weights(3, alpha=2.0)
+        expected = 2.0 * np.exp(-np.arange(1, 4) / 3.0)
+        np.testing.assert_allclose(w, expected)
+
+    def test_zero_order_empty(self):
+        assert decay_weights(0).size == 0
+
+    def test_monotone_decreasing(self):
+        w = decay_weights(5)
+        assert np.all(np.diff(w) < 0)
+
+    def test_negative_order_raises(self):
+        with pytest.raises(ValueError):
+            decay_weights(-1)
+
+
+class TestContextItemsWeights:
+    def test_single_previous_transaction(self):
+        history = [np.array([3, 4])]
+        items, weights = context_items_weights(history, order=1, alpha=1.0)
+        assert sorted(items.tolist()) == [3, 4]
+        expected = np.exp(-1.0) / 2.0
+        np.testing.assert_allclose(weights, [expected, expected])
+
+    def test_order_limits_lookback(self):
+        history = [np.array([0]), np.array([1]), np.array([2])]
+        items, _ = context_items_weights(history, order=2)
+        assert set(items.tolist()) == {1, 2}
+
+    def test_recent_transactions_weigh_more(self):
+        history = [np.array([0]), np.array([1])]
+        items, weights = context_items_weights(history, order=2)
+        by_item = dict(zip(items.tolist(), weights.tolist()))
+        assert by_item[1] > by_item[0]
+
+    def test_empty_history(self):
+        items, weights = context_items_weights([], order=2)
+        assert items.size == 0 and weights.size == 0
+
+    def test_max_items_truncates_to_most_recent(self):
+        history = [np.array([0, 1, 2]), np.array([3, 4, 5])]
+        items, weights = context_items_weights(history, order=2, max_items=3)
+        assert items.size == 3
+        assert set(items.tolist()) == {3, 4, 5}
+
+    def test_basket_share_divides_weight(self):
+        items, weights = context_items_weights([np.array([0, 1, 2, 3])], order=1)
+        np.testing.assert_allclose(weights, np.full(4, np.exp(-1.0) / 4.0))
+
+
+class TestContextTable:
+    def test_rows_cover_all_transactions(self, log):
+        table = ContextTable.build(log, order=1)
+        assert table.n_rows == log.n_transactions
+
+    def test_first_transaction_has_empty_context(self, log, fs):
+        table = ContextTable.build(log, order=1)
+        row = table.row(0, 0)
+        assert np.all(table.weights[row] == 0)
+        ctx = table.context_vectors(fs, np.array([row]))
+        np.testing.assert_allclose(ctx, np.zeros((1, 3)))
+
+    def test_context_matches_manual_computation(self, log, fs):
+        table = ContextTable.build(log, order=2)
+        row = table.row(0, 2)  # context: transactions [2] and [0, 1]
+        ctx = table.context_vectors(fs, np.array([row]))[0]
+        alphas = decay_weights(2)
+        expected = alphas[0] * fs.effective_items(np.array([2]), KIND_NEXT)[0]
+        expected = expected + (alphas[1] / 2.0) * (
+            fs.effective_items(np.array([0]), KIND_NEXT)[0]
+            + fs.effective_items(np.array([1]), KIND_NEXT)[0]
+        )
+        np.testing.assert_allclose(ctx, expected)
+
+    def test_row_index_arithmetic(self, log):
+        table = ContextTable.build(log, order=1)
+        rows = table.rows(np.array([0, 0, 1]), np.array([0, 2, 0]))
+        assert rows.tolist() == [0, 2, 3]
+
+    def test_requires_positive_order(self, log):
+        with pytest.raises(ValueError):
+            ContextTable.build(log, order=0)
+
+
+class TestScoring:
+    def test_query_without_history_is_user_factor(self, fs):
+        query = user_query_vector(fs, user=2, history=None, order=1)
+        np.testing.assert_allclose(query, fs.user[2])
+
+    def test_query_with_history_adds_context(self, fs):
+        history = [np.array([0])]
+        query = user_query_vector(fs, 0, history, order=1)
+        expected = fs.user[0] + np.exp(-1.0) * fs.effective_items(
+            np.array([0]), KIND_NEXT
+        )[0]
+        np.testing.assert_allclose(query, expected)
+
+    def test_score_items_eq3(self, fs):
+        history = [np.array([1])]
+        scores = score_items(fs, 0, history, order=1)
+        query = user_query_vector(fs, 0, history, order=1)
+        expected = fs.effective_items() @ query + fs.bias_of_items()
+        np.testing.assert_allclose(scores, expected)
+
+    def test_score_items_subset(self, fs):
+        subset = np.array([2, 5])
+        all_scores = score_items(fs, 1)
+        sub_scores = score_items(fs, 1, items=subset)
+        np.testing.assert_allclose(all_scores[subset], sub_scores)
+
+    def test_order_zero_ignores_history(self, fs):
+        with_history = score_items(fs, 0, [np.array([0])], order=0)
+        without = score_items(fs, 0, None, order=0)
+        np.testing.assert_allclose(with_history, without)

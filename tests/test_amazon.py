@@ -1,0 +1,97 @@
+"""Tests for the Amazon-format loaders."""
+
+import json
+
+import pytest
+
+from repro.data.amazon import (
+    DAY,
+    load_amazon_dataset,
+    parse_interaction_records,
+)
+from repro.taxonomy.io import parse_category_records
+
+METADATA = [
+    {"asin": "A", "categories": [["Electronics", "Cameras"]]},
+    {"asin": "B", "categories": [["Electronics", "Cameras"]]},
+    {"asin": "C", "categories": [["Electronics", "Phones"]]},
+]
+
+REVIEWS = [
+    {"reviewerID": "u1", "asin": "A", "unixReviewTime": 1000},
+    {"reviewerID": "u1", "asin": "B", "unixReviewTime": 1000 + 100},
+    {"reviewerID": "u1", "asin": "C", "unixReviewTime": 1000 + 3 * DAY},
+    {"reviewerID": "u2", "asin": "C", "unixReviewTime": 500},
+    {"reviewerID": "u3", "asin": "ZZZ", "unixReviewTime": 100},
+]
+
+
+@pytest.fixture()
+def catalog():
+    return parse_category_records(METADATA)
+
+
+class TestParseInteractions:
+    def test_same_day_interactions_form_one_basket(self, catalog):
+        taxonomy, item_ids = catalog
+        log, user_ids = parse_interaction_records(
+            REVIEWS, item_ids, n_items=taxonomy.n_items
+        )
+        u1 = user_ids["u1"]
+        baskets = log.user_transactions(u1)
+        assert len(baskets) == 2
+        assert baskets[0].size == 2  # A and B bought together
+
+    def test_baskets_ordered_by_time(self, catalog):
+        taxonomy, item_ids = catalog
+        log, user_ids = parse_interaction_records(
+            REVIEWS, item_ids, n_items=taxonomy.n_items
+        )
+        u1 = user_ids["u1"]
+        first = set(log.basket(u1, 0).tolist())
+        second = set(log.basket(u1, 1).tolist())
+        assert item_ids["C"] in second and item_ids["C"] not in first
+
+    def test_unknown_items_skipped(self, catalog):
+        taxonomy, item_ids = catalog
+        log, user_ids = parse_interaction_records(
+            REVIEWS, item_ids, n_items=taxonomy.n_items
+        )
+        assert "u3" not in user_ids
+
+    def test_json_line_input(self, catalog):
+        taxonomy, item_ids = catalog
+        lines = [json.dumps(r) for r in REVIEWS]
+        log, user_ids = parse_interaction_records(
+            lines, item_ids, n_items=taxonomy.n_items
+        )
+        assert set(user_ids) == {"u1", "u2"}
+
+    def test_custom_basket_window(self, catalog):
+        taxonomy, item_ids = catalog
+        log, user_ids = parse_interaction_records(
+            REVIEWS, item_ids, n_items=taxonomy.n_items, basket_window=10
+        )
+        # With a 10-second window, A and B (100s apart) split.
+        assert len(log.user_transactions(user_ids["u1"])) == 3
+
+    def test_records_missing_fields_skipped(self, catalog):
+        taxonomy, item_ids = catalog
+        log, user_ids = parse_interaction_records(
+            [{"reviewerID": "u9"}], item_ids, n_items=taxonomy.n_items
+        )
+        assert log.n_users == 0
+
+
+class TestLoadDatasetFiles:
+    def test_end_to_end(self, tmp_path):
+        meta_path = tmp_path / "meta.jsonl"
+        meta_path.write_text("\n".join(json.dumps(r) for r in METADATA))
+        reviews_path = tmp_path / "reviews.jsonl"
+        reviews_path.write_text("\n".join(json.dumps(r) for r in REVIEWS))
+        taxonomy, log, item_ids, user_ids = load_amazon_dataset(
+            meta_path, reviews_path
+        )
+        assert taxonomy.n_items == 3
+        assert log.n_users == 2
+        assert log.n_items == taxonomy.n_items

@@ -1,0 +1,60 @@
+"""Tests for the BPR numerical primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.bpr import bpr_coefficient, bpr_pair_loss, log_sigmoid, sigmoid
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_symmetry(self, rng):
+        z = rng.normal(0, 5, size=100)
+        np.testing.assert_allclose(sigmoid(z) + sigmoid(-z), np.ones(100))
+
+    def test_extreme_values_do_not_overflow(self):
+        out = sigmoid(np.array([-1e6, 1e6]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_monotone(self, rng):
+        z = np.sort(rng.normal(0, 3, size=50))
+        assert np.all(np.diff(sigmoid(z)) >= 0)
+
+
+class TestLogSigmoid:
+    def test_matches_log_of_sigmoid(self, rng):
+        z = rng.normal(0, 3, size=100)
+        np.testing.assert_allclose(log_sigmoid(z), np.log(sigmoid(z)), atol=1e-12)
+
+    def test_large_negative_is_linear(self):
+        assert log_sigmoid(np.array([-50.0]))[0] == pytest.approx(-50.0, rel=1e-6)
+
+    def test_never_positive(self, rng):
+        z = rng.normal(0, 10, size=100)
+        assert np.all(log_sigmoid(z) <= 0)
+
+
+class TestBprCoefficient:
+    def test_is_one_minus_sigmoid(self, rng):
+        z = rng.normal(0, 2, size=20)
+        np.testing.assert_allclose(bpr_coefficient(z), 1.0 - sigmoid(z))
+
+    def test_well_ranked_pair_has_small_coefficient(self):
+        assert bpr_coefficient(np.array([10.0]))[0] < 1e-4
+
+    def test_badly_ranked_pair_has_large_coefficient(self):
+        assert bpr_coefficient(np.array([-10.0]))[0] > 1.0 - 1e-4
+
+
+class TestBprPairLoss:
+    def test_zero_diff_is_log_two(self):
+        assert bpr_pair_loss(np.zeros(5)) == pytest.approx(np.log(2.0))
+
+    def test_empty_batch(self):
+        assert bpr_pair_loss(np.array([])) == 0.0
+
+    def test_loss_decreases_with_separation(self):
+        assert bpr_pair_loss(np.array([3.0])) < bpr_pair_loss(np.array([0.5]))

@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A generated dataset plus a trained model on disk."""
+    directory = tmp_path_factory.mktemp("cli")
+    assert (
+        main(
+            [
+                "generate",
+                "--out-dir",
+                str(directory),
+                "--users",
+                "300",
+                "--seed",
+                "3",
+            ]
+        )
+        == 0
+    )
+    model_path = directory / "tf.npz"
+    assert (
+        main(
+            [
+                "train",
+                "--data-dir",
+                str(directory),
+                "--model",
+                str(model_path),
+                "--factors",
+                "8",
+                "--epochs",
+                "3",
+            ]
+        )
+        == 0
+    )
+    return directory, model_path
+
+
+class TestGenerate:
+    def test_writes_both_files(self, workspace):
+        directory, _ = workspace
+        assert (directory / "taxonomy.json").exists()
+        assert (directory / "transactions.jsonl").exists()
+
+
+class TestTrain:
+    def test_writes_model_and_metadata(self, workspace):
+        _, model_path = workspace
+        assert model_path.exists()
+        meta = json.loads(Path(str(model_path) + ".meta.json").read_text())
+        assert meta["levels"] == 4
+
+    def test_mf_baseline_via_levels_one(self, workspace, capsys):
+        directory, _ = workspace
+        mf_path = directory / "mf.npz"
+        assert (
+            main(
+                [
+                    "train",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(mf_path),
+                    "--levels",
+                    "1",
+                    "--epochs",
+                    "2",
+                    "--factors",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert mf_path.exists()
+
+
+class TestEvaluate:
+    def test_prints_metrics(self, workspace, capsys):
+        directory, model_path = workspace
+        assert (
+            main(
+                ["evaluate", "--data-dir", str(directory), "--model", str(model_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "AUC=" in out and "meanRank=" in out
+
+
+class TestRecommend:
+    def test_prints_k_items(self, workspace, capsys):
+        directory, model_path = workspace
+        assert (
+            main(
+                [
+                    "recommend",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(model_path),
+                    "--user",
+                    "0",
+                    "-k",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 5
+        assert all("category=" in line for line in out)
+
+    def test_rejects_unknown_user(self, workspace):
+        directory, model_path = workspace
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "recommend",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(model_path),
+                    "--user",
+                    "99999",
+                ]
+            )
+
+
+class TestStats:
+    def test_prints_summary(self, workspace, capsys):
+        directory, _ = workspace
+        assert main(["stats", "--data-dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "purchases_per_user" in out
+        assert "gini_popularity" in out
+
+
+class TestErrors:
+    def test_missing_data_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="missing"):
+            main(["stats", "--data-dir", str(tmp_path)])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for core model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.affinity import context_items_weights, decay_weights
+from repro.core.factors import FactorSet
+from repro.data.split import train_test_split
+from repro.data.transactions import TransactionLog
+from repro.taxonomy.generator import complete_taxonomy
+from repro.taxonomy.tree import Taxonomy
+
+TAXONOMY = complete_taxonomy((3, 2), items_per_leaf=3)  # 18 items
+
+
+@st.composite
+def factor_sets(draw):
+    factors = draw(st.integers(min_value=1, max_value=6))
+    levels = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return FactorSet(
+        n_users=3, taxonomy=TAXONOMY, factors=factors, levels=levels, seed=seed
+    )
+
+
+@given(factor_sets())
+@settings(max_examples=40, deadline=None)
+def test_effective_factor_is_chain_sum(fs):
+    """Eq. 1 holds for every item under any truncation level."""
+    items = np.arange(TAXONOMY.n_items)
+    effective = fs.effective_items(items)
+    for item in items:
+        node = TAXONOMY.node_of_item(int(item))
+        chain = TAXONOMY.path_to_root(node)[: fs.levels]
+        np.testing.assert_allclose(
+            effective[item], sum(fs.w[v] for v in chain), atol=1e-12
+        )
+
+
+@given(factor_sets())
+@settings(max_examples=40, deadline=None)
+def test_deeper_levels_only_add_terms(fs):
+    """Increasing U by one adds exactly the next ancestor's offset."""
+    if fs.levels >= 5:
+        return
+    bigger = FactorSet(
+        n_users=3,
+        taxonomy=TAXONOMY,
+        factors=fs.factors,
+        levels=fs.levels + 1,
+        seed=0,
+    )
+    bigger.w = fs.w.copy()
+    items = np.arange(TAXONOMY.n_items)
+    small_eff = fs.effective_items(items)
+    big_eff = bigger.effective_items(items)
+    for item in items:
+        node = TAXONOMY.node_of_item(int(item))
+        chain = TAXONOMY.path_to_root(node)
+        if len(chain) > fs.levels:
+            extra = fs.w[chain[fs.levels]]
+        else:
+            extra = np.zeros(fs.factors)
+        np.testing.assert_allclose(
+            big_eff[item] - small_eff[item], extra, atol=1e-12
+        )
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=0.01, max_value=5.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_decay_weights_positive_decreasing(order, alpha):
+    weights = decay_weights(order, alpha)
+    assert weights.shape == (order,)
+    assert np.all(weights > 0)
+    assert np.all(np.diff(weights) <= 0)
+    assert weights[0] <= alpha  # alpha * e^{-1/N} < alpha
+
+
+@st.composite
+def histories(draw):
+    n_baskets = draw(st.integers(min_value=0, max_value=5))
+    return [
+        np.asarray(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=17),
+                    min_size=1,
+                    max_size=4,
+                    unique=True,
+                )
+            ),
+            dtype=np.int64,
+        )
+        for _ in range(n_baskets)
+    ]
+
+
+@given(histories(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_context_weight_mass_bounded(history, order):
+    """Total context weight is at most Σ α_n (each basket contributes α_n)."""
+    items, weights = context_items_weights(history, order, alpha=1.0)
+    assert items.shape == weights.shape
+    assert np.all(weights >= 0)
+    limit = decay_weights(order, 1.0).sum() + 1e-9
+    assert weights.sum() <= limit
+
+
+@given(histories(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_context_items_come_from_history(history, order):
+    items, _ = context_items_weights(history, order)
+    allowed = {
+        int(x) for basket in history[-order:] for x in basket
+    }
+    assert set(items.tolist()) <= allowed
+
+
+@st.composite
+def small_logs(draw):
+    n_users = draw(st.integers(min_value=1, max_value=8))
+    rows = []
+    for _ in range(n_users):
+        n_txns = draw(st.integers(min_value=1, max_value=5))
+        rows.append(
+            [
+                draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=17),
+                        min_size=1,
+                        max_size=3,
+                        unique=True,
+                    )
+                )
+                for _ in range(n_txns)
+            ]
+        )
+    return TransactionLog(rows, n_items=18)
+
+
+@given(small_logs(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_split_partitions_without_repeat_filter(log, mu):
+    split = train_test_split(log, mu=mu, sigma=0.1, remove_repeats=False, seed=0)
+    assert split.train.n_users == split.test.n_users == log.n_users
+    assert (
+        split.train.n_transactions + split.test.n_transactions
+        == log.n_transactions
+    )
+    for user in range(log.n_users):
+        assert len(split.train.user_transactions(user)) >= 1
+
+
+@given(small_logs(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_split_repeat_filter_only_removes(log, mu):
+    raw = train_test_split(log, mu=mu, sigma=0.0, remove_repeats=False, seed=3)
+    filtered = train_test_split(log, mu=mu, sigma=0.0, remove_repeats=True, seed=3)
+    assert filtered.train == raw.train
+    assert filtered.test.n_purchases <= raw.test.n_purchases
+    # Filtered test items are a subset of raw test items per user.
+    for user in range(log.n_users):
+        raw_items = {int(i) for b in raw.test.user_transactions(user) for i in b}
+        kept = {int(i) for b in filtered.test.user_transactions(user) for i in b}
+        assert kept <= raw_items
+        # Nothing kept was bought in training.
+        train_items = set(filtered.train.user_items(user).tolist())
+        assert not (kept & train_items)
+
+
+@given(small_logs())
+@settings(max_examples=40, deadline=None)
+def test_log_roundtrip_through_lists(log):
+    rebuilt = TransactionLog(log.to_lists(), n_items=log.n_items)
+    assert rebuilt == log
+    assert rebuilt.n_purchases == log.n_purchases

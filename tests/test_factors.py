@@ -1,0 +1,150 @@
+"""Tests for repro.core.factors.FactorSet."""
+
+import numpy as np
+import pytest
+
+from repro.core.factors import KIND_LONG, KIND_NEXT, FactorSet
+from repro.taxonomy.generator import complete_taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return complete_taxonomy((2, 2), items_per_leaf=2)  # 8 items, 15 nodes
+
+
+@pytest.fixture()
+def fs(taxonomy):
+    return FactorSet(
+        n_users=5, taxonomy=taxonomy, factors=4, levels=3, seed=0
+    )
+
+
+class TestConstruction:
+    def test_shapes(self, fs, taxonomy):
+        assert fs.user.shape == (5, 4)
+        assert fs.w.shape == (taxonomy.n_nodes + 1, 4)
+        assert fs.w_next.shape == fs.w.shape
+        assert fs.bias.shape == (taxonomy.n_nodes + 1,)
+
+    def test_pad_rows_zero(self, fs):
+        assert np.all(fs.w[-1] == 0)
+        assert np.all(fs.w_next[-1] == 0)
+        assert fs.bias[-1] == 0
+
+    def test_without_next(self, taxonomy):
+        fs = FactorSet(3, taxonomy, 4, 2, with_next=False, seed=0)
+        assert fs.w_next is None
+        with pytest.raises(ValueError):
+            fs.effective_items(kind=KIND_NEXT)
+
+    def test_chain_matrices(self, fs, taxonomy):
+        assert fs.node_chains.shape == (taxonomy.n_nodes + 1, 3)
+        assert fs.item_chains.shape == (taxonomy.n_items, 3)
+        # The pad row chains to itself.
+        assert np.all(fs.node_chains[-1] == taxonomy.pad_id)
+
+    def test_deterministic_init(self, taxonomy):
+        a = FactorSet(3, taxonomy, 4, 2, seed=7)
+        b = FactorSet(3, taxonomy, 4, 2, seed=7)
+        assert np.array_equal(a.w, b.w)
+        assert np.array_equal(a.user, b.user)
+
+    def test_invalid_args(self, taxonomy):
+        with pytest.raises(ValueError):
+            FactorSet(0, taxonomy, 4, 2)
+        with pytest.raises(ValueError):
+            FactorSet(3, taxonomy, 0, 2)
+        with pytest.raises(ValueError):
+            FactorSet(3, taxonomy, 4, 0)
+
+
+class TestEffectiveFactors:
+    def test_additivity_eq1(self, fs, taxonomy):
+        """Eq. 1: v_j = Σ_m w_{p^m(j)} over the used levels."""
+        for item in range(taxonomy.n_items):
+            node = taxonomy.node_of_item(item)
+            chain = taxonomy.path_to_root(node)[: fs.levels]
+            expected = sum(fs.w[v] for v in chain)
+            actual = fs.effective_items(np.array([item]))[0]
+            np.testing.assert_allclose(actual, expected)
+
+    def test_levels_one_is_flat_model(self, taxonomy):
+        fs = FactorSet(3, taxonomy, 4, levels=1, seed=0)
+        items = np.arange(taxonomy.n_items)
+        np.testing.assert_allclose(
+            fs.effective_items(items), fs.w[taxonomy.items]
+        )
+
+    def test_all_items_default(self, fs, taxonomy):
+        all_eff = fs.effective_items()
+        some = fs.effective_items(np.array([0, 3]))
+        np.testing.assert_allclose(all_eff[[0, 3]], some)
+
+    def test_effective_nodes_any_shape(self, fs):
+        nodes = np.array([[1, 2], [3, 4]])
+        eff = fs.effective_nodes(nodes)
+        assert eff.shape == (2, 2, 4)
+        np.testing.assert_allclose(eff[0, 0], fs.effective_nodes(np.array([1]))[0])
+
+    def test_next_family_independent(self, fs):
+        items = np.arange(3)
+        long = fs.effective_items(items, kind=KIND_LONG)
+        nxt = fs.effective_items(items, kind=KIND_NEXT)
+        assert not np.allclose(long, nxt)
+
+    def test_invalid_kind(self, fs):
+        with pytest.raises(ValueError):
+            fs.effective_items(kind="bogus")
+
+    def test_bias_additivity(self, fs, taxonomy):
+        fs.bias[:-1] = np.arange(taxonomy.n_nodes, dtype=float)
+        for item in (0, 5):
+            node = taxonomy.node_of_item(item)
+            chain = taxonomy.path_to_root(node)[: fs.levels]
+            expected = sum(fs.bias[v] for v in chain)
+            assert fs.bias_of_items(np.array([item]))[0] == pytest.approx(expected)
+
+    def test_bias_of_all_items(self, fs):
+        fs.bias[:-1] = 1.0
+        np.testing.assert_allclose(fs.bias_of_items(), np.full(8, fs.levels))
+
+
+class TestMaintenance:
+    def test_zero_pad_rows(self, fs):
+        fs.w[-1] = 5.0
+        fs.bias[-1] = 5.0
+        fs.zero_pad_rows()
+        assert np.all(fs.w[-1] == 0)
+        assert fs.bias[-1] == 0
+
+    def test_squared_norm_positive(self, fs):
+        assert fs.squared_norm() > 0
+
+    def test_copy_is_deep(self, fs):
+        clone = fs.copy()
+        clone.w[0] += 1.0
+        clone.bias[0] += 1.0
+        assert not np.allclose(clone.w[0], fs.w[0])
+        assert clone.bias[0] != fs.bias[0]
+
+    def test_repr(self, fs):
+        assert "levels=3" in repr(fs)
+
+
+class TestSerialization:
+    def test_roundtrip(self, fs, taxonomy, tmp_path):
+        path = tmp_path / "factors.npz"
+        fs.save(path)
+        loaded = FactorSet.load(path, taxonomy)
+        np.testing.assert_allclose(loaded.user, fs.user)
+        np.testing.assert_allclose(loaded.w, fs.w)
+        np.testing.assert_allclose(loaded.w_next, fs.w_next)
+        np.testing.assert_allclose(loaded.bias, fs.bias)
+        assert loaded.levels == fs.levels
+
+    def test_roundtrip_without_next(self, taxonomy, tmp_path):
+        fs = FactorSet(3, taxonomy, 4, 2, with_next=False, seed=0)
+        path = tmp_path / "factors.npz"
+        fs.save(path)
+        loaded = FactorSet.load(path, taxonomy)
+        assert loaded.w_next is None

@@ -1,0 +1,97 @@
+"""Tests for new-user fold-in."""
+
+import numpy as np
+import pytest
+
+from repro.core.folding import fold_in_user, recommend_for_history, score_for_vector
+
+
+@pytest.fixture(scope="module")
+def focus_history(dataset, split):
+    """A history concentrated in one leaf category, plus that category."""
+    leaf = int(dataset.leaf_of_item[0])
+    items = np.flatnonzero(dataset.leaf_of_item == leaf)
+    return [items[:2], items[2:4]], leaf, items
+
+
+class TestFoldInUser:
+    def test_returns_vector_of_right_shape(self, tf_model, focus_history):
+        history, _, _ = focus_history
+        vector = fold_in_user(tf_model, history, steps=100, seed=0)
+        assert vector.shape == (tf_model.config.factors,)
+        assert np.all(np.isfinite(vector))
+
+    def test_empty_history_gives_zero_vector(self, tf_model):
+        vector = fold_in_user(tf_model, [], steps=50)
+        np.testing.assert_array_equal(vector, np.zeros(tf_model.config.factors))
+
+    def test_deterministic_for_seed(self, tf_model, focus_history):
+        history, _, _ = focus_history
+        a = fold_in_user(tf_model, history, steps=60, seed=4)
+        b = fold_in_user(tf_model, history, steps=60, seed=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_vector_prefers_purchased_items(self, tf_model, focus_history):
+        history, _, items = focus_history
+        vector = fold_in_user(tf_model, history, steps=300, seed=0)
+        scores = score_for_vector(tf_model, vector)
+        bought = np.unique(np.concatenate(history))
+        bought_mean = scores[bought].mean()
+        overall_mean = scores.mean()
+        assert bought_mean > overall_mean
+
+    def test_model_factors_untouched(self, tf_model, focus_history):
+        history, _, _ = focus_history
+        w_before = tf_model.factor_set.w.copy()
+        user_before = tf_model.factor_set.user.copy()
+        fold_in_user(tf_model, history, steps=100, seed=0)
+        np.testing.assert_array_equal(tf_model.factor_set.w, w_before)
+        np.testing.assert_array_equal(tf_model.factor_set.user, user_before)
+
+
+class TestScoreForVector:
+    def test_matches_known_user_query(self, tf_model):
+        """Feeding a trained user's own vector reproduces their scores."""
+        user = 0
+        vector = tf_model.factor_set.user[user]
+        expected = tf_model.score_items(user)
+        np.testing.assert_allclose(
+            score_for_vector(tf_model, vector), expected
+        )
+
+    def test_subset_scoring(self, tf_model):
+        vector = tf_model.factor_set.user[1]
+        subset = np.array([0, 5, 9])
+        all_scores = score_for_vector(tf_model, vector)
+        np.testing.assert_allclose(
+            score_for_vector(tf_model, vector, items=subset),
+            all_scores[subset],
+        )
+
+    def test_markov_history_shifts_scores(self, tf_markov_model, focus_history):
+        history, _, _ = focus_history
+        vector = np.zeros(tf_markov_model.config.factors)
+        without = score_for_vector(tf_markov_model, vector, history=None)
+        with_history = score_for_vector(tf_markov_model, vector, history=history)
+        assert not np.allclose(without, with_history)
+
+
+class TestRecommendForHistory:
+    def test_excludes_history_items(self, tf_model, focus_history):
+        history, _, _ = focus_history
+        top = recommend_for_history(tf_model, history, k=10, steps=150, seed=0)
+        bought = set(np.unique(np.concatenate(history)).tolist())
+        assert not (set(top.tolist()) & bought)
+
+    def test_recommends_from_related_categories(self, tf_model, dataset, focus_history):
+        """A camera-only shopper should mostly get camera-adjacent items:
+        the folded-in vector must land near the history's categories."""
+        history, leaf, _ = focus_history
+        taxonomy = dataset.taxonomy
+        top = recommend_for_history(tf_model, history, k=10, steps=300, seed=0)
+        top_level_of = lambda item: int(
+            taxonomy.item_category(np.asarray([item]), 1)[0]
+        )
+        history_top = top_level_of(int(history[0][0]))
+        hits = sum(1 for item in top if top_level_of(int(item)) == history_top)
+        assert hits >= 3  # strong pull toward the user's taxonomy region

@@ -1,0 +1,132 @@
+"""Tests for the ranking metrics (paper Sec. 7.3)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    auc,
+    hit_at_k,
+    mean_rank,
+    nanmean,
+    ndcg_at_k,
+    precision_at_k,
+    ranks_from_scores,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+
+class TestRanksFromScores:
+    def test_descending(self):
+        ranks = ranks_from_scores(np.array([0.1, 0.9, 0.5]))
+        assert ranks.tolist() == [3.0, 1.0, 2.0]
+
+    def test_tie_averaging(self):
+        ranks = ranks_from_scores(np.array([0.5, 0.5, 0.1]))
+        assert ranks.tolist() == [1.5, 1.5, 3.0]
+
+
+class TestAuc:
+    def test_matches_paper_formula_bruteforce(self, rng):
+        """AUC == 1/(|T||X\\T|) Σ δ(r(x) < r(y)) with half credit on ties."""
+        for _ in range(20):
+            scores = rng.integers(0, 8, size=12).astype(float)  # forces ties
+            positives = rng.choice(12, size=3, replace=False)
+            ranks = ranks_from_scores(scores)
+            negatives = np.setdiff1d(np.arange(12), positives)
+            brute = 0.0
+            for x in positives:
+                for y in negatives:
+                    if ranks[x] < ranks[y]:
+                        brute += 1.0
+                    elif ranks[x] == ranks[y]:
+                        brute += 0.5
+            brute /= positives.size * negatives.size
+            assert auc(scores, positives) == pytest.approx(brute)
+
+    def test_perfect_ranking(self):
+        assert auc(np.array([3.0, 2.0, 1.0, 0.0]), [0]) == 1.0
+
+    def test_worst_ranking(self):
+        assert auc(np.array([3.0, 2.0, 1.0, 0.0]), [3]) == 0.0
+
+    def test_paper_example_rank_insensitivity(self):
+        """Sec. 7.3: with 1M items, rank 10_000 → AUC ≈ 0.99 while rank
+        100 → 0.9999 — AUC barely distinguishes them."""
+        n = 1_000_000
+        scores = -np.arange(n, dtype=float)
+        auc_deep = auc(scores, [10_000 - 1])
+        auc_shallow = auc(scores, [100 - 1])
+        assert auc_deep == pytest.approx(0.99, abs=0.001)
+        assert auc_shallow == pytest.approx(0.9999, abs=0.0001)
+
+    def test_all_positive_is_nan(self):
+        assert np.isnan(auc(np.array([1.0, 2.0]), [0, 1]))
+
+    def test_no_positives_is_nan(self):
+        assert np.isnan(auc(np.array([1.0, 2.0]), []))
+
+    def test_out_of_range_positive_rejected(self):
+        with pytest.raises(ValueError):
+            auc(np.array([1.0, 2.0]), [5])
+
+
+class TestMeanRank:
+    def test_basic(self):
+        scores = np.array([0.9, 0.5, 0.1, 0.7])
+        assert mean_rank(scores, [0]) == 1.0
+        assert mean_rank(scores, [2]) == 4.0
+        assert mean_rank(scores, [0, 2]) == 2.5
+
+    def test_ties_averaged(self):
+        scores = np.array([1.0, 1.0, 0.0])
+        assert mean_rank(scores, [0]) == 1.5
+
+    def test_empty_is_nan(self):
+        assert np.isnan(mean_rank(np.array([1.0]), []))
+
+
+class TestTopKMetrics:
+    SCORES = np.array([0.9, 0.8, 0.7, 0.1, 0.0])
+
+    def test_hit(self):
+        assert hit_at_k(self.SCORES, [1], k=2) == 1.0
+        assert hit_at_k(self.SCORES, [3], k=2) == 0.0
+
+    def test_precision(self):
+        assert precision_at_k(self.SCORES, [0, 1], k=2) == 1.0
+        assert precision_at_k(self.SCORES, [0, 3], k=2) == 0.5
+
+    def test_recall(self):
+        assert recall_at_k(self.SCORES, [0, 3], k=2) == 0.5
+        assert recall_at_k(self.SCORES, [0], k=1) == 1.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(self.SCORES, [2]) == pytest.approx(1 / 3)
+        assert reciprocal_rank(self.SCORES, [2, 0]) == 1.0
+
+    def test_ndcg_perfect(self):
+        assert ndcg_at_k(self.SCORES, [0, 1], k=2) == pytest.approx(1.0)
+
+    def test_ndcg_partial(self):
+        value = ndcg_at_k(self.SCORES, [0, 4], k=2)
+        assert 0.0 < value < 1.0
+
+    def test_empty_positives_nan(self):
+        assert np.isnan(hit_at_k(self.SCORES, [], k=2))
+        assert np.isnan(ndcg_at_k(self.SCORES, [], k=2))
+
+
+class TestNanmean:
+    def test_ignores_nans(self):
+        assert nanmean([1.0, float("nan"), 3.0]) == 2.0
+
+    def test_all_nan_is_nan_without_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert np.isnan(nanmean([float("nan")]))
+
+    def test_empty_is_nan(self):
+        assert np.isnan(nanmean([]))

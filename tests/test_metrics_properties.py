@@ -1,0 +1,83 @@
+"""Property-based tests for the ranking metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.eval.metrics import auc, mean_rank, ranks_from_scores
+
+# Scores are rounded to 6 decimals so affine transforms (3x + 7) cannot
+# collapse distinct tiny values into float64 ties.
+scores_strategy = arrays(
+    np.float64,
+    st.integers(min_value=3, max_value=30),
+    elements=st.floats(-100, 100, allow_nan=False).map(lambda v: round(v, 6)),
+)
+
+
+@st.composite
+def scores_and_positives(draw):
+    scores = draw(scores_strategy)
+    n = scores.size
+    n_pos = draw(st.integers(min_value=1, max_value=n - 1))
+    positives = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=n_pos,
+            max_size=n_pos,
+            unique=True,
+        )
+    )
+    return scores, positives
+
+
+@given(scores_and_positives())
+@settings(max_examples=100, deadline=None)
+def test_auc_bounded(case):
+    scores, positives = case
+    value = auc(scores, positives)
+    assert 0.0 <= value <= 1.0
+
+
+@given(scores_and_positives())
+@settings(max_examples=100, deadline=None)
+def test_auc_antisymmetric_under_negation(case):
+    """Reversing the ranking maps AUC to 1 − AUC (ties keep half credit)."""
+    scores, positives = case
+    assert auc(scores, positives) + auc(-scores, positives) == 1.0
+
+
+@given(scores_and_positives())
+@settings(max_examples=100, deadline=None)
+def test_auc_invariant_to_monotone_transform(case):
+    scores, positives = case
+    assert auc(scores, positives) == auc(3.0 * scores + 7.0, positives)
+
+
+@given(scores_and_positives())
+@settings(max_examples=100, deadline=None)
+def test_mean_rank_bounds(case):
+    scores, positives = case
+    value = mean_rank(scores, positives)
+    assert 1.0 <= value <= scores.size
+
+
+@given(scores_strategy)
+@settings(max_examples=100, deadline=None)
+def test_ranks_are_permutation_like(scores):
+    ranks = ranks_from_scores(scores)
+    # Tie-averaged ranks always sum to n(n+1)/2.
+    n = scores.size
+    assert ranks.sum() == n * (n + 1) / 2
+    assert ranks.min() >= 1.0
+    assert ranks.max() <= n
+
+
+@given(scores_and_positives())
+@settings(max_examples=100, deadline=None)
+def test_perfect_scores_give_auc_one(case):
+    scores, positives = case
+    boosted = scores.copy()
+    boosted[positives] = boosted.max() + np.arange(1, len(positives) + 1)
+    assert auc(boosted, positives) == 1.0

@@ -1,0 +1,123 @@
+"""Tests for cross-validation and grid search (paper Sec. 2.2 / 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mf_model import MFModel
+from repro.eval.model_selection import (
+    CandidateResult,
+    GridSearchResult,
+    expand_grid,
+    grid_search,
+)
+from repro.utils.config import TrainConfig
+
+
+class TestExpandGrid:
+    def test_cross_product(self):
+        grid = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert len(grid) == 4
+        assert {"a": 1, "b": "y"} in grid
+
+    def test_empty_grid(self):
+        assert expand_grid({}) == [{}]
+
+    def test_single_axis(self):
+        assert expand_grid({"reg": [0.1]}) == [{"reg": 0.1}]
+
+
+@pytest.fixture(scope="module")
+def search_result(dataset, split):
+    base = TrainConfig(factors=8, epochs=3, seed=0, sibling_ratio=0.5)
+    return grid_search(
+        dataset.taxonomy,
+        split.train,
+        grid={"reg": [0.01, 0.5], "learning_rate": [0.05]},
+        base_config=base,
+    )
+
+
+class TestGridSearch:
+    def test_evaluates_every_candidate(self, search_result):
+        assert len(search_result.candidates) == 2
+        for candidate in search_result.candidates:
+            assert isinstance(candidate, CandidateResult)
+            assert 0.0 <= candidate.validation.auc <= 1.0
+            assert candidate.fit_seconds > 0
+
+    def test_best_has_highest_auc(self, search_result):
+        best_score = search_result.best.score("auc")
+        assert best_score == max(
+            c.score("auc") for c in search_result.candidates
+        )
+
+    def test_ranking_sorted(self, search_result):
+        ranked = search_result.ranking("auc")
+        scores = [c.score("auc") for c in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_refit_model_uses_best_config(self, search_result):
+        assert search_result.model is not None
+        assert search_result.model.config.reg == search_result.best.config.reg
+        # The refit model is trained (can score).
+        assert search_result.model.score_items(0).shape[0] > 0
+
+    def test_excess_regularization_loses(self, search_result):
+        """reg = 0.5 crushes the factors; reg = 0.01 must win."""
+        assert search_result.best.params["reg"] == 0.01
+
+    def test_mean_rank_metric_minimizes(self, dataset, split):
+        base = TrainConfig(factors=8, epochs=2, seed=0)
+        result = grid_search(
+            dataset.taxonomy,
+            split.train,
+            grid={"reg": [0.01, 0.5]},
+            base_config=base,
+            metric="mean_rank",
+            refit=False,
+        )
+        best_rank = result.best.score("mean_rank")
+        assert best_rank == min(
+            c.score("mean_rank") for c in result.candidates
+        )
+
+    def test_no_refit_skips_final_model(self, dataset, split):
+        result = grid_search(
+            dataset.taxonomy,
+            split.train,
+            grid={"reg": [0.01]},
+            base_config=TrainConfig(factors=4, epochs=1, seed=0),
+            refit=False,
+        )
+        assert result.model is None
+
+    def test_custom_model_factory(self, dataset, split):
+        result = grid_search(
+            dataset.taxonomy,
+            split.train,
+            grid={"reg": [0.01]},
+            base_config=TrainConfig(factors=4, epochs=1, seed=0),
+            model_factory=MFModel,
+            refit=True,
+        )
+        assert isinstance(result.model, MFModel)
+
+    def test_invalid_metric(self, dataset, split):
+        with pytest.raises(ValueError):
+            grid_search(
+                dataset.taxonomy, split.train, grid={}, metric="accuracy"
+            )
+
+    def test_validation_never_sees_holdout(self, dataset, split):
+        """The candidate models are trained on head-only data: their user
+        space must still cover all users, but the validation transactions
+        must come from the tail."""
+        result = grid_search(
+            dataset.taxonomy,
+            split.train,
+            grid={"reg": [0.01]},
+            base_config=TrainConfig(factors=4, epochs=1, seed=0),
+            refit=False,
+        )
+        assert result.best.validation.n_users > 0
+        assert result.best.validation.n_users < split.train.n_users

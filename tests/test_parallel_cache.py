@@ -1,0 +1,93 @@
+"""Tests for the thread-local factor cache (Sec. 6.1 caching heuristic)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.cache import FactorCache
+from repro.parallel.locks import StripedLockManager
+
+
+@pytest.fixture()
+def matrix():
+    return np.zeros((6, 3))
+
+
+@pytest.fixture()
+def cache(matrix):
+    return FactorCache(matrix, StripedLockManager(8), threshold=0.5)
+
+
+class TestReadsAndWrites:
+    def test_read_returns_global_when_cold(self, cache, matrix):
+        matrix[2] = [1.0, 2.0, 3.0]
+        np.testing.assert_allclose(cache.read(2), [1.0, 2.0, 3.0])
+
+    def test_read_includes_local_delta(self, cache, matrix):
+        cache.accumulate(1, np.array([0.1, 0.0, 0.0]))
+        np.testing.assert_allclose(cache.read(1), [0.1, 0.0, 0.0])
+        # The global copy is unchanged below the threshold.
+        np.testing.assert_allclose(matrix[1], [0.0, 0.0, 0.0])
+
+    def test_read_copy_is_safe(self, cache, matrix):
+        view = cache.read(0)
+        view[0] = 99.0
+        assert matrix[0, 0] == 0.0
+
+
+class TestReconciliation:
+    def test_threshold_triggers_writeback(self, cache, matrix):
+        cache.accumulate(0, np.array([0.6, 0.0, 0.0]))  # above threshold 0.5
+        np.testing.assert_allclose(matrix[0], [0.6, 0.0, 0.0])
+        assert cache.reconciliations == 1
+        assert cache.pending_rows == 0
+
+    def test_small_updates_accumulate(self, cache, matrix):
+        for _ in range(4):
+            cache.accumulate(0, np.array([0.1, 0.0, 0.0]))
+        assert matrix[0, 0] == 0.0
+        assert cache.pending_rows == 1
+        cache.accumulate(0, np.array([0.2, 0.0, 0.0]))  # total 0.6 > 0.5
+        assert matrix[0, 0] == pytest.approx(0.6)
+
+    def test_flush_single_row(self, cache, matrix):
+        cache.accumulate(3, np.array([0.1, 0.1, 0.1]))
+        cache.flush(3)
+        np.testing.assert_allclose(matrix[3], [0.1, 0.1, 0.1])
+
+    def test_flush_all(self, cache, matrix):
+        cache.accumulate(1, np.array([0.1, 0.0, 0.0]))
+        cache.accumulate(2, np.array([0.0, 0.2, 0.0]))
+        cache.flush()
+        assert cache.pending_rows == 0
+        assert matrix[1, 0] == pytest.approx(0.1)
+        assert matrix[2, 1] == pytest.approx(0.2)
+
+    def test_flush_missing_row_is_noop(self, cache):
+        cache.flush(5)
+        assert cache.reconciliations == 0
+
+    def test_negative_deltas_trigger_too(self, cache, matrix):
+        cache.accumulate(0, np.array([-0.7, 0.0, 0.0]))
+        assert matrix[0, 0] == pytest.approx(-0.7)
+
+
+class TestMultipleCaches:
+    def test_two_caches_merge_additively(self, matrix):
+        locks = StripedLockManager(8)
+        a = FactorCache(matrix, locks, threshold=10.0)
+        b = FactorCache(matrix, locks, threshold=10.0)
+        a.accumulate(0, np.array([1.0, 0.0, 0.0]))
+        b.accumulate(0, np.array([0.0, 2.0, 0.0]))
+        a.flush()
+        b.flush()
+        np.testing.assert_allclose(matrix[0], [1.0, 2.0, 0.0])
+
+    def test_stats_counted(self, cache):
+        cache.read(0)
+        cache.accumulate(0, np.array([0.01, 0, 0]))
+        assert cache.reads == 1
+        assert cache.writes == 1
+
+    def test_rejects_bad_threshold(self, matrix):
+        with pytest.raises(ValueError):
+            FactorCache(matrix, StripedLockManager(4), threshold=0.0)

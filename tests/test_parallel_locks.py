@@ -1,0 +1,141 @@
+"""Tests for the locking primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel.locks import RWLock, StripedLockManager
+
+
+class TestRWLock:
+    def test_multiple_readers(self):
+        lock = RWLock()
+        inside = []
+
+        def reader():
+            with lock.reading():
+                inside.append(1)
+                time.sleep(0.02)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        assert len(inside) == 4
+        assert elapsed < 0.08  # readers overlapped
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        order = []
+
+        def writer():
+            with lock.writing():
+                order.append("w-start")
+                time.sleep(0.03)
+                order.append("w-end")
+
+        def reader():
+            time.sleep(0.01)  # let the writer in first
+            with lock.reading():
+                order.append("r")
+
+        tw = threading.Thread(target=writer)
+        tr = threading.Thread(target=reader)
+        tw.start()
+        tr.start()
+        tw.join()
+        tr.join()
+        assert order == ["w-start", "w-end", "r"]
+
+    def test_writers_are_exclusive(self):
+        lock = RWLock()
+        counter = {"value": 0, "max_seen": 0}
+
+        def writer():
+            for _ in range(50):
+                with lock.writing():
+                    counter["value"] += 1
+                    counter["max_seen"] = max(counter["max_seen"], counter["value"])
+                    counter["value"] -= 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["max_seen"] == 1
+
+
+class TestStripedLockManager:
+    def test_stripe_mapping_is_stable(self):
+        manager = StripedLockManager(8)
+        assert manager.stripe_of(3) == manager.stripe_of(11)
+
+    def test_counts_acquisitions(self):
+        manager = StripedLockManager(8)
+        with manager.locking([1, 2, 3]):
+            pass
+        assert manager.acquisitions == 3
+        assert manager.contention_rate == 0.0
+
+    def test_duplicate_rows_deduplicate(self):
+        manager = StripedLockManager(8)
+        with manager.locking([1, 9, 17]):  # same stripe when 8 stripes
+            pass
+        assert manager.acquisitions == 1
+
+    def test_detects_contention(self):
+        manager = StripedLockManager(4)
+        barrier = threading.Barrier(2)
+
+        def holder():
+            with manager.locking([0]):
+                barrier.wait()
+                time.sleep(0.05)
+
+        def contender():
+            barrier.wait()
+            time.sleep(0.01)
+            with manager.locking([0]):
+                pass
+
+        t1 = threading.Thread(target=holder)
+        t2 = threading.Thread(target=contender)
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+        assert manager.contended >= 1
+
+    def test_no_deadlock_with_opposite_orders(self):
+        manager = StripedLockManager(16)
+        done = []
+
+        def worker(rows):
+            for _ in range(200):
+                with manager.locking(rows):
+                    pass
+            done.append(1)
+
+        t1 = threading.Thread(target=worker, args=([1, 2, 3],))
+        t2 = threading.Thread(target=worker, args=([3, 2, 1],))
+        t1.start()
+        t2.start()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert len(done) == 2
+
+    def test_reset_stats(self):
+        manager = StripedLockManager(4)
+        with manager.locking([0]):
+            pass
+        manager.reset_stats()
+        assert manager.acquisitions == 0
+
+    def test_rejects_zero_stripes(self):
+        with pytest.raises(ValueError):
+            StripedLockManager(0)

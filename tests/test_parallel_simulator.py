@@ -1,0 +1,104 @@
+"""Tests for the multi-core scaling simulator (Figs. 8a/b shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.simulator import (
+    ParallelProfile,
+    epoch_time_curve,
+    mf_profile,
+    simulate_epoch,
+    speedup_curve,
+    tf_profile,
+)
+
+
+class TestProfiles:
+    def test_tf_costs_more_per_sample(self):
+        assert tf_profile().compute_cost > mf_profile().compute_cost
+
+    def test_lock_inflation_only_without_cache(self):
+        plain = tf_profile(cached=False)
+        cached = tf_profile(cached=True)
+        assert plain.effective_lock_cost(48) > plain.effective_lock_cost(10)
+        assert cached.effective_lock_cost(48) == cached.effective_lock_cost(10)
+
+    def test_upper_bound_monotone_until_saturation(self):
+        profile = mf_profile()
+        bounds = [profile.upper_bound_throughput(t) for t in (1, 2, 4, 8)]
+        assert bounds == sorted(bounds)
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            ParallelProfile(name="x", compute_cost=0.0, lock_cost=0.1)
+
+
+class TestSimulateEpoch:
+    def test_single_thread_time_matches_serial_cost(self):
+        profile = mf_profile()
+        result = simulate_epoch(profile, 1, n_samples=500, jitter=0.0)
+        expected = 500 * (profile.compute_cost + profile.lock_cost)
+        assert result.epoch_time == pytest.approx(expected, rel=0.01)
+
+    def test_more_threads_never_slower_in_linear_regime(self):
+        profile = tf_profile()
+        t1 = simulate_epoch(profile, 1, n_samples=1000).epoch_time
+        t4 = simulate_epoch(profile, 4, n_samples=1000).epoch_time
+        assert t4 < t1 / 3.0
+
+    def test_throughput_respects_operational_bound(self):
+        profile = tf_profile()
+        for threads in (1, 4, 16, 48):
+            result = simulate_epoch(profile, threads, n_samples=2000)
+            bound = profile.upper_bound_throughput(threads)
+            assert result.throughput <= bound * 1.02
+
+    def test_utilizations_bounded(self):
+        result = simulate_epoch(mf_profile(), 8, n_samples=1000)
+        assert 0.0 < result.cpu_utilization <= 1.0
+        assert 0.0 < result.lock_utilization <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = simulate_epoch(tf_profile(), 8, n_samples=500, seed=1).epoch_time
+        b = simulate_epoch(tf_profile(), 8, n_samples=500, seed=1).epoch_time
+        assert a == b
+
+
+class TestPaperShapes:
+    """The acceptance criteria of DESIGN.md for Fig. 8(a,b)."""
+
+    THREADS = [1, 2, 4, 8, 12, 16, 24, 32, 40, 48]
+
+    def test_tf_max_speedup_exceeds_mf(self):
+        tf_curve = speedup_curve(tf_profile(), self.THREADS)
+        mf_curve = speedup_curve(mf_profile(), self.THREADS)
+        assert max(tf_curve.values()) > max(mf_curve.values())
+
+    def test_mf_speedup_about_six(self):
+        curve = speedup_curve(mf_profile(), self.THREADS)
+        assert 5.0 <= max(curve.values()) <= 7.0
+
+    def test_tf_speedup_about_eight(self):
+        curve = speedup_curve(tf_profile(), self.THREADS)
+        assert 7.0 <= max(curve.values()) <= 9.0
+
+    def test_near_linear_up_to_four_threads(self):
+        curve = speedup_curve(tf_profile(), [1, 2, 4])
+        assert curve[2] > 1.7
+        assert curve[4] > 3.4
+
+    def test_uncached_drops_after_forty_threads(self):
+        curve = speedup_curve(tf_profile(cached=False), [40, 48])
+        assert curve[48] < curve[40] * 0.97
+
+    def test_cached_flat_after_forty_threads(self):
+        curve = speedup_curve(tf_profile(cached=True), [40, 48])
+        assert curve[48] >= curve[40] * 0.97
+
+    def test_tf_mf_time_gap_shrinks_with_threads(self):
+        """Fig. 8(a): the TF-vs-MF wall-time gap narrows as threads grow."""
+        tf_times = epoch_time_curve(tf_profile(), [1, 12])
+        mf_times = epoch_time_curve(mf_profile(), [1, 12])
+        gap_at_1 = tf_times[1] - mf_times[1]
+        gap_at_12 = tf_times[12] - mf_times[12]
+        assert gap_at_12 < gap_at_1 / 2.0

@@ -1,0 +1,131 @@
+"""Tests for the evaluation protocol (Sec. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import (
+    evaluate_cascade,
+    evaluate_category_level,
+    evaluate_cold_start,
+    evaluate_model,
+    evaluate_parallel,
+)
+from repro.utils.config import CascadeConfig
+
+
+class TestEvaluateModel:
+    def test_results_in_range(self, tf_model, split):
+        result = evaluate_model(tf_model, split)
+        assert 0.0 <= result.auc <= 1.0
+        assert 1.0 <= result.mean_rank <= split.train.n_items
+        assert result.n_users == split.test_users().size
+
+    def test_per_user_arrays_align(self, tf_model, split):
+        result = evaluate_model(tf_model, split)
+        users = split.test_users()
+        assert result.per_user_auc.shape == (users.size,)
+        assert result.per_user_rank.shape == (users.size,)
+
+    def test_batch_size_does_not_change_result(self, tf_model, split):
+        a = evaluate_model(tf_model, split, batch_size=17)
+        b = evaluate_model(tf_model, split, batch_size=512)
+        assert a.auc == pytest.approx(b.auc)
+        assert a.mean_rank == pytest.approx(b.mean_rank)
+
+    def test_user_subset(self, tf_model, split):
+        users = split.test_users()[:10]
+        result = evaluate_model(tf_model, split, users=users)
+        assert result.n_users <= 10
+
+    def test_exclude_train_changes_candidates(self, tf_model, split):
+        incl = evaluate_model(tf_model, split, exclude_train=False)
+        excl = evaluate_model(tf_model, split, exclude_train=True)
+        assert incl.auc != pytest.approx(excl.auc)
+
+    def test_invalid_first_t(self, tf_model, split):
+        with pytest.raises(ValueError):
+            evaluate_model(tf_model, split, first_t=0)
+
+
+class TestCategoryLevel:
+    def test_candidate_count_matches_level(self, tf_model, split, dataset):
+        result = evaluate_category_level(tf_model, split, level=1)
+        assert result.extras["n_candidates"] == dataset.taxonomy.nodes_at_level(1).size
+
+    def test_category_rank_bounded_by_level_size(self, tf_model, split, dataset):
+        result = evaluate_category_level(tf_model, split, level=1)
+        assert 1.0 <= result.mean_rank <= dataset.taxonomy.nodes_at_level(1).size
+
+    def test_category_auc_beats_product_auc(self, tf_model, split):
+        """Fig. 6(c): ranking ~tens of categories is much easier than
+        ranking hundreds of items."""
+        product = evaluate_model(tf_model, split)
+        category = evaluate_category_level(tf_model, split, level=1)
+        assert category.auc > product.auc - 0.05
+
+    def test_invalid_level(self, tf_model, split):
+        with pytest.raises(ValueError):
+            evaluate_category_level(tf_model, split, level=99)
+
+
+class TestColdStart:
+    def test_counts_new_item_events(self, tf_model, split):
+        result = evaluate_cold_start(tf_model, split)
+        assert result.n_new_items == split.new_items().size
+        assert result.n_events > 0
+        assert 0.0 <= result.score <= 1.0
+        assert result.rank >= 1.0
+
+    def test_tf_beats_random_on_new_items(self, tf_model, mf_model, split):
+        """Fig. 7(c): TF ranks unseen items via their category; MF can only
+        give them their random initialization."""
+        tf_result = evaluate_cold_start(tf_model, split)
+        mf_result = evaluate_cold_start(mf_model, split)
+        assert tf_result.score > mf_result.score
+
+    def test_no_new_items(self, tf_model, dataset):
+        from repro.data.split import TrainTestSplit
+
+        degenerate = TrainTestSplit(train=dataset.log, test=dataset.log)
+        result = evaluate_cold_start(tf_model, degenerate)
+        assert result.n_events == 0
+
+
+class TestCascadeEvaluation:
+    def test_full_cascade_matches_naive(self, tf_model, split):
+        users = split.test_users()[:30]
+        result = evaluate_cascade(
+            tf_model, split, CascadeConfig(), users=users
+        )
+        assert result.auc == pytest.approx(result.naive_auc)
+        assert result.accuracy_ratio == pytest.approx(1.0)
+        assert result.work_ratio > 1.0  # scores internal nodes too
+
+    def test_pruning_trades_accuracy_for_work(self, tf_model, split):
+        users = split.test_users()[:30]
+        pruned = evaluate_cascade(
+            tf_model,
+            split,
+            CascadeConfig(keep_fractions=(0.3, 0.3, 0.3)),
+            users=users,
+        )
+        assert pruned.work_ratio < 1.0
+        assert pruned.accuracy_ratio <= 1.0 + 1e-9
+
+
+class TestParallelEvaluation:
+    def test_matches_serial(self, tf_model, split):
+        serial = evaluate_model(tf_model, split)
+        parallel = evaluate_parallel(tf_model, split, n_workers=3)
+        assert parallel.auc == pytest.approx(serial.auc)
+        assert parallel.mean_rank == pytest.approx(serial.mean_rank)
+        assert parallel.n_users == serial.n_users
+
+    def test_single_worker(self, tf_model, split):
+        serial = evaluate_model(tf_model, split)
+        one = evaluate_parallel(tf_model, split, n_workers=1)
+        assert one.auc == pytest.approx(serial.auc)
+
+    def test_invalid_workers(self, tf_model, split):
+        with pytest.raises(ValueError):
+            evaluate_parallel(tf_model, split, n_workers=0)

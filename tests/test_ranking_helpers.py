@@ -1,0 +1,98 @@
+"""Tests for the small ranking utilities in repro.eval.ranking."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ranking import batched, rank_of, ranks_of, top_k
+
+
+class TestTopK:
+    SCORES = np.array([0.1, 0.9, 0.5, 0.7, 0.3])
+
+    def test_descending_order(self):
+        assert top_k(self.SCORES, 3).tolist() == [1, 3, 2]
+
+    def test_k_zero(self):
+        assert top_k(self.SCORES, 0).size == 0
+
+    def test_k_beyond_size(self):
+        assert top_k(self.SCORES, 99).size == 5
+
+    def test_exclusion(self):
+        top = top_k(self.SCORES, 2, exclude=np.array([1]))
+        assert top.tolist() == [3, 2]
+
+    def test_empty_exclusion(self):
+        assert top_k(self.SCORES, 2, exclude=np.array([], dtype=np.int64)).tolist() == [1, 3]
+
+    def test_input_not_mutated_by_exclusion(self):
+        scores = self.SCORES.copy()
+        top_k(scores, 2, exclude=np.array([1]))
+        np.testing.assert_array_equal(scores, self.SCORES)
+
+
+class TestRankOf:
+    def test_best_is_one(self):
+        assert rank_of(np.array([0.2, 0.9, 0.1]), 1) == 1.0
+
+    def test_tie_averaged(self):
+        assert rank_of(np.array([0.5, 0.5, 0.1]), 0) == 1.5
+
+    def test_ranks_of_multiple(self):
+        ranks = ranks_of(np.array([0.2, 0.9, 0.1]), [0, 2])
+        assert ranks.tolist() == [2.0, 3.0]
+
+
+class TestBatched:
+    def test_splits_evenly(self):
+        assert batched(list(range(6)), 2) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_last_chunk_short(self):
+        assert batched(list(range(5)), 2) == [[0, 1], [2, 3], [4]]
+
+    def test_batch_larger_than_input(self):
+        assert batched([1, 2], 10) == [[1, 2]]
+
+    def test_empty_input(self):
+        assert batched([], 4) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            batched([1], 0)
+
+    def test_numpy_input_preserved(self):
+        chunks = batched(np.arange(5), 3)
+        assert isinstance(chunks[0], np.ndarray)
+        assert chunks[0].tolist() == [0, 1, 2]
+
+
+class TestLoggingHelpers:
+    def test_get_logger_namespaced(self):
+        from repro.utils.logging import get_logger
+
+        assert get_logger("taxonomy").name == "repro.taxonomy"
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_enable_console_logging_idempotent(self):
+        from repro.utils.logging import enable_console_logging
+
+        logger = enable_console_logging()
+        n_handlers = len(logger.handlers)
+        enable_console_logging()
+        assert len(logger.handlers) == n_handlers
+
+
+class TestGridEdgeCases:
+    def test_expand_grid_preserves_value_types(self):
+        from repro.eval.model_selection import expand_grid
+
+        grid = expand_grid({"factors": [8], "shuffle": [True, False]})
+        assert {"factors": 8, "shuffle": True} in grid
+        assert all(isinstance(g["shuffle"], bool) for g in grid)
+
+    def test_sibling_min_level_validation(self):
+        from repro.utils.config import TrainConfig
+
+        with pytest.raises(ValueError):
+            TrainConfig(sibling_min_level=-1)
+        assert TrainConfig(sibling_min_level=0).sibling_min_level == 0

@@ -1,0 +1,84 @@
+"""Tests for BPR sampling machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import TripleStore
+from repro.data.transactions import TransactionLog
+
+
+@pytest.fixture()
+def log():
+    return TransactionLog(
+        [
+            [[0, 1], [2]],
+            [[3], [0, 4]],
+        ],
+        n_items=6,
+    )
+
+
+@pytest.fixture()
+def store(log):
+    return TripleStore(log)
+
+
+class TestTripleStore:
+    def test_triples_cover_all_purchases(self, store, log):
+        assert store.n_triples == log.n_purchases
+
+    def test_triples_content(self, store):
+        rows = {tuple(r) for r in store.triples.tolist()}
+        assert (0, 0, 0) in rows and (1, 1, 4) in rows
+
+    def test_row_of(self, store):
+        assert store.row_of(0, 0) == 0
+        assert store.row_of(0, 1) == 1
+        assert store.row_of(1, 0) == 2
+        assert store.row_of(1, 1) == 3
+
+    def test_transaction_rows_align_with_triples(self, store):
+        for k in range(store.n_triples):
+            u, t, _ = store.triples[k]
+            assert store.transaction_rows[k] == store.row_of(int(u), int(t))
+
+    def test_baskets_are_sets(self, store):
+        assert store.baskets[store.row_of(1, 1)] == {0, 4}
+
+    def test_epoch_order_is_permutation(self, store, rng):
+        order = store.epoch_order(rng)
+        assert sorted(order.tolist()) == list(range(store.n_triples))
+
+    def test_epoch_order_no_shuffle(self, store):
+        order = store.epoch_order(shuffle=False)
+        assert order.tolist() == list(range(store.n_triples))
+
+
+class TestNegativeSampling:
+    def test_negatives_avoid_basket(self, store, rng):
+        indices = np.arange(store.n_triples)
+        for _ in range(20):
+            negatives = store.sample_negatives(indices, rng)
+            for k, idx in enumerate(indices):
+                row = store.transaction_rows[idx]
+                assert int(negatives[k]) not in store.baskets[row]
+
+    def test_negatives_in_item_range(self, store, rng):
+        negatives = store.sample_negatives(np.arange(store.n_triples), rng)
+        assert negatives.min() >= 0
+        assert negatives.max() < store.log.n_items
+
+    def test_scan_fallback_with_huge_basket(self, rng):
+        # Basket covers all items except item 3 — rejection will almost
+        # always fail, forcing the deterministic scan.
+        log = TransactionLog([[[0, 1, 2, 4]]], n_items=5)
+        store = TripleStore(log)
+        negatives = store.sample_negatives(
+            np.arange(store.n_triples), rng, attempts=1
+        )
+        assert np.all(negatives == 3)
+
+    def test_deterministic_for_seed(self, store):
+        a = store.sample_negatives(np.arange(store.n_triples), 5)
+        b = store.sample_negatives(np.arange(store.n_triples), 5)
+        assert np.array_equal(a, b)

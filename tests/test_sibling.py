@@ -1,0 +1,96 @@
+"""Tests for sibling-based training machinery (Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sibling import SiblingSampler
+from repro.taxonomy.generator import complete_taxonomy
+from repro.taxonomy.tree import ROOT, Taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return complete_taxonomy((3, 2), items_per_leaf=2)  # 12 items
+
+
+@pytest.fixture()
+def sampler(taxonomy):
+    return SiblingSampler(taxonomy, levels=3)
+
+
+class TestSampleSiblings:
+    def test_siblings_share_parent(self, taxonomy, sampler, rng):
+        nodes = taxonomy.items[:6]
+        picks, valid = sampler.sample_siblings(nodes, rng)
+        assert valid.all()
+        for node, pick in zip(nodes, picks):
+            assert taxonomy.parent[pick] == taxonomy.parent[node]
+            assert pick != node
+
+    def test_root_has_no_sibling(self, sampler, rng):
+        picks, valid = sampler.sample_siblings(np.array([ROOT]), rng)
+        assert not valid[0]
+
+    def test_only_child_has_no_sibling(self, rng):
+        tax = Taxonomy([-1, 0, 1, 1])  # node 1 is an only child
+        sampler = SiblingSampler(tax, levels=2)
+        _, valid = sampler.sample_siblings(np.array([1]), rng)
+        assert not valid[0]
+
+    def test_counts_match_taxonomy(self, taxonomy, sampler):
+        for node in range(taxonomy.n_nodes):
+            assert sampler.counts[node] == taxonomy.siblings(node).size
+
+
+class TestExpandBatch:
+    def test_one_example_per_eligible_level(self, taxonomy, sampler, rng):
+        items = np.array([0, 1])
+        chains = taxonomy.item_ancestor_matrix(3)[items]
+        src, pos, neg = sampler.expand_batch(chains, rng)
+        # Every chain node below the root has siblings in a complete tree,
+        # so each item yields `levels` examples.
+        assert src.size == 2 * 3
+        assert pos.size == neg.size == src.size
+
+    def test_positives_lie_on_item_chains(self, taxonomy, sampler, rng):
+        items = np.array([4])
+        chains = taxonomy.item_ancestor_matrix(3)[items]
+        src, pos, neg = sampler.expand_batch(chains, rng)
+        chain_nodes = set(chains[0].tolist())
+        assert set(pos.tolist()) <= chain_nodes
+
+    def test_negatives_are_siblings_of_positives(self, taxonomy, sampler, rng):
+        items = np.array([7, 2, 9])
+        chains = taxonomy.item_ancestor_matrix(3)[items]
+        _, pos, neg = sampler.expand_batch(chains, rng)
+        for p, n in zip(pos, neg):
+            assert taxonomy.parent[p] == taxonomy.parent[n]
+            assert p != n
+
+    def test_source_rows_index_batch(self, taxonomy, sampler, rng):
+        items = np.array([0, 5, 11])
+        chains = taxonomy.item_ancestor_matrix(3)[items]
+        src, _, _ = sampler.expand_batch(chains, rng)
+        assert set(src.tolist()) <= {0, 1, 2}
+
+    def test_root_level_skipped(self, taxonomy, rng):
+        # With levels > depth, chains include the root and pad entries;
+        # neither may generate examples.
+        sampler = SiblingSampler(taxonomy, levels=5)
+        chains = taxonomy.item_ancestor_matrix(5)[np.array([0])]
+        _, pos, _ = sampler.expand_batch(chains, rng)
+        assert ROOT not in pos.tolist()
+        assert taxonomy.pad_id not in pos.tolist()
+
+    def test_empty_when_no_siblings_anywhere(self, rng):
+        # A path taxonomy: root -> a -> item; no node has siblings.
+        tax = Taxonomy([-1, 0, 1])
+        sampler = SiblingSampler(tax, levels=2)
+        chains = tax.item_ancestor_matrix(2)
+        src, pos, neg = sampler.expand_batch(chains, rng)
+        assert src.size == pos.size == neg.size == 0
+
+    def test_chains_of_pads_short_nodes(self, taxonomy, sampler):
+        chains = sampler.chains_of(np.array([ROOT]))
+        assert chains[0, 0] == ROOT
+        assert chains[0, 1] == taxonomy.pad_id

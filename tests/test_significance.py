@@ -1,0 +1,107 @@
+"""Tests for the statistical significance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import EvalResult, evaluate_model
+from repro.eval.significance import (
+    compare_models,
+    paired_bootstrap,
+    sign_test,
+)
+
+
+def make_result(aucs, ranks=None):
+    aucs = np.asarray(aucs, dtype=np.float64)
+    if ranks is None:
+        ranks = 100.0 * (1.0 - aucs)
+    return EvalResult(
+        auc=float(np.nanmean(aucs)),
+        mean_rank=float(np.nanmean(ranks)),
+        n_users=int(np.sum(~np.isnan(aucs))),
+        per_user_auc=aucs,
+        per_user_rank=np.asarray(ranks, dtype=np.float64),
+    )
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self, rng):
+        a = make_result(rng.uniform(0.8, 0.9, size=200))
+        b = make_result(rng.uniform(0.6, 0.7, size=200))
+        result = paired_bootstrap(a, b, seed=0)
+        assert result.mean_difference > 0.1
+        assert result.significant
+        assert result.p_sign_flip < 0.01
+
+    def test_identical_models_not_significant(self, rng):
+        values = rng.uniform(0.5, 0.9, size=200)
+        noise_a = values + rng.normal(0, 0.05, size=200)
+        noise_b = values + rng.normal(0, 0.05, size=200)
+        result = paired_bootstrap(make_result(noise_a), make_result(noise_b), seed=0)
+        assert not result.significant
+
+    def test_ci_contains_mean(self, rng):
+        a = make_result(rng.uniform(0.7, 0.9, size=100))
+        b = make_result(rng.uniform(0.6, 0.8, size=100))
+        result = paired_bootstrap(a, b, seed=0)
+        assert result.ci_low <= result.mean_difference <= result.ci_high
+
+    def test_nan_users_dropped(self):
+        a = make_result([0.9, np.nan, 0.8, 0.7])
+        b = make_result([0.5, 0.6, np.nan, 0.6])
+        result = paired_bootstrap(a, b, seed=0)
+        assert result.n_users == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="user sets"):
+            paired_bootstrap(make_result([0.5, 0.6]), make_result([0.5]))
+
+    def test_missing_arrays_rejected(self):
+        bare = EvalResult(auc=0.5, mean_rank=10.0, n_users=3)
+        with pytest.raises(ValueError, match="per-user"):
+            paired_bootstrap(bare, bare)
+
+
+class TestSignTest:
+    def test_counts_wins_losses_ties(self):
+        a = make_result([0.9, 0.8, 0.5, 0.4])
+        b = make_result([0.5, 0.5, 0.5, 0.5])
+        result = sign_test(a, b)
+        assert result.wins == 2
+        assert result.losses == 1
+        assert result.ties == 1
+
+    def test_dominant_model_significant(self, rng):
+        a = make_result(rng.uniform(0.8, 0.9, size=100))
+        b = make_result(rng.uniform(0.5, 0.7, size=100))
+        assert sign_test(a, b).significant
+
+    def test_mean_rank_lower_is_win(self):
+        a = make_result([0.5, 0.5], ranks=[5.0, 10.0])
+        b = make_result([0.5, 0.5], ranks=[20.0, 30.0])
+        result = sign_test(a, b, metric="mean_rank")
+        assert result.wins == 2
+
+    def test_all_ties_p_one(self):
+        a = make_result([0.5, 0.5])
+        result = sign_test(a, a)
+        assert result.p_value == 1.0
+        assert not result.significant
+
+
+class TestEndToEnd:
+    def test_tf_vs_mf_is_significant(self, tf_model, mf_model, split):
+        """The headline comparison must survive the noise tests."""
+        tf_result = evaluate_model(tf_model, split)
+        mf_result = evaluate_model(mf_model, split)
+        boot = paired_bootstrap(tf_result, mf_result, seed=0)
+        assert boot.mean_difference > 0
+        assert boot.significant
+        sign = sign_test(tf_result, mf_result)
+        assert sign.wins > sign.losses
+
+    def test_compare_models_renders(self, tf_model, mf_model, split):
+        tf_result = evaluate_model(tf_model, split)
+        mf_result = evaluate_model(mf_model, split)
+        line = compare_models(tf_result, mf_result)
+        assert "Δauc=" in line and "sign-test" in line

@@ -1,0 +1,132 @@
+"""Tests for the train/test split protocol (paper Sec. 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.split import (
+    TrainTestSplit,
+    first_transactions,
+    holdout_last,
+    train_test_split,
+)
+from repro.data.transactions import TransactionLog
+
+
+@pytest.fixture()
+def log():
+    return TransactionLog(
+        [
+            [[0], [1], [2], [3]],
+            [[4], [4], [5]],
+            [[0, 1]],
+        ],
+        n_items=6,
+    )
+
+
+class TestTrainTestSplit:
+    def test_partitions_transactions_temporally(self, log):
+        split = train_test_split(log, mu=0.5, sigma=0.0, remove_repeats=False, seed=0)
+        for user in range(log.n_users):
+            train = split.train.user_transactions(user)
+            test = split.test.user_transactions(user)
+            rebuilt = [b.tolist() for b in train] + [b.tolist() for b in test]
+            original = [b.tolist() for b in log.user_transactions(user)]
+            assert rebuilt == original
+
+    def test_mu_one_puts_everything_in_train(self, log):
+        split = train_test_split(log, mu=1.0, sigma=0.0, seed=0)
+        assert split.test.n_transactions == 0
+        assert split.train.n_transactions == log.n_transactions
+
+    def test_mu_zero_keeps_at_least_one_train_transaction(self, log):
+        split = train_test_split(log, mu=0.0, sigma=0.0, seed=0)
+        for user in range(log.n_users):
+            assert len(split.train.user_transactions(user)) == 1
+
+    def test_deterministic(self, log):
+        a = train_test_split(log, mu=0.5, seed=3)
+        b = train_test_split(log, mu=0.5, seed=3)
+        assert a.train == b.train and a.test == b.test
+
+    def test_larger_mu_gives_more_training_data(self):
+        rows = [[[i % 7] for i in range(10)] for _ in range(60)]
+        log = TransactionLog(rows, n_items=7)
+        sparse = train_test_split(log, mu=0.25, seed=0, remove_repeats=False)
+        dense = train_test_split(log, mu=0.75, seed=0, remove_repeats=False)
+        assert dense.train.n_transactions > sparse.train.n_transactions
+
+    def test_repeat_purchases_removed_from_test(self, log):
+        # User 1 buys item 4 twice; with the cut after t=0 the second
+        # purchase of 4 is a repeat and must disappear from test.
+        split = train_test_split(log, mu=0.34, sigma=0.0, seed=0)
+        test_items = [
+            int(i)
+            for b in split.test.user_transactions(1)
+            for i in b
+        ]
+        assert 4 not in test_items
+
+    def test_repeats_within_test_also_removed(self):
+        log = TransactionLog([[[0], [1], [1], [2]]], n_items=3)
+        split = train_test_split(log, mu=0.25, sigma=0.0, seed=0)
+        flat = [int(i) for b in split.test.user_transactions(0) for i in b]
+        assert flat == [1, 2]
+
+    def test_remove_repeats_false_keeps_them(self, log):
+        split = train_test_split(
+            log, mu=0.34, sigma=0.0, remove_repeats=False, seed=0
+        )
+        test_items = [
+            int(i) for b in split.test.user_transactions(1) for i in b
+        ]
+        assert 4 in test_items
+
+    def test_invalid_mu(self, log):
+        with pytest.raises(ValueError):
+            train_test_split(log, mu=1.5)
+
+    def test_test_users(self, log):
+        split = train_test_split(log, mu=0.5, sigma=0.0, seed=0)
+        users = split.test_users()
+        assert all(
+            len(split.test.user_transactions(int(u))) > 0 for u in users
+        )
+
+    def test_new_items(self):
+        log = TransactionLog([[[0], [1]], [[0], [2]]], n_items=4)
+        split = train_test_split(log, mu=0.5, sigma=0.0, seed=0)
+        new = set(split.new_items().tolist())
+        train_items = set(split.train.purchased_items().tolist())
+        assert not (new & train_items)
+        for item in new:
+            assert item in set(split.test.purchased_items().tolist())
+
+
+class TestHoldoutLast:
+    def test_holds_out_last_transaction(self, log):
+        head, tail = holdout_last(log, 1)
+        assert len(head.user_transactions(0)) == 3
+        assert tail.basket(0, 0).tolist() == [3]
+
+    def test_short_histories_not_emptied(self, log):
+        head, tail = holdout_last(log, 1)
+        # User 2 has a single transaction: keep it in head.
+        assert len(head.user_transactions(2)) == 1
+        assert len(tail.user_transactions(2)) == 0
+
+    def test_count_zero_is_identity(self, log):
+        head, tail = holdout_last(log, 0)
+        assert head == log
+        assert tail.n_transactions == 0
+
+
+class TestFirstTransactions:
+    def test_keeps_first(self, log):
+        first = first_transactions(log, 2)
+        assert len(first.user_transactions(0)) == 2
+        assert first.basket(0, 0).tolist() == [0]
+
+    def test_count_larger_than_history(self, log):
+        first = first_transactions(log, 10)
+        assert first == log

@@ -1,0 +1,102 @@
+"""Tests for dataset statistics (Fig. 5 quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.data.split import train_test_split
+from repro.data.stats import (
+    distinct_items_per_user,
+    gini,
+    histogram,
+    item_popularity,
+    new_items_per_user,
+    summarize,
+)
+from repro.data.transactions import TransactionLog
+
+
+@pytest.fixture()
+def log():
+    return TransactionLog(
+        [
+            [[0, 1], [1, 2]],
+            [[3]],
+            [[0], [0], [0]],
+        ],
+        n_items=5,
+    )
+
+
+class TestDistinctItems:
+    def test_counts(self, log):
+        assert distinct_items_per_user(log).tolist() == [3, 1, 1]
+
+
+class TestNewItems:
+    def test_counts_only_unseen(self):
+        train = TransactionLog([[[0]], [[1]]], n_items=4)
+        test = TransactionLog([[[0, 2]], [[3]]], n_items=4)
+        assert new_items_per_user(train, test).tolist() == [1, 1]
+
+    def test_user_count_mismatch_raises(self):
+        train = TransactionLog([[[0]]], n_items=2)
+        test = TransactionLog([[[0]], [[1]]], n_items=2)
+        with pytest.raises(ValueError):
+            new_items_per_user(train, test)
+
+
+class TestPopularity:
+    def test_counts(self, log):
+        assert item_popularity(log).tolist() == [4, 2, 1, 1, 0]
+
+
+class TestHistogram:
+    def test_basic(self):
+        values, counts = histogram(np.array([0, 1, 1, 3]), max_value=3)
+        assert values.tolist() == [0, 1, 2, 3]
+        assert counts.tolist() == [1, 2, 0, 1]
+
+    def test_clipping(self):
+        _, counts = histogram(np.array([100]), max_value=5)
+        assert counts[5] == 1
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(10, 7)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_is_high(self):
+        counts = np.zeros(100)
+        counts[0] = 1000
+        assert gini(counts) > 0.9
+
+    def test_empty_and_zero(self):
+        assert gini(np.array([])) == 0.0
+        assert gini(np.zeros(5)) == 0.0
+
+    def test_bounds(self, rng):
+        for _ in range(10):
+            g = gini(rng.integers(0, 50, size=30))
+            assert 0.0 <= g <= 1.0
+
+
+class TestSummarize:
+    def test_fields(self, log):
+        s = summarize(log)
+        assert s.n_users == 3
+        assert s.n_items == 5
+        assert s.n_transactions == 6
+        assert s.n_purchases == 8
+        assert s.purchases_per_user == pytest.approx(8 / 3)
+        assert s.distinct_items_per_user == pytest.approx(5 / 3)
+        assert 0 <= s.gini_popularity <= 1
+
+    def test_as_dict_keys(self, log):
+        d = summarize(log).as_dict()
+        assert "purchases_per_user" in d and "gini_popularity" in d
+
+    def test_matches_paper_style_sparsity(self, dataset):
+        """The default synthetic dataset is sparse like the paper's log
+        (~2-5 purchases per user)."""
+        s = summarize(dataset.log)
+        assert 1.5 <= s.purchases_per_user <= 8.0

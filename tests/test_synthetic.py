@@ -1,0 +1,133 @@
+"""Tests for the synthetic purchase-log generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.split import train_test_split
+from repro.data.synthetic import LATE_PHASE_START, _WeightedSampler, generate_dataset
+from repro.utils.config import SyntheticConfig
+
+
+@pytest.fixture(scope="module")
+def small():
+    return generate_dataset(
+        SyntheticConfig(
+            branching=(4, 3, 3), items_per_leaf=4, n_users=300, seed=1
+        )
+    )
+
+
+class TestWeightedSampler:
+    def test_draws_from_population(self, rng):
+        sampler = _WeightedSampler(np.array([5, 6, 7]), np.array([1.0, 1.0, 1.0]))
+        draws = {sampler.draw(rng) for _ in range(50)}
+        assert draws <= {5, 6, 7}
+
+    def test_respects_weights(self, rng):
+        sampler = _WeightedSampler(np.array([0, 1]), np.array([0.999, 0.001]))
+        draws = [sampler.draw(rng) for _ in range(200)]
+        assert draws.count(0) > 180
+
+    def test_zero_weight_never_drawn(self, rng):
+        sampler = _WeightedSampler(np.array([0, 1]), np.array([1.0, 0.0]))
+        assert all(sampler.draw(rng) == 0 for _ in range(50))
+
+    def test_distinct_draws(self, rng):
+        sampler = _WeightedSampler(np.arange(10), np.ones(10))
+        picked = sampler.draw_distinct(rng, 5)
+        assert len(picked) == len(set(picked)) == 5
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            _WeightedSampler(np.array([0]), np.array([0.0]))
+
+
+class TestGenerateDataset:
+    def test_deterministic(self):
+        cfg = SyntheticConfig(branching=(3, 2), items_per_leaf=3, n_users=50, seed=9)
+        a = generate_dataset(cfg)
+        b = generate_dataset(cfg)
+        assert a.log == b.log
+        assert a.taxonomy == b.taxonomy
+
+    def test_every_user_has_a_transaction(self, small):
+        for user in range(small.log.n_users):
+            assert len(small.log.user_transactions(user)) >= 1
+
+    def test_items_match_taxonomy(self, small):
+        assert small.log.n_items == small.taxonomy.n_items
+
+    def test_leaf_of_item_consistent(self, small):
+        tax = small.taxonomy
+        for item in range(0, tax.n_items, 17):
+            assert small.leaf_of_item[item] == tax.parent[tax.node_of_item(item)]
+
+    def test_popularity_is_heavy_tailed(self, small):
+        from repro.data.stats import gini
+
+        counts = np.sort(small.log.item_counts())[::-1]
+        top_decile = counts[: max(1, counts.size // 10)].sum()
+        # Top 10% of items should hold far more than a uniform 10% share.
+        assert top_decile > 2.0 * 0.1 * counts.sum()
+        assert gini(small.log.item_counts()) > 0.25
+
+    def test_user_focus_recorded(self, small):
+        assert len(small.user_focus) == small.log.n_users
+        assert all(len(f) >= 1 for f in small.user_focus)
+
+    def test_transition_kernel_points_at_leaf_categories(self, small):
+        leafs = set(int(x) for x in np.unique(small.leaf_of_item))
+        for source, related in small.transition_kernel.items():
+            assert source in leafs
+            assert all(int(r) in leafs for r in related)
+
+    def test_purchases_concentrate_in_focus_categories(self, small):
+        """Long-term interests: most purchases land in a user's focus leafs
+        or their transition neighborhood."""
+        hits = 0
+        total = 0
+        for user in range(0, small.log.n_users, 7):
+            focus = set(small.user_focus[user])
+            reachable = set(focus)
+            for leaf in focus:
+                reachable.update(int(x) for x in small.transition_kernel[leaf])
+                for second in small.transition_kernel[leaf]:
+                    reachable.update(
+                        int(x) for x in small.transition_kernel[int(second)]
+                    )
+            for basket in small.log.user_transactions(user):
+                for item in basket:
+                    total += 1
+                    if int(small.leaf_of_item[item]) in reachable:
+                        hits += 1
+        assert hits / total > 0.6
+
+    def test_late_items_rare_in_training_split(self, small):
+        split = train_test_split(small.log, mu=0.5, seed=0)
+        train_counts = split.train.item_counts()
+        late = small.late_items
+        if late.size == 0:
+            pytest.skip("no late items configured")
+        late_rate = train_counts[late].mean()
+        other = np.setdiff1d(np.arange(small.n_items), late)
+        other_rate = train_counts[other].mean()
+        assert late_rate < other_rate
+
+    def test_default_config_used_when_none(self):
+        data = generate_dataset(None)
+        assert data.config == SyntheticConfig()
+
+    def test_late_phase_constant_sane(self):
+        assert 0.0 < LATE_PHASE_START < 1.0
+
+    def test_zero_new_item_fraction(self):
+        cfg = SyntheticConfig(
+            branching=(3, 2), items_per_leaf=3, n_users=30,
+            new_item_fraction=0.0, seed=2,
+        )
+        data = generate_dataset(cfg)
+        assert data.late_items.size == 0
+
+    def test_properties(self, small):
+        assert small.n_users == small.log.n_users
+        assert small.n_items == small.taxonomy.n_items

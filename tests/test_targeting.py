@@ -1,0 +1,134 @@
+"""Tests for category targeting and diversified recommendation."""
+
+import numpy as np
+import pytest
+
+from repro.core.targeting import (
+    audience_for_category,
+    category_affinities,
+    category_share,
+    diversified_recommend,
+)
+
+
+class TestCategoryAffinities:
+    def test_one_score_per_user(self, tf_model):
+        node = int(tf_model.taxonomy.nodes_at_level(1)[0])
+        scores = category_affinities(tf_model, node)
+        assert scores.shape == (tf_model.n_users,)
+
+    def test_user_subset(self, tf_model):
+        node = int(tf_model.taxonomy.nodes_at_level(1)[0])
+        users = np.array([3, 7, 11])
+        subset = category_affinities(tf_model, node, users)
+        full = category_affinities(tf_model, node)
+        np.testing.assert_allclose(subset, full[users])
+
+    def test_matches_score_nodes(self, tf_model):
+        node = int(tf_model.taxonomy.nodes_at_level(2)[0])
+        scores = category_affinities(tf_model, node, np.array([5]))
+        expected = tf_model.score_nodes(5, np.array([node]))[0]
+        assert scores[0] == pytest.approx(expected)
+
+    def test_invalid_node(self, tf_model):
+        with pytest.raises(ValueError):
+            category_affinities(tf_model, 10**6)
+
+
+class TestAudience:
+    def test_returns_k_users_sorted_by_affinity(self, tf_model):
+        node = int(tf_model.taxonomy.nodes_at_level(1)[0])
+        audience = audience_for_category(tf_model, node, k=20)
+        assert audience.size == 20
+        scores = category_affinities(tf_model, node, audience)
+        assert list(scores) == sorted(scores, reverse=True)
+
+    def test_audience_actually_shops_there(self, tf_model, dataset, split):
+        """Top-affinity users should over-index on purchases inside the
+        category's subtree compared to the population."""
+        taxonomy = dataset.taxonomy
+        node = int(taxonomy.nodes_at_level(1)[0])
+        subtree = set(taxonomy.subtree_items(node).tolist())
+
+        def buy_rate(users):
+            hits = total = 0
+            for user in users:
+                items = split.train.user_items(int(user))
+                total += items.size
+                hits += sum(1 for i in items if int(i) in subtree)
+            return hits / max(total, 1)
+
+        audience = audience_for_category(tf_model, node, k=40)
+        everyone = np.arange(tf_model.n_users)
+        assert buy_rate(audience) > buy_rate(everyone)
+
+    def test_exclude_buyers(self, tf_model, split):
+        taxonomy = tf_model.taxonomy
+        node = int(taxonomy.nodes_at_level(1)[0])
+        subtree = set(taxonomy.subtree_items(node).tolist())
+        audience = audience_for_category(
+            tf_model, node, k=30, exclude_buyers=True
+        )
+        for user in audience:
+            bought = set(split.train.user_items(int(user)).tolist())
+            assert not (bought & subtree)
+
+    def test_k_larger_than_population(self, tf_model):
+        node = int(tf_model.taxonomy.nodes_at_level(1)[0])
+        audience = audience_for_category(tf_model, node, k=10**6)
+        assert audience.size == tf_model.n_users
+
+
+class TestDiversifiedRecommend:
+    def test_respects_category_cap(self, tf_model):
+        taxonomy = tf_model.taxonomy
+        top = diversified_recommend(tf_model, 0, k=10, max_per_category=1)
+        categories = taxonomy.parent[taxonomy.nodes_of_items(top)]
+        assert len(set(categories.tolist())) == top.size
+
+    def test_unconstrained_matches_recommend(self, tf_model):
+        relaxed = diversified_recommend(
+            tf_model, 0, k=5, max_per_category=10**6, exclude_purchased=False
+        )
+        plain = tf_model.recommend(0, k=5, exclude_purchased=False)
+        assert relaxed.tolist() == plain.tolist()
+
+    def test_keeps_best_item_per_category(self, tf_model):
+        """Diversification must keep the single best item of each used
+        category (greedy by score)."""
+        taxonomy = tf_model.taxonomy
+        top = diversified_recommend(
+            tf_model, 2, k=6, max_per_category=1, exclude_purchased=False
+        )
+        scores = tf_model.score_items(2)
+        for item in top:
+            category = int(taxonomy.parent[taxonomy.node_of_item(int(item))])
+            siblings = taxonomy.subtree_items(category)
+            assert scores[item] == pytest.approx(scores[siblings].max())
+
+    def test_excludes_purchases(self, tf_model, split):
+        top = diversified_recommend(tf_model, 1, k=8)
+        bought = set(split.train.user_items(1).tolist())
+        assert not (set(top.tolist()) & bought)
+
+    def test_coarser_level_diversifies_more(self, tf_model):
+        fine = diversified_recommend(
+            tf_model, 0, k=8, max_per_category=1, exclude_purchased=False
+        )
+        coarse = diversified_recommend(
+            tf_model, 0, k=8, max_per_category=1, category_level=1,
+            exclude_purchased=False,
+        )
+        taxonomy = tf_model.taxonomy
+        coarse_cats = taxonomy.item_category(coarse, 1)
+        assert len(set(coarse_cats.tolist())) == coarse.size
+
+
+class TestCategoryShare:
+    def test_shares_sum_to_one(self, tf_model):
+        items = tf_model.recommend(0, k=10, exclude_purchased=False)
+        share = category_share(tf_model.taxonomy, items, level=1)
+        assert sum(share.values()) == pytest.approx(1.0)
+
+    def test_empty_items(self, tf_model):
+        assert category_share(tf_model.taxonomy, [], level=1) == {}

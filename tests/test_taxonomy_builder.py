@@ -1,0 +1,92 @@
+"""Tests for repro.taxonomy.builder."""
+
+import pytest
+
+from repro.taxonomy.builder import from_edges, from_parent_array, from_paths
+from repro.taxonomy.tree import TaxonomyError
+
+
+class TestFromParentArray:
+    def test_builds(self):
+        tax = from_parent_array([-1, 0, 0])
+        assert tax.n_nodes == 3
+        assert tax.n_items == 2
+
+
+class TestFromEdges:
+    def test_simple_tree(self):
+        tax = from_edges(
+            [("root", "a"), ("root", "b"), ("a", "x"), ("a", "y"), ("b", "z")]
+        )
+        assert tax.n_nodes == 6
+        assert tax.n_items == 3
+        assert tax.name_of(0) == "root"
+        assert tax.level_sizes() == [1, 2, 3]
+
+    def test_bfs_numbering_is_input_order_independent(self):
+        edges = [("r", "a"), ("r", "b"), ("a", "x")]
+        tax1 = from_edges(edges)
+        tax2 = from_edges(list(reversed(edges)))
+        assert tax1 == tax2
+
+    def test_explicit_root(self):
+        tax = from_edges([("r", "a")], root="r")
+        assert tax.name_of(0) == "r"
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(TaxonomyError):
+            from_edges([("r", "a")], root="zz")
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(TaxonomyError, match="two parents"):
+            from_edges([("r", "a"), ("r", "b"), ("a", "x"), ("b", "x")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TaxonomyError):
+            from_edges([])
+
+    def test_cycle_has_no_root(self):
+        with pytest.raises(TaxonomyError):
+            from_edges([("a", "b"), ("b", "a")])
+
+
+class TestFromPaths:
+    def test_merges_shared_prefixes(self):
+        tax = from_paths(
+            [
+                ["Electronics", "Cameras", "item-1"],
+                ["Electronics", "Cameras", "item-2"],
+                ["Electronics", "Phones", "item-3"],
+            ]
+        )
+        # root + Electronics + {Cameras, Phones} + 3 items
+        assert tax.n_nodes == 7
+        assert tax.n_items == 3
+        assert tax.name_of(0) == "<root>"
+
+    def test_namespacing_distinguishes_same_names(self):
+        tax = from_paths(
+            [
+                ["A", "Accessories", "item-1"],
+                ["B", "Accessories", "item-2"],
+            ]
+        )
+        # The two "Accessories" categories are distinct nodes.
+        level2 = tax.nodes_at_level(2)
+        assert level2.size == 2
+
+    def test_duplicate_paths_collapse(self):
+        tax = from_paths([["A", "x"], ["A", "x"]])
+        assert tax.n_items == 1
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(TaxonomyError):
+            from_paths([[]])
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(TaxonomyError):
+            from_paths([])
+
+    def test_custom_root_name(self):
+        tax = from_paths([["a", "b"]], root_name="shop")
+        assert tax.name_of(0) == "shop"

@@ -1,0 +1,76 @@
+"""Tests for repro.taxonomy.generator."""
+
+import pytest
+
+from repro.taxonomy.generator import (
+    PAPER_LIKE_BRANCHING,
+    complete_taxonomy,
+    paper_scale_taxonomy,
+    random_taxonomy,
+)
+
+
+class TestCompleteTaxonomy:
+    def test_exact_level_sizes(self):
+        tax = complete_taxonomy((3, 2), items_per_leaf=4)
+        assert tax.level_sizes() == [1, 3, 6, 24]
+        assert tax.n_items == 24
+
+    def test_all_items_at_same_depth(self):
+        tax = complete_taxonomy((2, 2, 2), items_per_leaf=3)
+        assert set(tax.level[tax.items].tolist()) == {4}
+
+    def test_item_names_unique(self):
+        tax = complete_taxonomy((2, 2), items_per_leaf=2)
+        names = [tax.name_of(int(v)) for v in tax.items]
+        assert len(set(names)) == len(names)
+
+    def test_rejects_zero_branching(self):
+        with pytest.raises(ValueError):
+            complete_taxonomy((0,), items_per_leaf=2)
+
+
+class TestRandomTaxonomy:
+    def test_deterministic_for_seed(self):
+        a = random_taxonomy((4, 3), 3, seed=5)
+        b = random_taxonomy((4, 3), 3, seed=5)
+        assert a == b
+
+    def test_zero_jitter_matches_complete(self):
+        a = random_taxonomy((3, 2), 4, jitter=0.0, seed=0)
+        b = complete_taxonomy((3, 2), 4)
+        assert a.level_sizes() == b.level_sizes()
+
+    def test_jitter_changes_fanout(self):
+        tax = random_taxonomy((10, 4), 4, jitter=0.4, seed=0)
+        widths = {tax.children(int(v)).size for v in tax.nodes_at_level(1)}
+        assert len(widths) > 1  # uneven category sizes
+
+    def test_depth_is_uniform(self):
+        tax = random_taxonomy((3, 3, 3), 2, jitter=0.3, seed=1)
+        assert set(tax.level[tax.items].tolist()) == {4}
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValueError):
+            random_taxonomy((2,), 2, jitter=1.0)
+
+
+class TestPaperScaleTaxonomy:
+    def test_top_level_has_23_categories(self):
+        tax = paper_scale_taxonomy(scale=0.002, seed=0)
+        # jitter=0.25 around 23
+        assert 15 <= tax.nodes_at_level(1).size <= 31
+
+    def test_depth_matches_paper(self):
+        tax = paper_scale_taxonomy(scale=0.002, seed=0)
+        assert tax.max_depth == 4  # root + 3 category levels + items
+
+    def test_scale_controls_item_count(self):
+        small = paper_scale_taxonomy(scale=0.002, seed=0)
+        large = paper_scale_taxonomy(scale=0.01, seed=0)
+        assert large.n_items > small.n_items
+
+    def test_branching_constant_matches_ratios(self):
+        top, mid, low = PAPER_LIKE_BRANCHING
+        assert top == 23
+        assert top * mid in range(230, 300)

@@ -1,0 +1,108 @@
+"""Tests for repro.taxonomy.io."""
+
+import json
+
+import pytest
+
+from repro.taxonomy.generator import complete_taxonomy
+from repro.taxonomy.io import (
+    load_category_file,
+    load_taxonomy,
+    parse_category_records,
+    save_taxonomy,
+)
+from repro.taxonomy.tree import TaxonomyError
+
+
+class TestNativeFormat:
+    def test_roundtrip(self, tmp_path):
+        tax = complete_taxonomy((3, 2), items_per_leaf=2)
+        path = tmp_path / "tax.json"
+        save_taxonomy(tax, path)
+        loaded = load_taxonomy(path)
+        assert loaded == tax
+        assert loaded.name_of(0) == tax.name_of(0)
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(TaxonomyError):
+            load_taxonomy(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "tax.json"
+        path.write_text(
+            json.dumps({"format": "repro-taxonomy", "version": 99, "parent": [-1]})
+        )
+        with pytest.raises(TaxonomyError, match="version"):
+            load_taxonomy(path)
+
+
+class TestCategoryRecords:
+    RECORDS = [
+        {"asin": "A1", "categories": [["Electronics", "Cameras"]]},
+        {"asin": "A2", "categories": [["Electronics", "Cameras"]]},
+        {"asin": "A3", "categories": [["Electronics", "Phones"]]},
+        {"asin": "A4", "categories": [["Books"]]},
+    ]
+
+    def test_parse_dicts(self):
+        tax, item_ids = parse_category_records(self.RECORDS)
+        assert tax.n_items == 4
+        assert set(item_ids) == {"A1", "A2", "A3", "A4"}
+
+    def test_items_under_right_categories(self):
+        tax, item_ids = parse_category_records(self.RECORDS)
+        a1 = tax.node_of_item(item_ids["A1"])
+        a2 = tax.node_of_item(item_ids["A2"])
+        assert tax.parent[a1] == tax.parent[a2]  # both under Cameras
+
+    def test_parse_json_lines(self):
+        lines = [json.dumps(r) for r in self.RECORDS]
+        tax, item_ids = parse_category_records(lines)
+        assert tax.n_items == 4
+
+    def test_first_path_wins(self):
+        records = [
+            {
+                "asin": "X",
+                "categories": [["A", "B"], ["C", "D"]],
+            },
+            {"asin": "Y", "categories": [["A", "B"]]},
+        ]
+        tax, item_ids = parse_category_records(records)
+        x = tax.node_of_item(item_ids["X"])
+        y = tax.node_of_item(item_ids["Y"])
+        assert tax.parent[x] == tax.parent[y]
+
+    def test_flat_category_list_supported(self):
+        records = [{"asin": "X", "categories": ["A", "B"]}]
+        tax, item_ids = parse_category_records(records)
+        assert tax.n_items == 1
+
+    def test_duplicate_items_skipped(self):
+        records = [
+            {"asin": "X", "categories": [["A"]]},
+            {"asin": "X", "categories": [["B"]]},
+        ]
+        tax, item_ids = parse_category_records(records)
+        assert tax.n_items == 1
+
+    def test_records_missing_fields_skipped(self):
+        records = [
+            {"asin": "X"},
+            {"categories": [["A"]]},
+            {"asin": "Y", "categories": [["A"]]},
+        ]
+        tax, item_ids = parse_category_records(records)
+        assert set(item_ids) == {"Y"}
+
+    def test_no_usable_records_raises(self):
+        with pytest.raises(TaxonomyError):
+            parse_category_records([{"asin": "X"}])
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "meta.jsonl"
+        path.write_text("\n".join(json.dumps(r) for r in self.RECORDS))
+        tax, item_ids = load_category_file(path)
+        assert tax.n_items == 4

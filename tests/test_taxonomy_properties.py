@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for taxonomy invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taxonomy.tree import ROOT, Taxonomy
+
+
+@st.composite
+def random_trees(draw, max_nodes: int = 40):
+    """Random valid parent arrays: node v attaches to some earlier node."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    parent = [-1]
+    for v in range(1, n):
+        parent.append(draw(st.integers(min_value=0, max_value=v - 1)))
+    return Taxonomy(parent)
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_levels_are_parent_plus_one(tax):
+    for v in range(1, tax.n_nodes):
+        assert tax.level[v] == tax.level[tax.parent[v]] + 1
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_items_partition_leaves(tax):
+    for v in range(tax.n_nodes):
+        is_item = tax.item_of_node(v) >= 0
+        assert is_item == (tax.children(v).size == 0)
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_ancestor_matrix_matches_paths(tax):
+    full = tax.ancestor_matrix()
+    for v in range(tax.n_nodes):
+        chain = [x for x in full[v] if x != tax.pad_id]
+        assert chain == tax.path_to_root(v)
+        assert chain[-1] == ROOT
+
+
+@given(random_trees(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_truncated_matrix_is_prefix_of_full(tax, levels):
+    full = tax.ancestor_matrix()
+    trunc = tax.ancestor_matrix(levels)
+    width = min(levels, full.shape[1])
+    assert np.array_equal(trunc[:, :width], full[:, :width])
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_siblings_share_parent_and_exclude_self(tax):
+    for v in range(1, tax.n_nodes):
+        sibs = tax.siblings(v)
+        assert v not in sibs
+        for s in sibs:
+            assert tax.parent[s] == tax.parent[v]
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_subtree_items_cover_universe(tax):
+    root_items = tax.subtree_items(ROOT)
+    assert root_items.tolist() == list(range(tax.n_items))
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_level_sizes_sum_to_node_count(tax):
+    assert sum(tax.level_sizes()) == tax.n_nodes
+
+
+@given(random_trees(), st.integers(min_value=0, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_item_category_is_ancestor_at_that_level(tax, level):
+    items = np.arange(tax.n_items)
+    cats = tax.item_category(items, level)
+    for item, cat in zip(items, cats):
+        node = tax.node_of_item(int(item))
+        path = tax.path_to_root(node)
+        if level >= tax.level[node]:
+            assert cat == node
+        else:
+            assert int(cat) in path
+            assert tax.level[int(cat)] == level

@@ -1,0 +1,195 @@
+"""Tests for repro.taxonomy.tree.Taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.taxonomy.tree import ROOT, Taxonomy, TaxonomyError
+
+
+@pytest.fixture()
+def tree():
+    # 0 root; 1,2 categories; 3,4 items under 1; 5,6 items under 2.
+    return Taxonomy([-1, 0, 0, 1, 1, 2, 2])
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([])
+
+    def test_rejects_non_root_first_node(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([0, -1])
+
+    def test_rejects_two_roots(self):
+        with pytest.raises(TaxonomyError, match="exactly one root"):
+            Taxonomy([-1, -1, 0])
+
+    def test_rejects_out_of_range_parent(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([-1, 7])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([-1, 2, 1])
+
+    def test_rejects_wrong_names_length(self):
+        with pytest.raises(TaxonomyError, match="names"):
+            Taxonomy([-1, 0], names=["only-root"])
+
+    def test_single_node_tree(self):
+        solo = Taxonomy([-1])
+        assert solo.n_nodes == 1
+        assert solo.n_items == 1  # the root is the only leaf
+
+
+class TestShape:
+    def test_counts(self, tree):
+        assert tree.n_nodes == 7
+        assert tree.n_items == 4
+        assert tree.max_depth == 2
+        assert tree.pad_id == 7
+
+    def test_levels(self, tree):
+        assert tree.level.tolist() == [0, 1, 1, 2, 2, 2, 2]
+
+    def test_level_sizes(self, tree):
+        assert tree.level_sizes() == [1, 2, 4]
+
+    def test_items_are_leaves(self, tree):
+        assert tree.items.tolist() == [3, 4, 5, 6]
+
+    def test_parent_readonly(self, tree):
+        with pytest.raises(ValueError):
+            tree.parent[0] = 5
+
+
+class TestItemTranslation:
+    def test_roundtrip(self, tree):
+        for item in range(tree.n_items):
+            assert tree.item_of_node(tree.node_of_item(item)) == item
+
+    def test_interior_maps_to_minus_one(self, tree):
+        assert tree.item_of_node(1) == -1
+
+    def test_vectorized_matches_scalar(self, tree):
+        items = np.arange(tree.n_items)
+        nodes = tree.nodes_of_items(items)
+        assert [tree.node_of_item(i) for i in items] == nodes.tolist()
+        assert tree.items_of_nodes(nodes).tolist() == items.tolist()
+
+    def test_is_leaf(self, tree):
+        assert tree.is_leaf(3)
+        assert not tree.is_leaf(1)
+        assert not tree.is_leaf(ROOT)
+
+
+class TestNavigation:
+    def test_children(self, tree):
+        assert tree.children(0).tolist() == [1, 2]
+        assert tree.children(1).tolist() == [3, 4]
+        assert tree.children(3).size == 0
+
+    def test_siblings(self, tree):
+        assert tree.siblings(1).tolist() == [2]
+        assert tree.siblings(3).tolist() == [4]
+        assert tree.siblings(ROOT).size == 0
+
+    def test_random_sibling_member(self, tree, rng):
+        sib = tree.random_sibling(3, rng)
+        assert sib == 4
+
+    def test_random_sibling_of_root_is_minus_one(self, tree, rng):
+        assert tree.random_sibling(ROOT, rng) == -1
+
+    def test_path_to_root(self, tree):
+        assert tree.path_to_root(5) == [5, 2, 0]
+        assert tree.path_to_root(ROOT) == [0]
+
+    def test_ancestor_at_height(self, tree):
+        assert tree.ancestor_at_height(5, 0) == 5
+        assert tree.ancestor_at_height(5, 1) == 2
+        assert tree.ancestor_at_height(5, 2) == 0
+        # Walking past the root sticks at the root.
+        assert tree.ancestor_at_height(5, 99) == 0
+
+    def test_nodes_at_level(self, tree):
+        assert tree.nodes_at_level(1).tolist() == [1, 2]
+        assert tree.nodes_at_level(2).tolist() == [3, 4, 5, 6]
+
+    def test_subtree_items(self, tree):
+        assert tree.subtree_items(1).tolist() == [0, 1]
+        assert tree.subtree_items(ROOT).tolist() == [0, 1, 2, 3]
+        assert tree.subtree_items(5).tolist() == [2]
+
+
+class TestAncestorMatrix:
+    def test_full_chains(self, tree):
+        full = tree.ancestor_matrix()
+        assert full.shape == (7, 3)
+        assert full[5].tolist() == [5, 2, 0]
+        assert full[1].tolist() == [1, 0, tree.pad_id]
+        assert full[0].tolist() == [0, tree.pad_id, tree.pad_id]
+
+    def test_truncated_chains(self, tree):
+        two = tree.ancestor_matrix(2)
+        assert two.shape == (7, 2)
+        assert two[5].tolist() == [5, 2]
+
+    def test_matches_path_to_root(self, tree):
+        full = tree.ancestor_matrix()
+        for node in range(tree.n_nodes):
+            path = tree.path_to_root(node)
+            row = [x for x in full[node] if x != tree.pad_id]
+            assert row == path
+
+    def test_item_matrix_rows(self, tree):
+        items = tree.item_ancestor_matrix(2)
+        assert items.shape == (4, 2)
+        assert items[0].tolist() == [3, 1]
+
+    def test_cached_and_readonly(self, tree):
+        a = tree.ancestor_matrix(3)
+        b = tree.ancestor_matrix(3)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0, 0] = 1
+
+    def test_levels_must_be_positive(self, tree):
+        with pytest.raises(ValueError):
+            tree.ancestor_matrix(0)
+
+
+class TestItemCategory:
+    def test_level_one(self, tree):
+        cats = tree.item_category(np.array([0, 1, 2, 3]), level=1)
+        assert cats.tolist() == [1, 1, 2, 2]
+
+    def test_level_equals_item_depth(self, tree):
+        cats = tree.item_category(np.array([0, 3]), level=2)
+        assert cats.tolist() == [3, 6]
+
+    def test_level_zero_is_root(self, tree):
+        cats = tree.item_category(np.array([0, 3]), level=0)
+        assert cats.tolist() == [0, 0]
+
+
+class TestDunders:
+    def test_len(self, tree):
+        assert len(tree) == 7
+
+    def test_repr_mentions_shape(self, tree):
+        assert "n_items=4" in repr(tree)
+
+    def test_equality_and_hash(self, tree):
+        same = Taxonomy([-1, 0, 0, 1, 1, 2, 2])
+        other = Taxonomy([-1, 0, 0, 1, 1, 1, 2])
+        assert tree == same
+        assert hash(tree) == hash(same)
+        assert tree != other
+
+    def test_names(self):
+        named = Taxonomy([-1, 0], names=["root", "leaf"])
+        assert named.name_of(1) == "leaf"
+        unnamed = Taxonomy([-1, 0])
+        assert unnamed.name_of(1) == "node:1"

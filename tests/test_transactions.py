@@ -1,0 +1,121 @@
+"""Tests for repro.data.transactions.TransactionLog."""
+
+import numpy as np
+import pytest
+
+from repro.data.transactions import TransactionLog
+
+
+@pytest.fixture()
+def log():
+    return TransactionLog(
+        [
+            [[0, 1], [2]],
+            [[3]],
+            [],
+            [[1, 1, 0], [4], [0]],
+        ],
+        n_items=6,
+    )
+
+
+class TestConstruction:
+    def test_shape(self, log):
+        assert log.n_users == 4
+        assert log.n_items == 6
+        assert log.n_transactions == 6
+
+    def test_duplicates_within_basket_collapse(self, log):
+        assert log.basket(3, 0).tolist() == [0, 1]
+
+    def test_n_purchases_counts_events(self, log):
+        assert log.n_purchases == 2 + 1 + 1 + 2 + 1 + 1
+
+    def test_infers_n_items(self):
+        inferred = TransactionLog([[[7]]])
+        assert inferred.n_items == 8
+
+    def test_rejects_out_of_range_item(self):
+        with pytest.raises(ValueError):
+            TransactionLog([[[5]]], n_items=3)
+
+    def test_rejects_negative_item(self):
+        with pytest.raises(ValueError):
+            TransactionLog([[[-1]]])
+
+    def test_rejects_empty_basket(self):
+        with pytest.raises(ValueError):
+            TransactionLog([[[]]])
+
+    def test_baskets_are_readonly(self, log):
+        with pytest.raises(ValueError):
+            log.basket(0, 0)[0] = 9
+
+
+class TestAccess:
+    def test_user_items_sorted_distinct(self, log):
+        assert log.user_items(3).tolist() == [0, 1, 4]
+
+    def test_user_items_empty_user(self, log):
+        assert log.user_items(2).size == 0
+
+    def test_iter_baskets_order(self, log):
+        seen = [(u, t) for u, t, _ in log.iter_baskets()]
+        assert seen == [(0, 0), (0, 1), (1, 0), (3, 0), (3, 1), (3, 2)]
+
+    def test_purchase_triples(self, log):
+        triples = log.purchase_triples()
+        assert triples.shape == (log.n_purchases, 3)
+        assert triples[0].tolist() == [0, 0, 0]
+        assert triples[1].tolist() == [0, 0, 1]
+
+    def test_purchase_triples_empty_log(self):
+        empty = TransactionLog([], n_items=3)
+        assert empty.purchase_triples().shape == (0, 3)
+
+    def test_item_counts(self, log):
+        counts = log.item_counts()
+        assert counts.tolist() == [3, 2, 1, 1, 1, 0]
+
+    def test_purchased_items(self, log):
+        assert log.purchased_items().tolist() == [0, 1, 2, 3, 4]
+
+
+class TestTransformation:
+    def test_subset_users(self, log):
+        sub = log.subset_users([3, 0])
+        assert sub.n_users == 2
+        assert sub.basket(0, 0).tolist() == [0, 1]  # old user 3
+        assert sub.n_items == log.n_items
+
+    def test_map_items_drops_unmapped(self, log):
+        mapping = np.array([0, -1, 1, 2, -1, -1])
+        mapped = log.map_items(mapping, n_items=3)
+        assert mapped.basket(0, 0).tolist() == [0]
+        # User 3's second transaction [4] disappears entirely.
+        assert len(mapped.user_transactions(3)) == 2
+
+    def test_to_lists_roundtrip(self, log):
+        rebuilt = TransactionLog(log.to_lists(), n_items=log.n_items)
+        assert rebuilt == log
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, log, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log.save(path)
+        loaded = TransactionLog.load(path)
+        assert loaded == log
+        assert loaded.n_items == log.n_items
+
+
+class TestDunders:
+    def test_len(self, log):
+        assert len(log) == 4
+
+    def test_repr(self, log):
+        assert "n_users=4" in repr(log)
+
+    def test_equality_detects_difference(self, log):
+        other = TransactionLog([[[0]]], n_items=6)
+        assert log != other

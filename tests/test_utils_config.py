@@ -1,0 +1,67 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.utils.config import CascadeConfig, SyntheticConfig, TrainConfig
+
+
+class TestTrainConfig:
+    def test_defaults_are_valid(self):
+        cfg = TrainConfig()
+        assert cfg.factors > 0
+        assert cfg.taxonomy_levels >= 1
+
+    def test_rejects_zero_factors(self):
+        with pytest.raises(ValueError):
+            TrainConfig(factors=0)
+
+    def test_rejects_negative_learning_rate(self):
+        with pytest.raises(ValueError):
+            TrainConfig(learning_rate=-0.1)
+
+    def test_rejects_sibling_ratio_above_one(self):
+        with pytest.raises(ValueError):
+            TrainConfig(sibling_ratio=1.5)
+
+    def test_rejects_negative_markov_order(self):
+        with pytest.raises(ValueError):
+            TrainConfig(markov_order=-1)
+
+    def test_zero_epochs_allowed(self):
+        assert TrainConfig(epochs=0).epochs == 0
+
+
+class TestCascadeConfig:
+    def test_defaults_keep_everything(self):
+        assert all(f == 1.0 for f in CascadeConfig().keep_fractions)
+
+    def test_rejects_empty_fractions(self):
+        with pytest.raises(ValueError):
+            CascadeConfig(keep_fractions=())
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(ValueError):
+            CascadeConfig(keep_fractions=(0.5, 1.2))
+
+    def test_rejects_zero_min_keep(self):
+        with pytest.raises(ValueError):
+            CascadeConfig(min_keep=0)
+
+
+class TestSyntheticConfig:
+    def test_item_counting(self):
+        cfg = SyntheticConfig(branching=(2, 3), items_per_leaf=4)
+        assert cfg.n_leaf_categories == 6
+        assert cfg.n_items == 24
+
+    def test_rejects_empty_branching(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(branching=())
+
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_users=0)
+
+    def test_rejects_new_item_fraction_above_one(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(new_item_fraction=1.5)

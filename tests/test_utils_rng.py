@@ -1,0 +1,53 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(123).random(5)
+        b = ensure_rng(123).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(5)).random(3)
+        b = ensure_rng(5).random(3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_seed_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_rngs(9, 3)]
+        b = [g.random() for g in spawn_rngs(9, 3)]
+        assert a == b
+
+    def test_streams_are_independent(self):
+        gens = spawn_rngs(0, 2)
+        assert gens[0].random(4).tolist() != gens[1].random(4).tolist()
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,67 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckFraction:
+    def test_inclusive_bounds(self):
+        check_fraction("x", 0.0)
+        check_fraction("x", 1.0)
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_fraction("x", 0.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.0, inclusive=False)
+        check_fraction("x", 0.5, inclusive=False)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_fraction("x", value)
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        check_in("x", "a", ("a", "b"))
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="must be one of"):
+            check_in("x", "c", ("a", "b"))
+
+
+class TestCheckType:
+    def test_accepts_instance(self):
+        check_type("x", 3, int)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "3", int)

@@ -1,0 +1,118 @@
+"""Tests for the visualization substrate (t-SNE, PCA, Fig. 7e diagnostics)."""
+
+import numpy as np
+import pytest
+
+from repro.viz.projection import (
+    pca,
+    project_taxonomy_factors,
+    taxonomy_clustering_report,
+)
+from repro.viz.tsne import kl_divergence, tsne
+
+
+def two_blobs(rng, n_per=20, separation=20.0, dim=5):
+    a = rng.normal(0, 1, size=(n_per, dim))
+    b = rng.normal(0, 1, size=(n_per, dim)) + separation
+    return np.vstack([a, b])
+
+
+class TestPca:
+    def test_output_shapes(self, rng):
+        x = rng.normal(size=(30, 6))
+        coords, ratio = pca(x, n_components=2)
+        assert coords.shape == (30, 2)
+        assert ratio.shape == (2,)
+
+    def test_explained_variance_ratio_bounded(self, rng):
+        _, ratio = pca(rng.normal(size=(40, 8)), n_components=3)
+        assert np.all(ratio >= 0) and ratio.sum() <= 1.0 + 1e-9
+
+    def test_first_component_captures_separation(self, rng):
+        x = two_blobs(rng)
+        coords, ratio = pca(x)
+        # The blob identity must be separable along PC1.
+        first = coords[:20, 0]
+        second = coords[20:, 0]
+        assert (first.max() < second.min()) or (second.max() < first.min())
+        assert ratio[0] > 0.8
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pca(np.arange(5.0))
+
+
+class TestTsne:
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(25, 4))
+        y = tsne(x, n_iter=60, seed=0)
+        assert y.shape == (25, 2)
+        assert np.all(np.isfinite(y))
+
+    def test_separates_blobs(self, rng):
+        x = two_blobs(rng, n_per=15)
+        y = tsne(x, n_iter=180, seed=0)
+        within_a = np.linalg.norm(y[:15] - y[:15].mean(0), axis=1).mean()
+        centers = np.linalg.norm(y[:15].mean(0) - y[15:].mean(0))
+        assert centers > 2.0 * within_a
+
+    def test_deterministic_for_seed(self, rng):
+        x = rng.normal(size=(12, 3))
+        a = tsne(x, n_iter=40, seed=5)
+        b = tsne(x, n_iter=40, seed=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_perplexity_clamped_for_tiny_inputs(self, rng):
+        x = rng.normal(size=(6, 3))
+        y = tsne(x, perplexity=50.0, n_iter=30, seed=0)
+        assert np.all(np.isfinite(y))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            tsne(np.arange(5.0))
+
+    def test_kl_divergence_nonnegative_and_improves(self, rng):
+        x = two_blobs(rng, n_per=10)
+        good = tsne(x, n_iter=150, seed=0)
+        bad = rng.normal(size=good.shape)
+        assert kl_divergence(x, good) >= 0
+        assert kl_divergence(x, good) < kl_divergence(x, bad)
+
+
+class TestTaxonomyClustering:
+    def test_report_fields(self, tf_model):
+        report = taxonomy_clustering_report(tf_model.factor_set)
+        assert report.n_nodes > 0
+        assert report.parent_child_distance > 0
+        assert report.random_pair_distance > 0
+        assert len(report.offset_norm_by_level) >= 3
+
+    def test_factors_cluster_around_ancestors(self, tf_model):
+        """Fig. 7(e): parent-child pairs are much closer in factor space
+        than random pairs."""
+        report = taxonomy_clustering_report(tf_model.factor_set)
+        assert report.clustering_ratio < 0.8
+
+    def test_offset_norms_decrease_with_depth(self, tf_model):
+        """Sec. 5.1: offsets from parents shrink as we move down the tree
+        (this is what justifies cascaded pruning)."""
+        norms = taxonomy_clustering_report(tf_model.factor_set).offset_norm_by_level
+        levels = sorted(norms)
+        assert norms[levels[0]] > norms[levels[-1]]
+
+    def test_projection_returns_levels(self, tf_model):
+        coords, nodes, levels = project_taxonomy_factors(
+            tf_model.factor_set, max_level=3, method="pca"
+        )
+        assert coords.shape == (nodes.size, 2)
+        assert set(levels.tolist()) <= {1, 2, 3}
+
+    def test_projection_tsne_path(self, tf_model):
+        coords, nodes, _ = project_taxonomy_factors(
+            tf_model.factor_set, max_level=2, method="tsne", n_iter=30
+        )
+        assert coords.shape == (nodes.size, 2)
+
+    def test_projection_rejects_unknown_method(self, tf_model):
+        with pytest.raises(ValueError):
+            project_taxonomy_factors(tf_model.factor_set, method="umap")
