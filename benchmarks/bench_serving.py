@@ -1,0 +1,175 @@
+"""Serving-layer throughput: batch inference vs. the per-user loop.
+
+The whole point of the ``repro.serving`` redesign is that production
+ranking happens in vectorized batches, not per-request Python loops.  This
+bench quantifies that on the shared benchmark dataset:
+
+* ``recommend_batch`` vs. a loop of per-user ``recommend`` calls
+  (same rankings, one BLAS pass — the acceptance floor is 3x at 1k users);
+* ``RecommenderService.recommend_batch`` (adds routing, exclusion, and the
+  query cache) and its single-request path with p50/p95 latency;
+* cascaded serving through the service (Sec. 5.1's work dial).
+
+Emits the harness's JSON format into ``benchmarks/results/``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from _harness import (
+    QUICK,
+    STRICT,
+    bench_split,
+    format_table,
+    report,
+    run_once,
+    trained_model,
+)
+
+from repro.serving.service import RecommenderService
+from repro.utils.config import CascadeConfig
+
+N_BATCH_USERS = 200 if QUICK else 1000
+K = 10
+#: Acceptance floor: batched throughput vs. the per-user loop at 1k users.
+MIN_BATCH_SPEEDUP = 1.0 if QUICK else 3.0
+
+
+@pytest.fixture(scope="module")
+def model():
+    return trained_model(levels=4, markov=0)
+
+
+@pytest.fixture(scope="module")
+def users(model):
+    n = min(N_BATCH_USERS, model.n_users)
+    return np.arange(n, dtype=np.int64)
+
+
+def _throughput(n_users, seconds):
+    return n_users / seconds if seconds > 0 else float("inf")
+
+
+def test_recommend_batch_vs_user_loop(benchmark, model, users):
+    """The tentpole claim: one vectorized pass beats the per-user loop."""
+    started = time.perf_counter()
+    loop_rows = [model.recommend(int(u), k=K) for u in users]
+    loop_seconds = time.perf_counter() - started
+
+    batch = run_once(benchmark, lambda: model.recommend_batch(users, k=K))
+    started = time.perf_counter()
+    model.recommend_batch(users, k=K)
+    batch_seconds = time.perf_counter() - started
+
+    for row, per_user in zip(batch, loop_rows):
+        assert np.array_equal(row[row >= 0], per_user)
+
+    loop_tp = _throughput(users.size, loop_seconds)
+    batch_tp = _throughput(users.size, batch_seconds)
+    speedup = batch_tp / loop_tp
+    table = format_table(
+        "serving: recommend_batch vs per-user loop",
+        ["path", "users", "seconds", "users/sec"],
+        [
+            ["per-user loop", users.size, loop_seconds, loop_tp],
+            ["recommend_batch", users.size, batch_seconds, batch_tp],
+        ],
+        note=f"speedup {speedup:.1f}x (floor {MIN_BATCH_SPEEDUP:.0f}x)",
+    )
+    report(
+        "serving_batch_vs_loop",
+        table,
+        {
+            "n_users": int(users.size),
+            "k": K,
+            "loop_seconds": loop_seconds,
+            "batch_seconds": batch_seconds,
+            "loop_users_per_sec": loop_tp,
+            "batch_users_per_sec": batch_tp,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= MIN_BATCH_SPEEDUP
+
+
+def test_service_throughput_and_latency(benchmark, model, users):
+    """End-to-end service numbers: batch throughput + per-request tails."""
+    service = RecommenderService(model)
+    batch_out = run_once(
+        benchmark, lambda: service.recommend_batch(users, k=K)
+    )
+    assert batch_out.shape[0] == users.size
+    batch_stats = service.reset_stats()
+
+    # Warm-cache single-request path: every user twice, measured per call.
+    single_users = users[: min(200, users.size)]
+    for user in single_users:
+        service.recommend(int(user), k=K)
+    for user in single_users:
+        service.recommend(int(user), k=K)
+    single_stats = service.reset_stats()
+
+    table = format_table(
+        "serving: RecommenderService",
+        ["path", "requests", "users/sec", "p50 ms", "p95 ms", "cache hits"],
+        [
+            [
+                "batch",
+                batch_stats.requests,
+                batch_stats.requests_per_second,
+                batch_stats.p50 * 1e3,
+                batch_stats.p95 * 1e3,
+                batch_stats.cache_hits,
+            ],
+            [
+                "single (warm)",
+                single_stats.requests,
+                single_stats.requests_per_second,
+                single_stats.p50 * 1e3,
+                single_stats.p95 * 1e3,
+                single_stats.cache_hits,
+            ],
+        ],
+        note="batch path serves every known user with one BLAS product",
+    )
+    report(
+        "serving_service",
+        table,
+        {
+            "batch": batch_stats.as_dict(),
+            "single_warm": single_stats.as_dict(),
+        },
+    )
+    assert single_stats.cache_hits >= single_users.size
+    if STRICT:
+        assert batch_stats.requests_per_second > single_stats.requests_per_second
+
+
+def test_service_cascade_work_dial(model, users):
+    """Cascaded serving trades nodes scored for throughput (Fig. 8 analogue)."""
+    sample = users[: min(100, users.size)]
+    rows = []
+    payload = {}
+    for label, cascade in [
+        ("exact", None),
+        ("cascade 50%", CascadeConfig(keep_fractions=(0.5, 0.5, 0.5))),
+        ("cascade 25%", CascadeConfig(keep_fractions=(0.25, 0.25, 0.25))),
+    ]:
+        service = RecommenderService(model, cascade=cascade, cache_size=0)
+        service.recommend_batch(sample, k=K)
+        stats = service.reset_stats()
+        nodes_per_user = stats.nodes_scored / max(stats.requests, 1)
+        rows.append(
+            [label, stats.requests, nodes_per_user, stats.requests_per_second]
+        )
+        payload[label] = stats.as_dict()
+    exact_nodes, cascade_nodes = rows[0][2], rows[-1][2]
+    table = format_table(
+        "serving: cascade work dial",
+        ["mode", "requests", "nodes/user", "users/sec"],
+        rows,
+        note="nodes/user is the paper's hardware-independent work measure",
+    )
+    report("serving_cascade", table, payload)
+    assert cascade_nodes < exact_nodes

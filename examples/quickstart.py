@@ -1,23 +1,30 @@
 """Quickstart: train a taxonomy-aware recommender and make recommendations.
 
-This walks the whole public API in ~60 lines:
+This walks the whole public API in ~80 lines:
 
 1. generate a synthetic purchase log over a product taxonomy,
 2. split it temporally per user (the paper's protocol),
 3. train the TF model and the MF baseline,
-4. compare AUC / mean rank,
-5. produce top-k recommendations for one user.
+4. compare AUC / mean rank (plus top-k serving metrics),
+5. package the model as a ModelBundle and serve a batch of users
+   through RecommenderService — the recommended inference entry point.
 
 Run:
     python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro import (
     MFModel,
+    ModelBundle,
+    RecommenderService,
     SyntheticConfig,
     TaxonomyFactorModel,
     TrainConfig,
     evaluate_model,
+    evaluate_topk,
     generate_dataset,
     train_test_split,
 )
@@ -50,20 +57,38 @@ def main() -> None:
     #    transaction of every user, AUC over all items).
     for name, model in [("MF(0)", mf), ("TF(4,0)", tf)]:
         result = evaluate_model(model, split)
+        topk = evaluate_topk(model, split, k=10)
         print(
             f"{name:8s} AUC={result.auc:.4f}  "
-            f"meanRank={result.mean_rank:.1f}  ({result.n_users} users)"
+            f"meanRank={result.mean_rank:.1f}  "
+            f"hitRate@10={topk.hit_rate:.3f}  ({result.n_users} users)"
         )
 
-    # 5. Recommend: top-5 new items for user 0, with category names.
-    user = 0
-    top = tf.recommend(user, k=5)
-    print(f"\ntop-5 recommendations for user {user}:")
+    # 5. Serve: package the model as a one-directory bundle, reload it, and
+    #    answer a batch of requests through the RecommenderService front
+    #    door (one vectorized pass for all known users).
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_dir = Path(tmp) / "tf-bundle"
+        ModelBundle(tf, extra={"mu": 0.5}).save(bundle_dir)
+        served = ModelBundle.load(bundle_dir).model.attach_log(split.train)
+
+    service = RecommenderService(served)
+    users = [0, 1, 2]
+    batch = service.recommend_batch(users, k=5)
     taxonomy = data.taxonomy
-    for item in top:
-        node = taxonomy.node_of_item(int(item))
-        category = taxonomy.name_of(int(taxonomy.parent[node]))
-        print(f"  item {int(item):5d}  (category {category})")
+    for row, user in enumerate(users):
+        print(f"\ntop-5 recommendations for user {user}:")
+        for item in batch[row]:
+            node = taxonomy.node_of_item(int(item))
+            category = taxonomy.name_of(int(taxonomy.parent[node]))
+            print(f"  item {int(item):5d}  (category {category})")
+    stats = service.stats
+    print(
+        f"\nserved {stats.requests} users at "
+        f"{stats.requests_per_second:.0f} users/sec "
+        f"({stats.nodes_scored} nodes scored)"
+    )
+    user = 0
 
     # Bonus: recommend at the category level — structured ranking the flat
     # MF model cannot produce.

@@ -2,9 +2,11 @@
 
 Production recommenders face two cold starts.  The paper solves new
 *items* with the taxonomy; this example shows the library's answer to new
-*users* (fold-in: estimate a user vector against frozen item factors) and
-its explanation API (exact additive decomposition of each score along the
-taxonomy), plus onboarding a just-released product.
+*users* — served through the RecommenderService front door, which routes
+each request by user type (known → factors, cold with history → fold-in,
+cold without → popularity) — plus the explanation API (exact additive
+decomposition of each score along the taxonomy) and onboarding a
+just-released product.
 
 Run:
     python examples/serving_new_users.py
@@ -13,13 +15,13 @@ Run:
 import numpy as np
 
 from repro import (
+    RecommenderService,
     SyntheticConfig,
     TaxonomyFactorModel,
     TrainConfig,
     explain_score,
     fold_in_user,
     generate_dataset,
-    recommend_for_history,
     score_for_vector,
     train_test_split,
 )
@@ -34,6 +36,9 @@ def main() -> None:
     ).fit(split.train)
     taxonomy = data.taxonomy
 
+    # One service routes every request type; fold-in budget set here.
+    service = RecommenderService(model, fold_in_steps=300, fold_in_seed=1)
+
     # --- A brand-new user walks in with two purchases -------------------
     leaf = int(data.leaf_of_item[42])
     same_leaf = np.flatnonzero(data.leaf_of_item == leaf)
@@ -44,8 +49,8 @@ def main() -> None:
     )
 
     vector = fold_in_user(model, history, steps=300, seed=1)
-    top = recommend_for_history(model, history, k=5, steps=300, seed=1)
-    print("fold-in recommendations:")
+    top = service.recommend(user=None, k=5, history=history)
+    print("fold-in recommendations (served via RecommenderService):")
     for item in top:
         node = taxonomy.node_of_item(int(item))
         print(
@@ -56,6 +61,15 @@ def main() -> None:
         [int(data.leaf_of_item[i]) == leaf for i in top]
     )
     print(f"share of top-5 from the user's category: {share:.0%}")
+
+    # --- A visitor with no history at all: popularity fallback -----------
+    anonymous = service.recommend(user=None, k=3)
+    print(f"anonymous visitor gets the popularity shelf: {list(anonymous)}")
+    stats = service.stats
+    print(
+        f"service so far: {stats.fold_in_requests} fold-in + "
+        f"{stats.fallback_requests} fallback requests"
+    )
 
     # --- Why was the #1 item recommended? --------------------------------
     known_user = 7

@@ -19,12 +19,31 @@ TaxonomyFactorModel(...)
 >>> 0.0 <= result.auc <= 1.0
 True
 
+Serving (the recommended inference entry point)
+-----------------------------------------------
+Production traffic goes through ``repro.serving`` rather than per-model
+calls: every model satisfies the :class:`~repro.serving.protocol.Recommender`
+protocol (including the batched ``recommend_batch`` fast path),
+:class:`~repro.serving.bundle.ModelBundle` packages factors + taxonomy +
+config into one loadable directory, and
+:class:`~repro.serving.service.RecommenderService` routes requests by user
+type (known → factors, cold with history → fold-in, cold without →
+popularity) with an LRU query cache and per-request ``ServingStats``.
+
+>>> from repro import RecommenderService
+>>> service = RecommenderService(model, history_log=split.train)
+>>> service.recommend_batch([0, 1, 2], k=3).shape
+(3, 3)
+
 Package layout
 --------------
 ``repro.core``
     The TF model (``TaxonomyFactorModel``), baselines (``MFModel``, FPMC,
     popularity/random), BPR/SGD training, sibling-based training, and
     cascaded inference.
+``repro.serving``
+    The serving layer: the ``Recommender`` protocol, ``ModelBundle``
+    artifacts, and the batched ``RecommenderService``.
 ``repro.taxonomy``
     The category tree: construction, generation, serialization.
 ``repro.data``
@@ -41,7 +60,12 @@ Package layout
 
 from repro.core.cascade import CascadedRecommender, CascadeResult
 from repro.core.explain import ScoreExplanation, explain_recommendations, explain_score
-from repro.core.folding import fold_in_user, recommend_for_history, score_for_vector
+from repro.core.folding import (
+    fold_in_user,
+    fold_in_users,
+    recommend_for_history,
+    score_for_vector,
+)
 from repro.core.mf_model import MFModel, bpr_mf_model, flat_taxonomy, fpmc_model
 from repro.core.popularity import PopularityModel, RandomModel
 from repro.core.targeting import audience_for_category, diversified_recommend
@@ -56,16 +80,27 @@ from repro.eval.protocol import (
     CascadeEvalResult,
     ColdStartResult,
     EvalResult,
+    TopKResult,
     evaluate_cascade,
     evaluate_category_level,
     evaluate_cold_start,
     evaluate_model,
     evaluate_parallel,
+    evaluate_topk,
+)
+from repro.serving import (
+    BundleError,
+    FoldInRecommender,
+    ModelBundle,
+    Recommender,
+    RecommenderService,
+    ServingError,
+    ServingStats,
 )
 from repro.taxonomy.tree import Taxonomy, TaxonomyError
 from repro.utils.config import CascadeConfig, SyntheticConfig, TrainConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -77,6 +112,14 @@ __all__ = [
     "PopularityModel",
     "RandomModel",
     "NotFittedError",
+    # Serving (recommended inference entry point)
+    "Recommender",
+    "RecommenderService",
+    "ServingStats",
+    "ServingError",
+    "ModelBundle",
+    "BundleError",
+    "FoldInRecommender",
     # Inference
     "CascadedRecommender",
     "CascadeResult",
@@ -84,6 +127,7 @@ __all__ = [
     "explain_score",
     "explain_recommendations",
     "fold_in_user",
+    "fold_in_users",
     "score_for_vector",
     "recommend_for_history",
     "audience_for_category",
@@ -103,6 +147,8 @@ __all__ = [
     "EvalResult",
     "ColdStartResult",
     "CascadeEvalResult",
+    "TopKResult",
+    "evaluate_topk",
     "evaluate_model",
     "evaluate_category_level",
     "evaluate_cold_start",

@@ -3,17 +3,26 @@
 Subcommands cover the end-to-end workflow on files:
 
 * ``generate`` — write a synthetic taxonomy + purchase log,
-* ``train`` — fit a TF/MF model on a log and save the factors,
+* ``train`` — fit a TF/MF model and save it as a model bundle,
 * ``evaluate`` — score a trained model with the paper's protocol,
-* ``recommend`` — print top-k items for a user,
+* ``recommend`` — print top-k items for one user,
+* ``serve-batch`` — serve top-k for many users through the batched
+  :class:`~repro.serving.service.RecommenderService`,
 * ``stats`` — dataset characteristics (the Fig. 5 quantities).
+
+Models persist as :class:`~repro.serving.bundle.ModelBundle` directories
+(factors + taxonomy + config + manifest).  The pre-1.1 ``model.npz`` +
+``model.npz.meta.json`` sidecar convention is still readable (with a
+``DeprecationWarning``); re-run ``train`` to migrate.
 
 Example session::
 
     python -m repro generate --users 2000 --out-dir /tmp/shop
-    python -m repro train    --data-dir /tmp/shop --model /tmp/shop/tf.npz
-    python -m repro evaluate --data-dir /tmp/shop --model /tmp/shop/tf.npz
-    python -m repro recommend --data-dir /tmp/shop --model /tmp/shop/tf.npz --user 0
+    python -m repro train    --data-dir /tmp/shop --model /tmp/shop/tf
+    python -m repro evaluate --data-dir /tmp/shop --model /tmp/shop/tf
+    python -m repro recommend --data-dir /tmp/shop --model /tmp/shop/tf --user 0
+    python -m repro serve-batch --data-dir /tmp/shop --model /tmp/shop/tf \\
+        --users 0:100 -k 5 --out /tmp/shop/recs.jsonl
 """
 
 from __future__ import annotations
@@ -22,18 +31,22 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
-from repro.core.factors import FactorSet
+import numpy as np
+
+from repro import __version__
 from repro.core.mf_model import MFModel
 from repro.core.tf_model import TaxonomyFactorModel
-from repro.data.split import train_test_split
+from repro.data.split import TrainTestSplit, train_test_split
 from repro.data.stats import summarize
 from repro.data.synthetic import generate_dataset
 from repro.data.transactions import TransactionLog
-from repro.eval.protocol import evaluate_cold_start, evaluate_model
+from repro.eval.protocol import evaluate_cold_start, evaluate_model, evaluate_topk
+from repro.serving.bundle import MANIFEST_NAME, BundleError, ModelBundle
+from repro.serving.service import RecommenderService
 from repro.taxonomy.io import load_taxonomy, save_taxonomy
-from repro.utils.config import SyntheticConfig, TrainConfig
+from repro.utils.config import CascadeConfig, SyntheticConfig, TrainConfig
 
 TAXONOMY_FILE = "taxonomy.json"
 LOG_FILE = "transactions.jsonl"
@@ -89,36 +102,67 @@ def _build_model(taxonomy, args) -> TaxonomyFactorModel:
 
 def cmd_train(args: argparse.Namespace) -> int:
     taxonomy, log = _load_data(args.data_dir)
+    model_path = Path(args.model)
+    if model_path.exists() and not model_path.is_dir():
+        # Fail before the (expensive) training run, not after.
+        raise SystemExit(
+            f"--model {args.model} is an existing file; models are saved "
+            f"as bundle directories now (pick a directory path)"
+        )
     split = train_test_split(log, mu=args.mu, seed=args.seed)
     model = _build_model(taxonomy, args)
     model.fit(split.train, callback=lambda s, _t: print(f"  {s}"))
-    model.factor_set.save(args.model)
-    meta = {
-        "levels": args.levels,
-        "markov": args.markov,
-        "mu": args.mu,
-        "seed": args.seed,
-    }
-    Path(str(args.model) + ".meta.json").write_text(json.dumps(meta))
-    print(f"wrote {args.model}")
+    bundle = ModelBundle(model, extra={"mu": args.mu, "split_seed": args.seed})
+    try:
+        bundle.save(args.model)
+    except BundleError as exc:
+        raise SystemExit(str(exc))
+    print(f"wrote bundle {args.model}")
     return 0
 
 
-def _load_model(args) -> tuple:
+def _load_bundle(args) -> Tuple[ModelBundle, TransactionLog]:
+    """Resolve ``--model`` into a bundle: directory, or legacy ``.npz``."""
     taxonomy, log = _load_data(args.data_dir)
-    meta_path = Path(str(args.model) + ".meta.json")
-    meta = json.loads(meta_path.read_text()) if meta_path.exists() else {}
+    path = Path(args.model)
+    try:
+        if (path / MANIFEST_NAME).exists():
+            bundle = ModelBundle.load(path)
+        elif path.is_file():
+            # Surface the DeprecationWarning even under Python's default
+            # warning filters, which hide it outside __main__.
+            print(
+                f"note: {path} uses the deprecated .npz+.meta.json format; "
+                f"re-run `train` to migrate to a bundle directory",
+                file=sys.stderr,
+            )
+            bundle = ModelBundle.load_legacy(path, taxonomy)
+        else:
+            bundle = None
+    except BundleError as exc:
+        raise SystemExit(str(exc))
+    if bundle is None:
+        raise SystemExit(
+            f"no model bundle at {path} (expected a directory with "
+            f"{MANIFEST_NAME}, or a legacy .npz factor file)"
+        )
+    return bundle, log
+
+
+def _load_model(args) -> Tuple[TaxonomyFactorModel, TrainTestSplit]:
+    bundle, log = _load_bundle(args)
+    if not isinstance(bundle.model, TaxonomyFactorModel):
+        raise SystemExit(
+            f"{args.model} contains a {type(bundle.model).__name__}; this "
+            f"command serves TaxonomyFactorModel/MFModel bundles only"
+        )
+    extra = bundle.extra
     split = train_test_split(
-        log, mu=meta.get("mu", 0.5), seed=meta.get("seed", 0)
+        log,
+        mu=extra.get("mu", 0.5),
+        seed=extra.get("split_seed", extra.get("seed", 0)),
     )
-    config = TrainConfig(
-        taxonomy_levels=meta.get("levels", 4),
-        markov_order=meta.get("markov", 0),
-        seed=meta.get("seed", 0),
-    )
-    model = TaxonomyFactorModel(taxonomy, config)
-    model._factors = FactorSet.load(args.model, taxonomy)
-    model._train_log = split.train
+    model = bundle.model.attach_log(split.train)
     return model, split
 
 
@@ -128,6 +172,12 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(
         f"AUC={result.auc:.4f} meanRank={result.mean_rank:.1f} "
         f"({result.n_users} users)"
+    )
+    topk = evaluate_topk(model, split, k=args.k)
+    print(
+        f"precision@{topk.k}={topk.precision:.4f} "
+        f"recall@{topk.k}={topk.recall:.4f} "
+        f"hitRate@{topk.k}={topk.hit_rate:.4f}"
     )
     cold = evaluate_cold_start(model, split)
     if cold.n_events:
@@ -150,6 +200,74 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_users(spec: str, n_users: int) -> np.ndarray:
+    """``all``, ``start:stop``, or a comma list of user indices."""
+    try:
+        if spec == "all":
+            return np.arange(n_users, dtype=np.int64)
+        if ":" in spec:
+            start, _, stop = spec.partition(":")
+            requested = int(stop or n_users)
+            if requested > n_users:
+                print(
+                    f"note: --users {spec} clamped to the model's "
+                    f"{n_users} users",
+                    file=sys.stderr,
+                )
+            return np.arange(
+                int(start or 0), min(requested, n_users), dtype=np.int64
+            )
+        return np.asarray([int(u) for u in spec.split(",")], dtype=np.int64)
+    except ValueError:
+        raise SystemExit(
+            f"invalid --users spec {spec!r} (expected 'all', 'start:stop', "
+            f"or a comma list of indices)"
+        )
+
+
+def cmd_serve_batch(args: argparse.Namespace) -> int:
+    model, split = _load_model(args)
+    users = _parse_users(args.users, model.n_users)
+    if users.size and (users.min() < 0 or users.max() >= model.n_users):
+        raise SystemExit(
+            f"user index out of range (0..{model.n_users - 1}) in {args.users!r}"
+        )
+    cascade = (
+        CascadeConfig(keep_fractions=(args.cascade,) * 3)
+        if args.cascade is not None
+        else None
+    )
+    service = RecommenderService(
+        model, history_log=split.train, cascade=cascade,
+        cache_size=args.cache_size,
+    )
+    recommendations = service.recommend_batch(users, k=args.k)
+
+    sink = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+    try:
+        for row, user in enumerate(users):
+            items = recommendations[row]
+            payload = {
+                "user": int(user),
+                "items": [int(i) for i in items[items >= 0]],
+            }
+            sink.write(json.dumps(payload) + "\n")
+    finally:
+        if args.out:
+            sink.close()
+    stats = service.stats
+    print(
+        f"served {stats.requests} users at "
+        f"{stats.requests_per_second:.0f} users/sec "
+        f"(nodes scored: {stats.nodes_scored}, "
+        f"cache hits: {stats.cache_hits})",
+        file=sys.stderr if not args.out else sys.stdout,
+    )
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     _taxonomy, log = _load_data(args.data_dir)
     for key, value in summarize(log).as_dict().items():
@@ -165,6 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Taxonomy-aware recommender (VLDB 2012 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="write a synthetic dataset")
@@ -174,9 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.set_defaults(func=cmd_generate)
 
-    train = sub.add_parser("train", help="fit a model and save its factors")
+    train = sub.add_parser(
+        "train", help="fit a model and save it as a bundle directory"
+    )
     train.add_argument("--data-dir", required=True)
-    train.add_argument("--model", required=True)
+    train.add_argument("--model", required=True,
+                       help="output bundle directory")
     train.add_argument("--factors", type=int, default=20)
     train.add_argument("--epochs", type=int, default=10)
     train.add_argument("--learning-rate", type=float, default=0.05)
@@ -193,6 +317,8 @@ def build_parser() -> argparse.ArgumentParser:
     ev = sub.add_parser("evaluate", help="paper-protocol evaluation")
     ev.add_argument("--data-dir", required=True)
     ev.add_argument("--model", required=True)
+    ev.add_argument("-k", type=int, default=10,
+                    help="depth for the top-k serving metrics")
     ev.set_defaults(func=cmd_evaluate)
 
     rec = sub.add_parser("recommend", help="top-k items for one user")
@@ -201,6 +327,23 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--user", type=int, required=True)
     rec.add_argument("-k", type=int, default=10)
     rec.set_defaults(func=cmd_recommend)
+
+    serve = sub.add_parser(
+        "serve-batch",
+        help="serve top-k for many users via the batched RecommenderService",
+    )
+    serve.add_argument("--data-dir", required=True)
+    serve.add_argument("--model", required=True)
+    serve.add_argument("--users", default="all",
+                       help="'all', 'start:stop', or comma list (default: all)")
+    serve.add_argument("-k", type=int, default=10)
+    serve.add_argument("--cascade", type=float, default=None,
+                       help="serve through a cascade keeping this fraction "
+                            "per level (Sec. 5.1)")
+    serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument("--out", default=None,
+                       help="write JSONL here instead of stdout")
+    serve.set_defaults(func=cmd_serve_batch)
 
     stats = sub.add_parser("stats", help="dataset characteristics (Fig. 5)")
     stats.add_argument("--data-dir", required=True)

@@ -148,6 +148,29 @@ class CascadedRecommender:
         """Top-*k* items through the cascade (cheap, possibly approximate)."""
         return self.rank(user, history).top_k(k)
 
+    def recommend_batch(
+        self,
+        users: np.ndarray,
+        k: int = 10,
+        histories: Optional[Sequence[Sequence[np.ndarray]]] = None,
+    ) -> np.ndarray:
+        """Cascaded top-*k* for a batch of users.
+
+        The cascade's frontier walk is inherently per-user (each user prunes
+        a different subtree), so this loops :meth:`rank`; it exists so the
+        cascade satisfies the ``repro.serving`` batch protocol and can be
+        dropped into :class:`~repro.serving.service.RecommenderService`.
+        Rows are padded with ``-1`` when fewer than *k* items survive.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        width = min(int(k), self.taxonomy.n_items)
+        out = np.full((users.size, width), -1, dtype=np.int64)
+        for row, user in enumerate(users):
+            history = None if histories is None else histories[row]
+            top = self.rank(int(user), history).top_k(width)
+            out[row, : top.size] = top
+        return out
+
     def naive_cost(self) -> int:
         """Nodes a full (non-cascaded) ranking pass would score.
 

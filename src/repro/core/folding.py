@@ -95,6 +95,32 @@ def fold_in_user(
     return vector
 
 
+def fold_in_users(
+    model: TaxonomyFactorModel,
+    histories: Sequence[Sequence[np.ndarray]],
+    steps: int = 200,
+    learning_rate: float = 0.05,
+    reg: Optional[float] = None,
+    seed: RngLike = 0,
+) -> np.ndarray:
+    """Fold in a batch of unseen users, one row per history.
+
+    Each history runs the same deterministic SGD as :func:`fold_in_user`
+    with the same *seed*, so ``fold_in_users(m, hs)[i]`` equals
+    ``fold_in_user(m, hs[i])``.  Returns shape ``(len(histories), K)``.
+    """
+    vectors = [
+        fold_in_user(
+            model, history, steps=steps, learning_rate=learning_rate,
+            reg=reg, seed=seed,
+        )
+        for history in histories
+    ]
+    if not vectors:
+        return np.empty((0, model.factor_set.factors))
+    return np.stack(vectors)
+
+
 def score_for_vector(
     model: TaxonomyFactorModel,
     vector: np.ndarray,

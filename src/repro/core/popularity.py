@@ -11,6 +11,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.topk import top_k_rows
 from repro.data.transactions import TransactionLog
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -53,11 +54,21 @@ class PopularityModel:
         top = np.argpartition(-scores, k - 1)[:k]
         return top[np.argsort(-scores[top], kind="stable")]
 
+    def recommend_batch(
+        self, users: np.ndarray, k: int = 10, histories=None, **_ignored
+    ) -> np.ndarray:
+        """Batched top-*k*: one ranking pass, broadcast to every row."""
+        row = self.recommend(0, k=k)
+        return np.tile(row, (len(users), 1))
+
 
 class RandomModel:
     """Uniform random ranking — the floor every model must clear."""
 
     def __init__(self, seed: RngLike = 0):
+        # Remembered for ModelBundle round-trips; a Generator seed has no
+        # recoverable integer and is stored as None (fresh entropy on load).
+        self.seed = int(seed) if isinstance(seed, (int, np.integer)) else None
         self._rng = ensure_rng(seed)
         self._n_items: Optional[int] = None
 
@@ -85,3 +96,11 @@ class RandomModel:
         scores = self.score_items(user)
         k = min(k, scores.size)
         return np.argsort(-scores)[:k]
+
+    def recommend_batch(
+        self, users: np.ndarray, k: int = 10, histories=None, **_ignored
+    ) -> np.ndarray:
+        """Batched top-*k*.  The generator emits one stream of doubles, so
+        row *i* sees exactly the draws the *i*-th sequential
+        :meth:`recommend` call would have seen."""
+        return top_k_rows(self.score_matrix(users), k)

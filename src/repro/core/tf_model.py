@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.affinity import context_items_weights, user_query_vector
 from repro.core.factors import KIND_LONG, KIND_NEXT, FactorSet
+from repro.core.topk import top_k_rows
 from repro.core.sgd import EpochStats, SGDTrainer
 from repro.data.transactions import TransactionLog
 from repro.taxonomy.tree import Taxonomy
@@ -251,6 +252,68 @@ class TaxonomyFactorModel:
             return np.empty(0, dtype=np.int64)
         top = np.argpartition(-scores, k - 1)[:k]
         return top[np.argsort(-scores[top], kind="stable")]
+
+    def recommend_batch(
+        self,
+        users: np.ndarray,
+        k: int = 10,
+        histories: Optional[Sequence[History]] = None,
+        exclude: Optional[Sequence[Optional[np.ndarray]]] = None,
+        exclude_purchased: bool = True,
+    ) -> np.ndarray:
+        """Vectorized top-*k* for a batch of users — the serving fast path.
+
+        Computes one dense score matrix (a single BLAS product) and one
+        row-wise partition instead of ``len(users)`` per-user passes; rows
+        match :meth:`recommend` for the same user.
+
+        Parameters
+        ----------
+        users:
+            Dense user indices, shape ``(n,)``.
+        histories:
+            Optional per-row history overrides (``histories[i]`` replaces
+            user ``users[i]``'s training history).
+        exclude:
+            Optional per-row arrays of item indices to keep out of the
+            ranking (``None`` entries skip a row).
+        exclude_purchased:
+            Also exclude each user's training purchases (Sec. 7.1).
+
+        Returns
+        -------
+        ``(n, min(k, n_items))`` int64 array, best items first; rows with
+        fewer than ``k`` rankable items are padded with ``-1``.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        scores = self.score_matrix(users, histories)
+        if exclude_purchased and self._train_log is not None:
+            for row, user in enumerate(users):
+                if user < self._train_log.n_users:
+                    bought = self._train_log.user_items(int(user))
+                    if bought.size:
+                        scores[row, bought] = -np.inf
+        if exclude is not None:
+            for row, banned in enumerate(exclude):
+                if banned is not None and len(banned):
+                    scores[row, np.asarray(banned, dtype=np.int64)] = -np.inf
+        return top_k_rows(scores, k)
+
+    def attach_log(self, log: TransactionLog) -> "TaxonomyFactorModel":
+        """Attach *log* as the serving-time history source.
+
+        A model restored from a :class:`~repro.serving.bundle.ModelBundle`
+        carries no transaction log; attaching one restores Markov contexts
+        and purchased-item exclusion for known users, exactly as after
+        :meth:`fit`.
+        """
+        if log.n_items != self.taxonomy.n_items:
+            raise ValueError(
+                f"log item universe ({log.n_items}) does not match the "
+                f"taxonomy ({self.taxonomy.n_items})"
+            )
+        self._train_log = log
+        return self
 
     def partial_fit(
         self,

@@ -1,0 +1,50 @@
+"""Vectorized row-wise top-k selection shared by the batch inference paths.
+
+Every ``recommend_batch`` implementation (TF/MF models, baselines, the
+serving layer) funnels its score matrix through :func:`top_k_rows` so that
+batched rankings are computed with one ``argpartition`` over the whole
+matrix instead of a Python loop of per-user sorts, and so that all batch
+APIs agree on the padding convention for rows with fewer than ``k``
+rankable candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Index used to pad rows that have fewer than ``k`` finite-scored items.
+PAD_ITEM = -1
+
+
+def top_k_rows(scores: np.ndarray, k: int, pad: int = PAD_ITEM) -> np.ndarray:
+    """Row-wise descending top-``k`` indices of a 2-d score matrix.
+
+    Parameters
+    ----------
+    scores:
+        Shape ``(n_rows, n_candidates)``.  Candidates scored ``-inf`` (or
+        any non-finite value) are treated as excluded.
+    k:
+        Ranking depth; the output width is ``min(k, n_candidates)``.
+    pad:
+        Filler for slots beyond a row's finite candidates.
+
+    Returns
+    -------
+    ``(n_rows, min(k, n_candidates))`` int64 array.  Each row lists that
+    row's best candidates in descending score order (stable within ties of
+    the partitioned subset); excluded slots hold *pad*.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-d, got shape {scores.shape}")
+    n_rows, n_candidates = scores.shape
+    width = min(int(k), n_candidates)
+    if width <= 0:
+        return np.empty((n_rows, 0), dtype=np.int64)
+    part = np.argpartition(-scores, width - 1, axis=1)[:, :width]
+    rows = np.arange(n_rows)[:, None]
+    order = np.argsort(-scores[rows, part], axis=1, kind="stable")
+    top = part[rows, order].astype(np.int64, copy=False)
+    top[~np.isfinite(scores[rows, top])] = pad
+    return top

@@ -21,11 +21,13 @@ from repro.eval.protocol import (
     CascadeEvalResult,
     ColdStartResult,
     EvalResult,
+    TopKResult,
     evaluate_cascade,
     evaluate_category_level,
     evaluate_cold_start,
     evaluate_model,
     evaluate_parallel,
+    evaluate_topk,
 )
 from repro.eval.ranking import batched, rank_of, ranks_of, top_k
 
@@ -42,6 +44,8 @@ __all__ = [
     "EvalResult",
     "ColdStartResult",
     "CascadeEvalResult",
+    "TopKResult",
+    "evaluate_topk",
     "evaluate_model",
     "evaluate_category_level",
     "evaluate_cold_start",

@@ -15,7 +15,15 @@ Variants implemented here:
 * :func:`evaluate_cascade` — cascaded-inference accuracy/work trade-off
   (Figs. 8c/d);
 * :func:`evaluate_parallel` — user-partitioned parallel evaluation, the
-  laptop-scale stand-in for the paper's Hadoop evaluation (Sec. 6.2).
+  laptop-scale stand-in for the paper's Hadoop evaluation (Sec. 6.2);
+* :func:`evaluate_topk` — top-k serving quality (precision/recall/hit-rate)
+  computed through the ``repro.serving`` protocol's ``recommend_batch``, so
+  it measures exactly what :class:`~repro.serving.service.RecommenderService`
+  would return to a caller.
+
+Every entry point takes any object satisfying the
+:class:`~repro.serving.protocol.Recommender` protocol (TF, MF, popularity,
+random, fold-in adapters), not just the paper's models.
 """
 
 from __future__ import annotations
@@ -61,6 +69,24 @@ class ColdStartResult:
     rank: float
     n_events: int
     n_new_items: int
+
+
+@dataclass
+class TopKResult:
+    """Top-*k* serving quality through ``recommend_batch`` (per-user means).
+
+    ``precision`` counts hits among the *k* returned slots, ``recall``
+    against the user's held-out positives, and ``hit_rate`` is the fraction
+    of users with at least one hit — the quantities a serving dashboard
+    tracks, computed on exactly the rankings the serving layer emits
+    (training purchases excluded, ``-1`` pads ignored).
+    """
+
+    precision: float
+    recall: float
+    hit_rate: float
+    k: int
+    n_users: int
 
 
 @dataclass
@@ -205,6 +231,59 @@ def evaluate_category_level(
         per_user_auc=np.asarray(aucs),
         per_user_rank=np.asarray(ranks),
         extras={"level": float(level), "n_candidates": float(nodes.size)},
+    )
+
+
+def evaluate_topk(
+    model,
+    split: TrainTestSplit,
+    k: int = 10,
+    first_t: int = 1,
+    batch_size: int = 256,
+    users: Optional[np.ndarray] = None,
+) -> TopKResult:
+    """Precision/recall/hit-rate at *k* via the serving batch path.
+
+    *model* is anything satisfying the
+    :class:`~repro.serving.protocol.Recommender` protocol; rankings come
+    from ``recommend_batch`` — the same call
+    :class:`~repro.serving.service.RecommenderService` executes — so this
+    evaluates the served lists, not an idealized score matrix.
+    """
+    check_positive("first_t", first_t)
+    check_positive("k", k)
+    if users is None:
+        users = split.test_users()
+    users = np.asarray(users, dtype=np.int64)
+    precisions: List[float] = []
+    recalls: List[float] = []
+    hits: List[float] = []
+    for chunk in batched(users, batch_size):
+        chunk = np.asarray(chunk, dtype=np.int64)
+        recs = model.recommend_batch(chunk, k=k)
+        for row, user in enumerate(chunk):
+            test_txns = split.test.user_transactions(int(user))[:first_t]
+            if not test_txns:
+                continue
+            positives = np.unique(np.concatenate(test_txns))
+            returned = recs[row]
+            returned = returned[returned >= 0]
+            n_hits = int(np.isin(returned, positives).sum())
+            precisions.append(n_hits / k)
+            recalls.append(n_hits / positives.size)
+            hits.append(1.0 if n_hits else 0.0)
+    n_users = len(precisions)
+    if n_users == 0:
+        return TopKResult(
+            precision=float("nan"), recall=float("nan"),
+            hit_rate=float("nan"), k=k, n_users=0,
+        )
+    return TopKResult(
+        precision=float(np.mean(precisions)),
+        recall=float(np.mean(recalls)),
+        hit_rate=float(np.mean(hits)),
+        k=k,
+        n_users=n_users,
     )
 
 

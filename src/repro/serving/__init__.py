@@ -1,0 +1,47 @@
+"""The serving layer: the recommended front door for all inference.
+
+Three pieces turn the trained models into a deployable system:
+
+* :class:`~repro.serving.protocol.Recommender` — the structural protocol
+  (``score_items`` / ``score_matrix`` / ``recommend`` / ``recommend_batch``)
+  every model class implements;
+* :class:`~repro.serving.bundle.ModelBundle` — a one-directory artifact
+  (factors + taxonomy + config + versioned manifest) that ``save``/``load``
+  round-trips every supported model;
+* :class:`~repro.serving.service.RecommenderService` — batch-first request
+  routing (known users → factors, cold users with history → fold-in, cold
+  users without → popularity fallback), optional cascaded inference, an LRU
+  query-vector cache, and per-request :class:`ServingStats`.
+
+Quickstart::
+
+    from repro.serving import ModelBundle, RecommenderService
+
+    ModelBundle(model).save("artifacts/tf")            # package for serving
+    bundle = ModelBundle.load("artifacts/tf")
+    service = RecommenderService(bundle.model, history_log=split.train)
+    top = service.recommend_batch(users, k=10)         # one BLAS pass
+    print(service.stats.as_dict())
+"""
+
+from repro.serving.bundle import BUNDLE_VERSION, BundleError, ModelBundle
+from repro.serving.coldstart import FoldInRecommender
+from repro.serving.protocol import Recommender
+from repro.serving.service import (
+    QueryVectorCache,
+    RecommenderService,
+    ServingError,
+    ServingStats,
+)
+
+__all__ = [
+    "Recommender",
+    "ModelBundle",
+    "BundleError",
+    "BUNDLE_VERSION",
+    "FoldInRecommender",
+    "RecommenderService",
+    "ServingError",
+    "ServingStats",
+    "QueryVectorCache",
+]

@@ -1,0 +1,225 @@
+"""One-directory model artifacts: factors + taxonomy + config + manifest.
+
+Deploying a taxonomy-aware model needs three coupled pieces — the learned
+factor matrices, the exact tree they index into, and the training
+configuration that decides how they are combined at inference time
+(``taxonomy_levels``, ``markov_order``, ``alpha``).  Historically these were
+scattered over a ``.npz`` file, a separate taxonomy JSON, and an ad-hoc
+``.meta.json`` sidecar written by the CLI.  A :class:`ModelBundle` packages
+them into a single directory with a versioned ``manifest.json``::
+
+    bundle/
+      manifest.json     format, version, model class, config, extras
+      factors.npz       FactorSet arrays          (TF / MF models)
+      taxonomy.json     the item taxonomy         (TF / MF models)
+      popularity.npz    per-item purchase scores  (popularity baseline)
+
+``ModelBundle(model).save(path)`` / ``ModelBundle.load(path)`` round-trip
+every model class the serving layer accepts.  The old ``.npz`` +
+``.meta.json`` convention is still readable through
+:meth:`ModelBundle.load_legacy` (with a :class:`DeprecationWarning`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.factors import FactorSet
+from repro.core.mf_model import MFModel
+from repro.core.popularity import PopularityModel, RandomModel
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.taxonomy.io import load_taxonomy, save_taxonomy
+from repro.taxonomy.tree import Taxonomy
+from repro.utils.config import TrainConfig
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+BUNDLE_FORMAT = "repro-model-bundle"
+BUNDLE_VERSION = 1
+
+_FACTOR_MODELS = {"TaxonomyFactorModel": TaxonomyFactorModel, "MFModel": MFModel}
+
+
+class BundleError(RuntimeError):
+    """A bundle directory is missing, corrupt, or from the future."""
+
+
+class ModelBundle:
+    """A loadable serving artifact: one model plus everything it needs.
+
+    Parameters
+    ----------
+    model:
+        A fitted model — :class:`TaxonomyFactorModel`, :class:`MFModel`,
+        :class:`PopularityModel`, or :class:`RandomModel`.
+    extra:
+        Free-form JSON-serializable metadata carried in the manifest
+        (the CLI stores its split parameters here).
+    """
+
+    def __init__(self, model: Any, extra: Optional[Dict[str, Any]] = None):
+        self.model = model
+        self.extra: Dict[str, Any] = dict(extra or {})
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+    def save(self, directory: PathLike) -> Path:
+        """Write the bundle into *directory* (created if needed)."""
+        directory = Path(directory)
+        name = type(self.model).__name__
+        self._check_saveable(name)
+        if directory.exists() and not directory.is_dir():
+            raise BundleError(
+                f"{directory} exists and is not a directory; bundles are "
+                f"directories (remove the file or pick another path)"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        from repro import __version__  # deferred: repro imports this module
+
+        manifest: Dict[str, Any] = {
+            "format": BUNDLE_FORMAT,
+            "version": BUNDLE_VERSION,
+            "repro_version": __version__,
+            "model_class": name,
+            "extra": self.extra,
+        }
+        if name in _FACTOR_MODELS:
+            self.model.factor_set.save(directory / "factors.npz")
+            save_taxonomy(self.model.taxonomy, directory / "taxonomy.json")
+            manifest["config"] = dataclasses.asdict(self.model.config)
+            manifest["artifacts"] = {
+                "factors": "factors.npz",
+                "taxonomy": "taxonomy.json",
+            }
+        elif isinstance(self.model, PopularityModel):
+            scores = self.model.score_items(0)
+            np.savez_compressed(directory / "popularity.npz", scores=scores)
+            manifest["artifacts"] = {"scores": "popularity.npz"}
+        elif isinstance(self.model, RandomModel):
+            manifest["n_items"] = int(self.model._n_items)
+            manifest["seed"] = self.model.seed
+            manifest["artifacts"] = {}
+        with open(directory / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        return directory
+
+    def _check_saveable(self, name: str) -> None:
+        """Reject unsupported or unfitted models before touching disk."""
+        if name in _FACTOR_MODELS:
+            if self.model._factors is None:
+                raise BundleError(f"cannot bundle an unfitted {name}")
+        elif isinstance(self.model, PopularityModel):
+            if self.model._scores is None:
+                raise BundleError("cannot bundle an unfitted PopularityModel")
+        elif isinstance(self.model, RandomModel):
+            if self.model._n_items is None:
+                raise BundleError("cannot bundle an unfitted RandomModel")
+        else:
+            raise BundleError(
+                f"don't know how to bundle a {name}; supported: "
+                f"{sorted(_FACTOR_MODELS)} + ['PopularityModel', 'RandomModel']"
+            )
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, directory: PathLike) -> "ModelBundle":
+        """Restore a bundle saved with :meth:`save`."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise BundleError(
+                f"{directory} is not a model bundle (no {MANIFEST_NAME})"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BundleError(f"corrupt manifest in {directory}: {exc}") from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != BUNDLE_FORMAT:
+            raise BundleError(f"{manifest_path} is not a {BUNDLE_FORMAT} manifest")
+        version = manifest.get("version")
+        if version != BUNDLE_VERSION:
+            raise BundleError(
+                f"unsupported bundle version {version!r} "
+                f"(this build reads version {BUNDLE_VERSION})"
+            )
+
+        name = manifest.get("model_class")
+        if name in _FACTOR_MODELS:
+            model = cls._load_factor_model(directory, manifest, name)
+        elif name == "PopularityModel":
+            with np.load(directory / "popularity.npz") as data:
+                scores = data["scores"]
+            model = PopularityModel()
+            model._scores = scores
+        elif name == "RandomModel":
+            model = RandomModel(seed=manifest.get("seed"))
+            model._n_items = int(manifest["n_items"])
+        else:
+            raise BundleError(f"unknown model class {name!r} in manifest")
+        return cls(model, extra=manifest.get("extra", {}))
+
+    @staticmethod
+    def _load_factor_model(
+        directory: Path, manifest: Dict[str, Any], name: str
+    ) -> TaxonomyFactorModel:
+        taxonomy = load_taxonomy(directory / "taxonomy.json")
+        config = TrainConfig(**manifest.get("config", {}))
+        model = _FACTOR_MODELS[name](taxonomy, config)
+        model._factors = FactorSet.load(directory / "factors.npz", taxonomy)
+        return model
+
+    @classmethod
+    def load_model(cls, directory: PathLike) -> Any:
+        """Convenience: load a bundle and return just its model."""
+        return cls.load(directory).model
+
+    # ------------------------------------------------------------------
+    # Legacy format
+    # ------------------------------------------------------------------
+    @classmethod
+    def load_legacy(
+        cls, npz_path: PathLike, taxonomy: Taxonomy
+    ) -> "ModelBundle":
+        """Read the pre-bundle ``model.npz`` + ``model.npz.meta.json`` pair.
+
+        The taxonomy was never part of the old artifact and must be
+        supplied by the caller.  Deprecated: re-save with
+        ``ModelBundle(model).save(dir)`` to migrate.
+        """
+        warnings.warn(
+            "loading bare .npz factor files is deprecated; re-save the "
+            "model as a bundle directory with ModelBundle(model).save(dir)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        npz_path = Path(npz_path)
+        if not npz_path.exists():
+            raise BundleError(f"no factor file at {npz_path}")
+        meta_path = Path(str(npz_path) + ".meta.json")
+        meta = (
+            json.loads(meta_path.read_text(encoding="utf-8"))
+            if meta_path.exists()
+            else {}
+        )
+        config = TrainConfig(
+            taxonomy_levels=meta.get("levels", 4),
+            markov_order=meta.get("markov", 0),
+            seed=meta.get("seed", 0),
+        )
+        model_cls = MFModel if config.taxonomy_levels == 1 else TaxonomyFactorModel
+        model = model_cls(taxonomy, config)
+        model._factors = FactorSet.load(npz_path, taxonomy)
+        return cls(model, extra=meta)
+
+    def __repr__(self) -> str:
+        return f"ModelBundle(model={self.model!r}, extra={self.extra})"

@@ -1,0 +1,127 @@
+"""Protocol adapter for cold-start users served via fold-in.
+
+:func:`~repro.core.folding.fold_in_user` estimates a user vector against
+frozen item factors; :class:`FoldInRecommender` wraps that into the
+:class:`~repro.serving.protocol.Recommender` shape, so a brand-new user with
+a purchase history can be served through exactly the same code path as a
+trained user.  "User" indices are meaningless here — identity lives entirely
+in the supplied history — so the ``user``/``users`` arguments are accepted
+(per the protocol) and ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.folding import fold_in_user, fold_in_users, score_for_vector
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.core.topk import top_k_rows
+from repro.serving.protocol import History
+from repro.utils.rng import RngLike
+
+
+class FoldInRecommender:
+    """Serve unseen users from their histories alone.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.tf_model.TaxonomyFactorModel`; its
+        factors stay frozen.
+    steps, learning_rate, reg, seed:
+        Fold-in SGD parameters (see :func:`~repro.core.folding.fold_in_user`).
+        The fixed *seed* makes every method deterministic per history, so
+        batch and per-user results agree.
+    """
+
+    def __init__(
+        self,
+        model: TaxonomyFactorModel,
+        steps: int = 200,
+        learning_rate: float = 0.05,
+        reg: Optional[float] = None,
+        seed: RngLike = 0,
+    ):
+        self.model = model
+        self.steps = steps
+        self.learning_rate = learning_rate
+        self.reg = reg
+        self.seed = seed
+
+    def user_vector(self, history: Optional[History]) -> np.ndarray:
+        """The folded-in user vector for *history* (zeros when empty)."""
+        return fold_in_user(
+            self.model,
+            list(history) if history else [],
+            steps=self.steps,
+            learning_rate=self.learning_rate,
+            reg=self.reg,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Recommender protocol
+    # ------------------------------------------------------------------
+    def score_items(
+        self,
+        user: int = -1,
+        history: Optional[History] = None,
+        items: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return score_for_vector(
+            self.model, self.user_vector(history), history, items
+        )
+
+    def score_matrix(
+        self,
+        users: np.ndarray,
+        histories: Optional[Sequence[History]] = None,
+    ) -> np.ndarray:
+        n = len(users)
+        if histories is not None and len(histories) != n:
+            raise ValueError(
+                f"got {len(histories)} histories for {n} users"
+            )
+        if n == 0:
+            return np.empty((0, self.model.n_items))
+        resolved = [
+            list(histories[i]) if histories is not None and histories[i] else []
+            for i in range(n)
+        ]
+        vectors = fold_in_users(
+            self.model, resolved, steps=self.steps,
+            learning_rate=self.learning_rate, reg=self.reg, seed=self.seed,
+        )
+        return np.stack([
+            score_for_vector(self.model, vectors[i], resolved[i])
+            for i in range(n)
+        ])
+
+    def recommend(
+        self,
+        user: int = -1,
+        k: int = 10,
+        history: Optional[History] = None,
+        **_ignored,
+    ) -> np.ndarray:
+        """Top-*k* new items for *history* (history items excluded)."""
+        row = self.recommend_batch(
+            np.empty(1, dtype=np.int64), k=k, histories=[history]
+        )[0]
+        return row[row >= 0]
+
+    def recommend_batch(
+        self,
+        users: np.ndarray,
+        k: int = 10,
+        histories: Optional[Sequence[History]] = None,
+    ) -> np.ndarray:
+        scores = self.score_matrix(users, histories)
+        if histories is not None:
+            for row, history in enumerate(histories):
+                if history:
+                    bought = np.unique(np.concatenate(list(history)))
+                    scores[row, bought] = -np.inf
+        return top_k_rows(scores, k)

@@ -1,0 +1,70 @@
+"""The ``Recommender`` protocol — the serving layer's structural contract.
+
+Every model in the library (:class:`~repro.core.tf_model.TaxonomyFactorModel`
+and its :class:`~repro.core.mf_model.MFModel` baselines, the popularity and
+random baselines, and the fold-in cold-start adapter) exposes the same four
+inference methods; :class:`Recommender` names that contract so that serving
+code, the evaluation protocol, and the benchmarks can accept "any model"
+without inheritance.
+
+The batch methods are the production entry points: ``score_matrix`` and
+``recommend_batch`` amortize the per-request Python overhead into one BLAS
+product and one row-wise partition, which is where the 10-100x serving
+speedups come from (see ``benchmarks/bench_serving.py``).
+
+Conventions
+-----------
+* ``recommend_batch`` returns an ``(n_users, min(k, n_items))`` int64 array,
+  best items first, padded with ``-1`` where a row has fewer than ``k``
+  rankable candidates.
+* ``histories[i]``, when given, overrides row *i*'s stored history; models
+  without a history concept accept and ignore the argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+History = Sequence[np.ndarray]
+
+
+@runtime_checkable
+class Recommender(Protocol):
+    """Structural type of everything the serving layer can execute.
+
+    ``isinstance(model, Recommender)`` checks method presence at runtime
+    (``typing.runtime_checkable`` cannot check signatures); the semantic
+    contract is documented in the module docstring.
+    """
+
+    def score_items(
+        self,
+        user: int,
+        history: Optional[History] = None,
+        items: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Affinity scores of one user for *items* (default: every item)."""
+        ...
+
+    def score_matrix(
+        self,
+        users: np.ndarray,
+        histories: Optional[Sequence[History]] = None,
+    ) -> np.ndarray:
+        """Dense ``(len(users), n_items)`` score matrix."""
+        ...
+
+    def recommend(self, user: int, k: int = 10, **kwargs) -> np.ndarray:
+        """Top-*k* item indices for one user, best first."""
+        ...
+
+    def recommend_batch(
+        self,
+        users: np.ndarray,
+        k: int = 10,
+        histories: Optional[Sequence[History]] = None,
+    ) -> np.ndarray:
+        """Vectorized top-*k* per user; ``-1``-padded, best first."""
+        ...

@@ -1,0 +1,433 @@
+"""Batch-first request routing: the single front door for inference.
+
+:class:`RecommenderService` is what a web tier would talk to.  Each request
+is ``(user, k, history)`` and is routed by user type (Sec. 1's three
+serving situations):
+
+* **known user** — scored against the trained factors, either exactly (one
+  vectorized pass over the items) or through
+  :class:`~repro.core.cascade.CascadedRecommender` when a cascade is
+  configured (Sec. 5.1);
+* **cold user with a history** — folded in against frozen factors via
+  :class:`~repro.serving.coldstart.FoldInRecommender`;
+* **cold user without a history** — popularity fallback.
+
+Known-user query vectors (``v^U_u + ctx``) are memoized in a bounded LRU
+cache, so repeat traffic skips the context reconstruction entirely; every
+request is accounted in :class:`ServingStats` (work in scored nodes, cache
+hits, latency percentiles).  ``recommend_batch`` is the production path: it
+serves all known users of a batch with one BLAS product and one row-wise
+partition.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.cascade import CascadedRecommender
+from repro.core.popularity import PopularityModel
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.core.topk import top_k_rows
+from repro.data.transactions import TransactionLog
+from repro.serving.coldstart import FoldInRecommender
+from repro.serving.protocol import History
+from repro.utils.config import CascadeConfig
+from repro.utils.rng import RngLike
+
+
+class ServingError(RuntimeError):
+    """A request cannot be routed (e.g. no fallback model configured)."""
+
+
+#: Sliding window of per-request latencies kept for percentile reporting.
+#: Counters (requests, seconds, ...) are exact forever; only the latency
+#: *distribution* is windowed, so a long-lived service stays bounded.
+LATENCY_WINDOW = 10_000
+
+
+@dataclass
+class ServingStats:
+    """Cumulative accounting of everything the service has served.
+
+    ``nodes_scored`` counts affinity dot products (the paper's
+    hardware-independent work measure); ``latencies`` holds one entry per
+    request — batch calls record the amortized per-request latency — and
+    is trimmed to the most recent :data:`LATENCY_WINDOW` entries, so the
+    percentiles describe recent traffic.
+    """
+
+    requests: int = 0
+    known_user_requests: int = 0
+    fold_in_requests: int = 0
+    fallback_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    nodes_scored: int = 0
+    seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list, repr=False)
+
+    def record_latency(self, seconds: float, count: int = 1) -> None:
+        """Account *count* requests that took *seconds* in total."""
+        self.requests += count
+        self.seconds += seconds
+        if count == 1:
+            self.latencies.append(seconds)
+        elif count > 1:
+            # Only the last LATENCY_WINDOW entries survive the trim, so
+            # never materialize more than that for one batch.
+            kept = min(count, LATENCY_WINDOW)
+            self.latencies.extend([seconds / count] * kept)
+        if len(self.latencies) > LATENCY_WINDOW:
+            del self.latencies[:-LATENCY_WINDOW]
+
+    def latency_percentile(self, q: float) -> float:
+        """The *q*-th percentile of per-request latency, in seconds."""
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("nan")
+        return self.requests / self.seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary (for logs, the CLI, and the benchmark payloads)."""
+        return {
+            "requests": self.requests,
+            "known_user_requests": self.known_user_requests,
+            "fold_in_requests": self.fold_in_requests,
+            "fallback_requests": self.fallback_requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "nodes_scored": self.nodes_scored,
+            "seconds": self.seconds,
+            "requests_per_second": self.requests_per_second,
+            "latency_p50": self.p50,
+            "latency_p95": self.p95,
+        }
+
+
+class QueryVectorCache:
+    """Bounded LRU map from user id to query vector (``capacity <= 0``
+    disables caching)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[int, np.ndarray]" = OrderedDict()
+
+    def get(self, user: int) -> Optional[np.ndarray]:
+        vector = self._data.get(user)
+        if vector is not None:
+            self._data.move_to_end(user)
+        return vector
+
+    def put(self, user: int, vector: np.ndarray) -> None:
+        if self.capacity <= 0:
+            return
+        self._data[user] = vector
+        self._data.move_to_end(user)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class RecommenderService:
+    """Route recommendation requests to the right inference path.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.tf_model.TaxonomyFactorModel` (or
+        :class:`~repro.core.mf_model.MFModel`).
+    history_log:
+        Per-user purchase histories for Markov context and purchased-item
+        exclusion; defaults to the log the model was trained on.  When
+        given, the service works on a shallow copy of the model with this
+        log attached, so the query-vector context and the exclusion masks
+        come from the same source (the standard pattern after
+        ``ModelBundle.load``) without mutating the caller's model.
+    popularity:
+        Fallback for cold users without a history.  Built automatically
+        from *history_log* when omitted.
+    cascade:
+        A :class:`~repro.utils.config.CascadeConfig` (or prebuilt
+        :class:`~repro.core.cascade.CascadedRecommender`) to serve known
+        users through taxonomy-pruned inference instead of the exact pass.
+    fold_in_steps, fold_in_seed:
+        Fold-in SGD budget and seed for cold users with a history.
+    cache_size:
+        Capacity of the known-user query-vector LRU cache (0 disables).
+
+    Notes
+    -----
+    The service snapshots the model's effective item factors at
+    construction; call :meth:`refresh` after retraining the model.
+    """
+
+    def __init__(
+        self,
+        model: TaxonomyFactorModel,
+        history_log: Optional[TransactionLog] = None,
+        popularity: Optional[PopularityModel] = None,
+        cascade: Optional[Union[CascadeConfig, CascadedRecommender]] = None,
+        fold_in_steps: int = 200,
+        fold_in_seed: RngLike = 0,
+        cache_size: int = 4096,
+    ):
+        factor_set = model.factor_set  # fail fast when unfitted
+        if history_log is None:
+            history_log = model._train_log
+        elif history_log is not model._train_log:
+            # Shallow copy: factors are shared (read-only here), only the
+            # attached log differs — the caller's model stays untouched.
+            model = copy.copy(model)
+            model.attach_log(history_log)
+        self.model = model
+        self.history_log = history_log
+        if popularity is None and history_log is not None:
+            popularity = PopularityModel().fit(history_log)
+        self.popularity = popularity
+        if isinstance(cascade, CascadeConfig):
+            cascade = CascadedRecommender(model, cascade)
+        self.cascade = cascade
+        self.fold_in = FoldInRecommender(
+            model, steps=fold_in_steps, seed=fold_in_seed
+        )
+        self.query_cache = QueryVectorCache(cache_size)
+        self._stats = ServingStats()
+        self._effective = factor_set.effective_items()
+        self._bias = factor_set.bias_of_items()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ServingStats:
+        """Cumulative serving statistics since the last reset."""
+        return self._stats
+
+    def reset_stats(self) -> ServingStats:
+        """Zero the counters; returns the retired stats object."""
+        retired = self._stats
+        self._stats = ServingStats()
+        return retired
+
+    def refresh(self) -> None:
+        """Re-snapshot item factors and drop cached query vectors.
+
+        Required after ``model.partial_fit`` / ``model.onboard_items`` so
+        the service stops serving stale factors.
+        """
+        factor_set = self.model.factor_set
+        self._effective = factor_set.effective_items()
+        self._bias = factor_set.bias_of_items()
+        self.query_cache.clear()
+        if self.cascade is not None:
+            self.cascade = CascadedRecommender(self.model, self.cascade.config)
+
+    def is_known(self, user: Optional[int]) -> bool:
+        """Whether *user* indexes a trained user-factor row."""
+        return user is not None and 0 <= int(user) < self.model.n_users
+
+    # ------------------------------------------------------------------
+    # Single-request path
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        user: Optional[int] = None,
+        k: int = 10,
+        history: Optional[History] = None,
+    ) -> np.ndarray:
+        """Top-*k* items for one request, routed by user type.
+
+        ``user=None`` (or an out-of-range index) marks a cold user: with a
+        *history* they are folded in, without one they get the popularity
+        fallback.
+        """
+        started = time.perf_counter()
+        if self.is_known(user):
+            top = self._recommend_known(int(user), k, history)
+            self._stats.known_user_requests += 1
+        elif history:
+            top = self.fold_in.recommend(k=k, history=history)
+            self._stats.nodes_scored += self.model.n_items
+            self._stats.fold_in_requests += 1
+        else:
+            top = self._fallback(k)
+            self._stats.fallback_requests += 1
+        self._stats.record_latency(time.perf_counter() - started)
+        return top
+
+    def _recommend_known(
+        self, user: int, k: int, history: Optional[History]
+    ) -> np.ndarray:
+        if self.cascade is not None:
+            result = self.cascade.rank(user, history)
+            self._stats.nodes_scored += result.nodes_scored
+            items = result.items
+            banned = self._banned_items(user)
+            if banned.size:
+                keep = ~np.isin(items, banned)
+                items = items[keep]
+            return items[:k]
+        query = self._query_vector(user, history)
+        scores = self._effective @ query + self._bias
+        self._stats.nodes_scored += scores.size
+        banned = self._banned_items(user)
+        if banned.size:
+            scores[banned] = -np.inf
+        row = top_k_rows(scores[None, :], k)[0]
+        return row[row >= 0]
+
+    def _query_vector(
+        self, user: int, history: Optional[History]
+    ) -> np.ndarray:
+        if history is not None:
+            # Explicit histories bypass the cache: the vector is
+            # request-specific, not a property of the user.
+            self._stats.cache_misses += 1
+            return self.model.query_vector(user, history)
+        cached = self.query_cache.get(user)
+        if cached is not None:
+            self._stats.cache_hits += 1
+            return cached
+        self._stats.cache_misses += 1
+        vector = self.model.query_vector(user)
+        self.query_cache.put(user, vector)
+        return vector
+
+    def _banned_items(self, user: int) -> np.ndarray:
+        log = self.history_log
+        if log is None or user >= log.n_users:
+            return np.empty(0, dtype=np.int64)
+        return log.user_items(user)
+
+    def _fallback(self, k: int) -> np.ndarray:
+        if self.popularity is None:
+            raise ServingError(
+                "no history and no popularity fallback configured; pass "
+                "popularity= or history_log= to RecommenderService"
+            )
+        return self.popularity.recommend(0, k=k)
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def recommend_batch(
+        self,
+        users: Sequence[Optional[int]],
+        k: int = 10,
+        histories: Optional[Sequence[Optional[History]]] = None,
+    ) -> np.ndarray:
+        """Serve a whole batch; the known-user fraction is fully vectorized.
+
+        ``users`` may contain ``None`` / negative / out-of-range entries for
+        cold users (routed per row like :meth:`recommend`).  Returns an
+        ``(n, min(k, n_items))`` int64 array padded with ``-1``.
+        """
+        started = time.perf_counter()
+        user_ids = np.asarray(
+            [-1 if u is None else int(u) for u in users], dtype=np.int64
+        )
+        n = user_ids.size
+        if histories is not None and len(histories) != n:
+            raise ValueError(f"got {len(histories)} histories for {n} users")
+        width = min(int(k), self.model.n_items)
+        out = np.full((n, width), -1, dtype=np.int64)
+
+        known_mask = (user_ids >= 0) & (user_ids < self.model.n_users)
+        known_rows = np.flatnonzero(known_mask)
+        if known_rows.size:
+            if self.cascade is not None:
+                for row in known_rows:
+                    history = None if histories is None else histories[row]
+                    top = self._recommend_known(int(user_ids[row]), width, history)
+                    out[row, : top.size] = top
+            else:
+                out[known_rows] = self._batch_known(
+                    user_ids[known_rows],
+                    None
+                    if histories is None
+                    else [histories[row] for row in known_rows],
+                    width,
+                )
+            self._stats.known_user_requests += int(known_rows.size)
+
+        for row in np.flatnonzero(~known_mask):
+            history = None if histories is None else histories[row]
+            if history:
+                top = self.fold_in.recommend(k=width, history=history)
+                self._stats.nodes_scored += self.model.n_items
+                self._stats.fold_in_requests += 1
+            else:
+                top = self._fallback(width)
+                self._stats.fallback_requests += 1
+            out[row, : top.size] = top
+
+        self._stats.record_latency(time.perf_counter() - started, count=n)
+        return out
+
+    def _batch_known(
+        self,
+        users: np.ndarray,
+        histories: Optional[List[Optional[History]]],
+        width: int,
+    ) -> np.ndarray:
+        """Exact scoring for known users: cache-assisted queries, one BLAS
+        product, one row-wise partition."""
+        factors = self._effective.shape[1]
+        queries = np.empty((users.size, factors))
+        miss_slots: List[int] = []
+        for slot, user in enumerate(users):
+            history = None if histories is None else histories[slot]
+            if history is None:
+                cached = self.query_cache.get(int(user))
+                if cached is not None:
+                    queries[slot] = cached
+                    self._stats.cache_hits += 1
+                    continue
+            miss_slots.append(slot)
+        if miss_slots:
+            miss_users = users[miss_slots]
+            miss_histories = (
+                None
+                if histories is None
+                else [histories[slot] for slot in miss_slots]
+            )
+            fresh = self.model.query_matrix(miss_users, miss_histories)
+            for i, slot in enumerate(miss_slots):
+                queries[slot] = fresh[i]
+                if histories is None or histories[slot] is None:
+                    # copy() so the cache holds a K-vector, not a view
+                    # pinning the whole (n_miss, K) batch matrix alive.
+                    self.query_cache.put(int(users[slot]), fresh[i].copy())
+            self._stats.cache_misses += len(miss_slots)
+
+        scores = queries @ self._effective.T + self._bias[None, :]
+        self._stats.nodes_scored += scores.size
+        for row, user in enumerate(users):
+            banned = self._banned_items(int(user))
+            if banned.size:
+                scores[row, banned] = -np.inf
+        return top_k_rows(scores, width)

@@ -5,12 +5,13 @@ from pathlib import Path
 
 import pytest
 
+from repro import __version__
 from repro.cli import main
 
 
 @pytest.fixture(scope="module")
 def workspace(tmp_path_factory):
-    """A generated dataset plus a trained model on disk."""
+    """A generated dataset plus a trained model bundle on disk."""
     directory = tmp_path_factory.mktemp("cli")
     assert (
         main(
@@ -26,7 +27,7 @@ def workspace(tmp_path_factory):
         )
         == 0
     )
-    model_path = directory / "tf.npz"
+    model_path = directory / "tf-bundle"
     assert (
         main(
             [
@@ -46,6 +47,14 @@ def workspace(tmp_path_factory):
     return directory, model_path
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
 class TestGenerate:
     def test_writes_both_files(self, workspace):
         directory, _ = workspace
@@ -54,15 +63,19 @@ class TestGenerate:
 
 
 class TestTrain:
-    def test_writes_model_and_metadata(self, workspace):
+    def test_writes_bundle_directory(self, workspace):
         _, model_path = workspace
-        assert model_path.exists()
-        meta = json.loads(Path(str(model_path) + ".meta.json").read_text())
-        assert meta["levels"] == 4
+        assert (model_path / "manifest.json").exists()
+        assert (model_path / "factors.npz").exists()
+        assert (model_path / "taxonomy.json").exists()
+        manifest = json.loads((model_path / "manifest.json").read_text())
+        assert manifest["format"] == "repro-model-bundle"
+        assert manifest["config"]["taxonomy_levels"] == 4
+        assert manifest["extra"]["mu"] == 0.5
 
     def test_mf_baseline_via_levels_one(self, workspace, capsys):
         directory, _ = workspace
-        mf_path = directory / "mf.npz"
+        mf_path = directory / "mf-bundle"
         assert (
             main(
                 [
@@ -81,7 +94,8 @@ class TestTrain:
             )
             == 0
         )
-        assert mf_path.exists()
+        manifest = json.loads((mf_path / "manifest.json").read_text())
+        assert manifest["model_class"] == "MFModel"
 
 
 class TestEvaluate:
@@ -95,6 +109,7 @@ class TestEvaluate:
         )
         out = capsys.readouterr().out
         assert "AUC=" in out and "meanRank=" in out
+        assert "precision@10=" in out and "hitRate@10=" in out
 
 
 class TestRecommend:
@@ -132,6 +147,153 @@ class TestRecommend:
                     str(model_path),
                     "--user",
                     "99999",
+                ]
+            )
+
+
+class TestServeBatch:
+    def test_writes_jsonl(self, workspace, capsys, tmp_path):
+        directory, model_path = workspace
+        out_path = tmp_path / "recs.jsonl"
+        assert (
+            main(
+                [
+                    "serve-batch",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(model_path),
+                    "--users",
+                    "0:20",
+                    "-k",
+                    "5",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        lines = out_path.read_text().strip().splitlines()
+        assert len(lines) == 20
+        first = json.loads(lines[0])
+        assert first["user"] == 0
+        assert len(first["items"]) == 5
+        out = capsys.readouterr().out
+        assert "served 20 users" in out
+
+    def test_user_list_to_stdout(self, workspace, capsys):
+        directory, model_path = workspace
+        assert (
+            main(
+                [
+                    "serve-batch",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(model_path),
+                    "--users",
+                    "3,1,4",
+                    "-k",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [json.loads(line)["user"] for line in lines] == [3, 1, 4]
+
+    def test_cascade_mode(self, workspace, capsys):
+        directory, model_path = workspace
+        assert (
+            main(
+                [
+                    "serve-batch",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(model_path),
+                    "--users",
+                    "0:5",
+                    "--cascade",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+        assert len(capsys.readouterr().out.strip().splitlines()) == 5
+
+    def test_rejects_out_of_range_users(self, workspace):
+        directory, model_path = workspace
+        with pytest.raises(SystemExit, match="out of range"):
+            main(
+                [
+                    "serve-batch",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(model_path),
+                    "--users",
+                    "99999",
+                ]
+            )
+
+
+class TestLegacyModelShim:
+    def test_reads_npz_with_meta_sidecar(self, workspace, capsys):
+        directory, model_path = workspace
+        from repro.serving.bundle import ModelBundle
+
+        bundle = ModelBundle.load(model_path)
+        legacy_path = directory / "legacy.npz"
+        bundle.model.factor_set.save(legacy_path)
+        Path(str(legacy_path) + ".meta.json").write_text(
+            json.dumps({"levels": 4, "markov": 0, "mu": 0.5, "seed": 0})
+        )
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            assert (
+                main(
+                    [
+                        "evaluate",
+                        "--data-dir",
+                        str(directory),
+                        "--model",
+                        str(legacy_path),
+                    ]
+                )
+                == 0
+            )
+        assert "AUC=" in capsys.readouterr().out
+
+    def test_baseline_bundle_rejected_cleanly(self, workspace, tmp_path):
+        directory, _ = workspace
+        from repro import PopularityModel, TransactionLog
+        from repro.serving.bundle import ModelBundle
+
+        log = TransactionLog.load(directory / "transactions.jsonl")
+        ModelBundle(PopularityModel().fit(log)).save(tmp_path / "pop")
+        with pytest.raises(SystemExit, match="PopularityModel"):
+            main(
+                [
+                    "recommend",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(tmp_path / "pop"),
+                    "--user",
+                    "0",
+                ]
+            )
+
+    def test_missing_model_path(self, workspace):
+        directory, _ = workspace
+        with pytest.raises(SystemExit, match="no model bundle"):
+            main(
+                [
+                    "evaluate",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(directory / "nope"),
                 ]
             )
 

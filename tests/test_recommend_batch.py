@@ -1,0 +1,95 @@
+"""``recommend_batch`` must agree with stacked per-user ``recommend``."""
+
+import numpy as np
+import pytest
+
+from repro.core.popularity import PopularityModel, RandomModel
+from repro.core.topk import top_k_rows
+from repro.serving.protocol import Recommender
+
+
+def _rows_equal(batch_row, per_user):
+    returned = batch_row[batch_row >= 0]
+    return np.array_equal(returned, per_user) and np.all(
+        batch_row[len(per_user):] == -1
+    )
+
+
+class TestTopKRows:
+    def test_orders_descending(self):
+        scores = np.array([[1.0, 3.0, 2.0], [0.5, 0.1, 0.9]])
+        top = top_k_rows(scores, 2)
+        assert top.tolist() == [[1, 2], [2, 0]]
+
+    def test_pads_non_finite(self):
+        scores = np.array([[1.0, -np.inf, -np.inf]])
+        assert top_k_rows(scores, 3).tolist() == [[0, -1, -1]]
+
+    def test_width_clamped_to_candidates(self):
+        assert top_k_rows(np.ones((2, 3)), 10).shape == (2, 3)
+
+    def test_zero_k(self):
+        assert top_k_rows(np.ones((2, 3)), 0).shape == (2, 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            top_k_rows(np.ones(3), 2)
+
+
+class TestFactorModelBatch:
+    @pytest.mark.parametrize("fixture", ["tf_model", "tf_markov_model", "mf_model"])
+    def test_matches_per_user(self, fixture, request):
+        model = request.getfixturevalue(fixture)
+        users = np.arange(40)
+        batch = model.recommend_batch(users, k=8)
+        assert batch.shape == (40, 8)
+        for row, user in enumerate(users):
+            assert _rows_equal(batch[row], model.recommend(int(user), k=8))
+
+    def test_history_override(self, tf_markov_model, dataset):
+        history = [dataset.log.basket(3, 0)]
+        batch = tf_markov_model.recommend_batch(
+            np.array([5]), k=6, histories=[history]
+        )
+        per_user = tf_markov_model.recommend(5, k=6, history=history)
+        assert _rows_equal(batch[0], per_user)
+
+    def test_per_row_exclude(self, tf_model):
+        banned = tf_model.recommend(0, k=3)
+        batch = tf_model.recommend_batch(
+            np.array([0, 1]), k=5, exclude=[banned, None]
+        )
+        assert not np.isin(batch[0], banned).any()
+        assert _rows_equal(batch[1], tf_model.recommend(1, k=5))
+
+    def test_without_purchase_exclusion(self, tf_model):
+        users = np.arange(10)
+        batch = tf_model.recommend_batch(users, k=5, exclude_purchased=False)
+        for row, user in enumerate(users):
+            per_user = tf_model.recommend(int(user), k=5, exclude_purchased=False)
+            assert _rows_equal(batch[row], per_user)
+
+    def test_satisfies_protocol(self, tf_model, mf_model):
+        assert isinstance(tf_model, Recommender)
+        assert isinstance(mf_model, Recommender)
+
+
+class TestBaselineBatch:
+    def test_popularity_matches_per_user(self, split):
+        model = PopularityModel().fit(split.train)
+        users = np.arange(15)
+        batch = model.recommend_batch(users, k=7)
+        expected = model.recommend(0, k=7)
+        assert batch.shape == (15, 7)
+        for row in batch:
+            assert np.array_equal(row, expected)
+        assert isinstance(model, Recommender)
+
+    def test_random_matches_per_user_stream(self, split):
+        users = np.arange(12)
+        loop_model = RandomModel(9).fit(split.train)
+        expected = np.stack([loop_model.recommend(int(u), k=5) for u in users])
+        batch_model = RandomModel(9).fit(split.train)
+        batch = batch_model.recommend_batch(users, k=5)
+        assert np.array_equal(batch, expected)
+        assert isinstance(batch_model, Recommender)

@@ -1,0 +1,176 @@
+"""Bundle save/load round-trips, manifest validation, and the legacy shim."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.mf_model import MFModel
+from repro.core.popularity import PopularityModel, RandomModel
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.serving.bundle import (
+    BUNDLE_VERSION,
+    MANIFEST_NAME,
+    BundleError,
+    ModelBundle,
+)
+
+
+def _factor_sets_equal(a, b):
+    assert np.array_equal(a.user, b.user)
+    assert np.array_equal(a.w, b.w)
+    assert np.array_equal(a.bias, b.bias)
+    if a.w_next is None:
+        assert b.w_next is None
+    else:
+        assert np.array_equal(a.w_next, b.w_next)
+
+
+class TestFactorModelRoundTrip:
+    @pytest.mark.parametrize("fixture", ["tf_model", "tf_markov_model", "mf_model"])
+    def test_round_trip(self, fixture, request, tmp_path, split):
+        model = request.getfixturevalue(fixture)
+        ModelBundle(model, extra={"mu": 0.5}).save(tmp_path / "b")
+        bundle = ModelBundle.load(tmp_path / "b")
+
+        assert type(bundle.model) is type(model)
+        assert bundle.model.config == model.config
+        assert bundle.extra == {"mu": 0.5}
+        _factor_sets_equal(bundle.model.factor_set, model.factor_set)
+        np.testing.assert_array_equal(
+            bundle.model.taxonomy.parent, model.taxonomy.parent
+        )
+
+        restored = bundle.model.attach_log(split.train)
+        users = np.arange(20)
+        assert np.array_equal(
+            restored.recommend_batch(users, k=5),
+            model.recommend_batch(users, k=5),
+        )
+
+    def test_load_model_convenience(self, tf_model, tmp_path):
+        ModelBundle(tf_model).save(tmp_path / "b")
+        model = ModelBundle.load_model(tmp_path / "b")
+        assert isinstance(model, TaxonomyFactorModel)
+
+    def test_unfitted_model_rejected(self, dataset, tmp_path):
+        model = TaxonomyFactorModel(dataset.taxonomy)
+        with pytest.raises(BundleError, match="unfitted"):
+            ModelBundle(model).save(tmp_path / "b")
+        assert not (tmp_path / "b").exists()  # nothing half-written
+
+    def test_existing_file_path_rejected(self, tf_model, tmp_path):
+        clash = tmp_path / "tf.npz"
+        clash.write_text("old artifact")
+        with pytest.raises(BundleError, match="not a directory"):
+            ModelBundle(tf_model).save(clash)
+        assert clash.read_text() == "old artifact"  # untouched
+
+    def test_unfitted_popularity_rejected(self, tmp_path):
+        with pytest.raises(BundleError, match="unfitted PopularityModel"):
+            ModelBundle(PopularityModel()).save(tmp_path / "b")
+
+
+class TestBaselineRoundTrip:
+    def test_popularity(self, split, tmp_path):
+        model = PopularityModel().fit(split.train)
+        ModelBundle(model).save(tmp_path / "pop")
+        restored = ModelBundle.load(tmp_path / "pop").model
+        assert isinstance(restored, PopularityModel)
+        np.testing.assert_allclose(
+            restored.score_items(0), model.score_items(0)
+        )
+        assert np.array_equal(restored.recommend(0, k=10), model.recommend(0, k=10))
+
+    def test_random(self, split, tmp_path):
+        model = RandomModel(seed=5).fit(split.train)
+        ModelBundle(model).save(tmp_path / "rnd")
+        restored = ModelBundle.load(tmp_path / "rnd").model
+        assert isinstance(restored, RandomModel)
+        assert restored.seed == 5
+        assert restored.score_items(0).shape == (split.train.n_items,)
+
+    def test_random_numpy_seed_survives(self, split, tmp_path):
+        model = RandomModel(seed=np.int64(7)).fit(split.train)
+        ModelBundle(model).save(tmp_path / "rnd")
+        assert ModelBundle.load(tmp_path / "rnd").model.seed == 7
+
+
+class TestManifestValidation:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(BundleError, match="no manifest.json"):
+            ModelBundle.load(tmp_path)
+
+    def test_corrupt_manifest(self, tf_model, tmp_path):
+        ModelBundle(tf_model).save(tmp_path / "b")
+        (tmp_path / "b" / MANIFEST_NAME).write_text("{not json!!")
+        with pytest.raises(BundleError, match="corrupt manifest"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_future_version_rejected(self, tf_model, tmp_path):
+        ModelBundle(tf_model).save(tmp_path / "b")
+        path = tmp_path / "b" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["version"] = BUNDLE_VERSION + 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleError, match="unsupported bundle version"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_wrong_format_rejected(self, tf_model, tmp_path):
+        ModelBundle(tf_model).save(tmp_path / "b")
+        path = tmp_path / "b" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["format"] = "something-else"
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleError, match="not a repro-model-bundle"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_unknown_model_class(self, tf_model, tmp_path):
+        ModelBundle(tf_model).save(tmp_path / "b")
+        path = tmp_path / "b" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["model_class"] = "MysteryModel"
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleError, match="unknown model class"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_unsupported_model_type(self, tmp_path):
+        with pytest.raises(BundleError, match="don't know how to bundle"):
+            ModelBundle(object()).save(tmp_path / "b")
+
+    def test_manifest_records_version_metadata(self, tf_model, tmp_path):
+        from repro import __version__
+
+        ModelBundle(tf_model).save(tmp_path / "b")
+        manifest = json.loads((tmp_path / "b" / MANIFEST_NAME).read_text())
+        assert manifest["version"] == BUNDLE_VERSION
+        assert manifest["repro_version"] == __version__
+
+
+class TestLegacyShim:
+    def test_load_legacy_npz_with_warning(self, tf_model, split, tmp_path):
+        legacy = tmp_path / "model.npz"
+        tf_model.factor_set.save(legacy)
+        Path(str(legacy) + ".meta.json").write_text(
+            json.dumps({"levels": 4, "markov": 0, "mu": 0.5, "seed": 11})
+        )
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            bundle = ModelBundle.load_legacy(legacy, tf_model.taxonomy)
+        assert bundle.extra["mu"] == 0.5
+        _factor_sets_equal(bundle.model.factor_set, tf_model.factor_set)
+        restored = bundle.model.attach_log(split.train)
+        assert np.array_equal(restored.recommend(0, k=5), tf_model.recommend(0, k=5))
+
+    def test_legacy_levels_one_builds_mf(self, mf_model, tmp_path):
+        legacy = tmp_path / "mf.npz"
+        mf_model.factor_set.save(legacy)
+        Path(str(legacy) + ".meta.json").write_text(json.dumps({"levels": 1}))
+        with pytest.warns(DeprecationWarning):
+            bundle = ModelBundle.load_legacy(legacy, mf_model.taxonomy)
+        assert isinstance(bundle.model, MFModel)
+
+    def test_legacy_missing_file(self, tf_model, tmp_path):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(BundleError, match="no factor file"):
+                ModelBundle.load_legacy(tmp_path / "gone.npz", tf_model.taxonomy)
