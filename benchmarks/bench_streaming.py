@@ -1,0 +1,355 @@
+"""Streaming subsystem benchmark: ingestion rate, recall drift, hot-swap.
+
+Three acceptance claims of ``repro.streaming`` are measured on the shared
+synthetic dataset shape:
+
+* **ingestion** — sustained events/sec through the full pipeline
+  (micro-batching + incremental updates + periodic hot-swaps); the floor
+  is 10k events/sec;
+* **recall drift** — Recall@10 of a model that saw the last half of the
+  training transactions only as a *stream* (user vectors updated online,
+  item/taxonomy factors frozen at the warm-start model) vs. a full
+  retrain on the same transactions; at full scale the relative drift must
+  stay within 5%;
+* **hot-swap availability** — serving threads hammer a
+  ``RecommenderService`` while the model is swapped continuously; every
+  request must succeed, and a probe after each swap must match the
+  swapped-in model exactly (no stale cache).
+
+Unlike the figure benches this one is a plain script, because CI runs it
+directly and archives its JSON payload::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke --out BENCH_streaming.json
+
+Full-scale (no ``--smoke``) enforces the drift gate; smoke mode
+under-trains on purpose and only sanity-checks it (the recall of
+under-trained models is noise, mirroring the ``STRICT`` convention in
+``_harness``).  Tables land in ``benchmarks/results/streaming.*`` either
+way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import math
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import format_table, report  # noqa: E402
+
+from repro import (  # noqa: E402
+    OnlineUpdater,
+    PurchaseEvent,
+    RecommenderService,
+    StreamingPipeline,
+    SyntheticConfig,
+    TaxonomyFactorModel,
+    TrainConfig,
+    TransactionLog,
+    evaluate_topk,
+    events_from_transactions,
+    generate_dataset,
+    train_test_split,
+)
+
+#: Acceptance floor for sustained ingestion (events/second), both modes.
+MIN_EVENTS_PER_SEC = 10_000
+#: Acceptance ceiling for Recall@10 drift vs. a full retrain (full scale).
+MAX_RECALL_DRIFT = 0.05
+
+DATA_SEED = 1234
+SPLIT_SEED = 99
+TRAIN_SEED = 77
+
+
+def _sizes(smoke: bool) -> Dict[str, int]:
+    if smoke:
+        return {
+            "n_users": 1000, "epochs": 6, "factors": 8,
+            "ingest_events": 8_000, "updater_steps": 48, "swap_rounds": 20,
+        }
+    return {
+        "n_users": 4000, "epochs": 15, "factors": 16,
+        "ingest_events": 60_000, "updater_steps": 48, "swap_rounds": 50,
+    }
+
+
+def _dataset(n_users: int):
+    # mean_transactions=5 gives every user a history long enough that
+    # "the second half arrives as a stream" is a meaningful scenario.
+    config = SyntheticConfig(
+        n_users=n_users, mean_transactions=5.0, seed=DATA_SEED
+    )
+    data = generate_dataset(config)
+    split = train_test_split(data.log, mu=0.5, seed=SPLIT_SEED)
+    return data, split
+
+
+def _train_config(sizes: Dict[str, int]) -> TrainConfig:
+    return TrainConfig(
+        factors=sizes["factors"], epochs=sizes["epochs"],
+        sibling_ratio=0.5, seed=TRAIN_SEED,
+    )
+
+
+def _warm_and_stream(
+    train: TransactionLog, n_items: int, warm_fraction: float = 0.5
+) -> Tuple[TransactionLog, List[PurchaseEvent]]:
+    """Split the training log into a warm prefix and a streamed remainder.
+
+    Each user keeps the first ``ceil(warm_fraction * len)`` transactions
+    offline; the rest become purchase events in the canonical
+    :func:`~repro.streaming.events.events_from_transactions` round-robin
+    arrival order.
+    """
+    warm_lists: List[List[List[int]]] = []
+    keeps: List[int] = []
+    for user in range(train.n_users):
+        txns = train.user_transactions(user)
+        keep = max(1, math.ceil(warm_fraction * len(txns))) if txns else 0
+        warm_lists.append([basket.tolist() for basket in txns[:keep]])
+        keeps.append(keep)
+    events = list(events_from_transactions(train, start_t=keeps))
+    return TransactionLog(warm_lists, n_items=n_items), events
+
+
+# ----------------------------------------------------------------------
+# (a) Sustained ingestion
+# ----------------------------------------------------------------------
+def bench_ingestion(sizes: Dict[str, int]) -> Dict[str, float]:
+    data, split = _dataset(sizes["n_users"])
+    config = TrainConfig(
+        factors=sizes["factors"], epochs=2, sibling_ratio=0.5, seed=TRAIN_SEED
+    )
+    model = TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+    service = RecommenderService(model, history_log=split.train)
+    pipeline = StreamingPipeline(
+        service,
+        updater=OnlineUpdater(model, steps=4, seed=0),
+        batch_size=512,
+        swap_every=8,
+    )
+    base_events = [
+        PurchaseEvent(u, tuple(int(i) for i in basket))
+        for u, _t, basket in split.train.iter_baskets()
+    ]
+    target = sizes["ingest_events"]
+    stream = itertools.islice(itertools.cycle(base_events), target)
+    started = time.perf_counter()
+    stats = pipeline.run(stream)
+    wall = time.perf_counter() - started
+    return {
+        "events": stats.events,
+        "purchases": stats.purchases,
+        "batches": stats.batches,
+        "swaps": pipeline.swaps,
+        "wall_seconds": wall,
+        "update_seconds": stats.seconds,
+        "events_per_sec": stats.events / wall,
+    }
+
+
+# ----------------------------------------------------------------------
+# (b) Recall drift vs. a full retrain
+# ----------------------------------------------------------------------
+def bench_recall_drift(sizes: Dict[str, int]) -> Dict[str, float]:
+    data, split = _dataset(sizes["n_users"])
+    config = _train_config(sizes)
+    warm, events = _warm_and_stream(split.train, data.taxonomy.n_items)
+
+    offline = TaxonomyFactorModel(data.taxonomy, config).fit(warm)
+    updater = OnlineUpdater(offline, steps=sizes["updater_steps"], seed=0)
+    started = time.perf_counter()
+    for start in range(0, len(events), 256):
+        updater.apply_events(events[start : start + 256])
+    stream_seconds = time.perf_counter() - started
+    streamed = updater.snapshot()
+
+    full = TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+
+    recall_streamed = evaluate_topk(streamed, split, k=10).recall
+    recall_full = evaluate_topk(full, split, k=10).recall
+    recall_warm = evaluate_topk(
+        offline.attach_log(split.train), split, k=10
+    ).recall
+    drift = abs(recall_streamed - recall_full) / max(recall_full, 1e-12)
+    return {
+        "streamed_events": len(events),
+        "recall10_warm_only": recall_warm,
+        "recall10_streamed": recall_streamed,
+        "recall10_full_retrain": recall_full,
+        "relative_drift": drift,
+        "stream_seconds": stream_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+# (c) Zero-downtime hot swap
+# ----------------------------------------------------------------------
+def bench_hot_swap(sizes: Dict[str, int]) -> Dict[str, float]:
+    data, split = _dataset(sizes["n_users"])
+    config = TrainConfig(
+        factors=sizes["factors"], epochs=3, sibling_ratio=0.5, seed=TRAIN_SEED
+    )
+    model = TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+    updater = OnlineUpdater(model, steps=8, seed=0)
+    updater.apply_events(
+        [PurchaseEvent(u, (u % model.n_items,)) for u in range(64)]
+    )
+    candidates = [model, updater.snapshot()]
+
+    service = RecommenderService(model, history_log=split.train)
+    errors: List[BaseException] = []
+    served = [0]
+    stop = threading.Event()
+
+    def hammer() -> None:
+        users = np.arange(64)
+        while not stop.is_set():
+            try:
+                out = service.recommend_batch(users, k=10)
+                if out.shape != (64, 10) or (out < 0).any():
+                    raise AssertionError("short page served")
+                served[0] += 1
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=hammer) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    stale = 0
+    probe_user = 0
+    started = time.perf_counter()
+    for i in range(sizes["swap_rounds"]):
+        live = candidates[i % 2]
+        service.swap_model(live)
+        # Freshness probe: immediately after the swap, the served page for
+        # a previously cached user must match the new model exactly.
+        page = service.recommend(probe_user, k=10)
+        if not np.array_equal(page, live.recommend(probe_user, k=10)):
+            stale += 1
+    swap_seconds = time.perf_counter() - started
+    stop.set()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    stats = service.stats
+    return {
+        "swaps": sizes["swap_rounds"],
+        "stale_probes": stale,
+        "batches_served_during_swaps": served[0],
+        "requests_served": stats.requests,
+        "errors": len(errors),
+        "swap_seconds": swap_seconds,
+        "swaps_per_sec": sizes["swap_rounds"] / swap_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+# Reporting / gates
+# ----------------------------------------------------------------------
+def run(smoke: bool) -> Dict[str, object]:
+    sizes = _sizes(smoke)
+    ingestion = bench_ingestion(sizes)
+    drift = bench_recall_drift(sizes)
+    swap = bench_hot_swap(sizes)
+
+    table = format_table(
+        "streaming: ingestion / drift / hot-swap",
+        ["measure", "value", "gate"],
+        [
+            [
+                "events/sec",
+                ingestion["events_per_sec"],
+                f">= {MIN_EVENTS_PER_SEC}",
+            ],
+            [
+                "recall@10 streamed",
+                drift["recall10_streamed"],
+                "",
+            ],
+            [
+                "recall@10 full retrain",
+                drift["recall10_full_retrain"],
+                "",
+            ],
+            [
+                "relative drift",
+                drift["relative_drift"],
+                f"<= {MAX_RECALL_DRIFT}" if not smoke else "(smoke: recorded)",
+            ],
+            ["swaps under load", swap["swaps"], ""],
+            ["stale probes", swap["stale_probes"], "== 0"],
+            ["batches served during swaps", swap["batches_served_during_swaps"], "> 0"],
+        ],
+        note="smoke mode under-trains; the drift gate binds at full scale",
+    )
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "sizes": sizes,
+        "ingestion": ingestion,
+        "recall_drift": drift,
+        "hot_swap": swap,
+        "gates": {
+            "min_events_per_sec": MIN_EVENTS_PER_SEC,
+            "max_recall_drift": MAX_RECALL_DRIFT,
+        },
+    }
+    report("streaming", table, payload)
+    print(table)
+
+    failures = []
+    if ingestion["events_per_sec"] < MIN_EVENTS_PER_SEC:
+        failures.append(
+            f"ingestion {ingestion['events_per_sec']:.0f} events/sec "
+            f"below the {MIN_EVENTS_PER_SEC} floor"
+        )
+    if not smoke and drift["relative_drift"] > MAX_RECALL_DRIFT:
+        failures.append(
+            f"recall drift {drift['relative_drift']:.3f} above the "
+            f"{MAX_RECALL_DRIFT} ceiling"
+        )
+    if smoke and drift["recall10_streamed"] < 0.5 * drift["recall10_full_retrain"]:
+        failures.append("smoke sanity: streamed recall collapsed vs retrain")
+    if swap["stale_probes"]:
+        failures.append(f"{swap['stale_probes']} stale post-swap probes")
+    if swap["batches_served_during_swaps"] == 0:
+        failures.append("no requests were served during the swap storm")
+    payload["failures"] = failures
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes for CI; the drift gate is only recorded",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_streaming.json",
+        help="where to write the JSON payload (default: ./BENCH_streaming.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    print(f"wrote {out}")
+    if payload["failures"]:
+        for failure in payload["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,23 @@ popularity) with an LRU query cache and per-request ``ServingStats``.
 >>> service.recommend_batch([0, 1, 2], k=3).shape
 (3, 3)
 
+Streaming (online updates between retrains)
+-------------------------------------------
+``repro.streaming`` connects live purchase events to the factors being
+served: events are micro-batched into per-user deltas, an
+:class:`~repro.streaming.updater.OnlineUpdater` applies incremental BPR
+steps to user vectors against frozen item/taxonomy factors (folding in
+brand-new users, onboarding brand-new items through the taxonomy), and a
+:class:`~repro.streaming.swap.HotSwapper` checkpoints versioned bundles
+and atomically swaps the live model inside ``RecommenderService`` — with
+cache invalidation, so serving never pauses and never goes stale.
+
+>>> from repro import OnlineUpdater, PurchaseEvent
+>>> updater = OnlineUpdater(model)
+>>> _ = updater.apply_events([PurchaseEvent(user=0, items=(1, 2))])
+>>> service.swap_model(updater.snapshot())
+1
+
 Package layout
 --------------
 ``repro.core``
@@ -44,6 +61,10 @@ Package layout
 ``repro.serving``
     The serving layer: the ``Recommender`` protocol, ``ModelBundle``
     artifacts, and the batched ``RecommenderService``.
+``repro.streaming``
+    Online ingestion (event logs, micro-batches), incremental factor
+    updates against frozen item factors, versioned checkpoints, and
+    zero-downtime model hot-swap.
 ``repro.taxonomy``
     The category tree: construction, generation, serialization.
 ``repro.data``
@@ -97,10 +118,23 @@ from repro.serving import (
     ServingError,
     ServingStats,
 )
+from repro.streaming import (
+    CheckpointStore,
+    EventLog,
+    HotSwapper,
+    ItemArrival,
+    MicroBatch,
+    OnlineUpdater,
+    PurchaseEvent,
+    StreamingPipeline,
+    StreamingStats,
+    events_from_transactions,
+    iter_microbatches,
+)
 from repro.taxonomy.tree import Taxonomy, TaxonomyError
 from repro.utils.config import CascadeConfig, SyntheticConfig, TrainConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -120,6 +154,18 @@ __all__ = [
     "ModelBundle",
     "BundleError",
     "FoldInRecommender",
+    # Streaming (online updates + hot swap)
+    "PurchaseEvent",
+    "ItemArrival",
+    "EventLog",
+    "MicroBatch",
+    "iter_microbatches",
+    "events_from_transactions",
+    "OnlineUpdater",
+    "StreamingStats",
+    "CheckpointStore",
+    "HotSwapper",
+    "StreamingPipeline",
     # Inference
     "CascadedRecommender",
     "CascadeResult",

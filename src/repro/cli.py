@@ -8,6 +8,8 @@ Subcommands cover the end-to-end workflow on files:
 * ``recommend`` — print top-k items for one user,
 * ``serve-batch`` — serve top-k for many users through the batched
   :class:`~repro.serving.service.RecommenderService`,
+* ``stream`` — replay held-out transactions as a live event stream
+  through the online updater, hot-swapping the served model as it goes,
 * ``stats`` — dataset characteristics (the Fig. 5 quantities).
 
 Models persist as :class:`~repro.serving.bundle.ModelBundle` directories
@@ -45,6 +47,10 @@ from repro.data.transactions import TransactionLog
 from repro.eval.protocol import evaluate_cold_start, evaluate_model, evaluate_topk
 from repro.serving.bundle import MANIFEST_NAME, BundleError, ModelBundle
 from repro.serving.service import RecommenderService
+from repro.streaming.events import events_from_transactions
+from repro.streaming.pipeline import StreamingPipeline
+from repro.streaming.swap import CheckpointStore
+from repro.streaming.updater import OnlineUpdater
 from repro.taxonomy.io import load_taxonomy, save_taxonomy
 from repro.utils.config import CascadeConfig, SyntheticConfig, TrainConfig
 
@@ -268,6 +274,45 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    model, split = _load_model(args)
+    service = RecommenderService(model, history_log=split.train)
+    store = CheckpointStore(args.checkpoints) if args.checkpoints else None
+    updater = OnlineUpdater(
+        model, steps=args.steps, fold_in_steps=args.fold_in_steps,
+        seed=args.seed,
+    )
+    pipeline = StreamingPipeline(
+        service,
+        updater=updater,
+        batch_size=args.batch_size,
+        swap_every=args.swap_every,
+        store=store,
+    )
+    stats = pipeline.run(
+        events_from_transactions(split.test),
+        rate=args.rate or None,
+        max_events=args.events,
+    )
+    print(
+        f"streamed {stats.events} events ({stats.purchases} purchases) in "
+        f"{stats.seconds:.2f}s update time — "
+        f"{stats.events_per_second:.0f} events/sec over {stats.batches} "
+        f"micro-batches"
+    )
+    print(
+        f"applied {stats.pair_steps} pair steps, folded in "
+        f"{stats.new_users} new users, onboarded {stats.new_items} items"
+    )
+    where = args.checkpoints if store else "checkpoints disabled"
+    print(f"published {pipeline.swaps} model versions ({where})")
+    top = service.recommend_batch(list(range(min(3, model.n_users))), k=args.k)
+    for row in range(top.shape[0]):
+        items = top[row][top[row] >= 0]
+        print(f"post-stream user {row}: {[int(i) for i in items]}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     _taxonomy, log = _load_data(args.data_dir)
     for key, value in summarize(log).as_dict().items():
@@ -344,6 +389,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--out", default=None,
                        help="write JSONL here instead of stdout")
     serve.set_defaults(func=cmd_serve_batch)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay held-out transactions as live events with hot-swaps",
+    )
+    stream.add_argument("--data-dir", required=True)
+    stream.add_argument("--model", required=True)
+    stream.add_argument("--rate", type=float, default=0.0,
+                        help="target events/sec (0 = replay unpaced)")
+    stream.add_argument("--events", type=int, default=None,
+                        help="stop after this many events (default: all)")
+    stream.add_argument("--batch-size", type=int, default=256,
+                        help="events per micro-batch")
+    stream.add_argument("--swap-every", type=int, default=4,
+                        help="hot-swap the served model every N micro-batches")
+    stream.add_argument("--steps", type=int, default=4,
+                        help="SGD passes per micro-batch")
+    stream.add_argument("--fold-in-steps", type=int, default=100,
+                        help="fold-in budget for brand-new users")
+    stream.add_argument("--checkpoints", default=None,
+                        help="directory for versioned model checkpoints")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("-k", type=int, default=5,
+                        help="depth of the post-stream sample recommendations")
+    stream.set_defaults(func=cmd_stream)
 
     stats = sub.add_parser("stats", help="dataset characteristics (Fig. 5)")
     stats.add_argument("--data-dir", required=True)

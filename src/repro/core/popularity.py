@@ -23,7 +23,20 @@ class PopularityModel:
         self._scores: Optional[np.ndarray] = None
 
     def fit(self, log: TransactionLog) -> "PopularityModel":
-        counts = log.item_counts().astype(np.float64)
+        return self._fit_counts(log.item_counts())
+
+    @classmethod
+    def from_counts(cls, counts: np.ndarray) -> "PopularityModel":
+        """A fitted model from precomputed per-item purchase counts.
+
+        The streaming updater maintains counts incrementally, so a
+        hot-swap can publish a fresh fallback without re-scanning the
+        whole accumulated log.
+        """
+        return cls()._fit_counts(counts)
+
+    def _fit_counts(self, counts: np.ndarray) -> "PopularityModel":
+        counts = np.asarray(counts, dtype=np.float64)
         # An id-based epsilon makes the ranking total and deterministic.
         jitter = np.arange(counts.size, dtype=np.float64) * 1e-9
         self._scores = counts + jitter

@@ -42,6 +42,25 @@ from repro.utils.config import TrainConfig
 from repro.utils.rng import ensure_rng
 
 
+def bpr_user_step(
+    vu: np.ndarray,
+    delta: np.ndarray,
+    c: np.ndarray,
+    learning_rate: float,
+    reg: float,
+) -> np.ndarray:
+    """The Eq. 6 user-factor increment ``ε (c·Δ − λ v^U_u)`` for a batch.
+
+    ``vu`` are the current user rows ``(M, K)``, ``delta`` the positive
+    minus negative effective item factors ``(M, K)``, and ``c`` the BPR
+    residual ``1 − σ(diff)`` per pair ``(M,)``.  Shared by the offline
+    :class:`SGDTrainer` and the streaming
+    :class:`~repro.streaming.updater.OnlineUpdater`, which applies exactly
+    this step with the item/taxonomy factors frozen.
+    """
+    return learning_rate * (c[:, None] * delta - reg * vu)
+
+
 @dataclass
 class EpochStats:
     """Diagnostics of one training epoch."""
@@ -267,7 +286,7 @@ class SGDTrainer:
         c = 1.0 - sigmoid(diff)  # (M,)
 
         # User factors.
-        np.add.at(fs.user, users, lr * (c[:, None] * delta - reg * vu))
+        np.add.at(fs.user, users, bpr_user_step(vu, delta, c, lr, reg))
 
         # Long-term chains: every level receives the same data gradient.
         data_grad = c[:, None] * query  # (M, K)

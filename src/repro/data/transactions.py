@@ -64,6 +64,28 @@ class TransactionLog:
         self._transactions = cleaned
         self._n_items = int(n_items)
 
+    @classmethod
+    def from_baskets(
+        cls,
+        transactions: Sequence[Sequence[Basket]],
+        n_items: int,
+    ) -> "TransactionLog":
+        """Trusted fast path: adopt pre-validated baskets without copying.
+
+        Every basket must already be a deduplicated, sorted, read-only
+        int64 array with entries in ``[0, n_items)`` — the invariant
+        produced by this class and by
+        :meth:`repro.streaming.events.PurchaseEvent.basket`.  The
+        streaming snapshot path publishes a fresh log on every hot-swap;
+        re-validating tens of thousands of baskets there would dominate
+        the publish latency, so callers that only ever append baskets
+        taken from those sources may skip it.
+        """
+        log = cls.__new__(cls)
+        log._transactions = [list(user_txns) for user_txns in transactions]
+        log._n_items = int(n_items)
+        return log
+
     # ------------------------------------------------------------------
     # Shape
     # ------------------------------------------------------------------

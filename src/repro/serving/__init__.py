@@ -10,8 +10,10 @@ Three pieces turn the trained models into a deployable system:
   round-trips every supported model;
 * :class:`~repro.serving.service.RecommenderService` — batch-first request
   routing (known users → factors, cold users with history → fold-in, cold
-  users without → popularity fallback), optional cascaded inference, an LRU
-  query-vector cache, and per-request :class:`ServingStats`.
+  users without → popularity fallback), optional cascaded inference, a
+  generation-stamped LRU query-vector cache, per-request
+  :class:`ServingStats`, and atomic zero-downtime ``swap_model`` (the
+  hot-swap contract ``repro.streaming`` publishes through).
 
 Quickstart::
 

@@ -23,7 +23,10 @@ every model class the serving layer accepts.  The old ``.npz`` +
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
+import os
+import shutil
 import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -72,7 +75,14 @@ class ModelBundle:
     # Saving
     # ------------------------------------------------------------------
     def save(self, directory: PathLike) -> Path:
-        """Write the bundle into *directory* (created if needed)."""
+        """Write the bundle into *directory* (created if needed).
+
+        The write is **crash-safe**: every artifact is staged into a
+        temporary sibling directory and moved into place with
+        ``os.replace``, the manifest last.  A crash mid-save therefore
+        leaves either the previous complete bundle or no manifest at all —
+        never a half-written ``manifest.json`` that :meth:`load` rejects.
+        """
         directory = Path(directory)
         name = type(self.model).__name__
         self._check_saveable(name)
@@ -81,7 +91,50 @@ class ModelBundle:
                 f"{directory} exists and is not a directory; bundles are "
                 f"directories (remove the file or pick another path)"
             )
-        directory.mkdir(parents=True, exist_ok=True)
+        directory.parent.mkdir(parents=True, exist_ok=True)
+        staging = self._make_staging_dir(directory)
+        try:
+            self._write_artifacts(staging, name)
+            if not directory.exists():
+                # Fresh target: one atomic rename publishes the whole bundle.
+                os.replace(staging, directory)
+            else:
+                # Overwrite in place: move artifacts first, manifest last,
+                # so a crash leaves the old manifest (still loadable against
+                # old artifacts is not guaranteed, but load never sees a
+                # torn manifest) or the complete new bundle.
+                staged_names = {path.name for path in staging.iterdir()}
+                for artifact in sorted(staged_names - {MANIFEST_NAME}):
+                    os.replace(staging / artifact, directory / artifact)
+                os.replace(staging / MANIFEST_NAME, directory / MANIFEST_NAME)
+                # Drop files the new bundle no longer contains (e.g. a
+                # factors.npz left behind when overwriting with a
+                # popularity bundle) — the directory IS the artifact.
+                for path in directory.iterdir():
+                    if path.is_file() and path.name not in staged_names:
+                        path.unlink()
+        finally:
+            if staging.exists():
+                shutil.rmtree(staging, ignore_errors=True)
+        return directory
+
+    @staticmethod
+    def _make_staging_dir(directory: Path) -> Path:
+        """A fresh hidden sibling of *directory* (same filesystem, so the
+        final ``os.replace`` is an atomic rename)."""
+        for attempt in itertools.count():
+            staging = directory.parent / (
+                f".{directory.name}.staging-{os.getpid()}-{attempt}"
+            )
+            try:
+                staging.mkdir()
+                return staging
+            except FileExistsError:
+                continue
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _write_artifacts(self, directory: Path, name: str) -> None:
+        """Write every bundle file into *directory*, the manifest last."""
         from repro import __version__  # deferred: repro imports this module
 
         manifest: Dict[str, Any] = {
@@ -109,7 +162,6 @@ class ModelBundle:
             manifest["artifacts"] = {}
         with open(directory / MANIFEST_NAME, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
-        return directory
 
     def _check_saveable(self, name: str) -> None:
         """Reject unsupported or unfitted models before touching disk."""

@@ -18,15 +18,29 @@ request is accounted in :class:`ServingStats` (work in scored nodes, cache
 hits, latency percentiles).  ``recommend_batch`` is the production path: it
 serves all known users of a batch with one BLAS product and one row-wise
 partition.
+
+Hot swap
+--------
+The service supports **zero-downtime model replacement**: everything a
+request needs (model, factor snapshots, fold-in adapter, cascade, history
+log, fallback) lives in one immutable :class:`_ModelState` that each request
+reads exactly once, so a request in flight keeps scoring against a
+consistent model while :meth:`RecommenderService.swap_model` installs a new
+one.  Swapping (or :meth:`invalidate_cache`) bumps a **generation counter**
+on the query-vector cache: entries written by requests that started before
+the swap are rejected, so a post-swap request can never be served a vector
+computed against retired factors.  ``repro.streaming`` drives this to apply
+online updates between full retrains.
 """
 
 from __future__ import annotations
 
 import copy
+import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -60,6 +74,11 @@ class ServingStats:
     request — batch calls record the amortized per-request latency — and
     is trimmed to the most recent :data:`LATENCY_WINDOW` entries, so the
     percentiles describe recent traffic.
+
+    Mutations go through :meth:`add` / :meth:`record_latency`, which hold
+    an internal lock — the service promises requests keep flowing from
+    multiple threads during a hot swap, and racy ``+=`` read-modify-writes
+    would silently drop counts under exactly that load.
     """
 
     requests: int = 0
@@ -69,28 +88,41 @@ class ServingStats:
     cache_hits: int = 0
     cache_misses: int = 0
     nodes_scored: int = 0
+    swaps: int = 0
     seconds: float = 0.0
     latencies: List[float] = field(default_factory=list, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, **deltas: float) -> None:
+        """Atomically increment the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     def record_latency(self, seconds: float, count: int = 1) -> None:
         """Account *count* requests that took *seconds* in total."""
-        self.requests += count
-        self.seconds += seconds
-        if count == 1:
-            self.latencies.append(seconds)
-        elif count > 1:
-            # Only the last LATENCY_WINDOW entries survive the trim, so
-            # never materialize more than that for one batch.
-            kept = min(count, LATENCY_WINDOW)
-            self.latencies.extend([seconds / count] * kept)
-        if len(self.latencies) > LATENCY_WINDOW:
-            del self.latencies[:-LATENCY_WINDOW]
+        with self._lock:
+            self.requests += count
+            self.seconds += seconds
+            if count == 1:
+                self.latencies.append(seconds)
+            elif count > 1:
+                # Only the last LATENCY_WINDOW entries survive the trim, so
+                # never materialize more than that for one batch.
+                kept = min(count, LATENCY_WINDOW)
+                self.latencies.extend([seconds / count] * kept)
+            if len(self.latencies) > LATENCY_WINDOW:
+                del self.latencies[:-LATENCY_WINDOW]
 
     def latency_percentile(self, q: float) -> float:
         """The *q*-th percentile of per-request latency, in seconds."""
-        if not self.latencies:
-            return float("nan")
-        return float(np.percentile(np.asarray(self.latencies), q))
+        with self._lock:
+            if not self.latencies:
+                return float("nan")
+            window = np.asarray(self.latencies)
+        return float(np.percentile(window, q))
 
     @property
     def p50(self) -> float:
@@ -116,6 +148,7 @@ class ServingStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "nodes_scored": self.nodes_scored,
+            "swaps": self.swaps,
             "seconds": self.seconds,
             "requests_per_second": self.requests_per_second,
             "latency_p50": self.p50,
@@ -125,31 +158,88 @@ class ServingStats:
 
 class QueryVectorCache:
     """Bounded LRU map from user id to query vector (``capacity <= 0``
-    disables caching)."""
+    disables caching).
+
+    The cache is **generation-stamped**: :meth:`invalidate` clears all
+    entries and bumps :attr:`generation`.  ``get``/``put`` accept the
+    generation the caller's model state was built at; a mismatch is treated
+    as a miss (``get``) or silently dropped (``put``), so a request that
+    started before a model swap can neither read vectors computed for the
+    new model nor poison the cache with vectors from the retired one.
+
+    All operations hold one internal lock: the hot-swap design promises
+    requests keep flowing from multiple threads during a swap, and an
+    unlocked ``get`` racing a ``put`` eviction would raise ``KeyError``
+    inside a live request.
+    """
 
     def __init__(self, capacity: int):
         self.capacity = int(capacity)
+        self.generation = 0
+        self._lock = threading.Lock()
         self._data: "OrderedDict[int, np.ndarray]" = OrderedDict()
 
-    def get(self, user: int) -> Optional[np.ndarray]:
-        vector = self._data.get(user)
-        if vector is not None:
-            self._data.move_to_end(user)
-        return vector
+    def get(
+        self, user: int, generation: Optional[int] = None
+    ) -> Optional[np.ndarray]:
+        with self._lock:
+            if generation is not None and generation != self.generation:
+                return None
+            vector = self._data.get(user)
+            if vector is not None:
+                self._data.move_to_end(user)
+            return vector
 
-    def put(self, user: int, vector: np.ndarray) -> None:
-        if self.capacity <= 0:
-            return
-        self._data[user] = vector
-        self._data.move_to_end(user)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+    def put(
+        self, user: int, vector: np.ndarray, generation: Optional[int] = None
+    ) -> None:
+        with self._lock:
+            if self.capacity <= 0:
+                return
+            if generation is not None and generation != self.generation:
+                return
+            self._data[user] = vector
+            self._data.move_to_end(user)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def invalidate(self) -> int:
+        """Drop every entry and retire the current generation.
+
+        Returns the new generation number; only puts stamped with it are
+        accepted afterwards.
+        """
+        with self._lock:
+            self.generation += 1
+            self._data.clear()
+            return self.generation
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
+
+
+@dataclass(frozen=True)
+class _ModelState:
+    """Everything one request needs, captured in a single attribute read.
+
+    Immutable so that a swap can never expose a half-updated service to a
+    request already in flight: either the whole old state or the whole new
+    one.  ``generation`` stamps cache traffic (see :class:`QueryVectorCache`).
+    """
+
+    model: TaxonomyFactorModel
+    history_log: Optional[TransactionLog]
+    popularity: Optional[PopularityModel]
+    cascade: Optional[CascadedRecommender]
+    fold_in: FoldInRecommender
+    effective: np.ndarray
+    bias: np.ndarray
+    generation: int
 
 
 class RecommenderService:
@@ -182,7 +272,9 @@ class RecommenderService:
     Notes
     -----
     The service snapshots the model's effective item factors at
-    construction; call :meth:`refresh` after retraining the model.
+    construction; call :meth:`refresh` after mutating the model in place,
+    or :meth:`swap_model` to atomically replace it with another one (the
+    hot-swap path used by ``repro.streaming``).
     """
 
     def __init__(
@@ -195,6 +287,24 @@ class RecommenderService:
         fold_in_seed: RngLike = 0,
         cache_size: int = 4096,
     ):
+        self.fold_in_steps = int(fold_in_steps)
+        self.fold_in_seed = fold_in_seed
+        self.query_cache = QueryVectorCache(cache_size)
+        self._stats = ServingStats()
+        # Reentrant: refresh() re-enters swap_model() under the same lock.
+        self._swap_lock = threading.RLock()
+        self._state = self._build_state(
+            model, history_log, popularity, cascade, generation=0
+        )
+
+    def _build_state(
+        self,
+        model: TaxonomyFactorModel,
+        history_log: Optional[TransactionLog],
+        popularity: Optional[PopularityModel],
+        cascade: Optional[Union[CascadeConfig, CascadedRecommender]],
+        generation: int,
+    ) -> _ModelState:
         factor_set = model.factor_set  # fail fast when unfitted
         if history_log is None:
             history_log = model._train_log
@@ -203,25 +313,62 @@ class RecommenderService:
             # attached log differs — the caller's model stays untouched.
             model = copy.copy(model)
             model.attach_log(history_log)
-        self.model = model
-        self.history_log = history_log
         if popularity is None and history_log is not None:
             popularity = PopularityModel().fit(history_log)
-        self.popularity = popularity
         if isinstance(cascade, CascadeConfig):
             cascade = CascadedRecommender(model, cascade)
-        self.cascade = cascade
-        self.fold_in = FoldInRecommender(
-            model, steps=fold_in_steps, seed=fold_in_seed
+        fold_in = FoldInRecommender(
+            model, steps=self.fold_in_steps, seed=self.fold_in_seed
         )
-        self.query_cache = QueryVectorCache(cache_size)
-        self._stats = ServingStats()
-        self._effective = factor_set.effective_items()
-        self._bias = factor_set.bias_of_items()
+        return _ModelState(
+            model=model,
+            history_log=history_log,
+            popularity=popularity,
+            cascade=cascade,
+            fold_in=fold_in,
+            effective=factor_set.effective_items(),
+            bias=factor_set.bias_of_items(),
+            generation=generation,
+        )
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Introspection (reads delegate to the current state snapshot)
     # ------------------------------------------------------------------
+    @property
+    def model(self) -> TaxonomyFactorModel:
+        """The model currently being served."""
+        return self._state.model
+
+    @property
+    def history_log(self) -> Optional[TransactionLog]:
+        """The history source of the current model state."""
+        return self._state.history_log
+
+    @property
+    def fold_in(self) -> FoldInRecommender:
+        """The fold-in adapter bound to the current model."""
+        return self._state.fold_in
+
+    @property
+    def cascade(self) -> Optional[CascadedRecommender]:
+        """The cascade bound to the current model (``None`` = exact)."""
+        return self._state.cascade
+
+    @property
+    def popularity(self) -> Optional[PopularityModel]:
+        """Fallback model for cold users without a history."""
+        return self._state.popularity
+
+    @popularity.setter
+    def popularity(self, value: Optional[PopularityModel]) -> None:
+        with self._swap_lock:
+            self._state = replace(self._state, popularity=value)
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every swap / cache invalidation (0 at construction)."""
+        return self._state.generation
+
     @property
     def stats(self) -> ServingStats:
         """Cumulative serving statistics since the last reset."""
@@ -233,22 +380,89 @@ class RecommenderService:
         self._stats = ServingStats()
         return retired
 
+    # ------------------------------------------------------------------
+    # Model lifecycle: invalidation, refresh, hot swap
+    # ------------------------------------------------------------------
+    def invalidate_cache(self) -> int:
+        """Drop all cached query vectors and retire their generation.
+
+        Returns the new generation.  This flushes the *cache only* — the
+        item-factor snapshots the service scores against are untouched, so
+        after mutating the model's factors in place (``partial_fit``,
+        ``onboard_items``) call :meth:`refresh` (or :meth:`swap_model`),
+        which re-snapshots them and invalidates the cache in one step.
+        """
+        with self._swap_lock:
+            generation = self.query_cache.invalidate()
+            self._state = replace(self._state, generation=generation)
+        return generation
+
     def refresh(self) -> None:
-        """Re-snapshot item factors and drop cached query vectors.
+        """Re-snapshot the current model's factors and drop cached vectors.
 
         Required after ``model.partial_fit`` / ``model.onboard_items`` so
         the service stops serving stale factors.
         """
-        factor_set = self.model.factor_set
-        self._effective = factor_set.effective_items()
-        self._bias = factor_set.bias_of_items()
-        self.query_cache.clear()
-        if self.cascade is not None:
-            self.cascade = CascadedRecommender(self.model, self.cascade.config)
+        with self._swap_lock:
+            state = self._state
+            self.swap_model(
+                state.model,
+                history_log=state.history_log,
+                popularity=state.popularity,
+            )
+
+    def swap_model(
+        self,
+        model: TaxonomyFactorModel,
+        history_log: Optional[TransactionLog] = None,
+        popularity: Optional[PopularityModel] = None,
+    ) -> int:
+        """Atomically replace the served model with *model* — zero downtime.
+
+        The replacement state (factor snapshots, fold-in adapter, cascade
+        rebuilt against the new model, fallback) is constructed *before*
+        the switch, then installed with one reference assignment; requests
+        in flight finish against the old state, later requests see only the
+        new one.  The query-vector cache is invalidated, and its generation
+        counter guarantees in-flight requests cannot re-poison it with
+        vectors from the retired model.
+
+        Lifecycle calls (``swap_model`` / ``refresh`` / ``invalidate_cache``)
+        are serialized: the whole build-and-install runs under one lock, so
+        two concurrent swappers cannot both build from the same retired
+        state and silently lose one publication.  Requests never take this
+        lock — serving continues throughout.
+
+        Parameters
+        ----------
+        model:
+            The fitted replacement model.
+        history_log:
+            History source for the new state; defaults to the log attached
+            to *model* (``model.attach_log`` / training log).
+        popularity:
+            Replacement fallback; rebuilt from *history_log* when omitted.
+
+        Returns the new cache generation.
+        """
+        with self._swap_lock:
+            old = self._state
+            cascade_cfg = old.cascade.config if old.cascade is not None else None
+            state = self._build_state(
+                model, history_log, popularity, cascade_cfg, generation=-1
+            )
+            generation = self.query_cache.invalidate()
+            self._state = replace(state, generation=generation)
+            self._stats.add(swaps=1)
+        return generation
 
     def is_known(self, user: Optional[int]) -> bool:
         """Whether *user* indexes a trained user-factor row."""
-        return user is not None and 0 <= int(user) < self.model.n_users
+        return self._known(self._state, user)
+
+    @staticmethod
+    def _known(state: _ModelState, user: Optional[int]) -> bool:
+        return user is not None and 0 <= int(user) < state.model.n_users
 
     # ------------------------------------------------------------------
     # Single-request path
@@ -265,71 +479,73 @@ class RecommenderService:
         *history* they are folded in, without one they get the popularity
         fallback.
         """
+        state = self._state  # one read: the whole request sees one model
         started = time.perf_counter()
-        if self.is_known(user):
-            top = self._recommend_known(int(user), k, history)
-            self._stats.known_user_requests += 1
+        if self._known(state, user):
+            top = self._recommend_known(state, int(user), k, history)
+            self._stats.add(known_user_requests=1)
         elif history:
-            top = self.fold_in.recommend(k=k, history=history)
-            self._stats.nodes_scored += self.model.n_items
-            self._stats.fold_in_requests += 1
+            top = state.fold_in.recommend(k=k, history=history)
+            self._stats.add(nodes_scored=state.model.n_items)
+            self._stats.add(fold_in_requests=1)
         else:
-            top = self._fallback(k)
-            self._stats.fallback_requests += 1
+            top = self._fallback(state, k)
+            self._stats.add(fallback_requests=1)
         self._stats.record_latency(time.perf_counter() - started)
         return top
 
     def _recommend_known(
-        self, user: int, k: int, history: Optional[History]
+        self, state: _ModelState, user: int, k: int, history: Optional[History]
     ) -> np.ndarray:
-        if self.cascade is not None:
-            result = self.cascade.rank(user, history)
-            self._stats.nodes_scored += result.nodes_scored
+        if state.cascade is not None:
+            result = state.cascade.rank(user, history)
+            self._stats.add(nodes_scored=result.nodes_scored)
             items = result.items
-            banned = self._banned_items(user)
+            banned = self._banned_items(state, user)
             if banned.size:
                 keep = ~np.isin(items, banned)
                 items = items[keep]
             return items[:k]
-        query = self._query_vector(user, history)
-        scores = self._effective @ query + self._bias
-        self._stats.nodes_scored += scores.size
-        banned = self._banned_items(user)
+        query = self._query_vector(state, user, history)
+        scores = state.effective @ query + state.bias
+        self._stats.add(nodes_scored=scores.size)
+        banned = self._banned_items(state, user)
         if banned.size:
             scores[banned] = -np.inf
         row = top_k_rows(scores[None, :], k)[0]
         return row[row >= 0]
 
     def _query_vector(
-        self, user: int, history: Optional[History]
+        self, state: _ModelState, user: int, history: Optional[History]
     ) -> np.ndarray:
         if history is not None:
             # Explicit histories bypass the cache: the vector is
             # request-specific, not a property of the user.
-            self._stats.cache_misses += 1
-            return self.model.query_vector(user, history)
-        cached = self.query_cache.get(user)
+            self._stats.add(cache_misses=1)
+            return state.model.query_vector(user, history)
+        cached = self.query_cache.get(user, state.generation)
         if cached is not None:
-            self._stats.cache_hits += 1
+            self._stats.add(cache_hits=1)
             return cached
-        self._stats.cache_misses += 1
-        vector = self.model.query_vector(user)
-        self.query_cache.put(user, vector)
+        self._stats.add(cache_misses=1)
+        vector = state.model.query_vector(user)
+        self.query_cache.put(user, vector, state.generation)
         return vector
 
-    def _banned_items(self, user: int) -> np.ndarray:
-        log = self.history_log
+    @staticmethod
+    def _banned_items(state: _ModelState, user: int) -> np.ndarray:
+        log = state.history_log
         if log is None or user >= log.n_users:
             return np.empty(0, dtype=np.int64)
         return log.user_items(user)
 
-    def _fallback(self, k: int) -> np.ndarray:
-        if self.popularity is None:
+    def _fallback(self, state: _ModelState, k: int) -> np.ndarray:
+        if state.popularity is None:
             raise ServingError(
                 "no history and no popularity fallback configured; pass "
                 "popularity= or history_log= to RecommenderService"
             )
-        return self.popularity.recommend(0, k=k)
+        return state.popularity.recommend(0, k=k)
 
     # ------------------------------------------------------------------
     # Batch path
@@ -346,6 +562,7 @@ class RecommenderService:
         cold users (routed per row like :meth:`recommend`).  Returns an
         ``(n, min(k, n_items))`` int64 array padded with ``-1``.
         """
+        state = self._state  # one read: the whole batch sees one model
         started = time.perf_counter()
         user_ids = np.asarray(
             [-1 if u is None else int(u) for u in users], dtype=np.int64
@@ -353,36 +570,39 @@ class RecommenderService:
         n = user_ids.size
         if histories is not None and len(histories) != n:
             raise ValueError(f"got {len(histories)} histories for {n} users")
-        width = min(int(k), self.model.n_items)
+        width = min(int(k), state.model.n_items)
         out = np.full((n, width), -1, dtype=np.int64)
 
-        known_mask = (user_ids >= 0) & (user_ids < self.model.n_users)
+        known_mask = (user_ids >= 0) & (user_ids < state.model.n_users)
         known_rows = np.flatnonzero(known_mask)
         if known_rows.size:
-            if self.cascade is not None:
+            if state.cascade is not None:
                 for row in known_rows:
                     history = None if histories is None else histories[row]
-                    top = self._recommend_known(int(user_ids[row]), width, history)
+                    top = self._recommend_known(
+                        state, int(user_ids[row]), width, history
+                    )
                     out[row, : top.size] = top
             else:
                 out[known_rows] = self._batch_known(
+                    state,
                     user_ids[known_rows],
                     None
                     if histories is None
                     else [histories[row] for row in known_rows],
                     width,
                 )
-            self._stats.known_user_requests += int(known_rows.size)
+            self._stats.add(known_user_requests=int(known_rows.size))
 
         for row in np.flatnonzero(~known_mask):
             history = None if histories is None else histories[row]
             if history:
-                top = self.fold_in.recommend(k=width, history=history)
-                self._stats.nodes_scored += self.model.n_items
-                self._stats.fold_in_requests += 1
+                top = state.fold_in.recommend(k=width, history=history)
+                self._stats.add(nodes_scored=state.model.n_items)
+                self._stats.add(fold_in_requests=1)
             else:
-                top = self._fallback(width)
-                self._stats.fallback_requests += 1
+                top = self._fallback(state, width)
+                self._stats.add(fallback_requests=1)
             out[row, : top.size] = top
 
         self._stats.record_latency(time.perf_counter() - started, count=n)
@@ -390,22 +610,23 @@ class RecommenderService:
 
     def _batch_known(
         self,
+        state: _ModelState,
         users: np.ndarray,
         histories: Optional[List[Optional[History]]],
         width: int,
     ) -> np.ndarray:
         """Exact scoring for known users: cache-assisted queries, one BLAS
         product, one row-wise partition."""
-        factors = self._effective.shape[1]
+        factors = state.effective.shape[1]
         queries = np.empty((users.size, factors))
         miss_slots: List[int] = []
         for slot, user in enumerate(users):
             history = None if histories is None else histories[slot]
             if history is None:
-                cached = self.query_cache.get(int(user))
+                cached = self.query_cache.get(int(user), state.generation)
                 if cached is not None:
                     queries[slot] = cached
-                    self._stats.cache_hits += 1
+                    self._stats.add(cache_hits=1)
                     continue
             miss_slots.append(slot)
         if miss_slots:
@@ -415,19 +636,21 @@ class RecommenderService:
                 if histories is None
                 else [histories[slot] for slot in miss_slots]
             )
-            fresh = self.model.query_matrix(miss_users, miss_histories)
+            fresh = state.model.query_matrix(miss_users, miss_histories)
             for i, slot in enumerate(miss_slots):
                 queries[slot] = fresh[i]
                 if histories is None or histories[slot] is None:
                     # copy() so the cache holds a K-vector, not a view
                     # pinning the whole (n_miss, K) batch matrix alive.
-                    self.query_cache.put(int(users[slot]), fresh[i].copy())
-            self._stats.cache_misses += len(miss_slots)
+                    self.query_cache.put(
+                        int(users[slot]), fresh[i].copy(), state.generation
+                    )
+            self._stats.add(cache_misses=len(miss_slots))
 
-        scores = queries @ self._effective.T + self._bias[None, :]
-        self._stats.nodes_scored += scores.size
+        scores = queries @ state.effective.T + state.bias[None, :]
+        self._stats.add(nodes_scored=scores.size)
         for row, user in enumerate(users):
-            banned = self._banned_items(int(user))
+            banned = self._banned_items(state, int(user))
             if banned.size:
                 scores[row, banned] = -np.inf
         return top_k_rows(scores, width)

@@ -1,0 +1,68 @@
+"""Online ingestion, incremental factor updates, and zero-downtime swaps.
+
+The offline pipeline (train → bundle → serve) assumes a frozen log; this
+package connects **live purchase events** to the factors being served,
+the missing production loop between full retrains:
+
+* :mod:`repro.streaming.events` — purchase/catalog events, the append-only
+  :class:`EventLog`, and micro-batching into per-user deltas;
+* :mod:`repro.streaming.updater` — :class:`OnlineUpdater`: incremental
+  BPR steps on user vectors against frozen item/taxonomy factors, fold-in
+  for brand-new users, taxonomy-attached onboarding for brand-new items;
+* :mod:`repro.streaming.swap` — :class:`CheckpointStore` (versioned
+  model bundles) and :class:`HotSwapper` (atomic, cache-coherent model
+  replacement inside a live ``RecommenderService``);
+* :mod:`repro.streaming.pipeline` — :class:`StreamingPipeline`, the
+  ingest → update → publish loop.
+
+Quickstart::
+
+    from repro import OnlineUpdater, RecommenderService, StreamingPipeline
+    from repro.streaming import events_from_transactions
+
+    service = RecommenderService(model, history_log=split.train)
+    pipeline = StreamingPipeline(service, batch_size=256, swap_every=4)
+    pipeline.run(events_from_transactions(split.test), rate=10_000)
+    service.recommend_batch(users, k=10)   # already on the updated model
+"""
+
+from repro.streaming.events import (
+    Event,
+    EventError,
+    EventLog,
+    ItemArrival,
+    MicroBatch,
+    PurchaseEvent,
+    decode_event,
+    encode_event,
+    events_from_transactions,
+    iter_microbatches,
+    replay,
+)
+from repro.streaming.pipeline import StreamingPipeline
+from repro.streaming.swap import CheckpointError, CheckpointStore, HotSwapper
+from repro.streaming.updater import OnlineUpdater, StreamingStats
+
+__all__ = [
+    # Events / ingestion
+    "Event",
+    "EventError",
+    "EventLog",
+    "PurchaseEvent",
+    "ItemArrival",
+    "MicroBatch",
+    "iter_microbatches",
+    "events_from_transactions",
+    "replay",
+    "encode_event",
+    "decode_event",
+    # Incremental updates
+    "OnlineUpdater",
+    "StreamingStats",
+    # Checkpoint / hot swap
+    "CheckpointStore",
+    "CheckpointError",
+    "HotSwapper",
+    # Orchestration
+    "StreamingPipeline",
+]

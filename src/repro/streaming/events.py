@@ -1,0 +1,332 @@
+"""Online event ingestion: append-only logs and micro-batched user deltas.
+
+The offline pipeline consumes a frozen :class:`~repro.data.transactions.
+TransactionLog`; a production system sees an unbounded *stream* of events
+arriving between retrains.  This module is the ingestion edge of
+``repro.streaming``:
+
+* :class:`PurchaseEvent` — one basket bought by one user (the streaming
+  analogue of the log's ``B_t``); the user index may exceed the trained
+  model's user space (a brand-new user), and items may be ones onboarded
+  mid-stream;
+* :class:`ItemArrival` — a brand-new catalog item attached under an
+  existing taxonomy node (the paper's Sec. 1 cold-start event);
+* :class:`EventLog` — an append-only JSONL file that persists the stream
+  (one event per line, so concurrent appends never tear a record and a
+  replay sees exactly the ingestion order);
+* :func:`iter_microbatches` — groups a stream into :class:`MicroBatch`
+  objects exposing **per-user deltas** (each user's new baskets, in
+  order), the unit the :class:`~repro.streaming.updater.OnlineUpdater`
+  applies in one vectorized step;
+* :func:`events_from_transactions` / :func:`replay` — turn an offline log
+  back into a stream and pace it at a target event rate, for replay
+  testing and the ``python -m repro stream`` command.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.data.transactions import TransactionLog
+
+PathLike = Union[str, Path]
+
+
+class EventError(ValueError):
+    """An event record is malformed (empty basket, bad payload, ...)."""
+
+
+@dataclass(frozen=True)
+class PurchaseEvent:
+    """One transaction: *user* bought *items* (a non-empty basket)."""
+
+    user: int
+    items: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        try:
+            user = int(self.user)
+            items = tuple(int(i) for i in self.items)
+        except (TypeError, ValueError) as exc:
+            raise EventError(f"malformed purchase event: {exc}") from exc
+        if user < 0:
+            raise EventError(f"user must be >= 0, got {user}")
+        if not items:
+            raise EventError(f"user {user} event has an empty basket")
+        if any(i != orig for i, orig in zip(items, self.items)):
+            raise EventError(f"user {user} event has non-integer items")
+        if any(i < 0 for i in items):
+            raise EventError(f"user {user} event has a negative item")
+        object.__setattr__(self, "user", user)
+        object.__setattr__(self, "items", items)
+
+    def basket(self) -> np.ndarray:
+        """The basket as a deduplicated int64 array (the log's format)."""
+        return np.unique(np.asarray(self.items, dtype=np.int64))
+
+
+@dataclass(frozen=True)
+class ItemArrival:
+    """A new catalog item released under taxonomy node *parent*."""
+
+    parent: int
+    name: Optional[str] = None
+
+
+Event = Union[PurchaseEvent, ItemArrival]
+
+
+def encode_event(event: Event) -> str:
+    """One-line JSON encoding (the :class:`EventLog` wire format)."""
+    if isinstance(event, PurchaseEvent):
+        return json.dumps({"u": event.user, "i": list(event.items)})
+    if isinstance(event, ItemArrival):
+        payload: Dict[str, object] = {"parent": event.parent}
+        if event.name is not None:
+            payload["name"] = event.name
+        return json.dumps(payload)
+    raise EventError(f"cannot encode {type(event).__name__} as an event")
+
+
+def decode_event(line: str) -> Event:
+    """Inverse of :func:`encode_event`.
+
+    Every malformed record — invalid JSON, wrong shape, or bad field
+    types — raises :class:`EventError`, so callers handling journal
+    corruption only have one exception to catch.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise EventError(f"corrupt event record: {line!r}") from exc
+    if not isinstance(payload, dict):
+        raise EventError(f"corrupt event record: {line!r}")
+    try:
+        if "parent" in payload:
+            return ItemArrival(int(payload["parent"]), payload.get("name"))
+        if "u" in payload and "i" in payload:
+            return PurchaseEvent(int(payload["u"]), tuple(payload["i"]))
+    except EventError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise EventError(f"corrupt event record: {line!r}") from exc
+    raise EventError(f"corrupt event record: {line!r}")
+
+
+class EventLog:
+    """An append-only JSONL event journal.
+
+    Events are written one per line with :func:`encode_event`; each append
+    issues a single flushed ``write``.  The journal expects **one writer
+    at a time** (the ingestion edge); concurrent readers are always safe,
+    and a truncated trailing line (crash mid-append) is skipped on read
+    rather than poisoning the replay — corruption anywhere *else* in the
+    file is surfaced as an :class:`EventError`.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+
+    def append(self, event: Event) -> None:
+        """Append one event (one write, flushed)."""
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(encode_event(event) + "\n")
+            handle.flush()
+
+    def append_many(self, events: Iterable[Event]) -> int:
+        """Append a batch of events as one flushed write; returns the count."""
+        encoded = [encode_event(event) for event in events]
+        if not encoded:
+            return 0
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(encoded) + "\n")
+            handle.flush()
+        return len(encoded)
+
+    def __iter__(self) -> Iterator[Event]:
+        if not self.path.exists():
+            return
+        # One-record lookahead: a record is only decoded once a later
+        # non-empty line proves it is not the trailing one, so the journal
+        # streams in O(1) memory however large it grows.
+        with open(self.path, "r", encoding="utf-8") as handle:
+            pending: Optional[Tuple[int, str]] = None
+            for number, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line:
+                    continue
+                if pending is not None:
+                    yield self._decode_interior(*pending)
+                pending = (number, line)
+            if pending is not None:
+                try:
+                    yield decode_event(pending[1])
+                except EventError:
+                    # A crash mid-append can leave one torn *trailing*
+                    # line; everything before it is intact.
+                    return
+
+    def _decode_interior(self, number: int, line: str) -> Event:
+        """Decode a record known not to be the trailing one: a failure
+        here means the journal itself is corrupt — surface it rather than
+        silently replaying a diverged stream."""
+        try:
+            return decode_event(line)
+        except EventError as exc:
+            raise EventError(
+                f"corrupt event journal {self.path}: undecodable "
+                f"record at line {number}: {line!r}"
+            ) from exc
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+@dataclass
+class MicroBatch:
+    """One ingestion window: purchases plus catalog arrivals.
+
+    ``user_deltas`` is the view the updater consumes: for every user with
+    activity in this window, their new baskets in arrival order — the
+    incremental extension of the user's transaction history.
+    """
+
+    purchases: List[PurchaseEvent] = field(default_factory=list)
+    arrivals: List[ItemArrival] = field(default_factory=list)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.purchases) + len(self.arrivals)
+
+    @property
+    def n_purchases(self) -> int:
+        """Total (user, item) purchase pairs in the window."""
+        return sum(len(e.items) for e in self.purchases)
+
+    def user_deltas(self) -> "OrderedDict[int, List[np.ndarray]]":
+        """Per-user deltas: new baskets per user, in arrival order."""
+        deltas: "OrderedDict[int, List[np.ndarray]]" = OrderedDict()
+        for event in self.purchases:
+            deltas.setdefault(event.user, []).append(event.basket())
+        return deltas
+
+    def purchase_pairs(self) -> np.ndarray:
+        """All purchase events flattened to ``(n, 2)`` rows of
+        ``(user, item)`` — the sampling units of the incremental update."""
+        rows: List[np.ndarray] = []
+        for event in self.purchases:
+            basket = event.basket()
+            block = np.empty((basket.size, 2), dtype=np.int64)
+            block[:, 0] = event.user
+            block[:, 1] = basket
+            rows.append(block)
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(rows, axis=0)
+
+
+def iter_microbatches(
+    events: Iterable[Event], batch_size: int = 256
+) -> Iterator[MicroBatch]:
+    """Group a stream into :class:`MicroBatch` windows of *batch_size* events.
+
+    The final partial window is emitted too; an empty stream yields
+    nothing.  Ordering within and across batches preserves the stream.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    batch = MicroBatch()
+    for event in events:
+        if isinstance(event, ItemArrival):
+            batch.arrivals.append(event)
+        elif isinstance(event, PurchaseEvent):
+            batch.purchases.append(event)
+        else:
+            raise EventError(f"not an event: {event!r}")
+        if batch.n_events >= batch_size:
+            yield batch
+            batch = MicroBatch()
+    if batch.n_events:
+        yield batch
+
+
+def events_from_transactions(
+    log: TransactionLog,
+    users: Optional[Sequence[int]] = None,
+    start_t: Union[int, Sequence[int]] = 0,
+) -> Iterator[PurchaseEvent]:
+    """Replay a :class:`TransactionLog` as a purchase-event stream.
+
+    Events are interleaved **round-robin by transaction index**: every
+    user's ``t``-th unskipped basket is emitted before any user's
+    ``(t+1)``-th — the global arrival order a timestamped log would give
+    when per-user order is all we know (the paper's logs drop timestamps,
+    Sec. 7.1).  ``start_t`` skips each user's first transactions (already
+    trained on); pass a sequence for per-user offsets, e.g. the warm-start
+    prefix lengths of a warm/stream split (indexed by user id, not by
+    position in *users*).
+    """
+    if users is None:
+        users = range(log.n_users)
+    offsets = (
+        {int(u): int(start_t) for u in users}
+        if isinstance(start_t, int)
+        else {int(u): int(start_t[int(u)]) for u in users}
+    )
+    t = 0
+    while True:
+        emitted = False
+        for user in users:
+            user = int(user)
+            txns = log.user_transactions(user)
+            idx = offsets[user] + t
+            if idx < len(txns):
+                yield PurchaseEvent(user, tuple(int(i) for i in txns[idx]))
+                emitted = True
+        if not emitted:
+            return
+        t += 1
+
+
+def replay(
+    events: Iterable[Event],
+    rate: Optional[float] = None,
+    clock: Optional[object] = None,
+) -> Iterator[Event]:
+    """Pace a stream at *rate* events/second (``None``/``0`` = unpaced).
+
+    Pacing is cumulative — the *n*-th event is released no earlier than
+    ``n / rate`` seconds after the first — so slow consumers make the
+    replay burst to catch up rather than drift ever further behind the
+    target rate.  *clock* injects ``(monotonic, sleep)`` for tests.
+    """
+    if not rate:
+        yield from events
+        return
+    if rate < 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    monotonic = getattr(clock, "monotonic", time.monotonic)
+    sleep = getattr(clock, "sleep", time.sleep)
+    started = monotonic()
+    for n, event in enumerate(events):
+        due = started + n / rate
+        now = monotonic()
+        if due > now:
+            sleep(due - now)
+        yield event

@@ -1,0 +1,108 @@
+"""End-to-end streaming orchestration: ingest → update → publish.
+
+:class:`StreamingPipeline` ties the three streaming layers together for
+the common deployment shape — one consumer draining an event stream,
+periodically publishing a fresh model into the serving tier:
+
+1. the stream is (optionally) paced to a target event rate and grouped
+   into micro-batches (:mod:`repro.streaming.events`);
+2. each micro-batch is folded into the working factors
+   (:class:`~repro.streaming.updater.OnlineUpdater`);
+3. every ``swap_every`` batches (and once at the end of the stream) a
+   snapshot is checkpointed and hot-swapped into the live
+   :class:`~repro.serving.service.RecommenderService`
+   (:class:`~repro.streaming.swap.HotSwapper`) — serving continues
+   uninterrupted throughout.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from repro.serving.service import RecommenderService
+from repro.streaming.events import Event, iter_microbatches, replay
+from repro.streaming.swap import CheckpointStore, HotSwapper
+from repro.streaming.updater import OnlineUpdater, StreamingStats
+
+
+class StreamingPipeline:
+    """Drain an event stream into a live service.
+
+    Parameters
+    ----------
+    service:
+        The live serving front door; its *current* model seeds the
+        updater unless an explicit *updater* is given.
+    updater:
+        A preconfigured :class:`~repro.streaming.updater.OnlineUpdater`
+        (defaults to one built from ``service.model``).
+    batch_size:
+        Events per micro-batch.
+    swap_every:
+        Publish a snapshot every this many micro-batches (``0`` publishes
+        only once, at the end of the stream).
+    store:
+        Optional :class:`~repro.streaming.swap.CheckpointStore`; every
+        publication is checkpointed before going live.
+    """
+
+    def __init__(
+        self,
+        service: RecommenderService,
+        updater: Optional[OnlineUpdater] = None,
+        batch_size: int = 256,
+        swap_every: int = 4,
+        store: Optional[CheckpointStore] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if swap_every < 0:
+            raise ValueError(f"swap_every must be >= 0, got {swap_every}")
+        self.service = service
+        self.updater = updater or OnlineUpdater(service.model)
+        self.batch_size = int(batch_size)
+        self.swap_every = int(swap_every)
+        self.swapper = HotSwapper(service, store=store)
+
+    @property
+    def swaps(self) -> int:
+        """Models published so far."""
+        return self.swapper.swaps
+
+    def publish(self) -> Optional[int]:
+        """Snapshot the updater and hot-swap the result live."""
+        snapshot = self.updater.snapshot()
+        return self.swapper.publish(
+            snapshot,
+            extra={"streamed_events": self.updater.stats.events},
+            popularity=self.updater.popularity(),
+        )
+
+    def run(
+        self,
+        events: Iterable[Event],
+        rate: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> StreamingStats:
+        """Consume *events* to exhaustion (or *max_events*).
+
+        *rate* paces the replay at a target events/second (``None`` =
+        as fast as the updater can drain).  Returns the updater's
+        cumulative :class:`~repro.streaming.updater.StreamingStats`.
+        """
+        if max_events is not None:
+            events = itertools.islice(events, max_events)
+        batches = 0
+        published_at = 0
+        for batch in iter_microbatches(replay(events, rate), self.batch_size):
+            self.updater.apply(batch)
+            batches += 1
+            if self.swap_every and batches % self.swap_every == 0:
+                self.publish()
+                published_at = batches
+        # Flush the tail — unless the last batch already published (no
+        # duplicate checkpoints) or the stream was empty (nothing to swap).
+        if batches and published_at != batches:
+            self.publish()
+        return self.updater.stats

@@ -1,0 +1,166 @@
+"""Versioned checkpoints and zero-downtime model publication.
+
+The last leg of the streaming pipeline: the
+:class:`~repro.streaming.updater.OnlineUpdater` produces snapshots, and
+this module makes them durable and live.
+
+* :class:`CheckpointStore` — a directory of versioned
+  :class:`~repro.serving.bundle.ModelBundle` artifacts (``v0001``,
+  ``v0002``, ...) plus an atomically-updated ``LATEST`` pointer.  Saves
+  inherit the bundle layer's crash-safety (staged writes, manifest last),
+  so a crash mid-checkpoint can never leave an unloadable latest version.
+* :class:`HotSwapper` — checkpoints a snapshot (optionally) and installs
+  it into a live :class:`~repro.serving.service.RecommenderService` via
+  :meth:`~repro.serving.service.RecommenderService.swap_model`, which
+  flushes the query-vector cache and retires its generation.  Requests in
+  flight finish against the old model; the next request sees the new one —
+  serving never pauses.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.serving.bundle import ModelBundle
+from repro.serving.service import RecommenderService
+
+PathLike = Union[str, Path]
+
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+LATEST_NAME = "LATEST"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory is missing, corrupt, or empty."""
+
+
+class CheckpointStore:
+    """Versioned model bundles under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Root of the store (created on first save).
+    keep:
+        Retain only the newest *keep* versions, pruning older ones after
+        each save (``None`` keeps everything).
+    """
+
+    def __init__(self, directory: PathLike, keep: Optional[int] = None):
+        self.directory = Path(directory)
+        if keep is not None and keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.keep = keep
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def versions(self) -> List[int]:
+        """All checkpoint versions present, ascending."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for path in self.directory.iterdir():
+            match = _VERSION_RE.match(path.name)
+            if match and path.is_dir():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self) -> Optional[int]:
+        """The newest version present on disk.
+
+        The directory scan is the source of truth — the ``LATEST`` pointer
+        file is written for humans and external tooling but deliberately
+        not trusted here, so a crash between the bundle write and the
+        pointer update can never hide a complete checkpoint.
+        """
+        versions = self.versions()
+        return versions[-1] if versions else None
+
+    def path_of(self, version: int) -> Path:
+        return self.directory / f"v{version:04d}"
+
+    # ------------------------------------------------------------------
+    # Saving / loading
+    # ------------------------------------------------------------------
+    def save(self, model: Any, extra: Optional[Dict[str, Any]] = None) -> int:
+        """Checkpoint *model* as the next version; returns its number."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        version = (self.latest_version() or 0) + 1
+        payload = dict(extra or {})
+        payload.setdefault("checkpoint_version", version)
+        ModelBundle(model, extra=payload).save(self.path_of(version))
+        self._write_latest(version)
+        if self.keep is not None:
+            for old in self.versions()[: -self.keep]:
+                shutil.rmtree(self.path_of(old), ignore_errors=True)
+        return version
+
+    def _write_latest(self, version: int) -> None:
+        pointer = self.directory / LATEST_NAME
+        tmp = self.directory / f".{LATEST_NAME}.tmp-{os.getpid()}"
+        tmp.write_text(f"{version}\n", encoding="utf-8")
+        os.replace(tmp, pointer)
+
+    def load(self, version: Optional[int] = None) -> ModelBundle:
+        """Load one checkpoint (the latest when *version* is omitted)."""
+        if version is None:
+            version = self.latest_version()
+            if version is None:
+                raise CheckpointError(f"no checkpoints in {self.directory}")
+        path = self.path_of(version)
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint v{version:04d} in {self.directory}")
+        return ModelBundle.load(path)
+
+
+class HotSwapper:
+    """Publish model snapshots into a live service with zero downtime.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.serving.service.RecommenderService` to swap.
+    store:
+        Optional :class:`CheckpointStore`; when given, every published
+        snapshot is checkpointed *before* it goes live, so the served
+        model is always recoverable from disk.
+    """
+
+    def __init__(
+        self,
+        service: RecommenderService,
+        store: Optional[CheckpointStore] = None,
+    ):
+        self.service = service
+        self.store = store
+        self.swaps = 0
+        self.versions: List[int] = []
+
+    def publish(
+        self,
+        model: Any,
+        extra: Optional[Dict[str, Any]] = None,
+        popularity: Optional[Any] = None,
+    ) -> Optional[int]:
+        """Checkpoint (if configured) then atomically swap *model* live.
+
+        Returns the checkpoint version, or ``None`` when no store is
+        configured.  The swap flushes the service's query-vector cache and
+        bumps its generation (see
+        :meth:`~repro.serving.service.RecommenderService.swap_model`).
+        *popularity* replaces the cold-user fallback (the updater
+        maintains one incrementally); omitted, it is refit from the
+        model's attached log.
+        """
+        version: Optional[int] = None
+        if self.store is not None:
+            version = self.store.save(model, extra=extra)
+            self.versions.append(version)
+        self.service.swap_model(model, popularity=popularity)
+        self.swaps += 1
+        return version

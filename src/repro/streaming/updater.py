@@ -1,0 +1,415 @@
+"""Incremental factor updates between full retrains.
+
+The paper's trainer (Sec. 4) rebuilds every factor family from a frozen
+log; :class:`OnlineUpdater` is the streaming counterpart.  It owns a
+private copy of a fitted model's factors and folds live purchase events
+into them with the item/taxonomy factors **frozen** — only user vectors
+move.  The rationale is the same asymmetry the paper exploits: the catalog
+and taxonomy are relatively stable and well-estimated by the offline run,
+while user state (who bought what *since* the retrain) goes stale by the
+minute.
+
+Three update paths, all against frozen item factors:
+
+* **known users** — vectorized BPR steps on their factor rows, reusing the
+  exact Eq. 6 user-step math of :func:`repro.core.sgd.bpr_user_step`, with
+  the short-term Markov context (Eq. 3) recomputed from the accumulated
+  streamed history;
+* **brand-new users** — grown into the user matrix and warm-started by
+  :func:`repro.core.folding.fold_in_user` on their streamed history (the
+  library's standard fold-in), after which they update like known users;
+* **brand-new items** — attached to the taxonomy through
+  :func:`repro.taxonomy.extend.add_items` (via ``model.onboard_items``)
+  with zero offset factors, so Eq. 1 scores them by their parent's
+  ancestor-chain sum until purchase data arrives — the paper's cold-start
+  prescription, applied mid-stream.
+
+The updater never touches the model being served; :meth:`snapshot`
+produces an independent fitted model (factors deep-copied, streamed
+history attached) ready for :meth:`~repro.serving.service.
+RecommenderService.swap_model`.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bpr import sigmoid
+from repro.core.folding import fold_in_user
+from repro.core.sgd import bpr_user_step
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.data.transactions import TransactionLog
+from repro.streaming.events import MicroBatch, PurchaseEvent
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class StreamingStats:
+    """Cumulative accounting of everything the updater has ingested."""
+
+    events: int = 0
+    purchases: int = 0
+    batches: int = 0
+    pair_steps: int = 0
+    new_users: int = 0
+    new_items: int = 0
+    seconds: float = 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("nan")
+        return self.events / self.seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "events": self.events,
+            "purchases": self.purchases,
+            "batches": self.batches,
+            "pair_steps": self.pair_steps,
+            "new_users": self.new_users,
+            "new_items": self.new_items,
+            "seconds": self.seconds,
+            "events_per_second": self.events_per_second,
+        }
+
+
+class OnlineUpdater:
+    """Apply micro-batched purchase events to user vectors online.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.tf_model.TaxonomyFactorModel` (or
+        MFModel).  The updater works on a private copy of its factors;
+        the argument itself is never mutated.
+    steps:
+        Vectorized SGD passes over each micro-batch's purchase pairs (the
+        per-event update budget; each pass resamples negatives).
+    learning_rate, reg:
+        Step size and L2 strength; default to the model's training config.
+    fold_in_steps:
+        SGD budget for warm-starting a brand-new user from their streamed
+        history (see :func:`~repro.core.folding.fold_in_user`).
+    seed:
+        Seed of the negative sampler and fold-in.
+    """
+
+    def __init__(
+        self,
+        model: TaxonomyFactorModel,
+        steps: int = 4,
+        learning_rate: Optional[float] = None,
+        reg: Optional[float] = None,
+        fold_in_steps: int = 100,
+        seed: RngLike = 0,
+    ):
+        check_positive("steps", steps)
+        check_positive("fold_in_steps", fold_in_steps)
+        base = model.factor_set  # fail fast when unfitted
+        self.model = copy.copy(model)
+        self.model._factors = base.copy()
+        config = model.config
+        self.steps = int(steps)
+        self.learning_rate = (
+            config.learning_rate if learning_rate is None else float(learning_rate)
+        )
+        self.reg = config.reg if reg is None else float(reg)
+        self.fold_in_steps = int(fold_in_steps)
+        self.rng = ensure_rng(seed)
+        self.stats = StreamingStats()
+
+        # Accumulated per-user histories: the training log's baskets plus
+        # every streamed basket, in order.  This is what snapshots attach
+        # for Markov context and purchased-item exclusion, and what new
+        # users are folded in from.
+        self._history: List[List[np.ndarray]] = []
+        source = model._train_log
+        if source is not None:
+            self._history = [
+                list(source.user_transactions(u)) for u in range(source.n_users)
+            ]
+        # Rows that carry learned state (trained offline or folded in
+        # here).  ensure_users() can create gap rows for user ids never
+        # seen; those must still be folded in on first appearance.
+        self._trained = np.zeros(self.model.factor_set.n_users, dtype=bool)
+        self._trained[: model.n_users] = True
+        # Per-item purchase counts, maintained incrementally so hot-swaps
+        # can publish a fresh popularity fallback without re-scanning the
+        # whole accumulated log.
+        self._item_counts = (
+            source.item_counts()
+            if source is not None
+            else np.zeros(self.model.taxonomy.n_items, dtype=np.int64)
+        )
+        self._refresh_item_snapshot()
+
+    def _refresh_item_snapshot(self) -> None:
+        """Re-cache the frozen effective item factors (after onboarding)."""
+        fs = self.model.factor_set
+        self._effective = fs.effective_items()
+        self._bias = fs.bias_of_items()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Users the working copy currently has factors for."""
+        return self.model.factor_set.n_users
+
+    @property
+    def n_items(self) -> int:
+        return self.model.n_items
+
+    def history_of(self, user: int) -> List[np.ndarray]:
+        """The accumulated baskets of *user* (training + streamed)."""
+        if user >= len(self._history):
+            return []
+        return list(self._history[user])
+
+    # ------------------------------------------------------------------
+    # Applying events
+    # ------------------------------------------------------------------
+    def apply_events(self, events: Sequence[PurchaseEvent]) -> StreamingStats:
+        """Convenience: wrap loose purchase events into one micro-batch."""
+        batch = MicroBatch()
+        for event in events:
+            batch.purchases.append(event)
+        return self.apply(batch)
+
+    def apply(self, batch: MicroBatch) -> StreamingStats:
+        """Fold one :class:`~repro.streaming.events.MicroBatch` into the
+        working factors; returns the cumulative :class:`StreamingStats`.
+        """
+        started = time.perf_counter()
+        if batch.arrivals:
+            self.onboard_items(
+                [a.parent for a in batch.arrivals],
+                names=(
+                    None
+                    if all(a.name is None for a in batch.arrivals)
+                    else [a.name or "" for a in batch.arrivals]
+                ),
+            )
+        deltas = batch.user_deltas()
+        if deltas:
+            pairs = batch.purchase_pairs()
+            self._validate_items(pairs)
+            np.add.at(self._item_counts, pairs[:, 1], 1)
+            self._grow_users(max(deltas) + 1)
+            fresh = [u for u in deltas if not self._trained[u]]
+            known = [u for u in deltas if self._trained[u]]
+            # Markov context is frozen at the pre-batch history (the
+            # context a transaction was made *after*), mirroring training.
+            contexts = self._contexts_for(known)
+            for user in deltas:
+                self._history[user].extend(deltas[user])
+            for user in fresh:
+                self._fold_in_new_user(user)
+            if known:
+                slot_pairs, banned = self._pairs_for(known, deltas)
+                self._sgd_on_pairs(
+                    slot_pairs,
+                    banned,
+                    contexts,
+                    np.asarray(known, dtype=np.int64),
+                )
+        self.stats.events += batch.n_events
+        self.stats.purchases += batch.n_purchases
+        self.stats.batches += 1
+        self.stats.seconds += time.perf_counter() - started
+        return self.stats
+
+    def _validate_items(self, pairs: np.ndarray) -> None:
+        n_items = self.n_items
+        if pairs.size and pairs[:, 1].max() >= n_items:
+            bad = int(pairs[:, 1].max())
+            raise ValueError(
+                f"event references item {bad} but the taxonomy has "
+                f"{n_items} items; onboard new items first (ItemArrival)"
+            )
+
+    def _grow_users(self, n_users: int) -> None:
+        fs = self.model.factor_set
+        if n_users > fs.n_users:
+            old_n = fs.n_users
+            fs.ensure_users(n_users, seed=self.model.config.seed)
+            # Zero the grown rows: user ids below the batch maximum may
+            # never appear ("gap" users), and a swapped-in snapshot serves
+            # every row as a known user.  A zero vector scores items by
+            # bias alone (a popularity-shaped prior) instead of the random
+            # Gaussian init; fold-in overwrites the row when the user
+            # actually shows up.
+            fs.user[old_n:n_users] = 0.0
+            grown = np.zeros(n_users, dtype=bool)
+            grown[: self._trained.size] = self._trained
+            self._trained = grown
+        while len(self._history) < fs.n_users:
+            self._history.append([])
+
+    def _fold_in_new_user(self, user: int) -> None:
+        """Warm-start a brand-new user's row from their streamed history."""
+        vector = fold_in_user(
+            self.model,
+            self._history[user],
+            steps=self.fold_in_steps,
+            learning_rate=self.learning_rate,
+            reg=self.reg,
+            seed=self.rng,
+        )
+        self.model.factor_set.user[user] = vector
+        self._trained[user] = True
+        self.stats.new_users += 1
+
+    def _contexts_for(self, users: Sequence[int]) -> Optional[np.ndarray]:
+        """Eq. 3 context vectors (one row per user), or ``None`` when the
+        model has no Markov term."""
+        config = self.model.config
+        if config.markov_order == 0 or not users:
+            return None
+        from repro.core.affinity import context_items_weights
+        from repro.core.factors import KIND_NEXT
+
+        fs = self.model.factor_set
+        out = np.zeros((len(users), fs.factors))
+        for row, user in enumerate(users):
+            history = self._history[user] if user < len(self._history) else []
+            items, weights = context_items_weights(
+                history, config.markov_order, config.alpha
+            )
+            if items.size:
+                out[row] = weights @ fs.effective_items(items, kind=KIND_NEXT)
+        return out
+
+    def _pairs_for(
+        self,
+        users: Sequence[int],
+        deltas: "Dict[int, List[np.ndarray]]",
+    ) -> Tuple[np.ndarray, List[frozenset]]:
+        """Flatten the chosen users' deltas to ``(user_slot, item)`` pairs.
+
+        The first column indexes into *users* (so context rows line up),
+        not the global user space.  Also returns one banned set per pair —
+        the originating basket — so negative sampling can keep the offline
+        trainer's ``j ∉ B_t`` semantics (a same-basket "negative" would
+        push an item up as a positive and down as a negative in the same
+        step).
+        """
+        rows: List[np.ndarray] = []
+        banned: List[frozenset] = []
+        for slot, user in enumerate(users):
+            for basket in deltas[user]:
+                block = np.empty((basket.size, 2), dtype=np.int64)
+                block[:, 0] = slot
+                block[:, 1] = basket
+                rows.append(block)
+                basket_set = frozenset(int(i) for i in basket)
+                banned.extend(basket_set for _ in range(basket.size))
+        return np.concatenate(rows, axis=0), banned
+
+    def _sgd_on_pairs(
+        self,
+        slot_pairs: np.ndarray,
+        banned: List[frozenset],
+        contexts: Optional[np.ndarray],
+        users: np.ndarray,
+    ) -> None:
+        """Vectorized BPR user-steps over ``(slot, positive item)`` pairs.
+
+        Every pass resamples one negative per pair (rejecting the pair's
+        whole basket, the offline sampler's ``j ∉ B_t``) and applies
+        :func:`~repro.core.sgd.bpr_user_step` — the same Eq. 6 increment
+        the offline trainer scatter-adds — to the user rows only.
+        """
+        slots = slot_pairs[:, 0]
+        positives = slot_pairs[:, 1]
+        rows = users[slots]
+        fs = self.model.factor_set
+        lr, reg = self.learning_rate, self.reg
+        n_items = self.n_items
+        for _ in range(self.steps):
+            negatives = self.rng.integers(0, n_items, size=positives.size)
+            for _attempt in range(3):  # resample j ∈ B_t collisions
+                collide = np.fromiter(
+                    (int(j) in banned[m] for m, j in enumerate(negatives)),
+                    dtype=bool,
+                    count=negatives.size,
+                )
+                if not collide.any():
+                    break
+                negatives[collide] = self.rng.integers(
+                    0, n_items, size=int(collide.sum())
+                )
+            vu = fs.user[rows]
+            query = vu if contexts is None else vu + contexts[slots]
+            delta = self._effective[positives] - self._effective[negatives]
+            diff = np.einsum("mk,mk->m", query, delta)
+            diff += self._bias[positives] - self._bias[negatives]
+            c = 1.0 - sigmoid(diff)
+            np.add.at(fs.user, rows, bpr_user_step(vu, delta, c, lr, reg))
+            self.stats.pair_steps += int(positives.size)
+
+    # ------------------------------------------------------------------
+    # Catalog growth
+    # ------------------------------------------------------------------
+    def onboard_items(
+        self,
+        parents: Sequence[int],
+        names: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Attach brand-new items under existing taxonomy nodes.
+
+        Delegates to :func:`repro.taxonomy.extend.add_items` through the
+        model, so the new items' offsets start at zero and their effective
+        factors equal the parent's ancestor-chain sum (warm start).
+        Returns the new dense item indices.
+        """
+        new_items = self.model.onboard_items(parents, names)
+        self._item_counts = np.concatenate(
+            [self._item_counts, np.zeros(new_items.size, dtype=np.int64)]
+        )
+        self._refresh_item_snapshot()
+        self.stats.new_items += int(new_items.size)
+        return new_items
+
+    # ------------------------------------------------------------------
+    # Snapshots for hot-swapping
+    # ------------------------------------------------------------------
+    def history_log(self) -> TransactionLog:
+        """The accumulated history as a log (training + streamed baskets).
+
+        Uses the trusted :meth:`~repro.data.transactions.TransactionLog.
+        from_baskets` path: every stored basket came from a validated log
+        or from ``PurchaseEvent.basket()``, so the snapshot publish does
+        not re-validate the whole history on every hot-swap.
+        """
+        return TransactionLog.from_baskets(
+            self._history, n_items=self.model.taxonomy.n_items
+        )
+
+    def popularity(self):
+        """A popularity fallback fitted on the incremental item counts."""
+        from repro.core.popularity import PopularityModel
+
+        return PopularityModel.from_counts(self._item_counts)
+
+    def snapshot(self) -> TaxonomyFactorModel:
+        """An independent fitted model frozen at the current update state.
+
+        Factors are deep-copied and the accumulated history is attached,
+        so the snapshot keeps serving consistently while this updater
+        continues to apply events — the artifact
+        :class:`~repro.streaming.swap.HotSwapper` checkpoints and installs.
+        """
+        model = copy.copy(self.model)
+        model._factors = self.model.factor_set.copy()
+        model.history_ = list(self.model.history_)
+        model.attach_log(self.history_log())
+        return model

@@ -298,6 +298,56 @@ class TestLegacyModelShim:
             )
 
 
+class TestStream:
+    def test_streams_and_checkpoints(self, workspace, capsys, tmp_path):
+        directory, model_path = workspace
+        ckpts = tmp_path / "ckpts"
+        assert (
+            main(
+                [
+                    "stream",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(model_path),
+                    "--events",
+                    "200",
+                    "--batch-size",
+                    "64",
+                    "--swap-every",
+                    "2",
+                    "--checkpoints",
+                    str(ckpts),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert "published" in out
+        assert "post-stream user 0" in out
+        assert (ckpts / "LATEST").exists()
+        assert (ckpts / "v0001" / "manifest.json").exists()
+
+    def test_streams_without_checkpoints(self, workspace, capsys):
+        directory, model_path = workspace
+        assert (
+            main(
+                [
+                    "stream",
+                    "--data-dir",
+                    str(directory),
+                    "--model",
+                    str(model_path),
+                    "--events",
+                    "50",
+                ]
+            )
+            == 0
+        )
+        assert "checkpoints disabled" in capsys.readouterr().out
+
+
 class TestStats:
     def test_prints_summary(self, workspace, capsys):
         directory, _ = workspace

@@ -72,6 +72,111 @@ class TestFactorModelRoundTrip:
             ModelBundle(PopularityModel()).save(tmp_path / "b")
 
 
+class TestCrashSafeSave:
+    """A mid-save crash can never leave a torn manifest behind."""
+
+    def test_no_staging_residue_after_save(self, tf_model, tmp_path):
+        ModelBundle(tf_model).save(tmp_path / "b")
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "b"]
+        assert leftovers == []
+
+    def test_overwrite_existing_bundle(self, tf_model, mf_model, tmp_path):
+        ModelBundle(tf_model, extra={"gen": 1}).save(tmp_path / "b")
+        ModelBundle(mf_model, extra={"gen": 2}).save(tmp_path / "b")
+        bundle = ModelBundle.load(tmp_path / "b")
+        assert type(bundle.model).__name__ == "MFModel"
+        assert bundle.extra == {"gen": 2}
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "b"]
+        assert leftovers == []
+
+    def test_overwrite_removes_stale_artifacts(self, tf_model, split, tmp_path):
+        """Overwriting with a different model class must not leave the old
+        class's artifact files behind — the directory IS the artifact."""
+        ModelBundle(tf_model).save(tmp_path / "b")
+        assert (tmp_path / "b" / "factors.npz").exists()
+        ModelBundle(PopularityModel().fit(split.train)).save(tmp_path / "b")
+        names = sorted(p.name for p in (tmp_path / "b").iterdir())
+        assert names == [MANIFEST_NAME, "popularity.npz"]
+        assert isinstance(
+            ModelBundle.load(tmp_path / "b").model, PopularityModel
+        )
+
+    def test_crash_before_manifest_leaves_no_bundle(
+        self, tf_model, tmp_path, monkeypatch
+    ):
+        """Kill the save after the factors are staged but before the
+        manifest: load must cleanly report 'not a bundle', never parse a
+        half-written manifest."""
+        import repro.serving.bundle as bundle_mod
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(bundle_mod, "save_taxonomy", boom)
+        with pytest.raises(OSError, match="disk full"):
+            ModelBundle(tf_model).save(tmp_path / "b")
+        assert not (tmp_path / "b").exists()
+        assert list(tmp_path.iterdir()) == []  # staging cleaned up
+        with pytest.raises(BundleError, match="not a model bundle"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_crash_during_overwrite_keeps_old_manifest_loadable(
+        self, tf_model, tmp_path, monkeypatch
+    ):
+        """Crashing mid-overwrite must leave a manifest that parses (the
+        previous complete one), not a torn file."""
+        import repro.serving.bundle as bundle_mod
+
+        ModelBundle(tf_model, extra={"gen": 1}).save(tmp_path / "b")
+
+        real_dump = json.dump
+
+        def torn_dump(obj, handle, **kwargs):
+            handle.write('{"format": "repro-model-bu')  # torn write...
+            raise OSError("crash mid-manifest")
+
+        monkeypatch.setattr(bundle_mod.json, "dump", torn_dump)
+        with pytest.raises(OSError, match="crash mid-manifest"):
+            ModelBundle(tf_model, extra={"gen": 2}).save(tmp_path / "b")
+        monkeypatch.setattr(bundle_mod.json, "dump", real_dump)
+
+        bundle = ModelBundle.load(tmp_path / "b")  # old manifest intact
+        assert bundle.extra == {"gen": 1}
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "b"]
+        assert leftovers == []
+
+    def test_fresh_save_is_one_atomic_rename(self, tf_model, tmp_path):
+        """A fresh bundle appears with its manifest already in place."""
+        target = tmp_path / "b"
+        ModelBundle(tf_model).save(target)
+        assert (target / MANIFEST_NAME).exists()
+        assert ModelBundle.load(target).model is not None
+
+    def test_concurrent_saves_do_not_collide(self, tf_model, tmp_path):
+        """Staging names are unique per attempt, so racing saves to
+        different targets in one parent never trip over each other."""
+        import threading
+
+        errors = []
+
+        def save(name):
+            try:
+                ModelBundle(tf_model).save(tmp_path / name)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=save, args=(f"b{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for i in range(4):
+            assert ModelBundle.load(tmp_path / f"b{i}").model is not None
+
+
 class TestBaselineRoundTrip:
     def test_popularity(self, split, tmp_path):
         model = PopularityModel().fit(split.train)

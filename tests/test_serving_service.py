@@ -166,6 +166,34 @@ class TestCache:
         assert cache.get(1) is None
         assert cache.get(2) is not None
 
+    def test_cache_is_thread_safe_under_eviction_pressure(self):
+        """get() racing put() eviction on a tiny cache must never raise
+        (the unlocked OrderedDict would KeyError in move_to_end)."""
+        import threading
+
+        cache = QueryVectorCache(2)
+        errors = []
+
+        def churn(offset):
+            try:
+                for i in range(3000):
+                    user = (i + offset) % 5
+                    cache.put(user, np.zeros(2))
+                    cache.get(user)
+                    if i % 100 == 0:
+                        cache.invalidate()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(k,)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
 
 class TestCascadeMode:
     def test_cascade_counts_fewer_nodes(self, tf_model):
@@ -217,6 +245,42 @@ class TestStatsAndRefresh:
         assert stats.latencies[-1] == 2.0
         assert stats.requests == LATENCY_WINDOW + 1
 
+    def test_oversized_batch_never_materializes_past_window(self):
+        """One batch bigger than the window must be clamped up front, not
+        trimmed after allocating count entries."""
+        from repro.serving.service import LATENCY_WINDOW, ServingStats
+
+        stats = ServingStats()
+        stats.record_latency(30.0, count=3 * LATENCY_WINDOW)
+        assert len(stats.latencies) == LATENCY_WINDOW
+        assert stats.requests == 3 * LATENCY_WINDOW
+        assert stats.seconds == 30.0
+        # Amortized per-request latency, not the batch total.
+        assert stats.latencies[0] == 30.0 / (3 * LATENCY_WINDOW)
+
+    def test_window_keeps_most_recent_entries(self):
+        from repro.serving.service import LATENCY_WINDOW, ServingStats
+
+        stats = ServingStats()
+        for value in (1.0, 2.0):
+            stats.record_latency(value * LATENCY_WINDOW, count=LATENCY_WINDOW)
+        stats.record_latency(7.0)
+        assert len(stats.latencies) == LATENCY_WINDOW
+        assert stats.latencies[-1] == 7.0
+        # Everything surviving besides the single call came from batch #2.
+        assert set(stats.latencies[:-1]) == {2.0}
+        assert stats.requests == 2 * LATENCY_WINDOW + 1
+
+    def test_mixed_singles_and_batches_respect_window(self):
+        from repro.serving.service import LATENCY_WINDOW, ServingStats
+
+        stats = ServingStats()
+        for _ in range(100):
+            stats.record_latency(0.5)
+            stats.record_latency(1.0, count=LATENCY_WINDOW // 4)
+        assert len(stats.latencies) == LATENCY_WINDOW
+        assert stats.requests == 100 * (1 + LATENCY_WINDOW // 4)
+
     def test_empty_stats_are_nan(self, service):
         assert np.isnan(service.stats.p50)
         assert np.isnan(service.stats.requests_per_second)
@@ -243,6 +307,122 @@ class TestStatsAndRefresh:
     def test_unfitted_model_rejected(self, dataset):
         with pytest.raises(RuntimeError):
             RecommenderService(TaxonomyFactorModel(dataset.taxonomy))
+
+
+class TestHotSwap:
+    """Model swapping and cache coherence (the streaming serving contract)."""
+
+    @pytest.fixture()
+    def retrained(self, dataset, split):
+        """A second model with visibly different factors."""
+        model = TaxonomyFactorModel(
+            dataset.taxonomy, factors=8, epochs=4, seed=99
+        )
+        return model.fit(split.train)
+
+    def test_swap_serves_the_new_model(self, tf_model, retrained):
+        service = RecommenderService(tf_model)
+        service.swap_model(retrained)
+        for user in range(5):
+            assert np.array_equal(
+                service.recommend(user, k=6), retrained.recommend(user, k=6)
+            )
+        assert service.model is retrained
+        assert service.stats.swaps == 1
+
+    def test_swap_never_serves_stale_cached_vectors(self, tf_model, retrained):
+        """The regression: a vector cached pre-swap must not survive it."""
+        service = RecommenderService(tf_model)
+        before = service.recommend(0, k=6)  # populates the cache
+        assert len(service.query_cache) == 1
+        service.swap_model(retrained)
+        assert len(service.query_cache) == 0
+        hits_before = service.stats.cache_hits
+        after = service.recommend(0, k=6)
+        assert service.stats.cache_hits == hits_before  # recomputed, not hit
+        assert np.array_equal(after, retrained.recommend(0, k=6))
+        assert before.shape == after.shape
+
+    def test_in_flight_request_cannot_poison_the_cache(self, tf_model, retrained):
+        """A put stamped with a pre-swap generation must be dropped."""
+        service = RecommenderService(tf_model)
+        stale_generation = service.generation
+        stale_vector = tf_model.query_vector(0)
+        service.swap_model(retrained)
+        # The in-flight request finishes and tries to cache its vector.
+        service.query_cache.put(0, stale_vector, stale_generation)
+        assert len(service.query_cache) == 0
+        # The next request therefore recomputes against the new model.
+        assert np.array_equal(
+            service.recommend(0, k=6), retrained.recommend(0, k=6)
+        )
+
+    def test_in_flight_request_cannot_read_new_generation(self, tf_model, retrained):
+        service = RecommenderService(tf_model)
+        stale_generation = service.generation
+        service.swap_model(retrained)
+        service.recommend(0, k=6)  # caches a new-generation vector
+        assert service.query_cache.get(0, stale_generation) is None
+        assert service.query_cache.get(0, service.generation) is not None
+
+    def test_invalidate_cache_bumps_generation(self, tf_model):
+        service = RecommenderService(tf_model)
+        service.recommend(0, k=4)
+        generation = service.invalidate_cache()
+        assert generation == service.generation == 1
+        assert len(service.query_cache) == 0
+        hits = service.stats.cache_hits
+        service.recommend(0, k=4)
+        assert service.stats.cache_hits == hits
+
+    def test_swap_after_mutation_regression(self, dataset, split):
+        """Swapping in a mutated copy must serve the mutation, cache included."""
+        model = TaxonomyFactorModel(
+            dataset.taxonomy, factors=8, epochs=2, seed=0
+        ).fit(split.train)
+        service = RecommenderService(model)
+        service.recommend(0, k=5)
+        import copy as _copy
+
+        mutated = _copy.copy(model)
+        mutated._factors = model.factor_set.copy()
+        mutated.factor_set.user[0] = -mutated.factor_set.user[0]
+        service.swap_model(mutated)
+        assert np.array_equal(
+            service.recommend(0, k=5), mutated.recommend(0, k=5)
+        )
+
+    def test_swap_rebuilds_cascade_for_new_model(self, tf_model, retrained):
+        service = RecommenderService(
+            tf_model, cascade=CascadeConfig(keep_fractions=(0.5, 0.5, 0.5))
+        )
+        old_cascade = service.cascade
+        service.swap_model(retrained)
+        assert isinstance(service.cascade, CascadedRecommender)
+        assert service.cascade is not old_cascade
+        assert service.cascade.model is retrained
+        assert service.cascade.config == old_cascade.config
+
+    def test_swap_rebuilds_fold_in_and_fallback(self, tf_model, retrained, split):
+        service = RecommenderService(tf_model, fold_in_steps=50, fold_in_seed=9)
+        service.swap_model(retrained, history_log=split.train)
+        assert service.fold_in.model is not tf_model
+        assert service.fold_in.steps == 50
+        assert service.popularity is not None
+        assert service.history_log is split.train
+
+    def test_refresh_uses_the_swap_path(self, dataset, split):
+        model = TaxonomyFactorModel(
+            dataset.taxonomy, factors=8, epochs=2, seed=0
+        ).fit(split.train)
+        service = RecommenderService(model)
+        generation = service.generation
+        model.partial_fit(epochs=1)
+        service.refresh()
+        assert service.generation == generation + 1
+        assert np.array_equal(
+            service.recommend(0, k=5), model.recommend(0, k=5)
+        )
 
 
 class TestFoldInRecommender:

@@ -1,0 +1,203 @@
+"""Event ingestion: encoding, the append-only log, micro-batching, replay."""
+
+import numpy as np
+import pytest
+
+from repro.data.transactions import TransactionLog
+from repro.streaming.events import (
+    EventError,
+    EventLog,
+    ItemArrival,
+    MicroBatch,
+    PurchaseEvent,
+    decode_event,
+    encode_event,
+    events_from_transactions,
+    iter_microbatches,
+    replay,
+)
+
+
+class TestPurchaseEvent:
+    def test_basket_is_sorted_unique(self):
+        event = PurchaseEvent(user=3, items=(5, 2, 5, 9))
+        assert event.basket().tolist() == [2, 5, 9]
+
+    def test_rejects_empty_basket(self):
+        with pytest.raises(EventError, match="empty"):
+            PurchaseEvent(user=0, items=())
+
+    def test_rejects_negative_user_and_item(self):
+        with pytest.raises(EventError, match="user"):
+            PurchaseEvent(user=-1, items=(0,))
+        with pytest.raises(EventError, match="negative item"):
+            PurchaseEvent(user=0, items=(-2,))
+
+
+class TestEncoding:
+    def test_purchase_roundtrip(self):
+        event = PurchaseEvent(user=7, items=(1, 4))
+        assert decode_event(encode_event(event)) == event
+
+    def test_arrival_roundtrip(self):
+        event = ItemArrival(parent=12, name="fresh")
+        assert decode_event(encode_event(event)) == event
+        assert decode_event(encode_event(ItemArrival(3))) == ItemArrival(3)
+
+    def test_corrupt_records_rejected(self):
+        with pytest.raises(EventError):
+            decode_event("{not json")
+        with pytest.raises(EventError):
+            decode_event('{"x": 1}')
+        with pytest.raises(EventError):
+            decode_event("[1, 2]")
+
+    def test_wrong_shape_valid_json_raises_event_error(self):
+        """Valid JSON with the wrong field types must still surface as
+        EventError, never a raw TypeError/ValueError."""
+        for record in ('{"u": 1, "i": 5}', '{"u": "x", "i": [1]}',
+                       '{"parent": "deep"}', '{"u": 1, "i": ["a"]}'):
+            with pytest.raises(EventError):
+                decode_event(record)
+
+    def test_non_integer_items_rejected(self):
+        with pytest.raises(EventError, match="non-integer"):
+            PurchaseEvent(user=0, items=(1.7,))
+
+
+class TestEventLog:
+    def test_append_iter_roundtrip(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        events = [
+            PurchaseEvent(0, (1, 2)),
+            ItemArrival(5, "x"),
+            PurchaseEvent(1, (3,)),
+        ]
+        log.append(events[0])
+        assert log.append_many(events[1:]) == 2
+        assert list(log) == events
+        assert len(log) == 3
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert list(EventLog(tmp_path / "nope.jsonl")) == []
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.append(PurchaseEvent(0, (1,)))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"u": 3, "i": [')  # crash mid-append
+        assert list(log) == [PurchaseEvent(0, (1,))]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        """Only the *trailing* line may be torn; a bad record earlier means
+        the journal is corrupt and must not silently diverge on replay."""
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.append(PurchaseEvent(0, (1,)))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{corrupt}\n")
+        log.append(PurchaseEvent(1, (2,)))
+        with pytest.raises(EventError, match="line 2"):
+            list(log)
+
+
+class TestMicroBatch:
+    def test_user_deltas_preserve_order(self):
+        batch = MicroBatch(
+            purchases=[
+                PurchaseEvent(1, (5,)),
+                PurchaseEvent(0, (2,)),
+                PurchaseEvent(1, (7, 3)),
+            ]
+        )
+        deltas = batch.user_deltas()
+        assert list(deltas) == [1, 0]
+        assert [b.tolist() for b in deltas[1]] == [[5], [3, 7]]
+        assert batch.n_events == 3
+        assert batch.n_purchases == 4
+
+    def test_purchase_pairs(self):
+        batch = MicroBatch(purchases=[PurchaseEvent(2, (9, 4))])
+        assert batch.purchase_pairs().tolist() == [[2, 4], [2, 9]]
+        assert MicroBatch().purchase_pairs().shape == (0, 2)
+
+    def test_iter_microbatches_splits_and_flushes(self):
+        events = [PurchaseEvent(u, (1,)) for u in range(5)]
+        events.insert(2, ItemArrival(0))
+        batches = list(iter_microbatches(events, batch_size=2))
+        assert [b.n_events for b in batches] == [2, 2, 2]
+        assert sum(len(b.arrivals) for b in batches) == 1
+        assert list(iter_microbatches([], batch_size=2)) == []
+
+    def test_iter_microbatches_rejects_bad_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(iter_microbatches([], batch_size=0))
+
+    def test_iter_microbatches_rejects_non_events(self):
+        with pytest.raises(EventError, match="not an event"):
+            list(iter_microbatches(["nope"], batch_size=2))
+
+
+class TestTransactionReplay:
+    def test_round_robin_by_transaction_index(self):
+        log = TransactionLog([[[0], [1], [2]], [[3]], []], n_items=4)
+        events = list(events_from_transactions(log))
+        assert [(e.user, e.items) for e in events] == [
+            (0, (0,)),
+            (1, (3,)),
+            (0, (1,)),
+            (0, (2,)),
+        ]
+
+    def test_start_t_skips_trained_prefix(self):
+        log = TransactionLog([[[0], [1]], [[2], [3]]], n_items=4)
+        events = list(events_from_transactions(log, start_t=1))
+        assert [(e.user, e.items) for e in events] == [(0, (1,)), (1, (3,))]
+
+    def test_user_subset(self):
+        log = TransactionLog([[[0]], [[1]], [[2]]], n_items=3)
+        events = list(events_from_transactions(log, users=[2, 0]))
+        assert [e.user for e in events] == [2, 0]
+
+    def test_per_user_start_offsets(self):
+        """A warm/stream split hands per-user prefix lengths as start_t."""
+        log = TransactionLog([[[0], [1], [2]], [[3], [4]]], n_items=5)
+        events = list(events_from_transactions(log, start_t=[2, 1]))
+        assert [(e.user, e.items) for e in events] == [
+            (0, (2,)),
+            (1, (4,)),
+        ]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.slept = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.slept.append(seconds)
+        self.now += seconds
+
+
+class TestReplayPacing:
+    def test_unpaced_passthrough(self):
+        events = [PurchaseEvent(0, (1,))] * 3
+        assert list(replay(events)) == events
+        assert list(replay(events, rate=0)) == events
+
+    def test_paced_release_times(self):
+        clock = FakeClock()
+        events = [PurchaseEvent(0, (1,))] * 5
+        out = list(replay(events, rate=10.0, clock=clock))
+        assert out == events
+        # Event n is due at n/rate; the fake clock only advances in sleep,
+        # so the total slept time is the last event's due time.
+        assert clock.now == pytest.approx(0.4)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            list(replay([PurchaseEvent(0, (1,))], rate=-1.0))

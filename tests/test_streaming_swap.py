@@ -1,0 +1,213 @@
+"""CheckpointStore versioning, HotSwapper publication, pipeline runs."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving.bundle import ModelBundle
+from repro.serving.service import RecommenderService
+from repro.streaming.events import PurchaseEvent, events_from_transactions
+from repro.streaming.pipeline import StreamingPipeline
+from repro.streaming.swap import CheckpointError, CheckpointStore, HotSwapper
+from repro.streaming.updater import OnlineUpdater
+
+
+class TestCheckpointStore:
+    def test_versions_increment(self, tf_model, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        assert store.versions() == []
+        assert store.latest_version() is None
+        assert store.save(tf_model) == 1
+        assert store.save(tf_model) == 2
+        assert store.versions() == [1, 2]
+        assert store.latest_version() == 2
+
+    def test_load_roundtrip(self, tf_model, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        version = store.save(tf_model, extra={"note": "first"})
+        bundle = store.load(version)
+        assert bundle.extra["note"] == "first"
+        assert bundle.extra["checkpoint_version"] == 1
+        np.testing.assert_array_equal(
+            bundle.model.factor_set.w, tf_model.factor_set.w
+        )
+        latest = store.load()
+        assert latest.extra["checkpoint_version"] == 1
+
+    def test_load_missing(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            store.load()
+        store.directory.mkdir()
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            store.load()
+
+    def test_stale_latest_pointer_recovers(self, tf_model, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        store.save(tf_model)
+        store.save(tf_model)
+        # Simulate a crash between the bundle write and the pointer update.
+        (store.directory / "LATEST").write_text("1\n")
+        assert store.latest_version() == 2
+        assert store.save(tf_model) == 3
+
+    def test_corrupt_latest_pointer_recovers(self, tf_model, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        store.save(tf_model)
+        (store.directory / "LATEST").write_text("garbage")
+        assert store.latest_version() == 1
+
+    def test_keep_prunes_old_versions(self, tf_model, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts", keep=2)
+        for _ in range(4):
+            store.save(tf_model)
+        assert store.versions() == [3, 4]
+        assert not store.path_of(1).exists()
+
+    def test_keep_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointStore(tmp_path, keep=0)
+
+
+class TestHotSwapper:
+    def test_publish_swaps_service(self, tf_model, tmp_path):
+        service = RecommenderService(tf_model)
+        updater = OnlineUpdater(tf_model, steps=8, seed=0)
+        updater.apply_events([PurchaseEvent(0, (7,))] * 10)
+        snapshot = updater.snapshot()
+        swapper = HotSwapper(service, store=CheckpointStore(tmp_path / "c"))
+        version = swapper.publish(snapshot)
+        assert version == 1
+        assert swapper.swaps == 1
+        assert swapper.versions == [1]
+        assert service.model is not tf_model
+        assert np.array_equal(
+            service.recommend(0, k=5), snapshot.recommend(0, k=5)
+        )
+
+    def test_publish_without_store(self, tf_model):
+        service = RecommenderService(tf_model)
+        swapper = HotSwapper(service)
+        assert swapper.publish(tf_model) is None
+        assert swapper.swaps == 1
+
+    def test_published_checkpoint_is_recoverable(self, tf_model, tmp_path):
+        service = RecommenderService(tf_model)
+        swapper = HotSwapper(service, store=CheckpointStore(tmp_path / "c"))
+        swapper.publish(tf_model, extra={"streamed_events": 42})
+        bundle = ModelBundle.load(tmp_path / "c" / "v0001")
+        assert bundle.extra["streamed_events"] == 42
+
+
+class TestStreamingPipeline:
+    def test_run_publishes_periodically_and_at_end(self, tf_model, split):
+        service = RecommenderService(tf_model, history_log=split.train)
+        pipeline = StreamingPipeline(
+            service, batch_size=50, swap_every=2,
+            updater=OnlineUpdater(tf_model, steps=2, seed=0),
+        )
+        stats = pipeline.run(
+            events_from_transactions(split.test), max_events=250
+        )
+        assert stats.events == 250
+        assert stats.batches == 5
+        # Two periodic publishes (after batches 2 and 4) plus the final one.
+        assert pipeline.swaps == 3
+        assert service.stats.swaps == 3
+
+    def test_no_duplicate_publish_when_stream_ends_on_boundary(
+        self, tf_model, split, tmp_path
+    ):
+        """A batch count that is a multiple of swap_every must not publish
+        a duplicate checkpoint at the end of the stream."""
+        store = CheckpointStore(tmp_path / "c")
+        service = RecommenderService(tf_model, history_log=split.train)
+        pipeline = StreamingPipeline(
+            service, batch_size=50, swap_every=2, store=store,
+            updater=OnlineUpdater(tf_model, steps=2, seed=0),
+        )
+        pipeline.run(events_from_transactions(split.test), max_events=200)
+        # 4 batches: publishes at 2 and 4, no trailing duplicate.
+        assert pipeline.swaps == 2
+        assert store.versions() == [1, 2]
+
+    def test_empty_stream_publishes_nothing(self, tf_model):
+        service = RecommenderService(tf_model)
+        pipeline = StreamingPipeline(
+            service, updater=OnlineUpdater(tf_model, steps=2, seed=0)
+        )
+        stats = pipeline.run([])
+        assert stats.events == 0
+        assert pipeline.swaps == 0
+        assert service.stats.swaps == 0
+
+    def test_swap_every_zero_publishes_once(self, tf_model, split):
+        service = RecommenderService(tf_model, history_log=split.train)
+        pipeline = StreamingPipeline(
+            service, batch_size=50, swap_every=0,
+            updater=OnlineUpdater(tf_model, steps=2, seed=0),
+        )
+        pipeline.run(events_from_transactions(split.test), max_events=200)
+        assert pipeline.swaps == 1
+
+    def test_served_model_reflects_streamed_events(self, tf_model, split):
+        service = RecommenderService(tf_model, history_log=split.train)
+        pipeline = StreamingPipeline(
+            service, batch_size=64, swap_every=1,
+            updater=OnlineUpdater(tf_model, steps=4, seed=0),
+        )
+        pipeline.run(events_from_transactions(split.test), max_events=128)
+        # The served history now covers streamed purchases: a user's
+        # streamed items must be excluded from their recommendations.
+        streamed = [
+            e for e in events_from_transactions(split.test)
+        ][:128]
+        user = streamed[0].user
+        top = service.recommend(user, k=service.model.n_items)
+        assert not np.isin(top, service.history_log.user_items(user)).any()
+
+    def test_validates_parameters(self, tf_model):
+        service = RecommenderService(tf_model)
+        with pytest.raises(ValueError, match="batch_size"):
+            StreamingPipeline(service, batch_size=0)
+        with pytest.raises(ValueError, match="swap_every"):
+            StreamingPipeline(service, swap_every=-1)
+
+
+class TestZeroDowntimeServing:
+    def test_requests_succeed_during_continuous_swaps(self, tf_model):
+        """Serving threads hammer the service while the main thread swaps
+        repeatedly: every request must succeed and return a full page."""
+        service = RecommenderService(tf_model)
+        updater = OnlineUpdater(tf_model, steps=2, seed=0)
+        updater.apply_events([PurchaseEvent(0, (1,))])
+        snapshots = [tf_model, updater.snapshot()]
+
+        errors = []
+        served = []
+        stop = threading.Event()
+
+        def hammer():
+            users = np.arange(8)
+            while not stop.is_set():
+                try:
+                    out = service.recommend_batch(users, k=5)
+                    assert out.shape == (8, 5)
+                    assert (out >= 0).all()
+                    served.append(1)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for i in range(30):
+            service.swap_model(snapshots[i % 2])
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(served) > 0
+        assert service.stats.swaps == 30

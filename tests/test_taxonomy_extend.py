@@ -61,6 +61,67 @@ class TestAddItems:
         with pytest.raises(TaxonomyError, match="names"):
             add_items(taxonomy, [category], names=["a", "b"])
 
+    def test_rejects_attaching_under_freshly_added_item(self, taxonomy):
+        """A just-added item is a leaf like any other: attaching under it
+        would turn it into a category and shift every later item index."""
+        category = int(taxonomy.parent[taxonomy.items[0]])
+        grown, new_items = add_items(taxonomy, [category])
+        new_node = grown.node_of_item(int(new_items[0]))
+        assert grown.is_leaf(new_node)
+        with pytest.raises(TaxonomyError, match="leaf"):
+            add_items(grown, [new_node])
+
+    def test_duplicate_parents_get_distinct_items(self, taxonomy):
+        """The same parent repeated yields distinct sequential item ids,
+        never a duplicate index."""
+        category = int(taxonomy.parent[taxonomy.items[0]])
+        grown, new_items = add_items(taxonomy, [category] * 3)
+        assert new_items.tolist() == [
+            taxonomy.n_items,
+            taxonomy.n_items + 1,
+            taxonomy.n_items + 2,
+        ]
+        assert len(set(new_items.tolist())) == 3
+        nodes = [grown.node_of_item(int(i)) for i in new_items]
+        assert len(set(nodes)) == 3
+        assert all(int(grown.parent[n]) == category for n in nodes)
+
+    def test_chained_growth_preserves_all_earlier_indices(self, taxonomy):
+        """add_items composes: a second round must preserve both the
+        original items and the first round's additions."""
+        cat_a = int(taxonomy.parent[taxonomy.items[0]])
+        cat_b = int(taxonomy.parent[taxonomy.items[-1]])
+        once, first = add_items(taxonomy, [cat_a])
+        twice, second = add_items(once, [cat_b, cat_a])
+        assert np.array_equal(twice.items[: once.n_items], once.items)
+        assert np.array_equal(twice.items[: taxonomy.n_items], taxonomy.items)
+        assert second.tolist() == [once.n_items, once.n_items + 1]
+
+    def test_interior_node_with_single_leaf_child_accepts_items(self, taxonomy):
+        """A category that currently has exactly one item stays a valid
+        parent (leaf-ness is about the node itself, not its fan-out)."""
+        category = int(taxonomy.parent[taxonomy.items[0]])
+        assert not taxonomy.is_leaf(category)
+        grown, new_items = add_items(taxonomy, [category])
+        assert grown.subtree_items(category).size == (
+            taxonomy.subtree_items(category).size + 1
+        )
+
+    def test_default_names_only_when_named_taxonomy(self, taxonomy):
+        """Named taxonomies get generated names for unnamed additions;
+        unnamed taxonomies stay unnamed."""
+        category = int(taxonomy.parent[taxonomy.items[0]])
+        grown, new_items = add_items(taxonomy, [category])
+        node = grown.node_of_item(int(new_items[0]))
+        assert grown.name_of(node) == "new-item-0"
+
+        from repro.taxonomy.tree import Taxonomy
+
+        bare = Taxonomy(taxonomy.parent.copy())
+        grown_bare, new_bare = add_items(bare, [category])
+        node = grown_bare.node_of_item(int(new_bare[0]))
+        assert grown_bare.name_of(node) == f"node:{node}"
+
 
 class TestFactorSetExpand:
     def test_old_factors_preserved(self, taxonomy):
