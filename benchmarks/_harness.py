@@ -25,6 +25,7 @@ import numpy as np
 
 from repro import (
     MFModel,
+    SerialTrainer,
     SyntheticConfig,
     TaxonomyFactorModel,
     TrainConfig,
@@ -153,7 +154,8 @@ def trained_model(
                 alpha, epochs,
             ),
         )
-    return model.fit(split.train)
+    SerialTrainer(model).train(split.train)
+    return model
 
 
 # ----------------------------------------------------------------------

@@ -150,7 +150,7 @@ def test_ablation_sibling_min_level(benchmark):
 
     import dataclasses
 
-    from repro import TaxonomyFactorModel
+    from repro import TaxonomyFactorModel, train_model
     from _harness import bench_dataset, _train_config
 
     split = bench_split()
@@ -163,7 +163,9 @@ def test_ablation_sibling_min_level(benchmark):
                 _train_config(DEFAULT_FACTORS, 4, 0, 0.5, epochs=EARLY_EPOCHS),
                 sibling_min_level=min_level,
             )
-            model = TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+            model = train_model(
+                TaxonomyFactorModel(data.taxonomy, config), split.train
+            )
             out[min_level] = evaluate_model(model, split).auc
         return out
 

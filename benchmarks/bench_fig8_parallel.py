@@ -23,7 +23,7 @@ from repro.parallel.simulator import (
     speedup_curve,
     tf_profile,
 )
-from repro.parallel.trainer import ThreadedSGDTrainer
+from repro.parallel.trainer import ThreadedSGDEngine
 from repro.utils.config import TrainConfig
 
 THREADS = [1, 2, 4, 8, 12, 16, 24, 32, 40, 48]
@@ -107,7 +107,7 @@ def test_fig8_functional_lock_protocol(benchmark):
             fs = FactorSet(
                 log.n_users, data.taxonomy, 8, 4, with_next=False, seed=0
             )
-            trainer = ThreadedSGDTrainer(
+            trainer = ThreadedSGDEngine(
                 fs, log, config, n_threads=4, use_cache=cached,
                 cache_threshold=0.1,
             )

@@ -58,6 +58,7 @@ from repro import (  # noqa: E402
     events_from_transactions,
     generate_dataset,
     train_test_split,
+    train_model,
 )
 
 #: Acceptance floor for sustained ingestion (events/second), both modes.
@@ -129,7 +130,7 @@ def bench_ingestion(sizes: Dict[str, int]) -> Dict[str, float]:
     config = TrainConfig(
         factors=sizes["factors"], epochs=2, sibling_ratio=0.5, seed=TRAIN_SEED
     )
-    model = TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+    model = train_model(TaxonomyFactorModel(data.taxonomy, config), split.train)
     service = RecommenderService(model, history_log=split.train)
     pipeline = StreamingPipeline(
         service,
@@ -165,7 +166,7 @@ def bench_recall_drift(sizes: Dict[str, int]) -> Dict[str, float]:
     config = _train_config(sizes)
     warm, events = _warm_and_stream(split.train, data.taxonomy.n_items)
 
-    offline = TaxonomyFactorModel(data.taxonomy, config).fit(warm)
+    offline = train_model(TaxonomyFactorModel(data.taxonomy, config), warm)
     updater = OnlineUpdater(offline, steps=sizes["updater_steps"], seed=0)
     started = time.perf_counter()
     for start in range(0, len(events), 256):
@@ -173,7 +174,7 @@ def bench_recall_drift(sizes: Dict[str, int]) -> Dict[str, float]:
     stream_seconds = time.perf_counter() - started
     streamed = updater.snapshot()
 
-    full = TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+    full = train_model(TaxonomyFactorModel(data.taxonomy, config), split.train)
 
     recall_streamed = evaluate_topk(streamed, split, k=10).recall
     recall_full = evaluate_topk(full, split, k=10).recall
@@ -199,7 +200,7 @@ def bench_hot_swap(sizes: Dict[str, int]) -> Dict[str, float]:
     config = TrainConfig(
         factors=sizes["factors"], epochs=3, sibling_ratio=0.5, seed=TRAIN_SEED
     )
-    model = TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+    model = train_model(TaxonomyFactorModel(data.taxonomy, config), split.train)
     updater = OnlineUpdater(model, steps=8, seed=0)
     updater.apply_events(
         [PurchaseEvent(u, (u % model.n_items,)) for u in range(64)]

@@ -15,6 +15,7 @@ from repro.core.factors import FactorSet
 from repro.core.folding import fold_in_user
 from repro.core.sgd import SGDTrainer
 from repro.core.tf_model import TaxonomyFactorModel
+from repro.train import train_model
 from repro.utils.config import TrainConfig
 
 ROUNDS = 3 if QUICK else 5
@@ -33,7 +34,7 @@ def split():
 @pytest.fixture(scope="module")
 def tf_model(data, split):
     config = TrainConfig(factors=16, epochs=4, taxonomy_levels=4, seed=0)
-    return TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
+    return train_model(TaxonomyFactorModel(data.taxonomy, config), split.train)
 
 
 def _trainer(data, split, levels, markov, sibling=0.0):

@@ -19,7 +19,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import TaxonomyFactorModel, TrainConfig, evaluate_model, train_test_split
+from repro import (
+    TaxonomyFactorModel,
+    TrainConfig,
+    evaluate_model,
+    train_model,
+    train_test_split,
+)
 from repro.data.amazon import load_amazon_dataset
 
 CATEGORIES = {
@@ -107,7 +113,8 @@ def main() -> None:
             sibling_ratio=0.5,
             seed=0,
         ),
-    ).fit(split.train)
+    )
+    train_model(model, split.train)
     result = evaluate_model(model, split)
     print(f"TF({levels},0): AUC={result.auc:.4f} meanRank={result.mean_rank:.1f}")
 

@@ -28,6 +28,7 @@ from repro import (
     evaluate_cascade,
     generate_dataset,
     train_test_split,
+    train_model,
 )
 
 
@@ -47,7 +48,8 @@ def main() -> None:
     model = TaxonomyFactorModel(
         data.taxonomy,
         TrainConfig(factors=20, epochs=10, sibling_ratio=0.5, seed=0),
-    ).fit(split.train)
+    )
+    train_model(model, split.train)
 
     # 1. The accuracy/work dial (Fig. 8c): keep k% of every internal level.
     users = split.test_users()[:150]

@@ -27,6 +27,7 @@ from repro import (
     evaluate_cold_start,
     generate_dataset,
     train_test_split,
+    train_model,
 )
 
 
@@ -48,8 +49,8 @@ def main() -> None:
     )
 
     config = TrainConfig(factors=20, epochs=10, sibling_ratio=0.5, seed=0)
-    tf = TaxonomyFactorModel(data.taxonomy, config).fit(split.train)
-    mf = MFModel(data.taxonomy, config).fit(split.train)
+    tf = train_model(TaxonomyFactorModel(data.taxonomy, config), split.train)
+    mf = train_model(MFModel(data.taxonomy, config), split.train)
 
     # Fig. 7(c)'s measurement: the normalized rank (1 = ranked first,
     # 0.5 = random) of every test purchase of a never-trained item.

@@ -36,6 +36,7 @@ from repro import (
     events_from_transactions,
     generate_dataset,
     train_test_split,
+    train_model,
 )
 
 
@@ -57,7 +58,8 @@ def main() -> None:
     model = TaxonomyFactorModel(
         data.taxonomy,
         TrainConfig(factors=16, epochs=8, sibling_ratio=0.5, seed=0),
-    ).fit(warm)
+    )
+    train_model(model, warm)
     print(f"offline model: {model} trained on {warm.n_purchases} purchases")
 
     # --- 2. Live serving front door --------------------------------------

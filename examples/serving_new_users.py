@@ -24,6 +24,7 @@ from repro import (
     generate_dataset,
     score_for_vector,
     train_test_split,
+    train_model,
 )
 
 
@@ -33,7 +34,8 @@ def main() -> None:
     model = TaxonomyFactorModel(
         data.taxonomy,
         TrainConfig(factors=20, epochs=10, sibling_ratio=0.5, markov_order=1, seed=0),
-    ).fit(split.train)
+    )
+    train_model(model, split.train)
     taxonomy = data.taxonomy
 
     # One service routes every request type; fold-in budget set here.

@@ -25,6 +25,7 @@ from repro import (
     evaluate_model,
     generate_dataset,
     train_test_split,
+    train_model,
 )
 
 
@@ -49,9 +50,9 @@ def main() -> None:
     split = train_test_split(data.log, mu=0.5, seed=5)
 
     base = TrainConfig(factors=20, epochs=10, sibling_ratio=0.5, seed=0)
-    long_term = TaxonomyFactorModel(data.taxonomy, base).fit(split.train)
-    markov = TaxonomyFactorModel(data.taxonomy, base, markov_order=2).fit(
-        split.train
+    long_term = train_model(TaxonomyFactorModel(data.taxonomy, base), split.train)
+    markov = train_model(
+        TaxonomyFactorModel(data.taxonomy, base, markov_order=2), split.train
     )
 
     for name, model in [("TF(4,0)", long_term), ("TF(4,2)", markov)]:

@@ -8,16 +8,27 @@ Quickstart
 ----------
 >>> from repro import (
 ...     SyntheticConfig, generate_dataset, train_test_split,
-...     TaxonomyFactorModel, evaluate_model,
+...     TaxonomyFactorModel, SerialTrainer, evaluate_model,
 ... )
 >>> data = generate_dataset(SyntheticConfig(n_users=500, seed=0))
 >>> split = train_test_split(data.log, mu=0.5, seed=0)
 >>> model = TaxonomyFactorModel(data.taxonomy, epochs=5, seed=0)
->>> model.fit(split.train)                            # doctest: +ELLIPSIS
-TaxonomyFactorModel(...)
+>>> _ = SerialTrainer(model).train(split.train)
 >>> result = evaluate_model(model, split)
 >>> 0.0 <= result.auc <= 1.0
 True
+
+Training (the unified front door)
+---------------------------------
+``repro.train`` is the single entry point for model fitting: one
+:class:`~repro.train.base.Trainer` contract with serial, threaded, and
+online backends sharing one epoch loop, one per-epoch seed policy, and
+one callback system (``EvalCallback``, ``EarlyStopping``, ``LRSchedule``,
+``CheckpointCallback``).  Declarative
+:class:`~repro.utils.config.ExperimentSpec` files run end to end via
+:class:`~repro.train.runner.ExperimentRunner` — also exposed as
+``python -m repro run`` / ``sweep``.  The older ``model.fit(...)`` and
+``parallel.ThreadedSGDTrainer`` entry points remain as deprecated shims.
 
 Serving (the recommended inference entry point)
 -----------------------------------------------
@@ -132,9 +143,38 @@ from repro.streaming import (
     iter_microbatches,
 )
 from repro.taxonomy.tree import Taxonomy, TaxonomyError
-from repro.utils.config import CascadeConfig, SyntheticConfig, TrainConfig
+from repro.train import (
+    CheckpointCallback,
+    EarlyStopping,
+    EvalCallback,
+    ExperimentReport,
+    ExperimentResult,
+    ExperimentRunner,
+    LRSchedule,
+    OnlineTrainer,
+    SerialTrainer,
+    ThreadedTrainer,
+    TrainEpoch,
+    Trainer,
+    TrainerResult,
+    run_experiment,
+    sweep,
+    train_model,
+)
+from repro.utils.config import (
+    CascadeConfig,
+    DataSpec,
+    EvalSpec,
+    ExperimentSpec,
+    SyntheticConfig,
+    TrainConfig,
+    TrainerSpec,
+    apply_overrides,
+    load_spec,
+    save_spec,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -205,8 +245,32 @@ __all__ = [
     "paired_bootstrap",
     "sign_test",
     "compare_models",
+    # Training (the unified front door)
+    "Trainer",
+    "TrainerResult",
+    "TrainEpoch",
+    "SerialTrainer",
+    "train_model",
+    "ThreadedTrainer",
+    "OnlineTrainer",
+    "LRSchedule",
+    "EvalCallback",
+    "EarlyStopping",
+    "CheckpointCallback",
+    "ExperimentRunner",
+    "ExperimentReport",
+    "ExperimentResult",
+    "run_experiment",
+    "sweep",
     # Configuration
     "TrainConfig",
     "CascadeConfig",
     "SyntheticConfig",
+    "ExperimentSpec",
+    "DataSpec",
+    "TrainerSpec",
+    "EvalSpec",
+    "load_spec",
+    "save_spec",
+    "apply_overrides",
 ]

@@ -3,7 +3,12 @@
 Subcommands cover the end-to-end workflow on files:
 
 * ``generate`` — write a synthetic taxonomy + purchase log,
-* ``train`` — fit a TF/MF model and save it as a model bundle,
+* ``train`` — fit a TF/MF model and save it as a model bundle (flags, or
+  an :class:`~repro.utils.config.ExperimentSpec` via ``--config`` with
+  flags acting as overrides),
+* ``run`` — execute a declarative experiment spec end to end (train every
+  variant, print the comparison table, optionally save bundles),
+* ``sweep`` — grid-sweep any spec fields (``--grid train.factors=10,20``),
 * ``evaluate`` — score a trained model with the paper's protocol,
 * ``recommend`` — print top-k items for one user,
 * ``serve-batch`` — serve top-k for many users through the batched
@@ -11,6 +16,10 @@ Subcommands cover the end-to-end workflow on files:
 * ``stream`` — replay held-out transactions as a live event stream
   through the online updater, hot-swapping the served model as it goes,
 * ``stats`` — dataset characteristics (the Fig. 5 quantities).
+
+All model fitting goes through the unified ``repro.train`` front door —
+``--backend serial|threaded|online`` selects the execution regime without
+changing the objective.
 
 Models persist as :class:`~repro.serving.bundle.ModelBundle` directories
 (factors + taxonomy + config + manifest).  The pre-1.1 ``model.npz`` +
@@ -21,6 +30,9 @@ Example session::
 
     python -m repro generate --users 2000 --out-dir /tmp/shop
     python -m repro train    --data-dir /tmp/shop --model /tmp/shop/tf
+    python -m repro run      --config examples/specs/tf_vs_mf.json
+    python -m repro sweep    --config examples/specs/tf_vs_mf.json \\
+        --grid train.factors=10,20,50
     python -m repro evaluate --data-dir /tmp/shop --model /tmp/shop/tf
     python -m repro recommend --data-dir /tmp/shop --model /tmp/shop/tf --user 0
     python -m repro serve-batch --data-dir /tmp/shop --model /tmp/shop/tf \\
@@ -33,12 +45,11 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import __version__
-from repro.core.mf_model import MFModel
 from repro.core.tf_model import TaxonomyFactorModel
 from repro.data.split import TrainTestSplit, train_test_split
 from repro.data.stats import summarize
@@ -52,7 +63,18 @@ from repro.streaming.pipeline import StreamingPipeline
 from repro.streaming.swap import CheckpointStore
 from repro.streaming.updater import OnlineUpdater
 from repro.taxonomy.io import load_taxonomy, save_taxonomy
-from repro.utils.config import CascadeConfig, SyntheticConfig, TrainConfig
+from repro.train.runner import ExperimentRunner, sweep, sweep_table
+from repro.utils.config import (
+    CascadeConfig,
+    DataSpec,
+    EvalSpec,
+    ExperimentSpec,
+    SyntheticConfig,
+    TrainConfig,
+    _coerce_override,
+    apply_overrides,
+    load_spec,
+)
 
 TAXONOMY_FILE = "taxonomy.json"
 LOG_FILE = "transactions.jsonl"
@@ -90,24 +112,88 @@ def _load_data(data_dir: str):
     return load_taxonomy(taxonomy_path), TransactionLog.load(log_path)
 
 
-def _build_model(taxonomy, args) -> TaxonomyFactorModel:
-    config = TrainConfig(
-        factors=args.factors,
-        epochs=args.epochs,
-        learning_rate=args.learning_rate,
-        reg=args.reg,
-        taxonomy_levels=args.levels,
-        markov_order=args.markov,
-        sibling_ratio=args.sibling,
-        seed=args.seed,
+def _parse_sets(pairs: Sequence[str]) -> Dict[str, str]:
+    """``--set key.path=value`` pairs into an overrides dict."""
+    overrides: Dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"invalid --set {pair!r} (expected KEY.PATH=VALUE)"
+            )
+        overrides[key] = value
+    return overrides
+
+
+#: The ``train`` command's historical flag defaults, expressed as a spec.
+def _default_train_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="cli-train",
+        model="tf",
+        train=TrainConfig(
+            factors=20,
+            epochs=10,
+            learning_rate=0.05,
+            reg=0.01,
+            taxonomy_levels=4,
+            markov_order=0,
+            sibling_ratio=0.5,
+            seed=0,
+        ),
     )
-    if args.levels == 1:
-        return MFModel(taxonomy, config)
-    return TaxonomyFactorModel(taxonomy, config)
+
+
+def _train_spec(args: argparse.Namespace) -> ExperimentSpec:
+    """Resolve ``train``'s spec: ``--config`` base, flags as overrides."""
+    try:
+        spec = load_spec(args.config) if args.config else _default_train_spec()
+        overrides: Dict[str, object] = {}
+        for flag, path in (
+            ("factors", "train.factors"),
+            ("epochs", "train.epochs"),
+            ("learning_rate", "train.learning_rate"),
+            ("reg", "train.reg"),
+            ("levels", "train.taxonomy_levels"),
+            ("markov", "train.markov_order"),
+            ("sibling", "train.sibling_ratio"),
+            ("mu", "data.mu"),
+            ("backend", "trainer.backend"),
+            ("workers", "trainer.n_workers"),
+        ):
+            value = getattr(args, flag)
+            if value is not None:
+                overrides[path] = value
+        if args.seed is not None:
+            overrides["train.seed"] = args.seed
+            overrides["data.split_seed"] = args.seed
+        if overrides:
+            spec = apply_overrides(spec, overrides)
+        spec = apply_overrides(spec, _parse_sets(args.set))
+    except (ValueError, FileNotFoundError) as exc:
+        raise SystemExit(str(exc))
+    if args.data_dir:
+        spec.data = DataSpec(
+            source="files",
+            data_dir=args.data_dir,
+            mu=spec.data.mu,
+            sigma=spec.data.sigma,
+            split_seed=spec.data.split_seed,
+        )
+    elif not args.config or (
+        spec.data.source == "files" and not spec.data.data_dir
+    ):
+        raise SystemExit(
+            "train needs --data-dir (or a --config whose data section "
+            "names a source)"
+        )
+    # Historical convention: --levels 1 trains the MF baseline.
+    if spec.train.taxonomy_levels == 1 and spec.model == "tf":
+        spec.model = "mf"
+    spec.output = args.model
+    return spec
 
 
 def cmd_train(args: argparse.Namespace) -> int:
-    taxonomy, log = _load_data(args.data_dir)
     model_path = Path(args.model)
     if model_path.exists() and not model_path.is_dir():
         # Fail before the (expensive) training run, not after.
@@ -115,15 +201,82 @@ def cmd_train(args: argparse.Namespace) -> int:
             f"--model {args.model} is an existing file; models are saved "
             f"as bundle directories now (pick a directory path)"
         )
-    split = train_test_split(log, mu=args.mu, seed=args.seed)
-    model = _build_model(taxonomy, args)
-    model.fit(split.train, callback=lambda s, _t: print(f"  {s}"))
-    bundle = ModelBundle(model, extra={"mu": args.mu, "split_seed": args.seed})
+    spec = _train_spec(args)
+    spec.compare = []  # train fits exactly one model
     try:
-        bundle.save(args.model)
-    except BundleError as exc:
+        # No evaluation: `train` only fits and persists the bundle
+        # (score it with `evaluate` or `run`), matching the old command.
+        ExperimentRunner(spec).run(verbose=True, evaluate=False)
+    except FileNotFoundError as exc:
+        raise SystemExit(
+            f"{exc} (run `python -m repro generate` first)"
+        )
+    except (ValueError, BundleError) as exc:
         raise SystemExit(str(exc))
     print(f"wrote bundle {args.model}")
+    return 0
+
+
+def _report_out(report, out: Optional[str]) -> None:
+    print(report.table())
+    for result in report.results:
+        if result.bundle_path:
+            print(f"wrote bundle {result.bundle_path}")
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"wrote {out}")
+
+
+def _spec_from_run_args(args: argparse.Namespace) -> ExperimentSpec:
+    try:
+        spec = load_spec(args.config)
+        spec = apply_overrides(spec, _parse_sets(args.set))
+    except (ValueError, FileNotFoundError) as exc:
+        raise SystemExit(str(exc))
+    if args.data_dir:
+        spec.data.source = "files"
+        spec.data.data_dir = args.data_dir
+    if getattr(args, "bundle_out", None):
+        spec.output = args.bundle_out
+    return spec
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_run_args(args)
+    try:
+        report = ExperimentRunner(spec).run(verbose=not args.quiet)
+    except (ValueError, FileNotFoundError, BundleError) as exc:
+        raise SystemExit(str(exc))
+    _report_out(report, args.out)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _spec_from_run_args(args)
+    grid: Dict[str, List[object]] = {}
+    for item in args.grid:
+        key, sep, values = item.partition("=")
+        if not sep or not key or not values:
+            raise SystemExit(
+                f"invalid --grid {item!r} (expected KEY.PATH=V1,V2,...)"
+            )
+        grid[key] = [_coerce_override(v) for v in values.split(",")]
+    if not grid:
+        raise SystemExit("sweep needs at least one --grid KEY.PATH=V1,V2")
+    try:
+        cells = sweep(spec, grid, verbose=not args.quiet)
+    except (ValueError, FileNotFoundError, BundleError) as exc:
+        raise SystemExit(str(exc))
+    print(sweep_table(cells))
+    if args.out:
+        payload = [
+            {"overrides": cell.overrides, **cell.report.as_dict()}
+            for cell in cells
+        ]
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -173,13 +326,25 @@ def _load_model(args) -> Tuple[TaxonomyFactorModel, TrainTestSplit]:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    eval_spec = EvalSpec()
+    if args.config:
+        try:
+            eval_spec = load_spec(args.config).eval
+        except (ValueError, FileNotFoundError) as exc:
+            raise SystemExit(str(exc))
+    k = args.k if args.k is not None else eval_spec.k
     model, split = _load_model(args)
-    result = evaluate_model(model, split)
+    result = evaluate_model(
+        model,
+        split,
+        first_t=eval_spec.first_t,
+        sample_users=eval_spec.sample_users,
+    )
     print(
         f"AUC={result.auc:.4f} meanRank={result.mean_rank:.1f} "
         f"({result.n_users} users)"
     )
-    topk = evaluate_topk(model, split, k=args.k)
+    topk = evaluate_topk(model, split, k=k)
     print(
         f"precision@{topk.k}={topk.precision:.4f} "
         f"recall@{topk.k}={topk.recall:.4f} "
@@ -343,27 +508,79 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser(
         "train", help="fit a model and save it as a bundle directory"
     )
-    train.add_argument("--data-dir", required=True)
+    train.add_argument("--data-dir", default=None,
+                       help="dataset directory (optional with --config)")
     train.add_argument("--model", required=True,
                        help="output bundle directory")
-    train.add_argument("--factors", type=int, default=20)
-    train.add_argument("--epochs", type=int, default=10)
-    train.add_argument("--learning-rate", type=float, default=0.05)
-    train.add_argument("--reg", type=float, default=0.01)
-    train.add_argument("--levels", type=int, default=4,
+    train.add_argument("--config", default=None,
+                       help="ExperimentSpec file (JSON or TOML); other "
+                            "flags become overrides on top of it")
+    train.add_argument("--set", action="append", default=[],
+                       metavar="KEY.PATH=VALUE",
+                       help="override any spec field, e.g. "
+                            "--set train.use_bias=false (repeatable)")
+    train.add_argument("--backend", default=None,
+                       choices=("serial", "threaded", "online"),
+                       help="training backend (default: spec / serial)")
+    train.add_argument("--workers", type=int, default=None,
+                       help="worker threads for --backend threaded")
+    train.add_argument("--factors", type=int, default=None)
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--learning-rate", type=float, default=None)
+    train.add_argument("--reg", type=float, default=None)
+    train.add_argument("--levels", type=int, default=None,
                        help="taxonomyUpdateLevels; 1 = MF baseline")
-    train.add_argument("--markov", type=int, default=0,
+    train.add_argument("--markov", type=int, default=None,
                        help="maxPrevtransactions (Markov order)")
-    train.add_argument("--sibling", type=float, default=0.5)
-    train.add_argument("--mu", type=float, default=0.5)
-    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--sibling", type=float, default=None)
+    train.add_argument("--mu", type=float, default=None)
+    train.add_argument("--seed", type=int, default=None)
     train.set_defaults(func=cmd_train)
+
+    run = sub.add_parser(
+        "run",
+        help="run a declarative ExperimentSpec (all variants, one table)",
+    )
+    run.add_argument("--config", required=True,
+                     help="ExperimentSpec file (JSON or TOML)")
+    run.add_argument("--set", action="append", default=[],
+                     metavar="KEY.PATH=VALUE",
+                     help="override any spec field (repeatable)")
+    run.add_argument("--data-dir", default=None,
+                     help="use on-disk data instead of the spec's source")
+    run.add_argument("--bundle-out", default=None,
+                     help="override the spec's output bundle directory")
+    run.add_argument("--out", default=None,
+                     help="write the full report as JSON here")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-epoch progress")
+    run.set_defaults(func=cmd_run)
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="grid-sweep spec fields over repeated runs"
+    )
+    sweep_cmd.add_argument("--config", required=True)
+    sweep_cmd.add_argument("--grid", action="append", default=[],
+                           metavar="KEY.PATH=V1,V2,...",
+                           help="one grid axis, e.g. "
+                                "--grid train.factors=10,20 (repeatable)")
+    sweep_cmd.add_argument("--set", action="append", default=[],
+                           metavar="KEY.PATH=VALUE")
+    sweep_cmd.add_argument("--data-dir", default=None)
+    sweep_cmd.add_argument("--out", default=None,
+                           help="write all cell reports as JSON here")
+    sweep_cmd.add_argument("--quiet", action="store_true")
+    sweep_cmd.set_defaults(func=cmd_sweep)
 
     ev = sub.add_parser("evaluate", help="paper-protocol evaluation")
     ev.add_argument("--data-dir", required=True)
     ev.add_argument("--model", required=True)
-    ev.add_argument("-k", type=int, default=10,
-                    help="depth for the top-k serving metrics")
+    ev.add_argument("--config", default=None,
+                    help="ExperimentSpec whose [eval] section sets the "
+                         "protocol (k, first_t, sample_users)")
+    ev.add_argument("-k", type=int, default=None,
+                    help="depth for the top-k serving metrics "
+                         "(default: spec / 10)")
     ev.set_defaults(func=cmd_evaluate)
 
     rec = sub.add_parser("recommend", help="top-k items for one user")

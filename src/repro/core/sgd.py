@@ -120,6 +120,10 @@ class SGDTrainer:
         self.factors = factor_set
         self.log = log
         self.config = config
+        #: Step size used by the next batch; mutable so a schedule (see
+        #: :class:`repro.train.callbacks.LRSchedule`) can anneal it
+        #: between epochs without rebuilding the trainer.
+        self.learning_rate = float(config.learning_rate)
         self.rng = ensure_rng(config.seed)
         negative_pool = None
         if config.negative_pool == "purchased":
@@ -259,7 +263,7 @@ class SGDTrainer:
         Returns ``(summed negative log-likelihood, batch size)``.
         """
         fs = self.factors
-        lr = self.config.learning_rate
+        lr = self.learning_rate
         reg = self.config.reg
         k = fs.factors
 

@@ -51,11 +51,11 @@ class TaxonomyFactorModel:
     Examples
     --------
     >>> from repro import generate_dataset, train_test_split
+    >>> from repro.train import SerialTrainer
     >>> data = generate_dataset()
     >>> split = train_test_split(data.log)
     >>> model = TaxonomyFactorModel(data.taxonomy, factors=16, epochs=5)
-    >>> model.fit(split.train)                        # doctest: +ELLIPSIS
-    TaxonomyFactorModel(...)
+    >>> _ = SerialTrainer(model).train(split.train)
     >>> model.recommend(user=0, k=3).shape
     (3,)
     """
@@ -86,26 +86,43 @@ class TaxonomyFactorModel:
     ) -> "TaxonomyFactorModel":
         """Train on *log* with BPR/SGD (Sec. 4).
 
+        .. deprecated:: 1.3
+            Thin shim over :class:`repro.train.SerialTrainer`, which it
+            matches bit-for-bit for the same seed.  Prefer the trainer —
+            it adds callbacks, learning-rate schedules, early stopping,
+            and checkpointing, and swaps backends without code changes::
+
+                from repro.train import SerialTrainer
+                SerialTrainer(model).train(log)
+
         The log's user indices define the model's user space; its item
-        universe must match the taxonomy.
+        universe must match the taxonomy.  The legacy *callback* receives
+        ``(EpochStats, SGDTrainer)`` per epoch, as before.
         """
-        if log.n_items != self.taxonomy.n_items:
-            raise ValueError(
-                f"log item universe ({log.n_items}) does not match the "
-                f"taxonomy ({self.taxonomy.n_items})"
-            )
-        self._factors = FactorSet(
-            n_users=max(log.n_users, 1),
-            taxonomy=self.taxonomy,
-            factors=self.config.factors,
-            levels=self.config.taxonomy_levels,
-            with_next=self.config.markov_order > 0,
-            init_scale=self.config.init_scale,
-            seed=self.config.seed,
+        import warnings
+
+        from repro.train.callbacks import LambdaCallback
+        from repro.train.serial import SerialTrainer
+
+        warnings.warn(
+            "model.fit(...) is deprecated; use "
+            "repro.train.SerialTrainer(model).train(log) (identical "
+            "factors for the same seed) or an ExperimentSpec via "
+            "`python -m repro run`",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self._train_log = log
-        trainer = SGDTrainer(self._factors, log, self.config)
-        self.history_ = trainer.train(callback=callback)
+        trainer = SerialTrainer(self)
+        callbacks = []
+        if callback is not None:
+            callbacks.append(
+                LambdaCallback(
+                    on_epoch_end=lambda _e, stats, t: callback(
+                        stats.raw, t._sgd
+                    )
+                )
+            )
+        trainer.train(log, callbacks=callbacks)
         return self
 
     # ------------------------------------------------------------------

@@ -118,13 +118,16 @@ def grid_search(
     if model_factory is None:
         model_factory = TaxonomyFactorModel
 
+    from repro.train.serial import SerialTrainer
+
     head, tail = holdout_last(log, holdout)
     validation_split = TrainTestSplit(train=head, test=tail)
     candidates: List[CandidateResult] = []
     for params in expand_grid(grid):
         config = dataclasses.replace(base_config, **params)
         started = time.perf_counter()
-        model = model_factory(taxonomy, config).fit(head)
+        model = model_factory(taxonomy, config)
+        SerialTrainer(model).train(head)
         fit_seconds = time.perf_counter() - started
         result = evaluate_model(model, validation_split)
         candidates.append(
@@ -150,5 +153,6 @@ def grid_search(
     )
     final_model = None
     if refit:
-        final_model = model_factory(taxonomy, best.config).fit(log)
+        final_model = model_factory(taxonomy, best.config)
+        SerialTrainer(final_model).train(log)
     return GridSearchResult(best=best, candidates=candidates, model=final_model)

@@ -41,6 +41,7 @@ from repro.data.split import TrainTestSplit
 from repro.eval.metrics import auc, mean_rank, nanmean
 from repro.eval.ranking import batched
 from repro.utils.config import CascadeConfig
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.utils.validation import check_positive
 
 
@@ -145,6 +146,22 @@ def _evaluate_users(
     return np.asarray(aucs), np.asarray(ranks)
 
 
+def _sample_users(
+    users: np.ndarray, sample_users: Optional[int], seed: RngLike
+) -> np.ndarray:
+    """A fixed-size seeded subsample of *users* (sorted), or all of them.
+
+    Routed through :mod:`repro.utils.rng` so a given ``(users, seed)``
+    pair always evaluates the same subset — per-epoch evaluation curves
+    stay comparable, and identical specs reproduce identical metrics.
+    """
+    if sample_users is None or sample_users >= users.size:
+        return users
+    check_positive("sample_users", sample_users)
+    rng = ensure_rng(seed)
+    return np.sort(rng.choice(users, size=int(sample_users), replace=False))
+
+
 def evaluate_model(
     model,
     split: TrainTestSplit,
@@ -152,17 +169,23 @@ def evaluate_model(
     batch_size: int = 256,
     exclude_train: bool = False,
     users: Optional[np.ndarray] = None,
+    sample_users: Optional[int] = None,
+    seed: RngLike = 0,
 ) -> EvalResult:
     """Product-level evaluation on the first *first_t* test transactions.
 
     Works for any model exposing ``score_matrix(users)`` (TF, MF,
     popularity, random).  ``exclude_train`` pushes the user's training
     items to the bottom of the candidate list before scoring metrics.
+    ``sample_users`` evaluates a seeded subsample of the candidate users
+    (see :func:`_sample_users`) — the cheap mid-training protocol
+    :class:`repro.train.callbacks.EvalCallback` uses.
     """
     check_positive("first_t", first_t)
     if users is None:
         users = split.test_users()
     users = np.asarray(users, dtype=np.int64)
+    users = _sample_users(users, sample_users, seed)
     aucs, ranks = _evaluate_users(
         model, split, users, first_t, batch_size, exclude_train
     )
@@ -385,6 +408,40 @@ def evaluate_cascade(
     )
 
 
+def _partition_quotas(sizes: List[int], total: int) -> List[int]:
+    """Distribute *total* sample slots over partitions of the given sizes.
+
+    Largest-remainder apportionment: quotas are proportional, never
+    exceed a partition's size, and always sum to
+    ``min(total, sum(sizes))`` — so a tiny ``sample_users`` can never
+    round every partition down to an empty evaluation.
+    """
+    population = sum(sizes)
+    total = min(total, population)
+    if total == 0 or population == 0:
+        return [0] * len(sizes)
+    exact = [size * total / population for size in sizes]
+    quotas = [int(x) for x in exact]
+    remainders = sorted(
+        range(len(sizes)),
+        key=lambda i: (exact[i] - quotas[i], sizes[i]),
+        reverse=True,
+    )
+    shortfall = total - sum(quotas)
+    for index in remainders:
+        if shortfall == 0:
+            break
+        if quotas[index] < sizes[index]:
+            quotas[index] += 1
+            shortfall -= 1
+    # Capacity left over (some partitions saturated): spill anywhere open.
+    for index in range(len(sizes)):
+        while shortfall > 0 and quotas[index] < sizes[index]:
+            quotas[index] += 1
+            shortfall -= 1
+    return quotas
+
+
 def evaluate_parallel(
     model,
     split: TrainTestSplit,
@@ -392,18 +449,37 @@ def evaluate_parallel(
     first_t: int = 1,
     batch_size: int = 256,
     exclude_train: bool = False,
+    sample_users: Optional[int] = None,
+    seed: RngLike = 0,
 ) -> EvalResult:
     """User-partitioned parallel evaluation (the paper's Sec. 6.2 pattern).
 
     Users are partitioned across *n_workers* threads; numpy's matrix
     products release the GIL, so chunks evaluate concurrently.  Results are
     identical to :func:`evaluate_model`.
+
+    ``sample_users`` subsamples within each worker's partition (quota
+    proportional to partition size) using per-worker generators derived
+    from *seed* via :func:`repro.utils.rng.spawn_rngs` — no cross-worker
+    coordination, and bit-identical user sets for identical seeds.
     """
     check_positive("n_workers", n_workers)
     users = split.test_users()
     if users.size == 0:
         return EvalResult(auc=float("nan"), mean_rank=float("nan"), n_users=0)
     partitions = np.array_split(users, n_workers)
+    if sample_users is not None and sample_users < users.size:
+        check_positive("sample_users", sample_users)
+        rngs = spawn_rngs(seed, n_workers)
+        quotas = _partition_quotas(
+            [part.size for part in partitions], int(sample_users)
+        )
+        partitions = [
+            np.sort(rng.choice(part, size=quota, replace=False))
+            if quota
+            else part[:0]
+            for part, quota, rng in zip(partitions, quotas, rngs)
+        ]
 
     def run(part: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         if part.size == 0:

@@ -11,12 +11,17 @@ from repro.parallel.simulator import (
     speedup_curve,
     tf_profile,
 )
-from repro.parallel.trainer import ThreadedEpochStats, ThreadedSGDTrainer
+from repro.parallel.trainer import (
+    ThreadedEpochStats,
+    ThreadedSGDEngine,
+    ThreadedSGDTrainer,
+)
 
 __all__ = [
     "RWLock",
     "StripedLockManager",
     "FactorCache",
+    "ThreadedSGDEngine",
     "ThreadedSGDTrainer",
     "ThreadedEpochStats",
     "ParallelProfile",

@@ -15,12 +15,19 @@ skew this trainer measures.  See DESIGN.md's substitution table.
 
 Only ``markov_order = 0`` models are supported here (the configuration the
 paper's scaling experiment uses: ``TF(4,0)`` and ``MF(0)``).
+
+:class:`ThreadedSGDEngine` is the low-level engine (operating on a bare
+:class:`~repro.core.factors.FactorSet`); model-level training goes through
+:class:`repro.train.ThreadedTrainer`, which wraps it with the unified
+epoch loop, callbacks, and seed policy.  The old :class:`ThreadedSGDTrainer`
+name survives as a deprecated shim.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -33,7 +40,7 @@ from repro.data.transactions import TransactionLog
 from repro.parallel.cache import FactorCache
 from repro.parallel.locks import StripedLockManager
 from repro.utils.config import TrainConfig
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import derive_seed, spawn_rngs
 from repro.utils.validation import check_positive
 
 
@@ -58,7 +65,7 @@ class ThreadedEpochStats:
         )
 
 
-class ThreadedSGDTrainer:
+class ThreadedSGDEngine:
     """Lock-based parallel BPR/SGD over a shared :class:`FactorSet`.
 
     Parameters
@@ -92,14 +99,21 @@ class ThreadedSGDTrainer:
         check_positive("n_threads", n_threads)
         if config.markov_order != 0:
             raise ValueError(
-                "ThreadedSGDTrainer supports markov_order=0 only; the "
-                "paper's scaling experiment uses TF(4,0) and MF(0)"
+                "the threaded SGD engine supports markov_order=0 only; "
+                "the paper's scaling experiment uses TF(4,0) and MF(0)"
             )
         if config.sibling_ratio != 0:
-            raise ValueError("ThreadedSGDTrainer does not mix in sibling training")
+            raise ValueError(
+                "the threaded SGD engine does not mix in sibling training "
+                "(set sibling_ratio=0)"
+            )
         self.factors = factor_set
         self.log = log
         self.config = config
+        #: Step size used by the next sample; mutable so a schedule (see
+        #: :class:`repro.train.callbacks.LRSchedule`) can anneal it
+        #: between epochs without rebuilding the engine.
+        self.learning_rate = float(config.learning_rate)
         self.n_threads = int(n_threads)
         self.use_cache = bool(use_cache)
         self.cache_threshold = float(cache_threshold)
@@ -116,10 +130,22 @@ class ThreadedSGDTrainer:
         self.epoch_count = 0
 
     # ------------------------------------------------------------------
-    def train_epoch(self, seed: Optional[int] = None) -> ThreadedEpochStats:
-        """Run one epoch across the worker threads."""
+    def train_epoch(
+        self, seed: Optional[int] = None, *, inline: bool = False
+    ) -> ThreadedEpochStats:
+        """Run one epoch across the worker threads.
+
+        *seed* defaults to the library-wide per-epoch policy
+        :func:`repro.utils.rng.derive_seed` ``(config.seed, epoch)``, so
+        two engines built from identical configs produce bit-identical
+        factors.  ``inline=True`` executes the worker shards sequentially
+        in the calling thread — same shard boundaries, same RNG streams,
+        same arithmetic, no threads — which is how
+        :class:`repro.train.serial.SerialTrainer`'s per-sample mode shares
+        this code path.
+        """
         if seed is None:
-            seed = (self.config.seed or 0) + self.epoch_count
+            seed = derive_seed(self.config.seed, self.epoch_count)
         self.epoch_count += 1
         rngs = spawn_rngs(seed, self.n_threads + 1)
         order = self.store.epoch_order(rngs[-1], shuffle=self.config.shuffle)
@@ -173,14 +199,18 @@ class ThreadedSGDTrainer:
             counts[tid] = int(shard.size)
 
         started = time.perf_counter()
-        threads = [
-            threading.Thread(target=worker, args=(tid,), name=f"sgd-{tid}")
-            for tid in range(self.n_threads)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        if inline:
+            for tid in range(self.n_threads):
+                worker(tid)
+        else:
+            threads = [
+                threading.Thread(target=worker, args=(tid,), name=f"sgd-{tid}")
+                for tid in range(self.n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         self.factors.zero_pad_rows()
         seconds = time.perf_counter() - started
 
@@ -222,7 +252,7 @@ class ThreadedSGDTrainer:
     ) -> float:
         """One per-sample BPR update under row locks (paper's 3 steps)."""
         fs = self.factors
-        lr = self.config.learning_rate
+        lr = self.learning_rate
         reg = self.config.reg
         pos_chain = fs.item_chains[pos_item]
         neg_chain = fs.item_chains[neg_item]
@@ -290,3 +320,24 @@ class ThreadedSGDTrainer:
         for row, value in zip(neg_rows, w_neg_rows):
             apply_row(row, value, -1.0)
         return float(-log_sigmoid(np.asarray([diff]))[0])
+
+
+class ThreadedSGDTrainer(ThreadedSGDEngine):
+    """Deprecated alias for :class:`ThreadedSGDEngine`.
+
+    The engine is now driven through the unified training front door,
+    :class:`repro.train.ThreadedTrainer`, which adds the shared epoch
+    loop, callbacks, learning-rate schedules, and the library-wide seed
+    policy.  Construct that instead; this name remains as a thin shim for
+    existing callers.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "ThreadedSGDTrainer is deprecated; drive training through "
+            "repro.train.ThreadedTrainer (or use ThreadedSGDEngine "
+            "directly for low-level experiments)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

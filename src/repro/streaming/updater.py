@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.bpr import sigmoid
+from repro.core.bpr import log_sigmoid, sigmoid
 from repro.core.folding import fold_in_user
 from repro.core.sgd import bpr_user_step
 from repro.core.tf_model import TaxonomyFactorModel
@@ -124,6 +124,11 @@ class OnlineUpdater:
         self.fold_in_steps = int(fold_in_steps)
         self.rng = ensure_rng(seed)
         self.stats = StreamingStats()
+        #: Cumulative BPR negative log-likelihood over every pair step —
+        #: lets :class:`repro.train.OnlineTrainer` report a per-epoch loss
+        #: comparable to the offline trainers' (divide deltas by the
+        #: ``pair_steps`` delta).
+        self.pair_loss = 0.0
 
         # Accumulated per-user histories: the training log's baskets plus
         # every streamed basket, in order.  This is what snapshots attach
@@ -354,6 +359,7 @@ class OnlineUpdater:
             diff += self._bias[positives] - self._bias[negatives]
             c = 1.0 - sigmoid(diff)
             np.add.at(fs.user, rows, bpr_user_step(vu, delta, c, lr, reg))
+            self.pair_loss += float(-log_sigmoid(diff).sum())
             self.stats.pair_steps += int(positives.size)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,374 @@
+"""Callbacks shared by every training backend.
+
+One callback system for serial, threaded, and online training: schedules
+anneal the learning rate, evaluation tracks held-out quality mid-run,
+early stopping halts converged runs, and checkpointing writes versioned
+:class:`~repro.serving.bundle.ModelBundle` artifacts through a
+:class:`~repro.streaming.swap.CheckpointStore` — so an interrupted
+training run is recoverable exactly like a streaming deployment.
+
+Dispatch order within an epoch::
+
+    on_epoch_begin(epoch, trainer)      # schedules set trainer.learning_rate
+    ... backend runs the epoch ...
+    on_epoch_end(epoch, stats, trainer) # eval / early stop / checkpoint
+
+Callbacks run in list order; put an :class:`EvalCallback` *before* any
+callback that monitors ``"auc"`` (it reads ``trainer.last_eval``).
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.train.base import TrainEpoch, Trainer, TrainerResult
+from repro.utils.validation import check_positive
+
+
+class Callback:
+    """Base class: override any subset of the four hooks."""
+
+    def on_train_begin(self, trainer: Trainer) -> None:  # pragma: no cover
+        pass
+
+    def on_epoch_begin(self, epoch: int, trainer: Trainer) -> None:
+        pass
+
+    def on_epoch_end(
+        self, epoch: int, stats: TrainEpoch, trainer: Trainer
+    ) -> None:
+        pass
+
+    def on_train_end(
+        self, result: TrainerResult, trainer: Trainer
+    ) -> None:  # pragma: no cover
+        pass
+
+
+class CallbackList(Callback):
+    """Fan one hook invocation out to an ordered list of callbacks."""
+
+    def __init__(self, callbacks: Sequence[Callback]):
+        self.callbacks = list(callbacks)
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        for callback in self.callbacks:
+            callback.on_train_begin(trainer)
+
+    def on_epoch_begin(self, epoch: int, trainer: Trainer) -> None:
+        for callback in self.callbacks:
+            callback.on_epoch_begin(epoch, trainer)
+
+    def on_epoch_end(
+        self, epoch: int, stats: TrainEpoch, trainer: Trainer
+    ) -> None:
+        for callback in self.callbacks:
+            callback.on_epoch_end(epoch, stats, trainer)
+
+    def on_train_end(self, result: TrainerResult, trainer: Trainer) -> None:
+        for callback in self.callbacks:
+            callback.on_train_end(result, trainer)
+
+
+class LambdaCallback(Callback):
+    """Ad-hoc hook: ``LambdaCallback(on_epoch_end=lambda e, s, t: ...)``."""
+
+    def __init__(
+        self,
+        on_epoch_begin: Optional[Callable[[int, Trainer], None]] = None,
+        on_epoch_end: Optional[
+            Callable[[int, TrainEpoch, Trainer], None]
+        ] = None,
+    ):
+        self._begin = on_epoch_begin
+        self._end = on_epoch_end
+
+    def on_epoch_begin(self, epoch: int, trainer: Trainer) -> None:
+        if self._begin is not None:
+            self._begin(epoch, trainer)
+
+    def on_epoch_end(
+        self, epoch: int, stats: TrainEpoch, trainer: Trainer
+    ) -> None:
+        if self._end is not None:
+            self._end(epoch, stats, trainer)
+
+
+class LRSchedule(Callback):
+    """Anneal the learning rate between epochs.
+
+    The schedule function maps ``(epoch, base_lr) -> lr``; the base rate
+    is the trainer's configured ``learning_rate`` captured at train
+    start.  Use the factories:
+
+    >>> LRSchedule.step(drop=0.5, every=5).lr_at(5, 0.1)
+    0.05
+    >>> round(LRSchedule.exponential(gamma=0.9).lr_at(2, 0.1), 4)
+    0.081
+    >>> LRSchedule.warmup(3).lr_at(0, 0.3)
+    0.1
+    """
+
+    def __init__(self, schedule: Callable[[int, float], float], name: str = "custom"):
+        self.schedule = schedule
+        self.name = name
+        self._base: Optional[float] = None
+
+    # -- factories ------------------------------------------------------
+    @classmethod
+    def step(cls, drop: float = 0.5, every: int = 5) -> "LRSchedule":
+        """Multiply the rate by *drop* every *every* epochs."""
+        check_positive("every", every)
+        check_positive("drop", drop)
+        return cls(
+            lambda epoch, base: base * drop ** (epoch // every),
+            name=f"step(drop={drop}, every={every})",
+        )
+
+    @classmethod
+    def exponential(cls, gamma: float = 0.95) -> "LRSchedule":
+        """Multiply the rate by *gamma* after each epoch."""
+        check_positive("gamma", gamma)
+        return cls(
+            lambda epoch, base: base * gamma**epoch,
+            name=f"exponential(gamma={gamma})",
+        )
+
+    @classmethod
+    def warmup(
+        cls, epochs: int, after: Optional["LRSchedule"] = None
+    ) -> "LRSchedule":
+        """Ramp linearly from ``base/epochs`` to ``base`` over *epochs*,
+        then hold (or hand off to *after*, shifted by the warmup)."""
+        check_positive("epochs", epochs)
+
+        def schedule(epoch: int, base: float) -> float:
+            if epoch < epochs:
+                return base * (epoch + 1) / epochs
+            if after is not None:
+                return after.schedule(epoch - epochs, base)
+            return base
+
+        suffix = f", then {after.name}" if after is not None else ""
+        return cls(schedule, name=f"warmup({epochs}{suffix})")
+
+    # -- hooks ----------------------------------------------------------
+    def lr_at(self, epoch: int, base: float) -> float:
+        return float(self.schedule(epoch, base))
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        self._base = trainer.learning_rate
+
+    def on_epoch_begin(self, epoch: int, trainer: Trainer) -> None:
+        base = self._base if self._base is not None else trainer.learning_rate
+        trainer.set_learning_rate(self.lr_at(epoch, base))
+
+
+class EvalCallback(Callback):
+    """Evaluate held-out ranking quality every *every* epochs.
+
+    Results are appended to ``trainer.evals`` (and surface on the
+    :class:`~repro.train.base.TrainerResult`); the latest lands in
+    ``trainer.last_eval`` for monitors.  ``sample_users`` evaluates a
+    fixed seeded subsample — the same users every epoch, so the curve is
+    comparable across epochs — which keeps per-epoch evaluation cheap on
+    large user sets.
+    """
+
+    def __init__(
+        self,
+        split: Any,
+        every: int = 1,
+        first_t: int = 1,
+        k: Optional[int] = None,
+        sample_users: Optional[int] = None,
+        seed: int = 0,
+        verbose: bool = False,
+    ):
+        check_positive("every", every)
+        self.split = split
+        self.every = int(every)
+        self.first_t = int(first_t)
+        self.k = k
+        self.sample_users = sample_users
+        self.seed = seed
+        self.verbose = verbose
+        self.history: List[Tuple[int, Any]] = []
+        self._users = None  # the fixed evaluation subset, drawn once
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        self.history = []  # reusable across runs, like the other callbacks
+
+    def _eval_users(self):
+        """The seeded user subsample — identical every epoch."""
+        if self._users is None:
+            from repro.eval.protocol import _sample_users
+
+            self._users = _sample_users(
+                self.split.test_users(), self.sample_users, self.seed
+            )
+        return self._users
+
+    def on_epoch_end(
+        self, epoch: int, stats: TrainEpoch, trainer: Trainer
+    ) -> None:
+        if (epoch + 1) % self.every:
+            return
+        from repro.eval.protocol import evaluate_model, evaluate_topk
+
+        model = trainer.eval_model()
+        users = self._eval_users()
+        result = evaluate_model(
+            model, self.split, first_t=self.first_t, users=users
+        )
+        stats.extras["auc"] = result.auc
+        if self.k is not None:
+            topk = evaluate_topk(model, self.split, k=self.k, users=users)
+            stats.extras[f"hit_rate@{self.k}"] = topk.hit_rate
+        self.history.append((epoch, result))
+        trainer.evals.append((epoch, result))
+        trainer.last_eval = result
+        if self.verbose:
+            print(f"  eval @ epoch {epoch}: AUC={result.auc:.4f}")
+
+
+class EarlyStopping(Callback):
+    """Stop training when the monitored quantity plateaus.
+
+    ``monitor="loss"`` watches the epoch training loss (minimized);
+    ``monitor="auc"`` watches ``trainer.last_eval.auc`` (maximized) and
+    therefore requires an :class:`EvalCallback` earlier in the list.  An
+    improvement must beat the best seen value by more than *min_delta*;
+    after *patience* consecutive **observations** without one, the loop
+    stops.  Observations are epochs for ``"loss"`` and fresh evaluations
+    for ``"auc"`` — epochs an ``EvalCallback(every=N)`` skips don't count
+    against patience (the stale value is not re-judged).
+    """
+
+    def __init__(
+        self,
+        monitor: str = "loss",
+        patience: int = 3,
+        min_delta: float = 0.0,
+    ):
+        if monitor not in ("loss", "auc"):
+            raise ValueError(
+                f"monitor must be 'loss' or 'auc', got {monitor!r}"
+            )
+        check_positive("patience", patience)
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best: Optional[float] = None
+        self.best_epoch: Optional[int] = None
+        self.stopped_at: Optional[int] = None
+        self._since_best = 0
+        self._seen_evals = 0
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        # Callback instances are reusable across runs (quickstart trains
+        # TF and MF with one list); a fresh run starts from scratch.
+        self.best = None
+        self.best_epoch = None
+        self.stopped_at = None
+        self._since_best = 0
+        self._seen_evals = 0
+
+    def _value(self, stats: TrainEpoch, trainer: Trainer) -> Optional[float]:
+        if self.monitor == "loss":
+            return stats.loss
+        if trainer.last_eval is None or len(trainer.evals) == self._seen_evals:
+            return None  # no evaluation ran this epoch — nothing to judge
+        self._seen_evals = len(trainer.evals)
+        return float(trainer.last_eval.auc)
+
+    def on_epoch_end(
+        self, epoch: int, stats: TrainEpoch, trainer: Trainer
+    ) -> None:
+        value = self._value(stats, trainer)
+        if value is None or math.isnan(value):
+            return
+        if self.best is None:
+            improved = True
+        elif self.monitor == "loss":
+            improved = value < self.best - self.min_delta
+        else:
+            improved = value > self.best + self.min_delta
+        if improved:
+            self.best = value
+            self.best_epoch = epoch
+            self._since_best = 0
+        else:
+            self._since_best += 1
+            if self._since_best >= self.patience:
+                self.stopped_at = epoch
+                trainer.stop_training = True
+
+
+class CheckpointCallback(Callback):
+    """Write versioned model bundles during training.
+
+    Every *every* epochs the trainer's current model is saved through a
+    :class:`~repro.streaming.swap.CheckpointStore` (``v0001``, ``v0002``,
+    ... + ``LATEST``), carrying the epoch and loss in the manifest.  With
+    ``monitor="loss"`` only improving epochs are checkpointed, so
+    ``store.load()`` always returns the best model so far.
+    """
+
+    def __init__(
+        self,
+        store: Union[str, Path, Any],
+        every: int = 1,
+        monitor: Optional[str] = None,
+        keep: Optional[int] = None,
+    ):
+        from repro.streaming.swap import CheckpointStore
+
+        check_positive("every", every)
+        if monitor not in (None, "loss"):
+            raise ValueError(f"monitor must be None or 'loss', got {monitor!r}")
+        if not isinstance(store, CheckpointStore):
+            store = CheckpointStore(store, keep=keep)
+        self.store = store
+        self.every = int(every)
+        self.monitor = monitor
+        self.versions: List[int] = []
+        self._best = float("inf")
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        self._best = float("inf")  # don't carry a previous run's best
+        self.versions = []
+
+    def on_epoch_end(
+        self, epoch: int, stats: TrainEpoch, trainer: Trainer
+    ) -> None:
+        if (epoch + 1) % self.every:
+            return
+        if self.monitor == "loss":
+            if not (stats.loss < self._best) or math.isnan(stats.loss):
+                return
+            self._best = stats.loss
+        extra = {"epoch": epoch, "backend": stats.backend}
+        if not math.isnan(stats.loss):
+            extra["loss"] = float(stats.loss)
+        version = self.store.save(trainer.eval_model(), extra=extra)
+        self.versions.append(version)
+
+
+class ProgressCallback(Callback):
+    """Print one line per epoch (the CLI's training progress)."""
+
+    def __init__(self, printer: Callable[[str], None] = print):
+        self.printer = printer
+
+    def on_epoch_end(
+        self, epoch: int, stats: TrainEpoch, trainer: Trainer
+    ) -> None:
+        extra = ""
+        if "auc" in stats.extras and not np.isnan(stats.extras["auc"]):
+            extra = f" auc={stats.extras['auc']:.4f}"
+        self.printer(f"  {stats}{extra}")

@@ -1,0 +1,135 @@
+"""Online (streaming) training behind the unified Trainer contract.
+
+:class:`OnlineTrainer` replays a :class:`~repro.data.transactions.
+TransactionLog` as a micro-batched purchase-event stream through the
+streaming subsystem's :class:`~repro.streaming.updater.OnlineUpdater`:
+incremental Eq. 6 user-vector steps against the *frozen* item/taxonomy
+factors of an already-fitted model, with fold-in for users the offline
+run never saw.  It is the "continue training from fresh data" leg of the
+unified API — one epoch is one pass over the stream (the default, and
+usually the only sensible count, since each pass appends the replayed
+baskets to the accumulated per-user histories).
+
+After training, the updated factors and the accumulated history are
+installed back onto the wrapped model, so ``result.model`` serves exactly
+what a :class:`~repro.streaming.swap.HotSwapper` would have published.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Sequence
+
+from repro.data.transactions import TransactionLog
+from repro.streaming.events import events_from_transactions, iter_microbatches
+from repro.streaming.updater import OnlineUpdater
+from repro.train.base import TrainEpoch, Trainer
+from repro.utils.rng import derive_seed, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class OnlineTrainer(Trainer):
+    """Stream a log of new transactions into a fitted model.
+
+    Parameters
+    ----------
+    model:
+        A **fitted** model (the warm start whose item/taxonomy factors
+        stay frozen).
+    steps:
+        SGD passes per micro-batch (the per-event update budget).
+    batch_size:
+        Events per micro-batch.
+    fold_in_steps:
+        Warm-start budget for brand-new users.
+    learning_rate, reg:
+        Default to the model's training config.
+    """
+
+    backend = "online"
+    default_epochs = 1
+
+    def __init__(
+        self,
+        model: Any,
+        callbacks: Sequence[Any] = (),
+        steps: int = 4,
+        batch_size: int = 256,
+        fold_in_steps: int = 100,
+        learning_rate: Optional[float] = None,
+        reg: Optional[float] = None,
+    ):
+        check_positive("batch_size", batch_size)
+        super().__init__(model, callbacks)
+        self.steps = int(steps)
+        self.batch_size = int(batch_size)
+        self.fold_in_steps = int(fold_in_steps)
+        self._learning_rate_override = learning_rate
+        self._reg = reg
+        if learning_rate is not None:
+            # Override both rates: train() resets learning_rate to the
+            # base at the start of every run.
+            self.base_learning_rate = float(learning_rate)
+            self.learning_rate = float(learning_rate)
+        self.updater: Optional[OnlineUpdater] = None
+        self._stream_log: Optional[TransactionLog] = None
+
+    # ------------------------------------------------------------------
+    def eval_model(self) -> Any:
+        """Mid-training evaluations score the updater's working copy."""
+        return self.updater.model if self.updater is not None else self.model
+
+    def _setup(self, log: TransactionLog) -> None:
+        self._check_universe(log)
+        self.model.factor_set  # raises NotFittedError for cold models
+        self._stream_log = log
+        self.updater = OnlineUpdater(
+            self.model,
+            steps=self.steps,
+            learning_rate=self._learning_rate_override,
+            reg=self._reg,
+            fold_in_steps=self.fold_in_steps,
+            seed=derive_seed(self.seed, 0),
+        )
+
+    def _run_epoch(self, epoch: int) -> TrainEpoch:
+        updater = self.updater
+        updater.rng = ensure_rng(self.epoch_seed(epoch))
+        updater.learning_rate = self.learning_rate
+        before = updater.stats
+        prev_steps = before.pair_steps
+        prev_loss = updater.pair_loss
+        prev_events = before.events
+        prev_seconds = before.seconds
+        prev_new_users = before.new_users
+        prev_new_items = before.new_items
+        events = events_from_transactions(self._stream_log)
+        for batch in iter_microbatches(events, batch_size=self.batch_size):
+            updater.apply(batch)
+        stats = updater.stats
+        pair_steps = stats.pair_steps - prev_steps
+        loss_sum = updater.pair_loss - prev_loss
+        return TrainEpoch(
+            epoch=epoch,
+            loss=loss_sum / pair_steps if pair_steps else float("nan"),
+            n_examples=pair_steps,
+            seconds=stats.seconds - prev_seconds,
+            learning_rate=self.learning_rate,
+            backend=self.backend,
+            extras={
+                "events": float(stats.events - prev_events),
+                "new_users": float(stats.new_users - prev_new_users),
+                "new_items": float(stats.new_items - prev_new_items),
+            },
+            # Snapshot: the updater mutates its stats in place, and raw
+            # should stay a frozen per-epoch record like other backends'.
+            raw=dataclasses.replace(stats),
+        )
+
+    def _finalize(self) -> None:
+        """Install the updated factors + accumulated history on the model."""
+        if self.updater is None:
+            return
+        self.model._factors = self.updater.model.factor_set.copy()
+        self.model.taxonomy = self.updater.model.taxonomy
+        self.model.attach_log(self.updater.history_log())

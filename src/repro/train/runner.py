@@ -1,0 +1,556 @@
+"""Config-driven experiment execution: specs in, comparison tables out.
+
+:class:`ExperimentRunner` turns a declarative
+:class:`~repro.utils.config.ExperimentSpec` into a full run — build or
+load the dataset, split it with the paper's protocol, construct the model
+variant(s), fit each through the selected
+:class:`~repro.train.base.Trainer` backend, evaluate with the paper's
+protocol, and optionally persist :class:`~repro.serving.bundle.ModelBundle`
+artifacts.  ``compare`` variants share the *same* data and split, so the
+printed table is an apples-to-apples comparison (the paper's TF-vs-MF
+tables are one spec with ``compare=["mf"]``).
+
+:func:`sweep` expands a ``{dotted.path: [values...]}`` grid over a base
+spec and runs every cell — hierarchical-regularization ablations,
+K-sweeps, backend shootouts — all without writing a line of code.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mf_model import MFModel, bpr_mf_model, fpmc_model
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.data.split import TrainTestSplit, train_test_split
+from repro.data.synthetic import generate_dataset
+from repro.data.transactions import TransactionLog
+from repro.eval.protocol import (
+    evaluate_cold_start,
+    evaluate_model,
+    evaluate_topk,
+)
+from repro.taxonomy.tree import Taxonomy
+from repro.train.base import Trainer, TrainerResult
+from repro.train.callbacks import (
+    Callback,
+    CheckpointCallback,
+    EarlyStopping,
+    EvalCallback,
+    LRSchedule,
+    ProgressCallback,
+)
+from repro.train.online import OnlineTrainer
+from repro.train.serial import SerialTrainer
+from repro.train.threaded import ThreadedTrainer
+from repro.utils.config import (
+    ExperimentSpec,
+    TrainerSpec,
+    apply_overrides,
+)
+
+#: Model-kind constructors; each takes ``(taxonomy, config)``.
+_MODEL_BUILDERS: Dict[str, Callable[..., TaxonomyFactorModel]] = {
+    "tf": TaxonomyFactorModel,
+    "mf": MFModel,
+    "fpmc": fpmc_model,
+    "bpr-mf": bpr_mf_model,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """One trained-and-evaluated variant of an experiment."""
+
+    variant: str
+    metrics: Dict[str, float]
+    train_seconds: float
+    epochs_run: int
+    backend: str
+    bundle_path: Optional[str] = None
+    trainer_result: Optional[TrainerResult] = field(default=None, repr=False)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "variant": self.variant,
+            "metrics": dict(self.metrics),
+            "train_seconds": self.train_seconds,
+            "epochs_run": self.epochs_run,
+            "backend": self.backend,
+            "bundle_path": self.bundle_path,
+        }
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one :meth:`ExperimentRunner.run` produced."""
+
+    spec: ExperimentSpec
+    results: List[ExperimentResult]
+
+    @property
+    def primary(self) -> ExperimentResult:
+        return self.results[0]
+
+    def table(self) -> str:
+        """Fixed-width comparison table (the Table-2-style printout)."""
+        k = self.spec.eval.k
+        headers = [
+            "model", "AUC", "meanRank",
+            f"prec@{k}", f"recall@{k}", f"hitRate@{k}", "epochs", "train_s",
+        ]
+        rows = []
+        for result in self.results:
+            m = result.metrics
+            rows.append([
+                result.variant,
+                _fmt(m.get("auc")),
+                _fmt(m.get("mean_rank"), "{:.1f}"),
+                _fmt(m.get(f"precision@{k}")),
+                _fmt(m.get(f"recall@{k}")),
+                _fmt(m.get(f"hit_rate@{k}")),
+                str(result.epochs_run),
+                f"{result.train_seconds:.2f}",
+            ])
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows))
+            for c in range(len(headers))
+        ]
+        lines = [f"== {self.spec.name} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        from repro.utils.config import spec_to_dict
+
+        return {
+            "spec": spec_to_dict(self.spec),
+            "results": [r.as_dict() for r in self.results],
+        }
+
+
+def _fmt(value: Optional[float], pattern: str = "{:.4f}") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "nan"
+    return pattern.format(value)
+
+
+class ExperimentRunner:
+    """Execute one :class:`~repro.utils.config.ExperimentSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The experiment to run.
+    callbacks:
+        Extra :class:`~repro.train.callbacks.Callback` objects handed to
+        every variant's trainer (on top of the ones the spec's
+        ``trainer`` section configures).
+    """
+
+    def __init__(
+        self, spec: ExperimentSpec, callbacks: Sequence[Callback] = ()
+    ):
+        self.spec = spec
+        self.callbacks = list(callbacks)
+        self._data: Optional[Tuple[Taxonomy, TransactionLog]] = None
+        self._split: Optional[TrainTestSplit] = None
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def load_data(self) -> Tuple[Taxonomy, TransactionLog]:
+        """The experiment's taxonomy and full purchase log (memoized)."""
+        if self._data is None:
+            data_spec = self.spec.data
+            if data_spec.source == "synthetic":
+                data = generate_dataset(data_spec.synthetic)
+                self._data = (data.taxonomy, data.log)
+            else:
+                from repro.taxonomy.io import load_taxonomy
+
+                directory = Path(data_spec.data_dir)
+                taxonomy_path = directory / "taxonomy.json"
+                log_path = directory / "transactions.jsonl"
+                if not taxonomy_path.exists() or not log_path.exists():
+                    raise FileNotFoundError(
+                        f"missing taxonomy.json / transactions.jsonl in "
+                        f"{directory}"
+                    )
+                self._data = (
+                    load_taxonomy(taxonomy_path),
+                    TransactionLog.load(log_path),
+                )
+        return self._data
+
+    def split(self) -> TrainTestSplit:
+        """The paper-protocol temporal split (memoized)."""
+        if self._split is None:
+            _, log = self.load_data()
+            data_spec = self.spec.data
+            self._split = train_test_split(
+                log,
+                mu=data_spec.mu,
+                sigma=data_spec.sigma,
+                seed=data_spec.split_seed,
+            )
+        return self._split
+
+    def build_model(self, variant: str) -> TaxonomyFactorModel:
+        """Construct one model variant against the shared taxonomy.
+
+        ``mf``/``bpr-mf``/``fpmc`` force ``taxonomy_levels=1`` and drop
+        sibling training (meaningless without a tree), mirroring the
+        benchmark harness's baseline convention.  The per-sample regimes
+        (threaded backend, serial ``update="sample"``) also drop sibling
+        training — the paper's scaling experiment never mixes it in, and
+        the engine rejects it — so flipping a spec's backend never
+        requires editing its ``[train]`` section.
+        """
+        taxonomy, _ = self.load_data()
+        builder = _MODEL_BUILDERS.get(variant)
+        if builder is None:
+            raise ValueError(
+                f"unknown model kind {variant!r} "
+                f"(valid: {sorted(_MODEL_BUILDERS)})"
+            )
+        config = self.spec.train
+        trainer_spec = self.spec.trainer
+        per_sample = trainer_spec.backend == "threaded" or (
+            trainer_spec.backend == "serial" and trainer_spec.update == "sample"
+        )
+        if variant != "tf" or per_sample:
+            return builder(taxonomy, config, sibling_ratio=0.0)
+        return builder(taxonomy, config)
+
+    def build_trainer(
+        self,
+        model: TaxonomyFactorModel,
+        extra_callbacks: Sequence[Callback] = (),
+        variant: Optional[str] = None,
+    ) -> Trainer:
+        """The spec's backend wrapped around *model*, callbacks wired."""
+        trainer_spec = self.spec.trainer
+        callbacks = (
+            self._spec_callbacks(trainer_spec, variant)
+            + self.callbacks
+            + list(extra_callbacks)
+        )
+        if trainer_spec.backend == "serial":
+            return SerialTrainer(
+                model, callbacks=callbacks, update=trainer_spec.update
+            )
+        if trainer_spec.backend == "threaded":
+            return ThreadedTrainer(
+                model,
+                callbacks=callbacks,
+                n_workers=trainer_spec.n_workers,
+                use_cache=trainer_spec.use_cache,
+                cache_threshold=trainer_spec.cache_threshold,
+            )
+        return OnlineTrainer(
+            model,
+            callbacks=callbacks,
+            steps=trainer_spec.online_steps,
+            batch_size=trainer_spec.online_batch_size,
+            fold_in_steps=trainer_spec.fold_in_steps,
+        )
+
+    def _spec_callbacks(
+        self, trainer_spec: TrainerSpec, variant: Optional[str] = None
+    ) -> List[Callback]:
+        callbacks: List[Callback] = []
+        if trainer_spec.lr_schedule == "step":
+            callbacks.append(
+                LRSchedule.step(
+                    drop=trainer_spec.lr_decay,
+                    every=trainer_spec.lr_step_every,
+                )
+            )
+        elif trainer_spec.lr_schedule == "exponential":
+            callbacks.append(LRSchedule.exponential(gamma=trainer_spec.lr_decay))
+        elif trainer_spec.lr_schedule == "warmup":
+            callbacks.append(LRSchedule.warmup(trainer_spec.lr_warmup_epochs))
+        if trainer_spec.eval_every > 0:
+            callbacks.append(
+                EvalCallback(
+                    self.split(),
+                    every=trainer_spec.eval_every,
+                    first_t=self.spec.eval.first_t,
+                    sample_users=trainer_spec.eval_sample_users,
+                )
+            )
+        if trainer_spec.early_stopping:
+            callbacks.append(
+                EarlyStopping(
+                    monitor="loss",
+                    patience=trainer_spec.patience,
+                    min_delta=trainer_spec.min_delta,
+                )
+            )
+        if trainer_spec.checkpoint_dir:
+            # With comparison variants, each gets its own store — one
+            # shared directory would interleave versions and leave LATEST
+            # pointing at whichever variant trained last.
+            directory = Path(trainer_spec.checkpoint_dir)
+            if variant is not None and len(self.spec.variants()) > 1:
+                directory = directory / variant
+            callbacks.append(
+                CheckpointCallback(
+                    directory, every=trainer_spec.checkpoint_every
+                )
+            )
+        return callbacks
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, verbose: bool = False, evaluate: bool = True
+    ) -> ExperimentReport:
+        """Train every variant; returns the report.
+
+        ``evaluate=False`` skips the final paper-protocol evaluation (the
+        most expensive non-training step) — the CLI ``train`` command
+        uses this, since it only persists the bundle.
+        """
+        spec = self.spec
+        split = self.split()
+        results: List[ExperimentResult] = []
+        many = len(spec.variants()) > 1
+        for variant in spec.variants():
+            if verbose:
+                print(f"[{spec.name}] training {variant} "
+                      f"({spec.trainer.backend} backend)")
+            model = self.build_model(variant)
+            extra = [ProgressCallback()] if verbose else []
+            fit_started = time.perf_counter()
+            trainer_result = self._fit_variant(model, split, extra, variant)
+            # Wall time of the whole fit — for the online backend that
+            # includes the warm offline prefix, which the streaming
+            # TrainerResult alone does not count.
+            fit_seconds = time.perf_counter() - fit_started
+            metrics = self._evaluate(model, split) if evaluate else {}
+            bundle_path = None
+            if spec.output:
+                bundle_path = str(
+                    Path(spec.output) / variant if many else Path(spec.output)
+                )
+                self._save_bundle(model, variant, bundle_path)
+            results.append(
+                ExperimentResult(
+                    variant=variant,
+                    metrics=metrics,
+                    train_seconds=fit_seconds,
+                    epochs_run=trainer_result.epochs_run,
+                    backend=trainer_result.backend,
+                    bundle_path=bundle_path,
+                    trainer_result=trainer_result,
+                )
+            )
+        return ExperimentReport(spec=spec, results=results)
+
+    def _fit_variant(
+        self,
+        model: TaxonomyFactorModel,
+        split: TrainTestSplit,
+        extra_callbacks: Sequence[Callback],
+        variant: Optional[str] = None,
+    ) -> TrainerResult:
+        trainer_spec = self.spec.trainer
+        if trainer_spec.backend != "online":
+            trainer = self.build_trainer(model, extra_callbacks, variant)
+            return trainer.train(split.train)
+        # Online backend: fit the warm per-user prefix offline (the
+        # "last full retrain"), then stream the remainder through the
+        # incremental updater — the production pattern the paper motivates.
+        # Spec callbacks attach to the streaming phase only; the warm fit
+        # stands in for a previous run's artifact, not this experiment's
+        # training loop (run() still bills its wall time to train_s).
+        warm, stream = warm_stream_split(
+            split.train, trainer_spec.warm_fraction
+        )
+        SerialTrainer(model).train(warm)
+        trainer = self.build_trainer(model, extra_callbacks, variant)
+        return trainer.train(stream)
+
+    def _evaluate(
+        self, model: TaxonomyFactorModel, split: TrainTestSplit
+    ) -> Dict[str, float]:
+        eval_spec = self.spec.eval
+        result = evaluate_model(
+            model,
+            split,
+            first_t=eval_spec.first_t,
+            sample_users=eval_spec.sample_users,
+        )
+        topk = evaluate_topk(model, split, k=eval_spec.k)
+        metrics = {
+            "auc": result.auc,
+            "mean_rank": result.mean_rank,
+            "n_users": float(result.n_users),
+            f"precision@{eval_spec.k}": topk.precision,
+            f"recall@{eval_spec.k}": topk.recall,
+            f"hit_rate@{eval_spec.k}": topk.hit_rate,
+        }
+        if eval_spec.cold_start:
+            cold = evaluate_cold_start(model, split)
+            metrics["cold_start_score"] = cold.score
+            metrics["cold_start_events"] = float(cold.n_events)
+        return metrics
+
+    def _save_bundle(
+        self, model: TaxonomyFactorModel, variant: str, path: str
+    ) -> None:
+        from repro.serving.bundle import ModelBundle
+
+        data_spec = self.spec.data
+        ModelBundle(
+            model,
+            extra={
+                "mu": data_spec.mu,
+                "split_seed": data_spec.split_seed,
+                "experiment": self.spec.name,
+                "variant": variant,
+            },
+        ).save(path)
+
+
+def warm_stream_split(
+    train: TransactionLog, warm_fraction: float
+) -> Tuple[TransactionLog, TransactionLog]:
+    """Split a training log into a warm prefix and a streamed remainder.
+
+    Each user keeps the first ``ceil(warm_fraction * len)`` transactions
+    (at least one, so every user is warm-startable) for the offline fit;
+    the rest arrive later as the online trainer's event stream.  Both
+    halves adopt the source log's already-validated baskets through the
+    :meth:`~repro.data.transactions.TransactionLog.from_baskets` trusted
+    fast path — no copy, no re-validation.
+    """
+    warm_rows: List[List] = []
+    stream_rows: List[List] = []
+    for user in range(train.n_users):
+        txns = train.user_transactions(user)
+        keep = max(1, math.ceil(warm_fraction * len(txns))) if txns else 0
+        warm_rows.append(txns[:keep])
+        stream_rows.append(txns[keep:])
+    return (
+        TransactionLog.from_baskets(warm_rows, n_items=train.n_items),
+        TransactionLog.from_baskets(stream_rows, n_items=train.n_items),
+    )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    callbacks: Sequence[Callback] = (),
+    verbose: bool = False,
+) -> ExperimentReport:
+    """Convenience: ``ExperimentRunner(spec, callbacks).run(verbose)``."""
+    return ExperimentRunner(spec, callbacks=callbacks).run(verbose=verbose)
+
+
+@dataclass
+class SweepCell:
+    """One grid point of a sweep: the overrides and its report."""
+
+    overrides: Dict[str, Any]
+    report: ExperimentReport
+
+
+def _cell_dirname(index: int, overrides: Dict[str, Any]) -> str:
+    """A filesystem-safe per-cell bundle directory name."""
+    import re
+
+    suffix = "_".join(f"{k}={v}" for k, v in overrides.items())
+    suffix = re.sub(r"[^A-Za-z0-9._=-]+", "-", suffix)[:80].strip("-_")
+    return f"cell-{index:03d}" + (f"-{suffix}" if suffix else "")
+
+
+def sweep(
+    spec: ExperimentSpec,
+    grid: Dict[str, Sequence[Any]],
+    callbacks: Sequence[Callback] = (),
+    verbose: bool = False,
+) -> List[SweepCell]:
+    """Run *spec* once per cell of the ``{dotted.path: values}`` grid.
+
+    >>> cells = sweep(spec, {"train.factors": [8, 16],
+    ...                      "train.reg": [0.01, 0.1]})   # doctest: +SKIP
+
+    expands to 4 runs.  Every cell re-applies its overrides to the base
+    spec via :func:`~repro.utils.config.apply_overrides`, so any spec
+    field — model kind, backend, hyper-parameter — can be swept.
+    """
+    import json as _json
+
+    from repro.eval.model_selection import expand_grid
+    from repro.utils.config import spec_to_dict
+
+    cells: List[SweepCell] = []
+    # Cells whose data section is identical share one loaded dataset and
+    # split — the same guarantee `compare` variants get within a run —
+    # so a hyper-parameter grid never re-parses or regenerates the data.
+    data_cache: Dict[str, Tuple[Any, Any]] = {}
+    for index, overrides in enumerate(expand_grid(grid)):
+        cell_spec = apply_overrides(spec, overrides) if overrides else spec
+        if overrides:
+            suffix = ",".join(f"{k}={v}" for k, v in overrides.items())
+            cell_spec.name = f"{spec.name}[{suffix}]"
+        if cell_spec.output and len(grid):
+            # Every cell gets its own bundle directory — one shared
+            # `output` would let later cells atomically overwrite earlier
+            # cells' models while their reports still point at it.
+            cell_spec.output = str(
+                Path(cell_spec.output) / _cell_dirname(index, overrides)
+            )
+        if verbose and overrides:
+            print(f"sweep cell: {overrides}")
+        runner = ExperimentRunner(cell_spec, callbacks=callbacks)
+        data_key = _json.dumps(spec_to_dict(cell_spec)["data"], sort_keys=True)
+        cached = data_cache.get(data_key)
+        if cached is not None:
+            runner._data, runner._split = cached
+        report = runner.run(verbose=verbose)
+        data_cache.setdefault(data_key, (runner._data, runner._split))
+        cells.append(SweepCell(overrides=dict(overrides), report=report))
+    return cells
+
+
+def sweep_table(cells: Sequence[SweepCell], k: Optional[int] = None) -> str:
+    """Fixed-width summary of a sweep's primary-variant metrics.
+
+    Each row reads its hit-rate at the *cell's own* ``eval.k`` (cells can
+    sweep ``eval.k`` itself); *k* only labels the column header and
+    defaults to the first cell's depth.
+    """
+    if k is None and cells:
+        k = cells[0].report.spec.eval.k
+    headers = ["overrides", "model", "AUC", f"hitRate@{k}", "train_s"]
+    rows = []
+    for cell in cells:
+        primary = cell.report.primary
+        cell_k = cell.report.spec.eval.k
+        rows.append([
+            ",".join(f"{key}={value}" for key, value in cell.overrides.items())
+            or "(base)",
+            primary.variant,
+            _fmt(primary.metrics.get("auc")),
+            _fmt(primary.metrics.get(f"hit_rate@{cell_k}")),
+            f"{primary.train_seconds:.2f}",
+        ])
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

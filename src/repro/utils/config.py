@@ -14,14 +14,19 @@ The parameter names follow the paper where one exists:
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.utils.validation import (
     check_fraction,
     check_non_negative,
     check_positive,
 )
+
+PathLike = Union[str, Path]
 
 
 @dataclass
@@ -199,3 +204,337 @@ class SyntheticConfig:
     def n_items(self) -> int:
         """Total number of items (taxonomy leaves)."""
         return self.n_leaf_categories * self.items_per_leaf
+
+
+# ----------------------------------------------------------------------
+# Declarative experiments
+# ----------------------------------------------------------------------
+MODEL_KINDS = ("tf", "mf", "fpmc", "bpr-mf")
+TRAINER_BACKENDS = ("serial", "threaded", "online")
+
+
+@dataclass
+class DataSpec:
+    """Where an experiment's transactions and taxonomy come from.
+
+    ``source="synthetic"`` generates the dataset from ``synthetic``;
+    ``source="files"`` loads ``taxonomy.json`` / ``transactions.jsonl``
+    from ``data_dir`` (the CLI's on-disk convention).  The split fields
+    reproduce the paper's per-user temporal protocol (Sec. 7.1).
+    """
+
+    source: str = "synthetic"
+    data_dir: Optional[str] = None
+    synthetic: SyntheticConfig = field(default_factory=SyntheticConfig)
+    mu: float = 0.5
+    sigma: float = 0.05
+    split_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.source not in ("synthetic", "files"):
+            raise ValueError(
+                f"data.source must be 'synthetic' or 'files', "
+                f"got {self.source!r}"
+            )
+        if self.source == "files" and not self.data_dir:
+            raise ValueError("data.source='files' requires data.data_dir")
+        check_fraction("mu", self.mu)
+        check_non_negative("sigma", self.sigma)
+
+
+@dataclass
+class TrainerSpec:
+    """Which backend fits the model, and its loop-level options.
+
+    The hyper-parameters of the objective itself live in
+    :class:`TrainConfig`; this spec selects *how* the identical objective
+    is optimized — serial/threaded/online — plus the callback knobs every
+    backend shares (schedule, early stopping, periodic eval/checkpoint).
+    """
+
+    backend: str = "serial"
+    # serial
+    update: str = "batch"  # "batch" (vectorized) | "sample" (per-sample)
+    # threaded
+    n_workers: int = 4
+    use_cache: bool = False
+    cache_threshold: float = 0.1
+    # online (warm offline prefix, then stream the remainder)
+    warm_fraction: float = 0.5
+    online_steps: int = 4
+    online_batch_size: int = 256
+    fold_in_steps: int = 100
+    # callbacks
+    lr_schedule: Optional[str] = None  # "step" | "exponential" | "warmup"
+    lr_decay: float = 0.5
+    lr_step_every: int = 5
+    lr_warmup_epochs: int = 3
+    early_stopping: bool = False
+    patience: int = 3
+    min_delta: float = 0.0
+    eval_every: int = 0  # 0 = no mid-training evaluation
+    eval_sample_users: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in TRAINER_BACKENDS:
+            raise ValueError(
+                f"trainer.backend must be one of {TRAINER_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.update not in ("batch", "sample"):
+            raise ValueError(
+                f"trainer.update must be 'batch' or 'sample', "
+                f"got {self.update!r}"
+            )
+        if self.lr_schedule not in (None, "step", "exponential", "warmup"):
+            raise ValueError(
+                f"trainer.lr_schedule must be one of "
+                f"(None, 'step', 'exponential', 'warmup'), "
+                f"got {self.lr_schedule!r}"
+            )
+        check_positive("n_workers", self.n_workers)
+        check_fraction("warm_fraction", self.warm_fraction)
+        check_positive("online_steps", self.online_steps)
+        check_positive("online_batch_size", self.online_batch_size)
+        check_positive("lr_decay", self.lr_decay)
+        check_positive("lr_step_every", self.lr_step_every)
+        check_positive("patience", self.patience)
+        check_non_negative("eval_every", self.eval_every)
+        check_positive("checkpoint_every", self.checkpoint_every)
+
+
+@dataclass
+class EvalSpec:
+    """The final evaluation protocol applied after training."""
+
+    k: int = 10
+    first_t: int = 1
+    sample_users: Optional[int] = None
+    cold_start: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("k", self.k)
+        check_positive("first_t", self.first_t)
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete, declarative experiment: data → model → trainer → eval.
+
+    The single artifact that reproduces a run end to end.  ``model``
+    names the primary variant (``"tf"``, ``"mf"``, ``"fpmc"``,
+    ``"bpr-mf"``); ``compare`` lists extra variants trained on the same
+    data and split for side-by-side tables (the paper's TF-vs-MF
+    comparisons are one spec with ``compare=["mf"]``).  ``output``
+    optionally names a :class:`~repro.serving.bundle.ModelBundle`
+    directory for the trained model(s).
+
+    Serialize with :func:`save_spec` / :func:`load_spec` (JSON or TOML by
+    extension); tweak programmatically with :func:`apply_overrides`.
+    """
+
+    name: str = "experiment"
+    model: str = "tf"
+    compare: List[str] = field(default_factory=list)
+    data: DataSpec = field(default_factory=DataSpec)
+    train: TrainConfig = field(default_factory=TrainConfig)
+    trainer: TrainerSpec = field(default_factory=TrainerSpec)
+    eval: EvalSpec = field(default_factory=EvalSpec)
+    output: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for kind in [self.model, *self.compare]:
+            if kind not in MODEL_KINDS:
+                raise ValueError(
+                    f"model kind must be one of {MODEL_KINDS}, got {kind!r}"
+                )
+
+    def variants(self) -> List[str]:
+        """The primary model followed by its comparison variants."""
+        return [self.model, *self.compare]
+
+
+_SPEC_SECTIONS = {
+    "data": DataSpec,
+    "train": TrainConfig,
+    "trainer": TrainerSpec,
+    "eval": EvalSpec,
+}
+
+
+def _build_dataclass(cls, payload: Dict[str, Any], context: str):
+    """Instantiate *cls* from a dict, rejecting unknown keys loudly."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"{context} must be a table/object, got {payload!r}")
+    field_map = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - set(field_map))
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {unknown} in {context} "
+            f"(valid: {sorted(field_map)})"
+        )
+    kwargs = {}
+    for key, value in payload.items():
+        default = field_map[key].default
+        if isinstance(default, tuple) and isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    return cls(**kwargs)
+
+
+def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
+    """A plain JSON/TOML-ready dict (tuples become lists)."""
+    return json.loads(json.dumps(dataclasses.asdict(spec)))
+
+
+def spec_from_dict(payload: Dict[str, Any]) -> ExperimentSpec:
+    """Build an :class:`ExperimentSpec` from a (possibly partial) dict.
+
+    Missing sections and fields take their defaults; unknown keys raise
+    ``ValueError`` naming the offender (typos in a config file should
+    fail, not silently train the default).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"spec must be a table/object, got {payload!r}")
+    payload = dict(payload)
+    kwargs: Dict[str, Any] = {}
+    for section, cls in _SPEC_SECTIONS.items():
+        if section in payload:
+            body = payload.pop(section)
+            if section == "data" and isinstance(body, dict) and "synthetic" in body:
+                body = dict(body)
+                body["synthetic"] = _build_dataclass(
+                    SyntheticConfig, body["synthetic"], "data.synthetic"
+                )
+            kwargs[section] = _build_dataclass(cls, body, section)
+    top = _build_dataclass(ExperimentSpec, payload, "spec")
+    return dataclasses.replace(top, **kwargs)
+
+
+def _toml_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    raise ValueError(f"cannot serialize {value!r} to TOML")
+
+
+def _to_toml(table: Dict[str, Any], prefix: str = "") -> List[str]:
+    """Minimal TOML emitter for the spec's nested-dict shape.
+
+    ``None`` values are omitted (TOML has no null; loaders fall back to
+    the field defaults).
+    """
+    lines: List[str] = []
+    subtables = []
+    for key, value in table.items():
+        if value is None:
+            continue
+        if isinstance(value, dict):
+            subtables.append((key, value))
+        else:
+            lines.append(f"{key} = {_toml_scalar(value)}")
+    for key, value in subtables:
+        path = f"{prefix}.{key}" if prefix else key
+        lines.append("")
+        lines.append(f"[{path}]")
+        lines.extend(_to_toml(value, path))
+    return lines
+
+
+def save_spec(spec: ExperimentSpec, path: PathLike) -> Path:
+    """Write *spec* as JSON (default) or TOML (``.toml`` extension)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix.lower() == ".toml":
+        text = "\n".join(_to_toml(spec_to_dict(spec))).lstrip("\n") + "\n"
+    else:
+        text = json.dumps(spec_to_dict(spec), indent=2, sort_keys=True) + "\n"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def _toml_reader():
+    """``tomllib`` (Python >= 3.11) or the ``tomli`` backport, else None."""
+    try:
+        import tomllib
+
+        return tomllib
+    except ModuleNotFoundError:  # pragma: no cover - version-dependent
+        try:
+            import tomli
+
+            return tomli
+        except ModuleNotFoundError:
+            return None
+
+
+def load_spec(path: PathLike) -> ExperimentSpec:
+    """Read a spec saved by :func:`save_spec` (or hand-written)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no experiment spec at {path}")
+    if path.suffix.lower() == ".toml":
+        toml = _toml_reader()
+        if toml is None:  # pragma: no cover - version-dependent
+            raise RuntimeError(
+                f"reading {path} requires tomllib (Python >= 3.11) or the "
+                f"tomli package; on older interpreters save the spec as "
+                f"JSON instead"
+            )
+        with open(path, "rb") as handle:
+            payload = toml.load(handle)
+    else:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt experiment spec {path}: {exc}") from exc
+    return spec_from_dict(payload)
+
+
+def _coerce_override(value: Any) -> Any:
+    """Parse CLI-style override strings: JSON first, bare string second."""
+    if not isinstance(value, str):
+        return value
+    try:
+        return json.loads(value)
+    except json.JSONDecodeError:
+        return value
+
+
+def apply_overrides(
+    spec: ExperimentSpec, overrides: Dict[str, Any]
+) -> ExperimentSpec:
+    """A new spec with dotted-path *overrides* applied.
+
+    >>> spec = ExperimentSpec()
+    >>> apply_overrides(spec, {"train.factors": 8}).train.factors
+    8
+    >>> apply_overrides(spec, {"compare": '["mf"]'}).compare
+    ['mf']
+
+    String values are JSON-decoded when possible (so ``"8"`` becomes the
+    int 8 and ``'["mf"]'`` a list) and kept as strings otherwise.
+    Unknown paths raise ``ValueError``.
+    """
+    payload = spec_to_dict(spec)
+    for dotted, value in overrides.items():
+        parts = dotted.split(".")
+        table = payload
+        for part in parts[:-1]:
+            if not isinstance(table.get(part), dict):
+                raise ValueError(f"unknown spec path {dotted!r}")
+            table = table[part]
+        if parts[-1] not in table:
+            raise ValueError(
+                f"unknown spec path {dotted!r} "
+                f"(valid keys here: {sorted(table)})"
+            )
+        table[parts[-1]] = _coerce_override(value)
+    return spec_from_dict(payload)

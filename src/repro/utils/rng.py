@@ -33,6 +33,37 @@ def ensure_rng(seed: RngLike = None) -> np.random.Generator:
     raise TypeError(f"seed must be None, int, or numpy Generator, got {type(seed)!r}")
 
 
+def derive_seed(master: Optional[int], *keys: int) -> Optional[int]:
+    """Derive a child seed from *master* and an integer key path.
+
+    The single seed-derivation rule of the library: every component that
+    needs an epoch-, worker-, or stage-local stream derives it as
+    ``derive_seed(master, *keys)`` instead of ad-hoc arithmetic like
+    ``master + epoch`` (which collides across runs — seed 0/epoch 1 and
+    seed 1/epoch 0 would share a stream).  Built on
+    :class:`numpy.random.SeedSequence`, so distinct key paths give
+    statistically independent streams and identical paths reproduce
+    bit-identical ones.
+
+    ``None`` propagates (no master seed → fresh entropy downstream).
+    """
+    if master is None:
+        return None
+    entropy = [int(master)] + [int(k) for k in keys]
+    sequence = np.random.SeedSequence(entropy)
+    return int(sequence.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
+def epoch_seed(master: Optional[int], epoch: int) -> Optional[int]:
+    """The per-epoch training seed: ``derive_seed(master, epoch)``.
+
+    Shared by every trainer backend (serial, threaded, online) so that one
+    :class:`~repro.utils.config.ExperimentSpec` reproduces bit-identical
+    factors no matter which front door launched it.
+    """
+    return derive_seed(master, epoch)
+
+
 def spawn_rngs(seed: RngLike, count: int) -> list:
     """Derive *count* independent generators from one seed.
 

@@ -1,0 +1,386 @@
+"""Tests for ExperimentSpec serialization, the runner, and sweep/run CLI."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExperimentRunner,
+    ExperimentSpec,
+    apply_overrides,
+    load_spec,
+    save_spec,
+    sweep,
+)
+from repro.cli import main
+from repro.train.runner import sweep_table, warm_stream_split
+from repro.utils.config import _toml_reader, spec_from_dict, spec_to_dict
+
+needs_toml = pytest.mark.skipif(
+    _toml_reader() is None,
+    reason="needs tomllib (Python >= 3.11) or the tomli backport",
+)
+
+SPEC_DIR = Path(__file__).parent.parent / "examples" / "specs"
+
+#: A spec small enough to train in well under a second.
+SMOKE = {
+    "name": "smoke",
+    "model": "tf",
+    "data": {"synthetic": {"n_users": 250, "seed": 7}},
+    "train": {"factors": 6, "epochs": 2, "seed": 0},
+    "eval": {"k": 5},
+}
+
+
+def smoke_spec(**extra):
+    payload = json.loads(json.dumps(SMOKE))
+    payload.update(extra)
+    return spec_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+class TestSpecSerialization:
+    def test_json_round_trip(self, tmp_path):
+        spec = smoke_spec(compare=["mf"], output=str(tmp_path / "bundle"))
+        path = save_spec(spec, tmp_path / "spec.json")
+        assert spec_to_dict(load_spec(path)) == spec_to_dict(spec)
+
+    @needs_toml
+    def test_toml_round_trip(self, tmp_path):
+        spec = smoke_spec(compare=["mf", "bpr-mf"])
+        path = save_spec(spec, tmp_path / "spec.toml")
+        loaded = load_spec(path)
+        # None fields are elided from TOML and refilled from defaults.
+        assert spec_to_dict(loaded) == spec_to_dict(spec)
+
+    def test_partial_dict_uses_defaults(self):
+        spec = spec_from_dict({"train": {"factors": 4}})
+        assert spec.train.factors == 4
+        assert spec.train.epochs == 10  # TrainConfig default
+        assert spec.trainer.backend == "serial"
+        assert spec.data.source == "synthetic"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="factorz"):
+            spec_from_dict({"train": {"factorz": 4}})
+        with pytest.raises(ValueError, match="data.synthetic"):
+            spec_from_dict({"data": {"synthetic": {"bogus": 1}}})
+
+    def test_invalid_model_kind_rejected(self):
+        with pytest.raises(ValueError, match="model kind"):
+            spec_from_dict({"model": "svd"})
+        with pytest.raises(ValueError, match="model kind"):
+            spec_from_dict({"compare": ["nope"]})
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            spec_from_dict({"trainer": {"backend": "gpu"}})
+
+    def test_apply_overrides_coerces_and_validates(self):
+        spec = smoke_spec()
+        out = apply_overrides(
+            spec,
+            {
+                "train.factors": "12",
+                "train.use_bias": "false",
+                "compare": '["mf"]',
+                "trainer.backend": "threaded",
+            },
+        )
+        assert out.train.factors == 12
+        assert out.train.use_bias is False
+        assert out.compare == ["mf"]
+        assert out.trainer.backend == "threaded"
+        # The base spec is untouched.
+        assert spec.train.factors == 6
+        with pytest.raises(ValueError, match="unknown spec path"):
+            apply_overrides(spec, {"train.bogus": 1})
+        with pytest.raises(ValueError, match="unknown spec path"):
+            apply_overrides(spec, {"nope.deep.path": 1})
+
+    def test_shipped_specs_load(self):
+        tf_vs_mf = load_spec(SPEC_DIR / "tf_vs_mf.json")
+        assert tf_vs_mf.variants() == ["tf", "mf"]
+
+    @needs_toml
+    def test_shipped_toml_spec_loads(self):
+        threaded = load_spec(SPEC_DIR / "threaded_sweep.toml")
+        assert threaded.trainer.backend == "threaded"
+        assert threaded.train.sibling_ratio == 0.0
+
+    def test_missing_spec_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_spec(tmp_path / "nope.json")
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class TestExperimentRunner:
+    def test_run_reports_metrics(self):
+        report = ExperimentRunner(smoke_spec()).run()
+        assert len(report.results) == 1
+        metrics = report.primary.metrics
+        assert 0.0 <= metrics["auc"] <= 1.0
+        assert "hit_rate@5" in metrics
+        assert report.primary.epochs_run == 2
+        assert "smoke" in report.table()
+
+    def test_compare_variants_share_data_and_split(self):
+        report = ExperimentRunner(smoke_spec(compare=["mf"])).run()
+        assert [r.variant for r in report.results] == ["tf", "mf"]
+        table = report.table()
+        assert "tf" in table and "mf" in table
+
+    def test_tf_beats_mf_table2_style(self):
+        """The paper's headline claim at laptop scale: the taxonomy model
+        outranks flat MF on identical data, split, and budget."""
+        spec = spec_from_dict({
+            "name": "table2",
+            "model": "tf",
+            "compare": ["mf"],
+            "data": {"synthetic": {"n_users": 800, "seed": 7}},
+            "train": {"factors": 16, "epochs": 5,
+                      "sibling_ratio": 0.5, "seed": 0},
+        })
+        report = ExperimentRunner(spec).run()
+        tf, mf = report.results
+        assert tf.metrics["auc"] > mf.metrics["auc"]
+
+    def test_output_writes_bundles_per_variant(self, tmp_path):
+        out = tmp_path / "bundles"
+        spec = smoke_spec(compare=["mf"], output=str(out))
+        report = ExperimentRunner(spec).run()
+        for result in report.results:
+            manifest = Path(result.bundle_path) / "manifest.json"
+            assert manifest.exists()
+            payload = json.loads(manifest.read_text())
+            assert payload["extra"]["variant"] == result.variant
+            assert payload["extra"]["experiment"] == "smoke"
+        assert (out / "tf").is_dir() and (out / "mf").is_dir()
+
+    def test_single_variant_output_is_direct(self, tmp_path):
+        out = tmp_path / "bundle"
+        ExperimentRunner(smoke_spec(output=str(out))).run()
+        assert (out / "manifest.json").exists()
+
+    def test_threaded_backend(self):
+        spec = smoke_spec(trainer={"backend": "threaded", "n_workers": 2})
+        report = ExperimentRunner(spec).run()
+        assert report.primary.backend == "threaded"
+        assert 0.0 <= report.primary.metrics["auc"] <= 1.0
+
+    def test_backend_flip_drops_sibling_training(self):
+        """Flipping a sibling-trained spec to the threaded backend must
+        work without editing [train] (the README's advertised override)."""
+        spec = apply_overrides(
+            load_spec(SPEC_DIR / "tf_vs_mf.json"),
+            {
+                "data.synthetic.n_users": 250,
+                "train.epochs": 2,
+                "train.factors": 6,
+                "trainer.backend": "threaded",
+                "trainer.n_workers": 2,
+            },
+        )
+        assert spec.train.sibling_ratio == 0.5  # spec untouched...
+        report = ExperimentRunner(spec).run()
+        assert report.primary.backend == "threaded"  # ...run reconciled
+
+    def test_compare_checkpoints_per_variant(self, tmp_path):
+        from repro.streaming.swap import CheckpointStore
+
+        ckpts = tmp_path / "ckpts"
+        spec = smoke_spec(
+            compare=["mf"],
+            trainer={"checkpoint_dir": str(ckpts), "checkpoint_every": 2},
+        )
+        ExperimentRunner(spec).run()
+        # One store per variant: LATEST of each points at its own model.
+        assert CheckpointStore(ckpts / "tf").versions() == [1]
+        assert CheckpointStore(ckpts / "mf").versions() == [1]
+
+    def test_online_backend_warm_then_stream(self):
+        spec = smoke_spec(
+            trainer={"backend": "online", "warm_fraction": 0.5,
+                     "online_steps": 2, "online_batch_size": 64},
+        )
+        report = ExperimentRunner(spec).run()
+        assert report.primary.backend == "online"
+        assert report.primary.epochs_run == 1
+
+    def test_files_source(self, tmp_path):
+        assert main([
+            "generate", "--out-dir", str(tmp_path), "--users", "200",
+            "--seed", "3",
+        ]) == 0
+        spec = smoke_spec(
+            data={"source": "files", "data_dir": str(tmp_path)}
+        )
+        report = ExperimentRunner(spec).run()
+        assert report.primary.metrics["n_users"] > 0
+
+    def test_spec_reproducibility(self):
+        """Identical specs reproduce bit-identical factors end to end."""
+        first = ExperimentRunner(smoke_spec()).run()
+        second = ExperimentRunner(smoke_spec()).run()
+        a = first.primary.trainer_result.model.factor_set
+        b = second.primary.trainer_result.model.factor_set
+        assert np.array_equal(a.user, b.user)
+        assert np.array_equal(a.w, b.w)
+
+    def test_warm_stream_split_partitions(self):
+        from repro import SyntheticConfig, generate_dataset
+
+        log = generate_dataset(SyntheticConfig(n_users=50, seed=0)).log
+        warm, stream = warm_stream_split(log, 0.5)
+        assert warm.n_purchases + stream.n_purchases == log.n_purchases
+        # Every user with any history keeps at least one warm transaction.
+        for user in range(log.n_users):
+            if log.user_transactions(user):
+                assert warm.user_transactions(user)
+
+
+class TestSweep:
+    def test_grid_expands_and_runs(self):
+        cells = sweep(smoke_spec(), {"train.factors": [4, 6],
+                                     "train.reg": [0.01, 0.1]})
+        assert len(cells) == 4
+        assert cells[0].overrides == {"train.factors": 4, "train.reg": 0.01}
+        table = sweep_table(cells, k=5)
+        assert "train.factors=4" in table
+        assert all(
+            0.0 <= cell.report.primary.metrics["auc"] <= 1.0 for cell in cells
+        )
+
+    def test_sweep_over_model_kind(self):
+        cells = sweep(smoke_spec(), {"model": ["tf", "mf"]})
+        assert [c.report.primary.variant for c in cells] == ["tf", "mf"]
+
+    def test_sweep_output_bundles_do_not_collide(self, tmp_path):
+        """Each cell saves into its own subdirectory of spec.output."""
+        out = tmp_path / "bundles"
+        cells = sweep(
+            smoke_spec(output=str(out)), {"train.factors": [4, 6]}
+        )
+        paths = [Path(c.report.primary.bundle_path) for c in cells]
+        assert paths[0] != paths[1]
+        for path, factors in zip(paths, (4, 6)):
+            manifest = json.loads((path / "manifest.json").read_text())
+            assert manifest["config"]["factors"] == factors
+
+
+# ----------------------------------------------------------------------
+# CLI: run / sweep / --config (the acceptance path)
+# ----------------------------------------------------------------------
+class TestRunCommand:
+    def test_shipped_tf_vs_mf_spec_end_to_end(self, capsys, tmp_path):
+        """`python -m repro run` on the shipped spec reproduces the
+        Table-2-style TF-vs-MF comparison (shrunk for test speed)."""
+        out = tmp_path / "report.json"
+        assert main([
+            "run", "--config", str(SPEC_DIR / "tf_vs_mf.json"),
+            "--set", "data.synthetic.n_users=400",
+            "--set", "train.epochs=3",
+            "--set", "train.factors=8",
+            "--quiet", "--out", str(out),
+        ]) == 0
+        table = capsys.readouterr().out
+        assert "table2-tf-vs-mf" in table
+        assert "AUC" in table and "hitRate@10" in table
+        lines = [l for l in table.splitlines() if l.startswith(("tf", "mf"))]
+        assert len(lines) == 2
+        payload = json.loads(out.read_text())
+        variants = [r["variant"] for r in payload["results"]]
+        assert variants == ["tf", "mf"]
+        for result in payload["results"]:
+            assert 0.0 <= result["metrics"]["auc"] <= 1.0
+
+    def test_run_saves_bundles(self, capsys, tmp_path):
+        spec_path = save_spec(
+            smoke_spec(compare=["mf"]), tmp_path / "spec.json"
+        )
+        bundles = tmp_path / "bundles"
+        assert main([
+            "run", "--config", str(spec_path),
+            "--bundle-out", str(bundles), "--quiet",
+        ]) == 0
+        assert (bundles / "tf" / "manifest.json").exists()
+        assert (bundles / "mf" / "manifest.json").exists()
+        assert "wrote bundle" in capsys.readouterr().out
+
+    def test_run_rejects_bad_override(self, tmp_path):
+        spec_path = save_spec(smoke_spec(), tmp_path / "spec.json")
+        with pytest.raises(SystemExit, match="unknown spec path"):
+            main(["run", "--config", str(spec_path),
+                  "--set", "train.bogus=1"])
+
+    def test_run_missing_config(self, tmp_path):
+        with pytest.raises((SystemExit, FileNotFoundError)):
+            main(["run", "--config", str(tmp_path / "nope.json")])
+
+
+class TestSweepCommand:
+    def test_sweep_prints_cells_and_writes_json(self, capsys, tmp_path):
+        spec_path = save_spec(smoke_spec(), tmp_path / "spec.json")
+        out = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "--config", str(spec_path),
+            "--grid", "train.factors=4,6", "--quiet", "--out", str(out),
+        ]) == 0
+        table = capsys.readouterr().out
+        assert "train.factors=4" in table and "train.factors=6" in table
+        payload = json.loads(out.read_text())
+        assert len(payload) == 2
+        assert payload[0]["overrides"] == {"train.factors": 4}
+
+    def test_sweep_requires_grid(self, tmp_path):
+        spec_path = save_spec(smoke_spec(), tmp_path / "spec.json")
+        with pytest.raises(SystemExit, match="--grid"):
+            main(["sweep", "--config", str(spec_path)])
+
+
+class TestTrainConfigFlag:
+    def test_train_with_config_and_flag_overrides(self, capsys, tmp_path):
+        """--config supplies the spec; CLI flags override it (satellite)."""
+        data_dir = tmp_path / "data"
+        assert main([
+            "generate", "--out-dir", str(data_dir), "--users", "200",
+            "--seed", "3",
+        ]) == 0
+        spec_path = save_spec(
+            smoke_spec(train={"factors": 6, "epochs": 2, "seed": 0}),
+            tmp_path / "spec.json",
+        )
+        bundle = tmp_path / "bundle"
+        assert main([
+            "train", "--data-dir", str(data_dir), "--model", str(bundle),
+            "--config", str(spec_path), "--factors", "4",
+        ]) == 0
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        assert manifest["config"]["factors"] == 4  # flag wins
+        assert manifest["config"]["epochs"] == 2  # spec retained
+        assert "wrote bundle" in capsys.readouterr().out
+
+    def test_train_backend_flag(self, capsys, tmp_path):
+        data_dir = tmp_path / "data"
+        assert main([
+            "generate", "--out-dir", str(data_dir), "--users", "200",
+            "--seed", "3",
+        ]) == 0
+        bundle = tmp_path / "bundle"
+        assert main([
+            "train", "--data-dir", str(data_dir), "--model", str(bundle),
+            "--epochs", "2", "--factors", "4", "--sibling", "0",
+            "--backend", "threaded", "--workers", "2",
+        ]) == 0
+        assert (bundle / "manifest.json").exists()
+
+    def test_train_without_data_or_config_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="--data-dir"):
+            main(["train", "--model", str(tmp_path / "bundle")])
