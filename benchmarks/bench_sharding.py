@@ -1,0 +1,342 @@
+"""Sharded-fleet benchmark: throughput scaling, identity, swap-under-load.
+
+Three acceptance claims of ``repro.serving.sharding`` are measured on the
+shared synthetic dataset shape:
+
+* **throughput** — users/sec of a 4-shard :class:`ShardRouter` fleet vs
+  the single-process :class:`RecommenderService` on the same request
+  stream; at full scale the fleet must reach **>= 3x** the single-process
+  number (the gate assumes >= 4 physical cores — the whole point of the
+  fleet is to use them; the measured core count is recorded either way);
+* **bit-identical output** — the user-partitioned fleet must return
+  exactly the single-process rows over the whole user base, and the
+  item-partitioned fleet's merged pages must match as well;
+* **hot-swap under load** — serving threads hammer the fleet while a
+  :class:`~repro.streaming.swap.HotSwapper` publishes model snapshots
+  repeatedly; every request must succeed and a post-publish probe must
+  match the swapped-in model exactly on every shard (0 stale, 0 failed).
+
+Like the other subsystem benches this is a plain script so CI can run it
+directly and archive its JSON payload::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py --smoke --out BENCH_sharding.json
+
+Full-scale (no ``--smoke``) enforces the 3x throughput gate; smoke mode
+records throughput but gates only the correctness claims (CI boxes do
+not promise 4 idle cores).  Tables land in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import format_table, report  # noqa: E402
+
+from repro import (  # noqa: E402
+    HotSwapper,
+    OnlineUpdater,
+    PurchaseEvent,
+    RecommenderService,
+    ShardRouter,
+    SyntheticConfig,
+    TaxonomyFactorModel,
+    TrainConfig,
+    generate_dataset,
+    train_test_split,
+)
+from repro.train import train_model  # noqa: E402
+
+#: Acceptance floor for fleet/single-process throughput (full scale).
+MIN_SPEEDUP = 3.0
+#: Shards in the benchmark fleet.
+N_SHARDS = 4
+
+DATA_SEED = 1234
+SPLIT_SEED = 99
+TRAIN_SEED = 77
+
+
+def _sizes(smoke: bool) -> Dict[str, int]:
+    if smoke:
+        return {
+            "n_users": 800, "epochs": 3, "factors": 8,
+            "request_batch": 256, "rounds": 8, "swap_rounds": 6,
+        }
+    return {
+        "n_users": 4000, "epochs": 10, "factors": 16,
+        "request_batch": 512, "rounds": 40, "swap_rounds": 25,
+    }
+
+
+def _trained(sizes: Dict[str, int]):
+    config = SyntheticConfig(
+        n_users=sizes["n_users"], mean_transactions=5.0, seed=DATA_SEED
+    )
+    data = generate_dataset(config)
+    split = train_test_split(data.log, mu=0.5, seed=SPLIT_SEED)
+    model = train_model(
+        TaxonomyFactorModel(
+            data.taxonomy,
+            TrainConfig(
+                factors=sizes["factors"], epochs=sizes["epochs"],
+                sibling_ratio=0.5, seed=TRAIN_SEED,
+            ),
+        ),
+        split.train,
+    )
+    return data, split, model
+
+
+def _request_stream(n_users: int, batch: int, rounds: int) -> List[np.ndarray]:
+    """The standard workload: every user once per round, fixed batches."""
+    users = np.arange(n_users, dtype=np.int64)
+    batches = []
+    for round_ in range(rounds):
+        shifted = np.roll(users, round_ * 17)
+        batches.extend(
+            shifted[start : start + batch]
+            for start in range(0, n_users, batch)
+        )
+    return batches
+
+
+def _drain(front, batches: List[np.ndarray], k: int = 10) -> float:
+    started = time.perf_counter()
+    for users in batches:
+        front.recommend_batch(users, k=k)
+    return time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# (a) Fleet vs single-process throughput
+# ----------------------------------------------------------------------
+def bench_throughput(sizes: Dict[str, int], split, model) -> Dict[str, float]:
+    batches = _request_stream(
+        model.n_users, sizes["request_batch"], sizes["rounds"]
+    )
+    served = sum(b.size for b in batches)
+
+    single = RecommenderService(model, history_log=split.train, cache_size=0)
+    single_seconds = _drain(single, batches)
+
+    with ShardRouter(
+        model, n_shards=N_SHARDS, history_log=split.train, cache_size=0
+    ) as fleet:
+        fleet_seconds = _drain(fleet, batches)
+
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "n_shards": N_SHARDS,
+        "requests": served,
+        "single_seconds": single_seconds,
+        "single_users_per_sec": served / single_seconds,
+        "fleet_seconds": fleet_seconds,
+        "fleet_users_per_sec": served / fleet_seconds,
+        "speedup": single_seconds / fleet_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+# (b) Bit-identical output, both partitions
+# ----------------------------------------------------------------------
+def bench_identity(split, model) -> Dict[str, float]:
+    users = np.arange(model.n_users, dtype=np.int64)
+    service = RecommenderService(model, history_log=split.train)
+    expected = service.recommend_batch(users, k=10)
+
+    with ShardRouter(
+        model, n_shards=N_SHARDS, history_log=split.train
+    ) as fleet:
+        by_users = fleet.recommend_batch(users, k=10)
+    with ShardRouter(
+        model, n_shards=N_SHARDS, history_log=split.train, partition="items"
+    ) as fleet:
+        by_items = fleet.recommend_batch(users, k=10)
+
+    return {
+        "users_checked": int(users.size),
+        "user_partition_mismatches": int(
+            (by_users != expected).any(axis=1).sum()
+        ),
+        "item_partition_mismatches": int(
+            (by_items != expected).any(axis=1).sum()
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# (c) Fleet-wide hot swap under serving load
+# ----------------------------------------------------------------------
+def bench_hot_swap(sizes: Dict[str, int], split, model) -> Dict[str, float]:
+    updater = OnlineUpdater(model, steps=4, seed=0)
+    updater.apply_events(
+        [PurchaseEvent(u, (u % model.n_items,)) for u in range(64)]
+    )
+    snapshot = updater.snapshot()
+    candidates = [model, snapshot]
+    probes = [
+        RecommenderService(model, history_log=split.train),
+        RecommenderService(snapshot, history_log=snapshot._train_log),
+    ]
+
+    errors: List[BaseException] = []
+    served = [0]
+    stop = threading.Event()
+    with ShardRouter(
+        model, n_shards=N_SHARDS, history_log=split.train
+    ) as fleet:
+        swapper = HotSwapper(fleet)
+
+        def hammer() -> None:
+            users = np.arange(64)
+            while not stop.is_set():
+                try:
+                    out = fleet.recommend_batch(users, k=10)
+                    if out.shape != (64, 10) or (out < 0).any():
+                        raise AssertionError("short page served")
+                    served[0] += 1
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        stale = 0
+        started = time.perf_counter()
+        for round_ in range(sizes["swap_rounds"]):
+            live = candidates[round_ % 2]
+            swapper.publish(live)
+            page = fleet.recommend(0, k=10)
+            if not np.array_equal(page, probes[round_ % 2].recommend(0, k=10)):
+                stale += 1
+        swap_seconds = time.perf_counter() - started
+        stop.set()
+        for thread in threads:
+            thread.join()
+    if errors:
+        raise errors[0]
+    return {
+        "swaps": sizes["swap_rounds"],
+        "stale_probes": stale,
+        "failed_requests": len(errors),
+        "batches_served_during_swaps": served[0],
+        "swap_seconds": swap_seconds,
+        "swaps_per_sec": sizes["swap_rounds"] / swap_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+# Reporting / gates
+# ----------------------------------------------------------------------
+def run(smoke: bool) -> Dict[str, object]:
+    sizes = _sizes(smoke)
+    _data, split, model = _trained(sizes)
+    throughput = bench_throughput(sizes, split, model)
+    identity = bench_identity(split, model)
+    swap = bench_hot_swap(sizes, split, model)
+
+    speedup_gate = (
+        f">= {MIN_SPEEDUP}" if not smoke else "(smoke: recorded)"
+    )
+    table = format_table(
+        f"sharding: {N_SHARDS}-shard fleet vs single process",
+        ["measure", "value", "gate"],
+        [
+            ["cores available", throughput["cpu_count"], ""],
+            ["single-process users/sec", throughput["single_users_per_sec"], ""],
+            ["fleet users/sec", throughput["fleet_users_per_sec"], ""],
+            ["speedup", throughput["speedup"], speedup_gate],
+            [
+                "user-partition mismatches",
+                identity["user_partition_mismatches"],
+                "== 0",
+            ],
+            [
+                "item-partition mismatches",
+                identity["item_partition_mismatches"],
+                "== 0",
+            ],
+            ["swaps under load", swap["swaps"], ""],
+            ["stale probes", swap["stale_probes"], "== 0"],
+            ["failed requests", swap["failed_requests"], "== 0"],
+            [
+                "batches served during swaps",
+                swap["batches_served_during_swaps"],
+                "> 0",
+            ],
+        ],
+        note="the speedup gate binds at full scale (>= 4 cores assumed)",
+    )
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "sizes": sizes,
+        "throughput": throughput,
+        "identity": identity,
+        "hot_swap": swap,
+        "gates": {"min_speedup": MIN_SPEEDUP, "n_shards": N_SHARDS},
+    }
+    report("sharding", table, payload)
+    print(table)
+
+    failures = []
+    if not smoke and throughput["speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"fleet speedup {throughput['speedup']:.2f}x below the "
+            f"{MIN_SPEEDUP}x floor "
+            f"({throughput['cpu_count']} cores available)"
+        )
+    if identity["user_partition_mismatches"]:
+        failures.append(
+            f"{identity['user_partition_mismatches']} user-partition rows "
+            f"diverge from the single-process service"
+        )
+    if identity["item_partition_mismatches"]:
+        failures.append(
+            f"{identity['item_partition_mismatches']} item-partition rows "
+            f"diverge from the single-process service"
+        )
+    if swap["stale_probes"]:
+        failures.append(f"{swap['stale_probes']} stale post-publish probes")
+    if swap["failed_requests"]:
+        failures.append(f"{swap['failed_requests']} requests failed mid-swap")
+    if swap["batches_served_during_swaps"] == 0:
+        failures.append("no requests were served during the swap storm")
+    payload["failures"] = failures
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes for CI; the speedup gate is only recorded",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sharding.json",
+        help="where to write the JSON payload (default: ./BENCH_sharding.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    print(f"wrote {out}")
+    if payload["failures"]:
+        for failure in payload["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

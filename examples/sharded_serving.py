@@ -1,0 +1,96 @@
+"""Sharded serving walkthrough: one model, a fleet of worker processes.
+
+Demonstrates the full ``repro.serving.sharding`` story on synthetic
+data:
+
+1. train a taxonomy factor model and serve it single-process;
+2. stand up a :class:`~repro.serving.sharding.ShardRouter` fleet over the
+   same model — factor matrices published once into shared memory — and
+   verify the output is bit-identical;
+3. stream purchase events through an :class:`~repro.streaming.updater.
+   OnlineUpdater` and hot-swap the snapshot into *every* shard with one
+   :class:`~repro.streaming.swap.HotSwapper` publish;
+4. slice the catalog instead (``partition="items"``) and let the router
+   k-way merge the per-shard top-k pages.
+
+Run with::
+
+    PYTHONPATH=src python examples/sharded_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    HotSwapper,
+    OnlineUpdater,
+    PurchaseEvent,
+    RecommenderService,
+    ShardRouter,
+    SyntheticConfig,
+    TaxonomyFactorModel,
+    TrainConfig,
+    generate_dataset,
+    train_test_split,
+)
+from repro.train import train_model
+
+
+def main() -> None:
+    print("== 1. train a model ==")
+    data = generate_dataset(SyntheticConfig(n_users=1000, seed=7))
+    split = train_test_split(data.log, mu=0.5, seed=0)
+    model = train_model(
+        TaxonomyFactorModel(
+            data.taxonomy,
+            TrainConfig(factors=16, epochs=5, sibling_ratio=0.5, seed=0),
+        ),
+        split.train,
+    )
+    service = RecommenderService(model, history_log=split.train)
+    users = np.arange(model.n_users)
+    expected = service.recommend_batch(users, k=10)
+    print(f"single process: served {users.size} users")
+
+    print("\n== 2. user-partitioned fleet (bit-identical) ==")
+    with ShardRouter(model, n_shards=4, history_log=split.train) as fleet:
+        got = fleet.recommend_batch(users, k=10)
+        assert np.array_equal(got, expected)
+        stats = fleet.stats()
+        print(
+            f"4 shards served {int(stats['requests'])} requests, "
+            f"output identical to the single process: "
+            f"{np.array_equal(got, expected)}"
+        )
+
+        print("\n== 3. fleet-wide hot swap ==")
+        updater = OnlineUpdater(model, steps=4, seed=0)
+        updater.apply_events(
+            [PurchaseEvent(user=u, items=(u % model.n_items,))
+             for u in range(128)]
+        )
+        swapper = HotSwapper(fleet)
+        swapper.publish(updater.snapshot(), popularity=updater.popularity())
+        fresh = fleet.recommend_batch(users[:5], k=5)
+        print(
+            f"generation {fleet.generation} live on every shard; "
+            f"user 0 now sees {fresh[0].tolist()}"
+        )
+
+    print("\n== 4. item-partitioned fleet (page merge) ==")
+    with ShardRouter(
+        model, n_shards=4, history_log=split.train, partition="items"
+    ) as fleet:
+        got = fleet.recommend_batch(users[:200], k=10)
+        assert np.array_equal(got, expected[:200])
+        print(
+            "each shard scored a quarter of the catalog; merged pages "
+            "match the exact ranking"
+        )
+
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

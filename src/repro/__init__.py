@@ -71,7 +71,8 @@ Package layout
     cascaded inference.
 ``repro.serving``
     The serving layer: the ``Recommender`` protocol, ``ModelBundle``
-    artifacts, and the batched ``RecommenderService``.
+    artifacts, the batched ``RecommenderService``, and the sharded
+    multi-process ``ShardRouter`` fleet over shared-memory factors.
 ``repro.streaming``
     Online ingestion (event logs, micro-batches), incremental factor
     updates against frozen item factors, versioned checkpoints, and
@@ -124,10 +125,13 @@ from repro.serving import (
     BundleError,
     FoldInRecommender,
     ModelBundle,
+    ModelState,
     Recommender,
     RecommenderService,
     ServingError,
     ServingStats,
+    ShardingError,
+    ShardRouter,
 )
 from repro.streaming import (
     CheckpointStore,
@@ -174,7 +178,7 @@ from repro.utils.config import (
     save_spec,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -189,11 +193,14 @@ __all__ = [
     # Serving (recommended inference entry point)
     "Recommender",
     "RecommenderService",
+    "ModelState",
     "ServingStats",
     "ServingError",
     "ModelBundle",
     "BundleError",
     "FoldInRecommender",
+    "ShardRouter",
+    "ShardingError",
     # Streaming (online updates + hot swap)
     "PurchaseEvent",
     "ItemArrival",

@@ -13,6 +13,9 @@ Subcommands cover the end-to-end workflow on files:
 * ``recommend`` — print top-k items for one user,
 * ``serve-batch`` — serve top-k for many users through the batched
   :class:`~repro.serving.service.RecommenderService`,
+* ``serve-sharded`` — serve the same workload through a multi-process
+  :class:`~repro.serving.sharding.ShardRouter` fleet (factor matrices in
+  shared memory, one worker per shard),
 * ``stream`` — replay held-out transactions as a live event stream
   through the online updater, hot-swapping the served model as it goes,
 * ``stats`` — dataset characteristics (the Fig. 5 quantities).
@@ -58,6 +61,7 @@ from repro.data.transactions import TransactionLog
 from repro.eval.protocol import evaluate_cold_start, evaluate_model, evaluate_topk
 from repro.serving.bundle import MANIFEST_NAME, BundleError, ModelBundle
 from repro.serving.service import RecommenderService
+from repro.serving.sharding import ShardRouter, ShardingError
 from repro.streaming.events import events_from_transactions
 from repro.streaming.pipeline import StreamingPipeline
 from repro.streaming.swap import CheckpointStore
@@ -292,7 +296,8 @@ def _load_bundle(args) -> Tuple[ModelBundle, TransactionLog]:
             # warning filters, which hide it outside __main__.
             print(
                 f"note: {path} uses the deprecated .npz+.meta.json format; "
-                f"re-run `train` to migrate to a bundle directory",
+                f"re-run `train` to migrate to a bundle directory "
+                f"(see docs/migration.md)",
                 file=sys.stderr,
             )
             bundle = ModelBundle.load_legacy(path, taxonomy)
@@ -396,25 +401,28 @@ def _parse_users(spec: str, n_users: int) -> np.ndarray:
         )
 
 
-def cmd_serve_batch(args: argparse.Namespace) -> int:
-    model, split = _load_model(args)
+def _serving_users(args, model) -> np.ndarray:
+    """Resolve and range-check the ``--users`` spec of a serve command."""
     users = _parse_users(args.users, model.n_users)
     if users.size and (users.min() < 0 or users.max() >= model.n_users):
         raise SystemExit(
             f"user index out of range (0..{model.n_users - 1}) in {args.users!r}"
         )
-    cascade = (
-        CascadeConfig(keep_fractions=(args.cascade,) * 3)
-        if args.cascade is not None
-        else None
-    )
-    service = RecommenderService(
-        model, history_log=split.train, cascade=cascade,
-        cache_size=args.cache_size,
-    )
-    recommendations = service.recommend_batch(users, k=args.k)
+    return users
 
-    sink = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+
+def _serving_cascade(args) -> Optional[CascadeConfig]:
+    """The ``--cascade`` flag as a config (uniform keep fraction)."""
+    if args.cascade is None:
+        return None
+    return CascadeConfig(keep_fractions=(args.cascade,) * 3)
+
+
+def _emit_recommendations(
+    users: np.ndarray, recommendations: np.ndarray, out: Optional[str]
+) -> None:
+    """Write one ``{"user", "items"}`` JSONL row per user (stdout or file)."""
+    sink = open(out, "w", encoding="utf-8") if out else sys.stdout
     try:
         for row, user in enumerate(users):
             items = recommendations[row]
@@ -424,8 +432,19 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
             }
             sink.write(json.dumps(payload) + "\n")
     finally:
-        if args.out:
+        if out:
             sink.close()
+
+
+def cmd_serve_batch(args: argparse.Namespace) -> int:
+    model, split = _load_model(args)
+    users = _serving_users(args, model)
+    service = RecommenderService(
+        model, history_log=split.train, cascade=_serving_cascade(args),
+        cache_size=args.cache_size,
+    )
+    recommendations = service.recommend_batch(users, k=args.k)
+    _emit_recommendations(users, recommendations, args.out)
     stats = service.stats
     print(
         f"served {stats.requests} users at "
@@ -434,6 +453,65 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         f"cache hits: {stats.cache_hits})",
         file=sys.stderr if not args.out else sys.stdout,
     )
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_serve_sharded(args: argparse.Namespace) -> int:
+    model, split = _load_model(args)
+    users = _serving_users(args, model)
+    cascade = _serving_cascade(args)
+    try:
+        router = ShardRouter(
+            model,
+            n_shards=args.shards,
+            history_log=split.train,
+            cascade=cascade,
+            cache_size=args.cache_size,
+            partition=args.partition,
+        )
+    except (ValueError, ShardingError) as exc:
+        raise SystemExit(str(exc))
+    with router:
+        batches = [
+            users[start : start + args.batch_size]
+            for start in range(0, users.size, args.batch_size)
+        ]
+        recommendations = np.concatenate(
+            [router.recommend_batch(batch, k=args.k) for batch in batches]
+        ) if batches else np.empty((0, args.k), dtype=np.int64)
+
+        if args.verify:
+            service = RecommenderService(
+                model, history_log=split.train, cascade=cascade,
+                cache_size=args.cache_size,
+            )
+            reference = service.recommend_batch(users, k=args.k)
+            if np.array_equal(recommendations, reference):
+                print(
+                    f"verify: fleet output identical to the single-process "
+                    f"service over {users.size} users", file=sys.stderr,
+                )
+            else:
+                diverging = int(
+                    (recommendations != reference).any(axis=1).sum()
+                )
+                raise SystemExit(
+                    f"verify FAILED: {diverging}/{users.size} rows diverge "
+                    f"from the single-process service"
+                )
+
+        _emit_recommendations(users, recommendations, args.out)
+        stats = router.stats()
+        print(
+            f"served {int(stats['requests'])} users over {args.shards} "
+            f"shard processes ({router.partition}-partitioned) at "
+            f"{stats['requests_per_second']:.0f} users/sec per busiest "
+            f"shard (nodes scored: {int(stats['nodes_scored'])}, "
+            f"cache hits: {int(stats['cache_hits'])})",
+            file=sys.stderr if not args.out else sys.stdout,
+        )
     if args.out:
         print(f"wrote {args.out}")
     return 0
@@ -606,6 +684,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--out", default=None,
                        help="write JSONL here instead of stdout")
     serve.set_defaults(func=cmd_serve_batch)
+
+    sharded = sub.add_parser(
+        "serve-sharded",
+        help="serve top-k through a multi-process ShardRouter fleet",
+    )
+    sharded.add_argument("--data-dir", required=True)
+    sharded.add_argument("--model", required=True)
+    sharded.add_argument("--users", default="all",
+                         help="'all', 'start:stop', or comma list (default: all)")
+    sharded.add_argument("-k", type=int, default=10)
+    sharded.add_argument("--shards", type=int, default=4,
+                         help="number of shard worker processes")
+    sharded.add_argument("--partition", default="users",
+                         choices=("users", "items"),
+                         help="hash users across shards, or slice the item "
+                              "catalog and merge per-shard top-k pages")
+    sharded.add_argument("--batch-size", type=int, default=1024,
+                         help="users per scatter/gather round")
+    sharded.add_argument("--cascade", type=float, default=None,
+                         help="serve through a cascade keeping this fraction "
+                              "per level (users partition only)")
+    sharded.add_argument("--cache-size", type=int, default=4096)
+    sharded.add_argument("--verify", action="store_true",
+                         help="also run the single-process service and fail "
+                              "unless the fleet output is identical")
+    sharded.add_argument("--out", default=None,
+                         help="write JSONL here instead of stdout")
+    sharded.set_defaults(func=cmd_serve_sharded)
 
     stream = sub.add_parser(
         "stream",

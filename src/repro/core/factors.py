@@ -91,14 +91,60 @@ class FactorSet:
             self.w_next = None
         self.bias = np.zeros(n_rows, dtype=np.float64)
 
-        # Padded ancestor chains, truncated to `levels` columns.  Node rows
-        # are extended with one extra row (for the pad id) that chains to
-        # itself, so gathers through pad indices stay inside bounds.
-        chains = taxonomy.ancestor_matrix(levels)
-        pad_row = np.full((1, levels), taxonomy.pad_id, dtype=np.int64)
+        self._build_chains()
+
+    def _build_chains(self) -> None:
+        """Padded ancestor chains, truncated to ``levels`` columns.
+
+        Node rows are extended with one extra row (for the pad id) that
+        chains to itself, so vectorized gathers through pad indices stay
+        inside bounds.
+        """
+        chains = self.taxonomy.ancestor_matrix(self.levels)
+        pad_row = np.full((1, self.levels), self.taxonomy.pad_id, dtype=np.int64)
         self.node_chains = np.concatenate([chains, pad_row], axis=0)
         self.node_chains.flags.writeable = False
-        self.item_chains = self.node_chains[taxonomy.items]
+        self.item_chains = self.node_chains[self.taxonomy.items]
+
+    @classmethod
+    def from_arrays(
+        cls,
+        taxonomy: Taxonomy,
+        user: np.ndarray,
+        w: np.ndarray,
+        bias: np.ndarray,
+        w_next: Optional[np.ndarray] = None,
+        levels: int = 1,
+        init_scale: float = 0.1,
+    ) -> "FactorSet":
+        """Adopt pre-existing factor arrays **without copying**.
+
+        This is how :mod:`repro.serving.sharding` reconstructs a factor
+        set from ``multiprocessing.shared_memory`` views: the arrays are
+        taken as-is (they may be read-only views over a shared buffer),
+        only the ancestor-chain index machinery is rebuilt from
+        *taxonomy*.  Shapes must match what :meth:`save`/:meth:`load`
+        would produce for this taxonomy: ``w``/``w_next``/``bias`` carry
+        ``taxonomy.n_nodes + 1`` rows (the last being the zero pad row).
+        """
+        expected_rows = taxonomy.n_nodes + 1
+        if w.shape[0] != expected_rows:
+            raise ValueError(
+                f"w has {w.shape[0]} node rows but the taxonomy needs "
+                f"{expected_rows}; wrong taxonomy?"
+            )
+        fs = cls.__new__(cls)
+        fs.taxonomy = taxonomy
+        fs.n_users = int(user.shape[0])
+        fs.factors = int(user.shape[1])
+        fs.levels = int(levels)
+        fs.init_scale = float(init_scale)
+        fs.user = user
+        fs.w = w
+        fs.bias = bias
+        fs.w_next = w_next
+        fs._build_chains()
+        return fs
 
     # ------------------------------------------------------------------
     # Effective factors (Eq. 1)

@@ -108,7 +108,8 @@ class TaxonomyFactorModel:
             "model.fit(...) is deprecated; use "
             "repro.train.SerialTrainer(model).train(log) (identical "
             "factors for the same seed) or an ExperimentSpec via "
-            "`python -m repro run`",
+            "`python -m repro run` — see docs/migration.md for the "
+            "full upgrade guide",
             DeprecationWarning,
             stacklevel=2,
         )

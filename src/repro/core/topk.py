@@ -6,6 +6,11 @@ batched rankings are computed with one ``argpartition`` over the whole
 matrix instead of a Python loop of per-user sorts, and so that all batch
 APIs agree on the padding convention for rows with fewer than ``k``
 rankable candidates.
+
+:func:`merge_top_k_rows` is the distributed counterpart: a k-way merge of
+per-shard top-k *pages* (items + scores) into one global top-k per row,
+used by :class:`repro.serving.sharding.ShardRouter` to combine the answers
+of item-partitioned shard workers.
 """
 
 from __future__ import annotations
@@ -47,4 +52,76 @@ def top_k_rows(scores: np.ndarray, k: int, pad: int = PAD_ITEM) -> np.ndarray:
     order = np.argsort(-scores[rows, part], axis=1, kind="stable")
     top = part[rows, order].astype(np.int64, copy=False)
     top[~np.isfinite(scores[rows, top])] = pad
+    return top
+
+
+def merge_top_k_rows(
+    item_pages: "list[np.ndarray]",
+    score_pages: "list[np.ndarray]",
+    k: int,
+    pad: int = PAD_ITEM,
+) -> np.ndarray:
+    """K-way merge of per-shard top-k pages into one global top-k per row.
+
+    Each shard of an item-partitioned fleet returns a *page* for every
+    request row: its locally best item indices plus their scores.  This
+    merges those pages the way a heap-based k-way list merge would —
+    candidates are pooled per row and the globally best ``k`` survive —
+    but vectorized over all rows at once with the same ``argpartition``
+    machinery as :func:`top_k_rows`.
+
+    Parameters
+    ----------
+    item_pages:
+        One ``(n_rows, w_s)`` int64 array per shard; *pad* entries mark
+        slots a shard could not fill and never survive the merge.
+    score_pages:
+        Matching ``(n_rows, w_s)`` float arrays of the items' scores.
+    k:
+        Global ranking depth; the output width is
+        ``min(k, sum_s w_s)``.
+    pad:
+        Filler for rows with fewer than ``k`` finite-scored candidates.
+
+    Returns
+    -------
+    ``(n_rows, min(k, total_width))`` int64 array, best items first.
+    Ties are broken by ascending item index, so the result is invariant
+    to the number of shards the candidates arrived from.  Item indices
+    must be disjoint across pages within a row (true for disjoint item
+    partitions); duplicates would be ranked twice.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> left = (np.array([[4, 2]]), np.array([[9.0, 5.0]]))
+    >>> right = (np.array([[7, 1]]), np.array([[7.0, -np.inf]]))
+    >>> merge_top_k_rows([left[0], right[0]], [left[1], right[1]], k=3)
+    array([[4, 7, 2]])
+    """
+    if not item_pages or len(item_pages) != len(score_pages):
+        raise ValueError("need one score page per item page (at least one)")
+    items = np.concatenate(
+        [np.asarray(page, dtype=np.int64) for page in item_pages], axis=1
+    )
+    scores = np.concatenate(
+        [np.asarray(page, dtype=np.float64) for page in score_pages], axis=1
+    )
+    if items.shape != scores.shape:
+        raise ValueError(
+            f"item pages {items.shape} and score pages {scores.shape} disagree"
+        )
+    n_rows, total = items.shape
+    width = min(int(k), total)
+    if width <= 0:
+        return np.empty((n_rows, 0), dtype=np.int64)
+    scores = np.where(items == pad, -np.inf, scores)
+    rows = np.arange(n_rows)[:, None]
+    # Secondary key first (item ascending), then a stable primary sort on
+    # descending score: equal-scored candidates keep ascending-item order.
+    by_item = np.argsort(items, axis=1, kind="stable")
+    by_score = np.argsort(-scores[rows, by_item], axis=1, kind="stable")
+    order = by_item[rows, by_score][:, :width]
+    top = items[rows, order]
+    top[~np.isfinite(scores[rows, order])] = pad
     return top

@@ -336,7 +336,8 @@ class ThreadedSGDTrainer(ThreadedSGDEngine):
         warnings.warn(
             "ThreadedSGDTrainer is deprecated; drive training through "
             "repro.train.ThreadedTrainer (or use ThreadedSGDEngine "
-            "directly for low-level experiments)",
+            "directly for low-level experiments) — see docs/migration.md "
+            "for the full upgrade guide",
             DeprecationWarning,
             stacklevel=2,
         )

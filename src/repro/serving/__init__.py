@@ -1,6 +1,6 @@
 """The serving layer: the recommended front door for all inference.
 
-Three pieces turn the trained models into a deployable system:
+Four pieces turn the trained models into a deployable system:
 
 * :class:`~repro.serving.protocol.Recommender` — the structural protocol
   (``score_items`` / ``score_matrix`` / ``recommend`` / ``recommend_batch``)
@@ -13,27 +13,44 @@ Three pieces turn the trained models into a deployable system:
   users without → popularity fallback), optional cascaded inference, a
   generation-stamped LRU query-vector cache, per-request
   :class:`ServingStats`, and atomic zero-downtime ``swap_model`` (the
-  hot-swap contract ``repro.streaming`` publishes through).
+  hot-swap contract ``repro.streaming`` publishes through);
+* :class:`~repro.serving.sharding.ShardRouter` — the multi-process fleet:
+  factor matrices published once via ``multiprocessing.shared_memory``,
+  N shard workers each hosting a full service over zero-copy views, user
+  hashing + per-shard batching in front, and fleet-wide generation-stamped
+  hot swap.
 
 Quickstart::
 
-    from repro.serving import ModelBundle, RecommenderService
+    from repro.serving import ModelBundle, RecommenderService, ShardRouter
 
     ModelBundle(model).save("artifacts/tf")            # package for serving
     bundle = ModelBundle.load("artifacts/tf")
     service = RecommenderService(bundle.model, history_log=split.train)
     top = service.recommend_batch(users, k=10)         # one BLAS pass
     print(service.stats.as_dict())
+
+    with ShardRouter(bundle.model, n_shards=4,
+                     history_log=split.train) as router:
+        top = router.recommend_batch(users, k=10)      # same rows, N cores
 """
 
 from repro.serving.bundle import BUNDLE_VERSION, BundleError, ModelBundle
 from repro.serving.coldstart import FoldInRecommender
 from repro.serving.protocol import Recommender
 from repro.serving.service import (
+    ModelState,
     QueryVectorCache,
     RecommenderService,
     ServingError,
     ServingStats,
+)
+from repro.serving.sharding import (
+    ShardingError,
+    ShardRouter,
+    SharedFactors,
+    SharedFactorsHandle,
+    shard_of,
 )
 
 __all__ = [
@@ -43,7 +60,13 @@ __all__ = [
     "BUNDLE_VERSION",
     "FoldInRecommender",
     "RecommenderService",
+    "ModelState",
     "ServingError",
     "ServingStats",
     "QueryVectorCache",
+    "ShardRouter",
+    "ShardingError",
+    "SharedFactors",
+    "SharedFactorsHandle",
+    "shard_of",
 ]

@@ -65,6 +65,25 @@ class ModelBundle:
     extra:
         Free-form JSON-serializable metadata carried in the manifest
         (the CLI stores its split parameters here).
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> from repro.train import train_model
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> model = train_model(
+    ...     TaxonomyFactorModel(data.taxonomy, factors=4, epochs=1, seed=0),
+    ...     data.log,
+    ... )
+    >>> tmp = tempfile.TemporaryDirectory()
+    >>> _ = ModelBundle(model, extra={"mu": 0.5}).save(tmp.name + "/tf")
+    >>> restored = ModelBundle.load(tmp.name + "/tf")
+    >>> restored.extra["mu"]
+    0.5
+    >>> type(restored.model).__name__
+    'TaxonomyFactorModel'
+    >>> tmp.cleanup()
     """
 
     def __init__(self, model: Any, extra: Optional[Dict[str, Any]] = None):
@@ -250,7 +269,8 @@ class ModelBundle:
         """
         warnings.warn(
             "loading bare .npz factor files is deprecated; re-save the "
-            "model as a bundle directory with ModelBundle(model).save(dir)",
+            "model as a bundle directory with ModelBundle(model).save(dir) "
+            "— see docs/migration.md for the full upgrade guide",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -34,6 +34,20 @@ class FoldInRecommender:
         Fold-in SGD parameters (see :func:`~repro.core.folding.fold_in_user`).
         The fixed *seed* makes every method deterministic per history, so
         batch and per-user results agree.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> from repro.train import train_model
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> model = train_model(
+    ...     TaxonomyFactorModel(data.taxonomy, factors=4, epochs=1, seed=0),
+    ...     data.log,
+    ... )
+    >>> fold = FoldInRecommender(model, steps=10, seed=0)
+    >>> fold.recommend(k=3, history=[np.array([0, 1])]).shape
+    (3,)
     """
 
     def __init__(
@@ -70,6 +84,7 @@ class FoldInRecommender:
         history: Optional[History] = None,
         items: Optional[np.ndarray] = None,
     ) -> np.ndarray:
+        """Affinity scores of the folded-in vector for *items* (all by default)."""
         return score_for_vector(
             self.model, self.user_vector(history), history, items
         )
@@ -79,6 +94,7 @@ class FoldInRecommender:
         users: np.ndarray,
         histories: Optional[Sequence[History]] = None,
     ) -> np.ndarray:
+        """Dense score matrix for a batch of histories (one row each)."""
         n = len(users)
         if histories is not None and len(histories) != n:
             raise ValueError(
@@ -118,6 +134,7 @@ class FoldInRecommender:
         k: int = 10,
         histories: Optional[Sequence[History]] = None,
     ) -> np.ndarray:
+        """Vectorized top-*k* per history; ``-1``-padded, best first."""
         scores = self.score_matrix(users, histories)
         if histories is not None:
             for row, history in enumerate(histories):

@@ -37,6 +37,16 @@ class Recommender(Protocol):
     ``isinstance(model, Recommender)`` checks method presence at runtime
     (``typing.runtime_checkable`` cannot check signatures); the semantic
     contract is documented in the module docstring.
+
+    Examples
+    --------
+    >>> from repro.core.popularity import PopularityModel, RandomModel
+    >>> isinstance(PopularityModel(), Recommender)
+    True
+    >>> isinstance(RandomModel(), Recommender)
+    True
+    >>> isinstance(object(), Recommender)
+    False
     """
 
     def score_items(

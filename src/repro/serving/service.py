@@ -23,7 +23,7 @@ Hot swap
 --------
 The service supports **zero-downtime model replacement**: everything a
 request needs (model, factor snapshots, fold-in adapter, cascade, history
-log, fallback) lives in one immutable :class:`_ModelState` that each request
+log, fallback) lives in one immutable :class:`ModelState` that each request
 reads exactly once, so a request in flight keeps scoring against a
 consistent model while :meth:`RecommenderService.swap_model` installs a new
 one.  Swapping (or :meth:`invalidate_cache`) bumps a **generation counter**
@@ -126,14 +126,17 @@ class ServingStats:
 
     @property
     def p50(self) -> float:
+        """Median per-request latency over the recent window, seconds."""
         return self.latency_percentile(50.0)
 
     @property
     def p95(self) -> float:
+        """95th-percentile per-request latency over the window, seconds."""
         return self.latency_percentile(95.0)
 
     @property
     def requests_per_second(self) -> float:
+        """Lifetime throughput: requests divided by serving seconds."""
         if self.seconds <= 0:
             return float("nan")
         return self.requests / self.seconds
@@ -182,6 +185,7 @@ class QueryVectorCache:
     def get(
         self, user: int, generation: Optional[int] = None
     ) -> Optional[np.ndarray]:
+        """The cached vector for *user*, or ``None`` on miss/stale stamp."""
         with self._lock:
             if generation is not None and generation != self.generation:
                 return None
@@ -193,6 +197,7 @@ class QueryVectorCache:
     def put(
         self, user: int, vector: np.ndarray, generation: Optional[int] = None
     ) -> None:
+        """Insert *vector* for *user*; dropped when *generation* is stale."""
         with self._lock:
             if self.capacity <= 0:
                 return
@@ -215,6 +220,7 @@ class QueryVectorCache:
             return self.generation
 
     def clear(self) -> None:
+        """Drop every entry without retiring the current generation."""
         with self._lock:
             self._data.clear()
 
@@ -224,12 +230,37 @@ class QueryVectorCache:
 
 
 @dataclass(frozen=True)
-class _ModelState:
+class ModelState:
     """Everything one request needs, captured in a single attribute read.
 
     Immutable so that a swap can never expose a half-updated service to a
     request already in flight: either the whole old state or the whole new
     one.  ``generation`` stamps cache traffic (see :class:`QueryVectorCache`).
+
+    The state is public API: :attr:`RecommenderService.model_state` hands
+    out the current snapshot so external machinery — most importantly the
+    :mod:`repro.serving.sharding` fleet, which exports the state's factor
+    matrices into ``multiprocessing.shared_memory`` — can read one
+    coherent (model, history, fallback, cascade, generation) tuple without
+    racing a concurrent hot swap.
+
+    Attributes
+    ----------
+    model:
+        The fitted model all scoring runs against.
+    history_log:
+        History source for Markov context and purchased-item exclusion.
+    popularity:
+        Cold-user fallback (``None`` when unconfigured).
+    cascade:
+        Taxonomy-pruned inference wrapper (``None`` = exact scoring).
+    fold_in:
+        Adapter serving cold users with a history.
+    effective, bias:
+        Snapshots of the model's effective item factors and chain biases —
+        the matrices one batched scoring pass multiplies against.
+    generation:
+        The cache generation this state was installed at.
     """
 
     model: TaxonomyFactorModel
@@ -240,6 +271,10 @@ class _ModelState:
     effective: np.ndarray
     bias: np.ndarray
     generation: int
+
+
+#: Backwards-compatible alias — the state class was private before 1.4.
+_ModelState = ModelState
 
 
 class RecommenderService:
@@ -275,6 +310,21 @@ class RecommenderService:
     construction; call :meth:`refresh` after mutating the model in place,
     or :meth:`swap_model` to atomically replace it with another one (the
     hot-swap path used by ``repro.streaming``).
+
+    Examples
+    --------
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> from repro.train import train_model
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> model = train_model(
+    ...     TaxonomyFactorModel(data.taxonomy, factors=4, epochs=1, seed=0),
+    ...     data.log,
+    ... )
+    >>> service = RecommenderService(model, history_log=data.log)
+    >>> service.recommend_batch([0, 1, None], k=3).shape
+    (3, 3)
+    >>> service.stats.requests
+    3
     """
 
     def __init__(
@@ -304,7 +354,7 @@ class RecommenderService:
         popularity: Optional[PopularityModel],
         cascade: Optional[Union[CascadeConfig, CascadedRecommender]],
         generation: int,
-    ) -> _ModelState:
+    ) -> ModelState:
         factor_set = model.factor_set  # fail fast when unfitted
         if history_log is None:
             history_log = model._train_log
@@ -320,7 +370,7 @@ class RecommenderService:
         fold_in = FoldInRecommender(
             model, steps=self.fold_in_steps, seed=self.fold_in_seed
         )
-        return _ModelState(
+        return ModelState(
             model=model,
             history_log=history_log,
             popularity=popularity,
@@ -361,6 +411,7 @@ class RecommenderService:
 
     @popularity.setter
     def popularity(self, value: Optional[PopularityModel]) -> None:
+        """Replace the fallback inside the immutable state (atomically)."""
         with self._swap_lock:
             self._state = replace(self._state, popularity=value)
 
@@ -368,6 +419,16 @@ class RecommenderService:
     def generation(self) -> int:
         """Bumped by every swap / cache invalidation (0 at construction)."""
         return self._state.generation
+
+    @property
+    def model_state(self) -> ModelState:
+        """The current immutable :class:`ModelState` snapshot.
+
+        One attribute read hands back everything a request (or an external
+        exporter such as :class:`~repro.serving.sharding.ShardRouter`)
+        needs, coherent even while another thread is mid-:meth:`swap_model`.
+        """
+        return self._state
 
     @property
     def stats(self) -> ServingStats:
@@ -461,7 +522,7 @@ class RecommenderService:
         return self._known(self._state, user)
 
     @staticmethod
-    def _known(state: _ModelState, user: Optional[int]) -> bool:
+    def _known(state: ModelState, user: Optional[int]) -> bool:
         return user is not None and 0 <= int(user) < state.model.n_users
 
     # ------------------------------------------------------------------
@@ -495,7 +556,7 @@ class RecommenderService:
         return top
 
     def _recommend_known(
-        self, state: _ModelState, user: int, k: int, history: Optional[History]
+        self, state: ModelState, user: int, k: int, history: Optional[History]
     ) -> np.ndarray:
         if state.cascade is not None:
             result = state.cascade.rank(user, history)
@@ -516,7 +577,7 @@ class RecommenderService:
         return row[row >= 0]
 
     def _query_vector(
-        self, state: _ModelState, user: int, history: Optional[History]
+        self, state: ModelState, user: int, history: Optional[History]
     ) -> np.ndarray:
         if history is not None:
             # Explicit histories bypass the cache: the vector is
@@ -533,13 +594,13 @@ class RecommenderService:
         return vector
 
     @staticmethod
-    def _banned_items(state: _ModelState, user: int) -> np.ndarray:
+    def _banned_items(state: ModelState, user: int) -> np.ndarray:
         log = state.history_log
         if log is None or user >= log.n_users:
             return np.empty(0, dtype=np.int64)
         return log.user_items(user)
 
-    def _fallback(self, state: _ModelState, k: int) -> np.ndarray:
+    def _fallback(self, state: ModelState, k: int) -> np.ndarray:
         if state.popularity is None:
             raise ServingError(
                 "no history and no popularity fallback configured; pass "
@@ -610,7 +671,7 @@ class RecommenderService:
 
     def _batch_known(
         self,
-        state: _ModelState,
+        state: ModelState,
         users: np.ndarray,
         histories: Optional[List[Optional[History]]],
         width: int,

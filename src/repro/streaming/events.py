@@ -54,7 +54,13 @@ class EventError(ValueError):
 
 @dataclass(frozen=True)
 class PurchaseEvent:
-    """One transaction: *user* bought *items* (a non-empty basket)."""
+    """One transaction: *user* bought *items* (a non-empty basket).
+
+    Examples
+    --------
+    >>> PurchaseEvent(user=3, items=(5, 2, 5)).basket()
+    array([2, 5])
+    """
 
     user: int
     items: Tuple[int, ...]
@@ -83,7 +89,13 @@ class PurchaseEvent:
 
 @dataclass(frozen=True)
 class ItemArrival:
-    """A new catalog item released under taxonomy node *parent*."""
+    """A new catalog item released under taxonomy node *parent*.
+
+    Examples
+    --------
+    >>> ItemArrival(parent=7, name="gadget").name
+    'gadget'
+    """
 
     parent: int
     name: Optional[str] = None
@@ -138,6 +150,18 @@ class EventLog:
     and a truncated trailing line (crash mid-append) is skipped on read
     rather than poisoning the replay — corruption anywhere *else* in the
     file is surfaced as an :class:`EventError`.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> tmp = tempfile.TemporaryDirectory()
+    >>> journal = EventLog(tmp.name + "/events.jsonl")
+    >>> journal.append(PurchaseEvent(user=0, items=(1, 2)))
+    >>> journal.append_many([ItemArrival(parent=3)])
+    1
+    >>> [type(event).__name__ for event in journal]
+    ['PurchaseEvent', 'ItemArrival']
+    >>> tmp.cleanup()
     """
 
     def __init__(self, path: PathLike):
@@ -212,6 +236,7 @@ class MicroBatch:
 
     @property
     def n_events(self) -> int:
+        """Events in the window (purchases plus catalog arrivals)."""
         return len(self.purchases) + len(self.arrivals)
 
     @property

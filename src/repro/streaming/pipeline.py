@@ -45,6 +45,24 @@ class StreamingPipeline:
     store:
         Optional :class:`~repro.streaming.swap.CheckpointStore`; every
         publication is checkpointed before going live.
+
+    Examples
+    --------
+    >>> from repro import (PurchaseEvent, RecommenderService,
+    ...                    SyntheticConfig, TaxonomyFactorModel,
+    ...                    generate_dataset)
+    >>> from repro.train import train_model
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> model = train_model(
+    ...     TaxonomyFactorModel(data.taxonomy, factors=4, epochs=1, seed=0),
+    ...     data.log,
+    ... )
+    >>> service = RecommenderService(model, history_log=data.log)
+    >>> pipeline = StreamingPipeline(service, batch_size=2, swap_every=1)
+    >>> stats = pipeline.run([PurchaseEvent(user=0, items=(1,)),
+    ...                       PurchaseEvent(user=1, items=(2,))])
+    >>> (stats.events, pipeline.swaps, service.generation)
+    (2, 1, 1)
     """
 
     def __init__(

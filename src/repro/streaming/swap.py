@@ -15,6 +15,13 @@ this module makes them durable and live.
   flushes the query-vector cache and retires its generation.  Requests in
   flight finish against the old model; the next request sees the new one —
   serving never pauses.
+
+The swap target is duck-typed on ``swap_model(model, popularity=...)``:
+a :class:`~repro.serving.sharding.ShardRouter` satisfies the same
+contract, so one :meth:`HotSwapper.publish` call republishes the factor
+matrices into shared memory and remaps **every shard process** of a
+sharded fleet — the checkpoint/swap pipeline is identical whether one
+process or N serve the traffic.
 """
 
 from __future__ import annotations
@@ -27,8 +34,13 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.serving.bundle import ModelBundle
 from repro.serving.service import RecommenderService
+from repro.serving.sharding import ShardRouter
 
 PathLike = Union[str, Path]
+
+#: Anything a :class:`HotSwapper` can publish into: a single-process
+#: service or a multi-process shard fleet (same ``swap_model`` contract).
+SwapTarget = Union[RecommenderService, ShardRouter]
 
 _VERSION_RE = re.compile(r"^v(\d{4,})$")
 LATEST_NAME = "LATEST"
@@ -48,6 +60,24 @@ class CheckpointStore:
     keep:
         Retain only the newest *keep* versions, pruning older ones after
         each save (``None`` keeps everything).
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> from repro.train import train_model
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> model = train_model(
+    ...     TaxonomyFactorModel(data.taxonomy, factors=4, epochs=1, seed=0),
+    ...     data.log,
+    ... )
+    >>> tmp = tempfile.TemporaryDirectory()
+    >>> store = CheckpointStore(tmp.name, keep=2)
+    >>> [store.save(model) for _ in range(3)]
+    [1, 2, 3]
+    >>> store.versions()   # keep=2 pruned v0001
+    [2, 3]
+    >>> tmp.cleanup()
     """
 
     def __init__(self, directory: PathLike, keep: Optional[int] = None):
@@ -82,6 +112,7 @@ class CheckpointStore:
         return versions[-1] if versions else None
 
     def path_of(self, version: int) -> Path:
+        """The bundle directory of checkpoint *version*."""
         return self.directory / f"v{version:04d}"
 
     # ------------------------------------------------------------------
@@ -124,16 +155,37 @@ class HotSwapper:
     Parameters
     ----------
     service:
-        The :class:`~repro.serving.service.RecommenderService` to swap.
+        The swap target: a
+        :class:`~repro.serving.service.RecommenderService` or a
+        :class:`~repro.serving.sharding.ShardRouter` (publishing to a
+        router atomically remaps the shared factor matrices across every
+        shard process).
     store:
         Optional :class:`CheckpointStore`; when given, every published
         snapshot is checkpointed *before* it goes live, so the served
         model is always recoverable from disk.
+
+    Examples
+    --------
+    >>> from repro import (RecommenderService, SyntheticConfig,
+    ...                    TaxonomyFactorModel, generate_dataset)
+    >>> from repro.train import train_model
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> model = train_model(
+    ...     TaxonomyFactorModel(data.taxonomy, factors=4, epochs=1, seed=0),
+    ...     data.log,
+    ... )
+    >>> service = RecommenderService(model, history_log=data.log)
+    >>> swapper = HotSwapper(service)          # no store: swap only
+    >>> print(swapper.publish(model))
+    None
+    >>> (swapper.swaps, service.generation)
+    (1, 1)
     """
 
     def __init__(
         self,
-        service: RecommenderService,
+        service: SwapTarget,
         store: Optional[CheckpointStore] = None,
     ):
         self.service = service

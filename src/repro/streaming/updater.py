@@ -63,11 +63,13 @@ class StreamingStats:
 
     @property
     def events_per_second(self) -> float:
+        """Sustained ingestion rate over the updater's busy seconds."""
         if self.seconds <= 0:
             return float("nan")
         return self.events / self.seconds
 
     def as_dict(self) -> Dict[str, float]:
+        """Flat summary (for logs, the CLI, and benchmark payloads)."""
         return {
             "events": self.events,
             "purchases": self.purchases,
@@ -99,6 +101,23 @@ class OnlineUpdater:
         history (see :func:`~repro.core.folding.fold_in_user`).
     seed:
         Seed of the negative sampler and fold-in.
+
+    Examples
+    --------
+    >>> from repro import (PurchaseEvent, SyntheticConfig,
+    ...                    TaxonomyFactorModel, generate_dataset)
+    >>> from repro.train import train_model
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> model = train_model(
+    ...     TaxonomyFactorModel(data.taxonomy, factors=4, epochs=1, seed=0),
+    ...     data.log,
+    ... )
+    >>> updater = OnlineUpdater(model, steps=1, seed=0)
+    >>> stats = updater.apply_events([PurchaseEvent(user=0, items=(1,))])
+    >>> (stats.events, stats.purchases)
+    (1, 1)
+    >>> updater.snapshot() is not model   # an independent published model
+    True
     """
 
     def __init__(
@@ -171,6 +190,7 @@ class OnlineUpdater:
 
     @property
     def n_items(self) -> int:
+        """Items the working copy currently scores (grows on onboarding)."""
         return self.model.n_items
 
     def history_of(self, user: int) -> List[np.ndarray]:

@@ -80,10 +80,12 @@ class TrainerResult:
 
     @property
     def epochs_run(self) -> int:
+        """Epochs actually executed (early stopping can cut the run short)."""
         return len(self.history)
 
     @property
     def final_loss(self) -> float:
+        """Training loss of the last epoch (``nan`` for empty runs)."""
         return self.history[-1].loss if self.history else float("nan")
 
     def __str__(self) -> str:
@@ -114,6 +116,18 @@ class Trainer(abc.ABC):
     * ``_run_epoch(epoch)`` — run one epoch and return a
       :class:`TrainEpoch`; the per-epoch seed is ``self.epoch_seed(epoch)``
       and the step size to honour is ``self.learning_rate``.
+
+    Examples
+    --------
+    Every backend runs through the same loop; the serial one:
+
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> from repro.train import SerialTrainer
+    >>> model = TaxonomyFactorModel(data.taxonomy, factors=4, epochs=2, seed=0)
+    >>> result = SerialTrainer(model).train(data.log)
+    >>> len(result.history) == result.epochs_run == 2
+    True
     """
 
     #: Backend identifier stamped on every :class:`TrainEpoch`.
@@ -139,6 +153,7 @@ class Trainer(abc.ABC):
     # ------------------------------------------------------------------
     @property
     def config(self) -> TrainConfig:
+        """The wrapped model's training hyper-parameters."""
         return self.model.config
 
     @property

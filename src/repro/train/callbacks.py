@@ -33,20 +33,20 @@ class Callback:
     """Base class: override any subset of the four hooks."""
 
     def on_train_begin(self, trainer: Trainer) -> None:  # pragma: no cover
-        pass
+        """Called once before epoch 0 (factors are already initialized)."""
 
     def on_epoch_begin(self, epoch: int, trainer: Trainer) -> None:
-        pass
+        """Called before each epoch; schedules mutate the rate here."""
 
     def on_epoch_end(
         self, epoch: int, stats: TrainEpoch, trainer: Trainer
     ) -> None:
-        pass
+        """Called after each epoch with its :class:`TrainEpoch` record."""
 
     def on_train_end(
         self, result: TrainerResult, trainer: Trainer
     ) -> None:  # pragma: no cover
-        pass
+        """Called once after the loop with the final result."""
 
 
 class CallbackList(Callback):
@@ -56,20 +56,24 @@ class CallbackList(Callback):
         self.callbacks = list(callbacks)
 
     def on_train_begin(self, trainer: Trainer) -> None:
+        """Dispatch ``on_train_begin`` to every callback, in order."""
         for callback in self.callbacks:
             callback.on_train_begin(trainer)
 
     def on_epoch_begin(self, epoch: int, trainer: Trainer) -> None:
+        """Dispatch ``on_epoch_begin`` to every callback, in order."""
         for callback in self.callbacks:
             callback.on_epoch_begin(epoch, trainer)
 
     def on_epoch_end(
         self, epoch: int, stats: TrainEpoch, trainer: Trainer
     ) -> None:
+        """Dispatch ``on_epoch_end`` to every callback, in order."""
         for callback in self.callbacks:
             callback.on_epoch_end(epoch, stats, trainer)
 
     def on_train_end(self, result: TrainerResult, trainer: Trainer) -> None:
+        """Dispatch ``on_train_end`` to every callback, in order."""
         for callback in self.callbacks:
             callback.on_train_end(result, trainer)
 
@@ -88,12 +92,14 @@ class LambdaCallback(Callback):
         self._end = on_epoch_end
 
     def on_epoch_begin(self, epoch: int, trainer: Trainer) -> None:
+        """Invoke the wrapped ``on_epoch_begin`` function, if any."""
         if self._begin is not None:
             self._begin(epoch, trainer)
 
     def on_epoch_end(
         self, epoch: int, stats: TrainEpoch, trainer: Trainer
     ) -> None:
+        """Invoke the wrapped ``on_epoch_end`` function, if any."""
         if self._end is not None:
             self._end(epoch, stats, trainer)
 
@@ -109,7 +115,7 @@ class LRSchedule(Callback):
     0.05
     >>> round(LRSchedule.exponential(gamma=0.9).lr_at(2, 0.1), 4)
     0.081
-    >>> LRSchedule.warmup(3).lr_at(0, 0.3)
+    >>> round(LRSchedule.warmup(3).lr_at(0, 0.3), 4)
     0.1
     """
 
@@ -158,12 +164,15 @@ class LRSchedule(Callback):
 
     # -- hooks ----------------------------------------------------------
     def lr_at(self, epoch: int, base: float) -> float:
+        """The rate this schedule prescribes for *epoch* given *base*."""
         return float(self.schedule(epoch, base))
 
     def on_train_begin(self, trainer: Trainer) -> None:
+        """Capture the base rate the whole schedule derives from."""
         self._base = trainer.learning_rate
 
     def on_epoch_begin(self, epoch: int, trainer: Trainer) -> None:
+        """Set the trainer's step size for the coming epoch."""
         base = self._base if self._base is not None else trainer.learning_rate
         trainer.set_learning_rate(self.lr_at(epoch, base))
 
@@ -177,6 +186,20 @@ class EvalCallback(Callback):
     fixed seeded subsample — the same users every epoch, so the curve is
     comparable across epochs — which keeps per-epoch evaluation cheap on
     large user sets.
+
+    Examples
+    --------
+    >>> from repro import (SyntheticConfig, TaxonomyFactorModel,
+    ...                    generate_dataset, train_test_split)
+    >>> from repro.train import SerialTrainer
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> split = train_test_split(data.log, mu=0.5, seed=0)
+    >>> model = TaxonomyFactorModel(data.taxonomy, factors=4, epochs=2, seed=0)
+    >>> result = SerialTrainer(
+    ...     model, callbacks=[EvalCallback(split, every=2)]
+    ... ).train(split.train)
+    >>> len(result.evals)
+    1
     """
 
     def __init__(
@@ -201,6 +224,7 @@ class EvalCallback(Callback):
         self._users = None  # the fixed evaluation subset, drawn once
 
     def on_train_begin(self, trainer: Trainer) -> None:
+        """Reset the per-run evaluation history."""
         self.history = []  # reusable across runs, like the other callbacks
 
     def _eval_users(self):
@@ -216,6 +240,7 @@ class EvalCallback(Callback):
     def on_epoch_end(
         self, epoch: int, stats: TrainEpoch, trainer: Trainer
     ) -> None:
+        """Score the held-out split every *every* epochs."""
         if (epoch + 1) % self.every:
             return
         from repro.eval.protocol import evaluate_model, evaluate_topk
@@ -247,6 +272,20 @@ class EarlyStopping(Callback):
     stops.  Observations are epochs for ``"loss"`` and fresh evaluations
     for ``"auc"`` — epochs an ``EvalCallback(every=N)`` skips don't count
     against patience (the stale value is not re-judged).
+
+    Examples
+    --------
+    A ridiculous ``min_delta`` makes every epoch count as a plateau, so
+    a 10-epoch budget stops after ``1 + patience`` epochs:
+
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> from repro.train import SerialTrainer
+    >>> model = TaxonomyFactorModel(data.taxonomy, factors=4, epochs=10, seed=0)
+    >>> stopper = EarlyStopping(monitor="loss", patience=2, min_delta=1e9)
+    >>> result = SerialTrainer(model, callbacks=[stopper]).train(data.log)
+    >>> (result.stopped_early, result.epochs_run)
+    (True, 3)
     """
 
     def __init__(
@@ -270,6 +309,7 @@ class EarlyStopping(Callback):
         self._seen_evals = 0
 
     def on_train_begin(self, trainer: Trainer) -> None:
+        """Reset the plateau tracking for a fresh run."""
         # Callback instances are reusable across runs (quickstart trains
         # TF and MF with one list); a fresh run starts from scratch.
         self.best = None
@@ -289,6 +329,7 @@ class EarlyStopping(Callback):
     def on_epoch_end(
         self, epoch: int, stats: TrainEpoch, trainer: Trainer
     ) -> None:
+        """Judge this epoch's observation; request a stop on plateau."""
         value = self._value(stats, trainer)
         if value is None or math.isnan(value):
             return
@@ -317,6 +358,20 @@ class CheckpointCallback(Callback):
     ... + ``LATEST``), carrying the epoch and loss in the manifest.  With
     ``monitor="loss"`` only improving epochs are checkpointed, so
     ``store.load()`` always returns the best model so far.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> from repro.train import SerialTrainer
+    >>> model = TaxonomyFactorModel(data.taxonomy, factors=4, epochs=2, seed=0)
+    >>> tmp = tempfile.TemporaryDirectory()
+    >>> saver = CheckpointCallback(tmp.name, every=1)
+    >>> _ = SerialTrainer(model, callbacks=[saver]).train(data.log)
+    >>> saver.versions
+    [1, 2]
+    >>> tmp.cleanup()
     """
 
     def __init__(
@@ -340,12 +395,14 @@ class CheckpointCallback(Callback):
         self._best = float("inf")
 
     def on_train_begin(self, trainer: Trainer) -> None:
+        """Forget the previous run's best loss and saved versions."""
         self._best = float("inf")  # don't carry a previous run's best
         self.versions = []
 
     def on_epoch_end(
         self, epoch: int, stats: TrainEpoch, trainer: Trainer
     ) -> None:
+        """Checkpoint the current model when the cadence/monitor allow."""
         if (epoch + 1) % self.every:
             return
         if self.monitor == "loss":
@@ -368,6 +425,7 @@ class ProgressCallback(Callback):
     def on_epoch_end(
         self, epoch: int, stats: TrainEpoch, trainer: Trainer
     ) -> None:
+        """Print the epoch's one-line summary."""
         extra = ""
         if "auc" in stats.extras and not np.isnan(stats.extras["auc"]):
             extra = f" auc={stats.extras['auc']:.4f}"

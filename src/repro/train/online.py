@@ -44,6 +44,19 @@ class OnlineTrainer(Trainer):
         Warm-start budget for brand-new users.
     learning_rate, reg:
         Default to the model's training config.
+
+    Examples
+    --------
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> from repro.train import train_model
+    >>> warm = train_model(
+    ...     TaxonomyFactorModel(data.taxonomy, factors=4, epochs=1, seed=0),
+    ...     data.log,
+    ... )
+    >>> result = OnlineTrainer(warm, steps=1, batch_size=64).train(data.log)
+    >>> (result.epochs_run, result.backend)
+    (1, 'online')
     """
 
     backend = "online"

@@ -74,6 +74,7 @@ class ExperimentResult:
     trainer_result: Optional[TrainerResult] = field(default=None, repr=False)
 
     def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable summary of this variant's run."""
         return {
             "variant": self.variant,
             "metrics": dict(self.metrics),
@@ -93,6 +94,7 @@ class ExperimentReport:
 
     @property
     def primary(self) -> ExperimentResult:
+        """The spec's main variant (``compare`` entries follow it)."""
         return self.results[0]
 
     def table(self) -> str:
@@ -127,6 +129,7 @@ class ExperimentReport:
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable report: the spec plus every result."""
         from repro.utils.config import spec_to_dict
 
         return {
@@ -452,7 +455,24 @@ def run_experiment(
     callbacks: Sequence[Callback] = (),
     verbose: bool = False,
 ) -> ExperimentReport:
-    """Convenience: ``ExperimentRunner(spec, callbacks).run(verbose)``."""
+    """Convenience: ``ExperimentRunner(spec, callbacks).run(verbose)``.
+
+    Examples
+    --------
+    >>> from repro import (DataSpec, ExperimentSpec, SyntheticConfig,
+    ...                    TrainConfig)
+    >>> spec = ExperimentSpec(
+    ...     name="doc-demo",
+    ...     model="tf",
+    ...     data=DataSpec(synthetic=SyntheticConfig(n_users=40, seed=0)),
+    ...     train=TrainConfig(factors=4, epochs=1, seed=0),
+    ... )
+    >>> report = run_experiment(spec)
+    >>> report.primary.variant
+    'tf'
+    >>> sorted(report.primary.metrics)[:2]
+    ['auc', 'hit_rate@10']
+    """
     return ExperimentRunner(spec, callbacks=callbacks).run(verbose=verbose)
 
 

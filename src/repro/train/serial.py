@@ -35,13 +35,34 @@ def train_model(model: Any, log: TransactionLog, **train_kwargs) -> Any:
     The drop-in replacement for the deprecated ``model.fit(log)`` chain
     (identical factors for the same seed); keyword arguments pass through
     to :meth:`~repro.train.base.Trainer.train`.
+
+    Examples
+    --------
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> model = train_model(
+    ...     TaxonomyFactorModel(data.taxonomy, factors=4, epochs=2, seed=0),
+    ...     data.log,
+    ... )
+    >>> model.recommend(user=0, k=3).shape
+    (3,)
     """
     SerialTrainer(model).train(log, **train_kwargs)
     return model
 
 
 class SerialTrainer(Trainer):
-    """Single-threaded trainer over a model's full configuration space."""
+    """Single-threaded trainer over a model's full configuration space.
+
+    Examples
+    --------
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> model = TaxonomyFactorModel(data.taxonomy, factors=4, epochs=2, seed=0)
+    >>> result = SerialTrainer(model).train(data.log)
+    >>> (result.epochs_run, result.backend)
+    (2, 'serial')
+    """
 
     backend = "serial"
 

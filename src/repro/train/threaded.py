@@ -36,6 +36,15 @@ class ThreadedTrainer(Trainer):
     use_cache, cache_threshold:
         Route hot internal-node rows through per-thread write-back caches
         with threshold reconciliation (the paper's ``th``).
+
+    Examples
+    --------
+    >>> from repro import SyntheticConfig, TaxonomyFactorModel, generate_dataset
+    >>> data = generate_dataset(SyntheticConfig(n_users=40, seed=0))
+    >>> model = TaxonomyFactorModel(data.taxonomy, factors=4, epochs=1, seed=0)
+    >>> result = ThreadedTrainer(model, n_workers=2).train(data.log)
+    >>> (result.epochs_run, result.backend)
+    (1, 'threaded')
     """
 
     backend = "threaded"

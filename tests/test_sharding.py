@@ -1,0 +1,497 @@
+"""Tests for the multi-process serving fleet (``repro.serving.sharding``)."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (
+    CascadeConfig,
+    CheckpointStore,
+    HotSwapper,
+    OnlineUpdater,
+    PopularityModel,
+    PurchaseEvent,
+    RecommenderService,
+    ShardingError,
+    ShardRouter,
+)
+from repro.core.topk import merge_top_k_rows, top_k_rows
+from repro.serving.sharding import SharedFactors, attach_factors, shard_of
+
+
+@pytest.fixture(scope="module")
+def router(tf_model, split):
+    with ShardRouter(tf_model, n_shards=2, history_log=split.train) as fleet:
+        yield fleet
+
+
+@pytest.fixture(scope="module")
+def service(tf_model, split):
+    return RecommenderService(tf_model, history_log=split.train)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory factor publication
+# ----------------------------------------------------------------------
+class TestSharedFactors:
+    def test_roundtrip_is_exact_and_readonly(self, tf_model):
+        source = tf_model.factor_set
+        shared = SharedFactors(source, generation=3)
+        try:
+            assert shared.handle.generation == 3
+            restored, segments = attach_factors(
+                shared.handle, tf_model.taxonomy
+            )
+            try:
+                np.testing.assert_array_equal(restored.user, source.user)
+                np.testing.assert_array_equal(restored.w, source.w)
+                np.testing.assert_array_equal(restored.bias, source.bias)
+                assert not restored.user.flags.writeable
+                assert restored.levels == source.levels
+                # Effective factors computed from the views match exactly.
+                np.testing.assert_array_equal(
+                    restored.effective_items(), source.effective_items()
+                )
+            finally:
+                del restored
+                for segment in segments:
+                    segment.close()
+        finally:
+            shared.release()
+
+    def test_release_is_idempotent_and_unlinks(self, tf_model):
+        shared = SharedFactors(tf_model.factor_set)
+        names = [spec.name for spec in shared.handle.arrays.values()]
+        shared.release()
+        shared.release()
+        if os.path.isdir("/dev/shm"):
+            for name in names:
+                assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_attach_rejects_wrong_taxonomy(self, tf_model, tiny_taxonomy):
+        shared = SharedFactors(tf_model.factor_set)
+        try:
+            with pytest.raises(ValueError, match="wrong taxonomy"):
+                attach_factors(shared.handle, tiny_taxonomy)
+        finally:
+            shared.release()
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        users = np.arange(500)
+        first = shard_of(users, 4)
+        second = shard_of(users, 4)
+        np.testing.assert_array_equal(first, second)
+        assert first.min() >= 0 and first.max() < 4
+
+    def test_balances_strided_ids(self):
+        # user ids that are all even would pin `u % 2` to shard 0.
+        counts = np.bincount(shard_of(np.arange(0, 4000, 2), 2), minlength=2)
+        assert counts.min() > 800
+
+    def test_single_shard(self):
+        assert shard_of(np.arange(10), 1).max() == 0
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_of(np.arange(3), 0)
+
+
+class TestMergeTopKRows:
+    def test_merges_disjoint_pages(self):
+        items = [np.array([[0, 2]]), np.array([[5, 3]])]
+        scores = [np.array([[9.0, 1.0]]), np.array([[8.0, 4.0]])]
+        np.testing.assert_array_equal(
+            merge_top_k_rows(items, scores, k=3), [[0, 5, 3]]
+        )
+
+    def test_ties_break_by_item_index(self):
+        items = [np.array([[7]]), np.array([[2]])]
+        scores = [np.array([[1.0]]), np.array([[1.0]])]
+        np.testing.assert_array_equal(
+            merge_top_k_rows(items, scores, k=2), [[2, 7]]
+        )
+
+    def test_pads_propagate_and_sort_last(self):
+        items = [np.array([[4, -1]]), np.array([[-1, -1]])]
+        scores = [np.array([[2.0, 5.0]]), np.array([[9.0, 9.0]])]
+        np.testing.assert_array_equal(
+            merge_top_k_rows(items, scores, k=4), [[4, -1, -1, -1]]
+        )
+
+    def test_matches_unsharded_topk(self, rng):
+        scores = rng.normal(size=(6, 40))
+        expected = top_k_rows(scores, 7)
+        split_points = [13, 29]
+        blocks = np.split(scores, split_points, axis=1)
+        offsets = [0] + split_points
+        pages, page_scores = [], []
+        for offset, block in zip(offsets, blocks):
+            local = top_k_rows(block, 7)
+            pages.append(np.where(local >= 0, local + offset, -1))
+            page_scores.append(
+                np.take_along_axis(block, np.clip(local, 0, None), axis=1)
+            )
+        np.testing.assert_array_equal(
+            merge_top_k_rows(pages, page_scores, 7), expected
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            merge_top_k_rows([np.zeros((1, 2))], [np.zeros((1, 3))], k=2)
+        with pytest.raises(ValueError):
+            merge_top_k_rows([], [], k=2)
+
+    def test_zero_k(self):
+        out = merge_top_k_rows([np.zeros((2, 3))], [np.zeros((2, 3))], k=0)
+        assert out.shape == (2, 0)
+
+
+# ----------------------------------------------------------------------
+# The fleet: user partition
+# ----------------------------------------------------------------------
+class TestShardRouterUsers:
+    def test_bit_identical_to_single_process(self, router, service, tf_model):
+        users = np.arange(min(150, tf_model.n_users))
+        np.testing.assert_array_equal(
+            router.recommend_batch(users, k=10),
+            service.recommend_batch(users, k=10),
+        )
+
+    def test_cold_users_route_everywhere(self, router, service):
+        users = [None, 10**9, None, None]
+        histories = [
+            [np.array([1, 2])], [np.array([3])], None,
+            [np.array([5, 6]), np.array([7])],
+        ]
+        np.testing.assert_array_equal(
+            router.recommend_batch(users, k=5, histories=histories),
+            service.recommend_batch(users, k=5, histories=histories),
+        )
+
+    def test_single_request_convenience(self, router, service):
+        np.testing.assert_array_equal(
+            router.recommend(3, k=7), service.recommend(3, k=7)
+        )
+
+    def test_explicit_history_override(self, router, service):
+        histories = [[np.array([0, 1])], None]
+        np.testing.assert_array_equal(
+            router.recommend_batch([2, 3], k=6, histories=histories),
+            service.recommend_batch([2, 3], k=6, histories=histories),
+        )
+
+    def test_empty_batch(self, router):
+        assert router.recommend_batch([], k=5).shape == (0, 5)
+
+    def test_history_length_mismatch(self, router):
+        with pytest.raises(ValueError, match="histories"):
+            router.recommend_batch([1, 2], k=3, histories=[None])
+
+    def test_stats_aggregate_across_shards(self, tf_model, split):
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train
+        ) as fleet:
+            fleet.recommend_batch(np.arange(40), k=5)
+            stats = fleet.stats()
+        assert stats["requests"] == 40
+        assert len(stats["shards"]) == 2
+        assert sum(s["requests"] for s in stats["shards"]) == 40
+        assert stats["nodes_scored"] > 0
+
+    def test_markov_model_identical(self, tf_markov_model, split):
+        service = RecommenderService(tf_markov_model, history_log=split.train)
+        with ShardRouter(
+            tf_markov_model, n_shards=2, history_log=split.train
+        ) as fleet:
+            users = np.arange(60)
+            np.testing.assert_array_equal(
+                fleet.recommend_batch(users, k=8),
+                service.recommend_batch(users, k=8),
+            )
+
+    def test_cascade_passthrough(self, tf_model, split):
+        cascade = CascadeConfig(keep_fractions=(0.5, 0.5, 0.5))
+        service = RecommenderService(
+            tf_model, history_log=split.train, cascade=cascade
+        )
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train, cascade=cascade
+        ) as fleet:
+            users = np.arange(30)
+            np.testing.assert_array_equal(
+                fleet.recommend_batch(users, k=5),
+                service.recommend_batch(users, k=5),
+            )
+
+
+# ----------------------------------------------------------------------
+# The fleet: item partition
+# ----------------------------------------------------------------------
+class TestShardRouterItems:
+    def test_identical_to_single_process(self, tf_model, split, service):
+        with ShardRouter(
+            tf_model, n_shards=3, history_log=split.train, partition="items"
+        ) as fleet:
+            users = np.arange(80)
+            np.testing.assert_array_equal(
+                fleet.recommend_batch(users, k=10),
+                service.recommend_batch(users, k=10),
+            )
+
+    def test_cold_rows_served_whole(self, tf_model, split, service):
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train, partition="items"
+        ) as fleet:
+            users = [0, None, 5, None]
+            histories = [None, [np.array([2, 3])], None, None]
+            np.testing.assert_array_equal(
+                fleet.recommend_batch(users, k=6, histories=histories),
+                service.recommend_batch(users, k=6, histories=histories),
+            )
+
+    def test_stats_count_user_rows_not_page_fanout(self, tf_model, split):
+        # Each row fans out to every shard in item mode; `requests` must
+        # still count end-user rows, not shard-local page work.
+        with ShardRouter(
+            tf_model, n_shards=3, history_log=split.train, partition="items"
+        ) as fleet:
+            fleet.recommend_batch(np.arange(50), k=5)
+            stats = fleet.stats()
+        assert stats["requests"] == 50
+        # the raw per-shard payloads do describe the fan-out work
+        assert sum(s["known_user_requests"] for s in stats["shards"]) == 150
+
+    def test_cascade_combination_rejected(self, tf_model, split):
+        with pytest.raises(ValueError, match="cascad"):
+            ShardRouter(
+                tf_model,
+                n_shards=2,
+                history_log=split.train,
+                partition="items",
+                cascade=CascadeConfig(keep_fractions=(0.5,)),
+            )
+
+
+# ----------------------------------------------------------------------
+# Fleet-wide hot swap
+# ----------------------------------------------------------------------
+class TestFleetHotSwap:
+    def _updated_snapshot(self, tf_model):
+        updater = OnlineUpdater(tf_model, steps=2, seed=0)
+        updater.apply_events(
+            [PurchaseEvent(u, (u % tf_model.n_items,)) for u in range(24)]
+        )
+        return updater.snapshot()
+
+    def test_swap_serves_new_model_everywhere(self, tf_model, split):
+        snapshot = self._updated_snapshot(tf_model)
+        reference = RecommenderService(
+            snapshot, history_log=snapshot._train_log
+        )
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train
+        ) as fleet:
+            generation = fleet.swap_model(snapshot)
+            assert generation == 1
+            assert fleet.generation == 1
+            users = np.arange(50)
+            np.testing.assert_array_equal(
+                fleet.recommend_batch(users, k=8),
+                reference.recommend_batch(users, k=8),
+            )
+
+    def test_swap_retires_old_generation_segments(self, tf_model, split):
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train
+        ) as fleet:
+            old_names = [
+                spec.name for spec in fleet._shared.handle.arrays.values()
+            ]
+            fleet.swap_model(tf_model)
+            if os.path.isdir("/dev/shm"):
+                for name in old_names:
+                    assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_swap_under_concurrent_load(self, tf_model, split):
+        snapshot = self._updated_snapshot(tf_model)
+        candidates = [tf_model, snapshot]
+        references = [
+            RecommenderService(tf_model, history_log=split.train),
+            RecommenderService(snapshot, history_log=snapshot._train_log),
+        ]
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train
+        ) as fleet:
+            errors: list = []
+            served = [0]
+            stop = threading.Event()
+
+            def hammer() -> None:
+                users = np.arange(32)
+                while not stop.is_set():
+                    try:
+                        out = fleet.recommend_batch(users, k=10)
+                        if out.shape != (32, 10) or (out < 0).any():
+                            raise AssertionError("short page served")
+                        served[0] += 1
+                    except BaseException as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=hammer) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            stale = 0
+            for round_ in range(6):
+                live = candidates[round_ % 2]
+                fleet.swap_model(live)
+                page = fleet.recommend(0, k=10)
+                expected = references[round_ % 2].recommend(0, k=10)
+                if not np.array_equal(page, expected):
+                    stale += 1
+            stop.set()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert stale == 0
+            assert served[0] > 0
+            assert fleet.swaps == 6
+
+    def test_swap_with_unchanged_history_skips_repickle(self, tf_model, split):
+        # Same history object the fleet already serves: the payload must
+        # ship no log, and the swapped fleet must serve identically.
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train
+        ) as fleet:
+            before = fleet.recommend_batch(np.arange(30), k=5)
+            sent = []
+            original_send = type(fleet._links[0]).send
+
+            def spy(link, kind, payload):
+                if kind == "swap":
+                    sent.append(payload)
+                return original_send(link, kind, payload)
+
+            for link in fleet._links:
+                link.send = spy.__get__(link)
+            fleet.swap_model(tf_model, history_log=split.train)
+            assert sent and all(p.reuse_history for p in sent)
+            assert all(p.history_log is None for p in sent)
+            np.testing.assert_array_equal(
+                fleet.recommend_batch(np.arange(30), k=5), before
+            )
+
+    def test_partial_swap_failure_fails_stop(self, tf_model, split):
+        fleet = ShardRouter(tf_model, n_shards=2, history_log=split.train)
+        try:
+            fleet._links[1].process.terminate()
+            fleet._links[1].process.join(timeout=5)
+            with pytest.raises(ShardingError, match="closed|down|died"):
+                fleet.swap_model(tf_model)
+            # fail-stop: the router refuses all further traffic
+            with pytest.raises(ShardingError, match="closed"):
+                fleet.recommend_batch([0], k=3)
+        finally:
+            fleet.close()
+
+    def test_hot_swapper_publishes_to_fleet(self, tf_model, split, tmp_path):
+        snapshot = self._updated_snapshot(tf_model)
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train
+        ) as fleet:
+            swapper = HotSwapper(fleet, store=CheckpointStore(tmp_path))
+            version = swapper.publish(snapshot)
+            assert version == 1
+            assert swapper.swaps == 1
+            assert fleet.generation == 1
+            reference = RecommenderService(
+                snapshot, history_log=snapshot._train_log
+            )
+            np.testing.assert_array_equal(
+                fleet.recommend_batch(np.arange(20), k=5),
+                reference.recommend_batch(np.arange(20), k=5),
+            )
+
+
+# ----------------------------------------------------------------------
+# Lifecycle and failure modes
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_constructor_validation(self, tf_model, split):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardRouter(tf_model, n_shards=0, history_log=split.train)
+        with pytest.raises(ValueError, match="partition"):
+            ShardRouter(
+                tf_model, n_shards=1, history_log=split.train,
+                partition="nope",
+            )
+
+    def test_unfitted_model_rejected_before_spawn(self, dataset):
+        from repro import TaxonomyFactorModel
+
+        with pytest.raises(Exception):
+            ShardRouter(TaxonomyFactorModel(dataset.taxonomy), n_shards=1)
+
+    def test_closed_router_raises(self, tf_model, split):
+        fleet = ShardRouter(tf_model, n_shards=1, history_log=split.train)
+        fleet.close()
+        fleet.close()  # idempotent
+        with pytest.raises(ShardingError, match="closed"):
+            fleet.recommend_batch([0], k=3)
+
+    def test_close_releases_shared_memory(self, tf_model, split):
+        fleet = ShardRouter(tf_model, n_shards=1, history_log=split.train)
+        names = [spec.name for spec in fleet._shared.handle.arrays.values()]
+        fleet.close()
+        if os.path.isdir("/dev/shm"):
+            for name in names:
+                assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_explicit_popularity_forwarded(self, tf_model, split):
+        boosted = PopularityModel.from_counts(
+            np.arange(tf_model.n_items)[::-1].copy()
+        )
+        service = RecommenderService(
+            tf_model, history_log=split.train, popularity=boosted
+        )
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train, popularity=boosted
+        ) as fleet:
+            np.testing.assert_array_equal(
+                fleet.recommend_batch([None], k=5),
+                service.recommend_batch([None], k=5),
+            )
+
+
+class TestServeShardedCLI:
+    def test_round_trip_with_verify(self, tmp_path):
+        from repro.cli import main
+
+        data_dir = tmp_path / "data"
+        assert main([
+            "generate", "--out-dir", str(data_dir), "--users", "200",
+            "--seed", "5",
+        ]) == 0
+        bundle = tmp_path / "bundle"
+        assert main([
+            "train", "--data-dir", str(data_dir), "--model", str(bundle),
+            "--factors", "8", "--epochs", "2",
+        ]) == 0
+        out = tmp_path / "recs.jsonl"
+        assert main([
+            "serve-sharded", "--data-dir", str(data_dir), "--model",
+            str(bundle), "--users", "0:40", "--shards", "2", "--verify",
+            "--out", str(out),
+        ]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 40
+        import json
+
+        first = json.loads(lines[0])
+        assert first["user"] == 0 and len(first["items"]) == 10
