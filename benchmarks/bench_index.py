@@ -1,0 +1,355 @@
+"""Pruned-retrieval benchmark: exactness at 100k items, then throughput.
+
+Two acceptance claims of ``repro.serving.index`` are measured on a
+synthetic 100k-item catalog whose factors have the hierarchical coherence
+the TF model learns (ancestor offsets carry most of the signal, Eq. 1):
+
+* **exactness** — :class:`SubtreeIndex` top-k must be **bit-identical**
+  to the brute-force ``top_k_rows`` ranking, on the raw factor matrices
+  *and* through a :class:`RecommenderService` pair
+  (``retrieval="exact"`` vs ``"pruned"``), including forced score ties
+  (whole subtrees of identical factors, duplicates across subtrees),
+  fully-banned rows (all ``-inf``), rows with fewer than ``k`` finite
+  candidates, and ``k`` larger than the catalog.  This gate binds in
+  **every** mode — smoke (CI) included;
+* **throughput** — the pruned service must serve ``recommend_batch`` at
+  **>= 2x** the brute-force service on the same request stream.  The
+  gate binds at full scale; smoke mode records the number (CI boxes make
+  no performance promises).
+
+Like the other subsystem benches this is a plain script so CI can run it
+directly and archive its JSON payload::
+
+    PYTHONPATH=src python benchmarks/bench_index.py --smoke --out BENCH_index.json
+
+``--digest FILE`` additionally writes a SHA-256 over the ranking arrays
+(no timings, no environment) — the CI determinism job runs the bench
+twice and fails on any byte-level difference between the two digests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import format_table, report  # noqa: E402
+
+from repro.core.factors import FactorSet  # noqa: E402
+from repro.core.tf_model import TaxonomyFactorModel  # noqa: E402
+from repro.core.topk import top_k_rows  # noqa: E402
+from repro.serving.index import SubtreeIndex  # noqa: E402
+from repro.serving.service import RecommenderService  # noqa: E402
+from repro.taxonomy.tree import Taxonomy  # noqa: E402
+from repro.utils.config import TrainConfig  # noqa: E402
+
+#: Acceptance floor for pruned/brute-force throughput (full scale).
+MIN_SPEEDUP = 2.0
+#: Catalog shape: 50 top categories x 40 subcategories x 50 leaves.
+BRANCHING = (50, 40, 50)
+N_ITEMS = 100_000
+FACTORS = 32
+N_USERS = 2048
+
+SEED = 4242
+
+
+def _sizes(smoke: bool) -> Dict[str, int]:
+    if smoke:
+        return {"exact_rows": 256, "throughput_batch": 256, "rounds": 3, "k": 10}
+    return {"exact_rows": 512, "throughput_batch": 256, "rounds": 16, "k": 10}
+
+
+def _catalog() -> Taxonomy:
+    """A balanced 3-level taxonomy with exactly 100k leaves."""
+    a, b, c = BRANCHING
+    parent: List[int] = [-1]
+    parent += [0] * a
+    parent += np.repeat(np.arange(1, 1 + a), b).tolist()
+    parent += np.repeat(np.arange(1 + a, 1 + a + a * b), c).tolist()
+    taxonomy = Taxonomy(parent)
+    assert taxonomy.n_items == N_ITEMS
+    return taxonomy
+
+
+def _factor_set(taxonomy: Taxonomy, rng: np.random.Generator) -> FactorSet:
+    """Hierarchically coherent factors: ancestors dominate, leaves refine.
+
+    This is the structure Eq. 1 training produces — items under one
+    subtree share their ancestor offsets — and exactly what makes the
+    per-subtree Cauchy–Schwarz bounds sharp.  Two distortions are baked
+    in to stress the exactness gate: one whole subtree of *identical*
+    leaf offsets (every item in it ties on every query) and one leaf
+    chain duplicated into a different top-level category (cross-subtree
+    score ties).
+    """
+    scale = np.where(taxonomy.level >= taxonomy.max_depth, 0.05, 0.3)
+    scale = np.append(scale, 0.0)  # pad row
+    w = rng.normal(0.0, 1.0, size=(taxonomy.n_nodes + 1, FACTORS))
+    w *= scale[:, None]
+    bias = rng.normal(0.0, 1.0, size=taxonomy.n_nodes + 1) * scale * 0.3
+
+    # Within-subtree exact ties: every leaf under the first subcategory
+    # shares one offset vector and bias, so all 50 items tie on every
+    # query and the tie-break order alone decides the ranking there.
+    a, b, _c = BRANCHING
+    first_sub = taxonomy.nodes_of_items(taxonomy.subtree_items(1 + a))
+    w[first_sub] = w[first_sub[0]]
+    bias[first_sub] = bias[first_sub[0]]
+
+    # Cross-subtree exact ties: mirror top category 1's entire offset
+    # block onto top category 2, node for node.  The balanced layout
+    # makes corresponding nodes a constant id apart, and elementwise
+    # equal chains sum to bitwise-equal effective factors — thousands of
+    # items tied across *different* subtrees (so merged from different
+    # scan blocks).
+    sub_a = np.arange(1 + a, 1 + a + b)
+    leaf_a = taxonomy.nodes_of_items(taxonomy.subtree_items(1))
+    w[2] = w[1]
+    bias[2] = bias[1]
+    w[sub_a + b] = w[sub_a]
+    bias[sub_a + b] = bias[sub_a]
+    w[leaf_a + leaf_a.size] = w[leaf_a]
+    bias[leaf_a + leaf_a.size] = bias[leaf_a]
+
+    user = rng.normal(0.0, 0.3, size=(N_USERS, FACTORS))
+    return FactorSet.from_arrays(
+        taxonomy, user=user, w=w, bias=bias,
+        levels=taxonomy.max_depth + 1, init_scale=0.1,
+    )
+
+
+def _banned_rows(
+    n_rows: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Per-row exclusions stressing the pad paths.
+
+    Row 0 bans the whole catalog (an all--inf row), row 1 leaves only 3
+    finite candidates (fewer than ``k``), the rest ban a random
+    purchase-history-sized handful.
+    """
+    banned: List[np.ndarray] = [np.arange(N_ITEMS, dtype=np.int64)]
+    if n_rows > 1:
+        keep = np.array([7, 70_007, 99_999])
+        banned.append(np.setdiff1d(np.arange(N_ITEMS, dtype=np.int64), keep))
+    for _ in range(max(0, n_rows - 2)):
+        banned.append(
+            rng.choice(N_ITEMS, size=int(rng.integers(0, 120)), replace=False)
+        )
+    return banned[:n_rows]
+
+
+# ----------------------------------------------------------------------
+# (a) Bit-identical rankings, raw index and service pair
+# ----------------------------------------------------------------------
+def bench_exactness(
+    sizes: Dict[str, int],
+    taxonomy: Taxonomy,
+    factor_set: FactorSet,
+    rng: np.random.Generator,
+) -> Dict[str, object]:
+    effective = factor_set.effective_items()
+    bias = factor_set.bias_of_items()
+    index = SubtreeIndex(effective, bias, taxonomy)
+    k = sizes["k"]
+    n_rows = sizes["exact_rows"]
+    queries = rng.normal(0.0, 0.3, size=(n_rows, FACTORS))
+    banned = _banned_rows(n_rows, rng)
+
+    dense = queries @ effective.T + bias[None, :]
+    for row, row_banned in enumerate(banned):
+        if row_banned.size:
+            dense[row, row_banned] = -np.inf
+    brute = top_k_rows(dense, k)
+    page = index.top_k(queries, k, banned=banned)
+
+    # k far beyond the catalog width (padded everywhere) on a small slab.
+    wide_brute = top_k_rows(dense[:8], N_ITEMS + 5)
+    wide_page = index.top_k(queries[:8], N_ITEMS + 5, banned=banned[:8])
+
+    # The same contract through the serving front door.
+    model = TaxonomyFactorModel(taxonomy, TrainConfig(factors=FACTORS))
+    model._factors = factor_set
+    exact = RecommenderService(model, cache_size=0)
+    pruned = RecommenderService(model, cache_size=0, retrieval="pruned")
+    users = np.arange(min(N_USERS, n_rows), dtype=np.int64)
+    served_exact = exact.recommend_batch(users, k=k)
+    served_pruned = pruned.recommend_batch(users, k=k)
+
+    return {
+        "rows_checked": n_rows,
+        "k": k,
+        "index_level": index.level,
+        "n_groups": index.n_groups,
+        "raw_mismatches": int((page.items != brute).any(axis=1).sum()),
+        "wide_k_mismatches": int((wide_page.items != wide_brute).any(axis=1).sum()),
+        "service_mismatches": int(
+            (served_pruned != served_exact).any(axis=1).sum()
+        ),
+        "all_banned_row_is_padded": bool((page.items[0] == -1).all()),
+        "short_row_finite_slots": int((page.items[1] >= 0).sum()),
+        "fraction_scored": page.nodes_scored / float(dense.size),
+        "_arrays": (page.items, brute, wide_page.items, served_pruned),
+    }
+
+
+# ----------------------------------------------------------------------
+# (b) Pruned vs brute-force serving throughput
+# ----------------------------------------------------------------------
+def bench_throughput(
+    sizes: Dict[str, int], taxonomy: Taxonomy, factor_set: FactorSet
+) -> Dict[str, float]:
+    model = TaxonomyFactorModel(taxonomy, TrainConfig(factors=FACTORS))
+    model._factors = factor_set
+    batch, rounds, k = sizes["throughput_batch"], sizes["rounds"], sizes["k"]
+    batches = [
+        np.arange(start, start + batch, dtype=np.int64) % N_USERS
+        for start in range(0, batch * rounds, batch)
+    ]
+    served = sum(b.size for b in batches)
+
+    def drain(service: RecommenderService) -> float:
+        started = time.perf_counter()
+        for users in batches:
+            service.recommend_batch(users, k=k)
+        return time.perf_counter() - started
+
+    exact = RecommenderService(model, cache_size=0)
+    brute_seconds = drain(exact)
+    pruned_service = RecommenderService(model, cache_size=0, retrieval="pruned")
+    pruned_seconds = drain(pruned_service)
+    return {
+        "requests": served,
+        "k": k,
+        "brute_seconds": brute_seconds,
+        "brute_users_per_sec": served / brute_seconds,
+        "pruned_seconds": pruned_seconds,
+        "pruned_users_per_sec": served / pruned_seconds,
+        "speedup": brute_seconds / pruned_seconds,
+        "pruned_fraction_scored": (
+            pruned_service.stats.nodes_scored
+            / float(exact.stats.nodes_scored)
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Reporting / gates
+# ----------------------------------------------------------------------
+def _digest(arrays) -> str:
+    """SHA-256 over the ranking arrays only — stable across runs."""
+    payload = hashlib.sha256()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        payload.update(str(array.shape).encode())
+        payload.update(str(array.dtype).encode())
+        payload.update(array.tobytes())
+    return payload.hexdigest()
+
+
+def run(smoke: bool) -> Dict[str, object]:
+    sizes = _sizes(smoke)
+    rng = np.random.default_rng(SEED)
+    taxonomy = _catalog()
+    factor_set = _factor_set(taxonomy, rng)
+    exactness = bench_exactness(sizes, taxonomy, factor_set, rng)
+    digest = _digest(exactness.pop("_arrays"))
+    throughput = bench_throughput(sizes, taxonomy, factor_set)
+
+    speedup_gate = f">= {MIN_SPEEDUP}" if not smoke else "(smoke: recorded)"
+    table = format_table(
+        f"index: taxonomy-pruned exact retrieval over {N_ITEMS} items",
+        ["measure", "value", "gate"],
+        [
+            ["index groups (level)",
+             f"{exactness['n_groups']} ({exactness['index_level']})", ""],
+            ["raw top-k mismatches", exactness["raw_mismatches"], "== 0"],
+            ["k > catalog mismatches", exactness["wide_k_mismatches"], "== 0"],
+            ["service top-k mismatches", exactness["service_mismatches"], "== 0"],
+            ["fraction of catalog scored", exactness["fraction_scored"], ""],
+            ["brute-force users/sec", throughput["brute_users_per_sec"], ""],
+            ["pruned users/sec", throughput["pruned_users_per_sec"], ""],
+            ["speedup", throughput["speedup"], speedup_gate],
+        ],
+        note="exactness gates bind in every mode; the speedup gate at full scale",
+    )
+    payload: Dict[str, object] = {
+        "mode": "smoke" if smoke else "full",
+        "sizes": sizes,
+        "catalog": {"n_items": N_ITEMS, "factors": FACTORS, "seed": SEED},
+        "exactness": exactness,
+        "throughput": throughput,
+        "digest": digest,
+        "gates": {"min_speedup": MIN_SPEEDUP},
+    }
+    report("index", table, payload)
+    print(table)
+
+    failures = []
+    if exactness["raw_mismatches"]:
+        failures.append(
+            f"{exactness['raw_mismatches']} pruned rows diverge from the "
+            f"brute-force ranking"
+        )
+    if exactness["wide_k_mismatches"]:
+        failures.append("k > catalog rows diverge from brute force")
+    if exactness["service_mismatches"]:
+        failures.append(
+            f"{exactness['service_mismatches']} pruned service rows diverge "
+            f"from the exact service"
+        )
+    if not exactness["all_banned_row_is_padded"]:
+        failures.append("fully-banned row leaked non-pad items")
+    if exactness["short_row_finite_slots"] != 3:
+        failures.append(
+            f"row with 3 finite candidates returned "
+            f"{exactness['short_row_finite_slots']} items"
+        )
+    if not smoke and throughput["speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"pruned speedup {throughput['speedup']:.2f}x below the "
+            f"{MIN_SPEEDUP}x floor"
+        )
+    payload["failures"] = failures
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI sizes; the throughput gate is only recorded",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_index.json",
+        help="where to write the JSON payload (default: ./BENCH_index.json)",
+    )
+    parser.add_argument(
+        "--digest", default=None, metavar="FILE",
+        help="also write the SHA-256 ranking digest here (for the CI "
+             "determinism job: two runs must produce identical bytes)",
+    )
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    print(f"wrote {out}")
+    if args.digest:
+        Path(args.digest).write_text(str(payload["digest"]) + "\n")
+        print(f"wrote {args.digest}")
+    if payload["failures"]:
+        for failure in payload["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

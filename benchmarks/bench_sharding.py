@@ -29,6 +29,7 @@ not promise 4 idle cores).  Tables land in ``benchmarks/results/``.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import sys
@@ -163,6 +164,11 @@ def bench_identity(split, model) -> Dict[str, float]:
     ) as fleet:
         by_items = fleet.recommend_batch(users, k=10)
 
+    digest = hashlib.sha256()
+    for array in (expected, by_users, by_items):
+        digest.update(str(array.shape).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+
     return {
         "users_checked": int(users.size),
         "user_partition_mismatches": int(
@@ -171,6 +177,10 @@ def bench_identity(split, model) -> Dict[str, float]:
         "item_partition_mismatches": int(
             (by_items != expected).any(axis=1).sum()
         ),
+        # SHA-256 over the three ranking arrays — no timings, no pids —
+        # so two same-seed runs must produce identical bytes (the CI
+        # determinism job compares --digest files across runs).
+        "digest": digest.hexdigest(),
     }
 
 
@@ -326,11 +336,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default="BENCH_sharding.json",
         help="where to write the JSON payload (default: ./BENCH_sharding.json)",
     )
+    parser.add_argument(
+        "--digest", default=None, metavar="FILE",
+        help="also write the SHA-256 ranking digest here (for the CI "
+             "determinism job: two runs must produce identical bytes)",
+    )
     args = parser.parse_args(argv)
     payload = run(smoke=args.smoke)
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, default=float) + "\n")
     print(f"wrote {out}")
+    if args.digest:
+        Path(args.digest).write_text(
+            str(payload["identity"]["digest"]) + "\n"
+        )
+        print(f"wrote {args.digest}")
     if payload["failures"]:
         for failure in payload["failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -132,6 +132,7 @@ from repro.serving import (
     ServingStats,
     ShardingError,
     ShardRouter,
+    SubtreeIndex,
 )
 from repro.streaming import (
     CheckpointStore,
@@ -178,7 +179,7 @@ from repro.utils.config import (
     save_spec,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -201,6 +202,7 @@ __all__ = [
     "FoldInRecommender",
     "ShardRouter",
     "ShardingError",
+    "SubtreeIndex",
     # Streaming (online updates + hot swap)
     "PurchaseEvent",
     "ItemArrival",

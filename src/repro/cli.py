@@ -313,7 +313,7 @@ def _load_bundle(args) -> Tuple[ModelBundle, TransactionLog]:
     return bundle, log
 
 
-def _load_model(args) -> Tuple[TaxonomyFactorModel, TrainTestSplit]:
+def _load_model(args) -> Tuple[TaxonomyFactorModel, TrainTestSplit, Dict]:
     bundle, log = _load_bundle(args)
     if not isinstance(bundle.model, TaxonomyFactorModel):
         raise SystemExit(
@@ -327,7 +327,22 @@ def _load_model(args) -> Tuple[TaxonomyFactorModel, TrainTestSplit]:
         seed=extra.get("split_seed", extra.get("seed", 0)),
     )
     model = bundle.model.attach_log(split.train)
-    return model, split
+    return model, split, extra
+
+
+def _serving_retrieval(args, extra: Dict) -> str:
+    """Resolve ``--retrieval``: flag first, then the bundle's manifest hint.
+
+    A bundle saved with ``extra={"retrieval": "pruned"}`` serves pruned by
+    default; the flag always wins.
+    """
+    value = args.retrieval or extra.get("retrieval", "exact")
+    if value not in ("exact", "pruned"):
+        raise SystemExit(
+            f"invalid retrieval mode {value!r} in the bundle manifest "
+            f"(expected 'exact' or 'pruned')"
+        )
+    return value
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -338,7 +353,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         except (ValueError, FileNotFoundError) as exc:
             raise SystemExit(str(exc))
     k = args.k if args.k is not None else eval_spec.k
-    model, split = _load_model(args)
+    model, split, _extra = _load_model(args)
     result = evaluate_model(
         model,
         split,
@@ -365,7 +380,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_recommend(args: argparse.Namespace) -> int:
-    model, _split = _load_model(args)
+    model, _split, _extra = _load_model(args)
     if not 0 <= args.user < model.n_users:
         raise SystemExit(f"user {args.user} out of range (0..{model.n_users - 1})")
     taxonomy = model.taxonomy
@@ -437,12 +452,16 @@ def _emit_recommendations(
 
 
 def cmd_serve_batch(args: argparse.Namespace) -> int:
-    model, split = _load_model(args)
+    model, split, extra = _load_model(args)
     users = _serving_users(args, model)
-    service = RecommenderService(
-        model, history_log=split.train, cascade=_serving_cascade(args),
-        cache_size=args.cache_size,
-    )
+    try:
+        service = RecommenderService(
+            model, history_log=split.train, cascade=_serving_cascade(args),
+            cache_size=args.cache_size,
+            retrieval=_serving_retrieval(args, extra),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     recommendations = service.recommend_batch(users, k=args.k)
     _emit_recommendations(users, recommendations, args.out)
     stats = service.stats
@@ -459,9 +478,10 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_sharded(args: argparse.Namespace) -> int:
-    model, split = _load_model(args)
+    model, split, extra = _load_model(args)
     users = _serving_users(args, model)
     cascade = _serving_cascade(args)
+    retrieval = _serving_retrieval(args, extra)
     try:
         router = ShardRouter(
             model,
@@ -470,6 +490,7 @@ def cmd_serve_sharded(args: argparse.Namespace) -> int:
             cascade=cascade,
             cache_size=args.cache_size,
             partition=args.partition,
+            retrieval=retrieval,
         )
     except (ValueError, ShardingError) as exc:
         raise SystemExit(str(exc))
@@ -485,7 +506,7 @@ def cmd_serve_sharded(args: argparse.Namespace) -> int:
         if args.verify:
             service = RecommenderService(
                 model, history_log=split.train, cascade=cascade,
-                cache_size=args.cache_size,
+                cache_size=args.cache_size, retrieval=retrieval,
             )
             reference = service.recommend_batch(users, k=args.k)
             if np.array_equal(recommendations, reference):
@@ -518,7 +539,7 @@ def cmd_serve_sharded(args: argparse.Namespace) -> int:
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
-    model, split = _load_model(args)
+    model, split, _extra = _load_model(args)
     service = RecommenderService(model, history_log=split.train)
     store = CheckpointStore(args.checkpoints) if args.checkpoints else None
     updater = OnlineUpdater(
@@ -680,6 +701,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cascade", type=float, default=None,
                        help="serve through a cascade keeping this fraction "
                             "per level (Sec. 5.1)")
+    serve.add_argument("--retrieval", default=None,
+                       choices=("exact", "pruned"),
+                       help="dense scoring, or taxonomy-pruned exact "
+                            "retrieval (identical rankings, large-catalog "
+                            "fast path); default: bundle hint / exact")
     serve.add_argument("--cache-size", type=int, default=4096)
     serve.add_argument("--out", default=None,
                        help="write JSONL here instead of stdout")
@@ -705,6 +731,12 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--cascade", type=float, default=None,
                          help="serve through a cascade keeping this fraction "
                               "per level (users partition only)")
+    sharded.add_argument("--retrieval", default=None,
+                         choices=("exact", "pruned"),
+                         help="dense scoring, or taxonomy-pruned exact "
+                              "retrieval inside every shard (per-slice "
+                              "indexes in the item partition); default: "
+                              "bundle hint / exact")
     sharded.add_argument("--cache-size", type=int, default=4096)
     sharded.add_argument("--verify", action="store_true",
                          help="also run the single-process service and fail "

@@ -7,13 +7,28 @@ matrix instead of a Python loop of per-user sorts, and so that all batch
 APIs agree on the padding convention for rows with fewer than ``k``
 rankable candidates.
 
-:func:`merge_top_k_rows` is the distributed counterpart: a k-way merge of
-per-shard top-k *pages* (items + scores) into one global top-k per row,
-used by :class:`repro.serving.sharding.ShardRouter` to combine the answers
-of item-partitioned shard workers.
+:func:`merge_top_k_pages` / :func:`merge_top_k_rows` are the distributed
+counterparts: a k-way merge of per-shard (or per-block) top-k *pages*
+(items + scores) into one global top-k per row, used by
+:class:`repro.serving.sharding.ShardRouter` to combine the answers of
+item-partitioned shard workers and by
+:class:`repro.serving.index.SubtreeIndex` to fold block pages into a
+running top-k during the pruned scan.
+
+Determinism contract
+--------------------
+All selectors in this module agree on one total order over candidates:
+**descending score, then ascending item index**.  Ties at the k-th score
+are therefore resolved identically whether a ranking is computed in one
+pass (:func:`top_k_rows`), merged from shard pages
+(:func:`merge_top_k_rows`), or assembled block-by-block by the pruned
+retrieval index — so a single process, an item-partitioned fleet, and a
+taxonomy-pruned scan can never disagree on tied scores.
 """
 
 from __future__ import annotations
+
+from typing import Tuple
 
 import numpy as np
 
@@ -37,8 +52,12 @@ def top_k_rows(scores: np.ndarray, k: int, pad: int = PAD_ITEM) -> np.ndarray:
     Returns
     -------
     ``(n_rows, min(k, n_candidates))`` int64 array.  Each row lists that
-    row's best candidates in descending score order (stable within ties of
-    the partitioned subset); excluded slots hold *pad*.
+    row's best candidates in descending score order; ties are broken by
+    ascending candidate index (including ties that straddle the k-th
+    score, where the smallest-index candidates are selected), the same
+    total order :func:`merge_top_k_rows` applies — so single-pass and
+    merged rankings are identical even on tied scores.  Excluded slots
+    hold *pad*.
     """
     scores = np.asarray(scores, dtype=np.float64)
     if scores.ndim != 2:
@@ -48,56 +67,72 @@ def top_k_rows(scores: np.ndarray, k: int, pad: int = PAD_ITEM) -> np.ndarray:
     if width <= 0:
         return np.empty((n_rows, 0), dtype=np.int64)
     part = np.argpartition(-scores, width - 1, axis=1)[:, :width]
+    # Candidate indices ascending first, then a stable sort on descending
+    # score: equal-scored candidates keep ascending-index order.
+    part = np.sort(part, axis=1)
     rows = np.arange(n_rows)[:, None]
-    order = np.argsort(-scores[rows, part], axis=1, kind="stable")
+    selected = scores[rows, part]
+    order = np.argsort(-selected, axis=1, kind="stable")
     top = part[rows, order].astype(np.int64, copy=False)
+
+    if width < n_candidates:
+        # The partition picks *some* width candidates with maximal scores,
+        # but when the k-th score is tied it may have picked an arbitrary
+        # subset of the tied candidates.  Detect affected rows (more
+        # candidates tied at the boundary score than were selected) and
+        # redo them with the deterministic selection: everything strictly
+        # above the boundary, then the smallest-index tied candidates.
+        boundary = np.min(
+            np.where(np.isnan(selected), np.inf, selected), axis=1
+        )
+        selected_at = (selected == boundary[:, None]).sum(axis=1)
+        total_at = (scores == boundary[:, None]).sum(axis=1)
+        for row in np.flatnonzero(total_at > selected_at):
+            row_scores = scores[row]
+            above = np.flatnonzero(row_scores > boundary[row])
+            tied = np.flatnonzero(row_scores == boundary[row])
+            chosen = np.concatenate([above, tied[: width - above.size]])
+            # flatnonzero yields ascending indices and the sort is stable,
+            # so equal scores keep ascending-index order here too.
+            top[row] = chosen[np.argsort(-row_scores[chosen], kind="stable")]
+
     top[~np.isfinite(scores[rows, top])] = pad
     return top
 
 
-def merge_top_k_rows(
+def merge_top_k_pages(
     item_pages: "list[np.ndarray]",
     score_pages: "list[np.ndarray]",
     k: int,
     pad: int = PAD_ITEM,
-) -> np.ndarray:
-    """K-way merge of per-shard top-k pages into one global top-k per row.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """K-way merge of top-k pages, returning surviving items *and* scores.
 
-    Each shard of an item-partitioned fleet returns a *page* for every
-    request row: its locally best item indices plus their scores.  This
-    merges those pages the way a heap-based k-way list merge would —
-    candidates are pooled per row and the globally best ``k`` survive —
-    but vectorized over all rows at once with the same ``argpartition``
-    machinery as :func:`top_k_rows`.
+    The score-carrying variant of :func:`merge_top_k_rows`, for callers
+    that keep merging incrementally — the pruned retrieval index folds
+    each scanned block's page into its running top-k with this, and the
+    running page's scores feed the next early-termination check.
 
     Parameters
     ----------
     item_pages:
-        One ``(n_rows, w_s)`` int64 array per shard; *pad* entries mark
-        slots a shard could not fill and never survive the merge.
+        One ``(n_rows, w_s)`` int64 array per source; *pad* entries mark
+        slots a source could not fill and never survive the merge.
     score_pages:
         Matching ``(n_rows, w_s)`` float arrays of the items' scores.
     k:
-        Global ranking depth; the output width is
-        ``min(k, sum_s w_s)``.
+        Global ranking depth; the output width is ``min(k, sum_s w_s)``.
     pad:
         Filler for rows with fewer than ``k`` finite-scored candidates.
 
     Returns
     -------
-    ``(n_rows, min(k, total_width))`` int64 array, best items first.
-    Ties are broken by ascending item index, so the result is invariant
-    to the number of shards the candidates arrived from.  Item indices
+    ``(items, scores)`` of shape ``(n_rows, min(k, total_width))``: the
+    best candidates per row in (score desc, item asc) order, with *pad* /
+    ``-inf`` in slots beyond a row's finite candidates.  Item indices
     must be disjoint across pages within a row (true for disjoint item
-    partitions); duplicates would be ranked twice.
-
-    Examples
-    --------
-    >>> import numpy as np
-    >>> left = (np.array([[4, 2]]), np.array([[9.0, 5.0]]))
-    >>> right = (np.array([[7, 1]]), np.array([[7.0, -np.inf]]))
-    >>> merge_top_k_rows([left[0], right[0]], [left[1], right[1]], k=3)
-    array([[4, 7, 2]])
+    partitions and disjoint scan blocks); duplicates would be ranked
+    twice.
     """
     if not item_pages or len(item_pages) != len(score_pages):
         raise ValueError("need one score page per item page (at least one)")
@@ -114,7 +149,10 @@ def merge_top_k_rows(
     n_rows, total = items.shape
     width = min(int(k), total)
     if width <= 0:
-        return np.empty((n_rows, 0), dtype=np.int64)
+        return (
+            np.empty((n_rows, 0), dtype=np.int64),
+            np.empty((n_rows, 0), dtype=np.float64),
+        )
     scores = np.where(items == pad, -np.inf, scores)
     rows = np.arange(n_rows)[:, None]
     # Secondary key first (item ascending), then a stable primary sort on
@@ -123,5 +161,41 @@ def merge_top_k_rows(
     by_score = np.argsort(-scores[rows, by_item], axis=1, kind="stable")
     order = by_item[rows, by_score][:, :width]
     top = items[rows, order]
-    top[~np.isfinite(scores[rows, order])] = pad
-    return top
+    top_scores = scores[rows, order]
+    excluded = ~np.isfinite(top_scores)
+    top[excluded] = pad
+    top_scores[excluded] = -np.inf
+    return top, top_scores
+
+
+def merge_top_k_rows(
+    item_pages: "list[np.ndarray]",
+    score_pages: "list[np.ndarray]",
+    k: int,
+    pad: int = PAD_ITEM,
+) -> np.ndarray:
+    """K-way merge of per-shard top-k pages into one global top-k per row.
+
+    Each shard of an item-partitioned fleet returns a *page* for every
+    request row: its locally best item indices plus their scores.  This
+    merges those pages the way a heap-based k-way list merge would —
+    candidates are pooled per row and the globally best ``k`` survive —
+    but vectorized over all rows at once.  See :func:`merge_top_k_pages`
+    for the parameter contract; this variant drops the merged scores.
+
+    Returns
+    -------
+    ``(n_rows, min(k, total_width))`` int64 array, best items first.
+    Ties are broken by ascending item index (the same order
+    :func:`top_k_rows` uses), so the result is invariant to the number of
+    shards the candidates arrived from.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> left = (np.array([[4, 2]]), np.array([[9.0, 5.0]]))
+    >>> right = (np.array([[7, 1]]), np.array([[7.0, -np.inf]]))
+    >>> merge_top_k_rows([left[0], right[0]], [left[1], right[1]], k=3)
+    array([[4, 7, 2]])
+    """
+    return merge_top_k_pages(item_pages, score_pages, k, pad=pad)[0]

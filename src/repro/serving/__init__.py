@@ -1,6 +1,6 @@
 """The serving layer: the recommended front door for all inference.
 
-Four pieces turn the trained models into a deployable system:
+Five pieces turn the trained models into a deployable system:
 
 * :class:`~repro.serving.protocol.Recommender` — the structural protocol
   (``score_items`` / ``score_matrix`` / ``recommend`` / ``recommend_batch``)
@@ -14,6 +14,11 @@ Four pieces turn the trained models into a deployable system:
   generation-stamped LRU query-vector cache, per-request
   :class:`ServingStats`, and atomic zero-downtime ``swap_model`` (the
   hot-swap contract ``repro.streaming`` publishes through);
+* :class:`~repro.serving.index.SubtreeIndex` — taxonomy-pruned **exact**
+  top-k retrieval for large catalogs: item factors grouped by taxonomy
+  subtree, per-group Cauchy–Schwarz score bounds, blocked descending-bound
+  scan with early termination — bit-identical rankings to the dense pass,
+  selected with ``retrieval="pruned"`` on the service or router;
 * :class:`~repro.serving.sharding.ShardRouter` — the multi-process fleet:
   factor matrices published once via ``multiprocessing.shared_memory``,
   N shard workers each hosting a full service over zero-copy views, user
@@ -37,6 +42,7 @@ Quickstart::
 
 from repro.serving.bundle import BUNDLE_VERSION, BundleError, ModelBundle
 from repro.serving.coldstart import FoldInRecommender
+from repro.serving.index import RetrievalPage, SubtreeIndex
 from repro.serving.protocol import Recommender
 from repro.serving.service import (
     ModelState,
@@ -69,4 +75,6 @@ __all__ = [
     "SharedFactors",
     "SharedFactorsHandle",
     "shard_of",
+    "SubtreeIndex",
+    "RetrievalPage",
 ]

@@ -64,7 +64,12 @@ class ModelBundle:
         :class:`PopularityModel`, or :class:`RandomModel`.
     extra:
         Free-form JSON-serializable metadata carried in the manifest
-        (the CLI stores its split parameters here).
+        (the CLI stores its split parameters here).  One key is
+        serving-significant: ``"retrieval"`` (``"exact"`` or
+        ``"pruned"``) records how the bundle should be served — the
+        ``serve-batch`` / ``serve-sharded`` commands use it as the
+        default when ``--retrieval`` is not given, so a large-catalog
+        bundle can opt into taxonomy-pruned retrieval at save time.
 
     Examples
     --------

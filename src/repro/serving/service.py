@@ -50,6 +50,7 @@ from repro.core.tf_model import TaxonomyFactorModel
 from repro.core.topk import top_k_rows
 from repro.data.transactions import TransactionLog
 from repro.serving.coldstart import FoldInRecommender
+from repro.serving.index import SubtreeIndex
 from repro.serving.protocol import History
 from repro.utils.config import CascadeConfig
 from repro.utils.rng import RngLike
@@ -261,6 +262,14 @@ class ModelState:
         the matrices one batched scoring pass multiplies against.
     generation:
         The cache generation this state was installed at.
+    retrieval:
+        How known users are ranked against the catalog: ``"exact"``
+        (dense pass over every item) or ``"pruned"`` (taxonomy-pruned
+        exact retrieval through :attr:`index`).
+    index:
+        The :class:`~repro.serving.index.SubtreeIndex` built over this
+        state's factor snapshots (``None`` when ``retrieval="exact"``).
+        Rebuilt by every swap, so it can never serve retired factors.
     """
 
     model: TaxonomyFactorModel
@@ -271,6 +280,8 @@ class ModelState:
     effective: np.ndarray
     bias: np.ndarray
     generation: int
+    retrieval: str = "exact"
+    index: Optional[SubtreeIndex] = None
 
 
 #: Backwards-compatible alias — the state class was private before 1.4.
@@ -303,6 +314,18 @@ class RecommenderService:
         Fold-in SGD budget and seed for cold users with a history.
     cache_size:
         Capacity of the known-user query-vector LRU cache (0 disables).
+    retrieval:
+        ``"exact"`` (default) ranks known users with one dense pass over
+        the whole catalog; ``"pruned"`` serves the *same rankings* —
+        bit-identical, ties included — through a
+        :class:`~repro.serving.index.SubtreeIndex` that scans taxonomy
+        subtrees in descending score-bound order and stops early, the
+        fast path for large catalogs.  Incompatible with *cascade*
+        (cascaded inference is its own — approximate — pruning scheme).
+    index_level:
+        Taxonomy depth of the pruned index's subtree grouping (default:
+        auto, about ``sqrt(n_items)`` groups).  Ignored when
+        ``retrieval="exact"``.
 
     Notes
     -----
@@ -336,7 +359,20 @@ class RecommenderService:
         fold_in_steps: int = 200,
         fold_in_seed: RngLike = 0,
         cache_size: int = 4096,
+        retrieval: str = "exact",
+        index_level: Optional[int] = None,
     ):
+        if retrieval not in ("exact", "pruned"):
+            raise ValueError(
+                f"retrieval must be 'exact' or 'pruned', got {retrieval!r}"
+            )
+        if retrieval == "pruned" and cascade is not None:
+            raise ValueError(
+                "retrieval='pruned' serves exact rankings and cannot be "
+                "combined with cascaded (approximate) inference; drop one"
+            )
+        self.retrieval = retrieval
+        self.index_level = index_level
         self.fold_in_steps = int(fold_in_steps)
         self.fold_in_seed = fold_in_seed
         self.query_cache = QueryVectorCache(cache_size)
@@ -370,15 +406,27 @@ class RecommenderService:
         fold_in = FoldInRecommender(
             model, steps=self.fold_in_steps, seed=self.fold_in_seed
         )
+        effective = factor_set.effective_items()
+        bias = factor_set.bias_of_items()
+        index = None
+        if self.retrieval == "pruned":
+            # Rebuilt on every swap/refresh: the index snapshots the
+            # factors, so a stale index could silently serve a retired
+            # model long after the dense path moved on.
+            index = SubtreeIndex(
+                effective, bias, model.taxonomy, level=self.index_level
+            )
         return ModelState(
             model=model,
             history_log=history_log,
             popularity=popularity,
             cascade=cascade,
             fold_in=fold_in,
-            effective=factor_set.effective_items(),
-            bias=factor_set.bias_of_items(),
+            effective=effective,
+            bias=bias,
             generation=generation,
+            retrieval=self.retrieval,
+            index=index,
         )
 
     # ------------------------------------------------------------------
@@ -568,9 +616,14 @@ class RecommenderService:
                 items = items[keep]
             return items[:k]
         query = self._query_vector(state, user, history)
+        banned = self._banned_items(state, user)
+        if state.index is not None:
+            page = state.index.top_k(query[None, :], k, banned=[banned])
+            self._stats.add(nodes_scored=page.nodes_scored)
+            row = page.items[0]
+            return row[row >= 0]
         scores = state.effective @ query + state.bias
         self._stats.add(nodes_scored=scores.size)
-        banned = self._banned_items(state, user)
         if banned.size:
             scores[banned] = -np.inf
         row = top_k_rows(scores[None, :], k)[0]
@@ -676,8 +729,10 @@ class RecommenderService:
         histories: Optional[List[Optional[History]]],
         width: int,
     ) -> np.ndarray:
-        """Exact scoring for known users: cache-assisted queries, one BLAS
-        product, one row-wise partition."""
+        """Exact scoring for known users: cache-assisted queries, then one
+        BLAS product plus one row-wise partition (``retrieval="exact"``)
+        or a taxonomy-pruned scan returning the identical rankings
+        (``retrieval="pruned"``)."""
         factors = state.effective.shape[1]
         queries = np.empty((users.size, factors))
         miss_slots: List[int] = []
@@ -708,10 +763,14 @@ class RecommenderService:
                     )
             self._stats.add(cache_misses=len(miss_slots))
 
+        banned = [self._banned_items(state, int(user)) for user in users]
+        if state.index is not None:
+            page = state.index.top_k(queries, width, banned=banned)
+            self._stats.add(nodes_scored=page.nodes_scored)
+            return page.items
         scores = queries @ state.effective.T + state.bias[None, :]
         self._stats.add(nodes_scored=scores.size)
-        for row, user in enumerate(users):
-            banned = self._banned_items(state, int(user))
-            if banned.size:
-                scores[row, banned] = -np.inf
+        for row, row_banned in enumerate(banned):
+            if row_banned.size:
+                scores[row, row_banned] = -np.inf
         return top_k_rows(scores, width)

@@ -107,6 +107,7 @@ from repro.core.factors import FactorSet
 from repro.core.popularity import PopularityModel
 from repro.core.topk import PAD_ITEM, merge_top_k_rows, top_k_rows
 from repro.data.transactions import TransactionLog
+from repro.serving.index import SubtreeIndex
 from repro.serving.protocol import History
 from repro.serving.service import RecommenderService
 from repro.taxonomy.tree import Taxonomy
@@ -459,6 +460,15 @@ class _WorkerSpec:
     fold_in_seed: RngLike
     cache_size: int
     payload: _ModelPayload
+    retrieval: str = "exact"
+
+
+def _slice_bounds(shard_index: int, n_shards: int, n_items: int) -> Tuple[int, int]:
+    """The contiguous catalog slice an item-partitioned shard serves."""
+    return (
+        (n_items * shard_index) // n_shards,
+        (n_items * (shard_index + 1)) // n_shards,
+    )
 
 
 class _WorkerState:
@@ -469,10 +479,16 @@ class _WorkerState:
         spec: _WorkerSpec,
         service: RecommenderService,
         segments: List[shared_memory.SharedMemory],
+        slice_index: Optional[SubtreeIndex] = None,
     ):
         self.spec = spec
         self.service = service
         self.segments = segments
+        #: Item-partitioned pruned retrieval over this shard's catalog
+        #: slice (None in the user partition / exact mode).  Rebuilt with
+        #: the rest of the state on every swap, so it always covers the
+        #: live generation's factors.
+        self.slice_index = slice_index
 
     @classmethod
     def build(
@@ -509,8 +525,25 @@ class _WorkerState:
             fold_in_steps=spec.fold_in_steps,
             fold_in_seed=spec.fold_in_seed,
             cache_size=spec.cache_size,
+            # In the item partition the service only ever serves cold
+            # users (known traffic goes through page()), so the full
+            # catalog index would be dead weight; the slice index below
+            # carries the pruning there instead.
+            retrieval=spec.retrieval if spec.partition == "users" else "exact",
         )
-        return cls(spec, service, segments)
+        slice_index = None
+        if spec.partition == "items" and spec.retrieval == "pruned":
+            state = service.model_state
+            lo, hi = _slice_bounds(
+                spec.shard_index, spec.n_shards, state.model.n_items
+            )
+            slice_index = SubtreeIndex(
+                state.effective,
+                state.bias,
+                payload.taxonomy,
+                items=np.arange(lo, hi, dtype=np.int64),
+            )
+        return cls(spec, service, segments, slice_index)
 
     def swapped(self, payload: _ModelPayload) -> "_WorkerState":
         """Install *payload* as the new generation; retire this one."""
@@ -527,6 +560,7 @@ class _WorkerState:
         import gc
 
         self.service = None
+        self.slice_index = None
         gc.collect()  # the mmap stays pinned while ndarray views survive
         for segment in self.segments:
             try:
@@ -547,31 +581,45 @@ class _WorkerState:
         users, k, histories = payload
         started = time.perf_counter()
         state = self.service.model_state
-        lo, hi = self._item_bounds(state.model.n_items)
+        lo, hi = _slice_bounds(
+            self.spec.shard_index, self.spec.n_shards, state.model.n_items
+        )
         users = np.asarray(users, dtype=np.int64)
         queries = state.model.query_matrix(users, histories)
-        scores = queries @ state.effective[lo:hi].T + state.bias[None, lo:hi]
         log = state.history_log
-        if log is not None:
-            for row, user in enumerate(users):
-                if user < log.n_users:
-                    banned = log.user_items(int(user))
-                    banned = banned[(banned >= lo) & (banned < hi)]
-                    if banned.size:
-                        scores[row, banned - lo] = -np.inf
         width = min(int(k), hi - lo)
-        local = top_k_rows(scores, width)
-        page_scores = np.take_along_axis(scores, np.clip(local, 0, None), axis=1)
-        page_scores[local < 0] = -np.inf
-        items = np.where(local >= 0, local + lo, PAD_ITEM)
+        if self.slice_index is not None:
+            banned = [
+                log.user_items(int(user))
+                if log is not None and user < log.n_users
+                else np.empty(0, dtype=np.int64)
+                for user in users
+            ]
+            result = self.slice_index.top_k(queries, width, banned=banned)
+            items, page_scores = result.items, result.scores
+            nodes_scored = result.nodes_scored
+        else:
+            scores = queries @ state.effective[lo:hi].T + state.bias[None, lo:hi]
+            if log is not None:
+                for row, user in enumerate(users):
+                    if user < log.n_users:
+                        banned_row = log.user_items(int(user))
+                        banned_row = banned_row[
+                            (banned_row >= lo) & (banned_row < hi)
+                        ]
+                        if banned_row.size:
+                            scores[row, banned_row - lo] = -np.inf
+            local = top_k_rows(scores, width)
+            page_scores = np.take_along_axis(
+                scores, np.clip(local, 0, None), axis=1
+            )
+            page_scores[local < 0] = -np.inf
+            items = np.where(local >= 0, local + lo, PAD_ITEM)
+            nodes_scored = int(scores.size)
         stats = self.service.stats
-        stats.add(known_user_requests=int(users.size), nodes_scored=int(scores.size))
+        stats.add(known_user_requests=int(users.size), nodes_scored=nodes_scored)
         stats.record_latency(time.perf_counter() - started, count=int(users.size))
         return items, page_scores
-
-    def _item_bounds(self, n_items: int) -> Tuple[int, int]:
-        index, total = self.spec.shard_index, self.spec.n_shards
-        return (n_items * index) // total, (n_items * (index + 1)) // total
 
     def stats(self) -> Dict[str, float]:
         payload = self.service.stats.as_dict()
@@ -772,6 +820,13 @@ class ShardRouter:
         ``"users"`` (hash-routed, bit-identical to unsharded) or
         ``"items"`` (catalog slices + top-k page merge); see the module
         docstring.
+    retrieval:
+        ``"exact"`` (dense scoring) or ``"pruned"`` — every shard serves
+        known users through a
+        :class:`~repro.serving.index.SubtreeIndex` over its catalog
+        (its slice, in the item partition).  Rankings stay bit-identical
+        to exact retrieval; the index is rebuilt inside each worker on
+        every :meth:`swap_model`, so hot swaps stay coherent.
     mp_context:
         A :mod:`multiprocessing` start-method name or context (defaults
         to the platform default — ``fork`` on Linux, ``spawn`` on
@@ -797,6 +852,7 @@ class ShardRouter:
         fold_in_seed: RngLike = 0,
         cache_size: int = 4096,
         partition: str = "users",
+        retrieval: str = "exact",
         mp_context: Union[str, Any, None] = None,
         start_timeout: float = 120.0,
         request_timeout: float = 120.0,
@@ -807,13 +863,23 @@ class ShardRouter:
             raise ValueError(
                 f"partition must be 'users' or 'items', got {partition!r}"
             )
+        if retrieval not in ("exact", "pruned"):
+            raise ValueError(
+                f"retrieval must be 'exact' or 'pruned', got {retrieval!r}"
+            )
         if partition == "items" and cascade is not None:
             raise ValueError(
                 "cascaded inference prunes whole categories and cannot be "
                 "combined with item-sliced shards; use partition='users'"
             )
+        if retrieval == "pruned" and cascade is not None:
+            raise ValueError(
+                "retrieval='pruned' serves exact rankings and cannot be "
+                "combined with cascaded (approximate) inference; drop one"
+            )
         self.n_shards = int(n_shards)
         self.partition = partition
+        self.retrieval = retrieval
         self.request_timeout = float(request_timeout)
         if isinstance(mp_context, str):
             ctx = mp.get_context(mp_context)
@@ -861,6 +927,7 @@ class ShardRouter:
                     fold_in_seed=fold_in_seed,
                     cache_size=cache_size,
                     payload=payload,
+                    retrieval=retrieval,
                 )
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 process = ctx.Process(
@@ -1222,5 +1289,6 @@ class ShardRouter:
     def __repr__(self) -> str:
         return (
             f"ShardRouter(n_shards={self.n_shards}, "
-            f"partition={self.partition!r}, generation={self._generation})"
+            f"partition={self.partition!r}, retrieval={self.retrieval!r}, "
+            f"generation={self._generation})"
         )

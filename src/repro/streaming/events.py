@@ -336,10 +336,15 @@ def replay(
 ) -> Iterator[Event]:
     """Pace a stream at *rate* events/second (``None``/``0`` = unpaced).
 
-    Pacing is cumulative — the *n*-th event is released no earlier than
-    ``n / rate`` seconds after the first — so slow consumers make the
-    replay burst to catch up rather than drift ever further behind the
-    target rate.  *clock* injects ``(monotonic, sleep)`` for tests.
+    Each event is released against an absolute **monotonic deadline**
+    (the *n*-th event no earlier than ``n / rate`` seconds after the
+    first), never by accumulating relative sleeps: per-sleep error —
+    timers waking late *or* early — cannot compound into drift, so a
+    replay of ``N`` events takes ``(N - 1) / rate`` seconds to within a
+    single tick however high the rate.  Slow consumers make the replay
+    burst to catch up rather than fall ever further behind the target
+    rate, and wall-clock adjustments (``time.time`` jumps) cannot stall
+    or rush it.  *clock* injects ``(monotonic, sleep)`` for tests.
     """
     if not rate:
         yield from events
@@ -351,7 +356,12 @@ def replay(
     started = monotonic()
     for n, event in enumerate(events):
         due = started + n / rate
-        now = monotonic()
-        if due > now:
-            sleep(due - now)
+        while True:
+            # Re-check after every sleep: a sleep that returns early
+            # (signal delivery, coarse timers) must not release ahead of
+            # the deadline or the tick error would accumulate.
+            remaining = due - monotonic()
+            if remaining <= 0:
+                break
+            sleep(remaining)
         yield event

@@ -17,7 +17,7 @@ factor stores allocate one extra zero row for it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -213,6 +213,59 @@ class Taxonomy:
             else:
                 stack.extend(int(c) for c in self._children[v])
         return np.asarray(sorted(found), dtype=np.int64)
+
+    def item_groups_at_level(
+        self, level: int, items: Optional[np.ndarray] = None
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Partition items by their ancestor subtree at depth *level*.
+
+        The vectorized batch counterpart of calling :meth:`subtree_items`
+        on every node at *level*: one pass over the (given) items instead
+        of one tree walk per subtree.  This is the grouping the pruned
+        retrieval layer (:class:`repro.serving.index.SubtreeIndex`) builds
+        its scan blocks from — items that share a subtree share ancestor
+        offsets under Eq. 1, so their effective factors cluster tightly
+        and one subtree-level score bound covers them all.
+
+        Parameters
+        ----------
+        level:
+            Taxonomy depth of the anchor nodes.  Items shallower than
+            *level* anchor to themselves (matching :meth:`item_category`).
+        items:
+            Dense item indices to partition (default: the whole catalog).
+            An item-partitioned shard passes its slice here to index only
+            the items it serves.
+
+        Returns
+        -------
+        ``[(anchor_node, member_items), ...]`` with anchors ascending and
+        each member array in ascending dense-item order; every requested
+        item appears in exactly one group.
+
+        Examples
+        --------
+        >>> tax = Taxonomy([-1, 0, 0, 1, 1, 2, 2])   # two 2-leaf subtrees
+        >>> [(node, members.tolist())
+        ...  for node, members in tax.item_groups_at_level(1)]
+        [(1, [0, 1]), (2, [2, 3])]
+        """
+        if items is None:
+            items = np.arange(self.n_items, dtype=np.int64)
+        else:
+            items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            return []
+        anchors = self.item_category(items, level)
+        order = np.argsort(anchors, kind="stable")
+        sorted_anchors = anchors[order]
+        boundaries = np.flatnonzero(np.diff(sorted_anchors)) + 1
+        starts = np.concatenate([[0], boundaries])
+        stops = np.concatenate([boundaries, [items.size]])
+        return [
+            (int(sorted_anchors[start]), np.sort(items[order[start:stop]]))
+            for start, stop in zip(starts, stops)
+        ]
 
     # ------------------------------------------------------------------
     # Ancestor matrices (the hot path of the TF model)

@@ -237,6 +237,93 @@ class TestServeBatch:
                 ]
             )
 
+    def _serve(self, directory, model_path, out_path, *flags):
+        assert (
+            main(
+                [
+                    "serve-batch",
+                    "--data-dir", str(directory),
+                    "--model", str(model_path),
+                    "--users", "0:30",
+                    "-k", "5",
+                    "--out", str(out_path),
+                    *flags,
+                ]
+            )
+            == 0
+        )
+        return out_path.read_text()
+
+    def test_pruned_retrieval_identical_output(
+        self, workspace, capsys, tmp_path
+    ):
+        directory, model_path = workspace
+        exact = self._serve(directory, model_path, tmp_path / "e.jsonl")
+        pruned = self._serve(
+            directory, model_path, tmp_path / "p.jsonl",
+            "--retrieval", "pruned",
+        )
+        capsys.readouterr()
+        assert pruned == exact
+
+    def test_bundle_retrieval_hint_is_default(
+        self, workspace, capsys, tmp_path
+    ):
+        """A bundle saved with extra={"retrieval": "pruned"} serves pruned
+        unless the flag overrides it."""
+        from repro.serving.bundle import ModelBundle
+
+        directory, model_path = workspace
+        bundle = ModelBundle.load(model_path)
+        bundle.extra["retrieval"] = "pruned"
+        hinted_path = tmp_path / "hinted"
+        bundle.save(hinted_path)
+        hinted = self._serve(directory, hinted_path, tmp_path / "h.jsonl")
+        exact = self._serve(directory, model_path, tmp_path / "e.jsonl")
+        capsys.readouterr()
+        assert hinted == exact  # identical rankings, different engine
+
+    def test_retrieval_resolution_precedence(self):
+        """Flag beats hint beats default — checked directly, because the
+        end-to-end outputs above are bit-identical either way (the
+        exactness guarantee) and cannot distinguish the engines."""
+        import argparse
+
+        from repro.cli import _serving_retrieval
+
+        flag = lambda value: argparse.Namespace(retrieval=value)
+        assert _serving_retrieval(flag(None), {}) == "exact"
+        assert (
+            _serving_retrieval(flag(None), {"retrieval": "pruned"})
+            == "pruned"
+        )
+        assert (
+            _serving_retrieval(flag("exact"), {"retrieval": "pruned"})
+            == "exact"
+        )
+
+    def test_bad_bundle_retrieval_hint_rejected(
+        self, workspace, capsys, tmp_path
+    ):
+        from repro.serving.bundle import ModelBundle
+
+        directory, model_path = workspace
+        bundle = ModelBundle.load(model_path)
+        bundle.extra["retrieval"] = "warp-speed"
+        bad_path = tmp_path / "bad"
+        bundle.save(bad_path)
+        with pytest.raises(SystemExit, match="retrieval"):
+            self._serve(directory, bad_path, tmp_path / "b.jsonl")
+        capsys.readouterr()
+
+    def test_pruned_rejects_cascade(self, workspace, tmp_path):
+        directory, model_path = workspace
+        with pytest.raises(SystemExit, match="cascade"):
+            self._serve(
+                directory, model_path, tmp_path / "x.jsonl",
+                "--retrieval", "pruned", "--cascade", "0.5",
+            )
+
 
 class TestLegacyModelShim:
     def test_reads_npz_with_meta_sidecar(self, workspace, capsys):

@@ -495,3 +495,15 @@ class TestServeShardedCLI:
 
         first = json.loads(lines[0])
         assert first["user"] == 0 and len(first["items"]) == 10
+
+        # Pruned retrieval through the same command: --verify enforces
+        # equality against the single-process service, and the rankings
+        # must match the exact fleet's byte for byte.
+        pruned_out = tmp_path / "recs_pruned.jsonl"
+        assert main([
+            "serve-sharded", "--data-dir", str(data_dir), "--model",
+            str(bundle), "--users", "0:40", "--shards", "2", "--verify",
+            "--partition", "items", "--retrieval", "pruned",
+            "--out", str(pruned_out),
+        ]) == 0
+        assert pruned_out.read_text() == out.read_text()

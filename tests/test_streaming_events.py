@@ -201,3 +201,60 @@ class TestReplayPacing:
     def test_negative_rate_rejected(self):
         with pytest.raises(ValueError, match="rate"):
             list(replay([PurchaseEvent(0, (1,))], rate=-1.0))
+
+    def test_no_drift_when_sleeps_wake_early(self):
+        """Early timer wake-ups must not release events ahead of schedule.
+
+        A naive ``sleep(due - now)`` trusts one sleep to land on the
+        deadline; coarse timers returning early would then release every
+        event a little sooner, compounding into drift at high rates.
+        The monotonic-deadline loop re-checks after every wake, so the
+        total replay duration stays within one tick of ``(N - 1) / rate``
+        however badly the timer undershoots.
+        """
+
+        class EarlyWakeClock(FakeClock):
+            def sleep(self, seconds):
+                # Wake after only 40% of the requested time (never less
+                # than a real timer's resolution floor), every time.
+                super().sleep(max(seconds * 0.4, 1e-7))
+
+        clock = EarlyWakeClock()
+        rate, n_events = 1000.0, 500
+        events = [PurchaseEvent(0, (1,))] * n_events
+        assert len(list(replay(events, rate=rate, clock=clock))) == n_events
+        expected = (n_events - 1) / rate
+        tick = 1.0 / rate
+        assert abs(clock.now - expected) < tick
+
+    def test_no_drift_when_sleeps_oversleep(self):
+        """Late wake-ups must not accumulate either: deadlines are
+        absolute, so each event's lateness is bounded by its own final
+        oversleep instead of the sum of all previous ones."""
+
+        class OversleepClock(FakeClock):
+            def sleep(self, seconds):
+                super().sleep(seconds * 1.5)
+
+        clock = OversleepClock()
+        rate, n_events = 1000.0, 500
+        events = [PurchaseEvent(0, (1,))] * n_events
+        assert len(list(replay(events, rate=rate, clock=clock))) == n_events
+        expected = (n_events - 1) / rate
+        tick = 1.0 / rate
+        assert abs(clock.now - expected) < tick
+
+    def test_release_never_before_deadline(self):
+        class EarlyWakeClock(FakeClock):
+            def sleep(self, seconds):
+                super().sleep(max(seconds / 3, 1e-7))
+
+        clock = EarlyWakeClock()
+        rate = 50.0
+        releases = []
+        for n, _event in enumerate(
+            replay([PurchaseEvent(0, (1,))] * 20, rate=rate, clock=clock)
+        ):
+            releases.append((n, clock.now))
+        for n, released_at in releases:
+            assert released_at >= n / rate - 1e-12

@@ -1,0 +1,218 @@
+"""Deterministic tie-breaking across every top-k path, and PAD hygiene.
+
+The determinism contract: every selector ranks candidates by
+(score desc, item asc) — including ties that straddle the k-th score —
+so a single process, an item-partitioned fleet, and the pruned retrieval
+index can never disagree on tied scores.  PAD (-1) slots must never be
+counted as items or re-ranked above real candidates anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.factors import FactorSet
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.core.topk import (
+    PAD_ITEM,
+    merge_top_k_pages,
+    merge_top_k_rows,
+    top_k_rows,
+)
+from repro.data.split import TrainTestSplit
+from repro.data.transactions import TransactionLog
+from repro.eval.protocol import evaluate_topk
+from repro.serving.service import RecommenderService
+from repro.serving.sharding import ShardRouter
+from repro.taxonomy.tree import Taxonomy
+from repro.utils.config import TrainConfig
+
+
+def _reference_topk(scores: np.ndarray, k: int) -> np.ndarray:
+    """Ground truth: full stable argsort of -scores == (desc, item asc)."""
+    width = min(k, scores.shape[1])
+    order = np.argsort(-scores, axis=1, kind="stable")[:, :width]
+    order = order.astype(np.int64)
+    rows = np.arange(scores.shape[0])[:, None]
+    order[~np.isfinite(scores[rows, order])] = PAD_ITEM
+    return order
+
+
+class TestTopKRowsTieBreak:
+    def test_constant_scores_select_smallest_indices(self):
+        scores = np.full((3, 9), 2.5)
+        assert top_k_rows(scores, 4).tolist() == [[0, 1, 2, 3]] * 3
+
+    def test_boundary_tie_selection_is_deterministic(self):
+        # Two items strictly above, the k-th score shared by items 1, 4, 6:
+        # the partition could legally grab any of them — the contract says
+        # the smallest index (1) wins.
+        scores = np.array([[9.0, 5.0, 1.0, 8.0, 5.0, 0.0, 5.0]])
+        assert top_k_rows(scores, 3).tolist() == [[0, 3, 1]]
+        assert top_k_rows(scores, 4).tolist() == [[0, 3, 1, 4]]
+
+    def test_matches_stable_full_sort_fuzz(self):
+        rng = np.random.default_rng(7)
+        for _ in range(300):
+            n = int(rng.integers(1, 6))
+            m = int(rng.integers(1, 15))
+            k = int(rng.integers(1, 18))
+            scores = rng.integers(0, 4, size=(n, m)).astype(float)
+            scores[rng.random((n, m)) < 0.25] = -np.inf
+            if rng.random() < 0.3:
+                scores[rng.random((n, m)) < 0.1] = np.nan
+            assert np.array_equal(
+                top_k_rows(scores, k), _reference_topk(scores, k)
+            )
+
+    def test_agrees_with_merge_over_arbitrary_splits(self):
+        rng = np.random.default_rng(13)
+        for _ in range(100):
+            m = int(rng.integers(2, 20))
+            k = int(rng.integers(1, m + 3))
+            scores = rng.integers(0, 3, size=(3, m)).astype(float)
+            whole = top_k_rows(scores, k)
+            cut = int(rng.integers(1, m))
+            pages, page_scores = [], []
+            for lo, hi in ((0, cut), (cut, m)):
+                local = top_k_rows(scores[:, lo:hi], k)
+                got = np.take_along_axis(
+                    scores[:, lo:hi], np.clip(local, 0, None), axis=1
+                )
+                got[local < 0] = -np.inf
+                pages.append(np.where(local >= 0, local + lo, PAD_ITEM))
+                page_scores.append(got)
+            assert np.array_equal(
+                merge_top_k_rows(pages, page_scores, k), whole
+            )
+
+
+class TestMergePadHygiene:
+    def test_pad_slots_never_survive_even_with_finite_scores(self):
+        # A buggy shard could stamp a finite score into a pad slot; the
+        # merge must still treat PAD as excluded, not rank it.
+        items = [np.array([[PAD_ITEM, 3]]), np.array([[5, PAD_ITEM]])]
+        scores = [np.array([[99.0, 1.0]]), np.array([[2.0, 98.0]])]
+        merged, merged_scores = merge_top_k_pages(items, scores, k=4)
+        assert merged.tolist() == [[5, 3, PAD_ITEM, PAD_ITEM]]
+        assert merged_scores[0, 2:].tolist() == [-np.inf, -np.inf]
+
+    def test_all_pad_input_stays_all_pad(self):
+        items = [np.full((2, 3), PAD_ITEM)]
+        scores = [np.zeros((2, 3))]
+        merged = merge_top_k_rows(items, scores, k=2)
+        assert (merged == PAD_ITEM).all()
+
+    def test_merge_scores_match_items(self):
+        items = [np.array([[4, 2]]), np.array([[7, 1]])]
+        scores = [np.array([[9.0, 5.0]]), np.array([[7.0, -np.inf]])]
+        merged, merged_scores = merge_top_k_pages(items, scores, k=3)
+        assert merged.tolist() == [[4, 7, 2]]
+        assert merged_scores.tolist() == [[9.0, 7.0, 5.0]]
+
+
+# ----------------------------------------------------------------------
+# evaluate_topk PAD audit
+# ----------------------------------------------------------------------
+class _PageRecommender:
+    """A Recommender stub returning a fixed page (pads included)."""
+
+    def __init__(self, page: np.ndarray):
+        self.page = np.asarray(page, dtype=np.int64)
+
+    def recommend_batch(self, users, k=10, histories=None):
+        return np.repeat(self.page, len(users), axis=0)
+
+
+def _split_with_positives(n_items: int, positives) -> TrainTestSplit:
+    train = TransactionLog.from_baskets(
+        [[np.arange(2, dtype=np.int64)]], n_items=n_items
+    )
+    test = TransactionLog.from_baskets(
+        [[np.asarray(sorted(positives), dtype=np.int64)]], n_items=n_items
+    )
+    return TrainTestSplit(train=train, test=test)
+
+
+class TestEvaluateTopKPadHygiene:
+    def test_all_pad_rows_score_zero_hits(self):
+        split = _split_with_positives(6, [1, 2])
+        stub = _PageRecommender(np.full((1, 4), PAD_ITEM))
+        result = evaluate_topk(stub, split, k=4)
+        assert result.n_users == 1
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.hit_rate == 0.0
+
+    def test_pad_never_counts_as_hit_even_among_real_items(self):
+        # Positives {1, 2}; the page ranks item 1 then pads: exactly one
+        # hit, and the pads contribute nothing.
+        split = _split_with_positives(6, [1, 2])
+        stub = _PageRecommender(
+            np.array([[1, PAD_ITEM, PAD_ITEM, PAD_ITEM]])
+        )
+        result = evaluate_topk(stub, split, k=4)
+        assert result.precision == pytest.approx(1 / 4)
+        assert result.recall == pytest.approx(1 / 2)
+        assert result.hit_rate == 1.0
+
+    def test_k_larger_than_catalog(self):
+        split = _split_with_positives(4, [2, 3])
+        model = _PageRecommender(np.array([[2, 3, PAD_ITEM, PAD_ITEM]]))
+        result = evaluate_topk(model, split, k=50)
+        assert result.n_users == 1
+        assert result.recall == 1.0
+        # Precision is hits over the requested depth; pads never count.
+        assert result.precision == pytest.approx(2 / 50)
+
+
+# ----------------------------------------------------------------------
+# Regression: constant-score catalog across shard counts and partitions
+# ----------------------------------------------------------------------
+def _constant_score_model(n_users: int = 24) -> TaxonomyFactorModel:
+    """Every item scores exactly 0 for every user — pure tie-break."""
+    parent = [-1] + [0] * 4
+    for cat in range(1, 5):
+        parent += [cat] * 6
+    taxonomy = Taxonomy(parent)
+    factors = 4
+    factor_set = FactorSet.from_arrays(
+        taxonomy,
+        user=np.zeros((n_users, factors)),
+        w=np.zeros((taxonomy.n_nodes + 1, factors)),
+        bias=np.zeros(taxonomy.n_nodes + 1),
+        levels=2,
+        init_scale=0.1,
+    )
+    model = TaxonomyFactorModel(taxonomy, TrainConfig(factors=factors))
+    model._factors = factor_set
+    return model
+
+
+class TestTiedScoresShardInvariance:
+    def test_single_process_reference_is_smallest_items(self):
+        model = _constant_score_model()
+        service = RecommenderService(model, cache_size=0)
+        expected = service.recommend_batch(np.arange(24), k=5)
+        assert expected.tolist() == [[0, 1, 2, 3, 4]] * 24
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("partition", ["users", "items"])
+    def test_fleet_matches_single_process_on_all_ties(
+        self, n_shards, partition
+    ):
+        """The PR-4 latent bug: argpartition order leaked into tied
+        rankings, so an item-partitioned fleet (merge: score desc, item
+        asc) could disagree with the single process.  With the
+        deterministic tie-break, every fleet shape returns the identical
+        page — `serve-sharded --verify` can never fail on ties."""
+        model = _constant_score_model()
+        service = RecommenderService(model, cache_size=0)
+        users = np.arange(model.n_users)
+        expected = service.recommend_batch(users, k=5)
+        with ShardRouter(
+            model, n_shards=n_shards, partition=partition, cache_size=0
+        ) as fleet:
+            got = fleet.recommend_batch(users, k=5)
+        assert np.array_equal(got, expected)
