@@ -35,6 +35,7 @@ from repro import (
     generate_dataset,
     train_test_split,
 )
+from repro.core.topk import top_k
 
 
 def main() -> None:
@@ -111,7 +112,7 @@ def main() -> None:
     # Bonus: recommend at the category level — structured ranking the flat
     # MF model cannot produce.
     scores = tf.category_scores(user, level=1)
-    best = scores.argsort()[::-1][:3]
+    best = top_k(scores, 3)
     names = [taxonomy.name_of(int(n)) for n in taxonomy.nodes_at_level(1)[best]]
     print(f"top-3 categories for user {user}: {names}")
 

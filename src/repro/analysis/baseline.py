@@ -1,0 +1,133 @@
+"""The committed baseline: grandfathered findings, each with a reason.
+
+A baseline lets the linter gate *new* findings while a handful of
+deliberate, reviewed exceptions stay in the tree.  The file is JSON so
+diffs are reviewable, and every entry **must** carry a non-placeholder
+``justification`` — loading rejects entries without one, so the baseline
+can never silently absorb violations.
+
+Matching is by :func:`~repro.analysis.findings.fingerprint` (rule + file
++ source-line content, not line number), so entries survive unrelated
+edits above them but die with the line they excuse — editing a baselined
+line resurfaces the finding, which is exactly the review trigger wanted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.findings import Finding, fingerprint
+
+BASELINE_VERSION = 1
+
+#: Default committed location, relative to the invocation directory.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+#: Placeholder written by ``--write-baseline``; loading refuses it.
+TODO_JUSTIFICATION = "TODO: justify or fix"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or an entry lacks a justification."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding (``line`` is informational only)."""
+
+    rule: str
+    path: str
+    line: int
+    snippet: str
+    justification: str
+
+
+class Baseline:
+    """Loaded baseline entries, indexed by fingerprint for matching."""
+
+    def __init__(self, entries: Iterable[BaselineEntry]):
+        self.entries: List[BaselineEntry] = list(entries)
+        self._by_fingerprint: Dict[str, BaselineEntry] = {
+            fingerprint(entry): entry for entry in self.entries
+        }
+        self._matched: set = set()
+
+    def match(self, finding: Finding) -> Optional[BaselineEntry]:
+        """The entry excusing *finding*, or ``None`` (marks the entry used)."""
+        key = fingerprint(finding)
+        entry = self._by_fingerprint.get(key)
+        if entry is not None:
+            self._matched.add(key)
+        return entry
+
+    def unused(self) -> List[BaselineEntry]:
+        """Entries that excused nothing this run — candidates for deletion."""
+        return [
+            entry
+            for key, entry in self._by_fingerprint.items()
+            if key not in self._matched
+        ]
+
+
+def load_baseline(path) -> Baseline:
+    """Read and validate a baseline file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected an object with version == {BASELINE_VERSION}"
+        )
+    entries: List[BaselineEntry] = []
+    for index, raw in enumerate(payload.get("entries", [])):
+        missing = {"rule", "path", "snippet", "justification"} - set(raw)
+        if missing:
+            raise BaselineError(
+                f"{path}: entry {index} is missing {sorted(missing)}"
+            )
+        justification = str(raw["justification"]).strip()
+        if not justification or justification == TODO_JUSTIFICATION:
+            raise BaselineError(
+                f"{path}: entry {index} ({raw['rule']} at {raw['path']}) has no "
+                f"real justification — every baselined finding must say why it "
+                f"is deliberate"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]).replace("\\", "/"),
+                line=int(raw.get("line", 0)),
+                snippet=str(raw["snippet"]),
+                justification=justification,
+            )
+        )
+    return Baseline(entries)
+
+
+def write_baseline(findings: Iterable[Finding], path) -> int:
+    """Write *findings* as a fresh baseline skeleton; returns the count.
+
+    Every entry gets the :data:`TODO_JUSTIFICATION` placeholder, which
+    :func:`load_baseline` refuses — the author must replace each one
+    with a real sentence before the baseline is usable.
+    """
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "snippet": f.snippet,
+            "justification": TODO_JUSTIFICATION,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)

@@ -1,0 +1,189 @@
+"""The analysis engine: files × rules → findings, minus waivers.
+
+:func:`run_analysis` walks the requested paths, parses each file once,
+runs every applicable rule, and then routes each raw finding through the
+two waiver layers — inline justified ``noqa`` comments first, then the
+committed baseline.  Meta-findings (REP000) are produced for suppression
+hygiene: a ``noqa`` without a justification, and a ``noqa`` that waives
+nothing.  Files that fail to parse become REP999 findings rather than
+crashing the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules
+from repro.analysis.source import SourceFile, collect_py_files, load_source
+from repro.analysis.suppress import Suppression, scan_suppressions
+
+#: Meta-rule code for suppression hygiene problems.
+META_RULE = "REP000"
+#: Pseudo-rule code for files the parser rejects.
+PARSE_RULE = "REP999"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced, pre-sorted for reporting."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Tuple[Finding, Suppression]] = field(default_factory=list)
+    baselined: List[Tuple[Finding, BaselineEntry]] = field(default_factory=list)
+    unused_baseline: List[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        """Active findings that fail the run unconditionally."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """Active findings that fail only under ``--strict``."""
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """1 when findings should fail the invocation, else 0."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+
+def _severity_overrides(
+    rules: Sequence[Rule], overrides: Optional[Dict[str, str]]
+) -> None:
+    if not overrides:
+        return
+    by_code = {rule.code: rule for rule in rules}
+    for code, level in overrides.items():
+        code = code.strip().upper()
+        if code not in by_code:
+            raise ValueError(f"--severity names unknown rule {code}")
+        by_code[code].severity = Severity(level.strip().lower())
+
+
+def _check_file(
+    src: SourceFile, rules: Sequence[Rule]
+) -> Tuple[List[Finding], List[Suppression]]:
+    """Raw findings and parsed suppressions for one file."""
+    if src.parse_error is not None:
+        err = src.parse_error
+        return (
+            [
+                Finding(
+                    rule=PARSE_RULE,
+                    severity=Severity.ERROR,
+                    path=src.display,
+                    line=err.lineno or 1,
+                    col=(err.offset or 0) + 1,
+                    message=f"file does not parse: {err.msg}",
+                    snippet=src.line_at(err.lineno or 1),
+                )
+            ],
+            [],
+        )
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(src):
+            raw.extend(rule.check(src))
+    return raw, scan_suppressions(src.text)
+
+
+def run_analysis(
+    paths: Sequence[str],
+    baseline: Optional[Baseline] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    severities: Optional[Dict[str, str]] = None,
+    include_tests: bool = False,
+) -> AnalysisResult:
+    """Run every (selected) rule over *paths* and apply the waiver layers.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to scan.
+    baseline:
+        Grandfathered findings; matching findings are reported separately
+        and do not affect the exit code.
+    select / ignore:
+        Restrict or exclude rule codes.
+    severities:
+        Per-rule overrides, e.g. ``{"REP004": "warning"}``.
+    include_tests:
+        Also scan test files (skipped by default: tests legitimately
+        construct the very patterns the rules outlaw).
+    """
+    rules = all_rules(select=select, ignore=ignore)
+    _severity_overrides(rules, severities)
+    result = AnalysisResult(rules_run=[rule.code for rule in rules])
+
+    for path in collect_py_files(paths):
+        src = load_source(path)
+        if src.in_test_tree() and not include_tests:
+            continue
+        result.files_scanned += 1
+        raw, suppressions = _check_file(src, rules)
+
+        for finding in sorted(raw, key=lambda f: (f.line, f.col, f.rule)):
+            waiver = next(
+                (s for s in suppressions if s.covers(finding.rule, finding.line)),
+                None,
+            )
+            if waiver is not None:
+                waiver.used = True
+                result.suppressed.append((finding, waiver))
+                continue
+            if baseline is not None:
+                entry = baseline.match(finding)
+                if entry is not None:
+                    result.baselined.append((finding, entry))
+                    continue
+            result.findings.append(finding)
+
+        # Suppression hygiene: unjustified noqa is an error (and did not
+        # suppress anything above); a justified noqa that waived nothing
+        # is a warning so stale waivers surface.
+        for sup in suppressions:
+            if sup.justification is None:
+                result.findings.append(
+                    Finding(
+                        rule=META_RULE,
+                        severity=Severity.ERROR,
+                        path=src.display,
+                        line=sup.line,
+                        col=1,
+                        message=(
+                            "suppression without justification — write "
+                            "`# repro: noqa[CODE] -- why this is exempt`"
+                        ),
+                        snippet=src.line_at(sup.line),
+                    )
+                )
+            elif not sup.used:
+                result.findings.append(
+                    Finding(
+                        rule=META_RULE,
+                        severity=Severity.WARNING,
+                        path=src.display,
+                        line=sup.line,
+                        col=1,
+                        message=(
+                            f"unused suppression for {', '.join(sorted(sup.codes))} "
+                            f"— nothing on this line triggers it; delete the noqa"
+                        ),
+                        snippet=src.line_at(sup.line),
+                    )
+                )
+
+    if baseline is not None:
+        result.unused_baseline = baseline.unused()
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

@@ -1,0 +1,58 @@
+"""Finding and severity types shared by every rule and reporter."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Severity(str, Enum):
+    """How bad a finding is; ``error`` fails the run, ``warning`` only
+    under ``--strict``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR", in reports
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``snippet`` is the stripped source line the finding points at; it is
+    the content half of the finding's :func:`fingerprint`, so baseline
+    entries keep matching when unrelated edits shift line numbers.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = field(default="", compare=False)
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of a report line."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def fingerprint(finding_or_entry) -> str:
+    """Stable identity of a finding: rule + file + source-line content.
+
+    Deliberately excludes the line *number* so a baseline survives code
+    moving around it, and excludes the message so rule rewording does
+    not orphan entries.  Works on anything with ``rule``, ``path`` and
+    ``snippet`` attributes (findings and baseline entries alike).
+    """
+    key = "\x1f".join(
+        (
+            finding_or_entry.rule,
+            finding_or_entry.path.replace("\\", "/"),
+            " ".join(finding_or_entry.snippet.split()),
+        )
+    )
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]

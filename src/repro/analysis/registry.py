@@ -1,0 +1,101 @@
+"""The plugin-style rule registry.
+
+A rule is a class with a ``code`` (``REPnnn``), a default
+:class:`~repro.analysis.findings.Severity`, an ``applies_to`` scope
+predicate, and a ``check`` that yields findings for one parsed file.
+Decorating with :func:`register` makes it discoverable; the engine and
+the CLI pick every registered rule up automatically, so adding a rule is
+one new module under :mod:`repro.analysis.rules` (imported from that
+package's ``__init__`` so registration runs) plus its tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.source import SourceFile
+
+
+class Rule:
+    """Base class for invariant rules.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` narrows the rule to the directories whose
+    contract it encodes (it is never called for test files — the engine
+    skips those globally).
+    """
+
+    #: Unique ``REPnnn`` identifier, also the ``noqa`` key.
+    code: str = "REP000"
+    #: Short kebab-ish name shown by ``--list-rules``.
+    name: str = "unnamed-rule"
+    #: Default severity; the CLI can override per rule.
+    severity: Severity = Severity.ERROR
+    #: One-line contract statement shown by ``--list-rules`` and docs.
+    description: str = ""
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Whether *src* is inside the tree this rule's contract covers."""
+        return True
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Yield findings for one parsed file (``src.tree`` is not None)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finding(
+        self, src: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at *node* with this rule's identity."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.code,
+            severity=self.severity,
+            path=src.display,
+            line=line,
+            col=col + 1,
+            message=message,
+            snippet=src.line_at(line),
+        )
+
+
+#: code -> rule class, populated by the :func:`register` decorator.
+REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a :class:`Rule` subclass to the registry."""
+    if not cls.code or cls.code in REGISTRY:
+        raise ValueError(f"rule code {cls.code!r} is empty or already registered")
+    REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    """Instantiate every registered rule, optionally filtered by code.
+
+    Importing :mod:`repro.analysis.rules` here (not at module import
+    time) avoids a circular import: rule modules import this registry.
+    """
+    import repro.analysis.rules  # noqa: F401  (side effect: registration)
+
+    codes = sorted(REGISTRY)
+    if select:
+        wanted = {c.strip().upper() for c in select}
+        unknown = wanted - set(codes)
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        codes = [c for c in codes if c in wanted]
+    if ignore:
+        dropped = {c.strip().upper() for c in ignore}
+        unknown = dropped - set(REGISTRY)
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        codes = [c for c in codes if c not in dropped]
+    return [REGISTRY[c]() for c in codes]

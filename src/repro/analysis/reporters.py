@@ -1,0 +1,107 @@
+"""Text and JSON renderings of an :class:`AnalysisResult`.
+
+The text form is for humans and CI logs; the JSON form is a stable
+machine surface (uploaded as a CI artifact) with per-rule counts, every
+active finding, and the waiver bookkeeping, so dashboards and follow-up
+tooling never have to parse the human text.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict
+
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.findings import fingerprint
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    out = []
+    for finding in result.findings:
+        out.append(
+            f"{finding.location()}: {finding.rule} "
+            f"[{finding.severity}] {finding.message}"
+        )
+        if finding.snippet:
+            out.append(f"    {finding.snippet}")
+    if verbose:
+        for finding, sup in result.suppressed:
+            out.append(
+                f"{finding.location()}: {finding.rule} suppressed — "
+                f"{sup.justification}"
+            )
+        for finding, entry in result.baselined:
+            out.append(
+                f"{finding.location()}: {finding.rule} baselined — "
+                f"{entry.justification}"
+            )
+    for entry in result.unused_baseline:
+        out.append(
+            f"{entry.path}:{entry.line}: note: unused baseline entry for "
+            f"{entry.rule} ({entry.snippet!r}) — remove it"
+        )
+    out.append(
+        f"{len(result.findings)} finding(s) "
+        f"({len(result.errors)} error(s), {len(result.warnings)} warning(s)), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined, "
+        f"{result.files_scanned} file(s) scanned"
+    )
+    return "\n".join(out)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report (schema version 1)."""
+    by_rule: Counter = Counter(f.rule for f in result.findings)
+    payload: Dict = {
+        "version": 1,
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "rules_run": result.rules_run,
+            "findings": len(result.findings),
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "unused_baseline_entries": len(result.unused_baseline),
+            "findings_by_rule": dict(sorted(by_rule.items())),
+        },
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": str(f.severity),
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "snippet": f.snippet,
+                "fingerprint": fingerprint(f),
+            }
+            for f in result.findings
+        ],
+        "suppressed": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "justification": sup.justification,
+            }
+            for f, sup in result.suppressed
+        ],
+        "baselined": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "justification": entry.justification,
+            }
+            for f, entry in result.baselined
+        ],
+        "unused_baseline": [
+            {"rule": e.rule, "path": e.path, "line": e.line}
+            for e in result.unused_baseline
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,79 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    Subscripts and calls inside the chain (``a[0].b``, ``a().b``) yield
+    ``None`` — the callers only match plain module/attribute paths.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def identifiers_in(node: ast.AST) -> Set[str]:
+    """Every Name id and Attribute attr mentioned anywhere under *node*."""
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+        elif isinstance(child, ast.arg):
+            names.add(child.arg)
+    return names
+
+
+def call_args(node: ast.Call) -> Iterator[ast.AST]:
+    """All positional and keyword argument expressions of a call."""
+    yield from node.args
+    for keyword in node.keywords:
+        yield keyword.value
+
+
+def self_attr_target(node: ast.AST) -> Optional[str]:
+    """``X`` when *node* is the store target ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def assigned_self_attrs(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(attr, node)`` for every ``self.X = / += / : T =`` under *node*."""
+    for child in ast.walk(node):
+        targets: List[ast.AST] = []
+        if isinstance(child, ast.Assign):
+            targets = list(child.targets)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            targets = [child.target]
+        for target in targets:
+            # Tuple targets: self.a, self.b = ...
+            elements = (
+                list(target.elts) if isinstance(target, ast.Tuple) else [target]
+            )
+            for element in elements:
+                attr = self_attr_target(element)
+                if attr is not None:
+                    yield attr, child
+
+
+def enclosing_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every function/method definition in the module, depth-first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

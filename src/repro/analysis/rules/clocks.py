@@ -1,0 +1,81 @@
+"""REP003 — monotonic clocks for durations and deadlines.
+
+``time.time()`` is wall-clock: NTP steps, DST, and manual adjustments
+can make it jump backwards or leap forwards.  A duration measured with
+it can go negative; a deadline computed from it can stall a replay loop
+or fire early.  Everything latency- or deadline-shaped in the streaming,
+serving, parallel, and benchmark trees must use ``time.perf_counter()``
+(durations) or ``time.monotonic()`` (deadlines) — the replay hardening
+in PR 5 (``streaming/events.py``) exists precisely because of this.
+
+Genuine wall-clock timestamps (event ingestion times, log lines) are
+what the justified ``noqa`` is for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import dotted_name
+from repro.analysis.source import SourceFile
+
+#: Directory names whose contracts are duration/deadline-heavy.
+_SCOPED_DIRS = {"streaming", "serving", "parallel", "train", "benchmarks"}
+
+
+@register
+class MonotonicClocks(Rule):
+    """Flag wall-clock reads where durations/deadlines are computed."""
+
+    code = "REP003"
+    name = "monotonic-clocks"
+    severity = Severity.ERROR
+    description = (
+        "time.time() is wall-clock and can step; durations must use "
+        "time.perf_counter() and deadlines time.monotonic() in the "
+        "streaming/serving/parallel/train/benchmarks trees (justified "
+        "noqa for genuine timestamps)."
+    )
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Only the latency-contract trees."""
+        return any(part in _SCOPED_DIRS for part in src.parts)
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Flag ``time.time()`` calls and ``from time import time``."""
+        time_aliases = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+                        yield self.finding(
+                            src,
+                            node,
+                            "`from time import time` hides the wall clock "
+                            "behind a bare name; import the module and use "
+                            "time.perf_counter()/time.monotonic()",
+                        )
+                    elif alias.name == "clock":
+                        yield self.finding(
+                            src,
+                            node,
+                            "time.clock was removed in Python 3.8; use "
+                            "time.perf_counter()",
+                        )
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name == "time.time" or (name and name in time_aliases):
+                yield self.finding(
+                    src,
+                    node,
+                    "time.time() is wall-clock (can step backwards); use "
+                    "time.perf_counter() for durations or time.monotonic() "
+                    "for deadlines — justified noqa if this is a real "
+                    "timestamp",
+                )

@@ -1,0 +1,135 @@
+"""REP006 — deprecated shims are for users, not internal call sites.
+
+``model.fit(...)``, ``parallel.ThreadedSGDTrainer`` and legacy ``.npz``
+loading (``ModelBundle.load_legacy``) are compatibility surface kept for
+external users, each emitting a ``DeprecationWarning`` that points at
+``docs/migration.md``.  Internal code calling them keeps the shims
+load-bearing forever (and trains contributors to copy the deprecated
+idiom).  New ``src/`` code must use the replacement: the
+``repro.train`` front door, ``ThreadedSGDEngine`` / ``ThreadedTrainer``,
+and bundle directories.
+
+The ``.fit`` check is type-blind by design: it flags ``.fit(...)`` only
+on receivers provably constructed from the deprecated model classes in
+the same scope (direct ``TaxonomyFactorModel(...).fit(...)`` chains or a
+local variable assigned from the constructor), so unrelated ``fit``
+methods (e.g. ``PopularityModel.fit``, which is not deprecated) never
+false-positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import dotted_name
+from repro.analysis.source import SourceFile
+
+#: Model classes whose ``fit`` is the deprecated entry point.
+_DEPRECATED_FIT_CLASSES = {"TaxonomyFactorModel", "MFModel"}
+
+#: Deprecated names and the module allowed to define/host them.
+_SHIM_DEFINERS = {
+    "ThreadedSGDTrainer": ("parallel", "trainer.py"),
+    "load_legacy": ("serving", "bundle.py"),
+}
+
+
+def _constructor_name(node: ast.AST) -> str:
+    """Class name when *node* is ``SomeClass(...)``, else ''."""
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func) or ""
+        return name.rsplit(".", 1)[-1]
+    return ""
+
+
+@register
+class NoDeprecatedShims(Rule):
+    """Flag internal use of model.fit / ThreadedSGDTrainer / legacy .npz."""
+
+    code = "REP006"
+    name = "no-deprecated-shims-internally"
+    severity = Severity.ERROR
+    description = (
+        "model.fit(...), ThreadedSGDTrainer, and ModelBundle.load_legacy "
+        "are DeprecationWarning shims for external users; internal code "
+        "must use repro.train trainers and bundle directories."
+    )
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Library code only (the package under ``src``)."""
+        return "src" in src.parts or "repro" in src.parts
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Flag references to the shims outside their defining modules."""
+        tail = src.parts[-2:]
+
+        if tail != _SHIM_DEFINERS["ThreadedSGDTrainer"]:
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.ImportFrom):
+                    for alias in node.names:
+                        if alias.name == "ThreadedSGDTrainer":
+                            yield self.finding(
+                                src,
+                                node,
+                                "ThreadedSGDTrainer is a deprecated shim — "
+                                "use repro.train.ThreadedTrainer (or "
+                                "parallel.ThreadedSGDEngine directly)",
+                            )
+                elif isinstance(node, ast.Name) and node.id == "ThreadedSGDTrainer":
+                    yield self.finding(
+                        src,
+                        node,
+                        "ThreadedSGDTrainer is a deprecated shim — use "
+                        "repro.train.ThreadedTrainer",
+                    )
+
+        if tail != _SHIM_DEFINERS["load_legacy"]:
+            for node in ast.walk(src.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "load_legacy"
+                ):
+                    yield self.finding(
+                        src,
+                        node,
+                        "legacy .npz loading is a deprecated shim — persist "
+                        "and load ModelBundle directories instead",
+                    )
+
+        yield from self._check_deprecated_fit(src)
+
+    def _check_deprecated_fit(self, src: SourceFile) -> Iterator[Finding]:
+        if src.parts[-1] in ("tf_model.py", "mf_model.py"):
+            return  # the defining modules (MFModel inherits TF's fit)
+        # Names assigned from a deprecated constructor anywhere in the
+        # file (scope-blind on purpose: a rare cross-scope false positive
+        # is a justified-noqa away, a miss is a silent contract break).
+        model_vars: Set[str] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Assign):
+                if _constructor_name(node.value) in _DEPRECATED_FIT_CLASSES:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            model_vars.add(target.id)
+        for node in ast.walk(src.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "fit"
+            ):
+                continue
+            receiver = node.func.value
+            chained = _constructor_name(receiver) in _DEPRECATED_FIT_CLASSES
+            named = isinstance(receiver, ast.Name) and receiver.id in model_vars
+            if chained or named:
+                yield self.finding(
+                    src,
+                    node,
+                    "model.fit(...) is a deprecated shim — use "
+                    "repro.train.SerialTrainer(model).train(log) or an "
+                    "ExperimentSpec (identical factors for the same seed)",
+                )

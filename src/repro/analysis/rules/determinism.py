@@ -1,0 +1,121 @@
+"""REP001 — seeded reproducibility: no global or unseeded RNG.
+
+The library's contract (see ``repro.utils.rng``) is that every
+stochastic component accepts a seed / ``numpy.random.Generator`` and
+funnels it through ``ensure_rng``, so one master seed reproduces a whole
+experiment bit-for-bit.  Module-level numpy RNG (``np.random.rand`` and
+friends) mutates process-global state, unseeded ``default_rng()`` takes
+fresh OS entropy, and the stdlib ``random`` module is both global *and*
+unseeded by default — any of them anywhere on a library or entry-point
+path silently breaks end-to-end reproducibility.
+
+``repro/utils/rng.py`` itself is exempt: it is the one place allowed to
+touch the underlying constructors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import dotted_name
+from repro.analysis.source import SourceFile
+
+#: numpy.random attributes fine to reference anywhere: generator classes
+#: and seeding machinery take or carry explicit seeds.
+_ALLOWED_NP_RANDOM = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+_UNSEEDED_MSG = (
+    "unseeded default_rng() draws fresh OS entropy — accept a seed and "
+    "call repro.utils.rng.ensure_rng(seed)"
+)
+
+
+@register
+class NoGlobalRng(Rule):
+    """Flag module-level numpy RNG, unseeded ``default_rng``, stdlib random."""
+
+    code = "REP001"
+    name = "no-global-or-unseeded-rng"
+    severity = Severity.ERROR
+    description = (
+        "All randomness must flow through repro.utils.rng (seeded "
+        "Generators); np.random.* module-level functions, unseeded "
+        "default_rng(), and the stdlib random module break end-to-end "
+        "reproducibility."
+    )
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Everywhere except the RNG utility module itself."""
+        return src.parts[-2:] != ("utils", "rng.py")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Scan imports and calls for global-state RNG usage."""
+        stdlib_random_aliases = set()
+        default_rng_aliases = set()
+
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        stdlib_random_aliases.add(alias.asname or "random")
+                        yield self.finding(
+                            src,
+                            node,
+                            "stdlib `random` relies on hidden process-global "
+                            "state; use repro.utils.rng.ensure_rng(seed) and "
+                            "thread the Generator through",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        src,
+                        node,
+                        "importing from stdlib `random` pulls in process-"
+                        "global RNG state; use repro.utils.rng instead",
+                    )
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name == "default_rng":
+                            default_rng_aliases.add(alias.asname or "default_rng")
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            head, _, attr = name.rpartition(".")
+            if head in ("np.random", "numpy.random"):
+                if attr == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield self.finding(src, node, _UNSEEDED_MSG)
+                elif attr not in _ALLOWED_NP_RANDOM:
+                    yield self.finding(
+                        src,
+                        node,
+                        f"np.random.{attr}() uses numpy's module-level global "
+                        f"RNG; thread a seeded Generator from "
+                        f"repro.utils.rng.ensure_rng instead",
+                    )
+            elif not head and attr in default_rng_aliases:
+                if not node.args and not node.keywords:
+                    yield self.finding(src, node, _UNSEEDED_MSG)
+            elif head in stdlib_random_aliases:
+                yield self.finding(
+                    src,
+                    node,
+                    f"{name}() mutates the stdlib global RNG; use a seeded "
+                    f"Generator from repro.utils.rng.ensure_rng",
+                )

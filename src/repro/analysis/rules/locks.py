@@ -1,0 +1,134 @@
+"""REP004 — lock discipline: guarded attributes stay guarded.
+
+The serving/streaming/parallel trees promise that requests keep flowing
+from multiple threads during hot swaps, and the parallel trainer's whole
+point is concurrent factor updates.  The failure mode that survives
+tests is the *asymmetric* guard: an attribute written under
+``with self._lock:`` in one method and bare in another — the bare write
+races the guarded read-modify-write and silently drops updates (exactly
+the ``+=`` hazard ``ServingStats`` documents).
+
+For every class in scope, the rule collects the ``self.X`` attributes
+assigned inside a ``with`` block whose context expression mentions a
+lock-ish name (``lock``, ``rw``, ``mutex``), then flags assignments to
+those same attributes outside any such block.  Constructors
+(``__init__`` and friends) are exempt — the object is not shared yet.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import assigned_self_attrs, identifiers_in
+from repro.analysis.source import SourceFile
+
+_SCOPED_DIRS = {"serving", "streaming", "parallel"}
+
+_LOCKISH_RE = re.compile(r"lock|mutex|(?:^|_)rw(?:$|_)", re.IGNORECASE)
+
+#: Methods where unguarded writes are fine: the instance is not yet (or
+#: no longer) visible to other threads.
+_CTOR_METHODS = {
+    "__init__",
+    "__new__",
+    "__post_init__",
+    "__setstate__",
+    "__del__",
+}
+
+
+def _is_lockish(expr: ast.AST) -> bool:
+    """Whether a with-item's context expression looks like a lock acquire."""
+    return any(_LOCKISH_RE.search(name) for name in identifiers_in(expr))
+
+
+def _walk_method(
+    node: ast.AST,
+    in_lock: bool,
+    lock_label: str,
+    writes: List[Tuple[str, ast.AST, bool, str]],
+) -> None:
+    """Record ``(attr, node, guarded, lock_label)`` for self.X writes."""
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        lockish = [
+            item.context_expr
+            for item in node.items
+            if _is_lockish(item.context_expr)
+        ]
+        if lockish:
+            label = ast.unparse(lockish[0])
+            for child in node.body:
+                _walk_method(child, True, label, writes)
+            return
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        for attr, stmt in assigned_self_attrs(node):
+            if not _LOCKISH_RE.search(attr):
+                writes.append((attr, stmt, in_lock, lock_label))
+        return
+    # Nested defs get their own pass as methods of no class — skip here.
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    for child in ast.iter_child_nodes(node):
+        _walk_method(child, in_lock, lock_label, writes)
+
+
+@register
+class LockDiscipline(Rule):
+    """Flag attributes guarded by a lock in one method, bare in another."""
+
+    code = "REP004"
+    name = "lock-discipline"
+    severity = Severity.ERROR
+    description = (
+        "An attribute assigned inside `with self._lock:` anywhere in a "
+        "class must be assigned under the lock everywhere (outside "
+        "__init__): one bare write races every guarded read-modify-write."
+    )
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Only the concurrent trees (serving, streaming, parallel)."""
+        return any(part in _SCOPED_DIRS for part in src.parts)
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Cross-method guarded/unguarded write analysis per class."""
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(src, node)
+
+    def _check_class(
+        self, src: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        # attr -> (lock label, method) of one guarded write, for messages.
+        guarded: Dict[str, Tuple[str, str]] = {}
+        # (attr, stmt, method) of every unguarded non-ctor write.
+        unguarded: List[Tuple[str, ast.AST, str]] = []
+        seen: Set[int] = set()
+
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            writes: List[Tuple[str, ast.AST, bool, str]] = []
+            for stmt in item.body:
+                _walk_method(stmt, False, "", writes)
+            for attr, stmt, in_lock, label in writes:
+                if in_lock:
+                    guarded.setdefault(attr, (label, item.name))
+                elif item.name not in _CTOR_METHODS:
+                    unguarded.append((attr, stmt, item.name))
+
+        for attr, stmt, method in unguarded:
+            if attr in guarded and id(stmt) not in seen:
+                seen.add(id(stmt))
+                label, guarded_method = guarded[attr]
+                yield self.finding(
+                    src,
+                    stmt,
+                    f"self.{attr} is written under `with {label}:` in "
+                    f"{guarded_method}() but written here in {method}() "
+                    f"without the lock — this write races every guarded "
+                    f"read-modify-write",
+                )

@@ -1,0 +1,141 @@
+"""REP005 — shared-memory lifecycle: every mapping has an exit path.
+
+``multiprocessing.shared_memory`` segments are kernel objects, not
+garbage-collected Python ones: a created segment leaks until
+``unlink()``, an attached mapping leaks an fd until ``close()`` — and a
+leaked name from a crashed run blocks the next publication.  The
+convention in ``serving/sharding.py`` is that every creation site lives
+next to a reachable teardown: a ``finally`` / ``except`` block or a
+dedicated cleanup method (``release``, ``close``, ``__exit__``, ...).
+
+The rule checks that convention per module: a module that *creates*
+segments (``SharedMemory(create=True)`` or a ``SharedFactors(...)``
+publication) must contain both ``.close()`` and ``.unlink()`` (or a
+``.release()``) in a cleanup context; a module that only *attaches* must
+contain ``.close()`` in one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import dotted_name
+from repro.analysis.source import SourceFile
+
+#: Method names that count as a deliberate teardown path.
+_CLEANUP_METHODS = {
+    "release",
+    "close",
+    "unlink",
+    "cleanup",
+    "shutdown",
+    "stop",
+    "drop",
+    "__exit__",
+    "__del__",
+}
+
+#: Call attributes that tear a segment down.
+_TEARDOWN_ATTRS = {"close", "unlink", "release"}
+
+
+def _is_shared_memory_call(node: ast.Call) -> Tuple[bool, bool]:
+    """``(is_shm, creates)`` for a call node."""
+    name = dotted_name(node.func) or ""
+    tail = name.rsplit(".", 1)[-1]
+    if tail == "SharedMemory":
+        creates = any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+        return True, creates
+    if tail == "SharedFactors":
+        # Publishing a factor generation creates segments internally.
+        return True, True
+    return False, False
+
+
+def _teardowns_in(node: ast.AST, found: Set[str]) -> None:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and isinstance(child.func, ast.Attribute):
+            if child.func.attr in _TEARDOWN_ATTRS:
+                found.add(child.func.attr)
+
+
+def _collect_cleanup_teardowns(tree: ast.Module) -> Set[str]:
+    """Teardown calls reachable from an explicit cleanup context."""
+    found: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Try):
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    _teardowns_in(stmt, found)
+            for stmt in node.finalbody:
+                _teardowns_in(stmt, found)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name in _CLEANUP_METHODS:
+                for stmt in node.body:
+                    _teardowns_in(stmt, found)
+    return found
+
+
+@register
+class SharedMemoryLifecycle(Rule):
+    """Flag SharedMemory/SharedFactors creation without a teardown path."""
+
+    code = "REP005"
+    name = "shared-memory-lifecycle"
+    severity = Severity.ERROR
+    description = (
+        "SharedMemory segments are kernel objects: a module creating them "
+        "(SharedMemory(create=True) / SharedFactors(...)) must tear them "
+        "down — close() and unlink()/release() — in a finally/except block "
+        "or a cleanup method (release/close/__exit__/...), and a module "
+        "that attaches must close() in one."
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Compare creation/attach sites against reachable teardowns."""
+        creations: List[ast.Call] = []
+        attaches: List[ast.Call] = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                is_shm, creates = _is_shared_memory_call(node)
+                if is_shm:
+                    (creations if creates else attaches).append(node)
+        if not creations and not attaches:
+            return
+
+        teardowns = _collect_cleanup_teardowns(src.tree)
+        closes = bool(teardowns & {"close", "release"})
+        unlinks = bool(teardowns & {"unlink", "release"})
+
+        for node in creations:
+            missing = []
+            if not closes:
+                missing.append("close()")
+            if not unlinks:
+                missing.append("unlink()")
+            if missing:
+                yield self.finding(
+                    src,
+                    node,
+                    f"shared-memory segment created here but the module has "
+                    f"no reachable {' / '.join(missing)} in a finally/except "
+                    f"block or cleanup method — a leaked segment survives "
+                    f"the process and blocks the next publication",
+                )
+        for node in attaches:
+            if not closes:
+                yield self.finding(
+                    src,
+                    node,
+                    "shared-memory attachment here but the module has no "
+                    "reachable close() in a finally/except block or cleanup "
+                    "method — every mapping holds an fd until closed",
+                )

@@ -1,0 +1,92 @@
+"""REP002 — one top-k total order: no raw sorts on score arrays.
+
+The PR 5 tie-break bug: ``ShardRouter``'s item-partitioned merge and the
+single-process path disagreed on tied scores because one call site did
+its own ``argpartition`` instead of going through ``repro.core.topk``.
+The fix established a single total order — **descending score, then
+ascending index** — implemented exactly once.  This rule keeps it that
+way: any ``argsort`` / ``argpartition`` / ``sort`` / ``lexsort`` /
+``partition`` / ``sorted`` whose operand mentions a score-like
+identifier, outside ``core/topk.py``, is a finding.
+
+Detection is intentionally name-based (an operand identifier matching
+``score``): the AST cannot know an array's meaning, and in this codebase
+the convention that score arrays are *named* scores is itself part of
+the contract.  Sorting genuinely non-ranking data under a score-ish name
+is what the justified ``noqa`` is for.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import call_args, dotted_name, identifiers_in
+from repro.analysis.source import SourceFile
+
+_SCORE_RE = re.compile(r"score", re.IGNORECASE)
+
+_SORTING_ATTRS = {"argsort", "argpartition", "sort", "lexsort", "partition"}
+
+
+def _mentions_score(node: ast.AST) -> bool:
+    return any(_SCORE_RE.search(name) for name in identifiers_in(node))
+
+
+@register
+class TopKTotalOrder(Rule):
+    """Flag raw sorting/partitioning of score arrays outside core/topk."""
+
+    code = "REP002"
+    name = "topk-total-order"
+    severity = Severity.ERROR
+    description = (
+        "Rankings must flow through repro.core.topk (top_k, top_k_rows, "
+        "top_k_pairs, merge_top_k_pages) so every path — single process, "
+        "sharded fleet, pruned index — agrees on the (score desc, index "
+        "asc) total order; raw argsort/argpartition/sort on score arrays "
+        "re-introduces the PR 5 tie-break bug."
+    )
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Everywhere except the module that implements the total order."""
+        return src.parts[-2:] != ("core", "topk.py")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Flag sorting calls whose operands mention score identifiers."""
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _SORTING_ATTRS:
+                root = dotted_name(func.value)
+                if root in ("np", "numpy"):
+                    # np.argsort(scores) — operands are the arguments.
+                    suspicious = any(_mentions_score(a) for a in call_args(node))
+                else:
+                    # scores.argsort() / scores.sort() — operand is the
+                    # receiver (arguments like axis= don't carry meaning).
+                    suspicious = _mentions_score(func.value)
+                if suspicious:
+                    yield self.finding(
+                        src,
+                        node,
+                        f"raw {func.attr}() on a score array — route the "
+                        f"ranking through repro.core.topk so ties keep the "
+                        f"one (score desc, index asc) total order",
+                    )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id == "sorted"
+                and any(_mentions_score(a) for a in call_args(node))
+            ):
+                yield self.finding(
+                    src,
+                    node,
+                    "sorted() over scores — route the ranking through "
+                    "repro.core.topk so ties keep the one (score desc, "
+                    "index asc) total order",
+                )

@@ -1,0 +1,110 @@
+"""Source-file loading and discovery for the analysis engine.
+
+Each scanned file is parsed exactly once into a :class:`SourceFile`
+carrying the AST, the raw lines, and the path both ways rules need it:
+as given on the command line (for reporting and baseline matching) and
+as resolved filesystem parts (for rule scoping — "is this under
+``serving/``?", "is this ``utils/rng.py`` itself?").
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+#: Directory names never descended into.
+SKIP_DIRS = {"__pycache__", ".git", ".venv", "site", "results", "node_modules"}
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file handed to every applicable rule."""
+
+    path: Path
+    display: str
+    text: str
+    lines: List[str]
+    tree: Optional[ast.Module]
+    parse_error: Optional[SyntaxError] = None
+    parts: Tuple[str, ...] = field(default_factory=tuple)
+
+    def line_at(self, lineno: int) -> str:
+        """The stripped source line at 1-based *lineno* ('' if out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def in_test_tree(self) -> bool:
+        """Whether the file belongs to a test suite (rules skip those)."""
+        return (
+            "tests" in self.parts
+            or "conftest.py" == self.parts[-1]
+            or self.parts[-1].startswith("test_")
+        )
+
+
+def display_path(path: Path) -> str:
+    """*path* relative to the working directory when possible, posix-style.
+
+    Reports and baseline entries use this form, so a baseline written
+    from the repo root keeps matching as long as the tool runs from the
+    repo root (which the CI job and the Makefile-style invocations do).
+    """
+    resolved = path.resolve()
+    cwd = Path.cwd().resolve()
+    try:
+        return resolved.relative_to(cwd).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def load_source(path: Path) -> SourceFile:
+    """Read and parse *path*; a syntax error is recorded, not raised."""
+    text = path.read_text(encoding="utf-8")
+    tree: Optional[ast.Module] = None
+    error: Optional[SyntaxError] = None
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:  # surfaced as a REP999 finding by the engine
+        error = exc
+    return SourceFile(
+        path=path,
+        display=display_path(path),
+        text=text,
+        lines=text.splitlines(),
+        tree=tree,
+        parse_error=error,
+        parts=path.resolve().parts,
+    )
+
+
+def collect_py_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_file():
+            if path.suffix == ".py":
+                found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in SKIP_DIRS and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found.append(Path(dirpath) / name)
+    # De-duplicate while keeping the first occurrence's order stable.
+    seen = set()
+    unique: List[Path] = []
+    for path in found:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique

@@ -1,0 +1,83 @@
+"""Inline ``# repro: noqa[RULE]`` suppressions with required justification.
+
+The suppression grammar is deliberately strict::
+
+    # repro: noqa[REP002] -- full ranking for rank statistics, not a top-k
+    # repro: noqa[REP001, REP003] -- demo script; wall-clock banner only
+
+* the bracketed list names the exact rule codes being waived (no blanket
+  ``noqa``), and
+* the text after ``--`` is a mandatory justification; a suppression
+  without one does **not** suppress and is itself reported (REP000), so
+  "why is this exempt?" is always answered in the diff that adds it.
+
+A suppression that matches no finding is reported as an unused-
+suppression warning — stale waivers rot into blind spots otherwise.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+#: ``# repro: noqa[CODES]`` with an optional ``-- justification`` tail.
+NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\s*\[(?P<codes>[A-Za-z0-9_,\s]+)\]"
+    r"(?:\s*--\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment on one line."""
+
+    line: int
+    codes: FrozenSet[str]
+    justification: Optional[str]
+    raw: str
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether this suppression waives *rule* findings on *line*."""
+        return line == self.line and rule in self.codes and bool(self.justification)
+
+
+def scan_suppressions(text: str) -> List[Suppression]:
+    """Parse every suppression comment in a file's source *text*.
+
+    Tokenize-based, so only genuine ``#`` comments count — a docstring
+    *describing* the noqa syntax (like this module's) is not a
+    suppression.  Token errors fall back to no suppressions; the engine
+    reports unparsable files separately.
+    """
+    found: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        return found
+    for lineno, comment in comments:
+        match = NOQA_RE.search(comment)
+        if not match:
+            continue
+        codes = frozenset(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        found.append(
+            Suppression(
+                line=lineno,
+                codes=codes,
+                justification=match.group("why"),
+                raw=comment.strip(),
+            )
+        )
+    return found

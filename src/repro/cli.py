@@ -300,7 +300,7 @@ def _load_bundle(args) -> Tuple[ModelBundle, TransactionLog]:
                 f"(see docs/migration.md)",
                 file=sys.stderr,
             )
-            bundle = ModelBundle.load_legacy(path, taxonomy)
+            bundle = ModelBundle.load_legacy(path, taxonomy)  # repro: noqa[REP006] -- the CLI is the supported migration path for user-held legacy .npz artifacts
         else:
             bundle = None
     except BundleError as exc:
@@ -587,6 +587,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the invariant linter (``repro.analysis``) over the tree.
+
+    All arguments after ``lint`` are handed to the analysis CLI verbatim,
+    so ``repro lint --format json src`` and
+    ``python -m repro.analysis --format json src`` are the same command.
+    """
+    from repro.analysis.__main__ import main as lint_main
+
+    return lint_main(args.rest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -773,10 +785,27 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="dataset characteristics (Fig. 5)")
     stats.add_argument("--data-dir", required=True)
     stats.set_defaults(func=cmd_stats)
+
+    lint = sub.add_parser(
+        "lint",
+        help="check the tree against the repo's reproducibility invariants",
+        add_help=False,
+    )
+    lint.add_argument("rest", nargs=argparse.REMAINDER,
+                      help="arguments for repro.analysis "
+                           "(see `repro lint --help`)")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # argparse.REMAINDER cannot capture leading optionals ("lint --format
+    # json"), so the lint subcommand is dispatched before parsing.
+    if argv[:1] == ["lint"]:
+        from repro.analysis.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -130,10 +130,12 @@ class ContextTable:
 
     @property
     def n_rows(self) -> int:
+        """Number of (user, transaction) context rows."""
         return self.items.shape[0]
 
     @property
     def width(self) -> int:
+        """Maximum context items per row (shorter rows are zero-padded)."""
         return self.items.shape[1]
 
     def row(self, user: int, t: int) -> int:

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.tf_model import TaxonomyFactorModel
+from repro.core.topk import merge_top_k_pages, top_k_pairs
 from repro.taxonomy.tree import ROOT, Taxonomy
 from repro.utils.config import CascadeConfig
 
@@ -113,8 +114,9 @@ class CascadedRecommender:
                 int(np.ceil(fraction * internal.size)),
             )
             keep = min(keep, internal.size)
-            top = np.argpartition(-internal_scores, keep - 1)[:keep]
-            kept = internal[top]
+            # Boundary ties break on ascending node id, so the pruned
+            # frontier (and hence the whole cascade) is deterministic.
+            kept = top_k_pairs(internal, internal_scores, keep)
             frontier = (
                 np.concatenate([taxonomy.children(int(v)) for v in kept])
                 if kept.size
@@ -125,9 +127,11 @@ class CascadedRecommender:
         if survivors:
             items = np.concatenate(survivors)
             scores = np.concatenate(survivor_scores)
-            order = np.argsort(-scores, kind="stable")
-            items = items[order]
-            scores = scores[order]
+            ranked, ranked_scores = merge_top_k_pages(
+                [items[None, :]], [scores[None, :]], items.size
+            )
+            items = ranked[0]
+            scores = ranked_scores[0]
         else:
             items = np.empty(0, dtype=np.int64)
             scores = np.empty(0, dtype=np.float64)

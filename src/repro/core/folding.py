@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.bpr import sigmoid
 from repro.core.tf_model import TaxonomyFactorModel
+from repro.core.topk import top_k
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -163,6 +164,4 @@ def recommend_for_history(
     if history:
         bought = np.unique(np.concatenate(list(history)))
         scores[bought] = -np.inf
-    k = min(k, int(np.isfinite(scores).sum()))
-    top = np.argpartition(-scores, k - 1)[:k]
-    return top[np.argsort(-scores[top], kind="stable")]
+    return top_k(scores, min(k, scores.size))

@@ -11,7 +11,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.topk import top_k_rows
+from repro.core.topk import top_k, top_k_rows
 from repro.data.transactions import TransactionLog
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -23,6 +23,7 @@ class PopularityModel:
         self._scores: Optional[np.ndarray] = None
 
     def fit(self, log: TransactionLog) -> "PopularityModel":
+        """Count purchases per item over *log* and freeze the ranking."""
         return self._fit_counts(log.item_counts())
 
     @classmethod
@@ -48,6 +49,7 @@ class PopularityModel:
         history: Optional[Sequence[np.ndarray]] = None,
         items: Optional[np.ndarray] = None,
     ) -> np.ndarray:
+        """Popularity scores (same for every user), optionally per *items*."""
         if self._scores is None:
             raise RuntimeError("call fit() before scoring")
         if items is None:
@@ -57,15 +59,15 @@ class PopularityModel:
     def score_matrix(
         self, users: np.ndarray, histories=None
     ) -> np.ndarray:
+        """The popularity score row broadcast to one row per user."""
         if self._scores is None:
             raise RuntimeError("call fit() before scoring")
         return np.tile(self._scores, (len(users), 1))
 
     def recommend(self, user: int, k: int = 10, **_ignored) -> np.ndarray:
+        """Top-*k* most-purchased items (ties broken by item id)."""
         scores = self.score_items(user)
-        k = min(k, scores.size)
-        top = np.argpartition(-scores, k - 1)[:k]
-        return top[np.argsort(-scores[top], kind="stable")]
+        return top_k(scores, min(k, scores.size))
 
     def recommend_batch(
         self, users: np.ndarray, k: int = 10, histories=None, **_ignored
@@ -86,6 +88,7 @@ class RandomModel:
         self._n_items: Optional[int] = None
 
     def fit(self, log: TransactionLog) -> "RandomModel":
+        """Record the item universe size; no learning happens."""
         self._n_items = log.n_items
         return self
 
@@ -95,20 +98,22 @@ class RandomModel:
         history: Optional[Sequence[np.ndarray]] = None,
         items: Optional[np.ndarray] = None,
     ) -> np.ndarray:
+        """A fresh uniform draw per call (the generator advances)."""
         if self._n_items is None:
             raise RuntimeError("call fit() before scoring")
         size = self._n_items if items is None else len(items)
         return self._rng.random(size)
 
     def score_matrix(self, users: np.ndarray, histories=None) -> np.ndarray:
+        """One uniform draw per (user, item) cell, row order = *users*."""
         if self._n_items is None:
             raise RuntimeError("call fit() before scoring")
         return self._rng.random((len(users), self._n_items))
 
     def recommend(self, user: int, k: int = 10, **_ignored) -> np.ndarray:
+        """Top-*k* by the user's random draw (canonical tie order)."""
         scores = self.score_items(user)
-        k = min(k, scores.size)
-        return np.argsort(-scores)[:k]
+        return top_k(scores, min(k, scores.size))
 
     def recommend_batch(
         self, users: np.ndarray, k: int = 10, histories=None, **_ignored

@@ -51,6 +51,7 @@ class TripleStore:
 
     @property
     def n_triples(self) -> int:
+        """Number of (user, transaction, item) training triples."""
         return self.triples.shape[0]
 
     def row_of(self, user: int, t: int) -> int:

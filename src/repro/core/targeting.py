@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.tf_model import TaxonomyFactorModel
+from repro.core.topk import top_k, top_k_pairs
 from repro.utils.validation import check_positive
 
 
@@ -78,8 +79,9 @@ def audience_for_category(
     k = min(k, users.size)
     if k == 0:
         return np.empty(0, dtype=np.int64)
-    top = np.argpartition(-scores, k - 1)[:k]
-    return users[top[np.argsort(-scores[top], kind="stable")]]
+    # Canonical subset ranking: ties break on the user id itself, not on
+    # the position in the (caller-ordered) candidate array.
+    return top_k_pairs(users, scores, k)
 
 
 def diversified_recommend(
@@ -114,12 +116,10 @@ def diversified_recommend(
             np.arange(taxonomy.n_items), category_level
         )
 
-    order = np.argsort(-scores, kind="stable")
+    order = top_k(scores, scores.size)
     chosen: List[int] = []
     used: dict = {}
     for item in order:
-        if not np.isfinite(scores[item]):
-            break
         category = int(categories[item])
         if used.get(category, 0) >= max_per_category:
             continue

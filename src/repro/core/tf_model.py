@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.affinity import context_items_weights, user_query_vector
 from repro.core.factors import KIND_LONG, KIND_NEXT, FactorSet
-from repro.core.topk import top_k_rows
+from repro.core.topk import top_k, top_k_rows
 from repro.core.sgd import EpochStats, SGDTrainer
 from repro.data.transactions import TransactionLog
 from repro.taxonomy.tree import Taxonomy
@@ -138,10 +138,12 @@ class TaxonomyFactorModel:
 
     @property
     def n_users(self) -> int:
+        """Number of users the model was configured for."""
         return self.factor_set.n_users
 
     @property
     def n_items(self) -> int:
+        """Number of items (taxonomy leaves) the model scores."""
         return self.taxonomy.n_items
 
     def _history_for(self, user: int, history: Optional[History]) -> History:
@@ -265,11 +267,7 @@ class TaxonomyFactorModel:
         if banned:
             scores = scores.copy()
             scores[np.concatenate(banned)] = -np.inf
-        k = min(k, int(np.count_nonzero(np.isfinite(scores))))
-        if k <= 0:
-            return np.empty(0, dtype=np.int64)
-        top = np.argpartition(-scores, k - 1)[:k]
-        return top[np.argsort(-scores[top], kind="stable")]
+        return top_k(scores, min(k, scores.size))
 
     def recommend_batch(
         self,

@@ -7,6 +7,11 @@ matrix instead of a Python loop of per-user sorts, and so that all batch
 APIs agree on the padding convention for rows with fewer than ``k``
 rankable candidates.
 
+:func:`top_k` and :func:`top_k_pairs` are the 1-d companions for the
+per-user ``recommend`` paths, the ranking metrics, and subset rankings
+that carry explicit candidate ids (cascade frontiers, targeting's user
+lists) — same order, trimmed instead of padded.
+
 :func:`merge_top_k_pages` / :func:`merge_top_k_rows` are the distributed
 counterparts: a k-way merge of per-shard (or per-block) top-k *pages*
 (items + scores) into one global top-k per row, used by
@@ -14,6 +19,12 @@ counterparts: a k-way merge of per-shard (or per-block) top-k *pages*
 item-partitioned shard workers and by
 :class:`repro.serving.index.SubtreeIndex` to fold block pages into a
 running top-k during the pruned scan.
+
+Enforcement
+-----------
+``REP002`` in :mod:`repro.analysis` mechanically forbids raw
+``argsort``/``argpartition``/``sort`` on score arrays outside this
+module — every ranking in the tree flows through these selectors.
 
 Determinism contract
 --------------------
@@ -98,6 +109,57 @@ def top_k_rows(scores: np.ndarray, k: int, pad: int = PAD_ITEM) -> np.ndarray:
 
     top[~np.isfinite(scores[rows, top])] = pad
     return top
+
+
+def top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Descending top-``k`` indices of a 1-d score vector.
+
+    The single-row convenience over :func:`top_k_rows`, for the per-user
+    ``recommend`` paths and the ranking metrics: same total order
+    (score desc, index asc), same treatment of non-finite scores —
+    except that instead of padding, excluded slots are trimmed, so the
+    result holds at most ``min(k, #finite)`` real candidate indices.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> top_k(np.array([0.1, 0.9, 0.5, 0.9, -np.inf]), 3)
+    array([1, 3, 2])
+    >>> top_k(np.array([-np.inf, -np.inf]), 2)
+    array([], dtype=int64)
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError(f"scores must be 1-d, got shape {scores.shape}")
+    row = top_k_rows(scores[None, :], k)[0]
+    return row[row != PAD_ITEM]
+
+
+def top_k_pairs(ids: np.ndarray, scores: np.ndarray, k: int) -> np.ndarray:
+    """Top-``k`` of explicit ``(id, score)`` candidates, canonical order.
+
+    For rankings over a *subset* of candidates carrying their own ids —
+    the cascade's surviving frontier nodes, targeting's user lists —
+    where ties must break on the **id** (ascending), not on the position
+    in the candidate array, so the result is invariant to the order the
+    candidates were gathered in.  Non-finite scores are excluded and the
+    result trimmed, as in :func:`top_k`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> top_k_pairs(np.array([7, 3, 9]), np.array([1.0, 2.0, 2.0]), 2)
+    array([3, 9])
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if ids.shape != scores.shape or ids.ndim != 1:
+        raise ValueError(
+            f"ids {ids.shape} and scores {scores.shape} must be matching 1-d"
+        )
+    merged, _ = merge_top_k_pages([ids[None, :]], [scores[None, :]], k)
+    row = merged[0]
+    return row[row != PAD_ITEM]
 
 
 def merge_top_k_pages(

@@ -10,7 +10,10 @@ The paper reports two metrics:
 
 Ties are handled by mid-rank averaging (Mann-Whitney convention), which is
 what makes cascaded inference's ``-inf`` scores for pruned items behave as
-"random order among the pruned".
+"random order among the pruned".  The top-*k* membership metrics
+(hit/precision/recall/NDCG) select through :func:`repro.core.topk.top_k`,
+so a tie straddling the k-th score resolves to the same candidates every
+ranking path in the library would serve.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 from scipy.stats import rankdata
+
+from repro.core.topk import top_k
 
 
 def _as_positive_indices(positives: Iterable[int], size: int) -> np.ndarray:
@@ -68,8 +73,7 @@ def hit_at_k(scores: np.ndarray, positives: Iterable[int], k: int) -> float:
     pos = set(int(p) for p in _as_positive_indices(positives, scores.size))
     if not pos:
         return float("nan")
-    k = min(k, scores.size)
-    top = np.argpartition(-scores, k - 1)[:k]
+    top = top_k(scores, min(k, scores.size))
     return 1.0 if any(int(t) in pos for t in top) else 0.0
 
 
@@ -80,7 +84,7 @@ def precision_at_k(scores: np.ndarray, positives: Iterable[int], k: int) -> floa
     if not pos:
         return float("nan")
     k = min(k, scores.size)
-    top = np.argpartition(-scores, k - 1)[:k]
+    top = top_k(scores, k)
     return sum(1 for t in top if int(t) in pos) / k
 
 
@@ -90,8 +94,7 @@ def recall_at_k(scores: np.ndarray, positives: Iterable[int], k: int) -> float:
     pos = set(int(p) for p in _as_positive_indices(positives, scores.size))
     if not pos:
         return float("nan")
-    k = min(k, scores.size)
-    top = np.argpartition(-scores, k - 1)[:k]
+    top = top_k(scores, min(k, scores.size))
     return sum(1 for t in top if int(t) in pos) / len(pos)
 
 
@@ -111,10 +114,10 @@ def ndcg_at_k(scores: np.ndarray, positives: Iterable[int], k: int) -> float:
     if not pos:
         return float("nan")
     k = min(k, scores.size)
-    order = np.argsort(-scores, kind="stable")[:k]
+    order = top_k(scores, k)
     gains = np.array([1.0 if int(i) in pos else 0.0 for i in order])
     discounts = 1.0 / np.log2(np.arange(2, k + 2))
-    dcg = float((gains * discounts).sum())
+    dcg = float((gains * discounts[: gains.size]).sum())
     ideal_hits = min(len(pos), k)
     ideal = float(discounts[:ideal_hits].sum())
     return dcg / ideal if ideal > 0 else float("nan")

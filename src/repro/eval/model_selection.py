@@ -68,7 +68,7 @@ class GridSearchResult:
     def ranking(self, metric: str = "auc") -> List[CandidateResult]:
         """Candidates ordered best-first by *metric*."""
         _, maximize = _METRICS[metric]
-        return sorted(
+        return sorted(  # repro: noqa[REP002] -- orders grid-search candidates by metric, not item scores; stable sort keeps grid order on ties
             self.candidates,
             key=lambda c: c.score(metric),
             reverse=maximize,

@@ -332,7 +332,7 @@ def evaluate_cold_start(
         chunk = np.asarray(chunk, dtype=np.int64)
         scores = model.score_matrix(chunk)
         # Descending tie-averaged ranks, vectorized across the chunk.
-        order_desc = np.argsort(-scores, axis=1, kind="stable")
+        order_desc = np.argsort(-scores, axis=1, kind="stable")  # repro: noqa[REP002] -- full ranking of every item, stable on negated scores == the (score desc, index asc) total order
         rank_of_item = np.empty_like(order_desc)
         row_index = np.arange(chunk.size)[:, None]
         rank_of_item[row_index, order_desc] = np.arange(1, n_items + 1)

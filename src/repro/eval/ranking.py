@@ -6,20 +6,21 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.topk import top_k as _topk_select
 from repro.eval.metrics import ranks_from_scores
 
 
 def top_k(scores: np.ndarray, k: int, exclude: Optional[np.ndarray] = None) -> np.ndarray:
-    """Indices of the *k* best scores (descending), excluding ``exclude``."""
+    """Indices of the *k* best scores (descending), excluding ``exclude``.
+
+    Selection goes through :func:`repro.core.topk.top_k`, so ties break
+    by ascending index — the library's one total order.
+    """
     scores = np.asarray(scores, dtype=np.float64)
     if exclude is not None and len(exclude):
         scores = scores.copy()
         scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
-    k = min(k, scores.size)
-    if k <= 0:
-        return np.empty(0, dtype=np.int64)
-    part = np.argpartition(-scores, k - 1)[:k]
-    return part[np.argsort(-scores[part], kind="stable")]
+    return _topk_select(scores, min(k, scores.size))
 
 
 def rank_of(scores: np.ndarray, index: int) -> float:

@@ -31,24 +31,28 @@ class RWLock:
         self._writer = False
 
     def acquire_read(self) -> None:
+        """Block until no writer holds the lock, then enter as a reader."""
         with self._condition:
             while self._writer:
                 self._condition.wait()
             self._readers += 1
 
     def release_read(self) -> None:
+        """Leave the reader section, waking writers when it empties."""
         with self._condition:
             self._readers -= 1
             if self._readers == 0:
                 self._condition.notify_all()
 
     def acquire_write(self) -> None:
+        """Block until the lock is free, then enter as the sole writer."""
         with self._condition:
             while self._writer or self._readers > 0:
                 self._condition.wait()
             self._writer = True
 
     def release_write(self) -> None:
+        """Release the writer slot and wake all waiters."""
         with self._condition:
             self._writer = False
             self._condition.notify_all()

@@ -1,7 +1,8 @@
 """The documentation contract: examples run, public API is documented.
 
 Two enforcement layers for the audited packages (``repro.train``,
-``repro.serving``, ``repro.streaming``):
+``repro.serving``, ``repro.streaming``, ``repro.core``, ``repro.parallel``,
+``repro.analysis``):
 
 * every doctest in their docstrings must pass (the same snippets the
   MkDocs API reference renders — a rotted example fails tier-1, not just
@@ -21,7 +22,14 @@ from pathlib import Path
 
 import pytest
 
-AUDITED_PACKAGES = ("repro.train", "repro.serving", "repro.streaming")
+AUDITED_PACKAGES = (
+    "repro.train",
+    "repro.serving",
+    "repro.streaming",
+    "repro.core",
+    "repro.parallel",
+    "repro.analysis",
+)
 
 
 def _audited_modules():
