@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 from _harness import (
     QUICK,
+    RESULTS_DIR,
     STRICT,
     bench_split,
     format_table,
@@ -27,6 +28,7 @@ from _harness import (
     trained_model,
 )
 
+from repro.obs import Tracer, write_snapshot, write_trace_jsonl
 from repro.serving.service import RecommenderService
 from repro.utils.config import CascadeConfig
 
@@ -34,6 +36,11 @@ N_BATCH_USERS = 200 if QUICK else 1000
 K = 10
 #: Acceptance floor: batched throughput vs. the per-user loop at 1k users.
 MIN_BATCH_SPEEDUP = 1.0 if QUICK else 3.0
+#: Instrumentation gate: traced serving may cost at most this much over
+#: untraced (quick runs are tiny and noisy, so the smoke gate is looser).
+MAX_OBS_OVERHEAD = 0.30 if QUICK else 0.05
+#: Timing repeats for the overhead gate (best-of damps scheduler noise).
+OBS_REPEATS = 5 if QUICK else 10
 
 
 @pytest.fixture(scope="module")
@@ -144,6 +151,70 @@ def test_service_throughput_and_latency(benchmark, model, users):
     assert single_stats.cache_hits >= single_users.size
     if STRICT:
         assert batch_stats.requests_per_second > single_stats.requests_per_second
+
+
+def test_observability_overhead_gate(model, users):
+    """Instrumented serving must stay within the documented overhead budget.
+
+    Runs the same batched workload through an untraced service and a
+    fully traced one (root span per batch + histogram recording), takes
+    the best of several repeats for each, and fails if tracing costs
+    more than ``MAX_OBS_OVERHEAD``.  Also writes the sample telemetry
+    artifacts CI uploads (metrics snapshot + trace JSONL).
+    """
+
+    def best_seconds(service):
+        best = float("inf")
+        for _ in range(OBS_REPEATS):
+            started = time.perf_counter()
+            service.recommend_batch(users, k=K)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    plain = RecommenderService(model, cache_size=0)
+    tracer = Tracer()
+    traced = RecommenderService(model, cache_size=0, tracer=tracer)
+    # Warm both paths (BLAS thread pools, allocator) before timing.
+    plain.recommend_batch(users, k=K)
+    traced.recommend_batch(users, k=K)
+
+    plain_best = best_seconds(plain)
+    traced_best = best_seconds(traced)
+    overhead = traced_best / plain_best - 1.0
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    write_snapshot(
+        RESULTS_DIR / "obs_metrics_sample.json", traced.registry.snapshot()
+    )
+    trace_path = RESULTS_DIR / "obs_traces_sample.jsonl"
+    trace_path.unlink(missing_ok=True)
+    write_trace_jsonl(trace_path, tracer.buffer.drain())
+
+    table = format_table(
+        "serving: observability overhead gate",
+        ["path", "best seconds", "users/sec"],
+        [
+            ["untraced", plain_best, _throughput(users.size, plain_best)],
+            ["traced", traced_best, _throughput(users.size, traced_best)],
+        ],
+        note=(
+            f"overhead {overhead * 100:+.1f}% "
+            f"(budget {MAX_OBS_OVERHEAD * 100:.0f}%)"
+        ),
+    )
+    report(
+        "serving_obs_overhead",
+        table,
+        {
+            "n_users": int(users.size),
+            "repeats": OBS_REPEATS,
+            "untraced_best_seconds": plain_best,
+            "traced_best_seconds": traced_best,
+            "overhead": overhead,
+            "budget": MAX_OBS_OVERHEAD,
+        },
+    )
+    assert overhead <= MAX_OBS_OVERHEAD
 
 
 def test_service_cascade_work_dial(model, users):

@@ -87,6 +87,11 @@ Package layout
 ``repro.parallel``
     Lock-based threaded SGD, thread-local factor caches, and the
     multi-core scaling model.
+``repro.obs``
+    Observability: the thread-safe ``MetricsRegistry`` (counters, gauges,
+    fixed-bucket histograms), Prometheus-text / JSON-lines exporters, and
+    deterministic request tracing that stitches per-shard spans into one
+    tree (``repro stats`` renders both).
 ``repro.viz``
     t-SNE / PCA projections of the learned factors.
 """
@@ -179,7 +184,7 @@ from repro.utils.config import (
     save_spec,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

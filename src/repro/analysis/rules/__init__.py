@@ -11,6 +11,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports register the rules)
     deprecated,
     determinism,
     locks,
+    noprint,
     sharedmem,
     topk,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "deprecated",
     "determinism",
     "locks",
+    "noprint",
     "sharedmem",
     "topk",
 ]

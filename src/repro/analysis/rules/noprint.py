@@ -1,0 +1,70 @@
+"""REP007 — no ``print()`` in library code.
+
+A ``print()`` inside the library writes straight to stdout: it cannot be
+silenced, leveled, redirected, or JSON-formatted, and it corrupts any
+pipeline that consumes the process's stdout (the CLI's machine-readable
+modes, benchmark harnesses, exporter snapshots).  Library modules must
+log through :func:`repro.utils.logging.get_logger` instead — the
+``repro`` namespace is silent until an application opts in via
+``enable_console_logging``, which is the contract applications rely on.
+
+Out of scope, because printing *is* their interface:
+
+* ``cli.py`` — the command-line front door;
+* ``analysis/reporters.py`` — lint reporters write the report;
+* any ``__main__.py`` — script entry points;
+* anything under an ``examples`` directory.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import dotted_name
+from repro.analysis.source import SourceFile
+
+#: File names whose job is writing to stdout.
+_EXEMPT_FILES = {"cli.py", "__main__.py"}
+
+
+@register
+class NoPrintInLibrary(Rule):
+    """Flag ``print()`` calls in library modules under ``repro``."""
+
+    code = "REP007"
+    name = "no-print-in-library"
+    severity = Severity.ERROR
+    description = (
+        "print() in library code bypasses the logging contract and "
+        "corrupts stdout consumers; use "
+        "repro.utils.logging.get_logger(...) (cli.py, __main__.py, "
+        "analysis/reporters.py, and examples/ are exempt)."
+    )
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Library modules only: under ``repro``, minus stdout-owners."""
+        if "repro" not in src.parts or "examples" in src.parts:
+            return False
+        if src.parts[-1] in _EXEMPT_FILES:
+            return False
+        if src.parts[-1] == "reporters.py" and "analysis" in src.parts:
+            return False
+        return True
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Flag every call to the ``print`` builtin."""
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) == "print":
+                yield self.finding(
+                    src,
+                    node,
+                    "print() in library code writes uncontrollable "
+                    "stdout; route through "
+                    "repro.utils.logging.get_logger(__name__) — justified "
+                    "noqa only where stdout is the documented interface",
+                )

@@ -54,6 +54,18 @@ import numpy as np
 
 from repro import __version__
 from repro.core.tf_model import TaxonomyFactorModel
+from repro.obs import (
+    TraceBuffer,
+    Tracer,
+    read_snapshot,
+    read_trace_jsonl,
+    stitch,
+    to_json_lines,
+    to_prometheus_text,
+    to_table,
+    write_snapshot,
+    write_trace_jsonl,
+)
 from repro.data.split import TrainTestSplit, train_test_split
 from repro.data.stats import summarize
 from repro.data.synthetic import generate_dataset
@@ -79,6 +91,7 @@ from repro.utils.config import (
     apply_overrides,
     load_spec,
 )
+from repro.utils.logging import enable_console_logging
 
 TAXONOMY_FILE = "taxonomy.json"
 LOG_FILE = "transactions.jsonl"
@@ -451,19 +464,41 @@ def _emit_recommendations(
             sink.close()
 
 
+def _telemetry_tracer(args) -> Optional[Tracer]:
+    """A tracer writing to a buffer, when ``--trace-out`` asks for one."""
+    if not getattr(args, "trace_out", None):
+        return None
+    return Tracer(buffer=TraceBuffer())
+
+
+def _flush_telemetry(args, registry, tracer: Optional[Tracer]) -> None:
+    """Write ``--metrics-out`` / ``--trace-out`` artifacts if requested."""
+    if getattr(args, "metrics_out", None):
+        write_snapshot(args.metrics_out, registry.snapshot())
+        print(f"wrote metrics snapshot {args.metrics_out}", file=sys.stderr)
+    if getattr(args, "trace_out", None) and tracer is not None:
+        written = write_trace_jsonl(args.trace_out, tracer.buffer.drain())
+        print(
+            f"wrote {written} span(s) to {args.trace_out}", file=sys.stderr
+        )
+
+
 def cmd_serve_batch(args: argparse.Namespace) -> int:
     model, split, extra = _load_model(args)
     users = _serving_users(args, model)
+    tracer = _telemetry_tracer(args)
     try:
         service = RecommenderService(
             model, history_log=split.train, cascade=_serving_cascade(args),
             cache_size=args.cache_size,
             retrieval=_serving_retrieval(args, extra),
+            tracer=tracer,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
     recommendations = service.recommend_batch(users, k=args.k)
     _emit_recommendations(users, recommendations, args.out)
+    _flush_telemetry(args, service.registry, tracer)
     stats = service.stats
     print(
         f"served {stats.requests} users at "
@@ -482,6 +517,7 @@ def cmd_serve_sharded(args: argparse.Namespace) -> int:
     users = _serving_users(args, model)
     cascade = _serving_cascade(args)
     retrieval = _serving_retrieval(args, extra)
+    tracer = _telemetry_tracer(args)
     try:
         router = ShardRouter(
             model,
@@ -491,6 +527,7 @@ def cmd_serve_sharded(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             partition=args.partition,
             retrieval=retrieval,
+            tracer=tracer,
         )
     except (ValueError, ShardingError) as exc:
         raise SystemExit(str(exc))
@@ -524,6 +561,7 @@ def cmd_serve_sharded(args: argparse.Namespace) -> int:
                 )
 
         _emit_recommendations(users, recommendations, args.out)
+        _flush_telemetry(args, router.registry, tracer)
         stats = router.stats()
         print(
             f"served {int(stats['requests'])} users over {args.shards} "
@@ -544,7 +582,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     store = CheckpointStore(args.checkpoints) if args.checkpoints else None
     updater = OnlineUpdater(
         model, steps=args.steps, fold_in_steps=args.fold_in_steps,
-        seed=args.seed,
+        seed=args.seed, registry=service.registry,
     )
     pipeline = StreamingPipeline(
         service,
@@ -570,6 +608,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     )
     where = args.checkpoints if store else "checkpoints disabled"
     print(f"published {pipeline.swaps} model versions ({where})")
+    _flush_telemetry(args, service.registry, None)
     top = service.recommend_batch(list(range(min(3, model.n_users))), k=args.k)
     for row in range(top.shape[0]):
         items = top[row][top[row] >= 0]
@@ -577,13 +616,60 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_snapshot(snapshot: Dict, fmt: str) -> None:
+    """Print a repro.obs/v1 snapshot in the requested format."""
+    if fmt == "prom":
+        sys.stdout.write(to_prometheus_text(snapshot))
+    elif fmt == "json":
+        sys.stdout.write(to_json_lines(snapshot))
+    else:
+        sys.stdout.write(to_table(snapshot))
+
+
+def _print_span(node: Dict, depth: int) -> None:
+    record = node["span"]
+    duration = float(record.get("duration_s") or 0.0)
+    tags = record.get("tags") or {}
+    tag_text = " ".join(f"{k}={v}" for k, v in sorted(tags.items()))
+    print(
+        f"{'  ' * depth}{record['name']} [{record['span_id']}] "
+        f"{duration * 1e3:.3f}ms" + (f"  {tag_text}" if tag_text else "")
+    )
+    for child in node["children"]:
+        _print_span(child, depth + 1)
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
-    _taxonomy, log = _load_data(args.data_dir)
-    for key, value in summarize(log).as_dict().items():
-        if isinstance(value, float):
-            print(f"{key:25s} {value:.3f}")
-        else:
-            print(f"{key:25s} {value}")
+    """Dataset characteristics, or post-hoc telemetry rendering.
+
+    Three modes: ``--data-dir`` summarizes a dataset (Fig. 5 quantities),
+    ``--snapshot`` re-renders a saved metrics snapshot (``--format
+    table|prom|json``), ``--traces`` prints stitched span trees from a
+    trace JSONL file.
+    """
+    ran = False
+    if args.snapshot:
+        _emit_snapshot(read_snapshot(args.snapshot), args.format)
+        ran = True
+    if args.traces:
+        traces = stitch(read_trace_jsonl(args.traces))
+        for tree in traces:
+            print(f"trace {tree['trace_id']}")
+            _print_span(tree["root"], 1)
+        print(f"{len(traces)} trace(s)")
+        ran = True
+    if args.data_dir:
+        _taxonomy, log = _load_data(args.data_dir)
+        for key, value in summarize(log).as_dict().items():
+            if isinstance(value, float):
+                print(f"{key:25s} {value:.3f}")
+            else:
+                print(f"{key:25s} {value}")
+        ran = True
+    if not ran:
+        raise SystemExit(
+            "stats needs at least one of --data-dir, --snapshot, --traces"
+        )
     return 0
 
 
@@ -721,6 +807,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=4096)
     serve.add_argument("--out", default=None,
                        help="write JSONL here instead of stdout")
+    serve.add_argument("--metrics-out", default=None,
+                       help="write a repro.obs/v1 metrics snapshot here "
+                            "(re-render with `repro stats --snapshot`)")
+    serve.add_argument("--trace-out", default=None,
+                       help="trace every request and append span records "
+                            "here as JSONL (`repro stats --traces`)")
     serve.set_defaults(func=cmd_serve_batch)
 
     sharded = sub.add_parser(
@@ -755,6 +847,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "unless the fleet output is identical")
     sharded.add_argument("--out", default=None,
                          help="write JSONL here instead of stdout")
+    sharded.add_argument("--metrics-out", default=None,
+                         help="write the router's repro.obs/v1 snapshot "
+                              "(per-shard span timings) here")
+    sharded.add_argument("--trace-out", default=None,
+                         help="trace every scatter/gather round and append "
+                              "the stitched span records here as JSONL")
     sharded.set_defaults(func=cmd_serve_sharded)
 
     stream = sub.add_parser(
@@ -780,10 +878,27 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=0)
     stream.add_argument("-k", type=int, default=5,
                         help="depth of the post-stream sample recommendations")
+    stream.add_argument("--metrics-out", default=None,
+                        help="write the combined serving+streaming "
+                             "repro.obs/v1 snapshot here")
     stream.set_defaults(func=cmd_stream)
 
-    stats = sub.add_parser("stats", help="dataset characteristics (Fig. 5)")
-    stats.add_argument("--data-dir", required=True)
+    stats = sub.add_parser(
+        "stats",
+        help="dataset characteristics (Fig. 5) and telemetry rendering",
+    )
+    stats.add_argument("--data-dir", default=None,
+                       help="dataset directory to summarize")
+    stats.add_argument("--snapshot", default=None,
+                       help="re-render a saved repro.obs/v1 metrics "
+                            "snapshot (see --metrics-out on the serve "
+                            "and stream commands)")
+    stats.add_argument("--traces", default=None,
+                       help="print stitched span trees from a trace JSONL "
+                            "file (see --trace-out)")
+    stats.add_argument("--format", default="table",
+                       choices=("table", "prom", "json"),
+                       help="snapshot output format (default: table)")
     stats.set_defaults(func=cmd_stats)
 
     lint = sub.add_parser(
@@ -800,6 +915,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    # Library loggers are silent by default; the CLI is an application,
+    # so progress lines (ProgressCallback, grid search, ...) go to stderr.
+    enable_console_logging()
     # argparse.REMAINDER cannot capture leading optionals ("lint --format
     # json"), so the lint subcommand is dispatched before parsing.
     if argv[:1] == ["lint"]:

@@ -21,7 +21,10 @@ from repro.data.transactions import TransactionLog
 from repro.eval.protocol import EvalResult, evaluate_model
 from repro.taxonomy.tree import Taxonomy
 from repro.utils.config import TrainConfig
+from repro.utils.logging import get_logger
 from repro.utils.validation import check_in, check_positive
+
+logger = get_logger(__name__)
 
 #: Metrics selectable for model choice, mapped to (attribute, maximize?).
 _METRICS = {
@@ -139,10 +142,12 @@ def grid_search(
             )
         )
         if verbose:
-            print(
-                f"grid {params}: {metric}="
-                f"{candidates[-1].score(metric):.4f} "
-                f"({fit_seconds:.1f}s)"
+            logger.info(
+                "grid %s: %s=%.4f (%.1fs)",
+                params,
+                metric,
+                candidates[-1].score(metric),
+                fit_seconds,
             )
 
     if not candidates:

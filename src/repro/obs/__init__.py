@@ -1,0 +1,71 @@
+"""Unified runtime telemetry: metrics registry, tracing, and exporters.
+
+``repro.obs`` is the stdlib-only observability layer the serving,
+streaming, and training subsystems record into.  It has three pieces:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges, and fixed-bucket histograms with deterministic
+  snapshots (same workload → same snapshot shape and counts).
+* :mod:`repro.obs.tracing` — request spans with deterministic
+  counter-minted IDs, a picklable :class:`SpanContext` that crosses the
+  :class:`~repro.serving.sharding.ShardRouter` pipe so per-shard child
+  spans (queue wait, scan, merge) stitch into one tree, a bounded
+  :class:`TraceBuffer`, and a JSONL sink.
+* :mod:`repro.obs.export` — Prometheus-text / JSON-lines / table
+  renderers over saved or live snapshots, consumed by ``repro stats``.
+
+Design constraints (enforced by the ``repro.analysis`` linter and the
+``bench_serving.py`` overhead gate): monotonic clocks only, symmetric
+lock guards, no global mutable default registry, and total
+instrumentation overhead ≤5% on the serving hot path.
+"""
+
+from repro.obs.export import (
+    merge_snapshots,
+    read_snapshot,
+    to_json_lines,
+    to_prometheus_text,
+    to_table,
+    write_snapshot,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanContext,
+    TraceBuffer,
+    Tracer,
+    current_span,
+    current_trace_id,
+    read_trace_jsonl,
+    stitch,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "TraceBuffer",
+    "Tracer",
+    "current_span",
+    "current_trace_id",
+    "merge_snapshots",
+    "read_snapshot",
+    "read_trace_jsonl",
+    "stitch",
+    "to_json_lines",
+    "to_prometheus_text",
+    "to_table",
+    "write_snapshot",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,194 @@
+"""Snapshot exporters: Prometheus text, JSON lines, and a human table.
+
+Everything here consumes the ``repro.obs/v1`` snapshot dict produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` — exporters are pure
+functions of that dict, so a snapshot written to disk during a run can
+be re-rendered in any format afterwards (``repro stats --snapshot``).
+
+Examples
+--------
+>>> from repro.obs.metrics import MetricsRegistry
+>>> registry = MetricsRegistry()
+>>> registry.counter("repro_demo_total", labels={"shard": "0"}).inc(2)
+>>> print(to_prometheus_text(registry.snapshot()).strip())
+# TYPE repro_demo_total counter
+repro_demo_total{shard="0"} 2.0
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+__all__ = [
+    "merge_snapshots",
+    "read_snapshot",
+    "to_json_lines",
+    "to_prometheus_text",
+    "to_table",
+    "write_snapshot",
+]
+
+
+def _label_suffix(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{value}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus_text(snapshot: Dict[str, object]) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms expand to the
+    conventional ``_bucket{le=...}`` cumulative series plus ``_sum`` and
+    ``_count``.  Series order follows the snapshot (already sorted by
+    name and labels), so output is deterministic.
+    """
+    lines: List[str] = []
+    typed: set = set()
+    for metric in snapshot.get("metrics", []):
+        name = metric["name"]
+        labels = dict(metric.get("labels", {}))
+        if name not in typed:
+            help_text = str(metric.get("help", "")).strip()
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {metric['type']}")
+            typed.add(name)
+        if metric["type"] in ("counter", "gauge"):
+            lines.append(
+                f"{name}{_label_suffix(labels)} {float(metric['value'])}"
+            )
+            continue
+        cumulative = 0
+        for bound, count in zip(metric["buckets"], metric["counts"]):
+            cumulative += count
+            suffix = _label_suffix(labels, {"le": repr(float(bound))})
+            lines.append(f"{name}_bucket{suffix} {cumulative}")
+        cumulative += metric["counts"][len(metric["buckets"])]
+        suffix = _label_suffix(labels, {"le": "+Inf"})
+        lines.append(f"{name}_bucket{suffix} {cumulative}")
+        lines.append(
+            f"{name}_sum{_label_suffix(labels)} {float(metric['sum'])}"
+        )
+        lines.append(f"{name}_count{_label_suffix(labels)} {cumulative}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json_lines(snapshot: Dict[str, object]) -> str:
+    """Render a snapshot as one JSON object per line, one per series.
+
+    Each line is self-describing (name, type, labels, values), so the
+    output can be tailed, grepped, or loaded row-by-row without holding
+    the whole snapshot.  Keys are sorted for byte-stable output.
+    """
+    lines = [
+        json.dumps(metric, sort_keys=True)
+        for metric in snapshot.get("metrics", [])
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _histogram_percentile(metric: Dict[str, object], q: float) -> float:
+    """Percentile from an exported histogram record (mirrors Histogram)."""
+    bounds = [float(b) for b in metric["buckets"]]
+    counts = [int(c) for c in metric["counts"]]
+    total = sum(counts)
+    if total == 0:
+        return float("nan")
+    target = (q / 100.0) * total
+    cumulative = 0
+    for slot, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= target:
+            if slot >= len(bounds):
+                return bounds[-1]
+            lo = 0.0 if slot == 0 else bounds[slot - 1]
+            hi = bounds[slot]
+            fraction = (target - cumulative) / bucket_count
+            return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+        cumulative += bucket_count
+    return bounds[-1]
+
+
+def to_table(snapshot: Dict[str, object]) -> str:
+    """Render a snapshot as a fixed-width human-readable table.
+
+    Counters and gauges print their value; histograms print count, mean,
+    and interpolated p50/p95/p99 — the operator's one-look view that
+    ``repro stats`` defaults to.
+    """
+    rows: List[tuple] = [("metric", "labels", "value")]
+    for metric in snapshot.get("metrics", []):
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted(metric.get("labels", {}).items())
+        )
+        if metric["type"] in ("counter", "gauge"):
+            rows.append((metric["name"], labels, f"{float(metric['value']):g}"))
+            continue
+        count = int(metric["count"])
+        if count:
+            mean = float(metric["sum"]) / count
+            cells = (
+                f"count={count} mean={mean * 1e3:.3f}ms "
+                f"p50={_histogram_percentile(metric, 50.0) * 1e3:.3f}ms "
+                f"p95={_histogram_percentile(metric, 95.0) * 1e3:.3f}ms "
+                f"p99={_histogram_percentile(metric, 99.0) * 1e3:.3f}ms"
+            )
+        else:
+            cells = "count=0"
+        rows.append((metric["name"], labels, cells))
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(rows[0]))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines) + "\n"
+
+
+def write_snapshot(path, snapshot: Dict[str, object]) -> None:
+    """Write a snapshot dict to *path* as stable, indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_snapshot(path) -> Dict[str, object]:
+    """Load a snapshot previously written by :func:`write_snapshot`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if snapshot.get("schema") != "repro.obs/v1":
+        raise ValueError(
+            f"{path} is not a repro.obs/v1 snapshot "
+            f"(schema={snapshot.get('schema')!r})"
+        )
+    return snapshot
+
+
+def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
+    """Concatenate the metric lists of several snapshots into one.
+
+    Series identity is not re-keyed: callers that need distinct series
+    per source (e.g. per shard) are expected to have labeled them
+    (``{"shard": "3"}``) before snapshotting.  Output stays sorted by
+    ``(name, labels)`` so merged snapshots remain deterministic.
+    """
+    metrics: List[Dict[str, object]] = []
+    for snapshot in snapshots:
+        metrics.extend(snapshot.get("metrics", []))
+    metrics.sort(
+        key=lambda m: (m["name"], sorted(m.get("labels", {}).items()))
+    )
+    return {"schema": "repro.obs/v1", "metrics": metrics}

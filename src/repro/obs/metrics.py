@@ -1,0 +1,434 @@
+"""Thread-safe metrics primitives with reproducible snapshots.
+
+The registry is the single accounting surface the rest of the library
+records into: :class:`Counter` (monotonic totals), :class:`Gauge` (last
+written value), and :class:`Histogram` (fixed-bucket distributions).
+Three properties are deliberate and load-bearing:
+
+* **Deterministic bucket bounds.**  Histograms never adapt their buckets
+  to the data; the bounds are fixed at construction (default:
+  :data:`DEFAULT_LATENCY_BUCKETS`).  Two runs of the same seeded
+  workload therefore produce snapshots with the same shape — same
+  metric names, same buckets, same counting values — which is what lets
+  snapshots be diffed, archived next to benchmark payloads, and asserted
+  on in tests.
+* **O(1) weighted observation.**  ``Histogram.observe(value, count=n)``
+  accounts *n* identical observations in constant time, so a batch of
+  10k requests records its amortized per-request latency without
+  materializing 10k list entries (the failure mode the old
+  ``ServingStats.latencies`` window had).
+* **Symmetric locking.**  Every mutation and every read of an
+  instrument's state holds that instrument's lock, so counters shared by
+  request threads during a hot swap never lose increments to racy
+  read-modify-writes.
+
+Metric naming follows the Prometheus convention documented in
+``docs/observability.md``: ``repro_<subsystem>_<noun>_<unit>`` with
+``_total`` for counters and base units (seconds) for histograms.
+
+Examples
+--------
+>>> registry = MetricsRegistry()
+>>> registry.counter("repro_demo_requests_total").inc(3)
+>>> registry.histogram("repro_demo_latency_seconds").observe(0.004, count=2)
+>>> snap = registry.snapshot()
+>>> [m["name"] for m in snap["metrics"]]
+['repro_demo_latency_seconds', 'repro_demo_requests_total']
+>>> snap["metrics"][1]["value"]
+3.0
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram bounds for request/epoch latencies, in seconds.
+#: A fixed 1-2.5-5 ladder from 100µs to 60s — wide enough for a fleet
+#: swap, fine enough to separate a cache hit from a dense scan.  Fixed
+#: (never data-adaptive) so snapshots are reproducible across runs.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0,
+)
+
+#: Label sets are stored as a sorted tuple of (key, value) pairs so two
+#: call sites naming the same labels in different order share one series.
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_pairs(labels: Optional[Dict[str, str]]) -> LabelPairs:
+    """Normalize a labels dict into the registry's canonical key form."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total (requests served, events applied).
+
+    Examples
+    --------
+    >>> c = Counter("repro_demo_total")
+    >>> c.inc()
+    >>> c.inc(2.5)
+    >>> c.value
+    3.5
+    """
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        self.name = name
+        self.help = help
+        self.labels: Dict[str, str] = dict(_label_pairs(labels))
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0: counters only ever go up)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        with self._lock:
+            return self._value
+
+    def as_dict(self) -> Dict[str, object]:
+        """One snapshot record (see :meth:`MetricsRegistry.snapshot`)."""
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that can go up and down (live generation, queue depth).
+
+    Examples
+    --------
+    >>> g = Gauge("repro_demo_generation")
+    >>> g.set(3)
+    >>> g.inc(); g.dec(2)
+    >>> g.value
+    2.0
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        self.name = name
+        self.help = help
+        self.labels: Dict[str, str] = dict(_label_pairs(labels))
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* to the current value."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract *amount* from the current value."""
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """The last written value."""
+        with self._lock:
+            return self._value
+
+    def as_dict(self) -> Dict[str, object]:
+        """One snapshot record (see :meth:`MetricsRegistry.snapshot`)."""
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """A fixed-bucket distribution with O(1) weighted observation.
+
+    Parameters
+    ----------
+    name, help, labels:
+        Metric identity (see :class:`MetricsRegistry`).
+    buckets:
+        Strictly increasing upper bounds; an implicit ``+Inf`` overflow
+        bucket is always appended.  Defaults to
+        :data:`DEFAULT_LATENCY_BUCKETS`.  Bounds are frozen at
+        construction — deterministic snapshots depend on it.
+
+    Examples
+    --------
+    >>> h = Histogram("repro_demo_seconds", buckets=(1.0, 2.0, 4.0))
+    >>> h.observe(0.5); h.observe(1.5, count=2); h.observe(100.0)
+    >>> (h.count, h.sum)
+    (4, 103.5)
+    >>> h.bucket_counts
+    (1, 2, 0, 1)
+    >>> round(h.percentile(50.0), 3)
+    1.5
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"histogram {name} needs strictly increasing bounds, "
+                f"got {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.labels: Dict[str, str] = dict(_label_pairs(labels))
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Account *count* observations of *value* in O(log buckets).
+
+        ``count > 1`` is the batch-amortized path: a batch that served
+        *count* requests in ``total`` seconds records
+        ``observe(total / count, count=count)`` — one bucket increment,
+        however large the batch.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        slot = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[slot] += count
+            self._sum += value * count
+            self._count += count
+
+    @property
+    def count(self) -> int:
+        """Total observations (including weighted counts)."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of every observed value (weighted)."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Per-bucket observation counts (last entry is the overflow)."""
+        with self._lock:
+            return tuple(self._counts)
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile, linearly interpolated within its bucket.
+
+        Deterministic given deterministic counts: the answer depends only
+        on the (fixed) bounds and the bucket populations, never on
+        insertion order.  Returns ``nan`` when empty; observations in the
+        overflow bucket report the largest finite bound (a floor, clearly
+        documented rather than invented).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return float("nan")
+        target = (q / 100.0) * total
+        cumulative = 0
+        for slot, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                if slot >= len(self.bounds):  # overflow: no finite upper edge
+                    return self.bounds[-1]
+                lo = 0.0 if slot == 0 else self.bounds[slot - 1]
+                hi = self.bounds[slot]
+                fraction = (target - cumulative) / bucket_count
+                return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+            cumulative += bucket_count
+        return self.bounds[-1]  # pragma: no cover - q=100 exits in-loop
+
+    def as_dict(self) -> Dict[str, object]:
+        """One snapshot record (see :meth:`MetricsRegistry.snapshot`)."""
+        with self._lock:
+            counts = tuple(self._counts)
+            total = self._count
+            observed_sum = self._sum
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "buckets": list(self.bounds),
+            "counts": list(counts),
+            "count": total,
+            "sum": observed_sum,
+        }
+
+
+#: What lives in a registry slot.
+_Instrument = object
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments, one per label set.
+
+    The registry is the unit of telemetry scope: each
+    :class:`~repro.serving.service.ServingStats` /
+    :class:`~repro.streaming.updater.StreamingStats` /
+    :class:`~repro.train.base.Trainer` owns (or is handed) one, and a CLI
+    run that wants "one snapshot showing the whole system" threads a
+    single shared registry through every component it builds.
+
+    All three accessors are **get-or-create**: asking twice for the same
+    ``(name, labels)`` returns the same instrument, and asking for an
+    existing name with a different instrument kind raises — silent
+    double-registration is how two subsystems end up fighting over one
+    counter.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> a = registry.counter("repro_demo_total", labels={"shard": "0"})
+    >>> b = registry.counter("repro_demo_total", labels={"shard": "0"})
+    >>> a is b
+    True
+    >>> registry.gauge("repro_demo_total")
+    Traceback (most recent call last):
+        ...
+    ValueError: metric 'repro_demo_total' is already registered as a counter, not a gauge
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelPairs], _Instrument] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        key = (name, _label_pairs(labels))
+        with self._lock:
+            registered_kind = self._kinds.get(name)
+            if registered_kind is not None and registered_kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a "
+                    f"{registered_kind}, not a {cls.kind}"
+                )
+            existing = self._metrics.get(key)
+            if existing is not None:
+                return existing
+            instrument = cls(name, help=help, labels=labels, **kwargs)
+            self._metrics[key] = instrument
+            self._kinds[name] = cls.kind
+            return instrument
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Counter:
+        """The counter *name* with *labels*, created on first request."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Gauge:
+        """The gauge *name* with *labels*, created on first request."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """The histogram *name* with *labels*, created on first request.
+
+        *buckets* only applies on creation; a later caller naming the
+        same series gets the original bounds (they are part of the
+        series' identity — changing them mid-run would corrupt the
+        distribution).
+        """
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    def instruments(self) -> List[_Instrument]:
+        """Every registered instrument, sorted by (name, labels)."""
+        with self._lock:
+            items = sorted(self._metrics.items(), key=lambda kv: kv[0])
+        return [instrument for _key, instrument in items]
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready snapshot of every instrument.
+
+        Deterministically ordered by ``(name, labels)``, so two snapshots
+        of identically-counted registries are structurally identical —
+        the format ``repro stats --snapshot`` and the exporters in
+        :mod:`repro.obs.export` consume.
+        """
+        return {
+            "schema": "repro.obs/v1",
+            "metrics": [inst.as_dict() for inst in self.instruments()],
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)

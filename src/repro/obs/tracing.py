@@ -1,0 +1,382 @@
+"""Request tracing: spans, deterministic IDs, and cross-process stitching.
+
+A *span* is one timed region of work with a name, tags, and a parent —
+together the spans of a request form a tree rooted at the span
+:meth:`RecommenderService.recommend_batch` opens.  The pieces here are
+sized for the repository's fleet, not for a general APM product:
+
+* **Deterministic IDs.**  Trace and span IDs come from per-tracer
+  counters (``t1``, ``t1.s3``), never from ``uuid`` or a global RNG —
+  the analysis linter (REP001) bans unseeded randomness, and tests that
+  replay a seeded workload must get byte-identical trace structure.
+  Worker processes derive their IDs from the :class:`SpanContext` they
+  receive, so child spans from shard 2 can never collide with shard 5's.
+* **Monotonic time only.**  Starts are ``time.monotonic()`` stamps.  On
+  Linux the monotonic clock is shared machine-wide, which is what lets a
+  worker measure *queue wait* as ``monotonic() - ctx.sent_at`` for a
+  context stamped on the router side; the difference is clamped at zero
+  so clock-granularity jitter never produces a negative wait.
+* **Durations travel, absolute times do not.**  Exported span records
+  carry ``duration_s`` (and the queue-wait measurement as a tag), never
+  wall-clock timestamps, so a trace file is reproducible modulo timing
+  noise and diffable across machines.
+
+Examples
+--------
+>>> tracer = Tracer(prefix="t")
+>>> with tracer.span("recommend_batch", tags={"batch": 4}) as root:
+...     with tracer.span("scan") as child:
+...         pass
+>>> child.parent_id == root.span_id
+True
+>>> [s.name for s in tracer.buffer.drain()]
+['scan', 'recommend_batch']
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "TraceBuffer",
+    "Tracer",
+    "current_span",
+    "current_trace_id",
+    "read_trace_jsonl",
+    "stitch",
+    "write_trace_jsonl",
+]
+
+#: Per-thread stack of active spans, shared by every tracer in the
+#: process so ``current_trace_id()`` works from code (like the JSON log
+#: formatter) that has no tracer reference.
+_active = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_active, "stack", None)
+    if stack is None:
+        stack = []
+        _active.stack = stack
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost span open on this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace ID of the innermost open span, or ``None``.
+
+    This is the hook :class:`repro.utils.logging.JsonFormatter` uses to
+    stamp log records with the request they were emitted under.
+    """
+    span = current_span()
+    return span.trace_id if span is not None else None
+
+
+@dataclass
+class Span:
+    """One timed region of work inside a trace tree.
+
+    Use it as a context manager (via :meth:`Tracer.span`) so the
+    duration is measured and the span lands in the tracer's buffer even
+    when the body raises.
+    """
+
+    trace_id: str
+    span_id: str
+    name: str
+    parent_id: Optional[str] = None
+    tags: Dict[str, object] = field(default_factory=dict)
+    start: float = 0.0  # process-local time.monotonic() stamp
+    duration_s: Optional[float] = None
+    _tracer: Optional["Tracer"] = field(default=None, repr=False)
+
+    def set_tag(self, key: str, value: object) -> None:
+        """Attach one key/value annotation to the span."""
+        self.tags[key] = value
+
+    def finish(self) -> None:
+        """Stamp the duration and hand the span to its tracer's buffer."""
+        if self.duration_s is None:
+            self.duration_s = time.monotonic() - self.start
+        if self._tracer is not None:
+            self._tracer._record(self)
+
+    def __enter__(self) -> "Span":
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.tags.setdefault("error", exc_type.__name__)
+        self.finish()
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSONL record for this span (durations, never wall time)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "tags": dict(self.tags),
+            "duration_s": self.duration_s,
+        }
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The picklable slice of a span that crosses the shard pipe.
+
+    ``sent_at`` is the router-side ``time.monotonic()`` stamp taken just
+    before the request is written to the pipe; the worker's first child
+    span reads the same machine-wide clock to measure queue wait.
+    """
+
+    trace_id: str
+    span_id: str
+    sent_at: float
+
+    def queue_wait(self) -> float:
+        """Seconds spent between send and now, clamped at zero."""
+        return max(0.0, time.monotonic() - self.sent_at)
+
+
+class TraceBuffer:
+    """A bounded FIFO of finished spans (oldest evicted first).
+
+    Bounded so a long-lived service cannot leak memory through its own
+    telemetry; ``maxlen`` spans is the retention contract, full stop.
+    """
+
+    def __init__(self, maxlen: int = 4096):
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=maxlen)
+
+    def append(self, span: Span) -> None:
+        """Retain *span*, evicting the oldest if at capacity."""
+        with self._lock:
+            self._spans.append(span)
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        """Retain every span in *spans* in order."""
+        with self._lock:
+            self._spans.extend(spans)
+
+    def snapshot(self) -> List[Span]:
+        """The retained spans, oldest first, without clearing."""
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> List[Span]:
+        """Return and clear the retained spans."""
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class Tracer:
+    """Mint spans with deterministic IDs and collect them in a buffer.
+
+    Parameters
+    ----------
+    prefix:
+        Namespace for every ID this tracer mints.  The router uses the
+        default; each shard worker gets ``w<shard>`` so IDs minted on
+        both sides of the pipe can never collide.
+    buffer:
+        Optional shared :class:`TraceBuffer`; a private one is created
+        when omitted.
+
+    Examples
+    --------
+    >>> tracer = Tracer(prefix="w3")
+    >>> with tracer.span("scan") as span:
+    ...     pass
+    >>> span.trace_id, span.span_id
+    ('w3-t1', 'w3-s1')
+    """
+
+    def __init__(self, prefix: str = "t", buffer: Optional[TraceBuffer] = None):
+        self.prefix = prefix
+        self.buffer = buffer if buffer is not None else TraceBuffer()
+        self._lock = threading.Lock()
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    def _next_trace_id(self) -> str:
+        with self._lock:
+            return f"{self.prefix}-t{next(self._trace_ids)}"
+
+    def _next_span_id(self) -> str:
+        with self._lock:
+            return f"{self.prefix}-s{next(self._span_ids)}"
+
+    def span(
+        self,
+        name: str,
+        tags: Optional[Dict[str, object]] = None,
+        parent: Optional[Span] = None,
+    ) -> Span:
+        """Open a span; use as a context manager to time and record it.
+
+        With no explicit *parent* the innermost span open on this thread
+        is used, so nested ``with tracer.span(...)`` blocks form a tree
+        without any threading of parent handles.  A span with no parent
+        starts a new trace.
+        """
+        if parent is None:
+            parent = current_span()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = self._next_trace_id()
+            parent_id = None
+        return Span(
+            trace_id=trace_id,
+            span_id=self._next_span_id(),
+            name=name,
+            parent_id=parent_id,
+            tags=dict(tags) if tags else {},
+            start=time.monotonic(),
+            _tracer=self,
+        )
+
+    def child_from_context(
+        self,
+        ctx: SpanContext,
+        name: str,
+        tags: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        """Open a span under a remote parent received over the pipe."""
+        merged = dict(tags) if tags else {}
+        return Span(
+            trace_id=ctx.trace_id,
+            span_id=self._next_span_id(),
+            name=name,
+            parent_id=ctx.span_id,
+            tags=merged,
+            start=time.monotonic(),
+            _tracer=self,
+        )
+
+    def context_for(self, span: Span) -> SpanContext:
+        """A pipe-ready :class:`SpanContext` stamped *now*."""
+        return SpanContext(
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            sent_at=time.monotonic(),
+        )
+
+    def _record(self, span: Span) -> None:
+        self.buffer.append(span)
+
+    def adopt(self, records: Iterable[Dict[str, object]]) -> List[Span]:
+        """Rehydrate exported span records (e.g. from a worker) and buffer them.
+
+        The router calls this on the ``span_records`` a traced shard
+        response carries, so one buffer ends up holding the whole tree.
+        """
+        spans = [
+            Span(
+                trace_id=str(rec["trace_id"]),
+                span_id=str(rec["span_id"]),
+                name=str(rec["name"]),
+                parent_id=rec.get("parent_id"),
+                tags=dict(rec.get("tags", {})),
+                duration_s=rec.get("duration_s"),
+            )
+            for rec in records
+        ]
+        self.buffer.extend(spans)
+        return spans
+
+
+def stitch(records: Iterable) -> List[Dict[str, object]]:
+    """Assemble span records (or :class:`Span` objects) into trace trees.
+
+    Returns one dict per trace, ordered by trace ID, each with the shape
+    ``{"trace_id": ..., "root": node}`` where every node is
+    ``{"span": record, "children": [...]}``.  Orphans (a parent that
+    never arrived) are promoted to roots rather than dropped — a trace
+    missing its root should still be inspectable.  Children are ordered
+    by span ID, which is deterministic because IDs are counter-minted.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> with tracer.span("root"):
+    ...     with tracer.span("child"):
+    ...         pass
+    >>> trees = stitch(tracer.buffer.drain())
+    >>> trees[0]["root"]["span"]["name"]
+    'root'
+    >>> [c["span"]["name"] for c in trees[0]["root"]["children"]]
+    ['child']
+    """
+    flat: List[Dict[str, object]] = []
+    for rec in records:
+        flat.append(rec.as_dict() if isinstance(rec, Span) else dict(rec))
+    nodes = {
+        rec["span_id"]: {"span": rec, "children": []} for rec in flat
+    }
+    roots_by_trace: Dict[str, List[Dict[str, object]]] = {}
+    for rec in sorted(flat, key=lambda r: str(r["span_id"])):
+        node = nodes[rec["span_id"]]
+        parent_id = rec.get("parent_id")
+        if parent_id is not None and parent_id in nodes:
+            nodes[parent_id]["children"].append(node)
+        else:
+            roots_by_trace.setdefault(str(rec["trace_id"]), []).append(node)
+    trees = []
+    for trace_id in sorted(roots_by_trace):
+        for root in roots_by_trace[trace_id]:
+            trees.append({"trace_id": trace_id, "root": root})
+    return trees
+
+
+def write_trace_jsonl(path, spans: Iterable) -> int:
+    """Append span records to *path* as JSON lines; returns lines written.
+
+    Accepts :class:`Span` objects or already-exported record dicts.
+    """
+    written = 0
+    with open(path, "a", encoding="utf-8") as handle:
+        for rec in spans:
+            record = rec.as_dict() if isinstance(rec, Span) else dict(rec)
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            written += 1
+    return written
+
+
+def read_trace_jsonl(path) -> List[Dict[str, object]]:
+    """Load span records previously written by :func:`write_trace_jsonl`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -64,6 +64,18 @@ class ThreadedEpochStats:
             f"reconciliations={self.reconciliations})"
         )
 
+    def as_dict(self) -> dict:
+        """Flat summary (for logs, telemetry exports, and benchmarks)."""
+        return {
+            "loss": self.loss,
+            "seconds": self.seconds,
+            "n_examples": self.n_examples,
+            "lock_acquisitions": self.lock_acquisitions,
+            "lock_contention_rate": self.lock_contention_rate,
+            "reconciliations": self.reconciliations,
+            "hot_row_updates": self.hot_row_updates,
+        }
+
 
 class ThreadedSGDEngine:
     """Lock-based parallel BPR/SGD over a shared :class:`FactorSet`.

@@ -54,6 +54,7 @@ pruned path at >= 2x brute-force batch throughput at full scale.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -125,6 +126,13 @@ class SubtreeIndex:
         Minimum items per scan block: consecutive groups (in bound
         order) are packed until a block reaches this size, so each block
         is one worthwhile GEMM instead of one tiny GEMV per subtree.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; each
+        :meth:`top_k` call then records its wall time in the
+        ``repro_index_scan_seconds`` histogram and its work in the
+        ``repro_index_nodes_scored_total`` / ``repro_index_rows_total``
+        counters (pruning effectiveness = nodes scored per row versus
+        ``n_indexed``).  ``None`` (default) records nothing.
 
     Examples
     --------
@@ -151,7 +159,24 @@ class SubtreeIndex:
         level: Optional[int] = None,
         items: Optional[np.ndarray] = None,
         block_items: int = 4096,
+        registry=None,
     ):
+        self._scan_seconds = None
+        self._nodes_counter = None
+        self._rows_counter = None
+        if registry is not None:
+            self._scan_seconds = registry.histogram(
+                "repro_index_scan_seconds",
+                help="Wall time of one pruned top-k batch scan.",
+            )
+            self._nodes_counter = registry.counter(
+                "repro_index_nodes_scored_total",
+                help="Dot products computed by pruned scans.",
+            )
+            self._rows_counter = registry.counter(
+                "repro_index_rows_total",
+                help="Query rows served by pruned scans.",
+            )
         effective = np.asarray(effective, dtype=np.float64)
         bias = np.asarray(bias, dtype=np.float64)
         if effective.ndim != 2:
@@ -310,6 +335,7 @@ class SubtreeIndex:
         A :class:`RetrievalPage` whose ``items`` are bit-identical to
         ``top_k_rows`` over the dense scores of the indexed items.
         """
+        started = time.perf_counter()
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2:
             raise ValueError(
@@ -394,6 +420,12 @@ class SubtreeIndex:
             items_out[active] = merged_items
             scores_out[active] = merged_scores
             g_pos = g_end
+        if self._scan_seconds is not None:
+            self._scan_seconds.observe(
+                max(0.0, time.perf_counter() - started)
+            )
+            self._nodes_counter.inc(nodes_scored)
+            self._rows_counter.inc(n_rows)
         return RetrievalPage(items_out, scores_out, nodes_scored, groups_scanned)
 
     def _resolve_banned(

@@ -38,8 +38,8 @@ from __future__ import annotations
 import copy
 import threading
 import time
-from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from collections import OrderedDict, deque
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -49,6 +49,8 @@ from repro.core.popularity import PopularityModel
 from repro.core.tf_model import TaxonomyFactorModel
 from repro.core.topk import top_k_rows
 from repro.data.transactions import TransactionLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.serving.coldstart import FoldInRecommender
 from repro.serving.index import SubtreeIndex
 from repro.serving.protocol import History
@@ -65,99 +67,180 @@ class ServingError(RuntimeError):
 #: *distribution* is windowed, so a long-lived service stays bounded.
 LATENCY_WINDOW = 10_000
 
+#: Counter fields a ServingStats accounts, in as_dict order.  All are
+#: integers except ``seconds``.
+_STAT_FIELDS = (
+    "requests",
+    "known_user_requests",
+    "fold_in_requests",
+    "fallback_requests",
+    "cache_hits",
+    "cache_misses",
+    "nodes_scored",
+    "swaps",
+    "seconds",
+)
 
-@dataclass
+
 class ServingStats:
     """Cumulative accounting of everything the service has served.
 
-    ``nodes_scored`` counts affinity dot products (the paper's
-    hardware-independent work measure); ``latencies`` holds one entry per
-    request — batch calls record the amortized per-request latency — and
-    is trimmed to the most recent :data:`LATENCY_WINDOW` entries, so the
-    percentiles describe recent traffic.
+    Since 1.6 the class is a thin view over a
+    :class:`~repro.obs.metrics.MetricsRegistry`: every counter field
+    (``requests``, ``nodes_scored``, ...) is backed by a Prometheus-style
+    counter (``repro_serving_requests_total``, ...) and the latency
+    distribution by the fixed-bucket histogram
+    ``repro_serving_request_latency_seconds`` — so percentiles are O(1)
+    per observation and ``registry.snapshot()`` exports everything the
+    attribute API reports.  The public surface (field reads, :meth:`add`,
+    :meth:`record_latency`, ``p50``/``p95``, :meth:`as_dict`) is
+    unchanged.
 
-    Mutations go through :meth:`add` / :meth:`record_latency`, which hold
-    an internal lock — the service promises requests keep flowing from
-    multiple threads during a hot swap, and racy ``+=`` read-modify-writes
-    would silently drop counts under exactly that load.
+    ``nodes_scored`` counts affinity dot products (the paper's
+    hardware-independent work measure); :attr:`latencies` additionally
+    keeps a bounded window of the most recent :data:`LATENCY_WINDOW`
+    amortized per-call latencies for exact-sample inspection — a
+    ``deque(maxlen=...)``, so recording is O(1), not the old list-slice
+    trim, and a batch records **one** amortized entry instead of
+    materializing ``count`` duplicates.
+
+    Mutations go through :meth:`add` / :meth:`record_latency`; each
+    backing instrument holds its own lock — the service promises requests
+    keep flowing from multiple threads during a hot swap, and racy ``+=``
+    read-modify-writes would silently drop counts under exactly that
+    load.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to record into; a
+        private one is created when omitted.  Pass a shared registry to
+        combine serving metrics with streaming/training telemetry in one
+        snapshot.
+    labels:
+        Optional constant labels stamped on every backing series (the
+        shard fleet uses ``{"shard": "3"}``).
     """
 
-    requests: int = 0
-    known_user_requests: int = 0
-    fold_in_requests: int = 0
-    fallback_requests: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    nodes_scored: int = 0
-    swaps: int = 0
-    seconds: float = 0.0
-    latencies: List[float] = field(default_factory=list, repr=False)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = dict(labels) if labels else {}
+        self._counters = {
+            name: self.registry.counter(
+                f"repro_serving_{name}_total",
+                help=f"Cumulative serving {name.replace('_', ' ')}.",
+                labels=self.labels,
+            )
+            for name in _STAT_FIELDS
+        }
+        self._latency = self.registry.histogram(
+            "repro_serving_request_latency_seconds",
+            help="Amortized per-request latency distribution.",
+            labels=self.labels,
+        )
+        self._lock = threading.Lock()
+        self._window: deque = deque(maxlen=LATENCY_WINDOW)
+
+    def __getattr__(self, name: str):
+        # Only consulted for attributes not found normally: resolve the
+        # stat fields from their backing counters (ints except seconds).
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            value = counters[name].value
+            return value if name == "seconds" else int(value)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @property
+    def latencies(self) -> List[float]:
+        """The recent amortized per-call latencies (bounded window).
+
+        One entry per :meth:`record_latency` call — a batch contributes a
+        single amortized value, not ``count`` duplicates.  Percentiles
+        (:meth:`latency_percentile`) come from the histogram, which
+        weights batches by their request count; this window is the raw
+        sample view for debugging and tests.
+        """
+        with self._lock:
+            return list(self._window)
+
+    @property
+    def latency_histogram(self):
+        """The backing request-latency :class:`~repro.obs.metrics.Histogram`."""
+        return self._latency
 
     def add(self, **deltas: float) -> None:
         """Atomically increment the named counters."""
-        with self._lock:
-            for name, delta in deltas.items():
-                setattr(self, name, getattr(self, name) + delta)
+        counters = self._counters
+        for name, delta in deltas.items():
+            counter = counters.get(name)
+            if counter is None:
+                raise AttributeError(f"unknown serving stat {name!r}")
+            counter.inc(delta)
 
     def record_latency(self, seconds: float, count: int = 1) -> None:
-        """Account *count* requests that took *seconds* in total."""
+        """Account *count* requests served in *seconds* total — O(1).
+
+        The histogram takes one weighted observation of the amortized
+        per-request latency (``seconds / count`` with weight *count*) and
+        the sample window keeps one amortized entry per call, so a 10k
+        batch costs the same as a single request.
+        """
+        if count < 1:
+            return
+        amortized = seconds / count
+        self._counters["requests"].inc(count)
+        self._counters["seconds"].inc(max(0.0, seconds))
+        self._latency.observe(max(0.0, amortized), count=count)
         with self._lock:
-            self.requests += count
-            self.seconds += seconds
-            if count == 1:
-                self.latencies.append(seconds)
-            elif count > 1:
-                # Only the last LATENCY_WINDOW entries survive the trim, so
-                # never materialize more than that for one batch.
-                kept = min(count, LATENCY_WINDOW)
-                self.latencies.extend([seconds / count] * kept)
-            if len(self.latencies) > LATENCY_WINDOW:
-                del self.latencies[:-LATENCY_WINDOW]
+            self._window.append(amortized)
 
     def latency_percentile(self, q: float) -> float:
-        """The *q*-th percentile of per-request latency, in seconds."""
-        with self._lock:
-            if not self.latencies:
-                return float("nan")
-            window = np.asarray(self.latencies)
-        return float(np.percentile(window, q))
+        """The *q*-th percentile of per-request latency, in seconds.
+
+        Interpolated from the fixed-bucket histogram (every request ever
+        recorded, batches weighted by size); ``nan`` when empty.
+        """
+        return self._latency.percentile(q)
 
     @property
     def p50(self) -> float:
-        """Median per-request latency over the recent window, seconds."""
+        """Median per-request latency (histogram-interpolated), seconds."""
         return self.latency_percentile(50.0)
 
     @property
     def p95(self) -> float:
-        """95th-percentile per-request latency over the window, seconds."""
+        """95th-percentile per-request latency, seconds."""
         return self.latency_percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile per-request latency, seconds."""
+        return self.latency_percentile(99.0)
 
     @property
     def requests_per_second(self) -> float:
         """Lifetime throughput: requests divided by serving seconds."""
-        if self.seconds <= 0:
+        seconds = self.seconds
+        if seconds <= 0:
             return float("nan")
-        return self.requests / self.seconds
+        return self.requests / seconds
 
     def as_dict(self) -> Dict[str, float]:
         """Flat summary (for logs, the CLI, and the benchmark payloads)."""
-        return {
-            "requests": self.requests,
-            "known_user_requests": self.known_user_requests,
-            "fold_in_requests": self.fold_in_requests,
-            "fallback_requests": self.fallback_requests,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "nodes_scored": self.nodes_scored,
-            "swaps": self.swaps,
-            "seconds": self.seconds,
-            "requests_per_second": self.requests_per_second,
-            "latency_p50": self.p50,
-            "latency_p95": self.p95,
+        summary: Dict[str, float] = {
+            name: getattr(self, name) for name in _STAT_FIELDS
         }
+        summary["requests_per_second"] = self.requests_per_second
+        summary["latency_p50"] = self.p50
+        summary["latency_p95"] = self.p95
+        summary["latency_p99"] = self.p99
+        return summary
 
 
 class QueryVectorCache:
@@ -326,6 +409,15 @@ class RecommenderService:
         Taxonomy depth of the pruned index's subtree grouping (default:
         auto, about ``sqrt(n_items)`` groups).  Ignored when
         ``retrieval="exact"``.
+    registry:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry` the
+        service's :class:`ServingStats` records into; a private registry
+        is created when omitted.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`.  When set, every
+        :meth:`recommend_batch` call opens a root span (and the shard
+        workers hang queue-wait/scan children under it); when ``None``
+        (the default) tracing is skipped entirely on the hot path.
 
     Notes
     -----
@@ -361,6 +453,8 @@ class RecommenderService:
         cache_size: int = 4096,
         retrieval: str = "exact",
         index_level: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if retrieval not in ("exact", "pruned"):
             raise ValueError(
@@ -376,7 +470,8 @@ class RecommenderService:
         self.fold_in_steps = int(fold_in_steps)
         self.fold_in_seed = fold_in_seed
         self.query_cache = QueryVectorCache(cache_size)
-        self._stats = ServingStats()
+        self.tracer = tracer
+        self._stats = ServingStats(registry=registry)
         # Reentrant: refresh() re-enters swap_model() under the same lock.
         self._swap_lock = threading.RLock()
         self._state = self._build_state(
@@ -414,7 +509,11 @@ class RecommenderService:
             # factors, so a stale index could silently serve a retired
             # model long after the dense path moved on.
             index = SubtreeIndex(
-                effective, bias, model.taxonomy, level=self.index_level
+                effective,
+                bias,
+                model.taxonomy,
+                level=self.index_level,
+                registry=self._stats.registry,
             )
         return ModelState(
             model=model,
@@ -483,10 +582,20 @@ class RecommenderService:
         """Cumulative serving statistics since the last reset."""
         return self._stats
 
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry the service's stats record into."""
+        return self._stats.registry
+
     def reset_stats(self) -> ServingStats:
-        """Zero the counters; returns the retired stats object."""
+        """Zero the counters; returns the retired stats object.
+
+        The replacement stats get a **fresh private registry** (counters
+        are monotonic, so zeroing means new instruments); a shared
+        registry passed at construction keeps the retired series.
+        """
         retired = self._stats
-        self._stats = ServingStats()
+        self._stats = ServingStats(labels=retired.labels)
         return retired
 
     # ------------------------------------------------------------------
@@ -675,9 +784,34 @@ class RecommenderService:
         ``users`` may contain ``None`` / negative / out-of-range entries for
         cold users (routed per row like :meth:`recommend`).  Returns an
         ``(n, min(k, n_items))`` int64 array padded with ``-1``.
+
+        When a :class:`~repro.obs.tracing.Tracer` is configured the call
+        runs under a ``recommend_batch`` root span tagged with the batch
+        size and model generation; with no tracer the span machinery is
+        skipped entirely.
         """
         state = self._state  # one read: the whole batch sees one model
         started = time.perf_counter()
+        if self.tracer is None:
+            out = self._serve_batch(state, users, k, histories)
+        else:
+            with self.tracer.span(
+                "recommend_batch",
+                tags={"requests": len(users), "generation": state.generation},
+            ):
+                out = self._serve_batch(state, users, k, histories)
+        self._stats.record_latency(
+            time.perf_counter() - started, count=len(users)
+        )
+        return out
+
+    def _serve_batch(
+        self,
+        state: ModelState,
+        users: Sequence[Optional[int]],
+        k: int,
+        histories: Optional[Sequence[Optional[History]]],
+    ) -> np.ndarray:
         user_ids = np.asarray(
             [-1 if u is None else int(u) for u in users], dtype=np.int64
         )
@@ -719,7 +853,6 @@ class RecommenderService:
                 self._stats.add(fallback_requests=1)
             out[row, : top.size] = top
 
-        self._stats.record_latency(time.perf_counter() - started, count=n)
         return out
 
     def _batch_known(

@@ -107,6 +107,8 @@ from repro.core.factors import FactorSet
 from repro.core.popularity import PopularityModel
 from repro.core.topk import PAD_ITEM, merge_top_k_rows, top_k_rows
 from repro.data.transactions import TransactionLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, SpanContext, Tracer
 from repro.serving.index import SubtreeIndex
 from repro.serving.protocol import History
 from repro.serving.service import RecommenderService
@@ -570,15 +572,62 @@ class _WorkerState:
         self.segments = []
 
     # -- request handlers ------------------------------------------------
-    def batch(self, payload: Tuple[np.ndarray, int, Optional[list]]) -> np.ndarray:
-        users, k, histories = payload
-        return self.service.recommend_batch(users, k=k, histories=histories)
+    @staticmethod
+    def _unpack(payload) -> Tuple[np.ndarray, int, Optional[list], Optional[SpanContext]]:
+        """Split a request payload; the trailing SpanContext is optional.
 
-    def page(
-        self, payload: Tuple[np.ndarray, int, Optional[list]]
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Item-partitioned scoring: this shard's slice of the catalog."""
+        Untraced routers send the classic ``(users, k, histories)``
+        3-tuple; traced ones append a
+        :class:`~repro.obs.tracing.SpanContext`.  Accepting both keeps
+        the pipe protocol compatible in either direction.
+        """
+        if len(payload) == 4:
+            return payload
         users, k, histories = payload
+        return users, k, histories, None
+
+    def _traced(self, ctx: SpanContext, tracer: Tracer, name: str) -> Span:
+        """Open a worker-side child span under the router's batch span."""
+        span = tracer.child_from_context(
+            ctx, name, tags={"shard": self.spec.shard_index}
+        )
+        return span
+
+    def batch(self, payload, tracer: Optional[Tracer] = None):
+        users, k, histories, ctx = self._unpack(payload)
+        if ctx is None or tracer is None:
+            return self.service.recommend_batch(users, k=k, histories=histories)
+        # Queue wait: time between the router stamping the context and
+        # this worker picking the message off its FIFO pipe.
+        wait = ctx.queue_wait()
+        queued = self._traced(ctx, tracer, "queue_wait")
+        queued.duration_s = wait
+        queued.finish()
+        with self._traced(ctx, tracer, "scan") as scan:
+            result = self.service.recommend_batch(
+                users, k=k, histories=histories
+            )
+            scan.set_tag("requests", int(np.asarray(users).size))
+        records = [span.as_dict() for span in tracer.buffer.drain()]
+        return result, records
+
+    def page(self, payload, tracer: Optional[Tracer] = None):
+        """Item-partitioned scoring: this shard's slice of the catalog."""
+        users, k, histories, ctx = self._unpack(payload)
+        if ctx is not None and tracer is not None:
+            wait = ctx.queue_wait()
+            queued = self._traced(ctx, tracer, "queue_wait")
+            queued.duration_s = wait
+            queued.finish()
+            with self._traced(ctx, tracer, "scan"):
+                page = self._score_page(users, k, histories)
+            records = [span.as_dict() for span in tracer.buffer.drain()]
+            return page, records
+        return self._score_page(users, k, histories)
+
+    def _score_page(
+        self, users: np.ndarray, k: int, histories: Optional[list]
+    ) -> Tuple[np.ndarray, np.ndarray]:
         started = time.perf_counter()
         state = self.service.model_state
         lo, hi = _slice_bounds(
@@ -636,6 +685,10 @@ def _shard_worker_main(conn, spec: _WorkerSpec) -> None:
     router has the ack, later requests can only see the new generation.
     """
     _disown_attached_segments()
+    #: Worker-side tracer: the per-shard prefix keeps span IDs minted
+    #: here disjoint from the router's and from every other shard's, so
+    #: stitched trees never collide.
+    tracer = Tracer(prefix=f"w{spec.shard_index}")
     try:
         state = _WorkerState.build(spec, spec.payload)
     except BaseException:
@@ -656,9 +709,9 @@ def _shard_worker_main(conn, spec: _WorkerSpec) -> None:
                     conn.send((req_id, "ok", None))
                     break
                 elif kind == "batch":
-                    result: Any = state.batch(payload)
+                    result: Any = state.batch(payload, tracer)
                 elif kind == "page":
-                    result = state.page(payload)
+                    result = state.page(payload, tracer)
                 elif kind == "swap":
                     state = state.swapped(payload)
                     result = payload.handle.generation
@@ -833,6 +886,19 @@ class ShardRouter:
         macOS/Windows).
     start_timeout, request_timeout:
         Seconds to wait for worker startup / any single request.
+    registry:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`; the
+        router records its request counter and — when traced — per-shard
+        span-duration histograms
+        (``repro_router_span_seconds{span=...,shard=...}``) into it.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`.  When set, every
+        :meth:`recommend_batch` opens a root span, ships a
+        :class:`~repro.obs.tracing.SpanContext` down each shard's pipe,
+        and adopts the workers' ``queue_wait`` / ``scan`` child spans
+        back into its buffer so the whole request stitches into one tree
+        (:func:`repro.obs.tracing.stitch`).  ``None`` (default) keeps
+        the classic 3-tuple pipe payloads and zero tracing overhead.
 
     Notes
     -----
@@ -856,6 +922,8 @@ class ShardRouter:
         mp_context: Union[str, Any, None] = None,
         start_timeout: float = 120.0,
         request_timeout: float = 120.0,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -881,6 +949,8 @@ class ShardRouter:
         self.partition = partition
         self.retrieval = retrieval
         self.request_timeout = float(request_timeout)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
         if isinstance(mp_context, str):
             ctx = mp.get_context(mp_context)
         elif mp_context is not None:
@@ -1072,15 +1142,73 @@ class ShardRouter:
             return out
         self._rw.acquire_read()
         try:
-            if self.partition == "users":
-                self._scatter_user_mode(user_ids, k, histories, out)
+            if self.tracer is None:
+                self._dispatch(user_ids, k, histories, out, root=None)
             else:
-                self._scatter_item_mode(user_ids, k, histories, out)
+                root = self.tracer.span(
+                    "recommend_batch",
+                    tags={
+                        "requests": int(n),
+                        "partition": self.partition,
+                        "generation": self._generation,
+                    },
+                )
+                with root:
+                    self._dispatch(user_ids, k, histories, out, root=root)
+                self._record_span_seconds(root.as_dict(), shard="router")
         finally:
             self._rw.release_read()
         with self._count_lock:
             self._requests += n
         return out
+
+    def _dispatch(
+        self,
+        user_ids: np.ndarray,
+        k: int,
+        histories: Optional[Sequence[Optional[History]]],
+        out: np.ndarray,
+        root: Optional[Span],
+    ) -> None:
+        if self.partition == "users":
+            self._scatter_user_mode(user_ids, k, histories, out, root)
+        else:
+            self._scatter_item_mode(user_ids, k, histories, out, root)
+
+    def _payload(
+        self,
+        users: np.ndarray,
+        k: int,
+        histories: Optional[list],
+        root: Optional[Span],
+    ) -> tuple:
+        """A pipe payload, with a freshly-stamped SpanContext when traced."""
+        if root is None:
+            return (users, k, histories)
+        return (users, k, histories, self.tracer.context_for(root))
+
+    def _gather(self, link: "_ShardLink", req_id: int, root: Optional[Span]):
+        """Receive one response, absorbing worker span records if traced."""
+        result = link.receive(req_id, self.request_timeout)
+        if root is None:
+            return result
+        result, records = result
+        self.tracer.adopt(records)
+        for record in records:
+            self._record_span_seconds(
+                record, shard=str(record.get("tags", {}).get("shard", "?"))
+            )
+        return result
+
+    def _record_span_seconds(self, record: Dict[str, Any], shard: str) -> None:
+        duration = record.get("duration_s")
+        if duration is None:
+            return
+        self.registry.histogram(
+            "repro_router_span_seconds",
+            help="Per-span durations across the shard fleet.",
+            labels={"span": str(record["name"]), "shard": shard},
+        ).observe(max(0.0, float(duration)))
 
     def _scatter_user_mode(
         self,
@@ -1088,6 +1216,7 @@ class ShardRouter:
         k: int,
         histories: Optional[Sequence[Optional[History]]],
         out: np.ndarray,
+        root: Optional[Span] = None,
     ) -> None:
         shards = shard_of(np.maximum(user_ids, 0), self.n_shards)
         cold = (user_ids < 0) | (user_ids >= self._n_users)
@@ -1106,11 +1235,11 @@ class ShardRouter:
                 else [histories[row] for row in rows]
             )
             req_id = self._links[shard].send(
-                "batch", (user_ids[rows], k, sub_histories)
+                "batch", self._payload(user_ids[rows], k, sub_histories, root)
             )
             pending.append((shard, rows, req_id))
         for shard, rows, req_id in pending:
-            result = self._links[shard].receive(req_id, self.request_timeout)
+            result = self._gather(self._links[shard], req_id, root)
             out[rows, : result.shape[1]] = result
 
     def _scatter_item_mode(
@@ -1119,6 +1248,7 @@ class ShardRouter:
         k: int,
         histories: Optional[Sequence[Optional[History]]],
         out: np.ndarray,
+        root: Optional[Span] = None,
     ) -> None:
         known = (user_ids >= 0) & (user_ids < self._n_users)
         known_rows = np.flatnonzero(known)
@@ -1132,7 +1262,8 @@ class ShardRouter:
             )
             for link in self._links:
                 req_id = link.send(
-                    "page", (user_ids[known_rows], k, sub_histories)
+                    "page",
+                    self._payload(user_ids[known_rows], k, sub_histories, root),
                 )
                 pending_pages.append((link, req_id))
         pending_cold = []
@@ -1141,22 +1272,38 @@ class ShardRouter:
             history = None if histories is None else histories[row]
             req_id = link.send(
                 "batch",
-                (user_ids[row : row + 1], k, None if history is None else [history]),
+                self._payload(
+                    user_ids[row : row + 1],
+                    k,
+                    None if history is None else [history],
+                    root,
+                ),
             )
             pending_cold.append((link, row, req_id))
         if pending_pages:
             pages = [
-                link.receive(req_id, self.request_timeout)
+                self._gather(link, req_id, root)
                 for link, req_id in pending_pages
             ]
-            merged = merge_top_k_rows(
-                [items for items, _scores in pages],
-                [scores for _items, scores in pages],
-                k,
-            )
+            if root is None:
+                merged = merge_top_k_rows(
+                    [items for items, _scores in pages],
+                    [scores for _items, scores in pages],
+                    k,
+                )
+            else:
+                with self.tracer.span(
+                    "merge", tags={"shard": "router", "pages": len(pages)}
+                ) as merge_span:
+                    merged = merge_top_k_rows(
+                        [items for items, _scores in pages],
+                        [scores for _items, scores in pages],
+                        k,
+                    )
+                self._record_span_seconds(merge_span.as_dict(), shard="router")
             out[known_rows, : merged.shape[1]] = merged
         for link, row, req_id in pending_cold:
-            result = link.receive(req_id, self.request_timeout)
+            result = self._gather(link, req_id, root)
             out[row, : result.shape[1]] = result[0]
 
     # ------------------------------------------------------------------

@@ -45,6 +45,12 @@ class StreamingPipeline:
     store:
         Optional :class:`~repro.streaming.swap.CheckpointStore`; every
         publication is checkpointed before going live.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` shared by
+        the updater it builds and the swapper; defaults to the service's
+        own registry, so one ``snapshot()`` covers ingest, swap, and
+        serving together.  Ignored for the updater when an explicit
+        *updater* is passed (that updater keeps its own stats registry).
 
     Examples
     --------
@@ -72,16 +78,22 @@ class StreamingPipeline:
         batch_size: int = 256,
         swap_every: int = 4,
         store: Optional[CheckpointStore] = None,
+        registry=None,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if swap_every < 0:
             raise ValueError(f"swap_every must be >= 0, got {swap_every}")
+        if registry is None:
+            registry = getattr(service, "registry", None)
         self.service = service
-        self.updater = updater or OnlineUpdater(service.model)
+        self.registry = registry
+        self.updater = updater or OnlineUpdater(
+            service.model, registry=registry
+        )
         self.batch_size = int(batch_size)
         self.swap_every = int(swap_every)
-        self.swapper = HotSwapper(service, store=store)
+        self.swapper = HotSwapper(service, store=store, registry=registry)
 
     @property
     def swaps(self) -> int:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import os
 import re
 import shutil
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -164,6 +165,12 @@ class HotSwapper:
         Optional :class:`CheckpointStore`; when given, every published
         snapshot is checkpointed *before* it goes live, so the served
         model is always recoverable from disk.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; each
+        publication records ``repro_swap_publications_total`` and its
+        checkpoint+swap wall time in ``repro_swap_publish_seconds``.
+        Defaults to the target's own registry when it has one, so swap
+        telemetry lands in the same snapshot as serving metrics.
 
     Examples
     --------
@@ -187,11 +194,26 @@ class HotSwapper:
         self,
         service: SwapTarget,
         store: Optional[CheckpointStore] = None,
+        registry=None,
     ):
         self.service = service
         self.store = store
         self.swaps = 0
         self.versions: List[int] = []
+        if registry is None:
+            registry = getattr(service, "registry", None)
+        self.registry = registry
+        self._publications = None
+        self._publish_seconds = None
+        if registry is not None:
+            self._publications = registry.counter(
+                "repro_swap_publications_total",
+                help="Model snapshots published into the live service.",
+            )
+            self._publish_seconds = registry.histogram(
+                "repro_swap_publish_seconds",
+                help="Wall time of one checkpoint+swap publication.",
+            )
 
     def publish(
         self,
@@ -209,10 +231,16 @@ class HotSwapper:
         maintains one incrementally); omitted, it is refit from the
         model's attached log.
         """
+        started = time.perf_counter()
         version: Optional[int] = None
         if self.store is not None:
             version = self.store.save(model, extra=extra)
             self.versions.append(version)
         self.service.swap_model(model, popularity=popularity)
         self.swaps += 1
+        if self._publications is not None:
+            self._publications.inc()
+            self._publish_seconds.observe(
+                max(0.0, time.perf_counter() - started)
+            )
         return version

@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import copy
 import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -49,37 +48,112 @@ from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
 
 
-@dataclass
-class StreamingStats:
-    """Cumulative accounting of everything the updater has ingested."""
+#: Counter fields a StreamingStats accounts, in as_dict order.  All are
+#: integers except ``seconds``.
+_STREAM_FIELDS = (
+    "events",
+    "purchases",
+    "batches",
+    "pair_steps",
+    "new_users",
+    "new_items",
+    "seconds",
+)
 
-    events: int = 0
-    purchases: int = 0
-    batches: int = 0
-    pair_steps: int = 0
-    new_users: int = 0
-    new_items: int = 0
-    seconds: float = 0.0
+
+class StreamingStats:
+    """Cumulative accounting of everything the updater has ingested.
+
+    Since 1.6 a thin view over a
+    :class:`~repro.obs.metrics.MetricsRegistry`: each field is backed by
+    a counter (``repro_streaming_events_total``, ...) and per-batch
+    apply latency by the histogram
+    ``repro_streaming_batch_seconds``, so ``registry.snapshot()``
+    exports the ingest rate alongside serving and training telemetry.
+    The attribute API (``stats.events`` et al.) is unchanged.
+
+    Parameters
+    ----------
+    registry:
+        The registry to record into; private when omitted.  Pass the
+        service's registry to get one whole-system snapshot.
+    labels:
+        Optional constant labels stamped on every backing series.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        from repro.obs.metrics import MetricsRegistry
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = dict(labels) if labels else {}
+        self._counters = {
+            name: self.registry.counter(
+                f"repro_streaming_{name}_total",
+                help=f"Cumulative streaming {name.replace('_', ' ')}.",
+                labels=self.labels,
+            )
+            for name in _STREAM_FIELDS
+        }
+        self._batch_seconds = self.registry.histogram(
+            "repro_streaming_batch_seconds",
+            help="Wall time to apply one micro-batch.",
+            labels=self.labels,
+        )
+
+    def __getattr__(self, name: str):
+        # Only consulted for attributes not found normally: resolve the
+        # stat fields from their backing counters (ints except seconds).
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            value = counters[name].value
+            return value if name == "seconds" else int(value)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def add(self, **deltas: float) -> None:
+        """Atomically increment the named counters."""
+        counters = self._counters
+        for name, delta in deltas.items():
+            counter = counters.get(name)
+            if counter is None:
+                raise AttributeError(f"unknown streaming stat {name!r}")
+            counter.inc(delta)
+
+    def record_batch(self, seconds: float) -> None:
+        """Account the wall time of one applied micro-batch."""
+        self._counters["seconds"].inc(max(0.0, seconds))
+        self._batch_seconds.observe(max(0.0, seconds))
 
     @property
     def events_per_second(self) -> float:
         """Sustained ingestion rate over the updater's busy seconds."""
-        if self.seconds <= 0:
+        seconds = self.seconds
+        if seconds <= 0:
             return float("nan")
-        return self.events / self.seconds
+        return self.events / seconds
+
+    def copy(self) -> "StreamingStats":
+        """A frozen-in-time copy (private registry, counters cloned).
+
+        Used where callers need a stable snapshot of a stats object the
+        updater keeps mutating (e.g. per-epoch ``raw`` records).
+        """
+        clone = StreamingStats(labels=self.labels)
+        clone.add(**{name: getattr(self, name) for name in _STREAM_FIELDS})
+        return clone
 
     def as_dict(self) -> Dict[str, float]:
         """Flat summary (for logs, the CLI, and benchmark payloads)."""
-        return {
-            "events": self.events,
-            "purchases": self.purchases,
-            "batches": self.batches,
-            "pair_steps": self.pair_steps,
-            "new_users": self.new_users,
-            "new_items": self.new_items,
-            "seconds": self.seconds,
-            "events_per_second": self.events_per_second,
+        summary: Dict[str, float] = {
+            name: getattr(self, name) for name in _STREAM_FIELDS
         }
+        summary["events_per_second"] = self.events_per_second
+        return summary
 
 
 class OnlineUpdater:
@@ -101,6 +175,10 @@ class OnlineUpdater:
         history (see :func:`~repro.core.folding.fold_in_user`).
     seed:
         Seed of the negative sampler and fold-in.
+    registry:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry` the
+        updater's :class:`StreamingStats` records into (private when
+        omitted).
 
     Examples
     --------
@@ -128,6 +206,7 @@ class OnlineUpdater:
         reg: Optional[float] = None,
         fold_in_steps: int = 100,
         seed: RngLike = 0,
+        registry=None,
     ):
         check_positive("steps", steps)
         check_positive("fold_in_steps", fold_in_steps)
@@ -142,7 +221,7 @@ class OnlineUpdater:
         self.reg = config.reg if reg is None else float(reg)
         self.fold_in_steps = int(fold_in_steps)
         self.rng = ensure_rng(seed)
-        self.stats = StreamingStats()
+        self.stats = StreamingStats(registry=registry)
         #: Cumulative BPR negative log-likelihood over every pair step —
         #: lets :class:`repro.train.OnlineTrainer` report a per-epoch loss
         #: comparable to the offline trainers' (divide deltas by the
@@ -246,10 +325,12 @@ class OnlineUpdater:
                     contexts,
                     np.asarray(known, dtype=np.int64),
                 )
-        self.stats.events += batch.n_events
-        self.stats.purchases += batch.n_purchases
-        self.stats.batches += 1
-        self.stats.seconds += time.perf_counter() - started
+        self.stats.add(
+            events=batch.n_events,
+            purchases=batch.n_purchases,
+            batches=1,
+        )
+        self.stats.record_batch(time.perf_counter() - started)
         return self.stats
 
     def _validate_items(self, pairs: np.ndarray) -> None:
@@ -291,7 +372,7 @@ class OnlineUpdater:
         )
         self.model.factor_set.user[user] = vector
         self._trained[user] = True
-        self.stats.new_users += 1
+        self.stats.add(new_users=1)
 
     def _contexts_for(self, users: Sequence[int]) -> Optional[np.ndarray]:
         """Eq. 3 context vectors (one row per user), or ``None`` when the
@@ -380,7 +461,7 @@ class OnlineUpdater:
             c = 1.0 - sigmoid(diff)
             np.add.at(fs.user, rows, bpr_user_step(vu, delta, c, lr, reg))
             self.pair_loss += float(-log_sigmoid(diff).sum())
-            self.stats.pair_steps += int(positives.size)
+            self.stats.add(pair_steps=int(positives.size))
 
     # ------------------------------------------------------------------
     # Catalog growth
@@ -402,7 +483,7 @@ class OnlineUpdater:
             [self._item_counts, np.zeros(new_items.size, dtype=np.int64)]
         )
         self._refresh_item_snapshot()
-        self.stats.new_items += int(new_items.size)
+        self.stats.add(new_items=int(new_items.size))
         return new_items
 
     # ------------------------------------------------------------------

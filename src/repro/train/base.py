@@ -109,6 +109,14 @@ class Trainer(abc.ABC):
     callbacks:
         :class:`~repro.train.callbacks.Callback` objects invoked around
         every epoch (more can be passed per ``train()`` call).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; the base
+        loop records per-epoch telemetry into it
+        (``repro_train_epochs_total``, ``repro_train_examples_total``,
+        the ``repro_train_epoch_seconds`` histogram, and the
+        ``repro_train_loss`` gauge, all labeled by backend).  A private
+        registry is created when omitted, so ``trainer.registry`` always
+        exports epoch throughput.
 
     The contract subclasses implement:
 
@@ -136,9 +144,14 @@ class Trainer(abc.ABC):
     #: (``None`` → ``config.epochs``; the online backend pins this to 1).
     default_epochs: Optional[int] = None
 
-    def __init__(self, model: Any, callbacks: Sequence[Any] = ()):
+    def __init__(
+        self, model: Any, callbacks: Sequence[Any] = (), registry: Any = None
+    ):
+        from repro.obs.metrics import MetricsRegistry
+
         self.model = model
         self.callbacks = list(callbacks)
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.history: List[TrainEpoch] = []
         #: The rate every run starts from (and schedules re-base on);
         #: backends with a constructor override set this too.
@@ -220,6 +233,7 @@ class Trainer(abc.ABC):
             stack.on_epoch_begin(epoch, self)
             stats = self._run_epoch(epoch)
             self.history.append(stats)
+            self._record_epoch_metrics(stats)
             stack.on_epoch_end(epoch, stats, self)
             if self.stop_training:
                 stopped = True
@@ -235,6 +249,39 @@ class Trainer(abc.ABC):
         )
         stack.on_train_end(result, self)
         return result
+
+    def _record_epoch_metrics(self, stats: TrainEpoch) -> None:
+        """Account one finished epoch in :attr:`registry`.
+
+        Counters for epoch/example throughput, a histogram of epoch wall
+        time, and a gauge holding the latest loss — labeled by backend so
+        a serial fit and a threaded fit recorded into one shared registry
+        stay separate series.
+        """
+        import math
+
+        labels = {"backend": self.backend}
+        self.registry.counter(
+            "repro_train_epochs_total",
+            help="Training epochs completed.",
+            labels=labels,
+        ).inc()
+        self.registry.counter(
+            "repro_train_examples_total",
+            help="Training examples consumed across epochs.",
+            labels=labels,
+        ).inc(max(0, int(stats.n_examples)))
+        self.registry.histogram(
+            "repro_train_epoch_seconds",
+            help="Wall time of one training epoch.",
+            labels=labels,
+        ).observe(max(0.0, float(stats.seconds)))
+        if not math.isnan(stats.loss):
+            self.registry.gauge(
+                "repro_train_loss",
+                help="Mean BPR loss of the most recent epoch.",
+                labels=labels,
+            ).set(float(stats.loss))
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -26,7 +26,10 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.train.base import TrainEpoch, Trainer, TrainerResult
+from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
+
+logger = get_logger(__name__)
 
 
 class Callback:
@@ -258,7 +261,7 @@ class EvalCallback(Callback):
         trainer.evals.append((epoch, result))
         trainer.last_eval = result
         if self.verbose:
-            print(f"  eval @ epoch {epoch}: AUC={result.auc:.4f}")
+            logger.info("eval @ epoch %d: AUC=%.4f", epoch, result.auc)
 
 
 class EarlyStopping(Callback):
@@ -417,10 +420,16 @@ class CheckpointCallback(Callback):
 
 
 class ProgressCallback(Callback):
-    """Print one line per epoch (the CLI's training progress)."""
+    """Log one line per epoch (the CLI's training progress).
 
-    def __init__(self, printer: Callable[[str], None] = print):
-        self.printer = printer
+    The default *printer* routes through the library logger (INFO on
+    the ``repro`` namespace — visible once the application calls
+    :func:`repro.utils.logging.enable_console_logging`, as the CLI
+    does); pass an explicit callable to write somewhere else.
+    """
+
+    def __init__(self, printer: Optional[Callable[[str], None]] = None):
+        self.printer = printer if printer is not None else logger.info
 
     def on_epoch_end(
         self, epoch: int, stats: TrainEpoch, trainer: Trainer

@@ -17,7 +17,6 @@ what a :class:`~repro.streaming.swap.HotSwapper` would have published.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Optional, Sequence
 
 from repro.data.transactions import TransactionLog
@@ -136,7 +135,7 @@ class OnlineTrainer(Trainer):
             },
             # Snapshot: the updater mutates its stats in place, and raw
             # should stay a frozen per-epoch record like other backends'.
-            raw=dataclasses.replace(stats),
+            raw=stats.copy(),
         )
 
     def _finalize(self) -> None:

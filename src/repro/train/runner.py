@@ -51,6 +51,9 @@ from repro.utils.config import (
     TrainerSpec,
     apply_overrides,
 )
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
 
 #: Model-kind constructors; each takes ``(taxonomy, config)``.
 _MODEL_BUILDERS: Dict[str, Callable[..., TaxonomyFactorModel]] = {
@@ -329,8 +332,12 @@ class ExperimentRunner:
         many = len(spec.variants()) > 1
         for variant in spec.variants():
             if verbose:
-                print(f"[{spec.name}] training {variant} "
-                      f"({spec.trainer.backend} backend)")
+                logger.info(
+                    "[%s] training %s (%s backend)",
+                    spec.name,
+                    variant,
+                    spec.trainer.backend,
+                )
             model = self.build_model(variant)
             extra = [ProgressCallback()] if verbose else []
             fit_started = time.perf_counter()
@@ -531,7 +538,7 @@ def sweep(
                 Path(cell_spec.output) / _cell_dirname(index, overrides)
             )
         if verbose and overrides:
-            print(f"sweep cell: {overrides}")
+            logger.info("sweep cell: %s", overrides)
         runner = ExperimentRunner(cell_spec, callbacks=callbacks)
         data_key = _json.dumps(spec_to_dict(cell_spec)["data"], sort_keys=True)
         cached = data_cache.get(data_key)

@@ -2,12 +2,64 @@
 
 The library logs under the ``repro`` namespace and never configures the root
 logger; applications opt in via :func:`enable_console_logging`.
+
+Two formatter flavours are available:
+
+* the default human-readable line format;
+* an opt-in JSON-lines format (``json_format=True``) that emits one
+  object per record and stamps ``trace_id`` whenever a
+  :mod:`repro.obs.tracing` span is active on the logging thread, so log
+  lines can be joined against exported trace trees.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import sys
+
+#: Marker attribute stamped on handlers owned by enable_console_logging,
+#: so repeated calls reconfigure *our* handler instead of stacking new
+#: ones (and never touch handlers the application attached itself).
+_HANDLER_ATTR = "_repro_console_handler"
+
+_TEXT_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+class JsonFormatter(logging.Formatter):
+    """Format records as one JSON object per line.
+
+    Fields: ``ts`` (record wall-clock time as formatted by
+    :meth:`logging.Formatter.formatTime`), ``logger``, ``level``,
+    ``message``, plus ``trace_id`` when the logging thread has an active
+    :class:`repro.obs.tracing.Span` — the join key between application
+    logs and exported trace trees.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": self.formatTime(record),
+            "logger": record.name,
+            "level": record.levelname,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        trace_id = _current_trace_id()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        return json.dumps(payload, sort_keys=True)
+
+
+def _current_trace_id():
+    """Trace id of the active span on this thread, if any."""
+    # Imported lazily: utils.logging must stay importable without the
+    # obs package in the stack (and obs itself logs through here).
+    try:
+        from repro.obs.tracing import current_trace_id
+    except ImportError:  # pragma: no cover - obs always ships, but be safe
+        return None
+    return current_trace_id()
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -17,14 +69,41 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(name)
 
 
-def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
-    """Attach a stderr handler to the ``repro`` logger (idempotent)."""
+def enable_console_logging(
+    level: int = logging.INFO, json_format: bool = False
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger (idempotent).
+
+    Truly idempotent: repeated calls never stack handlers, and they
+    *reconfigure* the one handler this function owns — so a later
+    ``enable_console_logging(logging.DEBUG, json_format=True)`` switches
+    both level and format in place.  Handlers attached by the
+    application are left alone.
+
+    Examples
+    --------
+    >>> import logging
+    >>> first = enable_console_logging()
+    >>> second = enable_console_logging(logging.DEBUG, json_format=True)
+    >>> ours = [h for h in second.handlers
+    ...         if getattr(h, "_repro_console_handler", False)]
+    >>> len(ours)
+    1
+    >>> isinstance(ours[0].formatter, JsonFormatter)
+    True
+    """
     logger = logging.getLogger("repro")
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_ATTR, False)),
+        None,
+    )
+    if handler is None:
         handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
-        )
+        setattr(handler, _HANDLER_ATTR, True)
         logger.addHandler(handler)
+    handler.setLevel(level)
+    handler.setFormatter(
+        JsonFormatter() if json_format else logging.Formatter(_TEXT_FORMAT)
+    )
     return logger

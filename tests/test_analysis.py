@@ -413,6 +413,68 @@ RULE_CASES = [
         """,
         [],
     ),
+    # --- REP007: no print() in library code ------------------------------
+    (
+        "rep007-print-in-library",
+        "src/repro/train/mod.py",
+        """
+        def run(verbose):
+            if verbose:
+                print("epoch done")
+        """,
+        ["REP007"],
+    ),
+    (
+        "rep007-cli-exempt",
+        "src/repro/cli.py",
+        """
+        def cmd(args):
+            print("served 100 users")
+            return 0
+        """,
+        [],
+    ),
+    (
+        "rep007-main-exempt",
+        "src/repro/analysis/__main__.py",
+        """
+        def main(argv):
+            print("2 findings")
+            return 1
+        """,
+        [],
+    ),
+    (
+        "rep007-reporters-exempt",
+        "src/repro/analysis/reporters.py",
+        """
+        def report(findings):
+            for finding in findings:
+                print(finding)
+        """,
+        [],
+    ),
+    (
+        "rep007-examples-exempt",
+        "examples/repro/quickstart.py",
+        """
+        print("hello")
+        """,
+        [],
+    ),
+    (
+        "rep007-logger-ok",
+        "src/repro/train/mod.py",
+        """
+        from repro.utils.logging import get_logger
+
+        logger = get_logger(__name__)
+
+        def run():
+            logger.info("epoch done")
+        """,
+        [],
+    ),
 ]
 
 
@@ -646,13 +708,15 @@ def test_cli_json_report(tmp_path, capsys):
     assert all("fingerprint" in f for f in payload["findings"])
 
 
-def test_cli_list_rules_covers_all_six(capsys):
+def test_cli_list_rules_covers_all_seven(capsys):
     assert analysis_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+    for code in ("REP001", "REP002", "REP003", "REP004", "REP005",
+                 "REP006", "REP007"):
         assert code in out
     assert sorted(r.code for r in all_rules()) == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        "REP007",
     ]
 
 

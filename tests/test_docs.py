@@ -28,6 +28,7 @@ AUDITED_PACKAGES = (
     "repro.streaming",
     "repro.core",
     "repro.parallel",
+    "repro.obs",
     "repro.analysis",
 )
 

@@ -1,0 +1,249 @@
+"""Tests for the metrics half of ``repro.obs`` (registry + exporters)."""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    read_snapshot,
+    to_json_lines,
+    to_prometheus_text,
+    to_table,
+    write_snapshot,
+)
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("repro_x_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_as_dict(self):
+        counter = Counter("repro_x_total", labels={"shard": "2"})
+        counter.inc(4)
+        record = counter.as_dict()
+        assert record["type"] == "counter"
+        assert record["value"] == 4.0
+        assert record["labels"] == {"shard": "2"}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_x")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        hist = Histogram("repro_x_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.bucket_counts == (1, 1, 1, 1)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(105.0)
+
+    def test_weighted_observation_is_one_call(self):
+        hist = Histogram("repro_x_seconds", buckets=(1.0, 2.0))
+        hist.observe(1.5, count=1000)
+        assert hist.count == 1000
+        assert hist.bucket_counts == (0, 1000, 0)
+        assert hist.sum == pytest.approx(1500.0)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("repro_x_seconds", buckets=(2.0, 1.0))
+
+    def test_percentile_interpolates(self):
+        hist = Histogram("repro_x_seconds", buckets=(1.0, 2.0, 4.0))
+        hist.observe(0.5)      # bucket (0, 1]
+        hist.observe(1.5, 2)   # bucket (1, 2]
+        assert hist.percentile(50) == pytest.approx(1.25)
+        assert math.isnan(
+            Histogram("repro_y_seconds", buckets=(1.0,)).percentile(50)
+        )
+
+    def test_percentile_overflow_clamps_to_largest_bound(self):
+        hist = Histogram("repro_x_seconds", buckets=(1.0, 2.0))
+        hist.observe(50.0)
+        assert hist.percentile(99) == 2.0
+
+    def test_default_buckets_cover_serving_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-4)
+        assert DEFAULT_LATENCY_BUCKETS[-1] == pytest.approx(60.0)
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            DEFAULT_LATENCY_BUCKETS
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_same_series_is_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", labels={"shard": "0"})
+        b = registry.counter("repro_x_total", labels={"shard": "0"})
+        c = registry.counter("repro_x_total", labels={"shard": "1"})
+        assert a is b and a is not c
+
+    def test_label_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", labels={"a": "1", "b": "2"})
+        b = registry.counter("repro_x_total", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_collision_rejected_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labels={"shard": "0"})
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total", labels={"shard": "1"})
+
+    def test_concurrent_mutation_exact_counts(self):
+        """N threads hammering shared series lose no increments."""
+        registry = MetricsRegistry()
+        n_threads, n_iter = 8, 2000
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid: int) -> None:
+            counter = registry.counter("repro_hits_total")
+            own = registry.counter(
+                "repro_per_thread_total", labels={"thread": str(tid)}
+            )
+            hist = registry.histogram(
+                "repro_lat_seconds", buckets=(0.001, 0.01, 0.1)
+            )
+            barrier.wait()
+            for i in range(n_iter):
+                counter.inc()
+                own.inc()
+                hist.observe(0.005)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("repro_hits_total").value == (
+            n_threads * n_iter
+        )
+        for tid in range(n_threads):
+            assert registry.counter(
+                "repro_per_thread_total", labels={"thread": str(tid)}
+            ).value == n_iter
+        hist = registry.histogram(
+            "repro_lat_seconds", buckets=(0.001, 0.01, 0.1)
+        )
+        assert hist.count == n_threads * n_iter
+        assert hist.bucket_counts[1] == n_threads * n_iter
+
+    def test_snapshot_is_deterministic_under_seeded_load(self):
+        """Two registries fed the same seeded workload snapshot equal."""
+
+        def build(seed: int) -> dict:
+            rng = np.random.default_rng(seed)
+            registry = MetricsRegistry()
+            for _ in range(500):
+                shard = str(rng.integers(0, 4))
+                registry.counter(
+                    "repro_reqs_total", labels={"shard": shard}
+                ).inc()
+                registry.histogram(
+                    "repro_lat_seconds", labels={"shard": shard}
+                ).observe(float(rng.uniform(0.0001, 0.5)))
+            registry.gauge("repro_loss").set(0.25)
+            return registry.snapshot()
+
+        first, second = build(7), build(7)
+        assert first == second
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+        names = [m["name"] for m in first["metrics"]]
+        assert names == sorted(names)
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def snapshot():
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_requests_total", help="Requests served.", labels={"shard": "0"}
+    ).inc(3)
+    registry.gauge("repro_loss").set(0.5)
+    hist = registry.histogram(
+        "repro_latency_seconds", buckets=(0.001, 0.01, 0.1)
+    )
+    hist.observe(0.005, count=10)
+    hist.observe(0.5)
+    return registry.snapshot()
+
+
+class TestExporters:
+    def test_prometheus_text(self, snapshot):
+        text = to_prometheus_text(snapshot)
+        assert '# TYPE repro_requests_total counter' in text
+        assert 'repro_requests_total{shard="0"} 3.0' in text
+        assert '# HELP repro_requests_total Requests served.' in text
+        assert 'repro_latency_seconds_bucket{le="0.01"} 10' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 11' in text
+        assert 'repro_latency_seconds_count 11' in text
+        assert text.endswith("\n")
+
+    def test_json_lines_one_object_per_series(self, snapshot):
+        lines = to_json_lines(snapshot).strip().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert len(parsed) == 3
+        assert {m["name"] for m in parsed} == {
+            "repro_requests_total", "repro_loss", "repro_latency_seconds",
+        }
+
+    def test_table_shows_percentiles(self, snapshot):
+        table = to_table(snapshot)
+        assert "repro_latency_seconds" in table
+        assert "count=11" in table
+        assert "p99=" in table
+
+    def test_snapshot_roundtrip(self, snapshot, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_snapshot(path, snapshot)
+        assert read_snapshot(path) == snapshot
+
+    def test_read_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"schema": "something/v9", "metrics": []}')
+        with pytest.raises(ValueError, match="repro.obs/v1"):
+            read_snapshot(path)
+
+    def test_merge_resorts(self, snapshot):
+        other = MetricsRegistry()
+        other.counter("repro_aaa_total").inc()
+        merged = merge_snapshots([snapshot, other.snapshot()])
+        names = [m["name"] for m in merged["metrics"]]
+        assert names == sorted(names)
+        assert merged["schema"] == "repro.obs/v1"

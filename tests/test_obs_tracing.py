@@ -1,0 +1,233 @@
+"""Tests for ``repro.obs.tracing`` and trace propagation across shards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import RecommenderService, ShardRouter
+from repro.obs import (
+    SpanContext,
+    TraceBuffer,
+    Tracer,
+    current_span,
+    current_trace_id,
+    read_trace_jsonl,
+    stitch,
+    write_trace_jsonl,
+)
+
+
+# ----------------------------------------------------------------------
+# Spans and tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_ids_are_deterministic(self):
+        tracer = Tracer(prefix="w3")
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert (a.trace_id, a.span_id) == ("w3-t1", "w3-s1")
+        assert (b.trace_id, b.span_id) == ("w3-t2", "w3-s2")
+
+    def test_nesting_builds_a_tree_implicitly(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            assert current_span() is root
+            assert current_trace_id() == root.trace_id
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        assert current_span() is None
+        assert current_trace_id() is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert child.trace_id == root.trace_id == grandchild.trace_id
+
+    def test_exception_tags_error_and_still_records(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("explodes"):
+                raise RuntimeError("boom")
+        (span,) = tracer.buffer.drain()
+        assert span.tags["error"] == "RuntimeError"
+        assert span.duration_s is not None
+        assert current_span() is None
+
+    def test_duration_never_wall_clock(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            pass
+        record = span.as_dict()
+        assert record["duration_s"] >= 0.0
+        assert "start" not in record  # monotonic stamps stay process-local
+
+    def test_child_from_context_crosses_processes(self):
+        router_tracer = Tracer()
+        worker_tracer = Tracer(prefix="w0")
+        root = router_tracer.span("recommend_batch")
+        ctx = router_tracer.context_for(root)
+        assert isinstance(ctx, SpanContext)
+        assert ctx.queue_wait() >= 0.0
+        with worker_tracer.child_from_context(ctx, "scan") as scan:
+            pass
+        assert scan.trace_id == root.trace_id
+        assert scan.parent_id == root.span_id
+        assert scan.span_id.startswith("w0-")
+
+    def test_adopt_rehydrates_worker_records(self):
+        worker = Tracer(prefix="w1")
+        with worker.span("scan"):
+            pass
+        records = [span.as_dict() for span in worker.buffer.drain()]
+        router = Tracer()
+        adopted = router.adopt(records)
+        assert [s.span_id for s in adopted] == ["w1-s1"]
+        assert len(router.buffer) == 1
+
+
+class TestTraceBuffer:
+    def test_bounded_eviction(self):
+        tracer = Tracer(buffer=TraceBuffer(maxlen=3))
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [span.name for span in tracer.buffer.snapshot()]
+        assert names == ["s2", "s3", "s4"]
+
+    def test_drain_clears(self):
+        buffer = TraceBuffer()
+        tracer = Tracer(buffer=buffer)
+        with tracer.span("x"):
+            pass
+        assert len(buffer.drain()) == 1
+        assert len(buffer) == 0
+
+    def test_rejects_zero_maxlen(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            TraceBuffer(maxlen=0)
+
+
+class TestStitch:
+    def test_orphans_promoted_to_roots(self):
+        records = [
+            {"trace_id": "t-t1", "span_id": "w0-s2", "parent_id": "t-s9",
+             "name": "scan", "tags": {}, "duration_s": 0.1},
+        ]
+        trees = stitch(records)
+        assert len(trees) == 1
+        assert trees[0]["root"]["span"]["name"] == "scan"
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        path = tmp_path / "traces.jsonl"
+        assert write_trace_jsonl(path, tracer.buffer.drain()) == 2
+        trees = stitch(read_trace_jsonl(path))
+        assert len(trees) == 1
+        root = trees[0]["root"]
+        assert root["span"]["name"] == "root"
+        assert [c["span"]["name"] for c in root["children"]] == ["child"]
+
+
+# ----------------------------------------------------------------------
+# End-to-end propagation: service and 2-shard fleet, both partitions
+# ----------------------------------------------------------------------
+class TestServiceTracing:
+    def test_service_root_span(self, tf_model, split):
+        tracer = Tracer()
+        service = RecommenderService(
+            tf_model, history_log=split.train, tracer=tracer
+        )
+        service.recommend_batch(np.arange(8), k=5)
+        spans = tracer.buffer.drain()
+        assert [s.name for s in spans] == ["recommend_batch"]
+        assert spans[0].tags["requests"] == 8
+        assert spans[0].parent_id is None
+
+    def test_untraced_service_stays_silent(self, tf_model, split):
+        service = RecommenderService(tf_model, history_log=split.train)
+        service.recommend_batch(np.arange(4), k=5)
+        assert service.tracer is None
+
+
+class TestShardTracing:
+    @pytest.mark.parametrize("partition", ["users", "items"])
+    def test_two_shard_trace_stitches_into_one_tree(
+        self, tf_model, split, partition
+    ):
+        tracer = Tracer()
+        with ShardRouter(
+            tf_model,
+            n_shards=2,
+            history_log=split.train,
+            partition=partition,
+            tracer=tracer,
+        ) as router:
+            result = router.recommend_batch(np.arange(16), k=5)
+        assert result.shape == (16, 5)
+        spans = [span.as_dict() for span in tracer.buffer.drain()]
+        trees = stitch(spans)
+        assert len(trees) == 1
+        root = trees[0]["root"]
+        assert root["span"]["name"] == "recommend_batch"
+        assert root["span"]["tags"]["partition"] == partition
+        children = [c["span"] for c in root["children"]]
+        names = {c["name"] for c in children}
+        assert "queue_wait" in names and "scan" in names
+        shards = {
+            c["tags"]["shard"] for c in children if c["name"] == "queue_wait"
+        }
+        assert shards == {0, 1}
+        if partition == "items":
+            assert "merge" in names
+        for child in children:
+            assert child["trace_id"] == root["span"]["trace_id"]
+            assert float(child["duration_s"]) >= 0.0
+        # Worker-minted IDs are namespaced per shard: no collisions.
+        worker_ids = [
+            c["span_id"] for c in children if c["name"] != "merge"
+        ]
+        assert len(set(worker_ids)) == len(worker_ids)
+        assert all(wid.startswith("w") for wid in worker_ids)
+
+    def test_router_span_seconds_histograms(self, tf_model, split):
+        tracer = Tracer()
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train, tracer=tracer
+        ) as router:
+            router.recommend_batch(np.arange(10), k=5)
+            snapshot = router.registry.snapshot()
+        series = [
+            m for m in snapshot["metrics"]
+            if m["name"] == "repro_router_span_seconds"
+        ]
+        by_key = {
+            (m["labels"]["span"], m["labels"]["shard"]): m for m in series
+        }
+        assert ("recommend_batch", "router") in by_key
+        assert ("queue_wait", "0") in by_key
+        assert ("scan", "1") in by_key
+        assert all(m["count"] >= 1 for m in series)
+
+    def test_untraced_router_records_no_span_metrics(self, tf_model, split):
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train
+        ) as router:
+            router.recommend_batch(np.arange(10), k=5)
+            snapshot = router.registry.snapshot()
+        assert snapshot["metrics"] == []
+
+    def test_traced_output_identical_to_untraced(self, tf_model, split):
+        users = np.arange(20)
+        with ShardRouter(
+            tf_model, n_shards=2, history_log=split.train, tracer=Tracer()
+        ) as traced:
+            traced_result = traced.recommend_batch(users, k=5)
+        service = RecommenderService(tf_model, history_log=split.train)
+        np.testing.assert_array_equal(
+            traced_result, service.recommend_batch(users, k=5)
+        )

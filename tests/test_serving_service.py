@@ -239,47 +239,54 @@ class TestStatsAndRefresh:
         from repro.serving.service import LATENCY_WINDOW, ServingStats
 
         stats = ServingStats()
-        stats.record_latency(1.0, count=LATENCY_WINDOW)
+        for _ in range(LATENCY_WINDOW + 5):
+            stats.record_latency(1.0)
         stats.record_latency(2.0)
         assert len(stats.latencies) == LATENCY_WINDOW
         assert stats.latencies[-1] == 2.0
-        assert stats.requests == LATENCY_WINDOW + 1
+        assert stats.requests == LATENCY_WINDOW + 6
 
-    def test_oversized_batch_never_materializes_past_window(self):
-        """One batch bigger than the window must be clamped up front, not
-        trimmed after allocating count entries."""
+    def test_oversized_batch_records_one_amortized_entry(self):
+        """A batch call is O(1): one amortized window entry and one
+        weighted histogram observation, never count materialized floats."""
         from repro.serving.service import LATENCY_WINDOW, ServingStats
 
         stats = ServingStats()
         stats.record_latency(30.0, count=3 * LATENCY_WINDOW)
-        assert len(stats.latencies) == LATENCY_WINDOW
+        assert len(stats.latencies) == 1
         assert stats.requests == 3 * LATENCY_WINDOW
         assert stats.seconds == 30.0
         # Amortized per-request latency, not the batch total.
         assert stats.latencies[0] == 30.0 / (3 * LATENCY_WINDOW)
+        # The histogram weights the batch by its full request count.
+        assert stats.latency_histogram.count == 3 * LATENCY_WINDOW
 
     def test_window_keeps_most_recent_entries(self):
         from repro.serving.service import LATENCY_WINDOW, ServingStats
 
         stats = ServingStats()
-        for value in (1.0, 2.0):
-            stats.record_latency(value * LATENCY_WINDOW, count=LATENCY_WINDOW)
-        stats.record_latency(7.0)
+        for call in range(LATENCY_WINDOW + 3):
+            stats.record_latency(float(call))
+        stats.record_latency(7.0, count=4)
         assert len(stats.latencies) == LATENCY_WINDOW
-        assert stats.latencies[-1] == 7.0
-        # Everything surviving besides the single call came from batch #2.
-        assert set(stats.latencies[:-1]) == {2.0}
-        assert stats.requests == 2 * LATENCY_WINDOW + 1
+        # The batch contributed one amortized entry at the newest slot...
+        assert stats.latencies[-1] == 7.0 / 4
+        # ...and the oldest singles fell off the front of the window.
+        assert stats.latencies[0] == 4.0
+        assert stats.requests == LATENCY_WINDOW + 3 + 4
 
-    def test_mixed_singles_and_batches_respect_window(self):
-        from repro.serving.service import LATENCY_WINDOW, ServingStats
+    def test_batches_weight_percentiles_by_request_count(self):
+        """Histogram percentiles count a batch once per request, so a big
+        fast batch dominates a handful of slow singles."""
+        from repro.serving.service import ServingStats
 
         stats = ServingStats()
+        stats.record_latency(0.002 * 900, count=900)  # 900 req @ 2ms
         for _ in range(100):
-            stats.record_latency(0.5)
-            stats.record_latency(1.0, count=LATENCY_WINDOW // 4)
-        assert len(stats.latencies) == LATENCY_WINDOW
-        assert stats.requests == 100 * (1 + LATENCY_WINDOW // 4)
+            stats.record_latency(0.2)  # 100 slow singles @ 200ms
+        assert stats.p50 < 0.01
+        assert stats.p99 > 0.05
+        assert stats.requests == 1000
 
     def test_empty_stats_are_nan(self, service):
         assert np.isnan(service.stats.p50)
