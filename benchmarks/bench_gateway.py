@@ -1,0 +1,487 @@
+"""Gateway benchmark: coalesced throughput, p99 SLO, swap-under-load.
+
+Three acceptance claims of ``repro.gateway`` are measured over real
+sockets with the closed-loop :class:`~repro.gateway.LoadGenerator`
+(every simulated client waits for its response before sending the next
+request, so offered load backs off the way real clients do):
+
+* **coalescing throughput** — sustained QPS of a concurrent client
+  fleet vs one sequential single-user HTTP client against the same
+  gateway; at full scale the coalesced fleet must reach **>= 3x** the
+  sequential number and **>= 2000 QPS** outright, with **p99 <= 50 ms**
+  socket-to-socket (the p99 gate binds in smoke mode too — the latency
+  contract prices the coalescing delay, not just the scan);
+* **admission under a flash crowd** — a deliberately under-provisioned
+  gateway (``max_inflight=4``) is hit with a ``flash``-shaped fleet;
+  shed requests (429 + Retry-After) are recorded, and every admitted
+  request must still succeed;
+* **hot swap under load** — client coroutines hammer the gateway while
+  :meth:`~repro.gateway.Gateway.swap_model` publishes alternating model
+  snapshots; every ``200`` response's rows must match the reference
+  service for the generation it claims (**0 stale**) and no request may
+  fail or be dropped (**0 dropped**).
+
+Like the other subsystem benches this is a plain script so CI can run
+it directly and archive its JSON payload::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py --smoke --out BENCH_gateway.json
+
+Full-scale (no ``--smoke``) enforces the QPS and 3x gates; smoke mode
+records throughput but gates only p99 and the swap-coherence claims
+(CI boxes do not promise idle cores).  Tables land in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import format_table, report  # noqa: E402
+
+from repro import (  # noqa: E402
+    OnlineUpdater,
+    PurchaseEvent,
+    RecommenderService,
+    SyntheticConfig,
+    TaxonomyFactorModel,
+    TrainConfig,
+    generate_dataset,
+    train_test_split,
+)
+from repro.gateway import Gateway, GatewayConfig, LoadGenerator  # noqa: E402
+from repro.gateway.wire import encode_request, read_response  # noqa: E402
+from repro.train import train_model  # noqa: E402
+from repro.utils.rng import derive_seed, ensure_rng  # noqa: E402
+
+#: Acceptance floor for coalesced throughput (full scale).
+MIN_QPS = 2000.0
+#: Acceptance ceiling for client-observed p99 latency (all modes).
+MAX_P99_MS = 50.0
+#: Acceptance floor for coalesced vs sequential throughput (full scale).
+MIN_COALESCE_SPEEDUP = 3.0
+
+DATA_SEED = 1234
+SPLIT_SEED = 99
+TRAIN_SEED = 77
+LOAD_SEED = 4242
+SWAP_SEED = 5151
+
+
+def _sizes(smoke: bool) -> Dict[str, float]:
+    if smoke:
+        return {
+            "n_users": 800, "epochs": 3, "factors": 8,
+            "duration_s": 1.0, "concurrency": 16,
+            "flash_duration_s": 0.8, "flash_concurrency": 16,
+            "swap_rounds": 4, "swap_clients": 4, "probe_users": 48,
+        }
+    return {
+        "n_users": 4000, "epochs": 10, "factors": 16,
+        "duration_s": 4.0, "concurrency": 32,
+        "flash_duration_s": 2.0, "flash_concurrency": 32,
+        "swap_rounds": 10, "swap_clients": 8, "probe_users": 64,
+    }
+
+
+def _trained(sizes: Dict[str, float]):
+    config = SyntheticConfig(
+        n_users=int(sizes["n_users"]), mean_transactions=5.0, seed=DATA_SEED
+    )
+    data = generate_dataset(config)
+    split = train_test_split(data.log, mu=0.5, seed=SPLIT_SEED)
+    model = train_model(
+        TaxonomyFactorModel(
+            data.taxonomy,
+            TrainConfig(
+                factors=int(sizes["factors"]), epochs=int(sizes["epochs"]),
+                sibling_ratio=0.5, seed=TRAIN_SEED,
+            ),
+        ),
+        split.train,
+    )
+    return data, split, model
+
+
+class _GatewayHost:
+    """Run a :class:`Gateway` on a dedicated background event loop.
+
+    The benchmark's own asyncio programs (the load generator, the swap
+    storm clients) run in the main thread, so the gateway needs its own
+    loop — exactly the topology of a real deployment, where the server
+    and its clients never share a scheduler.
+    """
+
+    def __init__(self, backend, config: GatewayConfig):
+        self.gateway = Gateway(backend, config)
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._done: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "_GatewayHost":
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("gateway failed to start within 30s")
+        return self
+
+    def _serve(self) -> None:
+        async def run() -> None:
+            self.loop = asyncio.get_running_loop()
+            self._done = asyncio.Event()
+            async with self.gateway:
+                self._ready.set()
+                await self._done.wait()
+
+        asyncio.run(run())
+
+    def swap(self, model) -> int:
+        """Publish *model* through the gateway's drain from any thread."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.gateway.swap_model(model), self.loop
+        )
+        return future.result(timeout=30.0)
+
+    def __exit__(self, *exc) -> None:
+        self.loop.call_soon_threadsafe(self._done.set)
+        self._thread.join(timeout=30.0)
+
+
+def _drive(
+    port: int,
+    n_users: int,
+    duration_s: float,
+    concurrency: int,
+    seed: int,
+    shape: str = "constant",
+):
+    generator = LoadGenerator(
+        "127.0.0.1",
+        port,
+        n_users=n_users,
+        duration_s=duration_s,
+        concurrency=concurrency,
+        shape=shape,
+        seed=seed,
+    )
+    return asyncio.run(generator.run())
+
+
+# ----------------------------------------------------------------------
+# (a) Coalesced fleet vs sequential single-user HTTP client
+# ----------------------------------------------------------------------
+def bench_throughput(sizes: Dict[str, float], split, model) -> Dict[str, float]:
+    # cache_size=0 so repeated zipfian users measure the serving path,
+    # not the query cache.
+    service = RecommenderService(model, history_log=split.train, cache_size=0)
+    with _GatewayHost(service, GatewayConfig()) as hosted:
+        port = hosted.gateway.port
+        sequential = _drive(
+            port, model.n_users, float(sizes["duration_s"]), 1,
+            derive_seed(LOAD_SEED, 1),
+        )
+        coalesced = _drive(
+            port, model.n_users, float(sizes["duration_s"]),
+            int(sizes["concurrency"]), derive_seed(LOAD_SEED, 2),
+        )
+    return {
+        "sequential_qps": sequential.qps,
+        "sequential_p99_ms": sequential.p99_ms,
+        "sequential_errors": sequential.errors,
+        "coalesced_concurrency": int(sizes["concurrency"]),
+        "coalesced_qps": coalesced.qps,
+        "coalesced_p50_ms": coalesced.p50_ms,
+        "coalesced_p99_ms": coalesced.p99_ms,
+        "coalesced_errors": coalesced.errors,
+        "coalesced_requests": coalesced.requests,
+        "speedup": coalesced.qps / sequential.qps if sequential.qps else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# (b) Admission control under a flash crowd
+# ----------------------------------------------------------------------
+def bench_admission(sizes: Dict[str, float], split, model) -> Dict[str, float]:
+    service = RecommenderService(model, history_log=split.train, cache_size=0)
+    config = GatewayConfig(max_inflight=4, max_queued=8)
+    with _GatewayHost(service, config) as hosted:
+        flash = _drive(
+            hosted.gateway.port, model.n_users,
+            float(sizes["flash_duration_s"]),
+            int(sizes["flash_concurrency"]),
+            derive_seed(LOAD_SEED, 3), shape="flash",
+        )
+    return {
+        "max_inflight": config.max_inflight,
+        "concurrency": int(sizes["flash_concurrency"]),
+        "requests": flash.requests,
+        "ok": flash.ok,
+        "shed": flash.shed,
+        "errors": flash.errors,
+        "ok_qps": flash.qps,
+        "p99_ms": flash.p99_ms,
+    }
+
+
+# ----------------------------------------------------------------------
+# (c) Hot swap under load: 0 stale, 0 dropped
+# ----------------------------------------------------------------------
+def bench_swap_under_load(
+    sizes: Dict[str, float], split, model
+) -> Dict[str, object]:
+    updater = OnlineUpdater(model, steps=4, seed=0)
+    updater.apply_events(
+        [PurchaseEvent(u, (u % model.n_items,)) for u in range(64)]
+    )
+    snapshot = updater.snapshot()
+    candidates = [model, snapshot]
+    users = np.arange(int(sizes["probe_users"]), dtype=np.int64)
+    references = [
+        RecommenderService(model, history_log=split.train),
+        RecommenderService(snapshot, history_log=snapshot._train_log),
+    ]
+    # generation g serves candidates[g % 2]; rows are deterministic, so
+    # a response is stale iff it pairs rows with the wrong generation.
+    expected = [ref.recommend_batch(users, k=10) for ref in references]
+
+    digest = hashlib.sha256()
+    for array in expected:
+        digest.update(str(array.shape).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+
+    service = RecommenderService(model, history_log=split.train)
+    outcomes: List[tuple] = []  # (user, status, generation, items)
+    transport_errors = [0]
+
+    with _GatewayHost(service, GatewayConfig()) as hosted:
+        port = hosted.gateway.port
+
+        async def storm() -> float:
+            stop = asyncio.Event()
+
+            async def client(index: int) -> None:
+                rng = ensure_rng(derive_seed(SWAP_SEED, index))
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                try:
+                    while not stop.is_set():
+                        user = int(users[int(rng.integers(0, users.size))])
+                        body = json.dumps({"user": user, "k": 10}).encode()
+                        try:
+                            writer.write(
+                                encode_request("POST", "/v1/recommend", body)
+                            )
+                            await writer.drain()
+                            response = await read_response(reader)
+                        except (OSError, asyncio.IncompleteReadError):
+                            # a dropped connection is a dropped request —
+                            # the gate counts it; reconnect and continue
+                            transport_errors[0] += 1
+                            writer.close()
+                            reader, writer = await asyncio.open_connection(
+                                "127.0.0.1", port
+                            )
+                            continue
+                        if response.status == 200:
+                            payload = response.json()
+                            outcomes.append((
+                                user, 200, int(payload["generation"]),
+                                list(payload["items"]),
+                            ))
+                        else:
+                            outcomes.append(
+                                (user, response.status, -1, None)
+                            )
+                finally:
+                    writer.close()
+
+            async def swap_storm() -> None:
+                loop = asyncio.get_running_loop()
+                for round_ in range(int(sizes["swap_rounds"])):
+                    await asyncio.sleep(0.02)
+                    await loop.run_in_executor(
+                        None, hosted.swap, candidates[(round_ + 1) % 2]
+                    )
+                stop.set()
+
+            started = time.perf_counter()
+            await asyncio.gather(
+                swap_storm(),
+                *(client(i) for i in range(int(sizes["swap_clients"]))),
+            )
+            return time.perf_counter() - started
+
+        swap_seconds = asyncio.run(storm())
+        final_generation = int(service.generation)
+
+    served = sum(1 for _, status, _, _ in outcomes if status == 200)
+    stale = sum(
+        1
+        for user, status, generation, items in outcomes
+        if status == 200 and items != expected[generation % 2][user].tolist()
+    )
+    dropped = transport_errors[0] + sum(
+        1 for _, status, _, _ in outcomes if status != 200
+    )
+    return {
+        "swaps": int(sizes["swap_rounds"]),
+        "clients": int(sizes["swap_clients"]),
+        "served": served,
+        "stale_responses": stale,
+        "dropped_requests": dropped,
+        "final_generation": final_generation,
+        "swap_seconds": swap_seconds,
+        "served_per_sec": served / swap_seconds if swap_seconds else 0.0,
+        # SHA-256 over the two reference ranking arrays — no timings, no
+        # ports — so two same-seed runs must produce identical bytes.
+        "digest": digest.hexdigest(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Reporting / gates
+# ----------------------------------------------------------------------
+def run(smoke: bool) -> Dict[str, object]:
+    sizes = _sizes(smoke)
+    _data, split, model = _trained(sizes)
+    throughput = bench_throughput(sizes, split, model)
+    admission = bench_admission(sizes, split, model)
+    swap = bench_swap_under_load(sizes, split, model)
+
+    qps_gate = f">= {MIN_QPS:.0f}" if not smoke else "(smoke: recorded)"
+    speedup_gate = (
+        f">= {MIN_COALESCE_SPEEDUP}x" if not smoke else "(smoke: recorded)"
+    )
+    table = format_table(
+        "gateway: coalesced HTTP edge vs sequential client",
+        ["measure", "value", "gate"],
+        [
+            ["sequential QPS (1 client)", throughput["sequential_qps"], ""],
+            [
+                f"coalesced QPS ({throughput['coalesced_concurrency']} clients)",
+                throughput["coalesced_qps"],
+                qps_gate,
+            ],
+            ["coalescing speedup", throughput["speedup"], speedup_gate],
+            ["coalesced p99 (ms)", throughput["coalesced_p99_ms"],
+             f"<= {MAX_P99_MS:.0f}"],
+            ["client transport errors", throughput["sequential_errors"]
+             + throughput["coalesced_errors"], "== 0"],
+            ["flash-crowd shed (429)", admission["shed"], "(recorded)"],
+            ["flash-crowd errors", admission["errors"], "== 0"],
+            ["swaps under load", swap["swaps"], ""],
+            ["stale responses", swap["stale_responses"], "== 0"],
+            ["dropped requests", swap["dropped_requests"], "== 0"],
+            ["responses served during swaps", swap["served"], "> 0"],
+        ],
+        note="QPS and speedup gates bind at full scale; p99 and "
+             "swap-coherence gates bind in every mode",
+    )
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "sizes": sizes,
+        "throughput": throughput,
+        "admission": admission,
+        "swap_under_load": swap,
+        "gates": {
+            "min_qps": MIN_QPS,
+            "max_p99_ms": MAX_P99_MS,
+            "min_coalesce_speedup": MIN_COALESCE_SPEEDUP,
+        },
+    }
+    report("gateway", table, payload)
+    print(table)
+
+    failures = []
+    if not smoke and throughput["coalesced_qps"] < MIN_QPS:
+        failures.append(
+            f"coalesced throughput {throughput['coalesced_qps']:.0f} QPS "
+            f"below the {MIN_QPS:.0f} floor"
+        )
+    if not smoke and throughput["speedup"] < MIN_COALESCE_SPEEDUP:
+        failures.append(
+            f"coalescing speedup {throughput['speedup']:.2f}x below the "
+            f"{MIN_COALESCE_SPEEDUP}x floor"
+        )
+    if throughput["coalesced_p99_ms"] > MAX_P99_MS:
+        failures.append(
+            f"coalesced p99 {throughput['coalesced_p99_ms']:.1f} ms over "
+            f"the {MAX_P99_MS:.0f} ms ceiling"
+        )
+    if throughput["sequential_errors"] or throughput["coalesced_errors"]:
+        failures.append(
+            f"{throughput['sequential_errors'] + throughput['coalesced_errors']} "
+            f"client transport errors during the throughput runs"
+        )
+    if admission["errors"]:
+        failures.append(
+            f"{admission['errors']} transport errors under the flash crowd"
+        )
+    if swap["stale_responses"]:
+        failures.append(
+            f"{swap['stale_responses']} responses paired rows with a "
+            f"retired generation"
+        )
+    if swap["dropped_requests"]:
+        failures.append(
+            f"{swap['dropped_requests']} requests dropped across "
+            f"{swap['swaps']} swaps"
+        )
+    if swap["served"] == 0:
+        failures.append("no responses were served during the swap storm")
+    if swap["final_generation"] != swap["swaps"]:
+        failures.append(
+            f"final generation {swap['final_generation']} != "
+            f"{swap['swaps']} published swaps"
+        )
+    payload["failures"] = failures
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes for CI; QPS and speedup gates are only recorded",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_gateway.json",
+        help="where to write the JSON payload (default: ./BENCH_gateway.json)",
+    )
+    parser.add_argument(
+        "--digest", default=None, metavar="FILE",
+        help="also write the SHA-256 reference-ranking digest here (for "
+             "the CI determinism job: two runs must produce identical "
+             "bytes)",
+    )
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    print(f"wrote {out}")
+    if args.digest:
+        Path(args.digest).write_text(
+            str(payload["swap_under_load"]["digest"]) + "\n"
+        )
+        print(f"wrote {args.digest}")
+    if payload["failures"]:
+        for failure in payload["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

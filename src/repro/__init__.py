@@ -92,6 +92,11 @@ Package layout
     fixed-bucket histograms), Prometheus-text / JSON-lines exporters, and
     deterministic request tracing that stitches per-shard spans into one
     tree (``repro stats`` renders both).
+``repro.gateway``
+    The network edge: a stdlib-only asyncio HTTP/1.1 ``Gateway`` over a
+    service or fleet, with request coalescing, bounded admission
+    (429 + ``Retry-After``), graceful drains around hot swaps, and the
+    seeded closed-loop ``LoadGenerator`` behind the p99 SLO gates.
 ``repro.viz``
     t-SNE / PCA projections of the learned factors.
 """
@@ -184,7 +189,7 @@ from repro.utils.config import (
     save_spec,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

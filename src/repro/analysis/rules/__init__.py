@@ -7,6 +7,7 @@ set and no filesystem scanning happens at import time).
 """
 
 from repro.analysis.rules import (  # noqa: F401  (imports register the rules)
+    asyncblocking,
     clocks,
     deprecated,
     determinism,
@@ -17,6 +18,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports register the rules)
 )
 
 __all__ = [
+    "asyncblocking",
     "clocks",
     "deprecated",
     "determinism",

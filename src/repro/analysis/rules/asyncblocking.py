@@ -1,0 +1,140 @@
+"""REP008 — no blocking calls on the gateway's event loop.
+
+``repro.gateway`` serves every connection from one :mod:`asyncio` event
+loop; a single blocking call — ``time.sleep``, synchronous socket I/O, a
+``queue.Queue.get()`` with no timeout — freezes *every* inflight request
+for its duration and turns a p99 SLO into a lottery.  Blocking work
+belongs on the executor (``loop.run_in_executor``), waiting belongs to
+``await asyncio.sleep(...)`` / stream primitives.
+
+The rule is scoped to the ``gateway`` package tree only: the rest of the
+codebase is thread-based and blocks on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import dotted_name
+from repro.analysis.source import SourceFile
+
+#: Synchronous socket constructors/helpers that would block the loop.
+_SYNC_SOCKET_CALLS = {
+    "socket.socket",
+    "socket.create_connection",
+    "socket.create_server",
+    "socket.socketpair",
+}
+
+#: ``queue`` classes whose ``.get()`` parks the calling thread.
+_BLOCKING_QUEUE_CLASSES = {
+    "queue.Queue",
+    "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "queue.SimpleQueue",
+}
+
+
+@register
+class NoBlockingInGateway(Rule):
+    """Flag event-loop-freezing calls inside ``repro/gateway``."""
+
+    code = "REP008"
+    name = "async-no-blocking"
+    severity = Severity.ERROR
+    description = (
+        "the gateway runs on one asyncio event loop: time.sleep(), "
+        "synchronous socket I/O, and untimed queue.get() freeze every "
+        "inflight request — use await asyncio.sleep(), asyncio streams, "
+        "or loop.run_in_executor() instead."
+    )
+
+    def applies_to(self, src: SourceFile) -> bool:
+        """Only the asyncio-based gateway package."""
+        return "gateway" in src.parts
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Flag sleeps, sync sockets, and untimed blocking queue reads."""
+        sleep_aliases = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_aliases.add(alias.asname or "sleep")
+                        yield self.finding(
+                            src,
+                            node,
+                            "`from time import sleep` imports a loop-"
+                            "blocking sleep into async code; use "
+                            "`await asyncio.sleep(...)`",
+                        )
+        queue_vars = self._blocking_queue_vars(src)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name == "time.sleep" or (name and name in sleep_aliases):
+                yield self.finding(
+                    src,
+                    node,
+                    "time.sleep() blocks the event loop for every inflight "
+                    "request; use `await asyncio.sleep(...)` (or run the "
+                    "blocking work in the executor)",
+                )
+            elif name in _SYNC_SOCKET_CALLS:
+                yield self.finding(
+                    src,
+                    node,
+                    f"{name}() is synchronous socket I/O; the gateway must "
+                    "use asyncio.start_server()/open_connection() streams",
+                )
+            elif self._is_untimed_queue_get(node, queue_vars):
+                yield self.finding(
+                    src,
+                    node,
+                    "queue .get() with no timeout parks the event loop "
+                    "indefinitely; use asyncio.Queue, or hand the wait to "
+                    "the executor with a timeout",
+                )
+
+    @staticmethod
+    def _blocking_queue_vars(src: SourceFile) -> set:
+        """Names assigned directly from a blocking ``queue`` constructor."""
+        names = set()
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            if dotted_name(node.value.func) not in _BLOCKING_QUEUE_CLASSES:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    names.add(target.attr)
+        return names
+
+    @staticmethod
+    def _is_untimed_queue_get(node: ast.Call, queue_vars: set) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "get":
+            return False
+        receiver = func.value
+        name = (
+            receiver.id
+            if isinstance(receiver, ast.Name)
+            else receiver.attr
+            if isinstance(receiver, ast.Attribute)
+            else None
+        )
+        if name is None or name not in queue_vars:
+            return False
+        has_timeout = any(kw.arg == "timeout" for kw in node.keywords)
+        has_block_false = len(node.args) >= 1 or any(
+            kw.arg == "block" for kw in node.keywords
+        )
+        return not (has_timeout or has_block_false)

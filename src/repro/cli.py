@@ -576,6 +576,104 @@ def cmd_serve_sharded(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway import Gateway, GatewayConfig
+
+    model, split, extra = _load_model(args)
+    tracer = _telemetry_tracer(args)
+    try:
+        service = RecommenderService(
+            model, history_log=split.train,
+            retrieval=_serving_retrieval(args, extra), tracer=tracer,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+        max_inflight=args.max_inflight,
+    )
+    gateway = Gateway(service, config, tracer=tracer)
+
+    async def run() -> None:
+        async with gateway:
+            print(
+                f"gateway listening on http://{args.host}:{gateway.port} "
+                f"(generation {service.generation})",
+                file=sys.stderr,
+            )
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await gateway.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    _flush_telemetry(args, service.registry, tracer)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway import LoadGenerator
+    from repro.gateway.wire import encode_request, read_response
+
+    async def run():
+        n_users = args.users
+        if n_users is None:
+            # Size the zipfian draw to the served catalog via /healthz.
+            reader, writer = await asyncio.open_connection(
+                args.host, args.port
+            )
+            try:
+                writer.write(encode_request("GET", "/healthz"))
+                await writer.drain()
+                health = (await read_response(reader)).json()
+            finally:
+                writer.close()
+            n_users = int(health.get("users", 0)) or 1000
+        generator = LoadGenerator(
+            args.host, args.port,
+            n_users=n_users,
+            duration_s=args.duration,
+            concurrency=args.concurrency,
+            k=args.k,
+            shape=args.shape,
+            exponent=args.exponent,
+            seed=args.seed,
+        )
+        return await generator.run()
+
+    try:
+        report = asyncio.run(run())
+    except (OSError, ConnectionError) as exc:
+        raise SystemExit(
+            f"cannot reach gateway at {args.host}:{args.port}: {exc}"
+        )
+    payload = json.dumps(report.as_dict(), sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(payload)
+    print(
+        f"{report.ok}/{report.requests} ok at {report.qps:.0f} qps "
+        f"(p50={report.p50_ms:.1f}ms p99={report.p99_ms:.1f}ms, "
+        f"shed={report.shed}, errors={report.errors}, "
+        f"shape={report.shape})",
+        file=sys.stderr,
+    )
+    return 0 if report.errors == 0 else 1
+
+
 def cmd_stream(args: argparse.Namespace) -> int:
     model, split, _extra = _load_model(args)
     service = RecommenderService(model, history_log=split.train)
@@ -854,6 +952,62 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trace every scatter/gather round and append "
                               "the stitched span records here as JSONL")
     sharded.set_defaults(func=cmd_serve_sharded)
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="serve HTTP traffic through the asyncio gateway edge",
+    )
+    gateway.add_argument("--data-dir", required=True)
+    gateway.add_argument("--model", required=True)
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 = ephemeral)")
+    gateway.add_argument("--max-batch", type=int, default=32,
+                         help="coalescer flush size")
+    gateway.add_argument("--max-delay-ms", type=float, default=2.0,
+                         help="max extra latency a request may spend "
+                              "buffered in the coalescer")
+    gateway.add_argument("--max-inflight", type=int, default=128,
+                         help="admitted requests beyond which the edge "
+                              "sheds with 429")
+    gateway.add_argument("--retrieval", default=None,
+                         choices=("exact", "pruned"),
+                         help="backend retrieval mode (default: bundle "
+                              "hint / exact)")
+    gateway.add_argument("--duration", type=float, default=None,
+                         help="serve for this many seconds then exit "
+                              "(default: run until interrupted)")
+    gateway.add_argument("--metrics-out", default=None,
+                         help="write the shared repro.obs/v1 snapshot on "
+                              "shutdown")
+    gateway.add_argument("--trace-out", default=None,
+                         help="trace requests socket-to-scan and append "
+                              "span records here as JSONL")
+    gateway.set_defaults(func=cmd_gateway)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running gateway with seeded closed-loop HTTP load",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--duration", type=float, default=5.0,
+                         help="seconds to keep the client fleet running")
+    loadgen.add_argument("--concurrency", type=int, default=16,
+                         help="client coroutines at full load")
+    loadgen.add_argument("--users", type=int, default=None,
+                         help="user-id range for the zipfian draw "
+                              "(default: probe /healthz)")
+    loadgen.add_argument("-k", type=int, default=10)
+    loadgen.add_argument("--shape", default="constant",
+                         choices=("constant", "diurnal", "flash"),
+                         help="traffic shape over the run")
+    loadgen.add_argument("--exponent", type=float, default=1.0,
+                         help="zipfian skew (0 = uniform)")
+    loadgen.add_argument("--seed", type=int, default=1234)
+    loadgen.add_argument("--out", default=None,
+                         help="write the JSON report here instead of stdout")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     stream = sub.add_parser(
         "stream",

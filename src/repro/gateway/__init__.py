@@ -1,0 +1,45 @@
+"""HTTP serving edge: coalescing, admission control, and SLO tooling.
+
+``repro.gateway`` is the network front door over the serving stack — a
+stdlib-only :mod:`asyncio` HTTP/1.1 server that turns concurrent
+single-user requests into the batched ``recommend_batch`` calls the
+backend is fast at, sheds load it cannot absorb, and drains itself
+around hot swaps so no client ever sees a retired model generation.
+
+Modules
+-------
+:mod:`repro.gateway.wire`
+    HTTP/1.1 framing (server and client halves), stdlib-only.
+:mod:`repro.gateway.admission`
+    Bounded-inflight admission, 429 shedding, graceful drain.
+:mod:`repro.gateway.batching`
+    The request coalescer: buffers concurrent requests into backend
+    batches under a max-delay / max-batch policy.
+:mod:`repro.gateway.server`
+    The :class:`Gateway` itself — routes, lifecycle, swap hook.
+:mod:`repro.gateway.loadgen`
+    Seeded closed-loop load generator (zipfian users, traffic shapes)
+    for the p99 SLO gates in ``benchmarks/bench_gateway.py``.
+"""
+
+from repro.gateway.admission import AdmissionController, Overloaded
+from repro.gateway.batching import CoalescedResult, Coalescer
+from repro.gateway.loadgen import SHAPES, LoadGenerator, LoadReport, zipfian_weights
+from repro.gateway.server import Gateway, GatewayConfig
+from repro.gateway.wire import HttpError, Request, Response
+
+__all__ = [
+    "SHAPES",
+    "AdmissionController",
+    "CoalescedResult",
+    "Coalescer",
+    "Gateway",
+    "GatewayConfig",
+    "HttpError",
+    "LoadGenerator",
+    "LoadReport",
+    "Overloaded",
+    "Request",
+    "Response",
+    "zipfian_weights",
+]

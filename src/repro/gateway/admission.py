@@ -1,0 +1,224 @@
+"""Admission control: bounded inflight work, load shedding, graceful drain.
+
+The gateway admits a request only while the backend has capacity for it;
+everything else is **shed** immediately with ``429 Too Many Requests``
+and a ``Retry-After`` hint rather than queued into an unbounded backlog
+(queueing past capacity only converts overload into latency — the
+closed-loop load generator in :mod:`repro.gateway.loadgen` makes that
+visible as a p99 cliff).
+
+Two cooperating mechanisms, both single-event-loop state (no locks —
+every transition happens between ``await`` points on one loop):
+
+* **inflight bound** — :meth:`AdmissionController.slot` admits at most
+  ``max_inflight`` concurrent requests; beyond that :class:`Overloaded`
+  is raised and the server answers 429.
+* **drain** — :meth:`AdmissionController.drain` is the swap hook: it
+  holds new arrivals (up to ``max_queued`` of them — they *wait*, they
+  are not dropped), waits for the inflight count to reach zero, runs its
+  body (the model publication), then releases the held arrivals.  A
+  request therefore either completes entirely on the old generation or
+  starts entirely on the new one: **0 stale, 0 dropped** across a swap.
+
+Examples
+--------
+>>> import asyncio
+>>> async def demo():
+...     admission = AdmissionController(max_inflight=1)
+...     async with admission.slot():
+...         return admission.inflight
+>>> asyncio.run(demo())
+1
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from contextlib import asynccontextmanager
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["AdmissionController", "Overloaded"]
+
+
+class Overloaded(RuntimeError):
+    """The gateway is at capacity; the caller should retry later.
+
+    Attributes
+    ----------
+    retry_after_s:
+        Suggested client back-off in seconds; the server rounds it up
+        to the integral ``Retry-After`` header.
+    """
+
+    def __init__(self, retry_after_s: float):
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(
+            f"gateway at capacity; retry after {self.retry_after_s:.3f}s"
+        )
+
+    @property
+    def retry_after_header(self) -> str:
+        """``Retry-After`` value: delta-seconds, rounded up, at least 1."""
+        return str(max(1, math.ceil(self.retry_after_s)))
+
+
+class AdmissionController:
+    """Bounded-inflight admission with shed-on-overload and drain.
+
+    Parameters
+    ----------
+    max_inflight:
+        Concurrent admitted requests; beyond this, :meth:`acquire`
+        raises :class:`Overloaded` (zero sheds everything — useful in
+        tests and for taking an instance out of rotation).
+    max_queued:
+        Arrivals allowed to *wait* during a drain.  Waiters beyond this
+        are shed; the bound keeps a long publication from accumulating
+        unbounded parked coroutines.
+    retry_after_s:
+        Back-off hint carried by :class:`Overloaded`.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; inflight
+        gauge, shed counter, and drain counter are recorded into it.
+
+    Notes
+    -----
+    All state transitions happen on one event loop between ``await``
+    points, so no locking is needed; the class is **not** thread-safe
+    and must only be touched from its loop.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 128,
+        max_queued: int = 256,
+        retry_after_s: float = 0.05,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if max_inflight < 0:
+            raise ValueError(f"max_inflight must be >= 0, got {max_inflight}")
+        self.max_inflight = int(max_inflight)
+        self.max_queued = int(max_queued)
+        self.retry_after_s = float(retry_after_s)
+        self._inflight = 0
+        self._queued = 0
+        self._draining = False
+        #: Set while not draining; cleared to park new arrivals.
+        self._resume = asyncio.Event()
+        self._resume.set()
+        #: Set while inflight == 0; a drain waits on it.
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._drain_serial = asyncio.Lock()
+        self._inflight_gauge = self._shed = self._drains = None
+        if registry is not None:
+            self._inflight_gauge = registry.gauge(
+                "repro_gateway_inflight",
+                help="Requests currently admitted past the gateway edge.",
+            )
+            self._shed = registry.counter(
+                "repro_gateway_shed_total",
+                help="Requests shed with 429 (inflight or drain queue full).",
+            )
+            self._drains = registry.counter(
+                "repro_gateway_drains_total",
+                help="Graceful drains completed around model publications.",
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted."""
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        """Whether a drain is parked across the front door right now."""
+        return self._draining
+
+    @property
+    def queued(self) -> int:
+        """Arrivals parked behind an active drain."""
+        return self._queued
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    async def acquire(self) -> None:
+        """Admit one request or raise :class:`Overloaded`.
+
+        During a drain, arrivals park on the resume event (bounded by
+        ``max_queued``) instead of being rejected — the drain contract
+        is 0 dropped.  After resume they re-check capacity normally.
+        """
+        while self._draining:
+            if self._queued >= self.max_queued:
+                self._count_shed()
+                raise Overloaded(self.retry_after_s)
+            self._queued += 1
+            try:
+                await self._resume.wait()
+            finally:
+                self._queued -= 1
+        if self._inflight >= self.max_inflight:
+            self._count_shed()
+            raise Overloaded(self.retry_after_s)
+        self._inflight += 1
+        self._idle.clear()
+        if self._inflight_gauge is not None:
+            self._inflight_gauge.set(self._inflight)
+
+    def release(self) -> None:
+        """Return one admitted slot; wakes a waiting drain at zero."""
+        self._inflight -= 1
+        if self._inflight_gauge is not None:
+            self._inflight_gauge.set(self._inflight)
+        if self._inflight <= 0:
+            self._idle.set()
+
+    @asynccontextmanager
+    async def slot(self):
+        """``async with`` admission around one request's whole lifetime.
+
+        The slot must span everything that reads backend state — compute
+        *and* the generation stamp — so a drain can never interleave a
+        publication into the middle of a request.
+        """
+        await self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------
+    # Drain (the swap hook)
+    # ------------------------------------------------------------------
+    @asynccontextmanager
+    async def drain(self):
+        """Quiesce the gateway, run the body, resume — 0 stale, 0 dropped.
+
+        New arrivals park (bounded), the inflight count is awaited down
+        to zero, then the body runs with the gateway exclusively quiet —
+        the window a :class:`~repro.streaming.swap.HotSwapper`
+        publication needs.  Concurrent drains serialize.
+        """
+        async with self._drain_serial:
+            self._draining = True
+            self._resume.clear()
+            try:
+                await self._idle.wait()
+                yield
+            finally:
+                self._draining = False
+                self._resume.set()
+            if self._drains is not None:
+                self._drains.inc()
+
+    def _count_shed(self) -> None:
+        if self._shed is not None:
+            self._shed.inc()

@@ -1,0 +1,304 @@
+"""Request coalescing: many concurrent HTTP requests, one batched scan.
+
+The serving stack's fast path is :meth:`recommend_batch` — one BLAS
+pass amortized over many rows (PR 3's measured win).  A network edge
+naturally receives the opposite shape: many concurrent *single-user*
+requests.  The :class:`Coalescer` converts one shape into the other
+without giving up latency:
+
+* arrivals buffer into one pending batch per ``k`` (rows of one
+  ``recommend_batch`` call must share a width);
+* a batch flushes when it reaches ``max_batch`` rows **or**
+  ``max_delay_s`` after its first row arrived, whichever comes first —
+  under load batches fill instantly (throughput), when idle a request
+  waits at most the max delay (bounded latency cost);
+* the batch runs in a worker thread (``run_in_executor``), keeping the
+  numpy scan off the event loop, and each result row is routed back to
+  the future its request is awaiting on — by position, so responses can
+  never cross between interleaved batches;
+* the backend **generation** is read after the scan while every member
+  still holds its admission slot, so the pair ``(row, generation)`` is
+  coherent even around hot swaps (see
+  :meth:`repro.gateway.admission.AdmissionController.drain`).
+
+Determinism is inherited, not re-implemented: rows of a service batch
+are computed independently and bit-identically to single-user calls
+(the PR 5 top-k total order), so coalescing changes *when* a row is
+computed, never *what* it contains.
+
+Examples
+--------
+>>> import asyncio
+>>> import numpy as np
+>>> class Backend:
+...     generation = 0
+...     def recommend_batch(self, users, k=10, histories=None):
+...         return np.asarray([[int(u)] * k for u in users])
+>>> async def demo():
+...     coalescer = Coalescer(Backend(), max_batch=2, max_delay_s=0.5)
+...     a, b = await asyncio.gather(
+...         coalescer.submit(7, k=3), coalescer.submit(9, k=3)
+...     )
+...     return a.row.tolist(), b.row.tolist(), coalescer.batches
+>>> asyncio.run(demo())
+([7, 7, 7], [9, 9, 9], 1)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import time
+from concurrent.futures import Executor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanContext, Tracer
+
+__all__ = ["CoalescedResult", "Coalescer"]
+
+#: Bucket ladder for the coalesced-batch-size histogram.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+@dataclass(frozen=True)
+class CoalescedResult:
+    """What one coalesced request resolves to.
+
+    Attributes
+    ----------
+    row:
+        The ``-1``-padded int64 top-k row for this request's user.
+    generation:
+        The backend generation that served the row, read while the
+        request still held its admission slot (coherent under drains).
+    batch_size:
+        How many requests shared the scan — observability for tests
+        and the benchmark's coalescing-efficiency gate.
+    """
+
+    row: np.ndarray
+    generation: int
+    batch_size: int
+
+
+@dataclass
+class _Pending:
+    """One buffered request waiting for its batch to flush."""
+
+    user: Optional[int]
+    history: Optional[Any]
+    deadline: Optional[float]
+    future: asyncio.Future
+    context: Optional[SpanContext]
+    enqueued_at: float
+
+
+class Coalescer:
+    """Buffer concurrent single-user requests into backend batches.
+
+    Parameters
+    ----------
+    backend:
+        Anything with the service's ``recommend_batch(users, k=...,
+        histories=...)`` contract and a ``generation`` attribute — a
+        :class:`~repro.serving.service.RecommenderService` or a
+        :class:`~repro.serving.sharding.ShardRouter`.  When the backend
+        accepts a ``deadline`` keyword (the router does), expired work
+        is cancelled inside the fleet instead of being computed and
+        thrown away.
+    max_batch:
+        Flush as soon as a pending batch reaches this many rows.
+    max_delay_s:
+        Flush a partial batch this long after its first row arrived —
+        the most latency coalescing may ever add to a request.
+    executor:
+        Thread pool the batches run on (``None`` uses the loop default).
+    registry:
+        Optional metrics registry: batch-size histogram, coalesce-wait
+        histogram, and a flush counter are recorded.
+    tracer:
+        Optional tracer; each flushed batch's ``serve`` span is opened
+        in the worker thread under the batch-opening request's context,
+        so backend spans (router scatter/gather, shard scans) stitch
+        into the same trace.
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        max_batch: int = 32,
+        max_delay_s: float = 0.002,
+        executor: Optional[Executor] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self._backend = backend
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self._executor = executor
+        self.tracer = tracer
+        self._pending: Dict[int, List[_Pending]] = {}
+        self._timers: Dict[int, asyncio.TimerHandle] = {}
+        self._tasks: set = set()
+        #: Batches flushed so far (tests assert coalescing happened).
+        self.batches = 0
+        try:
+            self._backend_takes_deadline = "deadline" in (
+                inspect.signature(backend.recommend_batch).parameters
+            )
+        except (TypeError, ValueError):  # pragma: no cover - exotic backends
+            self._backend_takes_deadline = False
+        self._batch_size_hist = self._wait_hist = None
+        if registry is not None:
+            self._batch_size_hist = registry.histogram(
+                "repro_gateway_batch_rows",
+                help="Rows per coalesced backend batch.",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
+            self._wait_hist = registry.histogram(
+                "repro_gateway_coalesce_wait_seconds",
+                help="Time a request spent buffered before its batch ran.",
+            )
+
+    @property
+    def pending(self) -> int:
+        """Requests currently buffered across every ``k`` bucket."""
+        return sum(len(bucket) for bucket in self._pending.values())
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        user: Optional[int],
+        k: int = 10,
+        history: Optional[Any] = None,
+        deadline: Optional[float] = None,
+        context: Optional[SpanContext] = None,
+    ) -> CoalescedResult:
+        """Buffer one request and await its row.
+
+        *deadline* is an absolute :func:`time.monotonic` stamp; a batch
+        forwards the tightest deadline of its members to a
+        deadline-aware backend only when **every** member carries one
+        (a mixed batch must not fail its unbounded members early).
+        """
+        loop = asyncio.get_running_loop()
+        entry = _Pending(
+            user=user,
+            history=history,
+            deadline=deadline,
+            future=loop.create_future(),
+            context=context,
+            enqueued_at=time.monotonic(),
+        )
+        bucket = self._pending.setdefault(int(k), [])
+        bucket.append(entry)
+        if len(bucket) == 1:
+            self._timers[int(k)] = loop.call_later(
+                self.max_delay_s, self._flush, int(k)
+            )
+        if len(bucket) >= self.max_batch:
+            self._flush(int(k))
+        return await entry.future
+
+    async def flush_pending(self) -> None:
+        """Force-flush every buffer and wait for the batches to settle.
+
+        The server calls this on shutdown so no request is left parked
+        on a timer that will never fire.
+        """
+        for k in list(self._pending):
+            self._flush(k)
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # Flush machinery (event-loop side)
+    # ------------------------------------------------------------------
+    def _flush(self, k: int) -> None:
+        timer = self._timers.pop(k, None)
+        if timer is not None:
+            timer.cancel()
+        entries = self._pending.pop(k, None)
+        if not entries:
+            return
+        self.batches += 1
+        if self._batch_size_hist is not None:
+            self._batch_size_hist.observe(float(len(entries)))
+        if self._wait_hist is not None:
+            now = time.monotonic()
+            for entry in entries:
+                self._wait_hist.observe(max(0.0, now - entry.enqueued_at))
+        task = asyncio.get_running_loop().create_task(self._run(k, entries))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, k: int, entries: List[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        users = [entry.user for entry in entries]
+        histories: Optional[list] = None
+        if any(entry.history is not None for entry in entries):
+            histories = [entry.history for entry in entries]
+        deadline = None
+        if all(entry.deadline is not None for entry in entries):
+            deadline = min(entry.deadline for entry in entries)
+        context = entries[0].context
+        try:
+            rows, generation = await loop.run_in_executor(
+                self._executor,
+                self._serve, users, k, histories, deadline, context,
+            )
+        except BaseException as exc:
+            for entry in entries:
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+            return
+        for index, entry in enumerate(entries):
+            if not entry.future.done():
+                entry.future.set_result(
+                    CoalescedResult(
+                        row=rows[index],
+                        generation=generation,
+                        batch_size=len(entries),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Worker-thread side
+    # ------------------------------------------------------------------
+    def _serve(
+        self,
+        users: list,
+        k: int,
+        histories: Optional[list],
+        deadline: Optional[float],
+        context: Optional[SpanContext],
+    ):
+        """Run one backend batch (executor thread, never the event loop)."""
+        kwargs: Dict[str, Any] = {"k": k, "histories": histories}
+        if deadline is not None and self._backend_takes_deadline:
+            kwargs["deadline"] = deadline
+        if self.tracer is not None and context is not None:
+            # Entering the span on *this* thread makes any backend span
+            # (service batch, router scatter/gather) its child — the
+            # socket-to-shard stitch.
+            with self.tracer.child_from_context(
+                context, "serve", tags={"rows": len(users)}
+            ):
+                rows = self._backend.recommend_batch(users, **kwargs)
+        else:
+            rows = self._backend.recommend_batch(users, **kwargs)
+        # Read under the members' admission slots: a drained swap cannot
+        # run between the scan above and this stamp.
+        generation = int(getattr(self._backend, "generation", 0))
+        return rows, generation

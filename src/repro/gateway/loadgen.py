@@ -1,0 +1,383 @@
+"""Closed-loop HTTP load generator for the gateway's SLO gates.
+
+Benchmarking a serving edge with an open-loop blaster measures the
+blaster; a **closed-loop** generator (each simulated client waits for
+its response before sending the next request) measures the system,
+because offered load backs off exactly the way real clients do when the
+edge slows down.  :class:`LoadGenerator` drives ``POST /v1/recommend``
+over real sockets using the wire helpers
+(:func:`~repro.gateway.wire.encode_request` /
+:func:`~repro.gateway.wire.read_response`), so benchmark traffic
+exercises the exact bytes a production client would send.
+
+Reproducibility:
+
+* every client draws users from a **seeded zipfian** popularity
+  distribution (:func:`zipfian_weights`) via
+  :func:`repro.utils.rng.derive_seed`, so two runs with one seed replay
+  the same request mix;
+* traffic **shapes** (:data:`SHAPES`) modulate how many clients are
+  active over the run: ``constant`` for steady-state SLO gates,
+  ``diurnal`` for a smooth ramp up and down, ``flash`` for a
+  flash-crowd spike — the admission-control stress test.
+
+Examples
+--------
+>>> zipfian_weights(3).round(3).tolist()
+[0.545, 0.273, 0.182]
+>>> SHAPES["constant"](0.2), shape_flash(0.5)
+(1.0, 1.0)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.gateway.wire import HttpError, encode_request, read_response
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.rng import derive_seed, ensure_rng
+
+__all__ = [
+    "SHAPES",
+    "LoadGenerator",
+    "LoadReport",
+    "shape_constant",
+    "shape_diurnal",
+    "shape_flash",
+    "zipfian_weights",
+]
+
+
+def zipfian_weights(n_users: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized zipfian popularity over ``n_users`` ranks.
+
+    Rank ``r`` (0-based) gets mass proportional to ``1 / (r + 1) **
+    exponent`` — the classic head-heavy access pattern of recommendation
+    traffic, which is what makes coalescing and caching interesting.
+
+    Examples
+    --------
+    >>> zipfian_weights(4, exponent=0.0).tolist()
+    [0.25, 0.25, 0.25, 0.25]
+    """
+    if n_users < 1:
+        raise ValueError(f"n_users must be >= 1, got {n_users}")
+    ranks = np.arange(1, n_users + 1, dtype=np.float64)
+    weights = ranks ** -float(exponent)
+    return weights / weights.sum()
+
+
+def shape_constant(frac: float) -> float:
+    """Steady state: full concurrency for the whole run.
+
+    Examples
+    --------
+    >>> shape_constant(0.0), shape_constant(0.9)
+    (1.0, 1.0)
+    """
+    return 1.0
+
+
+def shape_diurnal(frac: float) -> float:
+    """A smooth day-cycle ramp: quiet ends, peak mid-run.
+
+    Examples
+    --------
+    >>> shape_diurnal(0.0), shape_diurnal(0.5)
+    (0.25, 1.0)
+    """
+    return 0.25 + 0.75 * (0.5 - 0.5 * math.cos(2.0 * math.pi * frac))
+
+
+def shape_flash(frac: float) -> float:
+    """A flash crowd: low baseline with a spike in the middle fifth.
+
+    Examples
+    --------
+    >>> shape_flash(0.1), shape_flash(0.5), shape_flash(0.9)
+    (0.3, 1.0, 0.3)
+    """
+    return 1.0 if 0.4 <= frac <= 0.6 else 0.3
+
+
+#: Named traffic shapes: run-fraction in ``[0, 1]`` → active-client factor.
+SHAPES = {
+    "constant": shape_constant,
+    "diurnal": shape_diurnal,
+    "flash": shape_flash,
+}
+
+
+@dataclass
+class LoadReport:
+    """What one load-generator run measured.
+
+    Attributes
+    ----------
+    requests, ok, shed, errors:
+        Total exchanges attempted, 200 responses, 429 sheds, and
+        transport-level failures (resets, malformed frames).
+    duration_s:
+        Wall-clock of the measuring window.
+    qps:
+        Completed-OK responses per second.
+    p50_ms, p95_ms, p99_ms:
+        Exact percentiles over per-request latencies of OK responses
+        (``0.0`` when nothing completed).
+    status_counts:
+        Responses per HTTP status (plus ``"transport_error"``).
+    generations:
+        Sorted backend generations observed in OK responses — the
+        swap-under-load probe.
+    shape, concurrency, seed:
+        The run's configuration, echoed for the benchmark artifact.
+    """
+
+    requests: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    duration_s: float = 0.0
+    qps: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    generations: List[int] = field(default_factory=list)
+    shape: str = "constant"
+    concurrency: int = 0
+    seed: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """The report as a plain JSON-serializable dict."""
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "duration_s": round(self.duration_s, 6),
+            "qps": round(self.qps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "generations": list(self.generations),
+            "shape": self.shape,
+            "concurrency": self.concurrency,
+            "seed": self.seed,
+        }
+
+
+class _ClientTally:
+    """Per-client accumulator merged into the final :class:`LoadReport`."""
+
+    def __init__(self):
+        self.latencies: List[float] = []
+        self.statuses: Dict[str, int] = {}
+        self.generations: Set[int] = set()
+        self.requests = 0
+        self.errors = 0
+
+    def count(self, status: str) -> None:
+        """Record one response with the given status label."""
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+
+
+class LoadGenerator:
+    """Seeded closed-loop client fleet against one gateway.
+
+    Parameters
+    ----------
+    host, port:
+        The gateway to drive.
+    n_users:
+        Catalog of user ids the zipfian draw ranges over.
+    duration_s:
+        How long to keep the fleet running.
+    concurrency:
+        Client coroutines at full load (shapes scale the active subset).
+    k:
+        Top-k depth each request asks for.
+    shape:
+        A key of :data:`SHAPES`, or any callable ``frac -> factor``.
+    exponent:
+        Zipfian skew (0 = uniform, 1 = classic zipf).
+    seed:
+        Master seed; client ``i`` draws from
+        ``derive_seed(seed, i)`` so the request mix replays exactly.
+    backoff_s:
+        Pause after a 429 or transport error before the client retries.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; client-side
+        latency and response-status series are recorded into it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        n_users: int = 1000,
+        duration_s: float = 2.0,
+        concurrency: int = 8,
+        k: int = 10,
+        shape: str = "constant",
+        exponent: float = 1.0,
+        seed: Optional[int] = 1234,
+        backoff_s: float = 0.01,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.host = host
+        self.port = int(port)
+        self.n_users = int(n_users)
+        self.duration_s = float(duration_s)
+        self.concurrency = int(concurrency)
+        self.k = int(k)
+        self.shape_name = shape if isinstance(shape, str) else getattr(
+            shape, "__name__", "custom"
+        )
+        self.shape = SHAPES[shape] if isinstance(shape, str) else shape
+        self.exponent = float(exponent)
+        self.seed = seed
+        self.backoff_s = float(backoff_s)
+        self._cumulative = np.cumsum(zipfian_weights(self.n_users, exponent))
+        self._latency_hist = self._responses = None
+        if registry is not None:
+            self._latency_hist = registry.histogram(
+                "repro_gateway_client_latency_seconds",
+                help="Client-observed request latency from the load generator.",
+            )
+            self._responses = lambda status: registry.counter(
+                "repro_gateway_client_responses_total",
+                help="Load-generator responses per status.",
+                labels={"status": status},
+            )
+
+    def draw_user(self, rng: np.random.Generator) -> int:
+        """One zipfian user draw (inverse-CDF over the cumulative weights)."""
+        return int(np.searchsorted(self._cumulative, rng.random(), side="right"))
+
+    def active_clients(self, frac: float) -> int:
+        """How many clients the shape keeps active at run-fraction *frac*."""
+        factor = self.shape(min(1.0, max(0.0, frac)))
+        return max(1, min(self.concurrency, math.ceil(self.concurrency * factor)))
+
+    async def run(self) -> LoadReport:
+        """Drive the fleet for ``duration_s`` and return the merged report."""
+        started = time.monotonic()
+        end_at = started + self.duration_s
+        tallies = [_ClientTally() for _ in range(self.concurrency)]
+        await asyncio.gather(
+            *(
+                self._client(index, tallies[index], started, end_at)
+                for index in range(self.concurrency)
+            )
+        )
+        return self._merge(tallies, time.monotonic() - started)
+
+    async def _client(
+        self,
+        index: int,
+        tally: _ClientTally,
+        started: float,
+        end_at: float,
+    ) -> None:
+        rng = ensure_rng(derive_seed(self.seed, index))
+        reader = writer = None
+        try:
+            while True:
+                now = time.monotonic()
+                if now >= end_at:
+                    return
+                frac = (now - started) / self.duration_s
+                if index >= self.active_clients(frac):
+                    await asyncio.sleep(self.backoff_s)
+                    continue
+                body = json.dumps(
+                    {"user": self.draw_user(rng), "k": self.k}
+                ).encode("utf-8")
+                tally.requests += 1
+                try:
+                    if writer is None:
+                        reader, writer = await asyncio.open_connection(
+                            self.host, self.port
+                        )
+                    sent_at = time.monotonic()
+                    writer.write(encode_request("POST", "/v1/recommend", body))
+                    await writer.drain()
+                    response = await read_response(reader)
+                    elapsed = time.monotonic() - sent_at
+                except (HttpError, OSError, asyncio.IncompleteReadError):
+                    tally.errors += 1
+                    tally.count("transport_error")
+                    if self._responses is not None:
+                        self._responses("transport_error").inc()
+                    writer = await self._close(writer)
+                    await asyncio.sleep(self.backoff_s)
+                    continue
+                status = str(response.status)
+                tally.count(status)
+                if self._responses is not None:
+                    self._responses(status).inc()
+                if response.status == 200:
+                    tally.latencies.append(elapsed)
+                    if self._latency_hist is not None:
+                        self._latency_hist.observe(elapsed)
+                    payload = response.json()
+                    tally.generations.add(int(payload.get("generation", 0)))
+                elif response.status == 429:
+                    await asyncio.sleep(self.backoff_s)
+        finally:
+            await self._close(writer)
+
+    @staticmethod
+    async def _close(writer) -> None:
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+        return None
+
+    def _merge(self, tallies: List[_ClientTally], elapsed: float) -> LoadReport:
+        latencies = np.asarray(
+            [value for tally in tallies for value in tally.latencies]
+        )
+        statuses: Dict[str, int] = {}
+        generations: Set[int] = set()
+        for tally in tallies:
+            generations |= tally.generations
+            for status, count in tally.statuses.items():
+                statuses[status] = statuses.get(status, 0) + count
+        ok = statuses.get("200", 0)
+        percentile = (
+            (lambda q: float(np.percentile(latencies, q)) * 1000.0)
+            if latencies.size
+            else (lambda q: 0.0)
+        )
+        return LoadReport(
+            requests=sum(tally.requests for tally in tallies),
+            ok=ok,
+            shed=statuses.get("429", 0),
+            errors=sum(tally.errors for tally in tallies),
+            duration_s=elapsed,
+            qps=ok / elapsed if elapsed > 0 else 0.0,
+            p50_ms=percentile(50),
+            p95_ms=percentile(95),
+            p99_ms=percentile(99),
+            status_counts=statuses,
+            generations=sorted(generations),
+            shape=self.shape_name,
+            concurrency=self.concurrency,
+            seed=self.seed,
+        )

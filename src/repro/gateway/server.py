@@ -1,0 +1,516 @@
+"""The asyncio HTTP front door over a service or a shard fleet.
+
+:class:`Gateway` is the network edge ROADMAP item 1 asks for: a
+stdlib-only HTTP/1.1 server (:func:`asyncio.start_server`) in front of
+a :class:`~repro.serving.service.RecommenderService` or a
+:class:`~repro.serving.sharding.ShardRouter`, wiring together the other
+gateway pieces:
+
+* ``POST /v1/recommend`` — single-user requests flow through the
+  :class:`~repro.gateway.batching.Coalescer` into ``recommend_batch``
+  pages; explicit ``{"users": [...]}`` batches go straight to the
+  backend.  Every request holds an
+  :class:`~repro.gateway.admission.AdmissionController` slot for its
+  whole lifetime (429 + ``Retry-After`` beyond capacity).
+* ``GET /healthz`` — liveness + generation + drain state, served
+  outside admission so health checks keep working under overload.
+* ``GET /metrics`` — the shared registry in Prometheus text format
+  (:func:`repro.obs.export.to_prometheus_text`), also outside
+  admission.
+* :meth:`Gateway.swap_model` — the
+  :class:`~repro.streaming.swap.HotSwapper` publication wrapped in an
+  admission drain: inflight requests finish on the old generation, the
+  fleet swaps while the edge is quiet, parked arrivals resume on the
+  new one.  0 stale, 0 dropped.
+
+Latency SLO methodology: per-route latency histograms
+(``repro_gateway_request_latency_seconds{route=...}``) measure from
+first byte parsed to response encoded — coalescing delay included — so
+``bench_gateway.py``'s p99 gate prices the max-delay policy, not just
+the scan.
+
+The numpy scan never runs on the event loop: batches execute on the
+gateway's thread pool via ``run_in_executor`` (the
+:ref:`REP008 <analysis>` lint rule keeps blocking calls out of this
+package's async code).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Dict, Optional, Tuple
+
+from repro.gateway.admission import AdmissionController, Overloaded
+from repro.gateway.batching import Coalescer
+from repro.gateway.wire import (
+    HttpError,
+    Request,
+    Response,
+    encode_response,
+    read_request,
+)
+from repro.obs.export import to_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.serving.sharding import DeadlineExceeded
+from repro.utils.logging import get_logger
+
+__all__ = ["Gateway", "GatewayConfig"]
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunables of one gateway instance.
+
+    Attributes
+    ----------
+    host, port:
+        Listen address; port 0 binds an ephemeral port (read the real
+        one from :attr:`Gateway.port` after :meth:`Gateway.start`).
+    max_batch, max_delay_s:
+        Coalescing policy (see :class:`~repro.gateway.batching.Coalescer`).
+    max_inflight, max_queued, retry_after_s:
+        Admission policy (see
+        :class:`~repro.gateway.admission.AdmissionController`).
+    default_k, max_k:
+        Top-k depth when the request omits ``k``, and the per-request
+        ceiling (oversized asks are a 400, not an accidental full-catalog
+        scan).
+    max_body_bytes:
+        Request-body ceiling (413 beyond it).
+    executor_workers:
+        Threads the backend batches run on.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 32
+    max_delay_s: float = 0.002
+    max_inflight: int = 128
+    max_queued: int = 256
+    retry_after_s: float = 0.05
+    default_k: int = 10
+    max_k: int = 1000
+    max_body_bytes: int = 1024 * 1024
+    executor_workers: int = 4
+
+
+class Gateway:
+    """HTTP serving edge over a recommender backend.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.serving.service.RecommenderService` or
+        :class:`~repro.serving.sharding.ShardRouter` (anything with the
+        service's ``recommend_batch`` / ``swap_model`` / ``generation``
+        contract).
+    config:
+        A :class:`GatewayConfig`; defaults throughout when omitted.
+    registry:
+        Metrics registry for the edge's counters and histograms; when
+        omitted the backend's registry is reused so ``GET /metrics``
+        exposes serving internals and edge metrics as one snapshot.
+    tracer:
+        Optional tracer: each recommend request mints a root
+        ``http_request`` span, and the coalescer opens the batch's
+        ``serve`` span under it in the worker thread, stitching
+        socket-to-shard traces.
+    store:
+        Optional :class:`~repro.streaming.swap.CheckpointStore`; when
+        given, :meth:`swap_model` checkpoints each publication through a
+        :class:`~repro.streaming.swap.HotSwapper` before installing it.
+    """
+
+    def __init__(
+        self,
+        backend,
+        config: Optional[GatewayConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        store=None,
+    ):
+        from repro.streaming.swap import HotSwapper
+
+        self.backend = backend
+        self.config = config or GatewayConfig()
+        if registry is None:
+            registry = getattr(backend, "registry", None)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queued=self.config.max_queued,
+            retry_after_s=self.config.retry_after_s,
+            registry=self.registry,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-gateway",
+        )
+        self.coalescer = Coalescer(
+            backend,
+            max_batch=self.config.max_batch,
+            max_delay_s=self.config.max_delay_s,
+            executor=self._executor,
+            registry=self.registry,
+            tracer=tracer,
+        )
+        self._swapper = HotSwapper(backend, store=store, registry=self.registry)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.port: Optional[int] = None
+        self._latency = partial(
+            self.registry.histogram,
+            "repro_gateway_request_latency_seconds",
+            help="End-to-end request latency at the gateway, per route.",
+        )
+        self._requests = partial(
+            self.registry.counter,
+            "repro_gateway_requests_total",
+            help="Requests answered by the gateway, per route and status.",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (returns once listening)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info(
+            "gateway listening on %s:%d", self.config.host, self.port
+        )
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled (the CLI's foreground mode)."""
+        if self._server is None:
+            raise RuntimeError("call start() before serve_forever()")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, settle pending batches, release the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.coalescer.flush_pending()
+        self._executor.shutdown(wait=False)
+
+    async def __aenter__(self) -> "Gateway":
+        """``async with Gateway(...)`` starts the listener."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        """Close the listener and release resources."""
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Hot swap (the drain hook)
+    # ------------------------------------------------------------------
+    async def swap_model(
+        self,
+        model,
+        *,
+        extra: Optional[Dict[str, Any]] = None,
+        popularity=None,
+    ) -> int:
+        """Publish *model* with the edge drained around the swap.
+
+        Admission parks new arrivals (none dropped), inflight requests
+        — including buffered coalescer rows, whose requesters hold
+        admission slots until their futures resolve — finish on the old
+        generation, then the
+        :class:`~repro.streaming.swap.HotSwapper` publication runs with
+        the edge quiet.  Parked arrivals resume against the new
+        generation, so no response ever reports a retired one.  Returns
+        the backend generation after the swap.
+        """
+        loop = asyncio.get_running_loop()
+        async with self.admission.drain():
+            await self.coalescer.flush_pending()
+            await loop.run_in_executor(
+                self._executor,
+                partial(
+                    self._swapper.publish,
+                    model,
+                    extra=extra,
+                    popularity=popularity,
+                ),
+            )
+        return int(self.backend.generation)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self.config.max_body_bytes
+                    )
+                except HttpError as exc:
+                    response = Response.json_payload(
+                        exc.status, {"error": str(exc)}
+                    )
+                    writer.write(encode_response(response, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                keep_alive = request.keep_alive
+                writer.write(encode_response(response, keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+        ):
+            pass  # client went away (or the loop is tearing down) mid-exchange
+        finally:
+            writer.close()
+            # CancelledError is a BaseException: suppress it explicitly so
+            # loop teardown with live keep-alive connections stays silent.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: Request) -> Response:
+        started = time.monotonic()
+        route, handler = self._route(request)
+        try:
+            response = await handler(request)
+        except Overloaded as exc:
+            response = Response.json_payload(
+                429,
+                {"error": "gateway at capacity", "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": exc.retry_after_header},
+            )
+        except (DeadlineExceeded, asyncio.TimeoutError):
+            response = Response.json_payload(
+                504, {"error": "deadline exceeded before the backend answered"}
+            )
+        except HttpError as exc:
+            response = Response.json_payload(exc.status, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - the edge must not die
+            logger.exception("unhandled error serving %s", request.path)
+            response = Response.json_payload(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        self._latency(labels={"route": route}).observe(
+            max(0.0, time.monotonic() - started)
+        )
+        self._requests(
+            labels={"route": route, "status": str(response.status)}
+        ).inc()
+        return response
+
+    def _route(self, request: Request) -> Tuple[str, Any]:
+        routes = {
+            "/healthz": ("GET", self._healthz),
+            "/metrics": ("GET", self._metrics),
+            "/v1/recommend": ("POST", self._recommend),
+        }
+        entry = routes.get(request.path)
+        if entry is None:
+            return "unknown", self._not_found
+        method, handler = entry
+        if request.method != method:
+            return request.path, self._method_not_allowed
+        return request.path, handler
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    async def _not_found(self, request: Request) -> Response:
+        return Response.json_payload(
+            404, {"error": f"no route for {request.path}"}
+        )
+
+    async def _method_not_allowed(self, request: Request) -> Response:
+        return Response.json_payload(
+            405, {"error": f"{request.method} not allowed on {request.path}"}
+        )
+
+    async def _healthz(self, _request: Request) -> Response:
+        """Liveness: generation, drain state, inflight, and user count."""
+        return Response.json_payload(
+            200,
+            {
+                "status": "draining" if self.admission.draining else "ok",
+                "generation": int(self.backend.generation),
+                "inflight": self.admission.inflight,
+                "users": self._backend_n_users(),
+            },
+        )
+
+    async def _metrics(self, _request: Request) -> Response:
+        """The shared registry in Prometheus text exposition format."""
+        return Response.text(200, to_prometheus_text(self.registry.snapshot()))
+
+    async def _recommend(self, request: Request) -> Response:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        k = self._validated_k(payload)
+        deadline, timeout_s = self._deadline_of(payload)
+        context = None
+        span = None
+        if self.tracer is not None:
+            # Minted but never entered: the event loop is shared by many
+            # concurrent requests, so the thread-local span stack cannot
+            # be used here.  The coalescer parents the batch's worker-
+            # thread spans from this context instead.
+            span = self.tracer.span("http_request", tags={"route": request.path})
+            context = self.tracer.context_for(span)
+        try:
+            if "users" in payload:
+                response = await self._recommend_many(
+                    payload, k, deadline, timeout_s
+                )
+            else:
+                response = await self._recommend_one(
+                    payload, k, deadline, timeout_s, context
+                )
+        finally:
+            if span is not None:
+                span.finish()
+        return response
+
+    async def _recommend_one(
+        self, payload: Dict, k: int, deadline, timeout_s, context
+    ) -> Response:
+        user = self._validated_user(payload.get("user"))
+        history = payload.get("history")
+        async with self.admission.slot():
+            submitted = self.coalescer.submit(
+                user, k=k, history=history, deadline=deadline, context=context
+            )
+            if timeout_s is not None:
+                result = await asyncio.wait_for(submitted, timeout=timeout_s)
+            else:
+                result = await submitted
+        row = result.row
+        return Response.json_payload(
+            200,
+            {
+                "user": user,
+                "items": [int(item) for item in row[row >= 0]],
+                "generation": result.generation,
+                "batch_size": result.batch_size,
+            },
+        )
+
+    async def _recommend_many(
+        self, payload: Dict, k: int, deadline, timeout_s
+    ) -> Response:
+        users = payload.get("users")
+        if not isinstance(users, list) or not users:
+            raise HttpError(400, '"users" must be a non-empty JSON array')
+        users = [self._validated_user(user) for user in users]
+        histories = payload.get("histories")
+        if histories is not None and (
+            not isinstance(histories, list) or len(histories) != len(users)
+        ):
+            raise HttpError(
+                400, f'"histories" must be a {len(users)}-element array'
+            )
+        loop = asyncio.get_running_loop()
+        async with self.admission.slot():
+            serving = loop.run_in_executor(
+                self._executor, self._serve_direct, users, k, histories, deadline
+            )
+            if timeout_s is not None:
+                rows, generation = await asyncio.wait_for(
+                    serving, timeout=timeout_s
+                )
+            else:
+                rows, generation = await serving
+        return Response.json_payload(
+            200,
+            {
+                "users": users,
+                "items": [
+                    [int(item) for item in row[row >= 0]] for row in rows
+                ],
+                "generation": generation,
+            },
+        )
+
+    def _serve_direct(self, users, k, histories, deadline):
+        """Explicit-batch path (executor thread): no coalescing needed."""
+        kwargs: Dict[str, Any] = {"k": k, "histories": histories}
+        if deadline is not None and self.coalescer._backend_takes_deadline:
+            kwargs["deadline"] = deadline
+        rows = self.backend.recommend_batch(users, **kwargs)
+        return rows, int(self.backend.generation)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _validated_k(self, payload: Dict) -> int:
+        k = payload.get("k", self.config.default_k)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise HttpError(400, f'"k" must be a positive integer, got {k!r}')
+        if k > self.config.max_k:
+            raise HttpError(
+                400, f'"k" of {k} exceeds the gateway ceiling of '
+                f"{self.config.max_k}"
+            )
+        return k
+
+    @staticmethod
+    def _validated_user(user) -> Optional[int]:
+        if user is None:
+            return None  # cold request: history / popularity path
+        if not isinstance(user, int) or isinstance(user, bool):
+            raise HttpError(400, f'"user" must be an integer or null, got {user!r}')
+        return user
+
+    def _deadline_of(self, payload: Dict):
+        """``deadline_ms`` → (absolute monotonic deadline, wait_for timeout)."""
+        raw = payload.get("deadline_ms")
+        if raw is None:
+            return None, None
+        if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw < 0:
+            raise HttpError(
+                400, f'"deadline_ms" must be a non-negative number, got {raw!r}'
+            )
+        timeout_s = float(raw) / 1000.0
+        return time.monotonic() + timeout_s, timeout_s
+
+    def _backend_n_users(self) -> int:
+        n_users = getattr(self.backend, "n_users", None)
+        if n_users is not None:
+            return int(n_users)
+        model = getattr(self.backend, "model", None)
+        return int(model.n_users) if model is not None else 0
+
+    def __repr__(self) -> str:
+        where = f"{self.config.host}:{self.port or self.config.port}"
+        return f"Gateway({type(self.backend).__name__}, {where})"
+
+
+def _json_default(value):  # pragma: no cover - numpy scalar safety net
+    """Coerce stray numpy scalars if they ever reach a JSON payload."""
+    return int(value)
+
+
+_ = json  # wire owns encoding; kept for the safety net above

@@ -1,0 +1,279 @@
+"""Minimal HTTP/1.1 framing over :mod:`asyncio` streams.
+
+The gateway speaks plain HTTP/1.1 with ``Content-Length`` bodies — no
+chunked encoding, no TLS, no multipart — which is all a recommendation
+edge needs and keeps the implementation stdlib-only and auditable.  This
+module owns the wire format; :mod:`repro.gateway.server` owns routing
+and policy, and :mod:`repro.gateway.loadgen` reuses the client half
+(:func:`encode_request` / :func:`read_response`) so the benchmark
+traffic exercises exactly the bytes a real client would send.
+
+Framing rules
+-------------
+* requests and responses are ``CRLF``-delimited with lowercase-folded
+  header names;
+* bodies require an explicit ``Content-Length`` (absent means empty);
+* connections are keep-alive by default (HTTP/1.1 semantics); either
+  side closes by sending ``Connection: close``;
+* malformed input raises :class:`HttpError` with the status the server
+  should answer before closing.
+
+Examples
+--------
+>>> response = Response.json_payload(200, {"ok": True})
+>>> encode_response(response).splitlines()[0]
+b'HTTP/1.1 200 OK'
+>>> encode_request("GET", "/healthz").splitlines()[0]
+b'GET /healthz HTTP/1.1'
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "encode_request",
+    "encode_response",
+    "read_request",
+    "read_response",
+]
+
+#: Reason phrases for every status the gateway emits.
+REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Hard ceiling on the request head (request line + headers).
+MAX_HEADER_BYTES = 32 * 1024
+#: Default ceiling on request bodies (the server can lower it).
+MAX_BODY_BYTES = 1024 * 1024
+
+
+class HttpError(RuntimeError):
+    """A protocol violation, carrying the status to answer with.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code the server should send before closing.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = int(status)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request.
+
+    Attributes
+    ----------
+    method, path:
+        Request method (uppercased) and path with any query string
+        split off into ``query``.
+    query:
+        The raw query string (empty when absent); the gateway's routes
+        take their parameters from JSON bodies, so this is informational.
+    headers:
+        Header names lowercase-folded; last occurrence wins.
+    body:
+        Raw body bytes (empty without ``Content-Length``).
+    """
+
+    method: str
+    path: str
+    query: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """Decode the body as JSON, raising :class:`HttpError` 400 on rot."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to keep the connection open."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One HTTP response about to be framed onto the wire.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code (reason phrase resolved from :data:`REASONS`).
+    body:
+        Raw payload bytes.
+    content_type:
+        Value for the ``Content-Type`` header.
+    headers:
+        Extra headers (e.g. ``Retry-After``); ``Content-Length`` and
+        ``Connection`` are owned by :func:`encode_response`.
+    """
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json_payload(
+        cls,
+        status: int,
+        payload: object,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "Response":
+        """A JSON response with sorted keys (byte-stable output).
+
+        Examples
+        --------
+        >>> Response.json_payload(200, {"b": 1, "a": 2}).body
+        b'{"a": 2, "b": 1}'
+        """
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return cls(status=status, body=body, headers=dict(headers or {}))
+
+    @classmethod
+    def text(cls, status: int, text: str) -> "Response":
+        """A ``text/plain`` response (the ``/metrics`` exposition)."""
+        return cls(
+            status=status,
+            body=text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def json(self) -> object:
+        """Decode the body as JSON (client-side convenience)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+def _parse_headers(lines: list) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+def _content_length(headers: Dict[str, str], limit: int) -> int:
+    raw = headers.get("content-length", "0")
+    try:
+        length = int(raw)
+    except ValueError:
+        raise HttpError(400, f"invalid Content-Length {raw!r}")
+    if length < 0:
+        raise HttpError(400, f"negative Content-Length {raw!r}")
+    if length > limit:
+        raise HttpError(413, f"body of {length} bytes exceeds {limit}")
+    return length
+
+
+async def _read_head(reader: asyncio.StreamReader) -> Optional[list]:
+    """Read up to the blank line; ``None`` on clean EOF between requests."""
+    try:
+        blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, f"request head exceeds {MAX_HEADER_BYTES} bytes")
+    return blob.decode("latin-1").split("\r\n")[:-2]
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Parse one request off *reader*; ``None`` on clean connection close.
+
+    Raises :class:`HttpError` on malformed input — the server answers
+    with the error's status and closes the connection (framing cannot be
+    trusted after a parse failure).
+    """
+    lines = await _read_head(reader)
+    if lines is None:
+        return None
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    path, _, query = target.partition("?")
+    headers = _parse_headers(lines[1:])
+    length = _content_length(headers, max_body_bytes)
+    body = await reader.readexactly(length) if length else b""
+    return Request(
+        method=method.upper(), path=path, query=query,
+        headers=headers, body=body,
+    )
+
+
+async def read_response(reader: asyncio.StreamReader) -> Response:
+    """Parse one response off *reader* (the load generator's client half)."""
+    lines = await _read_head(reader)
+    if lines is None:
+        raise HttpError(400, "connection closed before the status line")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed status line {lines[0]!r}")
+    status = int(parts[1])
+    headers = _parse_headers(lines[1:])
+    length = _content_length(headers, MAX_BODY_BYTES)
+    body = await reader.readexactly(length) if length else b""
+    return Response(
+        status=status,
+        body=body,
+        content_type=headers.get("content-type", ""),
+        headers=headers,
+    )
+
+
+def encode_response(response: Response, keep_alive: bool = True) -> bytes:
+    """Frame *response* as HTTP/1.1 bytes ready for ``writer.write``."""
+    reason = REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    head.append(f"Content-Type: {response.content_type}")
+    head.append(f"Content-Length: {len(response.body)}")
+    head.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    for name, value in response.headers.items():
+        head.append(f"{name}: {value}")
+    return "\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + response.body
+
+
+def encode_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    host: str = "localhost",
+) -> bytes:
+    """Frame a client request (used by the load generator and tests)."""
+    head = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {host}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+    ]
+    return "\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body

@@ -122,8 +122,10 @@ def to_table(snapshot: Dict[str, object]) -> str:
     """Render a snapshot as a fixed-width human-readable table.
 
     Counters and gauges print their value; histograms print count, mean,
-    and interpolated p50/p95/p99 — the operator's one-look view that
-    ``repro stats`` defaults to.
+    interpolated p50/p95/p99, and — whenever any observation landed past
+    the last bucket bound — an explicit ``+Inf=N`` overflow cell, so
+    latencies beyond the bucket ladder (e.g. >60s on the default ladder)
+    are visible instead of silently saturating the percentiles.
     """
     rows: List[tuple] = [("metric", "labels", "value")]
     for metric in snapshot.get("metrics", []):
@@ -142,6 +144,9 @@ def to_table(snapshot: Dict[str, object]) -> str:
                 f"p95={_histogram_percentile(metric, 95.0) * 1e3:.3f}ms "
                 f"p99={_histogram_percentile(metric, 99.0) * 1e3:.3f}ms"
             )
+            overflow = int(metric["counts"][len(metric["buckets"])])
+            if overflow:
+                cells += f" +Inf={overflow}"
         else:
             cells = "count=0"
         rows.append((metric["name"], labels, cells))

@@ -52,7 +52,9 @@ from repro.serving.service import (
     ServingStats,
 )
 from repro.serving.sharding import (
+    DeadlineExceeded,
     ShardingError,
+    ShardRequest,
     ShardRouter,
     SharedFactors,
     SharedFactorsHandle,
@@ -72,6 +74,8 @@ __all__ = [
     "QueryVectorCache",
     "ShardRouter",
     "ShardingError",
+    "DeadlineExceeded",
+    "ShardRequest",
     "SharedFactors",
     "SharedFactorsHandle",
     "shard_of",

@@ -121,6 +121,57 @@ class ShardingError(RuntimeError):
     """A shard worker failed, died, or could not be reached in time."""
 
 
+class DeadlineExceeded(ShardingError):
+    """A request's deadline expired before the fleet could serve it.
+
+    Raised router-side when a shard reports an ``expired`` status (the
+    worker checked the request's deadline at dequeue and declined to
+    scan) or when :meth:`ShardRouter.recommend_batch` finds the deadline
+    already past on entry.  Typed separately from the transport errors
+    so callers — the gateway maps it to ``504 Gateway Timeout`` — can
+    tell "too late" apart from "broken".
+    """
+
+
+@dataclass(frozen=True)
+class ShardRequest:
+    """One versioned batch/page request payload on a shard pipe.
+
+    Replaces the positional ``(users, k, histories[, span_context])``
+    tuples of earlier revisions: adding a field (``deadline`` arrived
+    this way) no longer reshuffles positional slots, and ``version``
+    lets a future revision change semantics detectably.  Workers still
+    accept the legacy tuples, so a mixed-revision router/worker pair
+    fails soft rather than misinterpreting positions.
+
+    Attributes
+    ----------
+    users:
+        ``int64`` user ids for this shard's sub-batch (``-1`` = cold).
+    k:
+        Top-k width requested.
+    histories:
+        Optional per-row histories, aligned with ``users``.
+    span_context:
+        Optional :class:`~repro.obs.tracing.SpanContext` stamped by a
+        traced router, parenting worker-side spans.
+    deadline:
+        Optional absolute :func:`time.monotonic` deadline; a worker
+        that dequeues the request after this instant answers
+        ``expired`` instead of scanning (monotonic clocks are
+        host-wide, and shards are processes on the router's host).
+    version:
+        Payload schema version; currently ``1``.
+    """
+
+    users: np.ndarray
+    k: int
+    histories: Optional[list] = None
+    span_context: Optional[SpanContext] = None
+    deadline: Optional[float] = None
+    version: int = 1
+
+
 class _ReadWriteLock:
     """Writer-preferring readers/writer lock.
 
@@ -573,18 +624,38 @@ class _WorkerState:
 
     # -- request handlers ------------------------------------------------
     @staticmethod
-    def _unpack(payload) -> Tuple[np.ndarray, int, Optional[list], Optional[SpanContext]]:
-        """Split a request payload; the trailing SpanContext is optional.
+    def _unpack(
+        payload,
+    ) -> Tuple[np.ndarray, int, Optional[list], Optional[SpanContext], Optional[float]]:
+        """Normalize a request payload to its five fields.
 
-        Untraced routers send the classic ``(users, k, histories)``
-        3-tuple; traced ones append a
-        :class:`~repro.obs.tracing.SpanContext`.  Accepting both keeps
-        the pipe protocol compatible in either direction.
+        Current routers send a :class:`ShardRequest`; payloads from
+        earlier revisions arrive as ``(users, k, histories)`` or
+        ``(users, k, histories, span_context)`` tuples.  Accepting all
+        three keeps the pipe protocol compatible in either direction.
         """
+        if isinstance(payload, ShardRequest):
+            return (
+                payload.users,
+                payload.k,
+                payload.histories,
+                payload.span_context,
+                payload.deadline,
+            )
         if len(payload) == 4:
-            return payload
+            users, k, histories, ctx = payload
+            return users, k, histories, ctx, None
         users, k, histories = payload
-        return users, k, histories, None
+        return users, k, histories, None, None
+
+    @staticmethod
+    def _check_deadline(deadline: Optional[float]) -> None:
+        """Refuse work whose deadline passed while it sat in the pipe."""
+        if deadline is not None and time.monotonic() > deadline:
+            raise DeadlineExceeded(
+                f"request deadline expired {time.monotonic() - deadline:.3f}s "
+                "before the shard dequeued it"
+            )
 
     def _traced(self, ctx: SpanContext, tracer: Tracer, name: str) -> Span:
         """Open a worker-side child span under the router's batch span."""
@@ -594,7 +665,8 @@ class _WorkerState:
         return span
 
     def batch(self, payload, tracer: Optional[Tracer] = None):
-        users, k, histories, ctx = self._unpack(payload)
+        users, k, histories, ctx, deadline = self._unpack(payload)
+        self._check_deadline(deadline)
         if ctx is None or tracer is None:
             return self.service.recommend_batch(users, k=k, histories=histories)
         # Queue wait: time between the router stamping the context and
@@ -613,7 +685,8 @@ class _WorkerState:
 
     def page(self, payload, tracer: Optional[Tracer] = None):
         """Item-partitioned scoring: this shard's slice of the catalog."""
-        users, k, histories, ctx = self._unpack(payload)
+        users, k, histories, ctx, deadline = self._unpack(payload)
+        self._check_deadline(deadline)
         if ctx is not None and tracer is not None:
             wait = ctx.queue_wait()
             queued = self._traced(ctx, tracer, "queue_wait")
@@ -720,6 +793,8 @@ def _shard_worker_main(conn, spec: _WorkerSpec) -> None:
                 else:
                     raise ShardingError(f"unknown message kind {kind!r}")
                 conn.send((req_id, "ok", result))
+            except DeadlineExceeded as exc:
+                conn.send((req_id, "expired", str(exc)))
             except BaseException:
                 conn.send((req_id, "error", traceback.format_exc()))
     finally:
@@ -813,19 +888,20 @@ class _ShardLink:
                     f"shard {self.index} connection lost: {exc}"
                 ) from exc
             if msg_id == req_id:
-                if status == "error":
-                    raise ShardingError(
-                        f"shard {self.index} request failed:\n{value}"
-                    )
-                return value
+                return self._decode(status, value)
             with self._state:
                 self._responses[msg_id] = (status, value)
                 self._state.notify_all()
 
     def _resolve(self, req_id: int) -> Any:
         status, value = self._responses.pop(req_id)
+        return self._decode(status, value)
+
+    def _decode(self, status: str, value: Any) -> Any:
         if status == "error":
             raise ShardingError(f"shard {self.index} request failed:\n{value}")
+        if status == "expired":
+            raise DeadlineExceeded(f"shard {self.index}: {value}")
         return value
 
     def _mark_broken(self, exc: BaseException) -> None:
@@ -1054,6 +1130,11 @@ class ShardRouter:
         """Number of fleet-wide publications applied so far."""
         return self._swaps
 
+    @property
+    def n_users(self) -> int:
+        """Users known to the currently published model."""
+        return self._n_users
+
     def stats(self) -> Dict[str, Any]:
         """Aggregate serving statistics across the fleet.
 
@@ -1113,8 +1194,15 @@ class ShardRouter:
         users: Sequence[Optional[int]],
         k: int = 10,
         histories: Optional[Sequence[Optional[History]]] = None,
+        deadline: Optional[float] = None,
     ) -> np.ndarray:
         """Serve a batch across the fleet; same contract as the service.
+
+        *deadline* is an optional absolute :func:`time.monotonic` stamp
+        propagated to every shard: a worker that dequeues the sub-batch
+        after the deadline answers ``expired`` instead of scanning, and
+        the router raises :class:`DeadlineExceeded` — the backpressure
+        signal the gateway turns into ``504``.
 
         Rows are grouped into one sub-batch per shard (the in-flight
         batching the fleet amortizes IPC over), scattered down every
@@ -1130,6 +1218,10 @@ class ShardRouter:
         publication can never split a batch across two generations.
         """
         self._ensure_open()
+        if deadline is not None and time.monotonic() > deadline:
+            raise DeadlineExceeded(
+                "request deadline expired before the router dispatched it"
+            )
         user_ids = np.asarray(
             [-1 if u is None else int(u) for u in users], dtype=np.int64
         )
@@ -1143,7 +1235,7 @@ class ShardRouter:
         self._rw.acquire_read()
         try:
             if self.tracer is None:
-                self._dispatch(user_ids, k, histories, out, root=None)
+                self._dispatch(user_ids, k, histories, out, None, deadline)
             else:
                 root = self.tracer.span(
                     "recommend_batch",
@@ -1154,7 +1246,7 @@ class ShardRouter:
                     },
                 )
                 with root:
-                    self._dispatch(user_ids, k, histories, out, root=root)
+                    self._dispatch(user_ids, k, histories, out, root, deadline)
                 self._record_span_seconds(root.as_dict(), shard="router")
         finally:
             self._rw.release_read()
@@ -1169,11 +1261,12 @@ class ShardRouter:
         histories: Optional[Sequence[Optional[History]]],
         out: np.ndarray,
         root: Optional[Span],
+        deadline: Optional[float] = None,
     ) -> None:
         if self.partition == "users":
-            self._scatter_user_mode(user_ids, k, histories, out, root)
+            self._scatter_user_mode(user_ids, k, histories, out, root, deadline)
         else:
-            self._scatter_item_mode(user_ids, k, histories, out, root)
+            self._scatter_item_mode(user_ids, k, histories, out, root, deadline)
 
     def _payload(
         self,
@@ -1181,11 +1274,16 @@ class ShardRouter:
         k: int,
         histories: Optional[list],
         root: Optional[Span],
-    ) -> tuple:
+        deadline: Optional[float] = None,
+    ) -> ShardRequest:
         """A pipe payload, with a freshly-stamped SpanContext when traced."""
-        if root is None:
-            return (users, k, histories)
-        return (users, k, histories, self.tracer.context_for(root))
+        return ShardRequest(
+            users=users,
+            k=k,
+            histories=histories,
+            span_context=None if root is None else self.tracer.context_for(root),
+            deadline=deadline,
+        )
 
     def _gather(self, link: "_ShardLink", req_id: int, root: Optional[Span]):
         """Receive one response, absorbing worker span records if traced."""
@@ -1217,6 +1315,7 @@ class ShardRouter:
         histories: Optional[Sequence[Optional[History]]],
         out: np.ndarray,
         root: Optional[Span] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         shards = shard_of(np.maximum(user_ids, 0), self.n_shards)
         cold = (user_ids < 0) | (user_ids >= self._n_users)
@@ -1235,7 +1334,8 @@ class ShardRouter:
                 else [histories[row] for row in rows]
             )
             req_id = self._links[shard].send(
-                "batch", self._payload(user_ids[rows], k, sub_histories, root)
+                "batch",
+                self._payload(user_ids[rows], k, sub_histories, root, deadline),
             )
             pending.append((shard, rows, req_id))
         for shard, rows, req_id in pending:
@@ -1249,6 +1349,7 @@ class ShardRouter:
         histories: Optional[Sequence[Optional[History]]],
         out: np.ndarray,
         root: Optional[Span] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         known = (user_ids >= 0) & (user_ids < self._n_users)
         known_rows = np.flatnonzero(known)
@@ -1263,7 +1364,9 @@ class ShardRouter:
             for link in self._links:
                 req_id = link.send(
                     "page",
-                    self._payload(user_ids[known_rows], k, sub_histories, root),
+                    self._payload(
+                        user_ids[known_rows], k, sub_histories, root, deadline
+                    ),
                 )
                 pending_pages.append((link, req_id))
         pending_cold = []
@@ -1277,6 +1380,7 @@ class ShardRouter:
                     k,
                     None if history is None else [history],
                     root,
+                    deadline,
                 ),
             )
             pending_cold.append((link, row, req_id))

@@ -475,6 +475,88 @@ RULE_CASES = [
         """,
         [],
     ),
+    # --- REP008: no blocking calls in the gateway ------------------------
+    (
+        "rep008-time-sleep",
+        "src/repro/gateway/server.py",
+        """
+        import time
+
+        async def backoff():
+            time.sleep(0.1)
+        """,
+        ["REP008"],
+    ),
+    (
+        "rep008-sleep-alias",
+        "src/repro/gateway/loadgen.py",
+        """
+        from time import sleep as pause
+
+        async def backoff():
+            pause(0.1)
+        """,
+        ["REP008", "REP008"],
+    ),
+    (
+        "rep008-sync-socket",
+        "src/repro/gateway/wire.py",
+        """
+        import socket
+
+        def connect(host, port):
+            return socket.create_connection((host, port))
+        """,
+        ["REP008"],
+    ),
+    (
+        "rep008-untimed-queue-get",
+        "src/repro/gateway/batching.py",
+        """
+        import queue
+
+        work = queue.Queue()
+
+        async def drain():
+            return work.get()
+        """,
+        ["REP008"],
+    ),
+    (
+        "rep008-queue-get-with-timeout-ok",
+        "src/repro/gateway/batching.py",
+        """
+        import queue
+
+        work = queue.Queue()
+
+        def drain():
+            return work.get(timeout=0.1)
+        """,
+        [],
+    ),
+    (
+        "rep008-asyncio-sleep-ok",
+        "src/repro/gateway/server.py",
+        """
+        import asyncio
+
+        async def backoff():
+            await asyncio.sleep(0.1)
+        """,
+        [],
+    ),
+    (
+        "rep008-out-of-scope",
+        "src/repro/streaming/runner.py",
+        """
+        import time
+
+        def wait():
+            time.sleep(0.1)
+        """,
+        [],
+    ),
 ]
 
 
@@ -708,15 +790,15 @@ def test_cli_json_report(tmp_path, capsys):
     assert all("fingerprint" in f for f in payload["findings"])
 
 
-def test_cli_list_rules_covers_all_seven(capsys):
+def test_cli_list_rules_covers_all_eight(capsys):
     assert analysis_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in ("REP001", "REP002", "REP003", "REP004", "REP005",
-                 "REP006", "REP007"):
+                 "REP006", "REP007", "REP008"):
         assert code in out
     assert sorted(r.code for r in all_rules()) == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-        "REP007",
+        "REP007", "REP008",
     ]
 
 

@@ -444,6 +444,97 @@ class TestStats:
         assert "gini_popularity" in out
 
 
+class TestGatewayCommands:
+    def test_gateway_serves_for_duration_and_writes_metrics(
+        self, workspace, capsys, tmp_path
+    ):
+        directory, model_path = workspace
+        metrics = tmp_path / "gateway-metrics.json"
+        assert (
+            main(
+                [
+                    "gateway",
+                    "--data-dir", str(directory),
+                    "--model", str(model_path),
+                    "--port", "0",
+                    "--duration", "0.2",
+                    "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        assert "gateway listening on" in capsys.readouterr().err
+        assert metrics.exists()
+
+    def test_loadgen_reports_against_a_live_gateway(self, capsys, tmp_path):
+        import asyncio
+        import threading
+
+        import numpy as np
+
+        from repro.gateway import Gateway, GatewayConfig
+
+        class Backend:
+            generation = 0
+            n_users = 30
+
+            def recommend_batch(self, users, k=10, histories=None):
+                return np.asarray(
+                    [[int(u)] * k for u in users], dtype=np.int64
+                )
+
+        ready = threading.Event()
+        done = threading.Event()
+        port_box = {}
+
+        def serve():
+            async def run():
+                async with Gateway(Backend(), GatewayConfig()) as gateway:
+                    port_box["port"] = gateway.port
+                    ready.set()
+                    while not done.is_set():
+                        await asyncio.sleep(0.01)
+
+            asyncio.run(run())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=5.0)
+        out_path = tmp_path / "loadgen.json"
+        try:
+            status = main(
+                [
+                    "loadgen",
+                    "--port", str(port_box["port"]),
+                    "--duration", "0.3",
+                    "--concurrency", "2",
+                    "--out", str(out_path),
+                ]
+            )
+        finally:
+            done.set()
+            thread.join(timeout=5.0)
+        assert status == 0
+        report = json.loads(out_path.read_text())
+        assert report["ok"] > 0 and report["errors"] == 0
+        assert report["generations"] == [0]
+        assert "qps" in capsys.readouterr().err
+
+    def test_loadgen_unreachable_gateway_fails_cleanly(self, capsys):
+        # Without --users the healthz probe runs first and fails loudly.
+        with pytest.raises(SystemExit, match="cannot reach gateway"):
+            main(["loadgen", "--port", "1", "--duration", "0.1"])
+        # With --users the fleet runs, every exchange errors, exit is 1.
+        assert (
+            main(
+                ["loadgen", "--port", "1", "--duration", "0.1", "--users", "5"]
+            )
+            == 1
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] == 0 and report["errors"] > 0
+
+
 class TestErrors:
     def test_missing_data_dir(self, tmp_path):
         with pytest.raises(SystemExit, match="missing"):

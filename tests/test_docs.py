@@ -30,6 +30,7 @@ AUDITED_PACKAGES = (
     "repro.parallel",
     "repro.obs",
     "repro.analysis",
+    "repro.gateway",
 )
 
 

@@ -229,6 +229,19 @@ class TestExporters:
         assert "count=11" in table
         assert "p99=" in table
 
+    def test_table_shows_explicit_overflow_count(self, snapshot):
+        # The fixture's 0.5s observation lands past the last 0.1s bound;
+        # the table must surface it explicitly instead of letting it
+        # silently saturate the percentiles.
+        assert "+Inf=1" in to_table(snapshot)
+
+    def test_table_omits_overflow_cell_when_all_in_range(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_fast_seconds", buckets=(0.001, 0.01, 0.1)
+        ).observe(0.005)
+        assert "+Inf" not in to_table(registry.snapshot())
+
     def test_snapshot_roundtrip(self, snapshot, tmp_path):
         path = tmp_path / "metrics.json"
         write_snapshot(path, snapshot)
