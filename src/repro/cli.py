@@ -72,7 +72,7 @@ from repro.data.synthetic import generate_dataset
 from repro.data.transactions import TransactionLog
 from repro.eval.protocol import evaluate_cold_start, evaluate_model, evaluate_topk
 from repro.serving.bundle import MANIFEST_NAME, BundleError, ModelBundle
-from repro.serving.service import RecommenderService
+from repro.serving.service import RETRIEVAL_MODES, RecommenderService
 from repro.serving.sharding import ShardRouter, ShardingError
 from repro.streaming.events import events_from_transactions
 from repro.streaming.pipeline import StreamingPipeline
@@ -346,15 +346,38 @@ def _load_model(args) -> Tuple[TaxonomyFactorModel, TrainTestSplit, Dict]:
 def _serving_retrieval(args, extra: Dict) -> str:
     """Resolve ``--retrieval``: flag first, then the bundle's manifest hint.
 
-    A bundle saved with ``extra={"retrieval": "pruned"}`` serves pruned by
-    default; the flag always wins.
+    A bundle saved with ``extra={"retrieval": "pruned"}`` (or ``"budget"``
+    / ``"ivf"``) serves that mode by default; the flag always wins.
     """
     value = args.retrieval or extra.get("retrieval", "exact")
-    if value not in ("exact", "pruned"):
+    if value not in RETRIEVAL_MODES:
         raise SystemExit(
             f"invalid retrieval mode {value!r} in the bundle manifest "
-            f"(expected 'exact' or 'pruned')"
+            f"(expected one of {'/'.join(RETRIEVAL_MODES)})"
         )
+    return value
+
+
+def _serving_knob(args, extra: Dict, name: str) -> Optional[int]:
+    """Resolve ``--budget`` / ``--nprobe``: flag first, then manifest hint.
+
+    A bundle saved with ``extra={"retrieval": "budget", "budget": 50000}``
+    carries its measured operating point with it; the flag always wins.
+    """
+    value = getattr(args, name, None)
+    if value is None:
+        value = extra.get(name)
+    if value is None:
+        return None
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise SystemExit(
+            f"invalid {name} {value!r} in the bundle manifest "
+            f"(expected a positive integer)"
+        )
+    if value < 1:
+        raise SystemExit(f"{name} must be >= 1, got {value}")
     return value
 
 
@@ -492,6 +515,8 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
             model, history_log=split.train, cascade=_serving_cascade(args),
             cache_size=args.cache_size,
             retrieval=_serving_retrieval(args, extra),
+            budget=_serving_knob(args, extra, "budget"),
+            nprobe=_serving_knob(args, extra, "nprobe"),
             tracer=tracer,
         )
     except ValueError as exc:
@@ -517,6 +542,8 @@ def cmd_serve_sharded(args: argparse.Namespace) -> int:
     users = _serving_users(args, model)
     cascade = _serving_cascade(args)
     retrieval = _serving_retrieval(args, extra)
+    budget = _serving_knob(args, extra, "budget")
+    nprobe = _serving_knob(args, extra, "nprobe")
     tracer = _telemetry_tracer(args)
     try:
         router = ShardRouter(
@@ -527,6 +554,8 @@ def cmd_serve_sharded(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             partition=args.partition,
             retrieval=retrieval,
+            budget=budget,
+            nprobe=nprobe,
             tracer=tracer,
         )
     except (ValueError, ShardingError) as exc:
@@ -544,6 +573,7 @@ def cmd_serve_sharded(args: argparse.Namespace) -> int:
             service = RecommenderService(
                 model, history_log=split.train, cascade=cascade,
                 cache_size=args.cache_size, retrieval=retrieval,
+                budget=budget, nprobe=nprobe,
             )
             reference = service.recommend_batch(users, k=args.k)
             if np.array_equal(recommendations, reference):
@@ -586,7 +616,10 @@ def cmd_gateway(args: argparse.Namespace) -> int:
     try:
         service = RecommenderService(
             model, history_log=split.train,
-            retrieval=_serving_retrieval(args, extra), tracer=tracer,
+            retrieval=_serving_retrieval(args, extra),
+            budget=_serving_knob(args, extra, "budget"),
+            nprobe=_serving_knob(args, extra, "nprobe"),
+            tracer=tracer,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -898,10 +931,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve through a cascade keeping this fraction "
                             "per level (Sec. 5.1)")
     serve.add_argument("--retrieval", default=None,
-                       choices=("exact", "pruned"),
-                       help="dense scoring, or taxonomy-pruned exact "
+                       choices=RETRIEVAL_MODES,
+                       help="dense scoring, taxonomy-pruned exact "
                             "retrieval (identical rankings, large-catalog "
-                            "fast path); default: bundle hint / exact")
+                            "fast path), or the approximate sub-linear "
+                            "tiers budget/ivf; default: bundle hint / "
+                            "exact")
+    serve.add_argument("--budget", type=int, default=None,
+                       help="per-row node budget for --retrieval budget "
+                            "(default: bundle hint / scan everything)")
+    serve.add_argument("--nprobe", type=int, default=None,
+                       help="taxonomy cells probed per row for "
+                            "--retrieval ivf (default: bundle hint / "
+                            "probe everything)")
     serve.add_argument("--cache-size", type=int, default=4096)
     serve.add_argument("--out", default=None,
                        help="write JSONL here instead of stdout")
@@ -934,11 +976,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve through a cascade keeping this fraction "
                               "per level (users partition only)")
     sharded.add_argument("--retrieval", default=None,
-                         choices=("exact", "pruned"),
-                         help="dense scoring, or taxonomy-pruned exact "
+                         choices=RETRIEVAL_MODES,
+                         help="dense scoring, taxonomy-pruned exact "
                               "retrieval inside every shard (per-slice "
-                              "indexes in the item partition); default: "
+                              "indexes in the item partition), or the "
+                              "approximate budget/ivf tiers (rankings "
+                              "invariant to the shard count); default: "
                               "bundle hint / exact")
+    sharded.add_argument("--budget", type=int, default=None,
+                         help="per-row node budget for --retrieval budget "
+                              "(default: bundle hint / scan everything)")
+    sharded.add_argument("--nprobe", type=int, default=None,
+                         help="taxonomy cells probed per row for "
+                              "--retrieval ivf (default: bundle hint / "
+                              "probe everything)")
     sharded.add_argument("--cache-size", type=int, default=4096)
     sharded.add_argument("--verify", action="store_true",
                          help="also run the single-process service and fail "
@@ -971,9 +1022,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="admitted requests beyond which the edge "
                               "sheds with 429")
     gateway.add_argument("--retrieval", default=None,
-                         choices=("exact", "pruned"),
+                         choices=RETRIEVAL_MODES,
                          help="backend retrieval mode (default: bundle "
                               "hint / exact)")
+    gateway.add_argument("--budget", type=int, default=None,
+                         help="per-row node budget for --retrieval budget "
+                              "(default: bundle hint / scan everything)")
+    gateway.add_argument("--nprobe", type=int, default=None,
+                         help="taxonomy cells probed per row for "
+                              "--retrieval ivf (default: bundle hint / "
+                              "probe everything)")
     gateway.add_argument("--duration", type=float, default=None,
                          help="serve for this many seconds then exit "
                               "(default: run until interrupted)")

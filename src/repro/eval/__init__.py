@@ -30,6 +30,12 @@ from repro.eval.protocol import (
     evaluate_topk,
 )
 from repro.eval.ranking import batched, rank_of, ranks_of, top_k
+from repro.eval.recall import (
+    RecallCurve,
+    RecallPoint,
+    recall_vs_reference,
+    sweep_recall,
+)
 
 __all__ = [
     "auc",
@@ -59,4 +65,8 @@ __all__ = [
     "rank_of",
     "ranks_of",
     "batched",
+    "RecallCurve",
+    "RecallPoint",
+    "recall_vs_reference",
+    "sweep_recall",
 ]

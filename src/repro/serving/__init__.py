@@ -14,11 +14,14 @@ Five pieces turn the trained models into a deployable system:
   generation-stamped LRU query-vector cache, per-request
   :class:`ServingStats`, and atomic zero-downtime ``swap_model`` (the
   hot-swap contract ``repro.streaming`` publishes through);
-* :class:`~repro.serving.index.SubtreeIndex` — taxonomy-pruned **exact**
-  top-k retrieval for large catalogs: item factors grouped by taxonomy
+* :class:`~repro.serving.index.SubtreeIndex` — taxonomy-pruned top-k
+  retrieval for large catalogs: item factors grouped by taxonomy
   subtree, per-group Cauchy–Schwarz score bounds, blocked descending-bound
-  scan with early termination — bit-identical rankings to the dense pass,
-  selected with ``retrieval="pruned"`` on the service or router;
+  scan with early termination — bit-identical rankings to the dense pass
+  with ``retrieval="pruned"``, plus the sub-linear
+  approximate-but-deterministic tiers ``retrieval="budget"`` (bounded
+  node budget per row) and ``retrieval="ivf"`` (top-``nprobe`` taxonomy
+  cells, optional fp16 factor pages) for catalogs past ~1M items;
 * :class:`~repro.serving.sharding.ShardRouter` — the multi-process fleet:
   factor matrices published once via ``multiprocessing.shared_memory``,
   N shard workers each hosting a full service over zero-copy views, user
@@ -45,6 +48,8 @@ from repro.serving.coldstart import FoldInRecommender
 from repro.serving.index import RetrievalPage, SubtreeIndex
 from repro.serving.protocol import Recommender
 from repro.serving.service import (
+    APPROX_RETRIEVAL_MODES,
+    RETRIEVAL_MODES,
     ModelState,
     QueryVectorCache,
     RecommenderService,
@@ -69,6 +74,8 @@ __all__ = [
     "FoldInRecommender",
     "RecommenderService",
     "ModelState",
+    "RETRIEVAL_MODES",
+    "APPROX_RETRIEVAL_MODES",
     "ServingError",
     "ServingStats",
     "QueryVectorCache",

@@ -64,12 +64,15 @@ class ModelBundle:
         :class:`PopularityModel`, or :class:`RandomModel`.
     extra:
         Free-form JSON-serializable metadata carried in the manifest
-        (the CLI stores its split parameters here).  One key is
-        serving-significant: ``"retrieval"`` (``"exact"`` or
-        ``"pruned"``) records how the bundle should be served — the
-        ``serve-batch`` / ``serve-sharded`` commands use it as the
-        default when ``--retrieval`` is not given, so a large-catalog
-        bundle can opt into taxonomy-pruned retrieval at save time.
+        (the CLI stores its split parameters here).  Three keys are
+        serving-significant: ``"retrieval"`` (one of
+        :data:`~repro.serving.service.RETRIEVAL_MODES`) records how the
+        bundle should be served, and ``"budget"`` / ``"nprobe"`` carry
+        the measured operating point of the approximate modes — the
+        ``serve-batch`` / ``serve-sharded`` / ``gateway`` commands use
+        them as defaults when the matching flag is not given, so a
+        large-catalog bundle ships with its retrieval tier and knobs
+        chosen at save time.
 
     Examples
     --------

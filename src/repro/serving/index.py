@@ -50,6 +50,33 @@ tie behavior:
 ``benchmarks/bench_index.py`` enforces this bit-for-bit on a 100k-item
 catalog (including forced score ties and fully-banned rows) and gates the
 pruned path at >= 2x brute-force batch throughput at full scale.
+
+Approximate tiers (``approx=True``)
+-----------------------------------
+Exactness caps how much the bound-ordered scan can skip: past ~1M items
+the strict stop rule still touches most groups.  An index built with
+``approx=True`` additionally supports two *sub-linear* query modes that
+trade recall for throughput while staying **deterministic**:
+
+* :meth:`SubtreeIndex.top_k_budget` — the paper's cascaded-inference
+  idea: per row, rank the subtree cells by the same Cauchy–Schwarz bound
+  and stop selecting once the cumulative catalog-wide cell size reaches a
+  node *budget*; only items of selected cells are scored.
+* :meth:`SubtreeIndex.top_k_ivf` — classic IVF probing with the taxonomy
+  as the coarse quantizer: per row, score only the top-``nprobe`` cells
+  by centroid affinity.  Optional ``page_dtype="float16"`` factor pages
+  halve the scan's memory traffic.
+
+Both modes select cells per row from **catalog-global** statistics (an
+item-sliced shard still ranks the full catalog's cells and then scores
+only its local members), so the selected candidate set — and therefore
+the merged ranking — is a pure function of (model, knob): byte-identical
+across runs *and* across shard counts.  ``budget=None`` / ``nprobe=None``
+(or any knob covering every cell) selects the whole catalog and is
+bit-identical to :meth:`SubtreeIndex.top_k` / the dense pass (with the
+default float64 pages); recall@k is monotone non-decreasing in the knob
+because a larger budget/nprobe only ever *adds* cells to each row's
+selection.
 """
 
 from __future__ import annotations
@@ -133,6 +160,26 @@ class SubtreeIndex:
         ``repro_index_nodes_scored_total`` / ``repro_index_rows_total``
         counters (pruning effectiveness = nodes scored per row versus
         ``n_indexed``).  ``None`` (default) records nothing.
+    approx:
+        Build the approximate-query machinery on top of the exact scan:
+        catalog-**global** cell statistics (anchors, centroids, radii,
+        sizes at :attr:`level`, computed over *all* ``n_catalog`` items
+        even when *items* restricts the scan to a slice) that
+        :meth:`top_k_budget` and :meth:`top_k_ivf` select cells from.
+        Global statistics are what make the approximate modes invariant
+        to sharding: every item-sliced index ranks the same cells with
+        the same keys, so the union of the slices' candidates is exactly
+        the single-process candidate set.  When ``approx=True`` and
+        *level* is ``None`` the grouping depth is also chosen from the
+        full catalog, for the same reason.
+    page_dtype:
+        Optional compact dtype (``"float32"`` / ``"float16"``) for the
+        approximate scan's factor pages — halves/quarters the memory the
+        blocked GEMM streams.  Scores are computed from the compact page
+        and are deterministic, but no longer bit-identical to the float64
+        dense pass, so this knob requires ``approx=True`` and only
+        affects :meth:`top_k_budget` / :meth:`top_k_ivf`;
+        :meth:`top_k` always scans the exact float64 factors.
 
     Examples
     --------
@@ -160,6 +207,8 @@ class SubtreeIndex:
         items: Optional[np.ndarray] = None,
         block_items: int = 4096,
         registry=None,
+        approx: bool = False,
+        page_dtype: Optional[str] = None,
     ):
         self._scan_seconds = None
         self._nodes_counter = None
@@ -210,9 +259,29 @@ class SubtreeIndex:
                     f"items out of range 0..{self._n_catalog - 1}"
                 )
         self._indexed_items = indexed
-        self.level = (
-            self._pick_level(taxonomy, indexed) if level is None else int(level)
-        )
+        self.approx = bool(approx)
+        if page_dtype is not None and not self.approx:
+            raise ValueError(
+                "page_dtype= only applies to approximate queries; "
+                "build with approx=True"
+            )
+        if page_dtype is not None and page_dtype not in ("float32", "float16"):
+            raise ValueError(
+                f"page_dtype must be 'float32' or 'float16', got {page_dtype!r}"
+            )
+        self.page_dtype = page_dtype
+        if level is None:
+            # Approximate cell selection must rank the SAME cells on every
+            # shard, so the default depth is chosen from the full catalog,
+            # not from whatever slice this index happens to cover.
+            pick_items = (
+                np.arange(self._n_catalog, dtype=np.int64)
+                if self.approx
+                else indexed
+            )
+            self.level = self._pick_level(taxonomy, pick_items)
+        else:
+            self.level = int(level)
         if not 0 <= self.level <= taxonomy.max_depth:
             raise ValueError(
                 f"level must be in 0..{taxonomy.max_depth}, got {self.level}"
@@ -264,6 +333,49 @@ class SubtreeIndex:
         self._radii = radii + _BOUND_SLACK * scale
         self._max_bias = max_bias
 
+        # Approximate-mode cell statistics, always over the FULL catalog:
+        # item-sliced shard indexes must rank identical cells with
+        # identical keys so the per-row selection is a global function of
+        # (model, knob) — that is what makes budget/ivf rankings
+        # invariant to the shard count.
+        self._pages = None
+        if self.page_dtype is not None:
+            self._pages = self._eff.astype(self.page_dtype)
+        if self.approx:
+            if indexed.size == self._n_catalog:
+                self._cell_anchors = self.anchors
+                self._cell_centroids = self._centroids
+                self._cell_radii = self._radii
+                self._cell_max_bias = self._max_bias
+                self._cell_sizes = self._group_sizes
+            else:
+                cells = taxonomy.item_groups_at_level(self.level)
+                self._cell_anchors = np.asarray(
+                    [node for node, _members in cells], dtype=np.int64
+                )
+                n_cells = len(cells)
+                cell_centroids = np.zeros((n_cells, effective.shape[1]))
+                cell_radii = np.zeros(n_cells)
+                cell_max_bias = np.zeros(n_cells)
+                cell_sizes = np.zeros(n_cells, dtype=np.int64)
+                for c, (_node, members) in enumerate(cells):
+                    block = effective[members]
+                    cell_centroids[c] = block.mean(axis=0)
+                    cell_radii[c] = np.sqrt(
+                        ((block - cell_centroids[c]) ** 2).sum(axis=1).max()
+                    )
+                    cell_max_bias[c] = bias[members].max()
+                    cell_sizes[c] = members.size
+                cell_scale = np.abs(cell_max_bias) + cell_radii + 1.0
+                self._cell_centroids = cell_centroids
+                self._cell_radii = cell_radii + _BOUND_SLACK * cell_scale
+                self._cell_max_bias = cell_max_bias
+                self._cell_sizes = cell_sizes
+            # Position of each locally-present cell in the global ranking.
+            self._local_cell = np.searchsorted(
+                self._cell_anchors, self.anchors
+            )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -276,6 +388,25 @@ class SubtreeIndex:
     def n_groups(self) -> int:
         """Number of subtree groups the catalog is partitioned into."""
         return len(self._group_rows)
+
+    @property
+    def n_cells(self) -> int:
+        """Catalog-global cell count the approximate modes select from.
+
+        Raises :class:`ValueError` unless built with ``approx=True``.
+        ``nprobe >= n_cells`` makes :meth:`top_k_ivf` exhaustive, the
+        same way ``budget >= n_indexed_catalog`` does for
+        :meth:`top_k_budget`.
+        """
+        self._require_approx("n_cells")
+        return int(self._cell_anchors.size)
+
+    def _require_approx(self, what: str) -> None:
+        if not self.approx:
+            raise ValueError(
+                f"{what} requires an index built with approx=True "
+                "(this one only supports the exact top_k scan)"
+            )
 
     @staticmethod
     def _pick_level(taxonomy: Taxonomy, items: np.ndarray) -> int:
@@ -428,6 +559,217 @@ class SubtreeIndex:
             self._rows_counter.inc(n_rows)
         return RetrievalPage(items_out, scores_out, nodes_scored, groups_scanned)
 
+    # ------------------------------------------------------------------
+    # Approximate query modes (require approx=True)
+    # ------------------------------------------------------------------
+    def top_k_budget(
+        self,
+        queries: np.ndarray,
+        k: int,
+        banned: Optional[Sequence[Optional[np.ndarray]]] = None,
+        budget: Optional[int] = None,
+    ) -> RetrievalPage:
+        """Budgeted top-``k``: scan cells in bound order until *budget* nodes.
+
+        The paper's cascaded-inference idea on the index's own ordering
+        machinery: per row, cells are ranked by the same Cauchy–Schwarz
+        bound the exact scan orders by (ties broken by ascending cell
+        anchor), and cells are selected until the cumulative
+        catalog-global cell size reaches *budget* — so *budget* caps the
+        dot products a row may spend, to within one cell.  At least one
+        cell is always selected; ``budget=None`` (or any value covering
+        the whole catalog) selects every cell and returns the exact
+        ranking bit-for-bit.
+
+        Cell sizes and bounds are catalog-global even on an item-sliced
+        index (each slice then scores only its local members of the
+        selected cells), so merged shard pages reproduce the
+        single-process ranking byte-for-byte for any shard count.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.taxonomy.tree import Taxonomy
+        >>> tax = Taxonomy([-1, 0, 0, 1, 1, 2, 2])
+        >>> rng = np.random.default_rng(0)
+        >>> eff, bias = rng.normal(size=(4, 3)), rng.normal(size=4)
+        >>> index = SubtreeIndex(eff, bias, tax, level=1, approx=True)
+        >>> queries = rng.normal(size=(2, 3))
+        >>> exhaustive = index.top_k_budget(queries, k=2, budget=4)
+        >>> bool(np.array_equal(exhaustive.items, index.top_k(queries, 2).items))
+        True
+        """
+        self._require_approx("top_k_budget")
+        if budget is not None and int(budget) < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        return self._top_k_selected(
+            queries, k, banned, mode="budget", knob=budget
+        )
+
+    def top_k_ivf(
+        self,
+        queries: np.ndarray,
+        k: int,
+        banned: Optional[Sequence[Optional[np.ndarray]]] = None,
+        nprobe: Optional[int] = None,
+    ) -> RetrievalPage:
+        """IVF top-``k``: probe only the best *nprobe* cells per row.
+
+        The taxonomy subtrees act as an IVF coarse quantizer: per row the
+        catalog-global cells are ranked by centroid affinity
+        ``q·c_g + max_bias_g`` (ties broken by ascending cell anchor) and
+        only the top ``nprobe`` are scored.  ``nprobe=None`` (or
+        ``>= n_cells``) probes everything and returns the exact ranking
+        bit-for-bit (with the default float64 pages).  Selection sets are
+        nested in ``nprobe``, so recall@k is monotone non-decreasing in
+        it; like :meth:`top_k_budget`, the selection is catalog-global
+        and therefore invariant to item slicing.
+        """
+        self._require_approx("top_k_ivf")
+        if nprobe is not None and int(nprobe) < 1:
+            raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+        return self._top_k_selected(
+            queries, k, banned, mode="ivf", knob=nprobe
+        )
+
+    def _select_cells(
+        self, queries: np.ndarray, mode: str, knob: Optional[int]
+    ) -> np.ndarray:
+        """Per-row boolean selection over the catalog-global cells.
+
+        A pure per-row function of (model statistics, *knob*): no batch
+        aggregate enters the keys, so a row selects the same cells
+        whatever batch — or shard — it arrives in.  Selections are
+        nested in the knob (a prefix of the same per-row cell ranking),
+        which is what makes recall monotone in budget/nprobe.
+        """
+        n_cells = self._cell_anchors.size
+        if mode == "budget":
+            norms = np.linalg.norm(queries, axis=1)
+            keys = (
+                queries @ self._cell_centroids.T
+                + norms[:, None] * self._cell_radii[None, :]
+                + self._cell_max_bias[None, :]
+            )
+        else:
+            keys = queries @ self._cell_centroids.T + self._cell_max_bias
+        # Full per-row ranking under the global (key desc, cell asc)
+        # order — cell positions are ascending anchors, so top_k_rows'
+        # ascending-index tie-break is the ascending-anchor tie-break.
+        order = top_k_rows(keys, n_cells)
+        if mode == "budget":
+            if knob is None:
+                picked = np.ones(order.shape, dtype=bool)
+            else:
+                sizes = self._cell_sizes[order]
+                started = np.cumsum(sizes, axis=1) - sizes
+                picked = started < int(knob)
+        else:
+            picked = np.zeros(order.shape, dtype=bool)
+            picked[:, : n_cells if knob is None else min(int(knob), n_cells)] = True
+        selected = np.zeros(order.shape, dtype=bool)
+        np.put_along_axis(selected, order, picked, axis=1)
+        return selected
+
+    def _top_k_selected(
+        self,
+        queries: np.ndarray,
+        k: int,
+        banned: Optional[Sequence[Optional[np.ndarray]]],
+        mode: str,
+        knob: Optional[int],
+    ) -> RetrievalPage:
+        """Score only the selected cells; merge under the global order."""
+        started = time.perf_counter()
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValueError(
+                f"queries must be 2-d, got shape {queries.shape}"
+            )
+        n_rows = queries.shape[0]
+        width = min(int(k), self.n_indexed)
+        items_out = np.full((n_rows, width), PAD_ITEM, dtype=np.int64)
+        scores_out = np.full((n_rows, width), -np.inf)
+        if width <= 0 or n_rows == 0 or self.n_groups == 0:
+            return RetrievalPage(items_out, scores_out, 0, 0)
+        if banned is not None and len(banned) != n_rows:
+            raise ValueError(
+                f"got {len(banned)} banned rows for {n_rows} queries"
+            )
+        selected = self._select_cells(queries, mode, knob)
+        banned_rows = self._resolve_banned(banned, n_rows)
+
+        # Candidate pool: per row, the local members of its selected
+        # cells, gathered into one padded (ids, scores) page and merged
+        # once under the global (score desc, item asc) order.  Pad slots
+        # carry (PAD_ITEM, -inf), which the merge never promotes.
+        local_selected = selected[:, self._local_cell]
+        counts = (local_selected * self._group_sizes[None, :]).sum(axis=1)
+        pool = int(counts.max()) if counts.size else 0
+        if pool == 0:
+            return RetrievalPage(items_out, scores_out, 0, 0)
+        pool_items = np.full((n_rows, pool), PAD_ITEM, dtype=np.int64)
+        pool_scores = np.full((n_rows, pool), -np.inf)
+        fill = np.zeros(n_rows, dtype=np.int64)
+        nodes_scored = 0
+        groups_scanned = 0
+        queries_page = (
+            None
+            if self._pages is None
+            else np.ascontiguousarray(queries, dtype=np.float32)
+        )
+        for g in range(self.n_groups):
+            hit = np.flatnonzero(local_selected[:, g])
+            if hit.size == 0:
+                continue
+            rows = self._group_rows[g]
+            ids = self._indexed_items[rows]
+            if self._pages is None:
+                scores = (
+                    queries[hit] @ self._eff[rows].T + self._bias[rows]
+                )
+            else:
+                # Elementwise fp16->fp32 casts and fixed-K fp32 dots:
+                # deterministic, and independent of how the catalog is
+                # sliced — but NOT bit-identical to the float64 pass.
+                block = self._pages[rows].astype(np.float32)
+                scores = (queries_page[hit] @ block.T).astype(
+                    np.float64
+                ) + self._bias[rows]
+            nodes_scored += scores.size
+            groups_scanned += 1
+            if banned_rows is not None:
+                for slot, row in enumerate(hit):
+                    hits = banned_rows[row]
+                    if hits is None:
+                        continue
+                    at = np.searchsorted(rows, hits)
+                    inside = at < rows.size
+                    at, row_hits = at[inside], hits[inside]
+                    at = at[rows[at] == row_hits]
+                    if at.size:
+                        scores[slot, at] = -np.inf
+            for slot, row in enumerate(hit):
+                offset = fill[row]
+                pool_items[row, offset : offset + ids.size] = ids
+                pool_scores[row, offset : offset + ids.size] = scores[slot]
+                fill[row] += ids.size
+        merged_items, merged_scores = merge_top_k_pages(
+            [pool_items], [pool_scores], width
+        )
+        got = merged_items.shape[1]
+        items_out[:, :got] = merged_items
+        scores_out[:, :got] = merged_scores
+        if self._scan_seconds is not None:
+            self._scan_seconds.observe(
+                max(0.0, time.perf_counter() - started)
+            )
+            self._nodes_counter.inc(nodes_scored)
+            self._rows_counter.inc(n_rows)
+        return RetrievalPage(
+            items_out, scores_out, nodes_scored, groups_scanned
+        )
+
     def _resolve_banned(
         self,
         banned: Optional[Sequence[Optional[np.ndarray]]],
@@ -452,7 +794,10 @@ class SubtreeIndex:
         return resolved if any_banned else None
 
     def __repr__(self) -> str:
+        approx = ""
+        if self.approx:
+            approx = f", approx=True, page_dtype={self.page_dtype!r}"
         return (
             f"SubtreeIndex(n_indexed={self.n_indexed}, "
-            f"n_groups={self.n_groups}, level={self.level})"
+            f"n_groups={self.n_groups}, level={self.level}{approx})"
         )

@@ -62,6 +62,65 @@ class ServingError(RuntimeError):
     """A request cannot be routed (e.g. no fallback model configured)."""
 
 
+#: Every known-user ranking strategy the service (and the shard router)
+#: accepts: two exact ("exact" dense pass, "pruned" SubtreeIndex scan with
+#: bit-identical output) and two approximate-but-deterministic ("budget"
+#: bound-ordered scan under a node budget, "ivf" top-nprobe cell probing).
+RETRIEVAL_MODES = ("exact", "pruned", "budget", "ivf")
+
+#: The subset of :data:`RETRIEVAL_MODES` that trades recall for speed.
+#: Same model + same knobs still means byte-identical rankings across
+#: runs and shard counts — approximate refers to recall, not determinism.
+APPROX_RETRIEVAL_MODES = ("budget", "ivf")
+
+
+def _check_retrieval_config(
+    retrieval: str,
+    cascade,
+    budget: Optional[int],
+    nprobe: Optional[int],
+    page_dtype: Optional[str],
+) -> None:
+    """Reject invalid (retrieval, cascade, knob) combinations up front.
+
+    Shared by :class:`RecommenderService` and
+    :class:`~repro.serving.sharding.ShardRouter`, so a fleet and a single
+    process refuse exactly the same configurations with the same message.
+    """
+    if retrieval not in RETRIEVAL_MODES:
+        raise ValueError(
+            f"retrieval must be one of {'/'.join(RETRIEVAL_MODES)}, "
+            f"got {retrieval!r}"
+        )
+    if retrieval != "exact" and cascade is not None:
+        raise ValueError(
+            f"retrieval={retrieval!r} already prunes the catalog scan "
+            "('pruned' exactly, 'budget'/'ivf' approximately) and cannot "
+            "be combined with cascaded (approximate) inference; drop one"
+        )
+    if budget is not None:
+        if retrieval != "budget":
+            raise ValueError(
+                f"budget= only applies to retrieval='budget', "
+                f"got retrieval={retrieval!r}"
+            )
+        if int(budget) < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+    if nprobe is not None:
+        if retrieval != "ivf":
+            raise ValueError(
+                f"nprobe= only applies to retrieval='ivf', "
+                f"got retrieval={retrieval!r}"
+            )
+        if int(nprobe) < 1:
+            raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+    if page_dtype is not None and retrieval not in APPROX_RETRIEVAL_MODES:
+        raise ValueError(
+            "page_dtype= only applies to the approximate modes "
+            f"{'/'.join(APPROX_RETRIEVAL_MODES)}, got retrieval={retrieval!r}"
+        )
+
+
 #: Sliding window of per-request latencies kept for percentile reporting.
 #: Counters (requests, seconds, ...) are exact forever; only the latency
 #: *distribution* is windowed, so a long-lived service stays bounded.
@@ -347,12 +406,15 @@ class ModelState:
         The cache generation this state was installed at.
     retrieval:
         How known users are ranked against the catalog: ``"exact"``
-        (dense pass over every item) or ``"pruned"`` (taxonomy-pruned
-        exact retrieval through :attr:`index`).
+        (dense pass over every item), ``"pruned"`` (taxonomy-pruned
+        exact retrieval through :attr:`index`), or the approximate —
+        but still deterministic — sub-linear modes ``"budget"`` /
+        ``"ivf"`` (see :data:`RETRIEVAL_MODES`).
     index:
         The :class:`~repro.serving.index.SubtreeIndex` built over this
-        state's factor snapshots (``None`` when ``retrieval="exact"``).
-        Rebuilt by every swap, so it can never serve retired factors.
+        state's factor snapshots (``None`` when ``retrieval="exact"``;
+        built with ``approx=True`` for the approximate modes).  Rebuilt
+        by every swap, so it can never serve retired factors.
     """
 
     model: TaxonomyFactorModel
@@ -403,12 +465,31 @@ class RecommenderService:
         bit-identical, ties included — through a
         :class:`~repro.serving.index.SubtreeIndex` that scans taxonomy
         subtrees in descending score-bound order and stops early, the
-        fast path for large catalogs.  Incompatible with *cascade*
+        fast path for large catalogs.  ``"budget"`` and ``"ivf"`` are the
+        *sub-linear approximate* tiers for catalogs past ~1M items:
+        budget stops the bound-ordered scan after *budget* catalog nodes
+        per row (the paper's cascaded inference on the index's own
+        ordering), ivf probes only the *nprobe* best taxonomy cells by
+        centroid score.  Both stay deterministic — same model + same
+        knobs means byte-identical rankings across runs and shard counts
+        — and degrade to the exact ranking when their knob is ``None``.
+        All three index-backed modes are incompatible with *cascade*
         (cascaded inference is its own — approximate — pruning scheme).
     index_level:
-        Taxonomy depth of the pruned index's subtree grouping (default:
-        auto, about ``sqrt(n_items)`` groups).  Ignored when
+        Taxonomy depth of the index's subtree grouping (default: auto,
+        about ``sqrt(n_items)`` groups).  Ignored when
         ``retrieval="exact"``.
+    budget:
+        Per-row node budget for ``retrieval="budget"`` (``None`` = scan
+        everything, i.e. exact results).  Rejected with any other mode.
+    nprobe:
+        Cells probed per row for ``retrieval="ivf"`` (``None`` = probe
+        everything, i.e. exact results).  Rejected with any other mode.
+    page_dtype:
+        Optional compact factor-page dtype (``"float32"``/``"float16"``)
+        for the approximate scans — cache-friendlier blocked GEMM at the
+        cost of bit-identity with the float64 dense pass (rankings stay
+        deterministic).  Only valid with ``"budget"`` / ``"ivf"``.
     registry:
         Optional shared :class:`~repro.obs.metrics.MetricsRegistry` the
         service's :class:`ServingStats` records into; a private registry
@@ -453,20 +534,18 @@ class RecommenderService:
         cache_size: int = 4096,
         retrieval: str = "exact",
         index_level: Optional[int] = None,
+        budget: Optional[int] = None,
+        nprobe: Optional[int] = None,
+        page_dtype: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ):
-        if retrieval not in ("exact", "pruned"):
-            raise ValueError(
-                f"retrieval must be 'exact' or 'pruned', got {retrieval!r}"
-            )
-        if retrieval == "pruned" and cascade is not None:
-            raise ValueError(
-                "retrieval='pruned' serves exact rankings and cannot be "
-                "combined with cascaded (approximate) inference; drop one"
-            )
+        _check_retrieval_config(retrieval, cascade, budget, nprobe, page_dtype)
         self.retrieval = retrieval
         self.index_level = index_level
+        self.budget = None if budget is None else int(budget)
+        self.nprobe = None if nprobe is None else int(nprobe)
+        self.page_dtype = page_dtype
         self.fold_in_steps = int(fold_in_steps)
         self.fold_in_seed = fold_in_seed
         self.query_cache = QueryVectorCache(cache_size)
@@ -504,7 +583,7 @@ class RecommenderService:
         effective = factor_set.effective_items()
         bias = factor_set.bias_of_items()
         index = None
-        if self.retrieval == "pruned":
+        if self.retrieval != "exact":
             # Rebuilt on every swap/refresh: the index snapshots the
             # factors, so a stale index could silently serve a retired
             # model long after the dense path moved on.
@@ -514,6 +593,8 @@ class RecommenderService:
                 model.taxonomy,
                 level=self.index_level,
                 registry=self._stats.registry,
+                approx=self.retrieval in APPROX_RETRIEVAL_MODES,
+                page_dtype=self.page_dtype,
             )
         return ModelState(
             model=model,
@@ -727,7 +808,7 @@ class RecommenderService:
         query = self._query_vector(state, user, history)
         banned = self._banned_items(state, user)
         if state.index is not None:
-            page = state.index.top_k(query[None, :], k, banned=[banned])
+            page = self._index_page(state, query[None, :], k, [banned])
             self._stats.add(nodes_scored=page.nodes_scored)
             row = page.items[0]
             return row[row >= 0]
@@ -737,6 +818,24 @@ class RecommenderService:
             scores[banned] = -np.inf
         row = top_k_rows(scores[None, :], k)[0]
         return row[row >= 0]
+
+    def _index_page(
+        self,
+        state: ModelState,
+        queries: np.ndarray,
+        k: int,
+        banned: List[np.ndarray],
+    ):
+        """One index scan in the state's retrieval mode (incl. knobs)."""
+        if state.retrieval == "budget":
+            return state.index.top_k_budget(
+                queries, k, banned=banned, budget=self.budget
+            )
+        if state.retrieval == "ivf":
+            return state.index.top_k_ivf(
+                queries, k, banned=banned, nprobe=self.nprobe
+            )
+        return state.index.top_k(queries, k, banned=banned)
 
     def _query_vector(
         self, state: ModelState, user: int, history: Optional[History]
@@ -862,10 +961,11 @@ class RecommenderService:
         histories: Optional[List[Optional[History]]],
         width: int,
     ) -> np.ndarray:
-        """Exact scoring for known users: cache-assisted queries, then one
-        BLAS product plus one row-wise partition (``retrieval="exact"``)
-        or a taxonomy-pruned scan returning the identical rankings
-        (``retrieval="pruned"``)."""
+        """Known-user scoring: cache-assisted queries, then one BLAS
+        product plus one row-wise partition (``retrieval="exact"``), a
+        taxonomy-pruned scan returning the identical rankings
+        (``retrieval="pruned"``), or a budgeted/IVF approximate scan
+        (``retrieval="budget"`` / ``"ivf"``)."""
         factors = state.effective.shape[1]
         queries = np.empty((users.size, factors))
         miss_slots: List[int] = []
@@ -898,7 +998,7 @@ class RecommenderService:
 
         banned = [self._banned_items(state, int(user)) for user in users]
         if state.index is not None:
-            page = state.index.top_k(queries, width, banned=banned)
+            page = self._index_page(state, queries, width, banned)
             self._stats.add(nodes_scored=page.nodes_scored)
             return page.items
         scores = queries @ state.effective.T + state.bias[None, :]

@@ -111,7 +111,11 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Span, SpanContext, Tracer
 from repro.serving.index import SubtreeIndex
 from repro.serving.protocol import History
-from repro.serving.service import RecommenderService
+from repro.serving.service import (
+    APPROX_RETRIEVAL_MODES,
+    RecommenderService,
+    _check_retrieval_config,
+)
 from repro.taxonomy.tree import Taxonomy
 from repro.utils.config import CascadeConfig, TrainConfig
 from repro.utils.rng import RngLike
@@ -514,6 +518,9 @@ class _WorkerSpec:
     cache_size: int
     payload: _ModelPayload
     retrieval: str = "exact"
+    budget: Optional[int] = None
+    nprobe: Optional[int] = None
+    page_dtype: Optional[str] = None
 
 
 def _slice_bounds(shard_index: int, n_shards: int, n_items: int) -> Tuple[int, int]:
@@ -583,18 +590,28 @@ class _WorkerState:
             # catalog index would be dead weight; the slice index below
             # carries the pruning there instead.
             retrieval=spec.retrieval if spec.partition == "users" else "exact",
+            budget=spec.budget if spec.partition == "users" else None,
+            nprobe=spec.nprobe if spec.partition == "users" else None,
+            page_dtype=spec.page_dtype if spec.partition == "users" else None,
         )
         slice_index = None
-        if spec.partition == "items" and spec.retrieval == "pruned":
+        if spec.partition == "items" and spec.retrieval != "exact":
             state = service.model_state
             lo, hi = _slice_bounds(
                 spec.shard_index, spec.n_shards, state.model.n_items
             )
+            # Approximate slice indexes still rank the FULL catalog's
+            # cells (global statistics over the shared factor pages), so
+            # every shard selects the same cells per row and the merged
+            # pages reproduce the single-process ranking byte-for-byte —
+            # each slice simply serves its share of the global budget.
             slice_index = SubtreeIndex(
                 state.effective,
                 state.bias,
                 payload.taxonomy,
                 items=np.arange(lo, hi, dtype=np.int64),
+                approx=spec.retrieval in APPROX_RETRIEVAL_MODES,
+                page_dtype=spec.page_dtype,
             )
         return cls(spec, service, segments, slice_index)
 
@@ -717,7 +734,16 @@ class _WorkerState:
                 else np.empty(0, dtype=np.int64)
                 for user in users
             ]
-            result = self.slice_index.top_k(queries, width, banned=banned)
+            if self.spec.retrieval == "budget":
+                result = self.slice_index.top_k_budget(
+                    queries, width, banned=banned, budget=self.spec.budget
+                )
+            elif self.spec.retrieval == "ivf":
+                result = self.slice_index.top_k_ivf(
+                    queries, width, banned=banned, nprobe=self.spec.nprobe
+                )
+            else:
+                result = self.slice_index.top_k(queries, width, banned=banned)
             items, page_scores = result.items, result.scores
             nodes_scored = result.nodes_scored
         else:
@@ -950,12 +976,26 @@ class ShardRouter:
         ``"items"`` (catalog slices + top-k page merge); see the module
         docstring.
     retrieval:
-        ``"exact"`` (dense scoring) or ``"pruned"`` — every shard serves
+        ``"exact"`` (dense scoring), ``"pruned"`` (taxonomy-pruned
+        retrieval with bit-identical rankings), or the approximate
+        sub-linear tiers ``"budget"`` / ``"ivf"`` — every shard serves
         known users through a
         :class:`~repro.serving.index.SubtreeIndex` over its catalog
-        (its slice, in the item partition).  Rankings stay bit-identical
-        to exact retrieval; the index is rebuilt inside each worker on
+        (its slice, in the item partition).  The approximate modes
+        select taxonomy cells from catalog-**global** statistics, so an
+        item-sliced fleet of any shard count returns the same bytes as
+        a single process — each slice serves its share of the global
+        budget/probe set.  Every index is rebuilt inside each worker on
         every :meth:`swap_model`, so hot swaps stay coherent.
+    budget:
+        Per-row node budget for ``retrieval="budget"`` (``None`` = scan
+        everything, exact results); rejected with any other mode.
+    nprobe:
+        Cells probed per row for ``retrieval="ivf"`` (``None`` = probe
+        everything, exact results); rejected with any other mode.
+    page_dtype:
+        Optional compact factor-page dtype (``"float32"``/``"float16"``)
+        for the approximate scans; only valid with ``"budget"``/``"ivf"``.
     mp_context:
         A :mod:`multiprocessing` start-method name or context (defaults
         to the platform default — ``fork`` on Linux, ``spawn`` on
@@ -995,6 +1035,9 @@ class ShardRouter:
         cache_size: int = 4096,
         partition: str = "users",
         retrieval: str = "exact",
+        budget: Optional[int] = None,
+        nprobe: Optional[int] = None,
+        page_dtype: Optional[str] = None,
         mp_context: Union[str, Any, None] = None,
         start_timeout: float = 120.0,
         request_timeout: float = 120.0,
@@ -1007,23 +1050,18 @@ class ShardRouter:
             raise ValueError(
                 f"partition must be 'users' or 'items', got {partition!r}"
             )
-        if retrieval not in ("exact", "pruned"):
-            raise ValueError(
-                f"retrieval must be 'exact' or 'pruned', got {retrieval!r}"
-            )
         if partition == "items" and cascade is not None:
             raise ValueError(
                 "cascaded inference prunes whole categories and cannot be "
                 "combined with item-sliced shards; use partition='users'"
             )
-        if retrieval == "pruned" and cascade is not None:
-            raise ValueError(
-                "retrieval='pruned' serves exact rankings and cannot be "
-                "combined with cascaded (approximate) inference; drop one"
-            )
+        _check_retrieval_config(retrieval, cascade, budget, nprobe, page_dtype)
         self.n_shards = int(n_shards)
         self.partition = partition
         self.retrieval = retrieval
+        self.budget = None if budget is None else int(budget)
+        self.nprobe = None if nprobe is None else int(nprobe)
+        self.page_dtype = page_dtype
         self.request_timeout = float(request_timeout)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
@@ -1074,6 +1112,9 @@ class ShardRouter:
                     cache_size=cache_size,
                     payload=payload,
                     retrieval=retrieval,
+                    budget=self.budget,
+                    nprobe=self.nprobe,
+                    page_dtype=page_dtype,
                 )
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 process = ctx.Process(

@@ -324,6 +324,77 @@ class TestServeBatch:
                 "--retrieval", "pruned", "--cascade", "0.5",
             )
 
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ("--retrieval", "budget"),
+            ("--retrieval", "budget", "--budget", "1000000"),
+            ("--retrieval", "ivf"),
+            ("--retrieval", "ivf", "--nprobe", "1000000"),
+        ],
+    )
+    def test_exhaustive_approximate_modes_match_exact(
+        self, workspace, capsys, tmp_path, flags
+    ):
+        """No knob (or a knob covering the catalog) means the approximate
+        engines return the exact ranking — through the CLI too."""
+        directory, model_path = workspace
+        exact = self._serve(directory, model_path, tmp_path / "e.jsonl")
+        approx = self._serve(
+            directory, model_path, tmp_path / "a.jsonl", *flags
+        )
+        capsys.readouterr()
+        assert approx == exact
+
+    def test_budget_served_and_deterministic(
+        self, workspace, capsys, tmp_path
+    ):
+        directory, model_path = workspace
+        flags = ("--retrieval", "budget", "--budget", "7")
+        first = self._serve(directory, model_path, tmp_path / "b1.jsonl", *flags)
+        second = self._serve(directory, model_path, tmp_path / "b2.jsonl", *flags)
+        capsys.readouterr()
+        assert first == second
+        assert len(first.strip().splitlines()) == 30
+
+    def test_bundle_knob_hints_are_defaults(self, workspace, capsys, tmp_path):
+        """extra={"retrieval": "budget", "budget": N} serves budgeted
+        retrieval with the saved operating point, no flags needed."""
+        from repro.serving.bundle import ModelBundle
+
+        directory, model_path = workspace
+        bundle = ModelBundle.load(model_path)
+        bundle.extra.update({"retrieval": "budget", "budget": 7})
+        hinted_path = tmp_path / "hinted"
+        bundle.save(hinted_path)
+        hinted = self._serve(directory, hinted_path, tmp_path / "h.jsonl")
+        flagged = self._serve(
+            directory, model_path, tmp_path / "f.jsonl",
+            "--retrieval", "budget", "--budget", "7",
+        )
+        capsys.readouterr()
+        assert hinted == flagged
+
+    def test_bad_bundle_knob_hint_rejected(self, workspace, capsys, tmp_path):
+        from repro.serving.bundle import ModelBundle
+
+        directory, model_path = workspace
+        bundle = ModelBundle.load(model_path)
+        bundle.extra.update({"retrieval": "ivf", "nprobe": "many"})
+        bad_path = tmp_path / "bad"
+        bundle.save(bad_path)
+        with pytest.raises(SystemExit, match="nprobe"):
+            self._serve(directory, bad_path, tmp_path / "b.jsonl")
+        capsys.readouterr()
+
+    def test_knob_with_wrong_mode_rejected(self, workspace, tmp_path):
+        directory, model_path = workspace
+        with pytest.raises(SystemExit, match="budget"):
+            self._serve(
+                directory, model_path, tmp_path / "x.jsonl",
+                "--retrieval", "ivf", "--budget", "100",
+            )
+
 
 class TestLegacyModelShim:
     def test_reads_npz_with_meta_sidecar(self, workspace, capsys):

@@ -4,10 +4,17 @@ The determinism contract: every selector ranks candidates by
 (score desc, item asc) — including ties that straddle the k-th score —
 so a single process, an item-partitioned fleet, and the pruned retrieval
 index can never disagree on tied scores.  PAD (-1) slots must never be
-counted as items or re-ranked above real candidates anywhere.
+counted as items or re-ranked above real candidates anywhere.  The
+approximate tiers (``retrieval="budget"`` / ``"ivf"``) extend the same
+contract: cell selection uses catalog-global statistics, so the fleet
+returns the single-process ranking byte for byte at any shard count,
+and a fleet-wide hot swap never serves a page mixing generations.
 """
 
 from __future__ import annotations
+
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -216,3 +223,140 @@ class TestTiedScoresShardInvariance:
         ) as fleet:
             got = fleet.recommend_batch(users, k=5)
         assert np.array_equal(got, expected)
+
+
+# ----------------------------------------------------------------------
+# Approximate tiers: shard invariance and swap coherence
+# ----------------------------------------------------------------------
+def _random_factor_model(seed: int, n_users: int = 24) -> TaxonomyFactorModel:
+    """The 24-item taxonomy of ``_constant_score_model``, random factors."""
+    parent = [-1] + [0] * 4
+    for cat in range(1, 5):
+        parent += [cat] * 6
+    taxonomy = Taxonomy(parent)
+    factors = 4
+    rng = np.random.default_rng(seed)
+    factor_set = FactorSet.from_arrays(
+        taxonomy,
+        user=rng.normal(0, 0.5, size=(n_users, factors)),
+        w=rng.normal(0, 0.5, size=(taxonomy.n_nodes + 1, factors)),
+        bias=rng.normal(0, 0.2, size=taxonomy.n_nodes + 1),
+        levels=2,
+        init_scale=0.1,
+    )
+    model = TaxonomyFactorModel(taxonomy, TrainConfig(factors=factors))
+    model._factors = factor_set
+    return model
+
+
+_APPROX_KNOBS = {
+    # Partial knobs: 13 of 24 items / 2 of 4 cells, so the scan really
+    # is approximate and the fleet must agree on which cells it skipped.
+    "budget": {"retrieval": "budget", "budget": 13},
+    "ivf": {"retrieval": "ivf", "nprobe": 2},
+}
+
+
+class TestApproximateShardInvariance:
+    @pytest.mark.parametrize("mode", ["budget", "ivf"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("partition", ["users", "items"])
+    def test_fleet_matches_single_process(self, mode, n_shards, partition):
+        """Cell selection is computed from catalog-global statistics, so
+        an item-partitioned fleet serves each slice's share of the same
+        global budget — any shard count returns the single-process page
+        byte for byte."""
+        model = _random_factor_model(seed=42)
+        knobs = _APPROX_KNOBS[mode]
+        users = np.arange(model.n_users)
+        expected = RecommenderService(
+            model, cache_size=0, **knobs
+        ).recommend_batch(users, k=5)
+        with ShardRouter(
+            model, n_shards=n_shards, partition=partition, cache_size=0,
+            **knobs,
+        ) as fleet:
+            got = fleet.recommend_batch(users, k=5)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("mode", ["budget", "ivf"])
+    def test_fleet_matches_single_process_on_all_ties(self, mode):
+        """Every item ties at score 0, so the ranking is decided purely
+        by which cells the knob selects plus the (score desc, item asc)
+        tie-break — the sharpest probe for selection divergence between
+        a slice index and the single-process index."""
+        model = _constant_score_model()
+        knobs = _APPROX_KNOBS[mode]
+        users = np.arange(model.n_users)
+        expected = RecommenderService(
+            model, cache_size=0, **knobs
+        ).recommend_batch(users, k=5)
+        with ShardRouter(
+            model, n_shards=4, partition="items", cache_size=0, **knobs
+        ) as fleet:
+            got = fleet.recommend_batch(users, k=5)
+        assert np.array_equal(got, expected)
+
+
+class TestApproximateSwapUnderLoad:
+    @pytest.mark.parametrize("mode", ["budget", "ivf"])
+    def test_hot_swap_never_serves_mixed_generations(self, mode):
+        """A fleet-wide swap mid-stream rebuilds the approximate index on
+        every shard atomically: each served page must equal either the
+        old model's ranking or the new model's — entire, never a row set
+        merged across generations (which would pass no single-model
+        reference)."""
+        knobs = _APPROX_KNOBS[mode]
+        model_a = _random_factor_model(seed=7)
+        model_b = _random_factor_model(seed=8)
+        users = np.arange(model_a.n_users)
+        ref_a = RecommenderService(
+            model_a, cache_size=0, **knobs
+        ).recommend_batch(users, k=5)
+        ref_b = RecommenderService(
+            model_b, cache_size=0, **knobs
+        ).recommend_batch(users, k=5)
+        assert not np.array_equal(ref_a, ref_b)  # swap must be observable
+
+        pages, errors = [], []
+        stop = threading.Event()
+
+        with ShardRouter(
+            model_a, n_shards=2, partition="items", cache_size=0, **knobs
+        ) as fleet:
+
+            def hammer():
+                try:
+                    while not stop.is_set():
+                        pages.append(fleet.recommend_batch(users, k=5))
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            try:
+                time.sleep(0.05)
+                fleet.swap_model(model_b)
+                time.sleep(0.05)
+            finally:
+                stop.set()
+                thread.join(timeout=30)
+            # After the swap returns, traffic is generation B everywhere.
+            post_swap = fleet.recommend_batch(users, k=5)
+
+        assert not errors, errors
+        assert not thread.is_alive()
+        assert np.array_equal(post_swap, ref_b)
+        assert pages, "the load thread never completed a batch"
+        saw = {"a": 0, "b": 0}
+        for page in pages:
+            if np.array_equal(page, ref_a):
+                saw["a"] += 1
+            elif np.array_equal(page, ref_b):
+                saw["b"] += 1
+            else:
+                raise AssertionError(
+                    "a served page matches neither generation — "
+                    "mixed-generation ranking"
+                )
+        assert saw["a"] + saw["b"] == len(pages)
