@@ -189,7 +189,7 @@ from repro.utils.config import (
     save_spec,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",

@@ -18,6 +18,8 @@ Subcommands cover the end-to-end workflow on files:
   shared memory, one worker per shard),
 * ``stream`` — replay held-out transactions as a live event stream
   through the online updater, hot-swapping the served model as it goes,
+* ``learn-taxonomy`` — build a taxonomy for a log that has none, by
+  clustering bootstrap MF factors (deterministic; prints the tree digest),
 * ``stats`` — dataset characteristics (the Fig. 5 quantities).
 
 All model fitting goes through the unified ``repro.train`` front door —
@@ -770,6 +772,49 @@ def _print_span(node: Dict, depth: int) -> None:
         _print_span(child, depth + 1)
 
 
+def cmd_learn_taxonomy(args: argparse.Namespace) -> int:
+    """Learn a taxonomy for a transaction log that ships without one.
+
+    Trains the flat MF baseline on the log, agglomeratively clusters the
+    resulting item factors into a tree
+    (:func:`repro.taxonomy.learn.bootstrap_taxonomy`), and writes it in
+    the native taxonomy format — after which ``train`` / ``serve-batch``
+    / ``serve-sharded`` work exactly as on a curated catalog.  The run
+    is deterministic: same log, same flags → byte-identical tree and
+    digest.
+    """
+    from repro.taxonomy.learn import bootstrap_taxonomy
+
+    log_path = Path(args.data_dir) / LOG_FILE
+    if not log_path.exists():
+        raise SystemExit(
+            f"missing {LOG_FILE} in {args.data_dir} "
+            f"(run `python -m repro generate` first)"
+        )
+    log = TransactionLog.load(log_path)
+    out = (
+        Path(args.out) if args.out else Path(args.data_dir) / TAXONOMY_FILE
+    )
+    if out.exists() and not args.force:
+        raise SystemExit(
+            f"{out} already exists; pass --force to replace it with the "
+            f"learned tree"
+        )
+    taxonomy = bootstrap_taxonomy(
+        log,
+        factors=args.factors,
+        epochs=args.epochs,
+        branching=args.branching,
+        max_depth=args.depth,
+        seed=args.seed,
+        sample=args.sample,
+    )
+    save_taxonomy(taxonomy, out)
+    print(f"wrote {out} ({taxonomy})")
+    print(f"taxonomy version: {taxonomy.version}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Dataset characteristics, or post-hoc telemetry rendering.
 
@@ -1094,6 +1139,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the combined serving+streaming "
                              "repro.obs/v1 snapshot here")
     stream.set_defaults(func=cmd_stream)
+
+    learn = sub.add_parser(
+        "learn-taxonomy",
+        help="learn a taxonomy from a taxonomy-free transaction log",
+    )
+    learn.add_argument("--data-dir", required=True,
+                       help="dataset directory holding transactions.jsonl")
+    learn.add_argument("--out", default=None,
+                       help="where to write the learned taxonomy "
+                            "(default: <data-dir>/taxonomy.json)")
+    learn.add_argument("--force", action="store_true",
+                       help="replace an existing taxonomy file")
+    learn.add_argument("--branching", type=int, default=8,
+                       help="target fan-out per tree level")
+    learn.add_argument("--depth", type=int, default=3,
+                       help="maximum tree depth, items inclusive")
+    learn.add_argument("--factors", type=int, default=16,
+                       help="latent dimensionality of the MF bootstrap")
+    learn.add_argument("--epochs", type=int, default=5,
+                       help="MF bootstrap training epochs")
+    learn.add_argument("--sample", type=int, default=None,
+                       help="cluster at most this many anchor items "
+                            "(default: all; the agglomeration is O(n^2))")
+    learn.add_argument("--seed", type=int, default=0)
+    learn.set_defaults(func=cmd_learn_taxonomy)
 
     stats = sub.add_parser(
         "stats",

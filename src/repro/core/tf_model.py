@@ -390,6 +390,22 @@ class TaxonomyFactorModel:
         self.taxonomy = grown
         return new_items
 
+    def replant_items(self, moves) -> None:
+        """Re-seat items under better categories, scores unchanged.
+
+        *moves* maps dense item indices to new parent nodes (see
+        :meth:`repro.taxonomy.tree.Taxonomy.replant`).  Every effective
+        factor is preserved by rewriting the moved leaves' own offsets
+        (:func:`repro.taxonomy.learn.replant_items`), so recommendations
+        are unaffected until further training exploits the new chains.
+        The model's taxonomy advances one revision.
+        """
+        from repro.taxonomy.learn import replant_items
+
+        replanted, shifted = replant_items(self.taxonomy, self.factor_set, moves)
+        self.taxonomy = replanted
+        self._factors = shifted
+
     def effective_item_factors(self) -> np.ndarray:
         """Effective item factors ``v^I`` (Eq. 1), shape ``(n_items, K)``."""
         return self.factor_set.effective_items()

@@ -39,6 +39,7 @@ from repro.core.popularity import PopularityModel, RandomModel
 from repro.core.tf_model import TaxonomyFactorModel
 from repro.taxonomy.io import load_taxonomy, save_taxonomy
 from repro.taxonomy.tree import Taxonomy
+from repro.taxonomy.version import TaxonomyVersion
 from repro.utils.config import TrainConfig
 
 PathLike = Union[str, Path]
@@ -175,6 +176,10 @@ class ModelBundle:
             self.model.factor_set.save(directory / "factors.npz")
             save_taxonomy(self.model.taxonomy, directory / "taxonomy.json")
             manifest["config"] = dataclasses.asdict(self.model.config)
+            # The taxonomy is a versioned artifact: the manifest pins the
+            # exact tree generation the factors were trained against, so
+            # load() can reject a bundle whose pieces drifted apart.
+            manifest["taxonomy_version"] = self.model.taxonomy.version.as_dict()
             manifest["artifacts"] = {
                 "factors": "factors.npz",
                 "taxonomy": "taxonomy.json",
@@ -252,10 +257,49 @@ class ModelBundle:
         directory: Path, manifest: Dict[str, Any], name: str
     ) -> TaxonomyFactorModel:
         taxonomy = load_taxonomy(directory / "taxonomy.json")
+        ModelBundle._check_taxonomy_version(directory, manifest, taxonomy)
         config = TrainConfig(**manifest.get("config", {}))
         model = _FACTOR_MODELS[name](taxonomy, config)
         model._factors = FactorSet.load(directory / "factors.npz", taxonomy)
         return model
+
+    @staticmethod
+    def _check_taxonomy_version(
+        directory: Path, manifest: Dict[str, Any], taxonomy: Taxonomy
+    ) -> None:
+        """Verify the loaded tree is the generation the manifest pins.
+
+        The factors were trained against one exact tree; a
+        ``taxonomy.json`` swapped in from another run (or truncated and
+        regenerated) would silently mis-index every ancestor chain.  The
+        manifest's recorded :class:`~repro.taxonomy.version.
+        TaxonomyVersion` must match the loaded tree's digest and item
+        count.  Bundles written before the taxonomy was versioned carry
+        no record and load as before.
+        """
+        recorded = manifest.get("taxonomy_version")
+        if recorded is None:
+            return
+        try:
+            pinned = TaxonomyVersion.from_dict(recorded)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BundleError(
+                f"corrupt taxonomy_version record in {directory}: {exc}"
+            ) from exc
+        actual = taxonomy.version
+        if pinned.digest != actual.digest:
+            raise BundleError(
+                f"taxonomy mismatch in {directory}: manifest pins tree "
+                f"{pinned.short}... but taxonomy.json holds "
+                f"{actual.short}... — the bundle's artifacts are from "
+                f"different model generations"
+            )
+        if pinned.n_items != actual.n_items:
+            raise BundleError(
+                f"taxonomy mismatch in {directory}: manifest records "
+                f"{pinned.n_items} items but taxonomy.json holds "
+                f"{actual.n_items}"
+            )
 
     @classmethod
     def load_model(cls, directory: PathLike) -> Any:

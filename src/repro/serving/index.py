@@ -245,6 +245,10 @@ class SubtreeIndex:
         if block_items < 1:
             raise ValueError(f"block_items must be >= 1, got {block_items}")
         self.taxonomy = taxonomy
+        #: The tree generation the cells were carved from — checkable
+        #: against the serving state's version, so a refined taxonomy can
+        #: never be paired with an index built over the previous tree.
+        self.taxonomy_version = taxonomy.version
         self.block_items = int(block_items)
         self._n_catalog = int(effective.shape[0])
 

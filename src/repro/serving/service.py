@@ -54,6 +54,7 @@ from repro.obs.tracing import Tracer
 from repro.serving.coldstart import FoldInRecommender
 from repro.serving.index import SubtreeIndex
 from repro.serving.protocol import History
+from repro.taxonomy.version import TaxonomyVersion
 from repro.utils.config import CascadeConfig
 from repro.utils.rng import RngLike
 
@@ -415,6 +416,12 @@ class ModelState:
         state's factor snapshots (``None`` when ``retrieval="exact"``;
         built with ``approx=True`` for the approximate modes).  Rebuilt
         by every swap, so it can never serve retired factors.
+    taxonomy_version:
+        The :class:`~repro.taxonomy.version.TaxonomyVersion` of the tree
+        this state serves.  Everything in the state — factors, index,
+        cascade — was derived from that one tree generation, so a single
+        attribute read answers "which (model, taxonomy) generation am I
+        on?" coherently even mid-swap.
     """
 
     model: TaxonomyFactorModel
@@ -427,6 +434,7 @@ class ModelState:
     generation: int
     retrieval: str = "exact"
     index: Optional[SubtreeIndex] = None
+    taxonomy_version: Optional[TaxonomyVersion] = None
 
 
 #: Backwards-compatible alias — the state class was private before 1.4.
@@ -607,6 +615,7 @@ class RecommenderService:
             generation=generation,
             retrieval=self.retrieval,
             index=index,
+            taxonomy_version=model.taxonomy.version,
         )
 
     # ------------------------------------------------------------------
@@ -647,6 +656,11 @@ class RecommenderService:
     def generation(self) -> int:
         """Bumped by every swap / cache invalidation (0 at construction)."""
         return self._state.generation
+
+    @property
+    def taxonomy_version(self) -> Optional[TaxonomyVersion]:
+        """The tree generation currently being served (digest + revision)."""
+        return self._state.taxonomy_version
 
     @property
     def model_state(self) -> ModelState:

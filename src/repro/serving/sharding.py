@@ -1089,6 +1089,7 @@ class ShardRouter:
         self._published_log = history_log
         self._n_users = model.factor_set.n_users
         self._n_items = model.n_items
+        self._taxonomy_version = model.taxonomy.version
         self._shared = SharedFactors(
             model.factor_set, generation=0, prefix=self._token
         )
@@ -1176,6 +1177,17 @@ class ShardRouter:
         """Users known to the currently published model."""
         return self._n_users
 
+    @property
+    def taxonomy_version(self):
+        """The tree generation the whole fleet is serving.
+
+        Updated only after every shard has acknowledged a swap, so the
+        value never describes a partially published (model, taxonomy)
+        pair — it is the fleet-wide analogue of
+        :attr:`repro.serving.service.RecommenderService.taxonomy_version`.
+        """
+        return self._taxonomy_version
+
     def stats(self) -> Dict[str, Any]:
         """Aggregate serving statistics across the fleet.
 
@@ -1212,6 +1224,8 @@ class ShardRouter:
         )
         summed["swaps"] = self._swaps
         summed["generation"] = self._generation
+        summed["taxonomy_digest"] = self._taxonomy_version.short
+        summed["taxonomy_revision"] = self._taxonomy_version.revision
         summed["shards"] = shards
         return summed
 
@@ -1532,6 +1546,7 @@ class ShardRouter:
             self._swaps += 1
             self._n_users = model.factor_set.n_users
             self._n_items = model.n_items
+            self._taxonomy_version = model.taxonomy.version
             self._published_log = resolved_log
             retired.release()
         return generation

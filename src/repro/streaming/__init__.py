@@ -32,6 +32,7 @@ from repro.streaming.events import (
     EventLog,
     ItemArrival,
     MicroBatch,
+    MissingCategoryError,
     PurchaseEvent,
     decode_event,
     encode_event,
@@ -48,6 +49,7 @@ __all__ = [
     "Event",
     "EventError",
     "EventLog",
+    "MissingCategoryError",
     "PurchaseEvent",
     "ItemArrival",
     "MicroBatch",

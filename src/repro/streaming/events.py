@@ -52,6 +52,18 @@ class EventError(ValueError):
     """An event record is malformed (empty basket, bad payload, ...)."""
 
 
+class MissingCategoryError(EventError):
+    """An :class:`ItemArrival` names no category where one is required.
+
+    Raised at ingest — before any model state is touched — when a
+    category-free arrival reaches a consumer that has no automatic
+    placement enabled.  The remedy is either to attach the item under a
+    taxonomy node at the source, or to let
+    :func:`repro.taxonomy.learn.place_item` choose a category
+    (``OnlineUpdater(auto_place=True)``).
+    """
+
+
 @dataclass(frozen=True)
 class PurchaseEvent:
     """One transaction: *user* bought *items* (a non-empty basket).
@@ -91,14 +103,61 @@ class PurchaseEvent:
 class ItemArrival:
     """A new catalog item released under taxonomy node *parent*.
 
+    *parent* may be ``None`` — a catalog with no curated taxonomy does
+    not know the category at release time.  Such arrivals are only
+    ingestible by consumers that place items themselves (see
+    :func:`repro.taxonomy.learn.place_item`); anything that needs the
+    node id calls :meth:`require_parent` and gets the typed
+    :class:`MissingCategoryError` instead of a ``KeyError`` deep inside
+    the taxonomy-growing machinery.
+
     Examples
     --------
     >>> ItemArrival(parent=7, name="gadget").name
     'gadget'
+    >>> ItemArrival().has_category
+    False
+    >>> try:
+    ...     ItemArrival().require_parent()
+    ... except MissingCategoryError as exc:
+    ...     "place_item" in str(exc)
+    True
     """
 
-    parent: int
+    parent: Optional[int] = None
     name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.parent is None:
+            return
+        try:
+            parent = int(self.parent)
+        except (TypeError, ValueError) as exc:
+            raise EventError(f"malformed item arrival: {exc}") from exc
+        if parent != self.parent:
+            raise EventError(
+                f"item arrival parent must be an integer node id, "
+                f"got {self.parent!r}"
+            )
+        if parent < 0:
+            raise EventError(f"parent node must be >= 0, got {parent}")
+        object.__setattr__(self, "parent", parent)
+
+    @property
+    def has_category(self) -> bool:
+        """Whether the arrival names a taxonomy node to attach under."""
+        return self.parent is not None
+
+    def require_parent(self) -> int:
+        """The parent node id, or :class:`MissingCategoryError` if absent."""
+        if self.parent is None:
+            raise MissingCategoryError(
+                f"item arrival {self.name or '<unnamed>'!r} has no "
+                f"category: attach the item under a taxonomy node at the "
+                f"source, or enable automatic placement "
+                f"(repro.taxonomy.learn.place_item) on the consumer"
+            )
+        return self.parent
 
 
 Event = Union[PurchaseEvent, ItemArrival]
@@ -109,6 +168,8 @@ def encode_event(event: Event) -> str:
     if isinstance(event, PurchaseEvent):
         return json.dumps({"u": event.user, "i": list(event.items)})
     if isinstance(event, ItemArrival):
+        # "parent" is always present (null for category-free arrivals):
+        # its presence is what decode_event dispatches on.
         payload: Dict[str, object] = {"parent": event.parent}
         if event.name is not None:
             payload["name"] = event.name
@@ -131,7 +192,10 @@ def decode_event(line: str) -> Event:
         raise EventError(f"corrupt event record: {line!r}")
     try:
         if "parent" in payload:
-            return ItemArrival(int(payload["parent"]), payload.get("name"))
+            raw = payload["parent"]
+            return ItemArrival(
+                None if raw is None else int(raw), payload.get("name")
+            )
         if "u" in payload and "i" in payload:
             return PurchaseEvent(int(payload["u"]), tuple(payload["i"]))
     except EventError:

@@ -8,11 +8,17 @@ periodically publishing a fresh model into the serving tier:
    into micro-batches (:mod:`repro.streaming.events`);
 2. each micro-batch is folded into the working factors
    (:class:`~repro.streaming.updater.OnlineUpdater`);
-3. every ``swap_every`` batches (and once at the end of the stream) a
+3. every ``refine_every`` batches the taxonomy itself is refined —
+   items whose streamed purchases pulled them away from their category
+   are re-seated (:meth:`~repro.streaming.updater.OnlineUpdater.refine`)
+   with effective factors preserved, so the refined tree changes nothing
+   until later training exploits the corrected chains;
+4. every ``swap_every`` batches (and once at the end of the stream) a
    snapshot is checkpointed and hot-swapped into the live
    :class:`~repro.serving.service.RecommenderService`
-   (:class:`~repro.streaming.swap.HotSwapper`) — serving continues
-   uninterrupted throughout.
+   (:class:`~repro.streaming.swap.HotSwapper`) — the new tree, factors,
+   and rebuilt retrieval index always go live together in one swap, and
+   serving continues uninterrupted throughout.
 """
 
 from __future__ import annotations
@@ -42,6 +48,16 @@ class StreamingPipeline:
     swap_every:
         Publish a snapshot every this many micro-batches (``0`` publishes
         only once, at the end of the stream).
+    refine_every:
+        Run one taxonomy refinement pass
+        (:meth:`~repro.streaming.updater.OnlineUpdater.refine`) every
+        this many micro-batches, *before* the batch's publication is
+        considered — so a refined tree and its factors always go live
+        together, atomically, through the same hot swap (``0``, the
+        default, never refines).
+    refine_min_gain, refine_max_moves:
+        Drift threshold and per-pass move cap forwarded to
+        :meth:`~repro.streaming.updater.OnlineUpdater.refine`.
     store:
         Optional :class:`~repro.streaming.swap.CheckpointStore`; every
         publication is checkpointed before going live.
@@ -77,6 +93,9 @@ class StreamingPipeline:
         updater: Optional[OnlineUpdater] = None,
         batch_size: int = 256,
         swap_every: int = 4,
+        refine_every: int = 0,
+        refine_min_gain: float = 0.05,
+        refine_max_moves: Optional[int] = None,
         store: Optional[CheckpointStore] = None,
         registry=None,
     ):
@@ -84,6 +103,8 @@ class StreamingPipeline:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if swap_every < 0:
             raise ValueError(f"swap_every must be >= 0, got {swap_every}")
+        if refine_every < 0:
+            raise ValueError(f"refine_every must be >= 0, got {refine_every}")
         if registry is None:
             registry = getattr(service, "registry", None)
         self.service = service
@@ -93,6 +114,11 @@ class StreamingPipeline:
         )
         self.batch_size = int(batch_size)
         self.swap_every = int(swap_every)
+        self.refine_every = int(refine_every)
+        self.refine_min_gain = float(refine_min_gain)
+        self.refine_max_moves = refine_max_moves
+        #: Refinement passes that actually moved at least one item.
+        self.refinements = 0
         self.swapper = HotSwapper(service, store=store, registry=registry)
 
     @property
@@ -128,6 +154,13 @@ class StreamingPipeline:
         for batch in iter_microbatches(replay(events, rate), self.batch_size):
             self.updater.apply(batch)
             batches += 1
+            if self.refine_every and batches % self.refine_every == 0:
+                moves = self.updater.refine(
+                    min_gain=self.refine_min_gain,
+                    max_moves=self.refine_max_moves,
+                )
+                if moves:
+                    self.refinements += 1
             if self.swap_every and batches % self.swap_every == 0:
                 self.publish()
                 published_at = batches

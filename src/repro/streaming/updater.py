@@ -43,7 +43,8 @@ from repro.core.folding import fold_in_user
 from repro.core.sgd import bpr_user_step
 from repro.core.tf_model import TaxonomyFactorModel
 from repro.data.transactions import TransactionLog
-from repro.streaming.events import MicroBatch, PurchaseEvent
+from repro.streaming.events import ItemArrival, MicroBatch, PurchaseEvent
+from repro.taxonomy.learn import place_item, refine_placements
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -57,6 +58,8 @@ _STREAM_FIELDS = (
     "pair_steps",
     "new_users",
     "new_items",
+    "placed_items",
+    "replants",
     "seconds",
 )
 
@@ -173,6 +176,14 @@ class OnlineUpdater:
     fold_in_steps:
         SGD budget for warm-starting a brand-new user from their streamed
         history (see :func:`~repro.core.folding.fold_in_user`).
+    auto_place:
+        How :class:`~repro.streaming.events.ItemArrival` events without a
+        category are handled.  ``False`` (default) rejects them at ingest
+        with a typed :class:`~repro.streaming.events.MissingCategoryError`
+        — before any state is touched.  ``True`` chooses a category with
+        :func:`repro.taxonomy.learn.place_item` (popularity evidence at
+        arrival time; the periodic refinement re-seats the item once
+        purchase data accrues).
     seed:
         Seed of the negative sampler and fold-in.
     registry:
@@ -205,6 +216,7 @@ class OnlineUpdater:
         learning_rate: Optional[float] = None,
         reg: Optional[float] = None,
         fold_in_steps: int = 100,
+        auto_place: bool = False,
         seed: RngLike = 0,
         registry=None,
     ):
@@ -220,6 +232,7 @@ class OnlineUpdater:
         )
         self.reg = config.reg if reg is None else float(reg)
         self.fold_in_steps = int(fold_in_steps)
+        self.auto_place = bool(auto_place)
         self.rng = ensure_rng(seed)
         self.stats = StreamingStats(registry=registry)
         #: Cumulative BPR negative log-likelihood over every pair step —
@@ -294,8 +307,13 @@ class OnlineUpdater:
         """
         started = time.perf_counter()
         if batch.arrivals:
+            # Resolve every arrival's category *before* mutating anything:
+            # a category-free arrival either fails here with the typed
+            # MissingCategoryError or is placed by similarity/popularity
+            # evidence — never a KeyError halfway through a batch.
+            parents = self._resolve_arrival_parents(batch.arrivals)
             self.onboard_items(
-                [a.parent for a in batch.arrivals],
+                parents,
                 names=(
                     None
                     if all(a.name is None for a in batch.arrivals)
@@ -332,6 +350,36 @@ class OnlineUpdater:
         )
         self.stats.record_batch(time.perf_counter() - started)
         return self.stats
+
+    def _resolve_arrival_parents(self, arrivals: Sequence[ItemArrival]) -> List[int]:
+        """Category node for every arrival, placing category-free ones.
+
+        With ``auto_place`` off this is strict:
+        :meth:`~repro.streaming.events.ItemArrival.require_parent` raises
+        the typed error for the first category-free arrival.  With it on,
+        :func:`repro.taxonomy.learn.place_item` picks the category from
+        the only evidence a brand-new item has — per-category purchase
+        mass — counted once per batch, before this batch's purchases.
+        """
+        if not self.auto_place:
+            return [a.require_parent() for a in arrivals]
+        resolved: List[int] = []
+        placed = 0
+        for arrival in arrivals:
+            if arrival.has_category:
+                resolved.append(arrival.parent)
+            else:
+                resolved.append(
+                    place_item(
+                        self.model.taxonomy,
+                        self._effective,
+                        item_counts=self._item_counts,
+                    )
+                )
+                placed += 1
+        if placed:
+            self.stats.add(placed_items=placed)
+        return resolved
 
     def _validate_items(self, pairs: np.ndarray) -> None:
         n_items = self.n_items
@@ -485,6 +533,46 @@ class OnlineUpdater:
         self._refresh_item_snapshot()
         self.stats.add(new_items=int(new_items.size))
         return new_items
+
+    # ------------------------------------------------------------------
+    # Taxonomy refinement
+    # ------------------------------------------------------------------
+    def replant(self, moves: Dict[int, int]) -> None:
+        """Re-seat items under new categories in the working model.
+
+        Effective factors are preserved exactly
+        (:meth:`~repro.core.tf_model.TaxonomyFactorModel.replant_items`),
+        so snapshots published before and after rank identically; the
+        taxonomy advances one revision and future updates train against
+        the corrected chains.
+        """
+        self.model.replant_items(moves)
+        self._refresh_item_snapshot()
+        self.stats.add(replants=len(moves))
+
+    def refine(
+        self,
+        *,
+        min_gain: float = 0.05,
+        max_moves: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """One refinement pass: find drifted items and replant them.
+
+        Items whose streamed purchase history pulled their effective
+        factor closer to another category's centroid than their own
+        (by more than *min_gain* cosine similarity) are re-seated, at
+        most *max_moves* per pass.  Returns the applied moves (empty when
+        nothing drifted — the taxonomy is left untouched, same revision).
+        """
+        moves = refine_placements(
+            self.model.taxonomy,
+            self._effective,
+            min_gain=min_gain,
+            max_moves=max_moves,
+        )
+        if moves:
+            self.replant(moves)
+        return moves
 
     # ------------------------------------------------------------------
     # Snapshots for hot-swapping

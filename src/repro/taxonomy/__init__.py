@@ -3,6 +3,12 @@
 The taxonomy is the structural prior of the whole library (paper Sec. 1/3):
 items are leaves, interior nodes are categories, and the TF model sums a
 learned offset along each item's ancestor chain.
+
+Since 1.9 the tree is a *versioned, learnable artifact* rather than a
+construction-time constant: every :class:`Taxonomy` carries a content
+digest and revision (:class:`TaxonomyVersion`), :mod:`repro.taxonomy.learn`
+builds and refines trees from item factors, and the serving/streaming
+layers propagate the version through bundles, states, and hot swaps.
 """
 
 from repro.taxonomy.builder import from_edges, from_parent_array, from_paths
@@ -19,12 +25,32 @@ from repro.taxonomy.io import (
     parse_category_records,
     save_taxonomy,
 )
-from repro.taxonomy.tree import ROOT, Taxonomy, TaxonomyError
+from repro.taxonomy.learn import (
+    bootstrap_taxonomy,
+    category_centroids,
+    learn_taxonomy,
+    place_item,
+    refine_placements,
+    replant_items,
+)
+from repro.taxonomy.tree import (
+    ROOT,
+    Taxonomy,
+    TaxonomyError,
+    bfs_order,
+    collapse_single_child_chains,
+    node_names,
+)
+from repro.taxonomy.version import TaxonomyVersion
 
 __all__ = [
     "ROOT",
     "Taxonomy",
     "TaxonomyError",
+    "TaxonomyVersion",
+    "bfs_order",
+    "collapse_single_child_chains",
+    "node_names",
     "from_edges",
     "from_parent_array",
     "from_paths",
@@ -37,4 +63,10 @@ __all__ = [
     "load_taxonomy",
     "parse_category_records",
     "load_category_file",
+    "bootstrap_taxonomy",
+    "category_centroids",
+    "learn_taxonomy",
+    "place_item",
+    "refine_placements",
+    "replant_items",
 ]

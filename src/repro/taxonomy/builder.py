@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.taxonomy.tree import Taxonomy, TaxonomyError
+from repro.taxonomy.tree import Taxonomy, TaxonomyError, bfs_order
 
 
 def from_parent_array(
@@ -107,12 +107,7 @@ def from_paths(paths: Iterable[Sequence[str]], root_name: str = "<root>") -> Tax
 
 def _bfs_renumber(root, children_of, expected_nodes: int, display=None) -> Taxonomy:
     """Renumber an adjacency dict into level-order ids and build the tree."""
-    order = [root]
-    idx = 0
-    while idx < len(order):
-        node = order[idx]
-        idx += 1
-        order.extend(sorted(children_of.get(node, [])))
+    order = bfs_order(root, children_of)
     if len(order) != expected_nodes:
         raise TaxonomyError(
             f"taxonomy is not a connected tree: reached {len(order)} of "

@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.taxonomy.tree import Taxonomy, TaxonomyError
+from repro.taxonomy.tree import Taxonomy, TaxonomyError, node_names
 
 
 def add_items(
@@ -69,13 +69,16 @@ def add_items(
     parent_array = np.concatenate(
         [taxonomy.parent, np.asarray(parents, dtype=np.int64)]
     )
-    all_names: Optional[List[str]] = None
-    if names is not None or taxonomy.name_of(0) != "node:0":
+    all_names: Optional[List[str]] = node_names(taxonomy)
+    if names is not None and all_names is None:
         all_names = [taxonomy.name_of(v) for v in range(old_n)]
+    if all_names is not None:
         if names is None:
             names = [f"new-item-{k}" for k in range(len(parents))]
         all_names.extend(names)
-    grown = Taxonomy(parent_array, names=all_names)
+    grown = Taxonomy(
+        parent_array, names=all_names, revision=taxonomy.revision + 1
+    )
 
     # New nodes have the highest ids, hence the highest dense indices;
     # every pre-existing item keeps its index.  Verify the invariant.

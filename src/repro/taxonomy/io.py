@@ -30,6 +30,8 @@ def save_taxonomy(taxonomy: Taxonomy, path: PathLike) -> None:
         "version": _FORMAT_VERSION,
         "parent": [int(p) for p in taxonomy.parent],
         "names": [taxonomy.name_of(v) for v in range(taxonomy.n_nodes)],
+        "revision": int(taxonomy.revision),
+        "digest": taxonomy.digest,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
@@ -45,7 +47,18 @@ def load_taxonomy(path: PathLike) -> Taxonomy:
         raise TaxonomyError(
             f"unsupported taxonomy format version {payload.get('version')!r}"
         )
-    return Taxonomy(payload["parent"], names=payload.get("names"))
+    taxonomy = Taxonomy(
+        payload["parent"],
+        names=payload.get("names"),
+        revision=int(payload.get("revision", 0)),
+    )
+    recorded = payload.get("digest")
+    if recorded is not None and recorded != taxonomy.digest:
+        raise TaxonomyError(
+            f"{path} is corrupt: stored digest {recorded[:12]}... does not "
+            f"match the tree structure ({taxonomy.version.short}...)"
+        )
+    return taxonomy
 
 
 def parse_category_records(

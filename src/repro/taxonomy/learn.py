@@ -1,0 +1,588 @@
+"""Learning and evolving taxonomies from item factors.
+
+The paper treats the taxonomy as a given, proprietary input (the Yahoo!
+Shopping category tree).  Public transaction logs frequently have no such
+tree, and even curated trees mis-place items.  This module removes the
+fixed-tree assumption:
+
+* :func:`place_item` — assign a *new* item to its best existing category
+  from whatever evidence is available (an explicit factor vector,
+  co-purchased items, or in the worst case popularity alone);
+* :func:`learn_taxonomy` — build a tree from scratch by deterministic
+  agglomerative clustering of item factors, so the TF model and every
+  retrieval mode run on taxonomy-free logs;
+* :func:`refine_placements` / :func:`replant_items` — periodically re-seat
+  items that drifted away from their category, preserving every effective
+  factor so published rankings do not jump at the swap;
+* :func:`bootstrap_taxonomy` — the end-to-end taxonomy-free entry point:
+  flat MF factors in, learned :class:`~repro.taxonomy.tree.Taxonomy` out.
+
+Everything here is deterministic: byte-identical trees for identical
+inputs, with all ties broken on the smallest node / item id.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.taxonomy.tree import (
+    ROOT,
+    Taxonomy,
+    TaxonomyError,
+    collapse_single_child_chains,
+)
+from repro.utils.rng import ensure_rng
+
+
+def _unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize rows; zero rows stay zero instead of dividing by 0."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    return matrix / np.where(norms == 0.0, 1.0, norms)
+
+
+def category_centroids(
+    taxonomy: Taxonomy, item_factors: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mean item factor of every direct item-holding category.
+
+    Parameters
+    ----------
+    taxonomy:
+        The tree; "categories" here are the interior nodes that are the
+        **direct** parent of at least one item.
+    item_factors:
+        ``(n_items, K)`` matrix, row ``i`` belonging to dense item ``i``
+        (typically effective factors, Eq. 1).
+
+    Returns
+    -------
+    (nodes, centroids, counts):
+        Category node ids in ascending order, their ``(C, K)`` member
+        centroids, and the member counts.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> tax = Taxonomy([-1, 0, 0, 1, 1, 2, 2])
+    >>> nodes, centroids, counts = category_centroids(tax, np.eye(4))
+    >>> (nodes.tolist(), counts.tolist())
+    ([1, 2], [2, 2])
+    """
+    item_factors = np.asarray(item_factors, dtype=np.float64)
+    if item_factors.ndim != 2 or item_factors.shape[0] != taxonomy.n_items:
+        raise TaxonomyError(
+            f"item_factors must be (n_items={taxonomy.n_items}, K), "
+            f"got {item_factors.shape}"
+        )
+    parents = taxonomy.parent[taxonomy.items]
+    nodes, inverse = np.unique(parents, return_inverse=True)
+    sums = np.zeros((nodes.size, item_factors.shape[1]), dtype=np.float64)
+    np.add.at(sums, inverse, item_factors)
+    counts = np.bincount(inverse, minlength=nodes.size).astype(np.int64)
+    return nodes, sums / counts[:, None], counts
+
+
+def place_item(
+    taxonomy: Taxonomy,
+    item_factors: np.ndarray,
+    vector: Optional[np.ndarray] = None,
+    *,
+    copurchased: Optional[Sequence[int]] = None,
+    weights: Optional[Sequence[float]] = None,
+    item_counts: Optional[np.ndarray] = None,
+) -> int:
+    """Choose the best existing category for an item outside the tree.
+
+    The taxonomy-free replacement for the hard "every arrival must name
+    its ancestor chain" requirement of the streaming layer: a new item
+    with no catalog category is placed under the category whose member
+    centroid is most similar (cosine) to the item's evidence.
+
+    Evidence, in order of preference:
+
+    1. *vector* — an explicit factor vector for the item;
+    2. *copurchased* — dense indices of items it co-occurred with; the
+       evidence vector is their (*weights*-weighted) mean factor;
+    3. none — fall back to the most popular category: the one whose
+       members account for the most purchases (*item_counts*), or the
+       most members when no counts are given.
+
+    Ties always break on the smallest category node id, so placement is
+    deterministic across runs and processes.
+
+    Returns the chosen interior node id.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> tax = Taxonomy([-1, 0, 0, 1, 1, 2, 2])
+    >>> factors = np.array([[1., 0.], [1., 0.], [0., 1.], [0., 1.]])
+    >>> place_item(tax, factors, np.array([0.1, 0.9]))
+    2
+    >>> place_item(tax, factors, copurchased=[0, 1])
+    1
+    >>> place_item(tax, factors)          # no evidence: first tied category
+    1
+    """
+    item_factors = np.asarray(item_factors, dtype=np.float64)
+    nodes, centroids, counts = category_centroids(taxonomy, item_factors)
+
+    if vector is None and copurchased is not None:
+        neighbors = np.asarray(list(copurchased), dtype=np.int64)
+        if neighbors.size == 0:
+            raise TaxonomyError("copurchased must name at least one item")
+        if neighbors.min() < 0 or neighbors.max() >= taxonomy.n_items:
+            raise TaxonomyError(
+                f"copurchased items out of range for "
+                f"{taxonomy.n_items} items: {neighbors.tolist()}"
+            )
+        if weights is None:
+            vector = item_factors[neighbors].mean(axis=0)
+        else:
+            wts = np.asarray(list(weights), dtype=np.float64)
+            if wts.shape != neighbors.shape:
+                raise TaxonomyError(
+                    f"{wts.size} weights given for {neighbors.size} items"
+                )
+            total = wts.sum()
+            if total <= 0:
+                raise TaxonomyError("co-purchase weights must sum to > 0")
+            vector = (item_factors[neighbors] * wts[:, None]).sum(axis=0) / total
+
+    if vector is not None:
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != item_factors.shape[1]:
+            raise TaxonomyError(
+                f"evidence vector has {vector.shape[0]} dims, factors have "
+                f"{item_factors.shape[1]}"
+            )
+        sims = _unit_rows(centroids) @ _unit_rows(vector[None, :])[0]
+        # np.argmax returns the first maximum; nodes are ascending, so
+        # ties resolve to the smallest category id.
+        return int(nodes[np.argmax(sims)])
+
+    if item_counts is not None:
+        item_counts = np.asarray(item_counts, dtype=np.float64)
+        if item_counts.shape[0] != taxonomy.n_items:
+            raise TaxonomyError(
+                f"item_counts must have one entry per item "
+                f"({taxonomy.n_items}), got {item_counts.shape}"
+            )
+        parents = taxonomy.parent[taxonomy.items]
+        _, inverse = np.unique(parents, return_inverse=True)
+        popularity = np.zeros(nodes.size, dtype=np.float64)
+        np.add.at(popularity, inverse, item_counts)
+        return int(nodes[np.argmax(popularity)])
+    return int(nodes[np.argmax(counts)])
+
+
+def _merge_sequence(points: np.ndarray) -> List[Tuple[int, int]]:
+    """Deterministic centroid-linkage agglomeration of *points*.
+
+    Returns the ``n - 1`` merges as ``(keep, absorb)`` pairs of cluster
+    representatives (a cluster is represented by its smallest member
+    index).  At every step the active pair with the smallest squared
+    centroid distance merges; ties break on the row-major first pair,
+    i.e. the lexicographically smallest ``(i, j)``.
+    """
+    n = points.shape[0]
+    centroid = points.astype(np.float64).copy()
+    size = np.ones(n, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    dist = np.full((n, n), np.inf, dtype=np.float64)
+    for i in range(n - 1):
+        diff = centroid[i + 1 :] - centroid[i]
+        dist[i, i + 1 :] = np.einsum("ij,ij->i", diff, diff)
+
+    merges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        flat = int(np.argmin(dist))
+        keep, absorb = divmod(flat, n)
+        merges.append((keep, absorb))
+        total = size[keep] + size[absorb]
+        centroid[keep] = (
+            centroid[keep] * size[keep] + centroid[absorb] * size[absorb]
+        ) / total
+        size[keep] = total
+        active[absorb] = False
+        dist[absorb, :] = np.inf
+        dist[:, absorb] = np.inf
+        others = np.flatnonzero(active)
+        others = others[others != keep]
+        if others.size:
+            diff = centroid[others] - centroid[keep]
+            fresh = np.einsum("ij,ij->i", diff, diff)
+            lower = others[others < keep]
+            upper = others[others > keep]
+            dist[lower, keep] = fresh[: lower.size]
+            dist[keep, upper] = fresh[lower.size :]
+    return merges
+
+
+def _labels_at(merges: Sequence[Tuple[int, int]], n: int, clusters: int) -> np.ndarray:
+    """Replay the first ``n - clusters`` merges into per-item labels.
+
+    Labels are canonical: every member of a cluster is labelled with the
+    cluster's smallest member index.
+    """
+    label = np.arange(n, dtype=np.int64)
+    for keep, absorb in merges[: n - clusters]:
+        label[label == absorb] = keep
+    return label
+
+
+def learn_taxonomy(
+    item_factors: np.ndarray,
+    *,
+    branching: int = 8,
+    max_depth: int = 3,
+    seed: int = 0,
+    names: Optional[Sequence[str]] = None,
+    sample: Optional[int] = None,
+) -> Taxonomy:
+    """Cluster item factors into a taxonomy — the taxonomy-free entry gate.
+
+    Items are agglomeratively clustered (centroid linkage, deterministic
+    smallest-pair tie-breaks) and the dendrogram is cut at nested sizes
+    ``branching**1, branching**2, ...`` to produce at most ``max_depth``
+    levels between the root and the items.  Interior single-child chains
+    (a cluster identical to its only child) are collapsed through the
+    shared :func:`~repro.taxonomy.tree.collapse_single_child_chains`
+    helper; a category keeps a lone item rather than promoting it, so
+    **dense item index ``i`` always corresponds to row ``i`` of
+    *item_factors*** — the invariant transaction logs and factor matrices
+    rely on.
+
+    Parameters
+    ----------
+    item_factors:
+        ``(n_items, K)`` matrix of item vectors (e.g. effective MF
+        factors from :func:`bootstrap_taxonomy`).
+    branching:
+        Target fan-out per level; level ``d`` is cut at ``branching**d``
+        clusters.
+    max_depth:
+        Maximum depth of the produced tree (items inclusive); ``1``
+        degenerates to the flat root-plus-items tree.
+    seed:
+        Seeds the anchor subsample when *sample* caps the clustered set;
+        the tree is a pure function of ``(item_factors, parameters)``.
+    names:
+        Optional item names (length ``n_items``).
+    sample:
+        Cluster at most this many anchor items (the full quadratic
+        agglomeration is O(n²) memory); remaining items join their
+        nearest bottom-level cluster by centroid cosine.  ``None``
+        clusters everything.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> pts = np.array([[0., 0.], [0.1, 0.], [5., 5.], [5.1, 5.]])
+    >>> tax = learn_taxonomy(pts, branching=2, max_depth=2)
+    >>> (tax.n_items, tax.max_depth)
+    (4, 2)
+    >>> tax.subtree_items(tax.parent[tax.node_of_item(0)]).tolist()
+    [0, 1]
+    """
+    item_factors = np.asarray(item_factors, dtype=np.float64)
+    if item_factors.ndim != 2 or item_factors.shape[0] < 1:
+        raise TaxonomyError(
+            f"item_factors must be a non-empty (n_items, K) matrix, "
+            f"got shape {item_factors.shape}"
+        )
+    if branching < 2:
+        raise TaxonomyError(f"branching must be >= 2, got {branching}")
+    if max_depth < 1:
+        raise TaxonomyError(f"max_depth must be >= 1, got {max_depth}")
+    n = item_factors.shape[0]
+    if names is not None:
+        names = [str(x) for x in names]
+        if len(names) != n:
+            raise TaxonomyError(f"{len(names)} names given for {n} items")
+
+    # --- choose the clustered anchor set -------------------------------
+    if sample is not None and sample < n:
+        if sample < 2:
+            raise TaxonomyError(f"sample must be >= 2, got {sample}")
+        rng = ensure_rng(seed)
+        anchors = np.sort(rng.choice(n, size=sample, replace=False))
+    else:
+        anchors = np.arange(n, dtype=np.int64)
+
+    # --- dendrogram cuts at branching**d, shallowest first -------------
+    cut_sizes: List[int] = []
+    for depth in range(1, max_depth):
+        c = branching**depth
+        if c >= anchors.size:
+            break
+        cut_sizes.append(c)
+
+    if not cut_sizes:
+        parent = np.zeros(n + 1, dtype=np.int64)
+        parent[ROOT] = -1
+        all_names = None
+        if names is not None:
+            all_names = ["<root>"] + names
+        return Taxonomy(parent, names=all_names)
+
+    merges = _merge_sequence(item_factors[anchors])
+    anchor_levels = [_labels_at(merges, anchors.size, c) for c in cut_sizes]
+
+    # --- spread anchor labels to the full catalog ----------------------
+    if anchors.size == n:
+        levels = anchor_levels
+    else:
+        bottom = anchor_levels[-1]
+        reps = np.unique(bottom)
+        sums = np.zeros((reps.size, item_factors.shape[1]), dtype=np.float64)
+        np.add.at(sums, np.searchsorted(reps, bottom), item_factors[anchors])
+        member_counts = np.bincount(
+            np.searchsorted(reps, bottom), minlength=reps.size
+        )
+        sims = _unit_rows(item_factors) @ _unit_rows(
+            sums / member_counts[:, None]
+        ).T
+        nearest = reps[np.argmax(sims, axis=1)]
+        full_bottom = np.empty(n, dtype=np.int64)
+        full_bottom[:] = nearest
+        full_bottom[anchors] = bottom  # anchors keep their clustered label
+        levels = []
+        for anchor_label in anchor_levels:
+            lift = np.empty(anchors.size, dtype=np.int64)
+            lift[:] = anchor_label
+            by_anchor = np.full(n, -1, dtype=np.int64)
+            by_anchor[anchors] = np.arange(anchors.size)
+            # A non-anchor inherits the level label of its bottom cluster's
+            # representative anchor (nested cuts keep this consistent).
+            rep_level = {int(r): int(anchor_label[np.flatnonzero(bottom == r)[0]]) for r in reps}
+            full = np.array(
+                [
+                    lift[by_anchor[i]]
+                    if by_anchor[i] >= 0
+                    else rep_level[int(full_bottom[i])]
+                    for i in range(n)
+                ],
+                dtype=np.int64,
+            )
+            levels.append(full)
+        # Labels so far are anchor-local positions; translate them to the
+        # catalog index of the representative anchor so cluster ids are
+        # deterministic catalog items.
+        levels = [anchors[lvl] for lvl in levels]
+
+    # --- assemble skeleton: root + one node per (level, cluster) -------
+    skeleton_parent: List[int] = [-1]
+    skeleton_names: List[str] = ["<root>"]
+    node_of: Dict[Tuple[int, int], int] = {}
+    for depth, labels in enumerate(levels, start=1):
+        for rep in np.unique(labels):
+            node_of[(depth, int(rep))] = len(skeleton_parent)
+            if depth == 1:
+                skeleton_parent.append(ROOT)
+            else:
+                up = int(levels[depth - 2][rep])
+                skeleton_parent.append(node_of[(depth - 1, up)])
+            skeleton_names.append(f"cat-{depth}-{int(rep)}")
+
+    collapsed, collapsed_names, kept = collapse_single_child_chains(
+        skeleton_parent, skeleton_names
+    )
+    new_id = {int(old): new for new, old in enumerate(kept)}
+
+    # --- attach items last, in dense order -----------------------------
+    bottom_depth = len(levels)
+    bottom = levels[-1]
+    n_interior = collapsed.size
+    parent = np.concatenate(
+        [
+            collapsed,
+            np.array(
+                [
+                    _surviving_skeleton_parent(
+                        node_of[(bottom_depth, int(bottom[i]))],
+                        skeleton_parent,
+                        new_id,
+                    )
+                    for i in range(n)
+                ],
+                dtype=np.int64,
+            ),
+        ]
+    )
+    all_names: Optional[List[str]] = None
+    if collapsed_names is not None:
+        all_names = collapsed_names + (
+            names if names is not None else [f"item-{i}" for i in range(n)]
+        )
+    learned = Taxonomy(parent, names=all_names)
+    if learned.n_items != n or not np.array_equal(
+        learned.items, np.arange(n_interior, n_interior + n)
+    ):  # pragma: no cover - structural invariant of the assembly above
+        raise TaxonomyError("learned tree permuted dense item indices")
+    return learned
+
+
+def _surviving_skeleton_parent(
+    node: int, skeleton_parent: Sequence[int], new_id: Mapping[int, int]
+) -> int:
+    """New id of *node*, or of its nearest surviving ancestor."""
+    while node not in new_id:
+        node = int(skeleton_parent[node])
+    return new_id[node]
+
+
+def refine_placements(
+    taxonomy: Taxonomy,
+    item_factors: np.ndarray,
+    *,
+    min_gain: float = 0.05,
+    max_moves: Optional[int] = None,
+) -> Dict[int, int]:
+    """Find items that drifted away from their category.
+
+    For every item, compare its cosine similarity to its own category's
+    leave-one-out centroid against the best other category.  Items whose
+    improvement exceeds *min_gain* are proposed as moves, strongest
+    improvements first (ties on the smallest item id, via the canonical
+    :func:`repro.core.topk.top_k_pairs` order), capped at *max_moves*.
+    A category is never drained below one remaining item, and singleton
+    categories are left alone — :meth:`Taxonomy.replant` would reject
+    emptying them.
+
+    Returns a ``{dense item index: target category node}`` mapping
+    suitable for :func:`replant_items`; empty when nothing drifted.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> tax = Taxonomy([-1, 0, 0, 1, 1, 1, 2, 2])
+    >>> factors = np.array(
+    ...     [[1., 0.], [1., 0.], [0., 1.], [0., 1.], [0., 1.]])
+    >>> refine_placements(tax, factors, min_gain=0.1)
+    {2: 2}
+    """
+    item_factors = np.asarray(item_factors, dtype=np.float64)
+    nodes, centroids, counts = category_centroids(taxonomy, item_factors)
+    parents = taxonomy.parent[taxonomy.items]
+    own = np.searchsorted(nodes, parents)
+
+    sums = centroids * counts[:, None]
+    own_counts = counts[own]
+    movable = own_counts > 1
+    loo = np.zeros_like(item_factors)
+    loo[movable] = (
+        sums[own[movable]] - item_factors[movable]
+    ) / (own_counts[movable, None] - 1)
+
+    unit_items = _unit_rows(item_factors)
+    sims = unit_items @ _unit_rows(centroids).T
+    own_sim = np.einsum("ij,ij->i", unit_items, _unit_rows(loo))
+    sims[np.arange(sims.shape[0]), own] = -np.inf
+    best = np.argmax(sims, axis=1)
+    gain = sims[np.arange(sims.shape[0]), best] - own_sim
+    gain[~movable] = -np.inf
+
+    # Imported lazily: repro.core's package init imports the factor stack,
+    # which imports this package — module-level would be circular.
+    from repro.core.topk import top_k_pairs
+
+    candidates = np.flatnonzero(gain > min_gain)
+    if candidates.size == 0:
+        return {}
+    cap = candidates.size if max_moves is None else min(max_moves, candidates.size)
+    ranked = top_k_pairs(candidates, gain[candidates], cap)
+
+    remaining = counts.copy()
+    moves: Dict[int, int] = {}
+    for item in ranked:
+        item = int(item)
+        if remaining[own[item]] <= 1:
+            continue
+        remaining[own[item]] -= 1
+        moves[item] = int(nodes[best[item]])
+    return moves
+
+
+def replant_items(
+    taxonomy: Taxonomy,
+    factors: "FactorSet",
+    moves: Mapping[int, int],
+) -> "Tuple[Taxonomy, FactorSet]":
+    """Apply *moves* to the tree **without changing any effective factor**.
+
+    The tree part delegates to :meth:`Taxonomy.replant` (node ids and
+    dense item indices preserved).  The factor part rewrites each moved
+    leaf's own offset so that the sum along its *new* ancestor chain
+    equals its old effective factor — for ``w``, ``w_next`` and the bias
+    alike.  Published rankings therefore do not move at the swap; the
+    new chains only change how *future* training updates generalize.
+
+    Returns the replanted taxonomy and a new :class:`FactorSet` (inputs
+    are untouched).
+    """
+    # Imported lazily: repro.core.factors imports this package's tree
+    # module, so a module-level import here would be circular.
+    from repro.core.factors import KIND_NEXT, FactorSet
+
+    replanted = taxonomy.replant(moves)
+    shifted = FactorSet.from_arrays(
+        replanted,
+        factors.user.copy(),
+        factors.w.copy(),
+        factors.bias.copy(),
+        None if factors.w_next is None else factors.w_next.copy(),
+        levels=factors.levels,
+        init_scale=factors.init_scale,
+    )
+    items = np.asarray(sorted(int(i) for i in moves), dtype=np.int64)
+    leaves = taxonomy.nodes_of_items(items)
+    shifted.w[leaves] += factors.effective_items(items) - shifted.effective_items(items)
+    shifted.bias[leaves] += factors.bias_of_items(items) - shifted.bias_of_items(items)
+    if factors.w_next is not None:
+        shifted.w_next[leaves] += factors.effective_items(
+            items, kind=KIND_NEXT
+        ) - shifted.effective_items(items, kind=KIND_NEXT)
+    return replanted, shifted
+
+
+def bootstrap_taxonomy(
+    log,
+    *,
+    factors: int = 16,
+    epochs: int = 5,
+    branching: int = 8,
+    max_depth: int = 3,
+    seed: int = 0,
+    sample: Optional[int] = None,
+    item_names: Optional[Sequence[str]] = None,
+) -> Taxonomy:
+    """Learn a taxonomy for a transaction log that has none.
+
+    Trains the paper's flat ``MF`` baseline on *log* (serially, seeded),
+    then clusters the resulting effective item factors with
+    :func:`learn_taxonomy`.  The returned tree's dense item indices are
+    exactly the log's item indices, so the log can immediately train a
+    taxonomy-aware :class:`~repro.core.tf_model.TaxonomyFactorModel` and
+    serve through every ``retrieval=`` mode.
+    """
+    # Imported lazily: repro.train pulls in the model stack, which imports
+    # this package — a module-level import would be circular.
+    from repro.core.mf_model import MFModel
+    from repro.train.serial import SerialTrainer
+
+    model = MFModel.from_n_items(
+        log.n_items, factors=factors, epochs=epochs, seed=seed
+    )
+    SerialTrainer(model).train(log)
+    return learn_taxonomy(
+        model.effective_item_factors(),
+        branching=branching,
+        max_depth=max_depth,
+        seed=seed,
+        names=item_names,
+        sample=sample,
+    )

@@ -17,10 +17,12 @@ factor stores allocate one extra zero row for it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import hashlib
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.taxonomy.version import TaxonomyVersion
 from repro.utils.rng import RngLike, ensure_rng
 
 ROOT = 0
@@ -28,6 +30,125 @@ ROOT = 0
 
 class TaxonomyError(ValueError):
     """Raised when a structure does not form a valid taxonomy."""
+
+
+def bfs_order(root, children_of: Mapping) -> List:
+    """Level-order traversal of an adjacency mapping, children sorted.
+
+    The shared renumbering walk of the taxonomy builders: every
+    constructor that turns named edges/paths into dense node ids uses
+    this exact order, so a taxonomy's ids are stable regardless of the
+    input ordering.
+
+    Examples
+    --------
+    >>> bfs_order("r", {"r": ["b", "a"], "a": ["c"]})
+    ['r', 'a', 'b', 'c']
+    """
+    order = [root]
+    idx = 0
+    while idx < len(order):
+        node = order[idx]
+        idx += 1
+        order.extend(sorted(children_of.get(node, [])))
+    return order
+
+
+def node_names(taxonomy: "Taxonomy") -> Optional[List[str]]:
+    """The taxonomy's name list, or ``None`` when it has only defaults.
+
+    The shared helper behind every tree-growing operation
+    (:func:`~repro.taxonomy.extend.add_items`,
+    :meth:`Taxonomy.replant`): derived trees must carry the source's
+    names forward, but a taxonomy built without names should not
+    suddenly sprout materialized ``node:<id>`` placeholders.
+    """
+    if taxonomy._names is None:
+        return None
+    return [taxonomy.name_of(v) for v in range(taxonomy.n_nodes)]
+
+
+def collapse_single_child_chains(
+    parent: Sequence[int],
+    names: Optional[Sequence[str]] = None,
+) -> Tuple[np.ndarray, Optional[List[str]], np.ndarray]:
+    """Splice out interior nodes that have exactly one child.
+
+    Chains like ``root → A → B → item`` where ``A`` and ``B`` each have a
+    single child carry no grouping information — every ancestor's subtree
+    is the same item set — so learned trees drop them (the idiom the
+    taxonomic-training literature uses after dendrogram cuts).  Leaves
+    are never removed and the root always survives; surviving nodes are
+    renumbered in level order.
+
+    Returns
+    -------
+    (parent, names, kept):
+        The collapsed parent array, matching names (``None`` when *names*
+        is ``None``), and the original ids of the surviving nodes in
+        their new order.
+
+    Examples
+    --------
+    >>> parent, _, kept = collapse_single_child_chains([-1, 0, 1, 2, 2])
+    >>> parent.tolist()
+    [-1, 0, 0]
+    >>> kept.tolist()
+    [0, 3, 4]
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.size
+    child_count = np.zeros(n, dtype=np.int64)
+    for p in parent[1:]:
+        child_count[p] += 1
+    is_leaf = child_count == 0
+    # A node is removable while it is interior, not the root, and has a
+    # single child; contract bottom-up so whole chains collapse in one
+    # pass.  The root with one interior child is contracted downward
+    # (the child is removed and its children re-attach to the root).
+    resolved = parent.copy()
+    removed = np.zeros(n, dtype=bool)
+    for v in range(1, n):
+        if child_count[v] == 1 and not is_leaf[v]:
+            removed[v] = True
+
+    # Re-route every survivor past its removed ancestors.
+    def surviving_parent(v: int) -> int:
+        p = int(resolved[v])
+        while p != -1 and removed[p]:
+            p = int(resolved[p])
+        return p
+
+    # Root special case: while the root's only surviving child is
+    # interior, splice that child out too (its children re-attach to the
+    # root), so a dendrogram whose top merge is trivial has no useless
+    # unary crown.
+    while True:
+        kids = [
+            int(v)
+            for v in range(1, n)
+            if not removed[v] and surviving_parent(int(v)) == ROOT
+        ]
+        if len(kids) == 1 and not is_leaf[kids[0]]:
+            removed[kids[0]] = True
+        else:
+            break
+
+    survivors = np.flatnonzero(~removed)
+    children_of: Dict[int, List[int]] = {}
+    for v in survivors:
+        if v == ROOT:
+            continue
+        children_of.setdefault(surviving_parent(int(v)), []).append(int(v))
+    order = bfs_order(ROOT, children_of)
+    new_id = {old: new for new, old in enumerate(order)}
+    out = np.full(len(order), -1, dtype=np.int64)
+    for old in order[1:]:
+        out[new_id[old]] = new_id[surviving_parent(old)]
+    out_names: Optional[List[str]] = None
+    if names is not None:
+        out_names = [str(names[old]) for old in order]
+    return out, out_names, np.asarray(order, dtype=np.int64)
 
 
 class Taxonomy:
@@ -40,6 +161,13 @@ class Taxonomy:
         ``-1`` (node 0 is the root).
     names:
         Optional human-readable node names (same length as ``parent``).
+        Keyword-only since 1.9 (see ``docs/migration.md``).
+    revision:
+        Lineage counter of this tree generation (keyword-only, default
+        ``0``).  Derived trees — :func:`~repro.taxonomy.extend.add_items`
+        extensions, :meth:`replant` refinements — carry ``revision + 1``
+        of their source, so an evolving catalog's generations are totally
+        ordered even when a refinement restores an earlier structure.
 
     Notes
     -----
@@ -47,9 +175,25 @@ class Taxonomy:
     ``node_of_item`` translate between the dense item index space
     ``0 .. n_items - 1`` (used by transaction logs and factor matrices) and
     node ids.
+
+    A taxonomy is no longer an anonymous construction-time constant: it
+    is a **versioned artifact**.  :attr:`digest` fingerprints the
+    structure, :attr:`version` packages digest + shape + revision as the
+    :class:`~repro.taxonomy.version.TaxonomyVersion` that bundle
+    manifests, serving states, and subtree indexes carry.
     """
 
-    def __init__(self, parent: Sequence[int], names: Optional[Sequence[str]] = None):
+    def __init__(
+        self,
+        parent: Sequence[int],
+        *,
+        names: Optional[Sequence[str]] = None,
+        revision: int = 0,
+    ):
+        if revision < 0:
+            raise TaxonomyError(f"revision must be >= 0, got {revision}")
+        self.revision = int(revision)
+        self._digest: Optional[str] = None
         self._parent = np.asarray(parent, dtype=np.int64)
         if self._parent.ndim != 1 or self._parent.size == 0:
             raise TaxonomyError("parent must be a non-empty 1-d array")
@@ -97,6 +241,28 @@ class Taxonomy:
     def pad_id(self) -> int:
         """Virtual node id used to pad ragged ancestor chains."""
         return self.n_nodes
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 content digest of the tree structure (hex).
+
+        Computed over the parent-pointer array only: names are cosmetic
+        and two structurally identical trees share a digest however they
+        were built.  Cached after the first call.
+        """
+        if self._digest is None:
+            self._digest = hashlib.sha256(self._parent.tobytes()).hexdigest()
+        return self._digest
+
+    @property
+    def version(self) -> TaxonomyVersion:
+        """This tree generation's :class:`~repro.taxonomy.version.TaxonomyVersion`."""
+        return TaxonomyVersion(
+            digest=self.digest,
+            n_nodes=self.n_nodes,
+            n_items=self.n_items,
+            revision=self.revision,
+        )
 
     @property
     def max_depth(self) -> int:
@@ -266,6 +432,71 @@ class Taxonomy:
             (int(sorted_anchors[start]), np.sort(items[order[start:stop]]))
             for start, stop in zip(starts, stops)
         ]
+
+    # ------------------------------------------------------------------
+    # Versioned evolution
+    # ------------------------------------------------------------------
+    def replant(
+        self,
+        moves: Mapping[int, int],
+        revision: Optional[int] = None,
+    ) -> "Taxonomy":
+        """Re-attach items under new categories — the refinement primitive.
+
+        *moves* maps **dense item indices** to the interior node each
+        item should hang under instead of its current parent.  Node ids,
+        the node count, and every dense item index are preserved (leaves
+        stay leaves and keep their ids, so factor matrices and
+        transaction logs remain index-compatible); only the ancestor
+        chains of the moved items change.  The result carries
+        ``revision + 1`` (or an explicit *revision*).
+
+        Examples
+        --------
+        >>> tax = Taxonomy([-1, 0, 0, 1, 1, 2, 2])
+        >>> moved = tax.replant({0: 2})     # item 0 now lives under node 2
+        >>> int(moved.parent[tax.node_of_item(0)])
+        2
+        >>> (moved.n_items, moved.revision)
+        (4, 1)
+        """
+        if not moves:
+            raise TaxonomyError("moves must contain at least one item")
+        parent = self._parent.copy()
+        for item, target in moves.items():
+            item = int(item)
+            target = int(target)
+            if not 0 <= item < self.n_items:
+                raise TaxonomyError(
+                    f"item {item} is not a dense item index "
+                    f"(taxonomy has {self.n_items} items)"
+                )
+            if not 0 <= target < self.n_nodes:
+                raise TaxonomyError(f"target node {target} does not exist")
+            if self.is_leaf(target):
+                raise TaxonomyError(
+                    f"cannot replant item {item} under leaf node {target}: "
+                    f"items attach to categories, not to other items"
+                )
+            parent[self.node_of_item(item)] = target
+        # A move that empties a category would turn it into a leaf — a
+        # brand-new "item" renumbering every dense index after it.
+        child_count = np.zeros(self.n_nodes, dtype=np.int64)
+        np.add.at(child_count, parent[1:], 1)
+        emptied = np.flatnonzero(
+            (child_count == 0) & (self._item_index < 0)
+        )
+        if emptied.size:
+            raise TaxonomyError(
+                f"replant would empty categories {emptied.tolist()}, "
+                f"turning them into items and renumbering the catalog; "
+                f"keep at least one child under every category"
+            )
+        return Taxonomy(
+            parent,
+            names=node_names(self),
+            revision=self.revision + 1 if revision is None else revision,
+        )
 
     # ------------------------------------------------------------------
     # Ancestor matrices (the hot path of the TF model)

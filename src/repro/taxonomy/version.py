@@ -1,0 +1,88 @@
+"""Taxonomy identity: content digests and lineage revisions.
+
+The stack used to treat the taxonomy as a construction-time constant —
+one immutable tree, known before training, never mentioned again.  Once
+trees are *learned* (:mod:`repro.taxonomy.learn`) and *refined* mid-stream
+(:meth:`repro.streaming.pipeline.StreamingPipeline`), every layer that
+stores or ships factors needs to say **which** tree they were computed
+against.  A :class:`TaxonomyVersion` is that statement:
+
+* ``digest`` — SHA-256 over the parent-pointer array, so two trees with
+  the same structure have the same digest regardless of how they were
+  built (names are cosmetic and deliberately excluded);
+* ``n_nodes`` / ``n_items`` — the shape every factor matrix must match;
+* ``revision`` — a monotonically increasing lineage counter, bumped by
+  :func:`~repro.taxonomy.extend.add_items` and
+  :meth:`~repro.taxonomy.tree.Taxonomy.replant`, distinguishing
+  successive generations of an evolving catalog even when a refinement
+  happens to round-trip to an earlier structure.
+
+:class:`~repro.serving.bundle.ModelBundle` manifests persist the version
+of the tree they ship, :class:`~repro.serving.service.ModelState`
+snapshots carry the version they serve, and
+:class:`~repro.serving.index.SubtreeIndex` records the version it was
+built from — so a (model, taxonomy) generation is checkable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class TaxonomyVersion:
+    """Identity of one taxonomy generation: content digest plus lineage.
+
+    Examples
+    --------
+    >>> from repro.taxonomy import Taxonomy
+    >>> v = Taxonomy([-1, 0, 0]).version
+    >>> (v.n_nodes, v.n_items, v.revision)
+    (3, 2, 0)
+    >>> v == TaxonomyVersion.from_dict(v.as_dict())
+    True
+    """
+
+    digest: str
+    n_nodes: int
+    n_items: int
+    revision: int = 0
+
+    @property
+    def short(self) -> str:
+        """First 12 hex characters of the digest (log-friendly)."""
+        return self.digest[:12]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload (what bundle manifests persist)."""
+        return {
+            "digest": self.digest,
+            "n_nodes": int(self.n_nodes),
+            "n_items": int(self.n_items),
+            "revision": int(self.revision),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TaxonomyVersion":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            digest=str(payload["digest"]),
+            n_nodes=int(payload["n_nodes"]),
+            n_items=int(payload["n_items"]),
+            revision=int(payload.get("revision", 0)),
+        )
+
+    def same_structure(self, other: "TaxonomyVersion") -> bool:
+        """Whether two versions describe structurally identical trees.
+
+        Revisions may differ: a lineage counter only orders generations,
+        it does not change what the tree *is*.
+        """
+        return self.digest == other.digest
+
+    def __str__(self) -> str:
+        return (
+            f"taxonomy@{self.short} (rev {self.revision}, "
+            f"{self.n_items} items / {self.n_nodes} nodes)"
+        )

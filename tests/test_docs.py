@@ -26,6 +26,7 @@ AUDITED_PACKAGES = (
     "repro.train",
     "repro.serving",
     "repro.streaming",
+    "repro.taxonomy",
     "repro.core",
     "repro.parallel",
     "repro.obs",

@@ -253,6 +253,60 @@ class TestManifestValidation:
         assert manifest["repro_version"] == __version__
 
 
+class TestTaxonomyVersionPinning:
+    """The manifest pins the exact tree generation the factors expect."""
+
+    def test_manifest_records_taxonomy_version(self, tf_model, tmp_path):
+        ModelBundle(tf_model).save(tmp_path / "b")
+        manifest = json.loads((tmp_path / "b" / MANIFEST_NAME).read_text())
+        record = manifest["taxonomy_version"]
+        assert record["digest"] == tf_model.taxonomy.digest
+        assert record["n_items"] == tf_model.taxonomy.n_items
+        assert record["revision"] == tf_model.taxonomy.revision
+
+    def test_swapped_taxonomy_file_rejected(self, tf_model, tmp_path):
+        """A taxonomy.json regenerated from another run is internally
+        consistent (its own digest matches), so ``load_taxonomy`` alone
+        cannot catch the swap — the manifest pin must."""
+        from repro.core.mf_model import flat_taxonomy
+        from repro.taxonomy import save_taxonomy
+
+        ModelBundle(tf_model).save(tmp_path / "b")
+        impostor = flat_taxonomy(tf_model.taxonomy.n_items)
+        assert impostor.digest != tf_model.taxonomy.digest
+        save_taxonomy(impostor, tmp_path / "b" / "taxonomy.json")
+        with pytest.raises(BundleError, match="different model generations"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_item_count_mismatch_rejected(self, tf_model, tmp_path):
+        ModelBundle(tf_model).save(tmp_path / "b")
+        path = tmp_path / "b" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["taxonomy_version"]["n_items"] += 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleError, match="item"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_corrupt_version_record_rejected(self, tf_model, tmp_path):
+        ModelBundle(tf_model).save(tmp_path / "b")
+        path = tmp_path / "b" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["taxonomy_version"] = {"bogus": True}
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleError, match="corrupt taxonomy_version"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_pre_versioning_bundle_still_loads(self, tf_model, tmp_path):
+        """Bundles written before the pin existed carry no record."""
+        ModelBundle(tf_model).save(tmp_path / "b")
+        path = tmp_path / "b" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        del manifest["taxonomy_version"]
+        path.write_text(json.dumps(manifest))
+        bundle = ModelBundle.load(tmp_path / "b")
+        _factor_sets_equal(bundle.model.factor_set, tf_model.factor_set)
+
+
 class TestLegacyShim:
     def test_load_legacy_npz_with_warning(self, tf_model, split, tmp_path):
         legacy = tmp_path / "model.npz"

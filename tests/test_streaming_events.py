@@ -9,6 +9,7 @@ from repro.streaming.events import (
     EventLog,
     ItemArrival,
     MicroBatch,
+    MissingCategoryError,
     PurchaseEvent,
     decode_event,
     encode_event,
@@ -63,6 +64,39 @@ class TestEncoding:
     def test_non_integer_items_rejected(self):
         with pytest.raises(EventError, match="non-integer"):
             PurchaseEvent(user=0, items=(1.7,))
+
+
+class TestCategoryFreeArrivals:
+    def test_null_parent_roundtrip(self):
+        event = ItemArrival(name="orphan")
+        assert not event.has_category
+        decoded = decode_event(encode_event(event))
+        assert decoded == event
+        assert decoded.parent is None
+
+    def test_encoded_record_always_carries_parent_key(self):
+        # "parent" is the decode dispatch key, so it must be present
+        # (null) even when the arrival has no category.
+        import json
+
+        record = json.loads(encode_event(ItemArrival()))
+        assert "parent" in record and record["parent"] is None
+
+    def test_require_parent_names_the_placer(self):
+        with pytest.raises(MissingCategoryError) as excinfo:
+            ItemArrival().require_parent()
+        assert "place_item" in str(excinfo.value)
+
+    def test_require_parent_passes_through_category(self):
+        assert ItemArrival(parent=5).require_parent() == 5
+
+    def test_missing_category_is_an_event_error(self):
+        # Callers catching EventError keep working.
+        assert issubclass(MissingCategoryError, EventError)
+
+    def test_negative_parent_still_rejected(self):
+        with pytest.raises(EventError):
+            ItemArrival(parent=-2)
 
 
 class TestEventLog:

@@ -175,6 +175,45 @@ class TestStreamingPipeline:
             StreamingPipeline(service, swap_every=-1)
 
 
+class TestPeriodicRefinement:
+    def test_refinement_publishes_tree_and_factors_together(
+        self, tf_model, split
+    ):
+        """Every published generation must be self-consistent: the served
+        state's taxonomy version always equals the updater model's at
+        publish time, even while refinement rewrites the tree."""
+        service = RecommenderService(tf_model, history_log=split.train)
+        pipeline = StreamingPipeline(
+            service, batch_size=50, swap_every=2, refine_every=2,
+            refine_min_gain=0.0, refine_max_moves=2,
+            updater=OnlineUpdater(tf_model, steps=2, seed=0),
+        )
+        pipeline.run(events_from_transactions(split.test), max_events=250)
+        assert pipeline.swaps == 3
+        served = service.taxonomy_version
+        assert served == pipeline.updater.model.taxonomy.version
+        if pipeline.refinements:
+            assert served.revision >= 1
+            assert served.digest != tf_model.taxonomy.digest
+        # The base model handed in by the caller is never mutated.
+        assert tf_model.taxonomy.revision == 0
+
+    def test_refine_every_zero_never_refines(self, tf_model, split):
+        service = RecommenderService(tf_model, history_log=split.train)
+        pipeline = StreamingPipeline(
+            service, batch_size=50, swap_every=2, refine_every=0,
+            updater=OnlineUpdater(tf_model, steps=2, seed=0),
+        )
+        pipeline.run(events_from_transactions(split.test), max_events=200)
+        assert pipeline.refinements == 0
+        assert service.taxonomy_version.revision == 0
+
+    def test_validates_refine_parameters(self, tf_model):
+        service = RecommenderService(tf_model)
+        with pytest.raises(ValueError, match="refine_every"):
+            StreamingPipeline(service, refine_every=-1)
+
+
 class TestZeroDowntimeServing:
     def test_requests_succeed_during_continuous_swaps(self, tf_model):
         """Serving threads hammer the service while the main thread swaps

@@ -263,3 +263,81 @@ class TestSnapshot:
         scores = updater.popularity().score_items(0)
         assert scores.shape == (updater.n_items,)
         assert scores[new_item] >= 3
+
+
+class TestCategoryFreePlacement:
+    def test_strict_mode_rejects_category_free_arrival(self, updater):
+        from repro.streaming.events import MissingCategoryError
+
+        n_before = updater.n_items
+        with pytest.raises(MissingCategoryError, match="place_item"):
+            updater.apply(MicroBatch(arrivals=[ItemArrival()]))
+        # Rejected before any mutation: the catalog did not grow.
+        assert updater.n_items == n_before
+
+    def test_strict_rejection_precedes_partial_onboarding(self, updater):
+        from repro.streaming.events import MissingCategoryError
+
+        taxonomy = updater.model.taxonomy
+        parent = int(taxonomy.parent[taxonomy.items[0]])
+        n_before = updater.n_items
+        batch = MicroBatch(arrivals=[ItemArrival(parent), ItemArrival()])
+        with pytest.raises(MissingCategoryError):
+            updater.apply(batch)
+        # All-or-nothing: the categorised sibling was not onboarded either.
+        assert updater.n_items == n_before
+
+    def test_auto_place_onboards_category_free_arrival(self, tf_model):
+        updater = OnlineUpdater(tf_model, steps=8, seed=0, auto_place=True)
+        n_before = updater.n_items
+        updater.apply(MicroBatch(arrivals=[ItemArrival(name="orphan")]))
+        assert updater.n_items == n_before + 1
+        assert updater.stats.placed_items == 1
+        assert updater.stats.new_items == 1
+        # The placed item landed under a real leaf category.
+        taxonomy = updater.model.taxonomy
+        parent = int(taxonomy.parent[taxonomy.items[n_before]])
+        assert parent in taxonomy.parent[taxonomy.items[:n_before]]
+
+    def test_auto_place_is_deterministic(self, tf_model):
+        def placed_parent():
+            upd = OnlineUpdater(tf_model, steps=8, seed=0, auto_place=True)
+            upd.apply(MicroBatch(arrivals=[ItemArrival()]))
+            taxonomy = upd.model.taxonomy
+            return int(taxonomy.parent[taxonomy.items[-1]])
+
+        assert len({placed_parent() for _ in range(3)}) == 1
+
+    def test_explicit_parents_bypass_placement(self, tf_model):
+        updater = OnlineUpdater(tf_model, steps=8, seed=0, auto_place=True)
+        taxonomy = updater.model.taxonomy
+        parent = int(taxonomy.parent[taxonomy.items[0]])
+        updater.apply(MicroBatch(arrivals=[ItemArrival(parent)]))
+        assert updater.stats.placed_items == 0
+        assert updater.stats.new_items == 1
+
+
+class TestRefinement:
+    def test_refine_counts_and_bumps_revision(self, updater):
+        before_rev = updater.model.taxonomy.revision
+        moves = updater.refine(min_gain=0.0, max_moves=3)
+        assert updater.stats.replants == len(moves)
+        if moves:
+            assert updater.model.taxonomy.revision == before_rev + 1
+
+    def test_refine_preserves_rankings(self, updater):
+        users = np.arange(updater.n_users)
+        before = updater.snapshot().recommend_batch(users, k=5)
+        moves = updater.refine(min_gain=0.0, max_moves=2)
+        after = updater.snapshot().recommend_batch(users, k=5)
+        assert np.array_equal(before, after)
+        if moves:
+            assert updater.model.taxonomy.revision == 1
+
+    def test_snapshot_carries_refined_tree(self, updater):
+        moves = updater.refine(min_gain=0.0, max_moves=1)
+        if not moves:
+            pytest.skip("model has no drifted items at this seed")
+        snap = updater.snapshot()
+        assert snap.taxonomy.digest == updater.model.taxonomy.digest
+        assert snap.taxonomy.revision == 1

@@ -1,0 +1,308 @@
+"""Tests for ``repro.taxonomy.learn`` — the learnable-taxonomy layer.
+
+Covers the PR's acceptance properties:
+
+* ``learn_taxonomy`` is byte-identical across runs (full and sampled
+  paths) and preserves the dense-index invariant (factor row *i* becomes
+  dense item *i*);
+* ``place_item`` picks categories deterministically from vector,
+  co-purchase, or popularity evidence;
+* ``refine_placements`` finds planted drift and respects its knobs;
+* ``replant_items`` preserves every item's effective factors and bias
+  while bumping the revision, so recommendations are unchanged;
+* ``bootstrap_taxonomy`` yields a tree a TF model can train and serve
+  through all retrieval modes, at quality no worse than the flat MF
+  baseline it was bootstrapped from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.factors import FactorSet
+from repro.core.mf_model import MFModel
+from repro.core.tf_model import TaxonomyFactorModel
+from repro.data.split import train_test_split
+from repro.data.synthetic import generate_dataset
+from repro.eval.protocol import evaluate_topk
+from repro.serving.service import RecommenderService
+from repro.taxonomy import (
+    Taxonomy,
+    bootstrap_taxonomy,
+    category_centroids,
+    learn_taxonomy,
+    place_item,
+    refine_placements,
+    replant_items,
+)
+from repro.train.serial import SerialTrainer
+from repro.utils.config import SyntheticConfig, TrainConfig
+
+
+def _clustered_factors(
+    n_clusters: int = 4, per_cluster: int = 6, dim: int = 8, seed: int = 0
+) -> np.ndarray:
+    """Well-separated Gaussian blobs — unambiguous cluster structure."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 4.0, size=(n_clusters, dim))
+    rows = [
+        centers[c] + rng.normal(0.0, 0.05, size=dim)
+        for c in range(n_clusters)
+        for _ in range(per_cluster)
+    ]
+    return np.asarray(rows)
+
+
+def _two_level_taxonomy(n_cats: int = 4, per_cat: int = 6) -> Taxonomy:
+    parent = [-1] + [0] * n_cats
+    for cat in range(1, n_cats + 1):
+        parent += [cat] * per_cat
+    return Taxonomy(parent)
+
+
+class TestLearnTaxonomyDeterminism:
+    def test_byte_identical_across_runs(self):
+        factors = _clustered_factors(seed=3)
+        a = learn_taxonomy(factors, branching=4, max_depth=2, seed=0)
+        b = learn_taxonomy(factors, branching=4, max_depth=2, seed=0)
+        assert np.array_equal(a.parent, b.parent)
+        assert a.digest == b.digest
+
+    def test_sampled_path_byte_identical_across_runs(self):
+        factors = _clustered_factors(n_clusters=6, per_cluster=8, seed=5)
+        a = learn_taxonomy(factors, branching=4, max_depth=3, seed=9, sample=24)
+        b = learn_taxonomy(factors, branching=4, max_depth=3, seed=9, sample=24)
+        assert np.array_equal(a.parent, b.parent)
+        assert a.digest == b.digest
+
+    def test_seed_only_matters_on_sampled_path(self):
+        factors = _clustered_factors(seed=3)
+        a = learn_taxonomy(factors, branching=4, max_depth=2, seed=0)
+        b = learn_taxonomy(factors, branching=4, max_depth=2, seed=123)
+        # Full agglomeration never draws from the RNG.
+        assert a.digest == b.digest
+
+    def test_dense_index_invariant(self):
+        """Factor row i must come back as dense item i, for any depth."""
+        factors = _clustered_factors(n_clusters=5, per_cluster=5, seed=1)
+        for depth in (1, 2, 3):
+            learned = learn_taxonomy(factors, branching=3, max_depth=depth)
+            assert learned.n_items == factors.shape[0]
+            n_interior = learned.n_nodes - learned.n_items
+            assert np.array_equal(
+                learned.items,
+                np.arange(n_interior, learned.n_nodes),
+            )
+
+    def test_recovers_planted_blobs(self):
+        factors = _clustered_factors(n_clusters=4, per_cluster=6, seed=7)
+        learned = learn_taxonomy(factors, branching=4, max_depth=2)
+        cats = learned.parent[learned.items]
+        # Items 0-5 are one blob, 6-11 the next, etc. — each blob must
+        # land in a single category, and distinct blobs in distinct ones.
+        groups = {tuple(np.flatnonzero(cats == c).tolist()) for c in np.unique(cats)}
+        expected = {tuple(range(b * 6, (b + 1) * 6)) for b in range(4)}
+        assert groups == expected
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            learn_taxonomy(np.zeros((0, 4)))
+        with pytest.raises(ValueError):
+            learn_taxonomy(np.zeros(8))
+        with pytest.raises(ValueError):
+            learn_taxonomy(np.zeros((4, 2)), branching=1)
+
+
+class TestPlaceItem:
+    def setup_method(self):
+        self.taxonomy = _two_level_taxonomy()
+        self.factors = _clustered_factors(seed=11)
+
+    def test_vector_evidence_hits_matching_category(self):
+        nodes, centroids, _ = category_centroids(self.taxonomy, self.factors)
+        for cat_pos in range(len(nodes)):
+            got = place_item(self.taxonomy, self.factors, centroids[cat_pos])
+            assert got == int(nodes[cat_pos])
+
+    def test_copurchase_evidence(self):
+        # Co-purchases all in category 2 (items 6..11) → placed there.
+        got = place_item(
+            self.taxonomy, self.factors, copurchased=[6, 7, 8]
+        )
+        assert got == int(self.taxonomy.parent[self.taxonomy.items[6]])
+
+    def test_no_evidence_falls_back_to_popularity(self):
+        counts = np.zeros(self.taxonomy.n_items)
+        counts[18:24] = 5.0  # all purchase mass in the last category
+        got = place_item(
+            self.taxonomy, self.factors, item_counts=counts
+        )
+        assert got == int(self.taxonomy.parent[self.taxonomy.items[18]])
+
+    def test_tie_breaks_to_lowest_node_id(self):
+        # Identical factors everywhere → every category ties; the
+        # deterministic winner is the lowest category node id.
+        flat = np.ones_like(self.factors)
+        got = place_item(self.taxonomy, flat, np.ones(flat.shape[1]))
+        nodes, _, _ = category_centroids(self.taxonomy, flat)
+        assert got == int(nodes.min())
+
+    def test_is_deterministic(self):
+        results = {
+            place_item(self.taxonomy, self.factors, copurchased=[0, 13])
+            for _ in range(5)
+        }
+        assert len(results) == 1
+
+    def test_rejects_out_of_range_copurchase(self):
+        with pytest.raises(ValueError):
+            place_item(self.taxonomy, self.factors, copurchased=[99])
+
+
+class TestRefinePlacements:
+    def test_finds_planted_drift(self):
+        taxonomy = _two_level_taxonomy()
+        factors = _clustered_factors(seed=2)
+        # Item 3 lives in category 1 but its factors are a category-3 blob.
+        factors[3] = factors[14]
+        moves = refine_placements(taxonomy, factors, min_gain=0.05)
+        cat3 = int(taxonomy.parent[taxonomy.items[14]])
+        assert moves.get(3) == cat3
+        # Well-placed items stay put.
+        assert set(moves) == {3}
+
+    def test_max_moves_caps_and_keeps_best(self):
+        taxonomy = _two_level_taxonomy()
+        factors = _clustered_factors(seed=2)
+        factors[3] = factors[14]   # strong drift
+        factors[7] = factors[20]   # another strong drift
+        all_moves = refine_placements(taxonomy, factors, min_gain=0.05)
+        assert set(all_moves) == {3, 7}
+        capped = refine_placements(
+            taxonomy, factors, min_gain=0.05, max_moves=1
+        )
+        assert len(capped) == 1
+        assert set(capped) <= {3, 7}
+
+    def test_never_empties_a_category(self):
+        # Two singleton categories with identical factors: neither item
+        # may move, because its source category would be left empty.
+        taxonomy = Taxonomy([-1, 0, 0, 1, 2])
+        factors = np.ones((2, 4))
+        assert refine_placements(taxonomy, factors, min_gain=0.0) == {}
+
+    def test_is_deterministic(self):
+        taxonomy = _two_level_taxonomy()
+        factors = _clustered_factors(seed=8)
+        factors[1] = factors[19]
+        runs = [
+            refine_placements(taxonomy, factors, min_gain=0.01)
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+
+class TestReplantItems:
+    def _model(self, seed: int = 4) -> TaxonomyFactorModel:
+        taxonomy = _two_level_taxonomy()
+        rng = np.random.default_rng(seed)
+        factors = 4
+        factor_set = FactorSet.from_arrays(
+            taxonomy,
+            user=rng.normal(0, 0.5, size=(24, factors)),
+            w=rng.normal(0, 0.5, size=(taxonomy.n_nodes + 1, factors)),
+            bias=rng.normal(0, 0.2, size=taxonomy.n_nodes + 1),
+            levels=2,
+            init_scale=0.1,
+        )
+        model = TaxonomyFactorModel(taxonomy, TrainConfig(factors=factors))
+        model._factors = factor_set
+        return model
+
+    def test_preserves_effective_factors_and_bias(self):
+        model = self._model()
+        factors = model.factor_set
+        before_eff = factors.effective_items(
+            np.arange(model.taxonomy.n_items)
+        ).copy()
+        moves = {0: int(model.taxonomy.parent[model.taxonomy.items[12]])}
+        replanted, shifted = replant_items(model.taxonomy, factors, moves)
+        after_eff = shifted.effective_items(np.arange(replanted.n_items))
+        assert np.allclose(before_eff, after_eff)
+        assert replanted.revision == model.taxonomy.revision + 1
+        assert int(replanted.parent[replanted.items[0]]) == moves[0]
+
+    def test_model_replant_leaves_recommendations_unchanged(self):
+        model = self._model(seed=6)
+        users = np.arange(24)
+        before = RecommenderService(model, cache_size=0).recommend_batch(
+            users, k=5
+        )
+        old_digest = model.taxonomy.digest
+        model.replant_items(
+            {2: int(model.taxonomy.parent[model.taxonomy.items[20]])}
+        )
+        assert model.taxonomy.digest != old_digest
+        after = RecommenderService(model, cache_size=0).recommend_batch(
+            users, k=5
+        )
+        assert np.array_equal(before, after)
+
+
+class TestBootstrapEndToEnd:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        config = SyntheticConfig(
+            branching=(4, 3), items_per_leaf=5, n_users=300, seed=0
+        )
+        data = generate_dataset(config)
+        split = train_test_split(data.log, mu=0.5, seed=0)
+        return data, split
+
+    def test_learned_tree_serves_no_worse_than_flat_mf(self, dataset):
+        data, split = dataset
+        mf = MFModel.from_n_items(
+            data.log.n_items, factors=8, epochs=4, seed=0
+        )
+        SerialTrainer(mf).train(split.train)
+        mf_recall = evaluate_topk(mf, split, k=10).recall
+
+        learned = bootstrap_taxonomy(
+            split.train, factors=8, epochs=4, branching=3, max_depth=3,
+            seed=0,
+        )
+        assert learned.n_items == data.log.n_items
+        tf = TaxonomyFactorModel(learned, factors=8, epochs=4, seed=0)
+        SerialTrainer(tf).train(split.train)
+        tf_recall = evaluate_topk(tf, split, k=10).recall
+
+        assert tf_recall > 0
+        assert tf_recall >= mf_recall
+
+    def test_all_retrieval_modes_agree_on_learned_taxonomy(self, dataset):
+        data, split = dataset
+        learned = bootstrap_taxonomy(
+            split.train, factors=8, epochs=3, branching=4, max_depth=2,
+            seed=1,
+        )
+        model = TaxonomyFactorModel(learned, factors=8, epochs=3, seed=1)
+        SerialTrainer(model).train(split.train)
+        users = np.arange(min(model.n_users, 64))
+        n_cats = np.unique(learned.parent[learned.items]).size
+        knobs = {
+            "exact": {},
+            "pruned": {"retrieval": "pruned"},
+            # Full budget / all cells probed: approximate tiers at full
+            # coverage must reproduce the exact page on a learned tree.
+            "budget": {"retrieval": "budget", "budget": learned.n_items},
+            "ivf": {"retrieval": "ivf", "nprobe": n_cats},
+        }
+        pages = {
+            mode: RecommenderService(
+                model, cache_size=0, **kw
+            ).recommend_batch(users, k=10)
+            for mode, kw in knobs.items()
+        }
+        for mode in ("pruned", "budget", "ivf"):
+            assert np.array_equal(pages[mode], pages["exact"]), mode

@@ -360,3 +360,121 @@ class TestApproximateSwapUnderLoad:
                     "mixed-generation ranking"
                 )
         assert saw["a"] + saw["b"] == len(pages)
+
+
+# ----------------------------------------------------------------------
+# Learned / refined taxonomies: the same invariances must survive a tree
+# that was produced or mutated by repro.taxonomy.learn
+# ----------------------------------------------------------------------
+def _refined_model(seed: int = 42) -> TaxonomyFactorModel:
+    """A ``_random_factor_model`` after a real replant cycle.
+
+    Plants drift on two items (their factors match another category's
+    blob), lets ``refine_placements`` discover it, and replants — the
+    model a streaming refinement pass would publish.
+    """
+    from repro.taxonomy.learn import refine_placements
+
+    model = _random_factor_model(seed=seed)
+    moves = refine_placements(
+        model.taxonomy, model.effective_item_factors(), min_gain=0.0,
+        max_moves=2,
+    )
+    assert moves, "seed must produce at least one refinement move"
+    model.replant_items(moves)
+    assert model.taxonomy.revision == 1
+    return model
+
+
+class TestRefinedTaxonomyShardInvariance:
+    def test_replant_changes_structure_not_rankings(self):
+        base = _random_factor_model(seed=42)
+        refined = _refined_model(seed=42)
+        assert base.taxonomy.digest != refined.taxonomy.digest
+        users = np.arange(base.n_users)
+        before = RecommenderService(base, cache_size=0).recommend_batch(
+            users, k=5
+        )
+        after = RecommenderService(refined, cache_size=0).recommend_batch(
+            users, k=5
+        )
+        assert np.array_equal(before, after)
+
+    @pytest.mark.parametrize("mode", ["budget", "ivf"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("partition", ["users", "items"])
+    def test_fleet_matches_single_process(self, mode, n_shards, partition):
+        """After a replant the SubtreeIndex cells follow the *new* tree;
+        every fleet shape must still reproduce the single-process page,
+        or a refinement pass would silently change served rankings on
+        some shard counts only."""
+        model = _refined_model(seed=42)
+        knobs = _APPROX_KNOBS[mode]
+        users = np.arange(model.n_users)
+        expected = RecommenderService(
+            model, cache_size=0, **knobs
+        ).recommend_batch(users, k=5)
+        with ShardRouter(
+            model, n_shards=n_shards, partition=partition, cache_size=0,
+            **knobs,
+        ) as fleet:
+            got = fleet.recommend_batch(users, k=5)
+        assert np.array_equal(got, expected)
+
+
+class TestRefinedSwapUnderLoad:
+    @pytest.mark.parametrize("mode", ["budget", "ivf"])
+    @pytest.mark.parametrize("partition", ["users", "items"])
+    def test_swap_to_refined_tree_is_atomic(self, mode, partition):
+        """Publishing a refined taxonomy through the fleet must be one
+        generation: factors, tree, and the rebuilt approximate index
+        move together, and the router's advertised taxonomy version only
+        changes after every shard acked the new tree."""
+        knobs = _APPROX_KNOBS[mode]
+        model_a = _random_factor_model(seed=7)
+        model_b = _refined_model(seed=8)
+        users = np.arange(model_a.n_users)
+        ref_a = RecommenderService(
+            model_a, cache_size=0, **knobs
+        ).recommend_batch(users, k=5)
+        ref_b = RecommenderService(
+            model_b, cache_size=0, **knobs
+        ).recommend_batch(users, k=5)
+        assert not np.array_equal(ref_a, ref_b)
+
+        pages, errors = [], []
+        stop = threading.Event()
+        with ShardRouter(
+            model_a, n_shards=2, partition=partition, cache_size=0, **knobs
+        ) as fleet:
+            assert fleet.taxonomy_version == model_a.taxonomy.version
+
+            def hammer():
+                try:
+                    while not stop.is_set():
+                        pages.append(fleet.recommend_batch(users, k=5))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            try:
+                time.sleep(0.05)
+                fleet.swap_model(model_b)
+                time.sleep(0.05)
+            finally:
+                stop.set()
+                thread.join(timeout=30)
+            post_swap = fleet.recommend_batch(users, k=5)
+            assert fleet.taxonomy_version == model_b.taxonomy.version
+            stats = fleet.stats()
+            assert stats["taxonomy_digest"] == model_b.taxonomy.version.short
+            assert stats["taxonomy_revision"] == 1
+
+        assert not errors, errors
+        assert np.array_equal(post_swap, ref_b)
+        assert pages, "the load thread never completed a batch"
+        for page in pages:
+            assert np.array_equal(page, ref_a) or np.array_equal(
+                page, ref_b
+            ), "a served page matches neither taxonomy generation"
